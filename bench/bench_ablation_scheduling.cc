@@ -1,0 +1,71 @@
+// Ablation: shortest-trajectory-first scheduling vs FIFO (paper §III-B:
+// "traversers with a shorter history trajectory are generally scheduled to
+// run before those with a lengthier trajectory", which keeps the redundancy
+// of memo-pruned asynchronous traversal negligible). FIFO lets long-path
+// traversers run before short-path ones, so more vertices are first visited
+// at non-minimal distances and must be re-expanded after improvement.
+//
+// Flags: --scale S (default 0.25), --trials N (default 3)
+
+#include "bench/bench_common.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+namespace {
+
+struct Cell {
+  double latency_us = 0;
+  double tasks = 0;
+};
+
+Cell Measure(const ClusterConfig& cfg, const BenchGraph& bg, int k, int trials) {
+  Cell cell;
+  Rng rng(31);
+  for (int t = 0; t < trials; ++t) {
+    VertexId start = PickActiveStart(bg.graph, &rng);
+    SimCluster cluster(cfg, bg.graph);
+    auto res = cluster.Run(KHopPlan(bg.graph, bg.weight, start, k));
+    if (!res.ok()) continue;
+    cell.latency_us += res.value().LatencyMicros() / trials;
+    cell.tasks += static_cast<double>(cluster.TotalTasksExecuted()) / trials;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  double scale = ArgDouble(argc, argv, "--scale", 0.25);
+  int trials = static_cast<int>(ArgDouble(argc, argv, "--trials", 3));
+  PrintHeader("Ablation: shortest-trajectory-first vs FIFO task scheduling");
+
+  std::printf("%-10s %-4s | %12s %12s | %12s %12s | %10s\n", "graph", "k",
+              "SF lat(us)", "FIFO lat(us)", "SF tasks", "FIFO tasks",
+              "extra work");
+  for (const char* preset : {"lj-sim", "fs-sim"}) {
+    double s = preset[0] == 'f' ? scale * 0.5 : scale;
+    for (int k : {3, 4}) {
+      ClusterConfig cfg;
+      cfg.num_nodes = 4;
+      cfg.workers_per_node = 4;
+      BenchGraph bg = MakeBenchGraph(preset, s, cfg.num_partitions());
+
+      cfg.shortest_first_scheduling = true;
+      Cell sf = Measure(cfg, bg, k, trials);
+      cfg.shortest_first_scheduling = false;
+      Cell fifo = Measure(cfg, bg, k, trials);
+
+      std::printf("%-10s %-4d | %12.0f %12.0f | %12.0f %12.0f | %9.1f%%\n",
+                  preset, k, sf.latency_us, fifo.latency_us, sf.tasks,
+                  fifo.tasks, 100.0 * (fifo.tasks / sf.tasks - 1.0));
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape: FIFO executes more tasks (redundant re-expansions\n"
+      "after distance improvements) and has higher latency; the paper's\n"
+      "shortest-first policy keeps asynchronous redundancy negligible.\n");
+  return 0;
+}

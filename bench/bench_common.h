@@ -1,0 +1,123 @@
+#ifndef GRAPHDANCE_BENCH_BENCH_COMMON_H_
+#define GRAPHDANCE_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the paper-reproduction benchmark binaries. Each
+// binary regenerates one table or figure of the evaluation section; the
+// harness prints the same rows/series the paper reports (virtual-time
+// latencies from the DES cluster — see DESIGN.md §1 and EXPERIMENTS.md).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace bench {
+
+/// The paper's k-hop scalability workload (Fig. 1 / §V-B): top-10 weighted
+/// vertices within k hops, averaged over `trials` random start vertices.
+inline std::shared_ptr<const Plan> KHopPlan(
+    const std::shared_ptr<PartitionedGraph>& graph, PropKeyId weight_key,
+    VertexId start, int k) {
+  return Traversal(graph)
+      .V({start})
+      .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+      .Project({Operand::VertexIdOp(), Operand::Property(weight_key)})
+      .OrderByLimit({{1, false}, {0, true}}, 10)
+      .Build()
+      .TakeValue();
+}
+
+/// Samples a start vertex with outgoing edges (isolated vertices make
+/// trivially empty queries; real-graph starts come from the giant
+/// component).
+inline VertexId PickActiveStart(const std::shared_ptr<PartitionedGraph>& graph,
+                                Rng* rng, LabelId link = 0) {
+  VertexId start = rng->Below(graph->stats().num_vertices);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (graph->partition(graph->PartitionOf(start))
+            .Degree(start, link, Direction::kOut, kMaxTimestamp - 1) > 0) {
+      break;
+    }
+    start = rng->Below(graph->stats().num_vertices);
+  }
+  return start;
+}
+
+/// Runs the k-hop query from `trials` seeded random starts on a fresh
+/// cluster per trial; returns the average virtual latency in microseconds.
+/// (The paper: "the starting vertex is randomly selected from all vertices
+/// for 100 times and the average is reported" — we default to fewer trials
+/// to keep the harness fast; pass --trials to raise it.)
+inline double AvgKHopLatency(const ClusterConfig& config,
+                             const std::shared_ptr<PartitionedGraph>& graph,
+                             PropKeyId weight_key, int k, int trials,
+                             uint64_t seed = 31, NetStats* stats_out = nullptr) {
+  Rng rng(seed);
+  LatencyRecorder rec;
+  for (int t = 0; t < trials; ++t) {
+    VertexId start = PickActiveStart(graph, &rng);
+    SimCluster cluster(config, graph);
+    auto res = cluster.Run(KHopPlan(graph, weight_key, start, k));
+    if (!res.ok()) {
+      std::fprintf(stderr, "k-hop run failed: %s\n", res.status().ToString().c_str());
+      continue;
+    }
+    rec.Record(res.value().LatencyMicros());
+    if (stats_out != nullptr) {
+      NetStats& agg = *stats_out;
+      const NetStats& s = cluster.net_stats();
+      for (int i = 0; i < 8; ++i) agg.messages_by_kind[i] += s.messages_by_kind[i];
+      agg.local_messages += s.local_messages;
+      agg.remote_messages += s.remote_messages;
+      agg.frames += s.frames;
+      agg.bytes += s.bytes;
+    }
+  }
+  return rec.Avg();
+}
+
+/// Builds one of the two scalability graphs ("lj-sim" / "fs-sim") at the
+/// given partition count. `scale` grows the dataset (1.0 = default preset).
+struct BenchGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  PropKeyId weight;
+};
+
+inline BenchGraph MakeBenchGraph(const std::string& preset, double scale,
+                                 uint32_t partitions, uint64_t seed = 42) {
+  BenchGraph bg;
+  bg.schema = std::make_shared<Schema>();
+  bg.graph = GeneratePreset(preset, scale, bg.schema, partitions, seed).TakeValue();
+  bg.weight = bg.schema->PropKey("weight");
+  return bg;
+}
+
+/// Simple "--flag value" argument lookup.
+inline double ArgDouble(int argc, char** argv, const std::string& flag,
+                        double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return std::stod(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(virtual-time reproduction; see EXPERIMENTS.md for the\n");
+  std::printf(" paper-vs-measured comparison of shapes)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_BENCH_BENCH_COMMON_H_

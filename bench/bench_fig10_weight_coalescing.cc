@@ -1,0 +1,43 @@
+// Figure 10: impact of weight coalescing (WC) on k-hop query latency.
+// Compares the full GraphDance configuration against one with WC disabled
+// (every finished traverser reports its weight to the tracker directly).
+//
+// Flags: --scale S (default 0.25), --trials N (default 3)
+
+#include "bench/bench_common.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  double scale = ArgDouble(argc, argv, "--scale", 0.25);
+  int trials = static_cast<int>(ArgDouble(argc, argv, "--trials", 3));
+  PrintHeader("Figure 10: weight coalescing (WC) impact on query latency");
+
+  std::printf("%-10s %-4s %14s %14s %10s\n", "graph", "k", "with WC (us)",
+              "without (us)", "saved");
+  for (const char* preset : {"lj-sim", "fs-sim"}) {
+    double s = preset[0] == 'f' ? scale * 0.5 : scale;
+    for (int k : {2, 3, 4}) {
+      ClusterConfig cfg;
+      cfg.num_nodes = 8;
+      cfg.workers_per_node = 2;
+      BenchGraph bg = MakeBenchGraph(preset, s, cfg.num_partitions());
+
+      cfg.weight_coalescing = true;
+      double with_wc = AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials);
+      cfg.weight_coalescing = false;
+      double without_wc = AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials);
+
+      std::printf("%-10s %-4d %14.0f %14.0f %9.1f%%\n", preset, k, with_wc,
+                  without_wc, 100.0 * (1.0 - with_wc / without_wc));
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): WC saves up to ~78%% on the large queries by\n"
+      "removing the centralized tracker bottleneck; on the smallest queries\n"
+      "the coalescing delay can make latency slightly worse.\n");
+  return 0;
+}

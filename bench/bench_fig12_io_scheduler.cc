@@ -1,0 +1,46 @@
+// Figure 12: impact of the two-tiered I/O scheduler on the k-hop workload:
+// baseline synchronous per-message sends, + thread-level combining (TLC),
+// + node-level combining (NLC, full GraphDance).
+//
+// Flags: --scale S (default 0.25), --trials N (default 3)
+
+#include "bench/bench_common.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  double scale = ArgDouble(argc, argv, "--scale", 0.25);
+  int trials = static_cast<int>(ArgDouble(argc, argv, "--trials", 3));
+  PrintHeader("Figure 12: two-tiered I/O scheduler (SyncSend vs +TLC vs +NLC)");
+
+  std::printf("%-10s %-4s %14s %14s %14s %12s\n", "graph", "k", "sync (us)",
+              "+TLC (us)", "+TLC+NLC (us)", "TLC speedup");
+  for (const char* preset : {"lj-sim", "fs-sim"}) {
+    double s = preset[0] == 'f' ? scale * 0.5 : scale;
+    for (int k : {2, 3, 4}) {
+      ClusterConfig cfg;
+      cfg.num_nodes = 8;
+      cfg.workers_per_node = 2;
+      BenchGraph bg = MakeBenchGraph(preset, s, cfg.num_partitions());
+
+      cfg.io_mode = IoMode::kSyncSend;
+      double sync_us = AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials);
+      cfg.io_mode = IoMode::kTlcOnly;
+      double tlc_us = AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials);
+      cfg.io_mode = IoMode::kTlcNlc;
+      double nlc_us = AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials);
+
+      std::printf("%-10s %-4d %14.0f %14.0f %14.0f %11.1fx\n", preset, k, sync_us,
+                  tlc_us, nlc_us, sync_us / tlc_us);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): TLC dominates (up to ~16x on the largest\n"
+      "query) by collapsing per-message syscalls; NLC adds a minor gain on\n"
+      "large queries and can slightly hurt small latency-bound ones (it adds\n"
+      "a combining delay).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the PSTM hot-path primitives:
+// weight splitting, memoranda operations, traverser serialization, CSR
+// expansion and value hashing. These measure *real* CPU cost on this
+// machine, complementing the virtual-time figure harnesses; they also
+// justify the cost-model constants in sim/cost_model.h.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "pstm/memo.h"
+#include "pstm/traverser.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+namespace {
+
+void BM_WeightSplit(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    WeightSplitter split(kUnitWeight, &rng);
+    Weight sum = 0;
+    for (size_t i = 0; i + 1 < n; ++i) sum += split.Take();
+    sum += split.TakeLast();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WeightSplit)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_DistanceMemoImprove(benchmark::State& state) {
+  DistanceMemo memo;
+  Rng rng(2);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo.TryImprove(rng.Below(100000), i++ % 8));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistanceMemoImprove);
+
+void BM_DedupMemoFirstSight(benchmark::State& state) {
+  DedupMemo memo;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memo.FirstSight(Value(static_cast<int64_t>(rng.Below(100000)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DedupMemoFirstSight);
+
+void BM_TraverserSerde(benchmark::State& state) {
+  Traverser t;
+  t.vertex = 123456;
+  t.hop = 3;
+  t.weight = 0x1234567890abcdefULL;
+  t.vars.push_back(Value(int64_t{42}));
+  t.vars.push_back(Value("payload"));
+  for (auto _ : state) {
+    ByteWriter w(64);
+    t.Serialize(&w);
+    ByteReader r(w.data(), w.size());
+    Traverser back = Traverser::Deserialize(&r);
+    benchmark::DoNotOptimize(back.vertex);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraverserSerde);
+
+void BM_CsrExpand(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 1 << 14;
+  opt.num_edges = 1 << 17;
+  auto graph = GeneratePowerLawGraph(opt, schema, 1).TakeValue();
+  LabelId link = schema->EdgeLabel("link");
+  Rng rng(4);
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    VertexId v = rng.Below(opt.num_vertices);
+    graph->partition(0).ForEachNeighbor(v, link, Direction::kOut, kMaxTimestamp - 1,
+                                        [&](VertexId d, const Value&) {
+                                          benchmark::DoNotOptimize(d);
+                                          ++edges;
+                                        });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_CsrExpand);
+
+void BM_ValueHash(benchmark::State& state) {
+  Value values[] = {Value(int64_t{123}), Value(2.5), Value("a-string-key")};
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(values[i++ % 3].Hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValueHash);
+
+}  // namespace
+}  // namespace graphdance
+
+BENCHMARK_MAIN();

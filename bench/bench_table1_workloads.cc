@@ -1,0 +1,128 @@
+// Table I: measured characteristics of the three graph-workload classes on
+// the SNB dataset — transactional (short reads), interactive complex, and
+// offline analytics — quantifying accessed-data fraction, latency and
+// achievable per-cluster throughput.
+//
+// Flags: --persons N (default 1000)
+
+#include "bench/bench_common.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_queries.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+namespace {
+
+struct Profile {
+  double accessed_pct = 0;  // tasks executed / total vertices+edges
+  double avg_latency_us = 0;
+  double qps = 0;
+};
+
+Profile Measure(const SnbDataset& data, const std::vector<PlanPtr>& plans) {
+  Profile prof;
+  double denom = static_cast<double>(data.graph->stats().num_vertices +
+                                     data.graph->stats().num_edges);
+  LatencyRecorder lat;
+  uint64_t tasks = 0;
+  SimTime total_time = 0;
+  for (const PlanPtr& plan : plans) {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.workers_per_node = 4;
+    SimCluster cluster(cfg, data.graph);
+    auto res = cluster.Run(plan);
+    if (!res.ok()) continue;
+    lat.Record(res.value().LatencyMicros());
+    tasks += cluster.TotalTasksExecuted() +
+             cluster.ChargedCount(CostKind::kPerEdge) +
+             cluster.ChargedCount(CostKind::kPropAccess);
+    total_time += cluster.quiescent_time();
+  }
+  prof.avg_latency_us = lat.Avg();
+  prof.accessed_pct = plans.empty() ? 0 : 100.0 * tasks / plans.size() / denom;
+  // Throughput proxy: queries per second if issued back-to-back on the
+  // cluster (16 workers).
+  prof.qps = total_time == 0 ? 0 : plans.size() * 1e9 / total_time;
+  return prof;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  uint64_t persons =
+      static_cast<uint64_t>(ArgDouble(argc, argv, "--persons", 1000));
+  PrintHeader("Table I: measured characteristics per workload class");
+  auto data = GenerateSnb(SnbConfig::Tiny(persons), 16).TakeValue();
+  SnbParamGen gen(*data, 5);
+
+  // Transactional: IS short reads.
+  std::vector<PlanPtr> txn_plans;
+  for (int i = 1; i <= kNumInteractiveShort; ++i) {
+    SnbParams p = gen.Next();
+    auto plan = BuildInteractiveShort(i, *data, p);
+    if (plan.ok()) txn_plans.push_back(plan.TakeValue());
+  }
+  // Interactive complex: IC queries.
+  std::vector<PlanPtr> ic_plans;
+  for (int i = 1; i <= kNumInteractiveComplex; ++i) {
+    SnbParams p = gen.Next();
+    auto plan = BuildInteractiveComplex(i, *data, p);
+    if (plan.ok()) ic_plans.push_back(plan.TakeValue());
+  }
+  // Offline analytics: one whole-graph scan pass (PageRank-style iteration
+  // over every entity's adjacency: persons' social/likes edges, messages'
+  // tag and reply edges).
+  std::vector<PlanPtr> olap_plans;
+  {
+    std::vector<VertexId> all_persons, all_posts, all_comments;
+    for (uint64_t i = 0; i < data->config.num_persons; ++i) {
+      all_persons.push_back(data->PersonId(i));
+    }
+    for (uint64_t i = 0; i < data->num_posts; ++i) {
+      all_posts.push_back(data->PostId(i));
+    }
+    for (uint64_t i = 0; i < data->num_comments; ++i) {
+      all_comments.push_back(data->CommentId(i));
+    }
+    auto add = [&](Traversal&& t) {
+      auto plan = std::move(t).Build();
+      if (plan.ok()) olap_plans.push_back(plan.TakeValue());
+    };
+    Traversal t1(data->graph);
+    t1.V(all_persons).Out("knows").Count();
+    add(std::move(t1));
+    Traversal t2(data->graph);
+    t2.V(all_persons).Out("likes").Count();
+    add(std::move(t2));
+    Traversal t3(data->graph);
+    t3.V(all_persons).In("hasCreator").Count();
+    add(std::move(t3));
+    Traversal t4(data->graph);
+    t4.V(all_posts).Out("hasTag").Count();
+    add(std::move(t4));
+    Traversal t5(data->graph);
+    t5.V(all_comments).Out("replyOf").Count();
+    add(std::move(t5));
+  }
+
+  Profile txn = Measure(*data, txn_plans);
+  Profile ic = Measure(*data, ic_plans);
+  Profile olap = Measure(*data, olap_plans);
+
+  std::printf("%-28s %18s %18s %18s\n", "", "Transactional(IS)",
+              "Interactive(IC)", "Offline(OLAP)");
+  std::printf("%-28s %17.3f%% %17.2f%% %17.1f%%\n", "accessed graph data",
+              txn.accessed_pct, ic.accessed_pct, olap.accessed_pct);
+  std::printf("%-28s %15.0f us %15.0f us %15.0f us\n", "avg response time",
+              txn.avg_latency_us, ic.avg_latency_us, olap.avg_latency_us);
+  std::printf("%-28s %14.0f q/s %14.0f q/s %14.1f q/s\n",
+              "sequential throughput", txn.qps, ic.qps, olap.qps);
+  std::printf(
+      "\nExpected shape (paper Table I): transactional <0.01%% data, us-ms\n"
+      "latency, very high throughput; interactive 0.1-10%%, ms latency;\n"
+      "offline ~100%% of the data, lowest throughput.\n");
+  return 0;
+}

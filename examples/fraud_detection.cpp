@@ -1,0 +1,72 @@
+// Real-time fraud detection over a transfer graph: find money-flow paths of
+// a fixed length between a flagged source account and a flagged destination
+// account. Demonstrates the cost-based join planner (paper Fig. 3 /
+// JoinSelectionStrategy): the path pattern is split at the cheapest point
+// and matched bidirectionally with a double-pipelined join.
+//
+//   $ ./examples/fraud_detection
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "query/planner.h"
+#include "runtime/sim_cluster.h"
+
+using namespace graphdance;
+
+int main() {
+  // Transfer graph. Uniform degree keeps full path enumeration bounded —
+  // the naive plan below enumerates every 4-hop path, which on a power-law
+  // graph with money-mule hubs explodes combinatorially (exactly why the
+  // join plan matters in production).
+  auto schema = std::make_shared<Schema>();
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.workers_per_node = 4;
+  auto graph = GenerateUniformGraph(/*num_vertices=*/4096, /*num_edges=*/49152,
+                                    /*seed=*/77, schema, config.num_partitions())
+                   .TakeValue();
+
+  const VertexId source = 101;   // flagged originator
+  const VertexId sink = 2042;    // flagged beneficiary
+
+  // Pattern: source -> transfer^4 -> sink.
+  PathPattern pattern;
+  for (int i = 0; i < 4; ++i) pattern.hops.push_back({"link", Direction::kOut});
+
+  JoinPlanChoice choice =
+      ChooseJoinSplit(graph->stats(), *schema, pattern, /*card_a=*/1.0,
+                      /*card_b=*/1.0);
+  std::printf("join planner: split at hop %zu (fwd est %.0f, bwd est %.0f) -> %s\n",
+              choice.split, choice.cost_forward, choice.cost_backward,
+              choice.use_join ? "bidirectional join" : "unidirectional expansion");
+
+  auto traversal =
+      BuildPathQuery(graph, {source}, {sink}, pattern, choice).TakeValue();
+  auto plan = traversal.Count().Build().TakeValue();
+
+  SimCluster cluster(config, graph);
+  QueryResult res = cluster.Run(plan).TakeValue();
+  std::printf("suspicious 4-hop transfer paths %lu -> %lu: %s\n",
+              (unsigned long)source, (unsigned long)sink,
+              res.rows[0][0].ToString().c_str());
+  std::printf("virtual latency: %.1f us\n", res.LatencyMicros());
+
+  // Compare against the naive single-direction plan the planner rejected.
+  JoinPlanChoice naive;
+  naive.split = pattern.hops.size();
+  naive.use_join = false;
+  auto naive_plan = BuildPathQuery(graph, {source}, {sink}, pattern, naive)
+                        .TakeValue()
+                        .Count()
+                        .Build()
+                        .TakeValue();
+  SimCluster naive_cluster(config, graph);
+  QueryResult naive_res = naive_cluster.Run(naive_plan).TakeValue();
+  std::printf("naive forward-only plan: %.1f us (%.2fx slower), same count: %s\n",
+              naive_res.LatencyMicros(),
+              naive_res.LatencyMicros() / res.LatencyMicros(),
+              naive_res.rows == res.rows ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a small property graph, run Gremlin-style queries on a
+// simulated GraphDance cluster, and read the results.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "graph/graph.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+using namespace graphdance;
+
+int main() {
+  // 1. Define the schema and load a small social graph.
+  auto schema = std::make_shared<Schema>();
+  LabelId person = schema->VertexLabel("person");
+  LabelId knows = schema->EdgeLabel("knows");
+  PropKeyId name = schema->PropKey("name");
+  PropKeyId age = schema->PropKey("age");
+
+  // A cluster of 2 simulated nodes x 2 workers = 4 partitions.
+  GraphBuilder builder(schema, /*num_partitions=*/4);
+  struct Row0 {
+    VertexId id;
+    const char* name;
+    int64_t age;
+  };
+  const Row0 people[] = {{1, "alice", 34}, {2, "bob", 28},   {3, "carol", 45},
+                         {4, "dave", 23},  {5, "erin", 39},  {6, "frank", 31}};
+  for (const Row0& p : people) {
+    builder.AddVertex(p.id, person, {{name, Value(p.name)}, {age, Value(p.age)}});
+  }
+  const std::pair<VertexId, VertexId> friendships[] = {
+      {1, 2}, {2, 3}, {3, 4}, {1, 5}, {5, 6}, {2, 6}, {4, 1}};
+  for (auto [a, b] : friendships) {
+    builder.AddEdge(a, b, knows);
+    builder.AddEdge(b, a, knows);  // undirected friendship
+  }
+  auto graph = builder.Build().TakeValue();
+
+  // 2. Spin up the simulated cluster.
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.workers_per_node = 2;
+  SimCluster cluster(config, graph);
+
+  // 3. Who does alice know, and how old are they?
+  auto plan = Traversal(graph)
+                  .V({1})
+                  .Out("knows")
+                  .Project({Operand::Property(name), Operand::Property(age)})
+                  .OrderByLimit({{1, /*ascending=*/false}}, 10)
+                  .Build()
+                  .TakeValue();
+  QueryResult result = cluster.Run(plan).TakeValue();
+
+  std::printf("alice's friends (oldest first), %.1f us virtual latency:\n",
+              result.LatencyMicros());
+  for (const auto& row : result.rows) {
+    std::printf("  %-8s age %s\n", row[0].ToString().c_str(),
+                row[1].ToString().c_str());
+  }
+
+  // 4. Friends-of-friends count (2-hop neighborhood, deduplicated).
+  auto fof = Traversal(graph).V({1}).RepeatOut("knows", 2).Count().Build().TakeValue();
+  QueryResult fof_result = cluster.Run(fof).TakeValue();
+  std::printf("\npeople within 2 hops of alice: %s\n",
+              fof_result.rows[0][0].ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "analytics/analytics.h"
+
+#include "query/gremlin.h"
+
+namespace graphdance {
+
+Result<std::shared_ptr<const Plan>> BuildPageRankPlan(
+    std::shared_ptr<PartitionedGraph> graph, const std::string& vertex_label,
+    const std::string& edge_label, int iterations, double damping) {
+  if (iterations < 1) return Status::InvalidArgument("iterations must be >= 1");
+  const double n = static_cast<double>(graph->stats().num_vertices);
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  Traversal t(graph);
+  LabelId elabel = t.ELabel(edge_label);
+  t.VAll(vertex_label);
+  // var0 = rank, seeded uniformly.
+  t.Project({Operand::Const(Value(1.0 / n))});
+  for (int i = 0; i < iterations; ++i) {
+    // share = rank / out-degree, shipped along every outgoing edge.
+    t.Project({Operand::Arith(ArithKind::kDiv, Operand::Var(0),
+                              Operand::Degree(elabel, Direction::kOut))});
+    t.Out(edge_label);
+    // Per-destination sum (partitioned by vertex), then the damped update.
+    t.GroupBy(Operand::VertexIdOp(), Operand::Var(0), AggFunc::kSum);
+    t.Project({Operand::Arith(
+        ArithKind::kAdd, Operand::Const(Value((1.0 - damping) / n)),
+        Operand::Arith(ArithKind::kMul, Operand::Const(Value(damping)),
+                       Operand::Var(1)))});
+  }
+  t.Emit({Operand::VertexIdOp(), Operand::Var(0)});
+  return t.Build();
+}
+
+std::unordered_map<VertexId, double> ReferencePageRank(
+    const PartitionedGraph& graph, LabelId vlabel, LabelId elabel,
+    int iterations, double damping) {
+  const double n = static_cast<double>(graph.stats().num_vertices);
+  std::unordered_map<VertexId, double> ranks;
+  for (VertexId v : graph.VerticesWithLabel(vlabel)) ranks[v] = 1.0 / n;
+
+  for (int i = 0; i < iterations; ++i) {
+    std::unordered_map<VertexId, double> sums;
+    for (const auto& [v, rank] : ranks) {
+      uint64_t deg = graph.partition(graph.PartitionOf(v))
+                         .Degree(v, elabel, Direction::kOut, kMaxTimestamp - 1);
+      if (deg == 0) continue;
+      double share = rank / static_cast<double>(deg);
+      graph.ForEachNeighbor(
+          v, elabel, Direction::kOut,
+          [&](VertexId dst, const Value&) { sums[dst] += share; });
+    }
+    std::unordered_map<VertexId, double> next;
+    for (const auto& [v, sum] : sums) {
+      next[v] = (1.0 - damping) / n + damping * sum;
+    }
+    ranks = std::move(next);
+  }
+  return ranks;
+}
+
+Result<std::shared_ptr<const Plan>> BuildTriangleCountPlan(
+    std::shared_ptr<PartitionedGraph> graph, const std::string& vertex_label,
+    const std::string& edge_label) {
+  // PathA: a -> b -> c carrying a in vars; PathB: a -> c carrying a.
+  auto key = [] {
+    return Operand::Arith(ArithKind::kPair, Operand::Var(0),
+                          Operand::VertexIdOp());
+  };
+  Traversal wedge(graph);
+  wedge.VAll(vertex_label)
+      .Project({Operand::VertexIdOp()})
+      .Out(edge_label)
+      .Out(edge_label);
+  Traversal closing(graph);
+  closing.VAll(vertex_label).Project({Operand::VertexIdOp()}).Out(edge_label);
+  Traversal joined = Traversal::Join(std::move(wedge), key(),
+                                     std::move(closing), key());
+  joined.Count();
+  return joined.Build();
+}
+
+int64_t ReferenceTriangleCount(const PartitionedGraph& graph, LabelId vlabel,
+                               LabelId elabel) {
+  int64_t triangles = 0;
+  for (VertexId a : graph.VerticesWithLabel(vlabel)) {
+    // Direct neighbors of a (with multiplicity) as the closing edges.
+    std::unordered_map<VertexId, int64_t> direct;
+    graph.ForEachNeighbor(a, elabel, Direction::kOut,
+                          [&](VertexId c, const Value&) { direct[c]++; });
+    if (direct.empty()) continue;
+    graph.ForEachNeighbor(a, elabel, Direction::kOut, [&](VertexId b, const Value&) {
+      graph.ForEachNeighbor(b, elabel, Direction::kOut,
+                            [&](VertexId c, const Value&) {
+                              auto it = direct.find(c);
+                              if (it != direct.end()) triangles += it->second;
+                            });
+    });
+  }
+  return triangles;
+}
+
+Result<std::shared_ptr<const Plan>> BuildDegreeHistogramPlan(
+    std::shared_ptr<PartitionedGraph> graph, const std::string& vertex_label,
+    const std::string& edge_label) {
+  Traversal t(graph);
+  LabelId elabel = t.ELabel(edge_label);
+  t.VAll(vertex_label);
+  t.Project({Operand::Degree(elabel, Direction::kOut)});
+  t.GroupCount(Operand::Var(0));
+  t.OrderByLimit({{0, true}}, 1 << 20);
+  return t.Build();
+}
+
+}  // namespace graphdance

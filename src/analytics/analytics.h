@@ -1,0 +1,56 @@
+#ifndef GRAPHDANCE_ANALYTICS_ANALYTICS_H_
+#define GRAPHDANCE_ANALYTICS_ANALYTICS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pstm/plan.h"
+
+namespace graphdance {
+
+/// Offline analytics expressed as PSTM traversal programs (paper §III:
+/// "various specialized graph processing tasks ... can also be expressed
+/// using the Gremlin steps"). Each iteration of PageRank compiles to
+/// Project(rank/degree) -> Expand -> GroupBy(sum) -> Project(damping),
+/// i.e. k iterations become k progress-tracked scopes.
+///
+/// Semantics note: traversers only reach vertices with at least one
+/// in-edge, so vertices that receive no contribution drop out of subsequent
+/// iterations (their restart mass is not re-seeded). The reference
+/// implementation below follows the same recursion; on the power-law graphs
+/// used here the difference from textbook PageRank is small. This
+/// "active-set PageRank" keeps the whole computation inside one PSTM query.
+Result<std::shared_ptr<const Plan>> BuildPageRankPlan(
+    std::shared_ptr<PartitionedGraph> graph, const std::string& vertex_label,
+    const std::string& edge_label, int iterations, double damping = 0.85);
+
+/// Single-threaded oracle with the exact recursion of BuildPageRankPlan.
+std::unordered_map<VertexId, double> ReferencePageRank(
+    const PartitionedGraph& graph, LabelId vlabel, LabelId elabel,
+    int iterations, double damping = 0.85);
+
+/// Transitive-triangle count: the number of ordered triads (a, b, c) with
+/// edges a->b, b->c and a->c. Compiled to the paper's Fig. 3 shape — a
+/// double-pipelined join of 2-hop paths against direct edges on the
+/// composite key (a, c) — demonstrating graph pattern matching / mining on
+/// PSTM (paper §III). Beware combinatorial 2-path counts on heavy-tailed
+/// graphs; intended for moderate-degree inputs.
+Result<std::shared_ptr<const Plan>> BuildTriangleCountPlan(
+    std::shared_ptr<PartitionedGraph> graph, const std::string& vertex_label,
+    const std::string& edge_label);
+
+/// Single-threaded oracle for BuildTriangleCountPlan.
+int64_t ReferenceTriangleCount(const PartitionedGraph& graph, LabelId vlabel,
+                               LabelId elabel);
+
+/// Out-degree histogram: rows [degree, #vertices], ascending by degree.
+Result<std::shared_ptr<const Plan>> BuildDegreeHistogramPlan(
+    std::shared_ptr<PartitionedGraph> graph, const std::string& vertex_label,
+    const std::string& edge_label);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_ANALYTICS_ANALYTICS_H_

@@ -1,0 +1,37 @@
+#ifndef GRAPHDANCE_COMMON_HASH_H_
+#define GRAPHDANCE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace graphdance {
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit bit mixer. Used both as
+/// the graph partitioning hash H(v) and as a building block for value hashes.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a style byte hash with a 64-bit mix finisher.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+/// Combines two hashes (boost-style with 64-bit constant).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_HASH_H_

@@ -1,0 +1,60 @@
+#ifndef GRAPHDANCE_COMMON_HISTOGRAM_H_
+#define GRAPHDANCE_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace graphdance {
+
+/// Records latency samples (microseconds) and reports average and
+/// percentiles. Used by the LDBC driver and benchmark harnesses.
+class LatencyRecorder {
+ public:
+  void Record(double micros) { samples_.push_back(micros); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Avg() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// q in [0, 1], e.g. 0.99 for P99. Nearest-rank on a sorted copy.
+  double Percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  }
+
+  double P50() const { return Percentile(0.50); }
+  double P99() const { return Percentile(0.99); }
+
+  void Clear() { samples_.clear(); }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace graphdance {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+std::atomic<int>& LogThreshold() {
+  static std::atomic<int> threshold{static_cast<int>(LogLevel::kInfo)};
+  return threshold;
+}
+
+void SetLogLevel(LogLevel level) {
+  LogThreshold().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < LogThreshold().load(std::memory_order_relaxed)) {
+    return;
+  }
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+}
+
+}  // namespace graphdance

@@ -1,0 +1,31 @@
+#ifndef GRAPHDANCE_COMMON_LOGGING_H_
+#define GRAPHDANCE_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace graphdance {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Benchmarks
+/// raise this to kWarn to keep output clean.
+std::atomic<int>& LogThreshold();
+
+void SetLogLevel(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+}  // namespace graphdance
+
+#define GD_LOG(level, msg) \
+  ::graphdance::LogMessage(level, __FILE__, __LINE__, (msg))
+#define GD_DEBUG(msg) GD_LOG(::graphdance::LogLevel::kDebug, msg)
+#define GD_INFO(msg) GD_LOG(::graphdance::LogLevel::kInfo, msg)
+#define GD_WARN(msg) GD_LOG(::graphdance::LogLevel::kWarn, msg)
+#define GD_ERROR(msg) GD_LOG(::graphdance::LogLevel::kError, msg)
+
+#endif  // GRAPHDANCE_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#ifndef GRAPHDANCE_COMMON_MPSC_QUEUE_H_
+#define GRAPHDANCE_COMMON_MPSC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace graphdance {
+
+/// Multi-producer single-consumer inbox used for worker and network-thread
+/// mailboxes. Producers push under a mutex; the consumer drains the whole
+/// queue in one lock acquisition (batched drain keeps lock traffic low).
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  template <typename It>
+  void PushBatch(It first, It last) {
+    if (first == last) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (It it = first; it != last; ++it) items_.push_back(std::move(*it));
+    }
+    cv_.notify_one();
+  }
+
+  /// Moves all pending items into `out` (appended). Returns number drained.
+  size_t DrainInto(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = items_.size();
+    for (auto& item : items_) out->push_back(std::move(item));
+    items_.clear();
+    return n;
+  }
+
+  /// Blocks until an item arrives or `timeout` elapses, then drains into
+  /// `out`. Returns number drained (0 on timeout).
+  size_t WaitDrainInto(std::vector<T>* out, std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    size_t n = items_.size();
+    for (auto& item : items_) out->push_back(std::move(item));
+    items_.clear();
+    return n;
+  }
+
+  /// Wakes all blocked consumers; subsequent waits return immediately.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_MPSC_QUEUE_H_

@@ -1,0 +1,88 @@
+#ifndef GRAPHDANCE_COMMON_SERDE_H_
+#define GRAPHDANCE_COMMON_SERDE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphdance {
+
+/// Appends little-endian fixed-width primitives and length-prefixed strings
+/// to a growable byte buffer. Used for message and traverser encoding.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const uint8_t* data() const { return buf_.data(); }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads values written by ByteWriter, in the same order. Bounds violations
+/// trip an assert in debug builds; callers own framing correctness.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  uint8_t ReadU8() { return data_[Advance(1)]; }
+  uint32_t ReadU32() { return ReadFixed<uint32_t>(); }
+  uint64_t ReadU64() { return ReadFixed<uint64_t>(); }
+  int64_t ReadI64() { return ReadFixed<int64_t>(); }
+  double ReadDouble() { return ReadFixed<double>(); }
+  std::string ReadString() {
+    uint32_t n = ReadU32();
+    size_t off = Advance(n);
+    return std::string(reinterpret_cast<const char*>(data_ + off), n);
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  template <typename T>
+  T ReadFixed() {
+    T v;
+    size_t off = Advance(sizeof(T));
+    std::memcpy(&v, data_ + off, sizeof(T));
+    return v;
+  }
+  size_t Advance(size_t n) {
+    assert(pos_ + n <= size_ && "ByteReader overflow");
+    size_t off = pos_;
+    pos_ += n;
+    return off;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_SERDE_H_

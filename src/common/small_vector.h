@@ -1,0 +1,160 @@
+#ifndef GRAPHDANCE_COMMON_SMALL_VECTOR_H_
+#define GRAPHDANCE_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace graphdance {
+
+/// A vector with inline storage for the first N elements; spills to the heap
+/// beyond that. Traverser local-variable lists are almost always tiny, so
+/// this avoids a heap allocation per traverser on the hot path.
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      ReleaseHeap();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    clear();
+    ReleaseHeap();
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    data()[size_].~T();
+  }
+
+  void resize(size_t n) {
+    while (size_ > n) pop_back();
+    while (size_ < n) emplace_back();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data()[i].~T();
+    size_ = 0;
+  }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return heap_ ? heap_ : reinterpret_cast<T*>(inline_); }
+  const T* data() const {
+    return heap_ ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool operator==(const SmallVector& other) const {
+    if (size_ != other.size_) return false;
+    return std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  void Grow() {
+    size_t new_cap = capacity_ * 2;
+    T* new_heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(new_heap + i)) T(std::move(data()[i]));
+      data()[i].~T();
+    }
+    ReleaseHeap();
+    heap_ = new_heap;
+    capacity_ = new_cap;
+  }
+
+  void ReleaseHeap() {
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    for (const T& v : other) push_back(v);
+  }
+
+  void MoveFrom(SmallVector&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      for (size_t i = 0; i < other.size_; ++i) {
+        push_back(std::move(other.data()[i]));
+      }
+      other.clear();
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_SMALL_VECTOR_H_

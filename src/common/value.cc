@@ -1,0 +1,164 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace graphdance {
+
+namespace {
+
+// Type rank used for cross-type ordering; int and double share a rank so
+// they compare numerically.
+int TypeRank(Value::Type t) {
+  switch (t) {
+    case Value::Type::kNull:
+      return 0;
+    case Value::Type::kBool:
+      return 1;
+    case Value::Type::kInt:
+    case Value::Type::kDouble:
+      return 2;
+    case Value::Type::kString:
+      return 3;
+  }
+  return 4;
+}
+
+template <typename T>
+int Cmp(T a, T b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case Type::kInt:
+      return static_cast<double>(as_int());
+    case Type::kDouble:
+      return as_double();
+    case Type::kBool:
+      return as_bool() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+int64_t Value::ToInt() const {
+  switch (type()) {
+    case Type::kInt:
+      return as_int();
+    case Type::kDouble:
+      return static_cast<int64_t>(as_double());
+    case Type::kBool:
+      return as_bool() ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return as_bool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(as_int());
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case Type::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type()), rb = TypeRank(other.type());
+  if (ra != rb) return Cmp(ra, rb);
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return Cmp<int>(as_bool(), other.as_bool());
+    case Type::kInt:
+      if (other.type() == Type::kInt) return Cmp(as_int(), other.as_int());
+      return Cmp(ToDouble(), other.ToDouble());
+    case Type::kDouble:
+      return Cmp(ToDouble(), other.ToDouble());
+    case Type::kString:
+      return as_string().compare(other.as_string()) < 0
+                 ? -1
+                 : (as_string() == other.as_string() ? 0 : 1);
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case Type::kBool:
+      return Mix64(as_bool() ? 2 : 1);
+    case Type::kInt:
+      return Mix64(static_cast<uint64_t>(as_int()) ^ 0x2545F4914F6CDD1DULL);
+    case Type::kDouble: {
+      // Normalize -0.0 so that equal doubles hash equally.
+      double d = as_double() == 0.0 ? 0.0 : as_double();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x9E3779B185EBCA87ULL);
+    }
+    case Type::kString:
+      return HashBytes(as_string().data(), as_string().size());
+  }
+  return 0;
+}
+
+void Value::Serialize(ByteWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      out->WriteU8(as_bool() ? 1 : 0);
+      break;
+    case Type::kInt:
+      out->WriteI64(as_int());
+      break;
+    case Type::kDouble:
+      out->WriteDouble(as_double());
+      break;
+    case Type::kString:
+      out->WriteString(as_string());
+      break;
+  }
+}
+
+Value Value::Deserialize(ByteReader* in) {
+  auto t = static_cast<Type>(in->ReadU8());
+  switch (t) {
+    case Type::kNull:
+      return Value();
+    case Type::kBool:
+      return Value(in->ReadU8() != 0);
+    case Type::kInt:
+      return Value(in->ReadI64());
+    case Type::kDouble:
+      return Value(in->ReadDouble());
+    case Type::kString:
+      return Value(in->ReadString());
+  }
+  return Value();
+}
+
+}  // namespace graphdance

@@ -1,0 +1,72 @@
+#ifndef GRAPHDANCE_COMMON_VALUE_H_
+#define GRAPHDANCE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace graphdance {
+
+class ByteWriter;
+class ByteReader;
+
+/// A dynamically-typed property value stored on vertices/edges and carried in
+/// traverser local variables. Supports null, bool, int64, double and string.
+///
+/// Ordering: values of different types compare by type rank (null < bool <
+/// int < double < string), except that int64 and double compare numerically.
+class Value {
+ public:
+  enum class Type : uint8_t { kNull = 0, kBool, kInt, kDouble, kString };
+
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(int64_t i) : data_(i) {}
+  explicit Value(int i) : data_(static_cast<int64_t>(i)) {}
+  explicit Value(uint64_t i) : data_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+  explicit Value(std::string_view s) : data_(std::string(s)) {}
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double; other types return 0.
+  double ToDouble() const;
+  /// Integer view: doubles truncate; other types return 0.
+  int64_t ToInt() const;
+  /// Human-readable rendering (for results and debugging).
+  std::string ToString() const;
+
+  /// Total order across all values (see class comment). Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// 64-bit hash, consistent with operator== for same-type values.
+  uint64_t Hash() const;
+
+  void Serialize(ByteWriter* out) const;
+  static Value Deserialize(ByteReader* in);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_VALUE_H_

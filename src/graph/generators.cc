@@ -1,0 +1,126 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace graphdance {
+
+namespace {
+
+/// Draws one RMAT edge endpoint pair over a 2^levels x 2^levels matrix.
+std::pair<uint64_t, uint64_t> RmatEdge(Rng* rng, int levels, double a, double b,
+                                       double c) {
+  uint64_t src = 0, dst = 0;
+  for (int level = 0; level < levels; ++level) {
+    double r = rng->NextDouble();
+    src <<= 1;
+    dst <<= 1;
+    if (r < a) {
+      // top-left: no bits set
+    } else if (r < a + b) {
+      dst |= 1;
+    } else if (r < a + b + c) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+Result<std::shared_ptr<PartitionedGraph>> BuildFromEdges(
+    const PowerLawGraphOptions& options, std::shared_ptr<Schema> schema,
+    uint32_t num_partitions,
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges) {
+  LabelId vlabel = schema->VertexLabel(options.vertex_label);
+  LabelId elabel = schema->EdgeLabel(options.edge_label);
+  PropKeyId weight_key = schema->PropKey("weight");
+
+  GraphBuilder builder(schema, num_partitions);
+  Rng prop_rng(options.seed ^ 0x5bd1e995ULL);
+  for (uint64_t v = 0; v < options.num_vertices; ++v) {
+    std::vector<Prop> props;
+    props.push_back(
+        Prop{weight_key, Value(prop_rng.Range(0, options.weight_range - 1))});
+    builder.AddVertex(v, vlabel, std::move(props));
+  }
+  for (const auto& [src, dst] : edges) {
+    builder.AddEdge(src, dst, elabel);
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<PartitionedGraph>> GeneratePowerLawGraph(
+    const PowerLawGraphOptions& options, std::shared_ptr<Schema> schema,
+    uint32_t num_partitions) {
+  if (options.num_vertices == 0) {
+    return Status::InvalidArgument("num_vertices must be > 0");
+  }
+  int levels = 0;
+  while ((1ULL << levels) < options.num_vertices) ++levels;
+
+  Rng rng(options.seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  edges.reserve(options.num_edges);
+  while (edges.size() < options.num_edges) {
+    auto [src, dst] = RmatEdge(&rng, levels, options.a, options.b, options.c);
+    if (src >= options.num_vertices || dst >= options.num_vertices) continue;
+    if (src == dst) continue;
+    edges.emplace_back(src, dst);
+  }
+  return BuildFromEdges(options, std::move(schema), num_partitions, edges);
+}
+
+Result<std::shared_ptr<PartitionedGraph>> GenerateUniformGraph(
+    uint64_t num_vertices, uint64_t num_edges, uint64_t seed,
+    std::shared_ptr<Schema> schema, uint32_t num_partitions) {
+  if (num_vertices == 0) {
+    return Status::InvalidArgument("num_vertices must be > 0");
+  }
+  PowerLawGraphOptions options;
+  options.num_vertices = num_vertices;
+  options.num_edges = num_edges;
+  options.seed = seed;
+
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    uint64_t src = rng.Below(num_vertices);
+    uint64_t dst = rng.Below(num_vertices);
+    if (src == dst) continue;
+    edges.emplace_back(src, dst);
+  }
+  return BuildFromEdges(options, std::move(schema), num_partitions, edges);
+}
+
+Result<std::shared_ptr<PartitionedGraph>> GeneratePreset(
+    const std::string& preset, double scale, std::shared_ptr<Schema> schema,
+    uint32_t num_partitions, uint64_t seed) {
+  PowerLawGraphOptions options;
+  options.seed = seed;
+  if (preset == "lj-sim") {
+    // LiveJournal: 4.0M vertices, 34.7M edges -> avg degree ~8.7.
+    options.num_vertices = static_cast<uint64_t>(40'000 * scale);
+    options.num_edges = static_cast<uint64_t>(347'000 * scale);
+    options.a = 0.57;
+    options.b = 0.19;
+    options.c = 0.19;
+  } else if (preset == "fs-sim") {
+    // Friendster: 65.6M vertices, 1.81B edges -> avg degree ~27.5.
+    options.num_vertices = static_cast<uint64_t>(65'000 * scale);
+    options.num_edges = static_cast<uint64_t>(1'790'000 * scale);
+    options.a = 0.55;
+    options.b = 0.20;
+    options.c = 0.20;
+  } else {
+    return Status::InvalidArgument("unknown graph preset: " + preset);
+  }
+  return GeneratePowerLawGraph(options, std::move(schema), num_partitions);
+}
+
+}  // namespace graphdance

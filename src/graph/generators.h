@@ -1,0 +1,55 @@
+#ifndef GRAPHDANCE_GRAPH_GENERATORS_H_
+#define GRAPHDANCE_GRAPH_GENERATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphdance {
+
+/// Parameters for the synthetic power-law graph generator. The generator is
+/// an RMAT-style recursive-quadrant sampler producing a skewed degree
+/// distribution like the real LiveJournal / Friendster snapshots used in the
+/// paper's scalability study (substituted per DESIGN.md §1: the snapshots
+/// themselves are not available offline).
+struct PowerLawGraphOptions {
+  uint64_t num_vertices = 1 << 14;
+  uint64_t num_edges = 1 << 17;
+  // RMAT quadrant probabilities; (a, b, c) with d = 1 - a - b - c.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 42;
+  /// Every vertex gets an integer `weight` property in [0, weight_range)
+  /// (paper §V: "we assign a random integer weight to each vertex for
+  /// aggregation queries").
+  int64_t weight_range = 1'000'000;
+  std::string vertex_label = "node";
+  std::string edge_label = "link";
+};
+
+/// Generates a power-law directed graph. Deterministic given the seed.
+Result<std::shared_ptr<PartitionedGraph>> GeneratePowerLawGraph(
+    const PowerLawGraphOptions& options, std::shared_ptr<Schema> schema,
+    uint32_t num_partitions);
+
+/// Generates an Erdos–Renyi-ish uniform random graph (used by tests that
+/// want unskewed degree distributions).
+Result<std::shared_ptr<PartitionedGraph>> GenerateUniformGraph(
+    uint64_t num_vertices, uint64_t num_edges, uint64_t seed,
+    std::shared_ptr<Schema> schema, uint32_t num_partitions);
+
+/// Named dataset presets from the paper's Table II, scaled to laptop size
+/// with matching average degree and skew:
+///   "lj-sim" — LiveJournal shape (avg out-degree ~8.7, strong skew)
+///   "fs-sim" — Friendster shape (avg out-degree ~27, stronger fan-out)
+/// The `scale` multiplier grows both vertex and edge counts.
+Result<std::shared_ptr<PartitionedGraph>> GeneratePreset(
+    const std::string& preset, double scale, std::shared_ptr<Schema> schema,
+    uint32_t num_partitions, uint64_t seed = 42);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_GENERATORS_H_

@@ -1,0 +1,159 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace graphdance {
+
+double GraphStats::AvgOutDegree(LabelId elabel) const {
+  auto eit = edges_per_label.find(elabel);
+  if (eit == edges_per_label.end() || eit->second == 0) return 0.0;
+  auto sit = edge_src_label.find(elabel);
+  uint64_t src_count = num_vertices;
+  if (sit != edge_src_label.end()) {
+    auto vit = vertices_per_label.find(sit->second);
+    if (vit != vertices_per_label.end()) src_count = vit->second;
+  }
+  if (src_count == 0) return 0.0;
+  return static_cast<double>(eit->second) / static_cast<double>(src_count);
+}
+
+double GraphStats::AvgInDegree(LabelId elabel) const {
+  auto eit = edges_per_label.find(elabel);
+  if (eit == edges_per_label.end() || eit->second == 0) return 0.0;
+  auto dit = edge_dst_label.find(elabel);
+  uint64_t dst_count = num_vertices;
+  if (dit != edge_dst_label.end()) {
+    auto vit = vertices_per_label.find(dit->second);
+    if (vit != vertices_per_label.end()) dst_count = vit->second;
+  }
+  if (dst_count == 0) return 0.0;
+  return static_cast<double>(eit->second) / static_cast<double>(dst_count);
+}
+
+std::vector<VertexId> PartitionedGraph::VerticesWithLabel(LabelId label) const {
+  std::vector<VertexId> out;
+  for (const auto& p : partitions_) {
+    for (uint32_t local = 0; local < p->num_vertices(); ++local) {
+      if (p->VertexLabel(local) == label) out.push_back(p->GlobalId(local));
+    }
+  }
+  return out;
+}
+
+void GraphBuilder::AddVertex(VertexId v, LabelId label, std::vector<Prop> props) {
+  vertices_.push_back(VertexRow{v, label, std::move(props)});
+}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst, LabelId elabel, Value prop) {
+  edges_.push_back(EdgeRow{src, dst, elabel, std::move(prop)});
+}
+
+Result<std::shared_ptr<PartitionedGraph>> GraphBuilder::Build() {
+  const uint32_t nparts = partitioner_.num_partitions();
+  std::vector<std::unique_ptr<PartitionStore>> partitions;
+  partitions.reserve(nparts);
+  for (uint32_t p = 0; p < nparts; ++p) {
+    partitions.push_back(std::make_unique<PartitionStore>());
+  }
+
+  GraphStats stats;
+
+  // Distribute vertices.
+  std::unordered_set<VertexId> seen;
+  seen.reserve(vertices_.size());
+  for (VertexRow& row : vertices_) {
+    if (!seen.insert(row.id).second) {
+      return Status::AlreadyExists("duplicate vertex id " + std::to_string(row.id));
+    }
+    PartitionId p = partitioner_.Of(row.id);
+    stats.raw_bytes += sizeof(VertexId) + sizeof(LabelId);
+    for (const Prop& prop : row.props) {
+      stats.raw_bytes += sizeof(Prop);
+      if (prop.value.type() == Value::Type::kString) {
+        stats.raw_bytes += prop.value.as_string().size();
+      }
+    }
+    stats.vertices_per_label[row.label]++;
+    partitions[p]->AddVertexForBuild(row.id, row.label, std::move(row.props));
+  }
+  stats.num_vertices = seen.size();
+
+  // Group edges per (partition, label, direction) and validate endpoints.
+  struct HalfEdge {
+    uint32_t local;  // local index of the anchor endpoint
+    VertexId other;
+    uint32_t edge_idx;
+  };
+  // Keyed by (partition, elabel, dir).
+  auto group_key = [](PartitionId p, LabelId l, Direction d) -> uint64_t {
+    return (static_cast<uint64_t>(p) << 32) | (static_cast<uint64_t>(l) << 1) |
+           (d == Direction::kIn ? 1u : 0u);
+  };
+  std::unordered_map<uint64_t, std::vector<HalfEdge>> groups;
+
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    const EdgeRow& e = edges_[i];
+    PartitionId sp = partitioner_.Of(e.src);
+    PartitionId dp = partitioner_.Of(e.dst);
+    auto src_local = partitions[sp]->LocalIndex(e.src);
+    auto dst_local = partitions[dp]->LocalIndex(e.dst);
+    if (!src_local.has_value()) {
+      return Status::NotFound("edge source vertex missing: " + std::to_string(e.src));
+    }
+    if (!dst_local.has_value()) {
+      return Status::NotFound("edge dest vertex missing: " + std::to_string(e.dst));
+    }
+    groups[group_key(sp, e.label, Direction::kOut)].push_back(
+        HalfEdge{*src_local, e.dst, i});
+    groups[group_key(dp, e.label, Direction::kIn)].push_back(
+        HalfEdge{*dst_local, e.src, i});
+    stats.edges_per_label[e.label]++;
+    stats.raw_bytes += 2 * sizeof(VertexId);
+    if (stats.edge_src_label.find(e.label) == stats.edge_src_label.end()) {
+      stats.edge_src_label[e.label] =
+          partitions[sp]->VertexLabel(*src_local);
+      stats.edge_dst_label[e.label] =
+          partitions[dp]->VertexLabel(*dst_local);
+    }
+  }
+  stats.num_edges = edges_.size();
+
+  // Build CSR per group via counting sort on the anchor's local index.
+  for (auto& [key, half_edges] : groups) {
+    PartitionId p = static_cast<PartitionId>(key >> 32);
+    LabelId elabel = static_cast<LabelId>((key & 0xffffffffu) >> 1);
+    Direction dir = (key & 1u) ? Direction::kIn : Direction::kOut;
+    uint32_t nv = partitions[p]->num_vertices();
+
+    auto adj = std::make_unique<CsrAdjacency>();
+    adj->offsets.assign(nv + 1, 0);
+    for (const HalfEdge& he : half_edges) adj->offsets[he.local + 1]++;
+    for (uint32_t v = 0; v < nv; ++v) adj->offsets[v + 1] += adj->offsets[v];
+
+    adj->targets.resize(half_edges.size());
+    bool any_prop = false;
+    for (const HalfEdge& he : half_edges) {
+      if (!edges_[he.edge_idx].prop.is_null()) {
+        any_prop = true;
+        break;
+      }
+    }
+    if (any_prop) adj->props.resize(half_edges.size());
+
+    std::vector<uint32_t> cursor(adj->offsets.begin(), adj->offsets.end() - 1);
+    for (const HalfEdge& he : half_edges) {
+      uint32_t slot = cursor[he.local]++;
+      adj->targets[slot] = he.other;
+      if (any_prop) adj->props[slot] = edges_[he.edge_idx].prop;
+    }
+    partitions[p]->InstallAdjacency(elabel, dir, std::move(adj));
+  }
+
+  vertices_.clear();
+  edges_.clear();
+  return std::make_shared<PartitionedGraph>(schema_, partitioner_,
+                                            std::move(partitions), std::move(stats));
+}
+
+}  // namespace graphdance

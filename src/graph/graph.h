@@ -1,0 +1,133 @@
+#ifndef GRAPHDANCE_GRAPH_GRAPH_H_
+#define GRAPHDANCE_GRAPH_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/partition_store.h"
+#include "graph/partitioner.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace graphdance {
+
+/// Aggregate statistics used by the cost-based planner and the dataset
+/// summary table (Table II).
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t raw_bytes = 0;  // estimated in-memory footprint of the static data
+  std::unordered_map<LabelId, uint64_t> vertices_per_label;
+  std::unordered_map<LabelId, uint64_t> edges_per_label;
+  // First-seen endpoint labels per edge label, for degree estimation.
+  std::unordered_map<LabelId, LabelId> edge_src_label;
+  std::unordered_map<LabelId, LabelId> edge_dst_label;
+
+  /// Average out-degree of the source-label vertices under `elabel`.
+  double AvgOutDegree(LabelId elabel) const;
+  /// Average in-degree of the destination-label vertices under `elabel`.
+  double AvgInDegree(LabelId elabel) const;
+};
+
+/// The partitioned stateful graph model's data component (paper §III-B):
+/// (V, E, lambda) plus the partitioning function H. The per-partition
+/// memoranda M live in the runtime (they are query-scoped), not here.
+class PartitionedGraph {
+ public:
+  PartitionedGraph(std::shared_ptr<Schema> schema, Partitioner partitioner,
+                   std::vector<std::unique_ptr<PartitionStore>> partitions,
+                   GraphStats stats)
+      : schema_(std::move(schema)),
+        partitioner_(partitioner),
+        partitions_(std::move(partitions)),
+        stats_(std::move(stats)) {}
+
+  const Schema& schema() const { return *schema_; }
+  Schema& mutable_schema() { return *schema_; }
+  const Partitioner& partitioner() const { return partitioner_; }
+  uint32_t num_partitions() const { return partitioner_.num_partitions(); }
+  const GraphStats& stats() const { return stats_; }
+
+  PartitionStore& partition(PartitionId p) { return *partitions_[p]; }
+  const PartitionStore& partition(PartitionId p) const { return *partitions_[p]; }
+
+  /// Partition owning vertex `v`.
+  PartitionId PartitionOf(VertexId v) const { return partitioner_.Of(v); }
+
+  /// Convenience single-threaded accessors (tests, reference oracles).
+  bool HasVertex(VertexId v, Timestamp ts = kMaxTimestamp - 1) const {
+    return partition(PartitionOf(v)).HasVertex(v, ts);
+  }
+  const Value* PropertyOf(VertexId v, PropKeyId key,
+                          Timestamp ts = kMaxTimestamp - 1) const {
+    return partition(PartitionOf(v)).PropertyOf(v, key, ts);
+  }
+  LabelId LabelOf(VertexId v, Timestamp ts = kMaxTimestamp - 1) const {
+    return partition(PartitionOf(v)).LabelOf(v, ts);
+  }
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, LabelId elabel, Direction dir, Fn&& fn,
+                       Timestamp ts = kMaxTimestamp - 1) const {
+    partition(PartitionOf(v)).ForEachNeighbor(v, elabel, dir, ts, std::forward<Fn>(fn));
+  }
+
+  /// Builds a secondary index on all partitions.
+  void BuildIndex(LabelId vlabel, PropKeyId key) {
+    for (auto& p : partitions_) p->BuildIndex(vlabel, key);
+  }
+
+  /// All static vertex ids with a given label (test/oracle helper).
+  std::vector<VertexId> VerticesWithLabel(LabelId label) const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  Partitioner partitioner_;
+  std::vector<std::unique_ptr<PartitionStore>> partitions_;
+  GraphStats stats_;
+};
+
+/// Accumulates vertices and edges, then builds the partitioned CSR store.
+/// Building is deterministic: partition contents depend only on insert order
+/// and the hash partitioner.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::shared_ptr<Schema> schema, uint32_t num_partitions)
+      : schema_(std::move(schema)), partitioner_(num_partitions) {}
+
+  /// Adds a vertex. Duplicate ids are rejected at Build time.
+  void AddVertex(VertexId v, LabelId label, std::vector<Prop> props = {});
+
+  /// Adds a directed edge with an optional single edge property.
+  void AddEdge(VertexId src, VertexId dst, LabelId elabel, Value prop = Value());
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Consumes the builder and produces the immutable partitioned graph.
+  Result<std::shared_ptr<PartitionedGraph>> Build();
+
+ private:
+  struct VertexRow {
+    VertexId id;
+    LabelId label;
+    std::vector<Prop> props;
+  };
+  struct EdgeRow {
+    VertexId src;
+    VertexId dst;
+    LabelId label;
+    Value prop;
+  };
+
+  std::shared_ptr<Schema> schema_;
+  Partitioner partitioner_;
+  std::vector<VertexRow> vertices_;
+  std::vector<EdgeRow> edges_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_GRAPH_H_

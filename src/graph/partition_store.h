@@ -1,0 +1,218 @@
+#ifndef GRAPHDANCE_GRAPH_PARTITION_STORE_H_
+#define GRAPHDANCE_GRAPH_PARTITION_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "graph/schema.h"
+#include "graph/tel.h"
+#include "graph/types.h"
+
+namespace graphdance {
+
+/// A (key, value) vertex property pair.
+struct Prop {
+  PropKeyId key;
+  Value value;
+};
+
+/// Immutable CSR adjacency for one (edge label, direction) within a
+/// partition. Targets are global vertex ids; `props[i]` is the single edge
+/// property of edge i (null Value when the label carries no edge property).
+struct CsrAdjacency {
+  std::vector<uint32_t> offsets;  // size = num_local_vertices + 1
+  std::vector<VertexId> targets;
+  std::vector<Value> props;  // empty when no edge property for this label
+};
+
+/// One graph partition: the static bulk-loaded store (vertex table, property
+/// lists, CSR adjacency, secondary indexes) plus the dynamic transactional
+/// edge log (TEL) holding post-load updates.
+///
+/// Thread-safety: the static part is immutable after Build; the TEL part is
+/// mutated only by the single worker thread owning this partition.
+class PartitionStore {
+ public:
+  PartitionStore() = default;
+  PartitionStore(const PartitionStore&) = delete;
+  PartitionStore& operator=(const PartitionStore&) = delete;
+
+  // ---- static store accessors -------------------------------------------
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(vertex_ids_.size()); }
+  uint64_t num_static_edges() const { return num_static_edges_; }
+
+  /// Local dense index of a static vertex, or nullopt if not stored here.
+  std::optional<uint32_t> LocalIndex(VertexId v) const {
+    auto it = local_index_.find(v);
+    if (it == local_index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  VertexId GlobalId(uint32_t local) const { return vertex_ids_[local]; }
+  LabelId VertexLabel(uint32_t local) const { return vertex_labels_[local]; }
+
+  /// Property of a static vertex, or nullptr when absent.
+  const Value* GetProperty(uint32_t local, PropKeyId key) const {
+    for (const Prop& p : vertex_props_[local]) {
+      if (p.key == key) return &p.value;
+    }
+    return nullptr;
+  }
+
+  const std::vector<Prop>& Properties(uint32_t local) const {
+    return vertex_props_[local];
+  }
+
+  const CsrAdjacency* Adjacency(LabelId elabel, Direction dir) const {
+    auto it = adjacency_.find(AdjMapKey(elabel, dir));
+    return it == adjacency_.end() ? nullptr : it->second.get();
+  }
+
+  /// Degree of a static vertex for one (label, direction), excluding TEL.
+  uint32_t StaticDegree(uint32_t local, LabelId elabel, Direction dir) const {
+    const CsrAdjacency* adj = Adjacency(elabel, dir);
+    if (adj == nullptr) return 0;
+    return adj->offsets[local + 1] - adj->offsets[local];
+  }
+
+  // ---- unified read path (static CSR + TEL delta) ------------------------
+
+  /// True when vertex `v` exists in this partition at read timestamp `ts`
+  /// (static vertices exist at all timestamps).
+  bool HasVertex(VertexId v, Timestamp ts) const {
+    if (local_index_.count(v) > 0) return true;
+    return tel_.HasVertex(v, ts);
+  }
+
+  /// Label of `v` at `ts`, or kInvalidLabel when absent.
+  LabelId LabelOf(VertexId v, Timestamp ts) const {
+    auto it = local_index_.find(v);
+    if (it != local_index_.end()) return vertex_labels_[it->second];
+    const TelVertex* rec = tel_.FindVertex(v);
+    if (rec != nullptr && rec->VisibleAt(ts)) return rec->label;
+    return kInvalidLabel;
+  }
+
+  /// Property of `v` at `ts`: TEL versions override static values.
+  const Value* PropertyOf(VertexId v, PropKeyId key, Timestamp ts) const {
+    const Value* dynamic = tel_.GetProperty(v, key, ts);
+    if (dynamic != nullptr) return dynamic;
+    auto it = local_index_.find(v);
+    if (it == local_index_.end()) return nullptr;
+    return GetProperty(it->second, key);
+  }
+
+  /// Iterates neighbors of `v` for (elabel, dir) visible at `ts`, static
+  /// edges first then the TEL delta. `fn(VertexId dst, const Value& eprop)`.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, LabelId elabel, Direction dir, Timestamp ts,
+                       Fn&& fn) const {
+    if (dir == Direction::kBoth) {
+      ForEachNeighbor(v, elabel, Direction::kOut, ts, fn);
+      ForEachNeighbor(v, elabel, Direction::kIn, ts, fn);
+      return;
+    }
+    auto it = local_index_.find(v);
+    if (it != local_index_.end()) {
+      const CsrAdjacency* adj = Adjacency(elabel, dir);
+      if (adj != nullptr) {
+        uint32_t begin = adj->offsets[it->second];
+        uint32_t end = adj->offsets[it->second + 1];
+        const bool has_props = !adj->props.empty();
+        for (uint32_t i = begin; i < end; ++i) {
+          fn(adj->targets[i], has_props ? adj->props[i] : kNullValue());
+        }
+      }
+    }
+    tel_.ForEachEdge(v, elabel, dir, ts,
+                     [&](VertexId dst, const Value& prop) { fn(dst, prop); });
+  }
+
+  /// Total degree (static + TEL) of `v` for (elabel, dir) at `ts`.
+  uint64_t Degree(VertexId v, LabelId elabel, Direction dir, Timestamp ts) const {
+    uint64_t n = 0;
+    ForEachNeighbor(v, elabel, dir, ts, [&](VertexId, const Value&) { ++n; });
+    return n;
+  }
+
+  // ---- secondary indexes --------------------------------------------------
+
+  /// Static vertices in this partition matching (vlabel, key == value), via
+  /// a pre-built secondary index; nullptr when the index is absent.
+  const std::vector<VertexId>* IndexLookup(LabelId vlabel, PropKeyId key,
+                                           const Value& value) const {
+    auto it = indexes_.find(IndexMapKey(vlabel, key));
+    if (it == indexes_.end()) return nullptr;
+    auto vit = it->second.find(value);
+    return vit == it->second.end() ? nullptr : &vit->second;
+  }
+
+  bool HasIndex(LabelId vlabel, PropKeyId key) const {
+    return indexes_.count(IndexMapKey(vlabel, key)) > 0;
+  }
+
+  /// Builds the (vlabel, key) secondary index over static vertices.
+  void BuildIndex(LabelId vlabel, PropKeyId key) {
+    auto& index = indexes_[IndexMapKey(vlabel, key)];
+    for (uint32_t local = 0; local < num_vertices(); ++local) {
+      if (vertex_labels_[local] != vlabel) continue;
+      const Value* v = GetProperty(local, key);
+      if (v != nullptr) index[*v].push_back(vertex_ids_[local]);
+    }
+  }
+
+  // ---- dynamic (TEL) ------------------------------------------------------
+
+  TransactionalEdgeLog& tel() { return tel_; }
+  const TransactionalEdgeLog& tel() const { return tel_; }
+
+  // ---- construction (used by GraphBuilder only) ---------------------------
+
+  uint32_t AddVertexForBuild(VertexId v, LabelId label, std::vector<Prop> props) {
+    uint32_t local = num_vertices();
+    vertex_ids_.push_back(v);
+    vertex_labels_.push_back(label);
+    vertex_props_.push_back(std::move(props));
+    local_index_.emplace(v, local);
+    return local;
+  }
+
+  void InstallAdjacency(LabelId elabel, Direction dir,
+                        std::unique_ptr<CsrAdjacency> adj) {
+    num_static_edges_ += dir == Direction::kOut ? adj->targets.size() : 0;
+    adjacency_[AdjMapKey(elabel, dir)] = std::move(adj);
+  }
+
+ private:
+  static uint32_t AdjMapKey(LabelId elabel, Direction dir) {
+    return (static_cast<uint32_t>(elabel) << 1) |
+           (dir == Direction::kIn ? 1u : 0u);
+  }
+  static uint32_t IndexMapKey(LabelId vlabel, PropKeyId key) {
+    return (static_cast<uint32_t>(vlabel) << 16) | key;
+  }
+  static const Value& kNullValue() {
+    static const Value null_value;
+    return null_value;
+  }
+
+  std::vector<VertexId> vertex_ids_;
+  std::vector<LabelId> vertex_labels_;
+  std::vector<std::vector<Prop>> vertex_props_;
+  std::unordered_map<VertexId, uint32_t> local_index_;
+  std::unordered_map<uint32_t, std::unique_ptr<CsrAdjacency>> adjacency_;
+  std::unordered_map<uint32_t, std::unordered_map<Value, std::vector<VertexId>, ValueHash>>
+      indexes_;
+  uint64_t num_static_edges_ = 0;
+  TransactionalEdgeLog tel_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_PARTITION_STORE_H_

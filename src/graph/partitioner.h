@@ -1,0 +1,40 @@
+#ifndef GRAPHDANCE_GRAPH_PARTITIONER_H_
+#define GRAPHDANCE_GRAPH_PARTITIONER_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "graph/types.h"
+
+namespace graphdance {
+
+/// The graph partitioning function H : V -> PartId (paper §II-C). Vertices
+/// are hash-partitioned; each partition is owned by exactly one worker. The
+/// same function also partitions memoranda keys (e.g. the Dedup and Join
+/// partitioning h_psi of §III-A).
+class Partitioner {
+ public:
+  explicit Partitioner(uint32_t num_partitions) : num_partitions_(num_partitions) {
+    assert(num_partitions > 0);
+  }
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+  /// Partition owning vertex `v`.
+  PartitionId Of(VertexId v) const {
+    return static_cast<PartitionId>(Mix64(v) % num_partitions_);
+  }
+
+  /// Partition owning an arbitrary 64-bit key (join keys, group keys).
+  PartitionId OfKey(uint64_t key) const {
+    return static_cast<PartitionId>(Mix64(key ^ 0xa3c59ac2ULL) % num_partitions_);
+  }
+
+ private:
+  uint32_t num_partitions_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_PARTITIONER_H_

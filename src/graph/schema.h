@@ -1,0 +1,77 @@
+#ifndef GRAPHDANCE_GRAPH_SCHEMA_H_
+#define GRAPHDANCE_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace graphdance {
+
+/// Interns vertex-label, edge-label and property-key names to dense ids.
+/// A Schema is built once before graph loading and is immutable afterwards
+/// (reads from worker threads are lock-free).
+class Schema {
+ public:
+  LabelId VertexLabel(std::string_view name) {
+    return Intern(name, &vlabel_ids_, &vlabel_names_);
+  }
+  LabelId EdgeLabel(std::string_view name) {
+    return Intern(name, &elabel_ids_, &elabel_names_);
+  }
+  PropKeyId PropKey(std::string_view name) {
+    return Intern(name, &prop_ids_, &prop_names_);
+  }
+
+  /// Lookup without interning; returns kInvalid* when absent.
+  LabelId FindVertexLabel(std::string_view name) const {
+    return Find(name, vlabel_ids_, kInvalidLabel);
+  }
+  LabelId FindEdgeLabel(std::string_view name) const {
+    return Find(name, elabel_ids_, kInvalidLabel);
+  }
+  PropKeyId FindPropKey(std::string_view name) const {
+    return Find(name, prop_ids_, kInvalidPropKey);
+  }
+
+  const std::string& VertexLabelName(LabelId id) const { return vlabel_names_[id]; }
+  const std::string& EdgeLabelName(LabelId id) const { return elabel_names_[id]; }
+  const std::string& PropKeyName(PropKeyId id) const { return prop_names_[id]; }
+
+  size_t num_vertex_labels() const { return vlabel_names_.size(); }
+  size_t num_edge_labels() const { return elabel_names_.size(); }
+  size_t num_prop_keys() const { return prop_names_.size(); }
+
+ private:
+  template <typename Id>
+  static Id Intern(std::string_view name,
+                   std::unordered_map<std::string, Id>* ids,
+                   std::vector<std::string>* names) {
+    auto it = ids->find(std::string(name));
+    if (it != ids->end()) return it->second;
+    Id id = static_cast<Id>(names->size());
+    names->emplace_back(name);
+    ids->emplace(std::string(name), id);
+    return id;
+  }
+
+  template <typename Id>
+  static Id Find(std::string_view name,
+                 const std::unordered_map<std::string, Id>& ids, Id missing) {
+    auto it = ids.find(std::string(name));
+    return it == ids.end() ? missing : it->second;
+  }
+
+  std::unordered_map<std::string, LabelId> vlabel_ids_;
+  std::unordered_map<std::string, LabelId> elabel_ids_;
+  std::unordered_map<std::string, PropKeyId> prop_ids_;
+  std::vector<std::string> vlabel_names_;
+  std::vector<std::string> elabel_names_;
+  std::vector<std::string> prop_names_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_SCHEMA_H_

@@ -1,0 +1,244 @@
+#ifndef GRAPHDANCE_GRAPH_TEL_H_
+#define GRAPHDANCE_GRAPH_TEL_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "graph/types.h"
+
+namespace graphdance {
+
+/// One multi-version edge entry. The creation and deletion timestamps are
+/// embedded in the edge data (LiveGraph-style transactional edge log, paper
+/// §IV-C) so a single sequential scan of the adjacency list finds all edges
+/// visible at a read timestamp.
+struct TelEdge {
+  VertexId dst = kInvalidVertex;
+  Timestamp create_ts = 0;
+  Timestamp delete_ts = kMaxTimestamp;
+  Value prop;  // optional single edge property
+
+  bool VisibleAt(Timestamp ts) const { return create_ts <= ts && ts < delete_ts; }
+};
+
+/// One multi-version vertex property entry (latest visible version wins).
+struct TelPropVersion {
+  Timestamp ts = 0;
+  PropKeyId key = kInvalidPropKey;
+  Value value;
+};
+
+/// Per-vertex dynamic state: creation stamp, adjacency logs per
+/// (edge label, direction) and a property version log.
+struct TelVertex {
+  LabelId label = kInvalidLabel;
+  Timestamp create_ts = 0;
+  Timestamp delete_ts = kMaxTimestamp;
+  // Keyed by (elabel << 1) | dir_bit, dir_bit 0 = out, 1 = in.
+  std::unordered_map<uint32_t, std::vector<TelEdge>> adj;
+  std::vector<TelPropVersion> props;
+
+  bool VisibleAt(Timestamp ts) const { return create_ts <= ts && ts < delete_ts; }
+};
+
+/// Transactional edge log for one partition. Holds all vertices/edges created
+/// after the static bulk load, plus tombstones for deletions of static data
+/// (not needed by the current workloads, but supported).
+///
+/// Thread-safety: a TEL is owned by exactly one worker thread (shared-nothing
+/// design); all mutation happens on that thread, so no internal locking.
+class TransactionalEdgeLog {
+ public:
+  static uint32_t AdjKey(LabelId elabel, Direction dir) {
+    return (static_cast<uint32_t>(elabel) << 1) |
+           (dir == Direction::kIn ? 1u : 0u);
+  }
+
+  /// Creates a dynamic vertex. Overwrites any prior tombstone.
+  void AddVertex(VertexId v, LabelId label, Timestamp ts) {
+    TelVertex& rec = vertices_[v];
+    rec.label = label;
+    rec.create_ts = ts;
+    rec.delete_ts = kMaxTimestamp;
+  }
+
+  /// Marks a dynamic vertex deleted at `ts` (visible before, gone after).
+  bool DeleteVertex(VertexId v, Timestamp ts) {
+    auto it = vertices_.find(v);
+    if (it == vertices_.end() || !it->second.VisibleAt(ts)) return false;
+    it->second.delete_ts = ts;
+    return true;
+  }
+
+  bool HasVertex(VertexId v, Timestamp ts) const {
+    auto it = vertices_.find(v);
+    return it != vertices_.end() && it->second.VisibleAt(ts);
+  }
+
+  const TelVertex* FindVertex(VertexId v) const {
+    auto it = vertices_.find(v);
+    return it == vertices_.end() ? nullptr : &it->second;
+  }
+
+  /// Appends a half-edge under `anchor` (the endpoint owned by this
+  /// partition). The caller adds the mirrored half-edge in the partition of
+  /// the other endpoint.
+  void AddEdge(VertexId anchor, LabelId elabel, Direction dir, VertexId other,
+               Timestamp ts, Value prop = Value()) {
+    TelVertex& rec = vertices_[anchor];
+    if (rec.create_ts == 0 && rec.label == kInvalidLabel) {
+      // Anchor is a static vertex gaining dynamic edges; keep it visible
+      // from the beginning of time.
+      rec.create_ts = 0;
+    }
+    rec.adj[AdjKey(elabel, dir)].push_back(TelEdge{other, ts, kMaxTimestamp, std::move(prop)});
+  }
+
+  /// Marks the first visible (anchor -> other) edge as deleted at `ts`.
+  /// Returns true when such an edge existed.
+  bool DeleteEdge(VertexId anchor, LabelId elabel, Direction dir, VertexId other,
+                  Timestamp ts) {
+    auto vit = vertices_.find(anchor);
+    if (vit == vertices_.end()) return false;
+    auto ait = vit->second.adj.find(AdjKey(elabel, dir));
+    if (ait == vit->second.adj.end()) return false;
+    for (TelEdge& e : ait->second) {
+      if (e.dst == other && e.VisibleAt(ts)) {
+        e.delete_ts = ts;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Writes a vertex property version at `ts`.
+  void SetProperty(VertexId v, PropKeyId key, Value value, Timestamp ts) {
+    vertices_[v].props.push_back(TelPropVersion{ts, key, std::move(value)});
+  }
+
+  /// Latest property version visible at `ts`, or nullptr.
+  const Value* GetProperty(VertexId v, PropKeyId key, Timestamp ts) const {
+    auto it = vertices_.find(v);
+    if (it == vertices_.end()) return nullptr;
+    const Value* best = nullptr;
+    Timestamp best_ts = 0;
+    for (const TelPropVersion& pv : it->second.props) {
+      if (pv.key == key && pv.ts <= ts && pv.ts >= best_ts) {
+        best = &pv.value;
+        best_ts = pv.ts;
+      }
+    }
+    return best;
+  }
+
+  /// Sequentially scans the adjacency log of `anchor`, invoking
+  /// `fn(dst, prop)` for every edge visible at `ts` (single-pass visibility,
+  /// the TEL property the paper relies on).
+  template <typename Fn>
+  void ForEachEdge(VertexId anchor, LabelId elabel, Direction dir, Timestamp ts,
+                   Fn&& fn) const {
+    auto vit = vertices_.find(anchor);
+    if (vit == vertices_.end()) return;
+    auto ait = vit->second.adj.find(AdjKey(elabel, dir));
+    if (ait == vit->second.adj.end()) return;
+    for (const TelEdge& e : ait->second) {
+      if (e.VisibleAt(ts)) fn(e.dst, e.prop);
+    }
+  }
+
+  /// Crash recovery (paper §IV-C): removes all versions with timestamps
+  /// beyond the last-commit timestamp, as a restarted node would.
+  void TruncateAfter(Timestamp lct) {
+    for (auto it = vertices_.begin(); it != vertices_.end();) {
+      TelVertex& rec = it->second;
+      if (rec.create_ts > lct && rec.label != kInvalidLabel) {
+        it = vertices_.erase(it);
+        continue;
+      }
+      if (rec.delete_ts != kMaxTimestamp && rec.delete_ts > lct) {
+        rec.delete_ts = kMaxTimestamp;
+      }
+      for (auto& [key, edges] : rec.adj) {
+        std::vector<TelEdge> kept;
+        kept.reserve(edges.size());
+        for (TelEdge& e : edges) {
+          if (e.create_ts > lct) continue;
+          if (e.delete_ts != kMaxTimestamp && e.delete_ts > lct) {
+            e.delete_ts = kMaxTimestamp;
+          }
+          kept.push_back(std::move(e));
+        }
+        edges = std::move(kept);
+      }
+      std::vector<TelPropVersion> kept_props;
+      for (TelPropVersion& pv : rec.props) {
+        if (pv.ts <= lct) kept_props.push_back(std::move(pv));
+      }
+      rec.props = std::move(kept_props);
+      ++it;
+    }
+  }
+
+  /// Version compaction (LiveGraph-style GC): drops edge and property
+  /// versions that are invisible to every reader at or after `watermark`
+  /// (i.e. deleted at or before it), and rewrites surviving pre-watermark
+  /// creation stamps to 0 so later compactions stay cheap. Safe when no
+  /// active query holds a read timestamp below the watermark.
+  void Compact(Timestamp watermark) {
+    for (auto it = vertices_.begin(); it != vertices_.end();) {
+      TelVertex& rec = it->second;
+      if (rec.delete_ts <= watermark) {
+        it = vertices_.erase(it);
+        continue;
+      }
+      for (auto& [key, edges] : rec.adj) {
+        std::vector<TelEdge> kept;
+        kept.reserve(edges.size());
+        for (TelEdge& e : edges) {
+          if (e.delete_ts <= watermark) continue;  // dead to all readers
+          if (e.create_ts <= watermark) e.create_ts = 0;
+          kept.push_back(std::move(e));
+        }
+        edges = std::move(kept);
+      }
+      // Properties: keep only the latest version at or below the watermark
+      // plus everything after it.
+      std::vector<TelPropVersion> kept_props;
+      std::unordered_map<PropKeyId, size_t> latest_below;
+      for (TelPropVersion& pv : rec.props) {
+        if (pv.ts > watermark) {
+          kept_props.push_back(std::move(pv));
+          continue;
+        }
+        auto [lit, inserted] = latest_below.try_emplace(pv.key, kept_props.size());
+        if (inserted) {
+          kept_props.push_back(std::move(pv));
+        } else if (kept_props[lit->second].ts <= pv.ts) {
+          kept_props[lit->second] = std::move(pv);
+        }
+      }
+      rec.props = std::move(kept_props);
+      ++it;
+    }
+  }
+
+  size_t num_vertices() const { return vertices_.size(); }
+
+  /// Total stored edge versions (for compaction tests/metrics).
+  size_t num_edge_versions() const {
+    size_t n = 0;
+    for (const auto& [v, rec] : vertices_) {
+      for (const auto& [key, edges] : rec.adj) n += edges.size();
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<VertexId, TelVertex> vertices_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_TEL_H_

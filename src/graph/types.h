@@ -1,0 +1,34 @@
+#ifndef GRAPHDANCE_GRAPH_TYPES_H_
+#define GRAPHDANCE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace graphdance {
+
+/// Global vertex identifier, unique across the whole graph.
+using VertexId = uint64_t;
+
+/// Partition identifier in [0, num_partitions).
+using PartitionId = uint32_t;
+
+/// Vertex or edge label identifier (interned via Schema).
+using LabelId = uint16_t;
+
+/// Property key identifier (interned via Schema).
+using PropKeyId = uint16_t;
+
+/// Commit / visibility timestamp used by the multi-version edge log.
+using Timestamp = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr PropKeyId kInvalidPropKey = std::numeric_limits<PropKeyId>::max();
+inline constexpr Timestamp kMaxTimestamp = std::numeric_limits<Timestamp>::max();
+
+/// Edge traversal direction.
+enum class Direction : uint8_t { kOut = 0, kIn = 1, kBoth = 2 };
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_GRAPH_TYPES_H_

@@ -1,0 +1,65 @@
+#ifndef GRAPHDANCE_LDBC_DRIVER_H_
+#define GRAPHDANCE_LDBC_DRIVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "runtime/sim_cluster.h"
+#include "txn/txn_manager.h"
+
+namespace graphdance {
+
+/// Configuration of the mixed LDBC SNB Interactive workload (paper §V-A1).
+/// Query issue rates follow the benchmark's style: each query family is
+/// issued at a fixed frequency; the Time Compression Ratio (TCR) scales all
+/// frequencies — a lower TCR means a higher offered load.
+struct DriverConfig {
+  double tcr = 1.0;
+  double duration_s = 0.5;  // virtual seconds of workload
+  uint64_t seed = 99;
+  bool include_updates = true;
+  bool include_complex = true;
+  bool include_short = true;
+  // Offered rates at TCR = 1 (operations per virtual second, per family).
+  double short_rate = 400.0;
+  double complex_rate = 28.0;
+  double update_rate = 80.0;
+};
+
+/// Per-family latency results of one mixed-workload run.
+struct DriverReport {
+  std::map<std::string, LatencyRecorder> per_query;  // "IC1".."IS7", "UP"
+  uint64_t total_operations = 0;
+  SimTime makespan = 0;       // virtual time until quiescence
+  double offered_duration_s = 0.0;
+  bool kept_up = false;       // finished within slack of the offered window
+
+  /// Mean of per-query average latencies whose name starts with `prefix`.
+  double AvgLatencyMicros(const std::string& prefix) const;
+  double P99LatencyMicros(const std::string& prefix) const;
+};
+
+/// Generates parameters for query `seed`-deterministically.
+class SnbParamGen {
+ public:
+  SnbParamGen(const SnbDataset& data, uint64_t seed) : data_(data), rng_(seed) {}
+  SnbParams Next();
+
+ private:
+  const SnbDataset& data_;
+  Rng rng_;
+};
+
+/// Runs the mixed interactive workload on `cluster` (any engine). Updates go
+/// through `txn` (may be null to skip updates); queries read the LCT current
+/// at their arrival. Returns per-family latency statistics.
+DriverReport RunMixedWorkload(SimCluster* cluster, TransactionManager* txn,
+                              const SnbDataset& data, const DriverConfig& config);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_LDBC_DRIVER_H_

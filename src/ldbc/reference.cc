@@ -1,0 +1,340 @@
+#include "ldbc/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "pstm/steps.h"
+
+namespace graphdance {
+
+namespace {
+
+using Graph = PartitionedGraph;
+
+std::vector<std::pair<VertexId, Value>> Nbrs(const Graph& g, VertexId v,
+                                             LabelId elabel, Direction dir) {
+  std::vector<std::pair<VertexId, Value>> out;
+  g.ForEachNeighbor(v, elabel, dir,
+                    [&](VertexId d, const Value& p) { out.emplace_back(d, p); });
+  return out;
+}
+
+Value P(const Graph& g, VertexId v, PropKeyId key) {
+  const Value* p = g.PropertyOf(v, key);
+  return p == nullptr ? Value() : *p;
+}
+
+/// Min knows-distance within `k` hops of `start` (start included, dist 0).
+std::unordered_map<VertexId, int> MinDist(const Graph& g, LabelId knows,
+                                          VertexId start, int k) {
+  std::unordered_map<VertexId, int> dist = {{start, 0}};
+  std::vector<VertexId> frontier = {start};
+  for (int hop = 1; hop <= k; ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      g.ForEachNeighbor(v, knows, Direction::kOut, [&](VertexId d, const Value&) {
+        if (dist.emplace(d, hop).second) next.push_back(d);
+      });
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+std::vector<Row> TopK(std::vector<Row> rows, const std::vector<SortSpec>& specs,
+                      size_t k) {
+  std::sort(rows.begin(), rows.end(),
+            [&](const Row& a, const Row& b) { return RowLess(a, b, specs); });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+Value Id(VertexId v) { return Value(static_cast<int64_t>(v)); }
+
+/// Group counts -> rows [key, count], only keys with count > 0.
+std::vector<Row> CountRows(const std::map<Value, int64_t>& counts) {
+  std::vector<Row> rows;
+  for (const auto& [key, n] : counts) rows.push_back(Row{key, Value(n)});
+  return rows;
+}
+
+}  // namespace
+
+std::vector<Row> ReferenceInteractiveComplex(int number, const SnbDataset& data,
+                                             const SnbParams& q) {
+  const Graph& g = *data.graph;
+  const SnbSchema& s = data.snb;
+
+  switch (number) {
+    case 1: {
+      auto dist = MinDist(g, s.knows, q.person, 3);
+      std::vector<Row> rows;
+      for (const auto& [v, d] : dist) {
+        if (v == q.person) continue;
+        if (P(g, v, s.first_name) != Value(q.first_name)) continue;
+        rows.push_back(Row{Value(int64_t{d}), P(g, v, s.last_name), Id(v)});
+      }
+      return TopK(std::move(rows), {{0, true}, {1, true}, {2, true}}, 20);
+    }
+
+    case 2: {
+      std::vector<Row> rows;
+      for (auto& [f, unused] : Nbrs(g, q.person, s.knows, Direction::kOut)) {
+        for (auto& [m, u2] : Nbrs(g, f, s.has_creator, Direction::kIn)) {
+          Value date = P(g, m, s.creation_date);
+          if (date.ToInt() <= q.max_date) rows.push_back(Row{date, Id(m)});
+        }
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 20);
+    }
+
+    case 3: {
+      auto dist = MinDist(g, s.knows, q.person, 2);
+      std::map<Value, int64_t> counts;
+      for (const auto& [f, d] : dist) {
+        if (f == q.person) continue;
+        for (auto& [m, u] : Nbrs(g, f, s.has_creator, Direction::kIn)) {
+          int64_t date = P(g, m, s.creation_date).ToInt();
+          if (date < q.min_date || date > q.max_date) continue;
+          for (auto& [c, u2] : Nbrs(g, m, s.is_located_in, Direction::kOut)) {
+            if (P(g, c, s.name) == Value(q.country)) counts[Id(f)]++;
+          }
+        }
+      }
+      return TopK(CountRows(counts), {{1, false}, {0, true}}, 20);
+    }
+
+    case 4: {
+      std::map<Value, int64_t> counts;  // key: tag vertex id
+      for (auto& [f, u] : Nbrs(g, q.person, s.knows, Direction::kOut)) {
+        for (auto& [m, u2] : Nbrs(g, f, s.has_creator, Direction::kIn)) {
+          int64_t date = P(g, m, s.creation_date).ToInt();
+          if (date < q.min_date || date > q.max_date) continue;
+          for (auto& [tag, u3] : Nbrs(g, m, s.has_tag, Direction::kOut)) {
+            counts[Id(tag)]++;
+          }
+        }
+      }
+      std::vector<Row> rows;
+      for (const auto& [tag, n] : counts) {
+        rows.push_back(
+            Row{P(g, static_cast<VertexId>(tag.as_int()), s.name), Value(n)});
+      }
+      return TopK(std::move(rows), {{1, false}, {0, true}}, 10);
+    }
+
+    case 5: {
+      auto dist = MinDist(g, s.knows, q.person, 2);
+      std::map<Value, int64_t> counts;  // key: forum id
+      for (const auto& [f, d] : dist) {
+        if (f == q.person) continue;
+        for (auto& [forum, join_date] : Nbrs(g, f, s.has_member, Direction::kIn)) {
+          if (join_date.ToInt() > q.min_date) counts[Id(forum)]++;
+        }
+      }
+      std::vector<Row> rows;
+      for (const auto& [forum, n] : counts) {
+        rows.push_back(
+            Row{P(g, static_cast<VertexId>(forum.as_int()), s.title), Value(n)});
+      }
+      return TopK(std::move(rows), {{1, false}, {0, true}}, 20);
+    }
+
+    case 6: {
+      auto dist = MinDist(g, s.knows, q.person, 2);
+      std::set<VertexId> friends;
+      for (const auto& [f, d] : dist) {
+        if (f != q.person) friends.insert(f);
+      }
+      std::map<Value, int64_t> counts;  // co-tag vertex id -> count
+      // Mirror the join-plan multiplicities: per message, one A-side
+      // instance when the creator is a friend, one B-side instance per
+      // hasTag edge to the parameter tag, and one output per co-tag edge.
+      auto handle_message = [&](VertexId m) {
+        bool by_friend = false;
+        for (auto& [creator, u] : Nbrs(g, m, s.has_creator, Direction::kOut)) {
+          if (friends.count(creator) > 0) by_friend = true;
+        }
+        if (!by_friend) return;
+        int b_side = 0;
+        auto tags = Nbrs(g, m, s.has_tag, Direction::kOut);
+        for (auto& [tag, u] : tags) {
+          if (P(g, tag, s.name) == Value(q.tag_name)) ++b_side;
+        }
+        if (b_side == 0) return;
+        for (auto& [tag, u] : tags) {
+          if (P(g, tag, s.name) != Value(q.tag_name)) counts[Id(tag)] += b_side;
+        }
+      };
+      for (uint64_t i = 0; i < data.num_posts; ++i) handle_message(data.PostId(i));
+      for (uint64_t i = 0; i < data.num_comments; ++i) {
+        handle_message(data.CommentId(i));
+      }
+      std::vector<Row> rows;
+      for (const auto& [tag, n] : counts) {
+        rows.push_back(
+            Row{P(g, static_cast<VertexId>(tag.as_int()), s.name), Value(n)});
+      }
+      return TopK(std::move(rows), {{1, false}, {0, true}}, 10);
+    }
+
+    case 7: {
+      std::vector<Row> rows;
+      for (auto& [m, u] : Nbrs(g, q.person, s.has_creator, Direction::kIn)) {
+        for (auto& [liker, date] : Nbrs(g, m, s.likes, Direction::kIn)) {
+          rows.push_back(Row{date, Id(liker)});
+        }
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 20);
+    }
+
+    case 8: {
+      std::vector<Row> rows;
+      for (auto& [m, u] : Nbrs(g, q.person, s.has_creator, Direction::kIn)) {
+        for (auto& [reply, u2] : Nbrs(g, m, s.reply_of, Direction::kIn)) {
+          rows.push_back(Row{P(g, reply, s.creation_date), Id(reply)});
+        }
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 20);
+    }
+
+    case 9: {
+      auto dist = MinDist(g, s.knows, q.person, 2);
+      std::vector<Row> rows;
+      for (const auto& [f, d] : dist) {
+        if (f == q.person) continue;
+        for (auto& [m, u] : Nbrs(g, f, s.has_creator, Direction::kIn)) {
+          Value date = P(g, m, s.creation_date);
+          if (date.ToInt() < q.max_date) rows.push_back(Row{date, Id(m)});
+        }
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 20);
+    }
+
+    case 10: {
+      auto dist = MinDist(g, s.knows, q.person, 2);
+      std::map<Value, int64_t> counts;
+      for (const auto& [v, d] : dist) {
+        if (d != 2) continue;
+        int64_t messages =
+            static_cast<int64_t>(Nbrs(g, v, s.has_creator, Direction::kIn).size());
+        if (messages > 0) counts[Id(v)] = messages;
+      }
+      return TopK(CountRows(counts), {{1, false}, {0, true}}, 10);
+    }
+
+    case 11: {
+      auto dist = MinDist(g, s.knows, q.person, 2);
+      std::vector<Row> rows;
+      for (const auto& [f, d] : dist) {
+        if (f == q.person) continue;
+        for (auto& [org, work_from] : Nbrs(g, f, s.work_at, Direction::kOut)) {
+          if (work_from.ToInt() >= q.year) continue;
+          for (auto& [country, u] : Nbrs(g, org, s.is_located_in, Direction::kOut)) {
+            if (P(g, country, s.name) == Value(q.country)) {
+              rows.push_back(Row{work_from, Id(f)});
+            }
+          }
+        }
+      }
+      return TopK(std::move(rows), {{0, true}, {1, true}}, 10);
+    }
+
+    case 12: {
+      std::map<Value, int64_t> counts;
+      for (auto& [f, u] : Nbrs(g, q.person, s.knows, Direction::kOut)) {
+        for (auto& [m, u2] : Nbrs(g, f, s.has_creator, Direction::kIn)) {
+          if (g.LabelOf(m) != s.comment) continue;
+          for (auto& [parent, u3] : Nbrs(g, m, s.reply_of, Direction::kOut)) {
+            if (g.LabelOf(parent) != s.post) continue;
+            for (auto& [tag, u4] : Nbrs(g, parent, s.has_tag, Direction::kOut)) {
+              for (auto& [cls, u5] : Nbrs(g, tag, s.has_type, Direction::kOut)) {
+                if (P(g, cls, s.name) == Value(q.tag_class)) counts[Id(f)]++;
+              }
+            }
+          }
+        }
+      }
+      return TopK(CountRows(counts), {{1, false}, {0, true}}, 20);
+    }
+
+    case 13: {
+      auto dist = MinDist(g, s.knows, q.person, 6);
+      auto it = dist.find(q.person2);
+      if (it == dist.end()) return {Row{Value()}};
+      return {Row{Value(int64_t{it->second})}};
+    }
+
+    case 14: {
+      auto dist = MinDist(g, s.knows, q.person, 4);
+      std::map<Value, int64_t> histogram;
+      for (const auto& [v, d] : dist) histogram[Value(int64_t{d})]++;
+      return TopK(CountRows(histogram), {{0, true}}, 10);
+    }
+
+    default:
+      return {};
+  }
+}
+
+std::vector<Row> ReferenceInteractiveShort(int number, const SnbDataset& data,
+                                           const SnbParams& q) {
+  const Graph& g = *data.graph;
+  const SnbSchema& s = data.snb;
+  switch (number) {
+    case 1:
+      return {Row{P(g, q.person, s.first_name), P(g, q.person, s.last_name),
+                  P(g, q.person, s.gender), P(g, q.person, s.birthday),
+                  P(g, q.person, s.browser)}};
+    case 2: {
+      std::vector<Row> rows;
+      for (auto& [m, u] : Nbrs(g, q.person, s.has_creator, Direction::kIn)) {
+        rows.push_back(Row{P(g, m, s.creation_date), Id(m)});
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 10);
+    }
+    case 3: {
+      std::vector<Row> rows;
+      for (auto& [f, date] : Nbrs(g, q.person, s.knows, Direction::kOut)) {
+        rows.push_back(Row{date, Id(f), P(g, f, s.first_name)});
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 1000);
+    }
+    case 4:
+      return {Row{P(g, q.message, s.creation_date), P(g, q.message, s.content)}};
+    case 5: {
+      std::vector<Row> rows;
+      for (auto& [p, u] : Nbrs(g, q.message, s.has_creator, Direction::kOut)) {
+        rows.push_back(Row{Id(p), P(g, p, s.first_name), P(g, p, s.last_name)});
+      }
+      return rows;
+    }
+    case 6: {
+      VertexId m = q.message;
+      // Walk the reply chain up to the root post.
+      while (g.LabelOf(m) == s.comment) {
+        auto parents = Nbrs(g, m, s.reply_of, Direction::kOut);
+        if (parents.empty()) return {};
+        m = parents[0].first;
+      }
+      std::vector<Row> rows;
+      for (auto& [forum, u] : Nbrs(g, m, s.container_of, Direction::kIn)) {
+        rows.push_back(Row{Id(forum), P(g, forum, s.title)});
+      }
+      return rows;
+    }
+    case 7: {
+      std::vector<Row> rows;
+      for (auto& [reply, u] : Nbrs(g, q.message, s.reply_of, Direction::kIn)) {
+        rows.push_back(Row{P(g, reply, s.creation_date), Id(reply)});
+      }
+      return TopK(std::move(rows), {{0, false}, {1, true}}, 100);
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace graphdance

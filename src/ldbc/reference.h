@@ -1,0 +1,23 @@
+#ifndef GRAPHDANCE_LDBC_REFERENCE_H_
+#define GRAPHDANCE_LDBC_REFERENCE_H_
+
+#include <vector>
+
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "pstm/memo.h"
+
+namespace graphdance {
+
+/// Single-threaded, straightforward reference implementations of every
+/// interactive complex and short query, used as correctness oracles for the
+/// distributed engines. Each returns rows in exactly the shape and order of
+/// the corresponding PSTM plan.
+std::vector<Row> ReferenceInteractiveComplex(int number, const SnbDataset& data,
+                                             const SnbParams& params);
+std::vector<Row> ReferenceInteractiveShort(int number, const SnbDataset& data,
+                                           const SnbParams& params);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_LDBC_REFERENCE_H_

@@ -1,0 +1,260 @@
+#include "ldbc/snb_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace graphdance {
+
+namespace {
+
+const char* kFirstNames[] = {
+    "Jan",   "Emma",  "Liam",  "Olivia", "Noah",  "Ava",    "Wei",   "Yan",
+    "Ahmed", "Fatima","Carlos","Maria",  "Ivan",  "Anna",   "Ken",   "Yuki",
+    "Raj",   "Priya", "Omar",  "Layla",  "Hans",  "Greta",  "Jose",  "Lucia",
+    "Pavel", "Elena", "Chen",  "Mei",    "Abdul", "Amina",  "David", "Sara",
+    "Otto",  "Ida",   "Bruno", "Clara",  "Igor",  "Nina",   "Tariq", "Zara"};
+const char* kLastNames[] = {
+    "Smith",  "Mueller", "Garcia",  "Wang",  "Kumar",   "Tanaka", "Ivanov",
+    "Silva",  "Kim",     "Hansen",  "Rossi", "Novak",   "Ali",    "Cohen",
+    "Dubois", "Larsson", "Yamamoto","Chen",  "Johnson", "Brown",  "Lopez",
+    "Murphy", "Schmidt", "Kowalski","Popov", "Sato",    "Singh",  "Haddad",
+    "Berg",   "Moreno",  "Fischer", "Weber", "Costa",   "Petrov", "Nakamura",
+    "OBrien", "Janssen", "Svensson","Abbas", "Keller",  "Dias",   "Vogel",
+    "Araya",  "Koch",    "Lindgren","Takeda","Farah",   "Walsh",  "Blanc",
+    "Romano", "Santos",  "Dimitrov","Eriksen","Okafor", "Nasser", "Quinn",
+    "Weiss",  "Marino",  "Petit",   "Volkov"};
+const char* kLanguages[] = {"en", "de", "zh", "es", "hi", "ar", "pt", "ru"};
+const char* kBrowsers[] = {"Chrome", "Firefox", "Safari", "Edge", "Opera"};
+
+/// Skewed pick in [0, n): squares a uniform draw so early ordinals (hubs)
+/// are preferred, giving the power-law-ish degree skew of SNB's knows graph.
+uint64_t SkewedPick(Rng* rng, uint64_t n) {
+  double u = rng->NextDouble();
+  return static_cast<uint64_t>(u * u * static_cast<double>(n)) % n;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<SnbDataset>> GenerateSnb(const SnbConfig& config,
+                                                uint32_t num_partitions) {
+  if (config.num_persons == 0) {
+    return Status::InvalidArgument("num_persons must be > 0");
+  }
+  auto schema = std::make_shared<Schema>();
+  SnbSchema snb(schema.get());
+  GraphBuilder b(schema, num_partitions);
+  Rng rng(config.seed);
+
+  auto date = [&]() {
+    return Value(rng.Range(config.min_date, config.max_date));
+  };
+
+  // --- places: continents -> countries -> cities ---------------------------
+  const uint64_t kContinents = 6;
+  for (uint64_t i = 0; i < kContinents; ++i) {
+    b.AddVertex(SnbId(SnbKind::kPlace, i), snb.place,
+                {{snb.name, Value("Continent" + std::to_string(i))},
+                 {snb.place_type, Value("continent")}});
+  }
+  const uint64_t country_base = kContinents;
+  for (uint64_t i = 0; i < config.num_countries; ++i) {
+    VertexId id = SnbId(SnbKind::kPlace, country_base + i);
+    b.AddVertex(id, snb.place,
+                {{snb.name, Value("Country" + std::to_string(i))},
+                 {snb.place_type, Value("country")}});
+    b.AddEdge(id, SnbId(SnbKind::kPlace, i % kContinents), snb.is_part_of);
+  }
+  const uint64_t city_base = country_base + config.num_countries;
+  for (uint64_t i = 0; i < config.num_cities; ++i) {
+    VertexId id = SnbId(SnbKind::kPlace, city_base + i);
+    b.AddVertex(id, snb.place,
+                {{snb.name, Value("City" + std::to_string(i))},
+                 {snb.place_type, Value("city")}});
+    b.AddEdge(id, SnbId(SnbKind::kPlace, country_base + i % config.num_countries),
+              snb.is_part_of);
+  }
+  auto city_id = [&](uint64_t i) { return SnbId(SnbKind::kPlace, city_base + i); };
+  auto country_id = [&](uint64_t i) {
+    return SnbId(SnbKind::kPlace, country_base + i);
+  };
+
+  // --- tag classes (tree) and tags ------------------------------------------
+  for (uint64_t i = 0; i < config.num_tag_classes; ++i) {
+    VertexId id = SnbId(SnbKind::kTagClass, i);
+    b.AddVertex(id, snb.tag_class,
+                {{snb.name, Value("TagClass" + std::to_string(i))}});
+    if (i > 0) {
+      b.AddEdge(id, SnbId(SnbKind::kTagClass, (i - 1) / 2), snb.is_subclass_of);
+    }
+  }
+  for (uint64_t i = 0; i < config.num_tags; ++i) {
+    VertexId id = SnbId(SnbKind::kTag, i);
+    b.AddVertex(id, snb.tag, {{snb.name, Value("Tag" + std::to_string(i))}});
+    b.AddEdge(id, SnbId(SnbKind::kTagClass, i % config.num_tag_classes),
+              snb.has_type);
+  }
+  auto tag_id = [&](uint64_t i) { return SnbId(SnbKind::kTag, i); };
+
+  // --- organisations ----------------------------------------------------------
+  for (uint64_t i = 0; i < config.num_universities; ++i) {
+    VertexId id = SnbId(SnbKind::kOrganisation, i);
+    b.AddVertex(id, snb.organisation,
+                {{snb.name, Value("University" + std::to_string(i))},
+                 {snb.org_type, Value("university")}});
+    b.AddEdge(id, country_id(i % config.num_countries), snb.is_located_in);
+  }
+  const uint64_t company_base = config.num_universities;
+  for (uint64_t i = 0; i < config.num_companies; ++i) {
+    VertexId id = SnbId(SnbKind::kOrganisation, company_base + i);
+    b.AddVertex(id, snb.organisation,
+                {{snb.name, Value("Company" + std::to_string(i))},
+                 {snb.org_type, Value("company")}});
+    b.AddEdge(id, country_id(i % config.num_countries), snb.is_located_in);
+  }
+
+  // --- persons -----------------------------------------------------------------
+  const uint64_t np = config.num_persons;
+  for (uint64_t i = 0; i < np; ++i) {
+    VertexId id = SnbId(SnbKind::kPerson, i);
+    b.AddVertex(
+        id, snb.person,
+        {{snb.first_name,
+          Value(kFirstNames[rng.Below(std::size(kFirstNames))])},
+         {snb.last_name, Value(kLastNames[rng.Below(std::size(kLastNames))])},
+         {snb.gender, Value(rng.Chance(0.5) ? "male" : "female")},
+         {snb.birthday, Value(rng.Range(1950 * 372, 2005 * 372))},
+         {snb.creation_date, date()},
+         {snb.browser, Value(kBrowsers[rng.Below(std::size(kBrowsers))])},
+         {snb.location_ip, Value(int64_t(rng.Next() & 0xffffffffu))}});
+    b.AddEdge(id, city_id(rng.Below(config.num_cities)), snb.is_located_in);
+    uint64_t interests = 1 + rng.Below(5);
+    for (uint64_t k = 0; k < interests; ++k) {
+      b.AddEdge(id, tag_id(rng.Below(config.num_tags)), snb.has_interest);
+    }
+    if (rng.Chance(0.7)) {
+      b.AddEdge(id, SnbId(SnbKind::kOrganisation, rng.Below(config.num_universities)),
+                snb.study_at, Value(rng.Range(1970, 2020)));
+    }
+    if (rng.Chance(0.8)) {
+      b.AddEdge(id,
+                SnbId(SnbKind::kOrganisation,
+                      company_base + rng.Below(config.num_companies)),
+                snb.work_at, Value(rng.Range(1980, 2024)));
+    }
+  }
+
+  // --- knows (undirected: both directed edges carry creationDate) -------------
+  {
+    std::unordered_set<uint64_t> pairs;
+    uint64_t target = static_cast<uint64_t>(config.avg_friends * np / 2.0);
+    uint64_t made = 0;
+    while (made < target) {
+      uint64_t a = SkewedPick(&rng, np);
+      uint64_t c = rng.Below(np);
+      if (a == c) continue;
+      uint64_t key = std::min(a, c) * np + std::max(a, c);
+      if (!pairs.insert(key).second) continue;
+      Value d = date();
+      b.AddEdge(SnbId(SnbKind::kPerson, a), SnbId(SnbKind::kPerson, c), snb.knows, d);
+      b.AddEdge(SnbId(SnbKind::kPerson, c), SnbId(SnbKind::kPerson, a), snb.knows, d);
+      ++made;
+    }
+  }
+
+  // --- forums, posts, comments, likes ------------------------------------------
+  uint64_t num_forums = std::max<uint64_t>(1, config.forums_per_person * np);
+  uint64_t post_count = 0, comment_count = 0;
+  std::vector<std::vector<uint64_t>> forum_members(num_forums);
+  for (uint64_t f = 0; f < num_forums; ++f) {
+    VertexId fid = SnbId(SnbKind::kForum, f);
+    uint64_t moderator = SkewedPick(&rng, np);
+    b.AddVertex(fid, snb.forum,
+                {{snb.title, Value("Forum" + std::to_string(f))},
+                 {snb.creation_date, date()}});
+    b.AddEdge(fid, SnbId(SnbKind::kPerson, moderator), snb.has_moderator);
+    b.AddEdge(fid, tag_id(rng.Below(config.num_tags)), snb.has_tag);
+
+    uint64_t members = 1 + rng.Below(static_cast<uint64_t>(
+                               2 * config.members_per_forum));
+    forum_members[f].push_back(moderator);
+    b.AddEdge(fid, SnbId(SnbKind::kPerson, moderator), snb.has_member, date());
+    for (uint64_t m = 0; m < members; ++m) {
+      uint64_t p = SkewedPick(&rng, np);
+      forum_members[f].push_back(p);
+      b.AddEdge(fid, SnbId(SnbKind::kPerson, p), snb.has_member, date());
+    }
+  }
+
+  for (uint64_t f = 0; f < num_forums; ++f) {
+    VertexId fid = SnbId(SnbKind::kForum, f);
+    uint64_t posts = rng.Below(static_cast<uint64_t>(2 * config.posts_per_forum) + 1);
+    for (uint64_t q = 0; q < posts; ++q) {
+      uint64_t post_ord = post_count++;
+      VertexId pid = SnbId(SnbKind::kPost, post_ord);
+      int64_t post_date = rng.Range(config.min_date, config.max_date);
+      uint64_t creator =
+          forum_members[f][rng.Below(forum_members[f].size())];
+      b.AddVertex(pid, snb.post,
+                  {{snb.content, Value("post-content-" + std::to_string(post_ord))},
+                   {snb.length, Value(rng.Range(10, 2000))},
+                   {snb.creation_date, Value(post_date)},
+                   {snb.language, Value(kLanguages[rng.Below(std::size(kLanguages))])},
+                   {snb.browser, Value(kBrowsers[rng.Below(std::size(kBrowsers))])}});
+      b.AddEdge(fid, pid, snb.container_of);
+      b.AddEdge(pid, SnbId(SnbKind::kPerson, creator), snb.has_creator);
+      b.AddEdge(pid, country_id(rng.Below(config.num_countries)), snb.is_located_in);
+      uint64_t ntags = 1 + rng.Below(static_cast<uint64_t>(config.tags_per_message) + 1);
+      for (uint64_t k = 0; k < ntags; ++k) {
+        b.AddEdge(pid, tag_id(rng.Below(config.num_tags)), snb.has_tag);
+      }
+      // likes on the post
+      uint64_t nlikes = rng.Below(static_cast<uint64_t>(2 * config.likes_per_message) + 1);
+      for (uint64_t k = 0; k < nlikes; ++k) {
+        b.AddEdge(SnbId(SnbKind::kPerson, SkewedPick(&rng, np)), pid, snb.likes,
+                  Value(rng.Range(post_date, config.max_date)));
+      }
+
+      // comments (reply tree rooted at the post)
+      uint64_t ncomments =
+          rng.Below(static_cast<uint64_t>(2 * config.comments_per_post) + 1);
+      std::vector<VertexId> thread = {pid};
+      for (uint64_t k = 0; k < ncomments; ++k) {
+        uint64_t com_ord = comment_count++;
+        VertexId cid = SnbId(SnbKind::kComment, com_ord);
+        int64_t cdate = rng.Range(post_date, config.max_date);
+        uint64_t ccreator = SkewedPick(&rng, np);
+        b.AddVertex(cid, snb.comment,
+                    {{snb.content, Value("reply-" + std::to_string(com_ord))},
+                     {snb.length, Value(rng.Range(5, 500))},
+                     {snb.creation_date, Value(cdate)},
+                     {snb.browser, Value(kBrowsers[rng.Below(std::size(kBrowsers))])}});
+        b.AddEdge(cid, thread[rng.Below(thread.size())], snb.reply_of);
+        b.AddEdge(cid, SnbId(SnbKind::kPerson, ccreator), snb.has_creator);
+        if (rng.Chance(0.4)) {
+          b.AddEdge(cid, tag_id(rng.Below(config.num_tags)), snb.has_tag);
+        }
+        uint64_t clikes = rng.Below(static_cast<uint64_t>(config.likes_per_message) + 1);
+        for (uint64_t k2 = 0; k2 < clikes; ++k2) {
+          b.AddEdge(SnbId(SnbKind::kPerson, SkewedPick(&rng, np)), cid, snb.likes,
+                    Value(rng.Range(cdate, config.max_date)));
+        }
+        thread.push_back(cid);
+      }
+    }
+  }
+
+  auto built = b.Build();
+  if (!built.ok()) return built.status();
+
+  auto dataset = std::make_shared<SnbDataset>(
+      SnbDataset{schema, built.TakeValue(), snb, config, num_forums, post_count,
+                 comment_count});
+  dataset->graph->BuildIndex(snb.person, snb.first_name);
+  dataset->graph->BuildIndex(snb.tag, snb.name);
+  return dataset;
+}
+
+}  // namespace graphdance

@@ -1,0 +1,86 @@
+#ifndef GRAPHDANCE_LDBC_SNB_GENERATOR_H_
+#define GRAPHDANCE_LDBC_SNB_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "ldbc/snb_schema.h"
+
+namespace graphdance {
+
+/// Parameters of the synthetic LDBC SNB dataset. Every other entity count
+/// derives from `num_persons` using the benchmark's approximate ratios
+/// (posts/comments dominate the edge count, `knows` is power-law).
+/// See DESIGN.md §1: the official DATAGEN output is unavailable offline; this
+/// generator reproduces the schema and the structural skews the interactive
+/// queries exercise.
+struct SnbConfig {
+  uint64_t num_persons = 1000;
+  uint64_t seed = 2024;
+
+  double avg_friends = 14.0;       // knows degree (power-law)
+  double forums_per_person = 0.8;
+  double members_per_forum = 16.0;
+  double posts_per_forum = 8.0;
+  double comments_per_post = 3.0;
+  double likes_per_message = 1.5;
+  double tags_per_message = 1.6;
+  uint64_t num_tags = 120;
+  uint64_t num_tag_classes = 20;
+  uint64_t num_countries = 30;
+  uint64_t num_cities = 120;
+  uint64_t num_universities = 60;
+  uint64_t num_companies = 100;
+
+  /// Simulated calendar range for creationDate/joinDate values (days).
+  int64_t min_date = 0;
+  int64_t max_date = 3000;
+
+  /// Scale presets mirroring the paper's Table II datasets at laptop scale
+  /// (the SF1000:SF300 size ratio of ~3x is preserved).
+  static SnbConfig Sf300Sim() {
+    SnbConfig c;
+    c.num_persons = 9'000;
+    return c;
+  }
+  static SnbConfig Sf1000Sim() {
+    SnbConfig c;
+    c.num_persons = 27'000;
+    return c;
+  }
+  static SnbConfig Tiny(uint64_t persons = 300) {
+    SnbConfig c;
+    c.num_persons = persons;
+    return c;
+  }
+};
+
+/// A generated SNB dataset: the partitioned graph plus handles the queries
+/// and drivers need (schema ids and derived entity counts).
+struct SnbDataset {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  SnbSchema snb;
+  SnbConfig config;
+  uint64_t num_forums = 0;
+  uint64_t num_posts = 0;
+  uint64_t num_comments = 0;
+
+  VertexId PersonId(uint64_t i) const { return SnbId(SnbKind::kPerson, i); }
+  VertexId PostId(uint64_t i) const { return SnbId(SnbKind::kPost, i); }
+  VertexId CommentId(uint64_t i) const { return SnbId(SnbKind::kComment, i); }
+  VertexId ForumId(uint64_t i) const { return SnbId(SnbKind::kForum, i); }
+  VertexId TagId(uint64_t i) const { return SnbId(SnbKind::kTag, i); }
+};
+
+/// Generates the dataset deterministically. Secondary indexes on
+/// (Person, firstName) and (Tag, name) are pre-built for the IC queries.
+Result<std::shared_ptr<SnbDataset>> GenerateSnb(const SnbConfig& config,
+                                                uint32_t num_partitions);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_LDBC_SNB_GENERATOR_H_

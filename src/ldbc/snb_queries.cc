@@ -1,0 +1,316 @@
+#include "ldbc/snb_queries.h"
+
+#include "query/gremlin.h"
+
+namespace graphdance {
+
+namespace {
+
+Predicate NotSelf(VertexId person) {
+  Predicate p;
+  p.lhs = Operand::VertexIdOp();
+  p.op = CmpOp::kNe;
+  p.rhs = Operand::Const(Value(static_cast<int64_t>(person)));
+  return p;
+}
+
+Predicate VarPred(uint32_t var, CmpOp op, Value rhs) {
+  Predicate p;
+  p.lhs = Operand::Var(var);
+  p.op = op;
+  p.rhs = Operand::Const(std::move(rhs));
+  return p;
+}
+
+Predicate LabelPred(LabelId label) {
+  Predicate p;
+  p.lhs = Operand::LabelOp();
+  p.op = CmpOp::kEq;
+  p.rhs = Operand::Const(Value(static_cast<int64_t>(label)));
+  return p;
+}
+
+}  // namespace
+
+Result<PlanPtr> BuildInteractiveComplex(int number, const SnbDataset& data,
+                                        const SnbParams& params) {
+  const SnbSchema& s = data.snb;
+  Traversal t(data.graph);
+  switch (number) {
+    case 1:
+      // IC1: persons with the given first name reachable within 3 knows
+      // hops, ordered by (distance, lastName, id), top 20.
+      // Tee-on-improve + min-aggregation makes the reported distance the
+      // true minimum regardless of asynchronous visit order.
+      t.V({params.person})
+          .RepeatOut("knows", 3, /*dedup=*/true)
+          .TeeOnImprove()
+          .Has("firstName", CmpOp::kEq, Value(params.first_name))
+          .Where(NotSelf(params.person))
+          .GroupBy(Operand::VertexIdOp(), Operand::HopOp(), AggFunc::kMin)
+          .Project({Operand::Var(1), Operand::Property(s.last_name),
+                    Operand::VertexIdOp()})
+          .OrderByLimit({{0, true}, {1, true}, {2, true}}, 20);
+      break;
+
+    case 2:
+      // IC2: recent messages (<= maxDate) by direct friends, newest first.
+      t.V({params.person})
+          .Out("knows")
+          .In("hasCreator")
+          .Has("creationDate", CmpOp::kLe, Value(params.max_date))
+          .Project({Operand::Property(s.creation_date), Operand::VertexIdOp()})
+          .OrderByLimit({{0, false}, {1, true}}, 20);
+      break;
+
+    case 3:
+      // IC3 (simplified): posts by friends within 2 hops, located in the
+      // given country and date window; count per friend, top 20.
+      t.V({params.person})
+          .RepeatOut("knows", 2, true)
+          .Where(NotSelf(params.person))
+          .Project({Operand::VertexIdOp()})
+          .In("hasCreator")
+          .Has("creationDate", CmpOp::kGe, Value(params.min_date))
+          .Has("creationDate", CmpOp::kLe, Value(params.max_date))
+          .Out("isLocatedIn")
+          .Has("name", CmpOp::kEq, Value(params.country))
+          .GroupCount(Operand::Var(0))
+          .OrderByLimit({{1, false}, {0, true}}, 20);
+      break;
+
+    case 4:
+      // IC4: tags of posts created by friends in a date window, by count.
+      t.V({params.person})
+          .Out("knows")
+          .In("hasCreator")
+          .Has("creationDate", CmpOp::kGe, Value(params.min_date))
+          .Has("creationDate", CmpOp::kLe, Value(params.max_date))
+          .Out("hasTag")
+          .GroupCount(Operand::VertexIdOp())
+          .Project({Operand::Property(s.name), Operand::Var(1)})
+          .OrderByLimit({{1, false}, {0, true}}, 10);
+      break;
+
+    case 5:
+      // IC5: forums that friends within 2 hops joined after minDate, by
+      // membership count.
+      t.V({params.person})
+          .RepeatOut("knows", 2, true)
+          .Where(NotSelf(params.person))
+          .In("hasMember")
+          .FilterEdgeProp(CmpOp::kGt, Value(params.min_date))
+          .GroupCount(Operand::VertexIdOp())
+          .Project({Operand::Property(s.title), Operand::Var(1)})
+          .OrderByLimit({{1, false}, {0, true}}, 20);
+      break;
+
+    case 6: {
+      // IC6: co-occurring tags on messages by friends (<=2 hops) that carry
+      // the given tag — executed as a double-pipelined join at the message
+      // (the paper's Fig. 3 plan shape).
+      Traversal friends_posts(data.graph);
+      friends_posts.V({params.person})
+          .RepeatOut("knows", 2, true)
+          .Where(NotSelf(params.person))
+          .In("hasCreator");
+      Traversal tagged(data.graph);
+      tagged.V("Tag", "name", Value(params.tag_name)).In("hasTag");
+      t = Traversal::Join(std::move(friends_posts), Operand::VertexIdOp(),
+                          std::move(tagged), Operand::VertexIdOp());
+      t.Out("hasTag")
+          .Has("name", CmpOp::kNe, Value(params.tag_name))
+          .GroupCount(Operand::VertexIdOp())
+          .Project({Operand::Property(s.name), Operand::Var(1)})
+          .OrderByLimit({{1, false}, {0, true}}, 10);
+      break;
+    }
+
+    case 7:
+      // IC7: most recent likes on the person's messages.
+      t.V({params.person})
+          .In("hasCreator")
+          .In("likes")
+          .CaptureEdgeProp()
+          .Project({Operand::Var(0), Operand::VertexIdOp()})
+          .OrderByLimit({{0, false}, {1, true}}, 20);
+      break;
+
+    case 8:
+      // IC8: most recent replies to the person's messages.
+      t.V({params.person})
+          .In("hasCreator")
+          .In("replyOf")
+          .Project({Operand::Property(s.creation_date), Operand::VertexIdOp()})
+          .OrderByLimit({{0, false}, {1, true}}, 20);
+      break;
+
+    case 9:
+      // IC9: recent messages (< maxDate) by friends within 2 hops.
+      t.V({params.person})
+          .RepeatOut("knows", 2, true)
+          .Where(NotSelf(params.person))
+          .In("hasCreator")
+          .Has("creationDate", CmpOp::kLt, Value(params.max_date))
+          .Project({Operand::Property(s.creation_date), Operand::VertexIdOp()})
+          .OrderByLimit({{0, false}, {1, true}}, 20);
+      break;
+
+    case 10:
+      // IC10 (simplified): friend recommendation — strictly-2-hop persons
+      // (min knows-distance exactly 2), scored by message count. Uses
+      // tee-on-improve + min-aggregation so asynchronous first-visit order
+      // cannot misclassify distances.
+      t.V({params.person})
+          .RepeatOut("knows", 2, true)
+          .TeeOnImprove()
+          .Where(NotSelf(params.person))
+          .GroupBy(Operand::VertexIdOp(), Operand::HopOp(), AggFunc::kMin)
+          .Where(VarPred(1, CmpOp::kEq, Value(int64_t{2})))
+          .In("hasCreator")
+          .GroupCount(Operand::Var(0))
+          .OrderByLimit({{1, false}, {0, true}}, 10);
+      break;
+
+    case 11:
+      // IC11: friends within 2 hops working at a company in the given
+      // country since before `year`, ordered by workFrom.
+      t.V({params.person})
+          .RepeatOut("knows", 2, true)
+          .Where(NotSelf(params.person))
+          .Project({Operand::VertexIdOp()})
+          .Out("workAt")
+          .CaptureEdgeProp()
+          .Where(VarPred(1, CmpOp::kLt, Value(params.year)))
+          .Out("isLocatedIn")
+          .Has("name", CmpOp::kEq, Value(params.country))
+          .Project({Operand::Var(1), Operand::Var(0)})
+          .OrderByLimit({{0, true}, {1, true}}, 10);
+      break;
+
+    case 12:
+      // IC12: expert search — friends whose comments reply to posts tagged
+      // with a tag of the given class; count per friend.
+      t.V({params.person})
+          .Out("knows")
+          .Project({Operand::VertexIdOp()})
+          .In("hasCreator")
+          .Where(LabelPred(s.comment))
+          .Out("replyOf")
+          .Where(LabelPred(s.post))
+          .Out("hasTag")
+          .Out("hasType")
+          .Has("name", CmpOp::kEq, Value(params.tag_class))
+          .GroupCount(Operand::Var(0))
+          .OrderByLimit({{1, false}, {0, true}}, 20);
+      break;
+
+    case 13:
+      // IC13: length of the shortest knows-path between two persons (up to
+      // 6 hops; empty result means unreachable). Tee-on-improve guarantees
+      // the minimal distance is observed regardless of async arrival order.
+      t.V({params.person})
+          .RepeatOut("knows", 6, true)
+          .TeeOnImprove()
+          .Where([&] {
+            Predicate p;
+            p.lhs = Operand::VertexIdOp();
+            p.op = CmpOp::kEq;
+            p.rhs = Operand::Const(Value(static_cast<int64_t>(params.person2)));
+            return p;
+          }())
+          .Project({Operand::HopOp()})
+          .Min(Operand::Var(0));
+      break;
+
+    case 14:
+      // IC14 (simplified, see DESIGN.md): the min-distance histogram of the
+      // person's 4-hop knows-neighborhood — rows [distance, #persons].
+      // Deterministic under any engine (min-aggregation absorbs the
+      // asynchronous visit order) while exercising the official query's
+      // structure: shortest-path traversal plus two chained aggregations.
+      t.V({params.person})
+          .RepeatOut("knows", 4, true)
+          .TeeOnImprove()
+          .GroupBy(Operand::VertexIdOp(), Operand::HopOp(), AggFunc::kMin)
+          .GroupCount(Operand::Var(1))
+          .OrderByLimit({{0, true}}, 10);
+      break;
+
+    default:
+      return Status::InvalidArgument("IC number out of range: " +
+                                     std::to_string(number));
+  }
+  return t.Build();
+}
+
+Result<PlanPtr> BuildInteractiveShort(int number, const SnbDataset& data,
+                                      const SnbParams& params) {
+  const SnbSchema& s = data.snb;
+  Traversal t(data.graph);
+  switch (number) {
+    case 1:
+      // IS1: person profile.
+      t.V({params.person})
+          .Emit({Operand::Property(s.first_name), Operand::Property(s.last_name),
+                 Operand::Property(s.gender), Operand::Property(s.birthday),
+                 Operand::Property(s.browser)});
+      break;
+    case 2:
+      // IS2: the person's 10 most recent messages.
+      t.V({params.person})
+          .In("hasCreator")
+          .Project({Operand::Property(s.creation_date), Operand::VertexIdOp()})
+          .OrderByLimit({{0, false}, {1, true}}, 10);
+      break;
+    case 3:
+      // IS3: all friends with friendship creation date, newest first.
+      t.V({params.person})
+          .Out("knows")
+          .CaptureEdgeProp()
+          .Project({Operand::Var(0), Operand::VertexIdOp(),
+                    Operand::Property(s.first_name)})
+          .OrderByLimit({{0, false}, {1, true}}, 1000);
+      break;
+    case 4:
+      // IS4: message content.
+      t.V({params.message})
+          .Emit({Operand::Property(s.creation_date), Operand::Property(s.content)});
+      break;
+    case 5:
+      // IS5: message creator.
+      t.V({params.message})
+          .Out("hasCreator")
+          .Emit({Operand::VertexIdOp(), Operand::Property(s.first_name),
+                 Operand::Property(s.last_name)});
+      break;
+    case 6:
+      // IS6: the forum containing the message (walking the reply chain up
+      // to the root post first when starting from a comment).
+      if (SnbKindOf(params.message) == SnbKind::kComment) {
+        t.V({params.message})
+            .RepeatOut("replyOf", 16, true)
+            .Where(LabelPred(s.post))
+            .In("containerOf")
+            .Emit({Operand::VertexIdOp(), Operand::Property(s.title)});
+      } else {
+        t.V({params.message})
+            .In("containerOf")
+            .Emit({Operand::VertexIdOp(), Operand::Property(s.title)});
+      }
+      break;
+    case 7:
+      // IS7: replies to the message, newest first.
+      t.V({params.message})
+          .In("replyOf")
+          .Project({Operand::Property(s.creation_date), Operand::VertexIdOp()})
+          .OrderByLimit({{0, false}, {1, true}}, 100);
+      break;
+    default:
+      return Status::InvalidArgument("IS number out of range: " +
+                                     std::to_string(number));
+  }
+  return t.Build();
+}
+
+}  // namespace graphdance

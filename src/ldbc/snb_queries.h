@@ -1,0 +1,47 @@
+#ifndef GRAPHDANCE_LDBC_SNB_QUERIES_H_
+#define GRAPHDANCE_LDBC_SNB_QUERIES_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ldbc/snb_generator.h"
+#include "pstm/plan.h"
+
+namespace graphdance {
+
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Parameters for the interactive queries. Each query reads the subset it
+/// needs; the driver's parameter generator fills them from seeded draws.
+struct SnbParams {
+  VertexId person = 0;
+  VertexId person2 = 0;      // IC13 / IC14
+  VertexId message = 0;      // IS4-IS7
+  std::string first_name;    // IC1
+  std::string tag_name;      // IC6
+  std::string tag_class;     // IC12
+  std::string country;       // IC3 / IC11
+  int64_t min_date = 0;      // IC3 / IC4 range start
+  int64_t max_date = 3000;   // IC2 / IC5 / IC9 cutoff
+  int64_t year = 2015;       // IC11 workFrom bound
+};
+
+/// Builds the PSTM plan for LDBC SNB Interactive Complex query `number`
+/// (1..14). The plans follow the official query semantics with the
+/// simplifications documented in DESIGN.md / ldbc/README notes; each keeps
+/// the operator structure (multi-hop expansion, filtering, joins, grouped
+/// aggregation, distributed top-k) that the paper's evaluation exercises.
+Result<PlanPtr> BuildInteractiveComplex(int number, const SnbDataset& data,
+                                        const SnbParams& params);
+
+/// Builds Interactive Short query `number` (1..7).
+Result<PlanPtr> BuildInteractiveShort(int number, const SnbDataset& data,
+                                      const SnbParams& params);
+
+inline constexpr int kNumInteractiveComplex = 14;
+inline constexpr int kNumInteractiveShort = 7;
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_LDBC_SNB_QUERIES_H_

@@ -1,0 +1,101 @@
+#ifndef GRAPHDANCE_LDBC_SNB_SCHEMA_H_
+#define GRAPHDANCE_LDBC_SNB_SCHEMA_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace graphdance {
+
+/// The LDBC Social Network Benchmark schema: 8 vertex kinds and 15 edge
+/// kinds, interned into a Schema. Vertex ids encode the entity kind in the
+/// top byte so ids are globally unique and self-describing.
+struct SnbSchema {
+  // Vertex labels.
+  LabelId person, forum, post, comment, tag, tag_class, place, organisation;
+  // Edge labels.
+  LabelId knows;          // person <-> person (stored in both directions)
+  LabelId has_interest;   // person -> tag
+  LabelId likes;          // person -> post/comment (creationDate prop)
+  LabelId has_creator;    // post/comment -> person
+  LabelId container_of;   // forum -> post
+  LabelId has_member;     // forum -> person (joinDate prop)
+  LabelId has_moderator;  // forum -> person
+  LabelId reply_of;       // comment -> post/comment
+  LabelId has_tag;        // post/comment/forum -> tag
+  LabelId has_type;       // tag -> tagclass
+  LabelId is_subclass_of; // tagclass -> tagclass
+  LabelId is_located_in;  // person -> city, org -> country, message -> country
+  LabelId is_part_of;     // city -> country -> continent
+  LabelId study_at;       // person -> university (classYear prop)
+  LabelId work_at;        // person -> company (workFrom prop)
+  // Property keys.
+  PropKeyId first_name, last_name, gender, birthday, creation_date, browser,
+      location_ip, content, length, language, title, name, org_type, place_type;
+
+  explicit SnbSchema(Schema* s) {
+    person = s->VertexLabel("Person");
+    forum = s->VertexLabel("Forum");
+    post = s->VertexLabel("Post");
+    comment = s->VertexLabel("Comment");
+    tag = s->VertexLabel("Tag");
+    tag_class = s->VertexLabel("TagClass");
+    place = s->VertexLabel("Place");
+    organisation = s->VertexLabel("Organisation");
+
+    knows = s->EdgeLabel("knows");
+    has_interest = s->EdgeLabel("hasInterest");
+    likes = s->EdgeLabel("likes");
+    has_creator = s->EdgeLabel("hasCreator");
+    container_of = s->EdgeLabel("containerOf");
+    has_member = s->EdgeLabel("hasMember");
+    has_moderator = s->EdgeLabel("hasModerator");
+    reply_of = s->EdgeLabel("replyOf");
+    has_tag = s->EdgeLabel("hasTag");
+    has_type = s->EdgeLabel("hasType");
+    is_subclass_of = s->EdgeLabel("isSubclassOf");
+    is_located_in = s->EdgeLabel("isLocatedIn");
+    is_part_of = s->EdgeLabel("isPartOf");
+    study_at = s->EdgeLabel("studyAt");
+    work_at = s->EdgeLabel("workAt");
+
+    first_name = s->PropKey("firstName");
+    last_name = s->PropKey("lastName");
+    gender = s->PropKey("gender");
+    birthday = s->PropKey("birthday");
+    creation_date = s->PropKey("creationDate");
+    browser = s->PropKey("browserUsed");
+    location_ip = s->PropKey("locationIP");
+    content = s->PropKey("content");
+    length = s->PropKey("length");
+    language = s->PropKey("language");
+    title = s->PropKey("title");
+    name = s->PropKey("name");
+    org_type = s->PropKey("orgType");
+    place_type = s->PropKey("placeType");
+  }
+};
+
+/// Entity-kind tags embedded in vertex ids (top byte).
+enum class SnbKind : uint64_t {
+  kPerson = 1,
+  kForum = 2,
+  kPost = 3,
+  kComment = 4,
+  kTag = 5,
+  kTagClass = 6,
+  kPlace = 7,
+  kOrganisation = 8,
+};
+
+inline VertexId SnbId(SnbKind kind, uint64_t ordinal) {
+  return (static_cast<uint64_t>(kind) << 40) | ordinal;
+}
+inline SnbKind SnbKindOf(VertexId id) { return static_cast<SnbKind>(id >> 40); }
+inline uint64_t SnbOrdinal(VertexId id) { return id & ((1ULL << 40) - 1); }
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_LDBC_SNB_SCHEMA_H_

@@ -1,0 +1,60 @@
+#ifndef GRAPHDANCE_NET_MESSAGE_H_
+#define GRAPHDANCE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graphdance {
+
+/// Message classes exchanged between workers. `kWeightReport` is the
+/// progress-tracking traffic singled out by the paper's Figure 11; all other
+/// kinds count as "other messages".
+enum class MessageKind : uint8_t {
+  kTraverserBatch = 0,  // serialized traversers hopping to a remote partition
+  kWeightReport,        // coalesced finished weight -> query coordinator
+  kFinalize,            // coordinator -> workers: a scope completed
+  kCollectReply,        // worker -> coordinator: partial aggregate payload
+  kResultRow,           // worker -> coordinator: emitted result rows
+  kControl,             // query lifecycle control (start/cleanup/txn ops)
+  kNumKinds,
+};
+
+inline const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kTraverserBatch:
+      return "TraverserBatch";
+    case MessageKind::kWeightReport:
+      return "WeightReport";
+    case MessageKind::kFinalize:
+      return "Finalize";
+    case MessageKind::kCollectReply:
+      return "CollectReply";
+    case MessageKind::kResultRow:
+      return "ResultRow";
+    case MessageKind::kControl:
+      return "Control";
+    default:
+      return "?";
+  }
+}
+
+/// One logical message between two workers. Cross-node messages are carried
+/// inside frames by the two-tier I/O scheduler; same-node messages take the
+/// shared-memory shortcut.
+struct Message {
+  MessageKind kind = MessageKind::kControl;
+  uint32_t src_worker = 0;
+  uint32_t dst_worker = 0;
+  uint64_t query_id = 0;
+  uint32_t scope_id = 0;
+  uint64_t weight = 0;              // kWeightReport: coalesced finished weight
+  uint64_t tag = 0;                 // kind-specific discriminator
+  std::vector<uint8_t> payload;     // kind-specific serialized body
+
+  /// Approximate wire size used by the link model.
+  size_t WireSize() const { return 40 + payload.size(); }
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_NET_MESSAGE_H_

@@ -1,0 +1,222 @@
+#ifndef GRAPHDANCE_PSTM_MEMO_H_
+#define GRAPHDANCE_PSTM_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/small_vector.h"
+#include "common/value.h"
+#include "graph/types.h"
+#include "pstm/traverser.h"
+
+namespace graphdance {
+
+/// Base class for per-partition, per-step mutable execution state — the
+/// paper's query memoranda M_p (§III-B). Memo records are created lazily by
+/// the step that owns them, are visible only to traversers of the creating
+/// query executing in the same partition, and are destroyed when the query
+/// terminates.
+class MemoState {
+ public:
+  virtual ~MemoState() = default;
+};
+
+/// Memo for distance-pruned multi-hop expansion (Fig. 5): best-known hop
+/// count per vertex. A traverser is pruned when its traversed distance is
+/// no less than the recorded shortest distance.
+class DistanceMemo : public MemoState {
+ public:
+  /// Returns true when a visit at `hop` improves on the recorded distance
+  /// (and records it); false when the traverser should be pruned.
+  bool TryImprove(VertexId v, uint16_t hop) {
+    auto [it, inserted] = best_.try_emplace(v, hop);
+    if (inserted) return true;
+    if (hop < it->second) {
+      it->second = hop;
+      return true;
+    }
+    return false;
+  }
+
+  /// Best-known distance, or nullptr when unvisited.
+  const uint16_t* Lookup(VertexId v) const {
+    auto it = best_.find(v);
+    return it == best_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return best_.size(); }
+
+ private:
+  std::unordered_map<VertexId, uint16_t> best_;
+};
+
+/// Memo for the Dedup step: the set of already-seen keys in this partition.
+class DedupMemo : public MemoState {
+ public:
+  /// Returns true on first sight of `key` (traverser passes), false on a
+  /// duplicate (traverser terminates).
+  bool FirstSight(const Value& key) { return seen_.insert(key).second; }
+
+  size_t size() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<Value, ValueHash> seen_;
+};
+
+/// One buffered input of a double-pipelined join: the traverser's carried
+/// state minus its weight (weights never rest in memos).
+struct JoinEntry {
+  VertexId vertex;
+  SmallVector<Value, 4> vars;
+  std::vector<VertexId> path;
+};
+
+/// Memo for the double-pipelined Join step (paper §III-A): per join key, the
+/// sets of partial-path instances found so far on each side. An arriving
+/// left instance is inserted then immediately probed against all buffered
+/// right instances (and vice versa), producing outputs incrementally.
+class JoinMemo : public MemoState {
+ public:
+  std::vector<JoinEntry>& Side(bool left, const Value& key) {
+    return (left ? left_ : right_)[key];
+  }
+  const std::vector<JoinEntry>* Probe(bool left, const Value& key) const {
+    const auto& table = left ? left_ : right_;
+    auto it = table.find(key);
+    return it == table.end() ? nullptr : &it->second;
+  }
+
+  size_t left_size() const { return left_.size(); }
+  size_t right_size() const { return right_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<JoinEntry>, ValueHash> left_;
+  std::unordered_map<Value, std::vector<JoinEntry>, ValueHash> right_;
+};
+
+/// Aggregation functions supported by grouped and scalar aggregation.
+enum class AggFunc : uint8_t { kCount = 0, kSum, kMin, kMax, kAvg };
+
+/// Commutative/associative accumulator (paper §III-C: such aggregations can
+/// be computed per-partition and merged).
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  Value min;
+  Value max;
+
+  void Update(const Value& v) {
+    ++count;
+    sum += v.ToDouble();
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
+  }
+
+  void Merge(const AggState& other) {
+    count += other.count;
+    sum += other.sum;
+    if (min.is_null() || (!other.min.is_null() && other.min < min)) min = other.min;
+    if (max.is_null() || (!other.max.is_null() && max < other.max)) max = other.max;
+  }
+
+  Value Finish(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value(count);
+      case AggFunc::kSum:
+        return Value(sum);
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+      case AggFunc::kAvg:
+        return Value(count == 0 ? 0.0 : sum / static_cast<double>(count));
+    }
+    return Value();
+  }
+};
+
+/// Memo for grouped aggregation: group key -> accumulator.
+class GroupAggMemo : public MemoState {
+ public:
+  AggState& Group(const Value& key) { return groups_[key]; }
+  const std::unordered_map<Value, AggState, ValueHash>& groups() const {
+    return groups_;
+  }
+
+ private:
+  std::unordered_map<Value, AggState, ValueHash> groups_;
+};
+
+/// Memo for a scalar (ungrouped) aggregate.
+class ScalarAggMemo : public MemoState {
+ public:
+  AggState& state() { return state_; }
+  const AggState& state() const { return state_; }
+
+ private:
+  AggState state_;
+};
+
+/// A result row: the projected values of one output.
+using Row = std::vector<Value>;
+
+/// Memo for distributed top-k: a size-capped, locally-sorted buffer of rows.
+/// Workers keep their local top-k; the coordinator merges them at scope
+/// finalization (local aggregation before global aggregation).
+class TopKMemo : public MemoState {
+ public:
+  std::vector<Row>& rows() { return rows_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// All memoranda of one partition: (query, step) -> state. Owned and
+/// accessed by exactly one worker (shared-nothing), so no locking.
+class MemoTable {
+ public:
+  /// Gets or creates the state of type T for (query, step).
+  template <typename T>
+  T& GetOrCreate(uint64_t query_id, uint32_t step_id) {
+    auto& slot = states_[Key(query_id, step_id)];
+    if (slot == nullptr) slot = std::make_unique<T>();
+    return static_cast<T&>(*slot);
+  }
+
+  /// Looks up existing state or returns nullptr.
+  template <typename T>
+  T* Find(uint64_t query_id, uint32_t step_id) {
+    auto it = states_.find(Key(query_id, step_id));
+    return it == states_.end() ? nullptr : static_cast<T*>(it->second.get());
+  }
+
+  /// Drops every memo record owned by `query_id` (automatic cleanup after
+  /// query termination, per the memoranda lifetime rule).
+  void ClearQuery(uint64_t query_id) {
+    for (auto it = states_.begin(); it != states_.end();) {
+      if ((it->first >> 20) == query_id) {
+        it = states_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t size() const { return states_.size(); }
+
+ private:
+  static uint64_t Key(uint64_t query_id, uint32_t step_id) {
+    return (query_id << 20) | step_id;
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<MemoState>> states_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_PSTM_MEMO_H_

@@ -1,0 +1,106 @@
+#include "pstm/plan.h"
+
+#include <deque>
+
+#include "pstm/steps.h"
+
+namespace graphdance {
+
+std::vector<uint16_t> Plan::SuccessorsOf(uint16_t id) const {
+  std::vector<uint16_t> out;
+  const Step& s = *steps_[id];
+  if (s.next() != kNoStep) out.push_back(s.next());
+  for (uint16_t extra : s.ExtraSuccessors()) {
+    if (extra != kNoStep && extra != id) out.push_back(extra);
+  }
+  return out;
+}
+
+Status Plan::Finalize() {
+  if (finalized_) return Status::OK();
+  if (roots_.empty()) return Status::InvalidArgument("plan has no roots");
+  for (uint16_t r : roots_) {
+    if (r >= steps_.size()) return Status::InvalidArgument("root out of range");
+  }
+
+  // Propagate scopes from the roots: passing through a blocking step
+  // increments the scope of its downstream steps.
+  for (auto& s : steps_) s->scope_ = 0;
+  std::vector<bool> visited(steps_.size(), false);
+  std::deque<uint16_t> queue;
+  for (uint16_t r : roots_) {
+    steps_[r]->scope_ = 0;
+    if (!visited[r]) {
+      visited[r] = true;
+      queue.push_back(r);
+    }
+  }
+  while (!queue.empty()) {
+    uint16_t id = queue.front();
+    queue.pop_front();
+    const Step& s = *steps_[id];
+    uint32_t succ_scope = s.scope_ + (s.blocking() ? 1 : 0);
+    for (uint16_t nxt : SuccessorsOf(id)) {
+      if (nxt >= steps_.size()) {
+        return Status::InvalidArgument("step successor out of range");
+      }
+      if (!visited[nxt]) {
+        visited[nxt] = true;
+        steps_[nxt]->scope_ = succ_scope;
+        queue.push_back(nxt);
+      } else if (steps_[nxt]->scope_ != succ_scope) {
+        return Status::InvalidArgument(
+            "step " + std::to_string(nxt) + " reachable under two scopes");
+      }
+    }
+  }
+
+  // Collect scope closers: exactly one blocking step may close each scope.
+  num_scopes_ = 1;
+  for (const auto& s : steps_) {
+    if (visited[s->id()] && s->blocking()) {
+      num_scopes_ = std::max(num_scopes_, s->scope_ + 2);
+    }
+  }
+  scope_closers_.assign(num_scopes_, kNoStep);
+  for (const auto& s : steps_) {
+    if (!visited[s->id()] || !s->blocking()) continue;
+    if (scope_closers_[s->scope_] != kNoStep) {
+      return Status::InvalidArgument(
+          "scope " + std::to_string(s->scope_) + " has two blocking steps");
+    }
+    scope_closers_[s->scope_] = s->id();
+  }
+  // Scopes 0..num_scopes_-2 must each have a closer; the final scope has
+  // none (query ends when its weight completes).
+  for (uint32_t sc = 0; sc + 1 < num_scopes_; ++sc) {
+    if (scope_closers_[sc] == kNoStep) {
+      return Status::InvalidArgument("scope " + std::to_string(sc) +
+                                     " has no blocking closer");
+    }
+  }
+
+  // Record a terminal Emit limit for coordinator-side early termination.
+  result_limit_ = 0;
+  for (const auto& s : steps_) {
+    if (visited[s->id()] && s->kind() == StepKind::kEmit) {
+      result_limit_ = static_cast<const EmitStep&>(*s).limit();
+    }
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::string Plan::Describe() const {
+  std::string out;
+  for (const auto& s : steps_) {
+    out += "#" + std::to_string(s->id()) + " [scope " + std::to_string(s->scope_) +
+           "] " + s->Describe();
+    if (s->next() != kNoStep) out += " -> #" + std::to_string(s->next());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace graphdance

@@ -1,0 +1,70 @@
+#ifndef GRAPHDANCE_PSTM_PLAN_H_
+#define GRAPHDANCE_PSTM_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pstm/step.h"
+
+namespace graphdance {
+
+/// A compiled traversal program Psi: an immutable DAG of steps plus the
+/// pipeline roots that receive the initial traversers. Scopes (progress-
+/// tracking stages) are assigned at Finalize time: every blocking step
+/// closes its scope, and its downstream steps belong to the next scope.
+class Plan {
+ public:
+  /// Adds a step, assigning its id. Returns a non-owning pointer for wiring.
+  template <typename T>
+  T* Add(std::unique_ptr<T> step) {
+    T* raw = step.get();
+    raw->id_ = static_cast<uint16_t>(steps_.size());
+    steps_.push_back(std::move(step));
+    return raw;
+  }
+
+  /// Marks `step` as a pipeline root (receives initial traversers).
+  void AddRoot(uint16_t step_id) { roots_.push_back(step_id); }
+
+  /// Assigns scopes and validates the DAG. Must be called once after all
+  /// steps are wired and before execution.
+  Status Finalize();
+
+  const Step& step(uint16_t id) const { return *steps_[id]; }
+  size_t num_steps() const { return steps_.size(); }
+  const std::vector<uint16_t>& roots() const { return roots_; }
+  uint32_t num_scopes() const { return num_scopes_; }
+
+  /// The blocking step closing scope `s`, or kNoStep when `s` is the final
+  /// scope (query completes when it terminates).
+  uint16_t scope_closer(uint32_t s) const { return scope_closers_[s]; }
+
+  bool finalized() const { return finalized_; }
+
+  /// Result-row limit declared by a terminal Emit step (0 = unlimited). The
+  /// engines cancel the query early once the coordinator holds this many
+  /// rows (scoped early termination).
+  size_t result_limit() const { return result_limit_; }
+
+  /// Multi-line plan dump for debugging and tests.
+  std::string Describe() const;
+
+ private:
+  /// Successor step ids of `id` for scope propagation: next() plus any
+  /// step-specific extra edges (tee targets, loop-back edges are ignored
+  /// for scope purposes as they stay within the same scope).
+  std::vector<uint16_t> SuccessorsOf(uint16_t id) const;
+
+  std::vector<std::unique_ptr<Step>> steps_;
+  std::vector<uint16_t> roots_;
+  std::vector<uint16_t> scope_closers_;
+  uint32_t num_scopes_ = 1;
+  size_t result_limit_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_PSTM_PLAN_H_

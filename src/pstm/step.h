@@ -1,0 +1,184 @@
+#ifndef GRAPHDANCE_PSTM_STEP_H_
+#define GRAPHDANCE_PSTM_STEP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/value.h"
+#include "graph/partition_store.h"
+#include "graph/partitioner.h"
+#include "graph/schema.h"
+#include "pstm/memo.h"
+#include "pstm/traverser.h"
+#include "sim/cost_model.h"
+
+namespace graphdance {
+
+inline constexpr uint16_t kNoStep = 0xffff;
+
+/// Sentinel returned by Step::Route meaning "execute in the partition where
+/// the traverser was emitted" (local accumulation, no routing hop).
+inline constexpr PartitionId kLocalRoute = 0xffffffffu;
+
+/// Step kinds (for plan printing and tests).
+enum class StepKind : uint8_t {
+  kIndexLookup = 0,
+  kExpand,
+  kFilter,
+  kProject,
+  kDedup,
+  kJoinProbe,
+  kGroupBy,
+  kOrderByLimit,
+  kScalarAgg,
+  kEmit,
+};
+
+const char* StepKindName(StepKind kind);
+
+/// Coordinator-side scratch state while merging one blocking step's
+/// CollectReply payloads.
+struct CollectMergeState {
+  std::vector<Row> rows;
+  AggState agg;
+  uint32_t replies = 0;
+};
+
+/// The services a step implementation receives from the executing engine.
+/// One StepContext is bound to (worker, partition, query) for the duration
+/// of a step execution; all mutation flows through it so the same step code
+/// runs under the asynchronous, BSP and shared-memory engines.
+class StepContext {
+ public:
+  virtual ~StepContext() = default;
+
+  virtual const PartitionStore& store() const = 0;
+  virtual MemoTable& memo() = 0;
+  virtual const Partitioner& partitioner() const = 0;
+  virtual const Schema& schema() const = 0;
+  virtual uint64_t query_id() const = 0;
+  virtual Timestamp read_ts() const = 0;
+  virtual Rng& rng() = 0;
+
+  /// Charges virtual CPU time to the executing worker.
+  virtual void Charge(CostKind kind, uint64_t count) = 0;
+  void Charge(CostKind kind) { Charge(kind, 1); }
+
+  /// Hands a traverser to the engine for (possibly remote) continuation.
+  /// The engine routes it via Step::Route of its target step.
+  virtual void Emit(Traverser t) = 0;
+
+  /// Reports `w` finished weight for scope `scope` to the progress tracker
+  /// (subject to weight coalescing).
+  virtual void Finish(uint32_t scope, Weight w) = 0;
+
+  /// Streams one result row to the query coordinator.
+  virtual void EmitRow(Row row) = 0;
+
+  /// Sends a blocking step's per-partition finalization payload to the
+  /// coordinator (CollectReply).
+  virtual void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) = 0;
+};
+
+/// Immutable description of one traversal step psi. Step objects carry only
+/// configuration and are shared read-only across all workers; all mutable
+/// execution state lives in partition memoranda.
+class Step {
+ public:
+  explicit Step(StepKind kind) : kind_(kind) {}
+  virtual ~Step() = default;
+  Step(const Step&) = delete;
+  Step& operator=(const Step&) = delete;
+
+  StepKind kind() const { return kind_; }
+  uint16_t id() const { return id_; }
+  uint16_t next() const { return next_; }
+  uint32_t scope() const { return scope_; }
+  bool blocking() const { return blocking_; }
+
+  void set_next(uint16_t next) { next_ = next; }
+
+  /// Shifts all step-id references by `delta` (used when splicing one
+  /// pipeline's steps after another's, e.g. building joins).
+  void OffsetIds(uint16_t delta) {
+    if (next_ != kNoStep) next_ = static_cast<uint16_t>(next_ + delta);
+    OffsetExtraIds(delta);
+  }
+
+  /// Consumes one input traverser, possibly emitting outputs via `ctx`. The
+  /// implementation must conserve weight: every input's weight is either
+  /// passed to emitted traversers (split via WeightSplitter) or finished.
+  virtual void Execute(Traverser t, StepContext& ctx) const = 0;
+
+  /// Partition where a traverser entering this step must execute (the
+  /// partitioning function h_psi of §III-A). Defaults to the vertex's
+  /// partition H(mu(t)).
+  virtual PartitionId Route(const Traverser& t, const Partitioner& p) const {
+    return p.Of(t.vertex);
+  }
+
+  /// True when the query-start root of a pipeline beginning at this step
+  /// must be broadcast to every partition (e.g. property-index lookups).
+  virtual bool BroadcastRoot() const { return false; }
+
+  /// Known start vertices of a pipeline beginning at this step (point index
+  /// lookups). When non-empty, the engine launches one root traverser per
+  /// vertex at its owning partition instead of broadcasting.
+  virtual std::vector<VertexId> RootVertices() const { return {}; }
+
+  /// Additional successor edges beyond next() (tee targets), used for scope
+  /// assignment. Loop-back self-edges must not be reported.
+  virtual std::vector<uint16_t> ExtraSuccessors() const { return {}; }
+
+  /// Blocking steps only: runs on every worker/partition when the step's
+  /// scope completed; may Emit next-scope traversers (weight handled by the
+  /// engine via the per-worker share) and/or SendCollect payloads.
+  virtual void OnFinalize(StepContext& ctx) const { (void)ctx; }
+
+  /// True when OnFinalize sends a CollectReply from every worker that the
+  /// coordinator must merge before the scope transition completes.
+  virtual bool NeedsCollect() const { return false; }
+
+  /// Coordinator-side: merges one CollectReply payload.
+  virtual void OnCollect(ByteReader* payload, CollectMergeState* state) const {
+    (void)payload;
+    (void)state;
+  }
+
+  /// Coordinator-side: all CollectReplies merged. Appends final rows to
+  /// `result_rows` and/or next-scope continuation traversers (executed at
+  /// the coordinator) to `continuations`.
+  virtual void OnCollectComplete(const CollectMergeState& state,
+                                 std::vector<Row>* result_rows,
+                                 std::vector<Traverser>* continuations) const {
+    (void)state;
+    (void)result_rows;
+    (void)continuations;
+  }
+
+  /// One-line description for plan dumps.
+  virtual std::string Describe() const { return StepKindName(kind_); }
+
+ protected:
+  void set_blocking(bool blocking) { blocking_ = blocking; }
+
+  /// Subclasses holding extra step-id references override this to shift them.
+  virtual void OffsetExtraIds(uint16_t delta) { (void)delta; }
+
+ private:
+  friend class Plan;
+
+  StepKind kind_;
+  uint16_t id_ = kNoStep;
+  uint16_t next_ = kNoStep;
+  uint32_t scope_ = 0;
+  bool blocking_ = false;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_PSTM_STEP_H_

@@ -1,0 +1,588 @@
+#include "pstm/steps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "pstm/weight.h"
+
+namespace graphdance {
+
+const char* StepKindName(StepKind kind) {
+  switch (kind) {
+    case StepKind::kIndexLookup:
+      return "IndexLookup";
+    case StepKind::kExpand:
+      return "Expand";
+    case StepKind::kFilter:
+      return "Filter";
+    case StepKind::kProject:
+      return "Project";
+    case StepKind::kDedup:
+      return "Dedup";
+    case StepKind::kJoinProbe:
+      return "JoinProbe";
+    case StepKind::kGroupBy:
+      return "GroupBy";
+    case StepKind::kOrderByLimit:
+      return "OrderByLimit";
+    case StepKind::kScalarAgg:
+      return "ScalarAgg";
+    case StepKind::kEmit:
+      return "Emit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Evaluates `lhs op rhs` over concrete values.
+bool CompareValues(CmpOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs.Compare(rhs) < 0;
+    case CmpOp::kLe:
+      return lhs.Compare(rhs) <= 0;
+    case CmpOp::kGt:
+      return lhs.Compare(rhs) > 0;
+    case CmpOp::kGe:
+      return lhs.Compare(rhs) >= 0;
+    case CmpOp::kContains:
+      if (lhs.type() != Value::Type::kString || rhs.type() != Value::Type::kString) {
+        return false;
+      }
+      return lhs.as_string().find(rhs.as_string()) != std::string::npos;
+    case CmpOp::kIsNull:
+      return lhs.is_null();
+    case CmpOp::kNotNull:
+      return !lhs.is_null();
+  }
+  return false;
+}
+
+/// Routing key for traverser-local operands (no partition data needed).
+uint64_t LocalKeyHash(const Operand& op, const Traverser& t) {
+  switch (op.kind) {
+    case Operand::Kind::kVar:
+      return op.var < t.vars.size() ? t.vars[op.var].Hash() : 0;
+    case Operand::Kind::kVertexId:
+      return t.vertex;
+    case Operand::Kind::kHop:
+      return t.hop;
+    case Operand::Kind::kConst:
+      return op.constant.Hash();
+    default:
+      return t.vertex;
+  }
+}
+
+/// Route for a key-partitioned step: H(mu(t)) when keyed by vertex (the
+/// paper's h_Dedup), otherwise hash-of-key.
+PartitionId RouteByKey(const Operand& key, const Traverser& t, const Partitioner& p) {
+  if (key.kind == Operand::Kind::kVertexId) return p.Of(t.vertex);
+  return p.OfKey(LocalKeyHash(key, t));
+}
+
+}  // namespace
+
+Value Operand::Eval(const Traverser& t, StepContext& ctx) const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant;
+    case Kind::kProp: {
+      ctx.Charge(CostKind::kPropAccess);
+      const Value* v = ctx.store().PropertyOf(t.vertex, prop, ctx.read_ts());
+      return v == nullptr ? Value() : *v;
+    }
+    case Kind::kVar:
+      return var < t.vars.size() ? t.vars[var] : Value();
+    case Kind::kVertexId:
+      return Value(static_cast<int64_t>(t.vertex));
+    case Kind::kLabel:
+      return Value(static_cast<int64_t>(
+          ctx.store().LabelOf(t.vertex, ctx.read_ts())));
+    case Kind::kHop:
+      return Value(static_cast<int64_t>(t.hop));
+    case Kind::kPathStr: {
+      std::string out;
+      for (VertexId v : t.path) {
+        out += std::to_string(v);
+        out += "->";
+      }
+      out += std::to_string(t.vertex);
+      return Value(std::move(out));
+    }
+    case Kind::kDegree:
+      ctx.Charge(CostKind::kPropAccess);
+      return Value(static_cast<int64_t>(
+          ctx.store().Degree(t.vertex, elabel, dir, ctx.read_ts())));
+    case Kind::kArith: {
+      if (arith == ArithKind::kPair) {
+        return Value(lhs->Eval(t, ctx).ToString() + "|" +
+                     rhs->Eval(t, ctx).ToString());
+      }
+      double a = lhs->Eval(t, ctx).ToDouble();
+      double b = rhs->Eval(t, ctx).ToDouble();
+      switch (arith) {
+        case ArithKind::kAdd:
+          return Value(a + b);
+        case ArithKind::kSub:
+          return Value(a - b);
+        case ArithKind::kMul:
+          return Value(a * b);
+        case ArithKind::kDiv:
+          return Value(b == 0.0 ? 0.0 : a / b);
+        case ArithKind::kPair:
+          break;  // handled above
+      }
+      return Value();
+    }
+  }
+  return Value();
+}
+
+bool Predicate::Eval(const Traverser& t, StepContext& ctx) const {
+  Value l = lhs.Eval(t, ctx);
+  if (op == CmpOp::kIsNull || op == CmpOp::kNotNull) {
+    return CompareValues(op, l, Value());
+  }
+  return CompareValues(op, l, rhs.Eval(t, ctx));
+}
+
+bool RowLess(const Row& a, const Row& b, const std::vector<SortSpec>& specs) {
+  for (const SortSpec& s : specs) {
+    const Value& va = s.col < a.size() ? a[s.col] : Value();
+    const Value& vb = s.col < b.size() ? b[s.col] : Value();
+    int c = va.Compare(vb);
+    if (c != 0) return s.ascending ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+// ---- IndexLookupStep --------------------------------------------------------
+
+void IndexLookupStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  if (next() == kNoStep) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+  if (mode_ == Mode::kByIds) {
+    // Point lookup: the engine placed the root at H(id) with vertex set.
+    if (!ctx.store().HasVertex(t.vertex, ctx.read_ts())) {
+      ctx.Finish(t.scope, t.weight);
+      return;
+    }
+    t.step = next();
+    ctx.Emit(std::move(t));
+    return;
+  }
+
+  std::vector<VertexId> hits;
+  if (mode_ == Mode::kByIndex) {
+    ctx.Charge(CostKind::kMemoOp);  // index probe
+    const std::vector<VertexId>* indexed =
+        ctx.store().IndexLookup(vlabel_, key_, value_);
+    if (indexed != nullptr) hits = *indexed;
+  } else {
+    // Label scan: every static vertex of the label in this partition.
+    const PartitionStore& store = ctx.store();
+    ctx.Charge(CostKind::kPerEdge, std::max<uint64_t>(store.num_vertices(), 1));
+    for (uint32_t local = 0; local < store.num_vertices(); ++local) {
+      if (store.VertexLabel(local) == vlabel_) hits.push_back(store.GlobalId(local));
+    }
+  }
+  if (hits.empty()) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+  WeightSplitter split(t.weight, &ctx.rng());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    Traverser child = t;
+    child.vertex = hits[i];
+    child.step = next();
+    child.weight = (i + 1 == hits.size()) ? split.TakeLast() : split.Take();
+    ctx.Emit(std::move(child));
+  }
+}
+
+std::string IndexLookupStep::Describe() const {
+  switch (mode_) {
+    case Mode::kByIndex:
+      return "IndexLookup(by-index)";
+    case Mode::kScanLabel:
+      return "IndexLookup(label-scan)";
+    default:
+      return "IndexLookup(" + std::to_string(ids_.size()) + " ids)";
+  }
+}
+
+// ---- ExpandStep -------------------------------------------------------------
+
+void ExpandStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+
+  bool first_visit = true;
+  if (loop_hops_ > 0 && use_distance_memo_) {
+    // Memo-assisted pruning (Fig. 5): terminate when a previous traverser
+    // reached this vertex with a less-or-equal traversed distance. A visit
+    // that *improves* a previously recorded distance continues exploring
+    // (Fig. 4c's blue traversers) but must not re-collect the vertex.
+    auto& memo = ctx.memo().GetOrCreate<DistanceMemo>(ctx.query_id(), id());
+    ctx.Charge(CostKind::kMemoOp);
+    first_visit = memo.Lookup(t.vertex) == nullptr;
+    if (!memo.TryImprove(t.vertex, t.hop)) {
+      ctx.Finish(t.scope, t.weight);
+      return;
+    }
+  }
+
+  // Gather qualifying neighbors (applies the edge-property filter inline).
+  struct Nbr {
+    VertexId v;
+    Value prop;
+  };
+  std::vector<Nbr> nbrs;
+  const bool expand = loop_hops_ == 0 || t.hop < loop_hops_;
+  if (expand) {
+    ctx.store().ForEachNeighbor(t.vertex, elabel_, dir_, ctx.read_ts(),
+                                [&](VertexId dst, const Value& eprop) {
+                                  if (edge_filter_op_.has_value() &&
+                                      !CompareValues(*edge_filter_op_, eprop,
+                                                     edge_filter_rhs_)) {
+                                    return;
+                                  }
+                                  nbrs.push_back(Nbr{dst, eprop});
+                                });
+    ctx.Charge(CostKind::kPerEdge, nbrs.empty() ? 1 : nbrs.size());
+  }
+
+  const bool tee =
+      loop_hops_ > 0 && tee_step_ != kNoStep && (first_visit || tee_on_improve_);
+  const uint16_t child_step = loop_hops_ > 0 ? id() : next();
+  size_t outputs = nbrs.size() + (tee ? 1 : 0);
+  if (outputs == 0 || (child_step == kNoStep && !tee)) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+
+  WeightSplitter split(t.weight, &ctx.rng());
+  size_t emitted = 0;
+  if (tee) {
+    ++emitted;
+    Traverser copy = t;
+    copy.step = tee_step_;
+    copy.weight = (emitted == outputs) ? split.TakeLast() : split.Take();
+    ctx.Emit(std::move(copy));
+  }
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    ++emitted;
+    Traverser child = t;
+    child.vertex = nbrs[i].v;
+    child.step = child_step;
+    child.hop = static_cast<uint16_t>(t.hop + 1);
+    if (capture_edge_prop_) child.vars.push_back(nbrs[i].prop);
+    if (track_path_) child.path.push_back(t.vertex);
+    child.weight = (emitted == outputs) ? split.TakeLast() : split.Take();
+    ctx.Emit(std::move(child));
+  }
+}
+
+std::string ExpandStep::Describe() const {
+  std::string s = "Expand(label=" + std::to_string(elabel_);
+  s += dir_ == Direction::kOut ? ",out" : (dir_ == Direction::kIn ? ",in" : ",both");
+  if (loop_hops_ > 0) {
+    s += ",loop=" + std::to_string(loop_hops_);
+    if (use_distance_memo_) s += ",dist-memo";
+  }
+  return s + ")";
+}
+
+// ---- FilterStep -------------------------------------------------------------
+
+void FilterStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  for (const Predicate& p : preds_) {
+    if (!p.Eval(t, ctx)) {
+      ctx.Finish(t.scope, t.weight);
+      return;
+    }
+  }
+  if (next() == kNoStep) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+  t.step = next();
+  ctx.Emit(std::move(t));
+}
+
+std::string FilterStep::Describe() const {
+  return "Filter(" + std::to_string(preds_.size()) + " preds)";
+}
+
+// ---- ProjectStep ------------------------------------------------------------
+
+void ProjectStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  if (next() == kNoStep) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+  SmallVector<Value, 4> vars;
+  if (append_) vars = t.vars;
+  for (const Operand& src : sources_) vars.push_back(src.Eval(t, ctx));
+  t.vars = std::move(vars);
+  t.step = next();
+  ctx.Emit(std::move(t));
+}
+
+std::string ProjectStep::Describe() const {
+  return std::string("Project(") + (append_ ? "append," : "") +
+         std::to_string(sources_.size()) + " ops)";
+}
+
+// ---- DedupStep --------------------------------------------------------------
+
+void DedupStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  Value key = key_.Eval(t, ctx);
+  auto& memo = ctx.memo().GetOrCreate<DedupMemo>(ctx.query_id(), id());
+  ctx.Charge(CostKind::kMemoOp);
+  if (!memo.FirstSight(key) || next() == kNoStep) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+  t.step = next();
+  ctx.Emit(std::move(t));
+}
+
+PartitionId DedupStep::Route(const Traverser& t, const Partitioner& p) const {
+  return RouteByKey(key_, t, p);
+}
+
+std::string DedupStep::Describe() const { return "Dedup"; }
+
+// ---- JoinProbeStep ----------------------------------------------------------
+
+void JoinProbeStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  Value key = key_.Eval(t, ctx);
+  assert(memo_step_ != kNoStep && "join memo step not wired");
+  auto& memo = ctx.memo().GetOrCreate<JoinMemo>(ctx.query_id(), memo_step_);
+
+  // Double-pipelined join: insert into own side, then probe the other side.
+  ctx.Charge(CostKind::kMemoOp, 2);
+  memo.Side(left_, key).push_back(JoinEntry{t.vertex, t.vars, t.path});
+  const std::vector<JoinEntry>* matches = memo.Probe(!left_, key);
+
+  size_t n = matches == nullptr ? 0 : matches->size();
+  // The buffered copy waits in the memo without holding weight; all of the
+  // input's weight flows to the outputs produced by this probe (or finishes).
+  if (n == 0 || next() == kNoStep) {
+    ctx.Finish(t.scope, t.weight);
+    return;
+  }
+  WeightSplitter split(t.weight, &ctx.rng());
+  for (size_t i = 0; i < n; ++i) {
+    const JoinEntry& other = (*matches)[i];
+    // The freshly inserted copy of `t` is in the *own* side table, never in
+    // `matches` (opposite side), so no self-join artifacts arise.
+    Traverser out;
+    out.vertex = t.vertex;
+    out.step = next();
+    out.hop = t.hop;
+    const auto& lvars = left_ ? t.vars : other.vars;
+    const auto& rvars = left_ ? other.vars : t.vars;
+    for (const Value& v : lvars) out.vars.push_back(v);
+    for (const Value& v : rvars) out.vars.push_back(v);
+    const auto& lpath = left_ ? t.path : other.path;
+    const auto& rpath = left_ ? other.path : t.path;
+    out.path.reserve(lpath.size() + rpath.size());
+    out.path.insert(out.path.end(), lpath.begin(), lpath.end());
+    out.path.insert(out.path.end(), rpath.begin(), rpath.end());
+    out.weight = (i + 1 == n) ? split.TakeLast() : split.Take();
+    ctx.Emit(std::move(out));
+  }
+}
+
+PartitionId JoinProbeStep::Route(const Traverser& t, const Partitioner& p) const {
+  return RouteByKey(key_, t, p);
+}
+
+std::string JoinProbeStep::Describe() const {
+  return std::string("JoinProbe(") + (left_ ? "left" : "right") + ")";
+}
+
+// ---- GroupByStep ------------------------------------------------------------
+
+void GroupByStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  Value key = key_.Eval(t, ctx);
+  Value value = value_.Eval(t, ctx);
+  auto& memo = ctx.memo().GetOrCreate<GroupAggMemo>(ctx.query_id(), id());
+  ctx.Charge(CostKind::kMemoOp);
+  memo.Group(key).Update(value);
+  ctx.Finish(t.scope, t.weight);
+}
+
+PartitionId GroupByStep::Route(const Traverser& t, const Partitioner& p) const {
+  return RouteByKey(key_, t, p);
+}
+
+void GroupByStep::OnFinalize(StepContext& ctx) const {
+  if (next() == kNoStep) return;
+  auto* memo = ctx.memo().Find<GroupAggMemo>(ctx.query_id(), id());
+  if (memo == nullptr) return;
+  for (const auto& [key, agg] : memo->groups()) {
+    Traverser t;
+    t.vertex = key_.kind == Operand::Kind::kVertexId
+                   ? static_cast<VertexId>(key.as_int())
+                   : kInvalidVertex;
+    t.step = next();
+    t.vars.push_back(key);
+    t.vars.push_back(agg.Finish(func_));
+    ctx.Emit(std::move(t));  // weight assigned by the engine's finalize share
+  }
+}
+
+std::string GroupByStep::Describe() const { return "GroupBy"; }
+
+// ---- OrderByLimitStep -------------------------------------------------------
+
+void OrderByLimitStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  auto& memo = ctx.memo().GetOrCreate<TopKMemo>(ctx.query_id(), id());
+  ctx.Charge(CostKind::kMemoOp);
+  Row row(t.vars.begin(), t.vars.end());
+  auto& rows = memo.rows();
+  rows.push_back(std::move(row));
+  // Insertion-sort from the back; the buffer stays sorted and capped.
+  for (size_t i = rows.size() - 1; i > 0 && RowLess(rows[i], rows[i - 1], specs_); --i) {
+    std::swap(rows[i], rows[i - 1]);
+  }
+  if (rows.size() > limit_) rows.pop_back();
+  ctx.Finish(t.scope, t.weight);
+}
+
+void OrderByLimitStep::OnFinalize(StepContext& ctx) const {
+  // Local top-k travels to the coordinator: local-then-global aggregation.
+  ByteWriter out;
+  auto* memo = ctx.memo().Find<TopKMemo>(ctx.query_id(), id());
+  uint32_t n = memo == nullptr ? 0 : static_cast<uint32_t>(memo->rows().size());
+  out.WriteU32(n);
+  if (memo != nullptr) {
+    for (const Row& row : memo->rows()) SerializeRow(row, &out);
+  }
+  ctx.SendCollect(id(), out.Take());
+}
+
+void OrderByLimitStep::OnCollect(ByteReader* payload, CollectMergeState* state) const {
+  uint32_t n = payload->ReadU32();
+  for (uint32_t i = 0; i < n; ++i) state->rows.push_back(DeserializeRow(payload));
+}
+
+void OrderByLimitStep::OnCollectComplete(const CollectMergeState& state,
+                                         std::vector<Row>* result_rows,
+                                         std::vector<Traverser>* continuations) const {
+  (void)continuations;
+  std::vector<Row> merged = state.rows;
+  std::sort(merged.begin(), merged.end(),
+            [this](const Row& a, const Row& b) { return RowLess(a, b, specs_); });
+  if (merged.size() > limit_) merged.resize(limit_);
+  for (Row& row : merged) result_rows->push_back(std::move(row));
+}
+
+std::string OrderByLimitStep::Describe() const {
+  return "OrderByLimit(k=" + std::to_string(limit_) + ")";
+}
+
+// ---- ScalarAggStep ----------------------------------------------------------
+
+void ScalarAggStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  Value value = value_.Eval(t, ctx);
+  auto& memo = ctx.memo().GetOrCreate<ScalarAggMemo>(ctx.query_id(), id());
+  ctx.Charge(CostKind::kMemoOp);
+  memo.state().Update(value);
+  ctx.Finish(t.scope, t.weight);
+}
+
+void ScalarAggStep::OnFinalize(StepContext& ctx) const {
+  ByteWriter out;
+  auto* memo = ctx.memo().Find<ScalarAggMemo>(ctx.query_id(), id());
+  SerializeAggState(memo == nullptr ? AggState{} : memo->state(), &out);
+  ctx.SendCollect(id(), out.Take());
+}
+
+void ScalarAggStep::OnCollect(ByteReader* payload, CollectMergeState* state) const {
+  state->agg.Merge(DeserializeAggState(payload));
+}
+
+void ScalarAggStep::OnCollectComplete(const CollectMergeState& state,
+                                      std::vector<Row>* result_rows,
+                                      std::vector<Traverser>* continuations) const {
+  Value result = state.agg.Finish(func_);
+  if (next() == kNoStep) {
+    result_rows->push_back(Row{result});
+    return;
+  }
+  Traverser t;
+  t.step = next();
+  t.vars.push_back(result);
+  continuations->push_back(std::move(t));
+}
+
+std::string ScalarAggStep::Describe() const { return "ScalarAgg"; }
+
+// ---- EmitStep ---------------------------------------------------------------
+
+void EmitStep::Execute(Traverser t, StepContext& ctx) const {
+  ctx.Charge(CostKind::kStepBase);
+  Row row;
+  if (projections_.empty()) {
+    row.assign(t.vars.begin(), t.vars.end());
+  } else {
+    for (const Operand& op : projections_) row.push_back(op.Eval(t, ctx));
+  }
+  ctx.EmitRow(std::move(row));
+  ctx.Finish(t.scope, t.weight);
+}
+
+std::string EmitStep::Describe() const { return "Emit"; }
+
+// ---- payload serde ----------------------------------------------------------
+
+void SerializeRow(const Row& row, ByteWriter* out) {
+  out->WriteU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) v.Serialize(out);
+}
+
+Row DeserializeRow(ByteReader* in) {
+  uint32_t n = in->ReadU32();
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) row.push_back(Value::Deserialize(in));
+  return row;
+}
+
+void SerializeAggState(const AggState& agg, ByteWriter* out) {
+  out->WriteI64(agg.count);
+  out->WriteDouble(agg.sum);
+  agg.min.Serialize(out);
+  agg.max.Serialize(out);
+}
+
+AggState DeserializeAggState(ByteReader* in) {
+  AggState agg;
+  agg.count = in->ReadI64();
+  agg.sum = in->ReadDouble();
+  agg.min = Value::Deserialize(in);
+  agg.max = Value::Deserialize(in);
+  return agg;
+}
+
+}  // namespace graphdance

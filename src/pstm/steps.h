@@ -1,0 +1,466 @@
+#ifndef GRAPHDANCE_PSTM_STEPS_H_
+#define GRAPHDANCE_PSTM_STEPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pstm/step.h"
+
+namespace graphdance {
+
+/// Arithmetic combinators for computed operands. kPair concatenates the two
+/// values into a collision-free "a|b" string — composite join/group keys.
+enum class ArithKind : uint8_t { kAdd = 0, kSub, kMul, kDiv, kPair };
+
+/// A value source evaluated against a traverser in its current partition.
+/// Operands compose: Arith nodes combine two sub-operands numerically,
+/// enabling computed projections (e.g. the PageRank update
+/// 0.15/N + 0.85 * sum).
+struct Operand {
+  enum class Kind : uint8_t {
+    kConst = 0,  // a literal Value
+    kProp,       // property `prop` of the current vertex
+    kVar,        // traverser local variable vars[var]
+    kVertexId,   // the current vertex id as an int
+    kLabel,      // the current vertex label id as an int
+    kHop,        // the traverser's hop counter
+    kPathStr,    // the tracked path (plus current vertex) as "a->b->c"
+    kDegree,     // degree of the current vertex for (elabel, dir)
+    kArith,      // arith(lhs, rhs) evaluated as doubles
+  };
+
+  Kind kind = Kind::kConst;
+  PropKeyId prop = kInvalidPropKey;
+  uint32_t var = 0;
+  Value constant;
+  // kDegree:
+  LabelId elabel = kInvalidLabel;
+  Direction dir = Direction::kOut;
+  // kArith:
+  ArithKind arith = ArithKind::kAdd;
+  std::shared_ptr<const Operand> lhs;
+  std::shared_ptr<const Operand> rhs;
+
+  static Operand Const(Value v) {
+    Operand o;
+    o.kind = Kind::kConst;
+    o.constant = std::move(v);
+    return o;
+  }
+  static Operand Property(PropKeyId key) {
+    Operand o;
+    o.kind = Kind::kProp;
+    o.prop = key;
+    return o;
+  }
+  static Operand Var(uint32_t index) {
+    Operand o;
+    o.kind = Kind::kVar;
+    o.var = index;
+    return o;
+  }
+  static Operand VertexIdOp() {
+    Operand o;
+    o.kind = Kind::kVertexId;
+    return o;
+  }
+  static Operand LabelOp() {
+    Operand o;
+    o.kind = Kind::kLabel;
+    return o;
+  }
+  static Operand HopOp() {
+    Operand o;
+    o.kind = Kind::kHop;
+    return o;
+  }
+  static Operand PathOp() {
+    Operand o;
+    o.kind = Kind::kPathStr;
+    return o;
+  }
+  static Operand Degree(LabelId elabel, Direction dir = Direction::kOut) {
+    Operand o;
+    o.kind = Kind::kDegree;
+    o.elabel = elabel;
+    o.dir = dir;
+    return o;
+  }
+  static Operand Arith(ArithKind op, Operand a, Operand b) {
+    Operand o;
+    o.kind = Kind::kArith;
+    o.arith = op;
+    o.lhs = std::make_shared<Operand>(std::move(a));
+    o.rhs = std::make_shared<Operand>(std::move(b));
+    return o;
+  }
+
+  /// True when evaluation needs no partition data (safe to use for routing
+  /// keys and at key-partitioned steps).
+  bool TraverserLocal() const {
+    switch (kind) {
+      case Kind::kConst:
+      case Kind::kVar:
+      case Kind::kVertexId:
+      case Kind::kHop:
+      case Kind::kPathStr:
+        return true;
+      case Kind::kArith:
+        return lhs->TraverserLocal() && rhs->TraverserLocal();
+      default:
+        return false;
+    }
+  }
+
+  /// Evaluates against `t`. Property access charges `ctx` and reads the
+  /// current partition's store.
+  Value Eval(const Traverser& t, StepContext& ctx) const;
+};
+
+/// Comparison operators for Filter predicates.
+enum class CmpOp : uint8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,  // substring test on strings
+  kIsNull,
+  kNotNull,
+};
+
+/// One predicate `lhs op rhs`. kIsNull/kNotNull ignore rhs.
+struct Predicate {
+  Operand lhs;
+  CmpOp op = CmpOp::kEq;
+  Operand rhs;
+
+  bool Eval(const Traverser& t, StepContext& ctx) const;
+};
+
+/// Sort key for OrderByLimit: row column + direction.
+struct SortSpec {
+  uint32_t col = 0;
+  bool ascending = true;
+};
+
+/// Lexicographic row comparison under `specs`.
+bool RowLess(const Row& a, const Row& b, const std::vector<SortSpec>& specs);
+
+// ---------------------------------------------------------------------------
+
+/// IndexLookup: launches the traversal from explicit vertex ids, from a
+/// secondary-index probe (vlabel, prop == value), or from a full label scan.
+/// With explicit ids the engine places one root per id at its owning
+/// partition; index probes and scans broadcast one root per partition.
+class IndexLookupStep : public Step {
+ public:
+  enum class Mode : uint8_t { kByIds = 0, kByIndex, kScanLabel };
+
+  /// Point lookup by vertex ids.
+  explicit IndexLookupStep(std::vector<VertexId> ids)
+      : Step(StepKind::kIndexLookup), ids_(std::move(ids)) {}
+
+  /// Index probe (requires PartitionedGraph::BuildIndex(vlabel, key)).
+  IndexLookupStep(LabelId vlabel, PropKeyId key, Value value)
+      : Step(StepKind::kIndexLookup),
+        vlabel_(vlabel),
+        key_(key),
+        value_(std::move(value)),
+        mode_(Mode::kByIndex) {}
+
+  /// Full scan of every vertex with `vlabel` (the plan the
+  /// IndexLookUpStrategy rewrites away when an index is available).
+  explicit IndexLookupStep(LabelId vlabel)
+      : Step(StepKind::kIndexLookup), vlabel_(vlabel), mode_(Mode::kScanLabel) {}
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  bool BroadcastRoot() const override { return mode_ != Mode::kByIds; }
+  std::vector<VertexId> RootVertices() const override { return ids_; }
+  std::string Describe() const override;
+
+  Mode mode() const { return mode_; }
+  LabelId vlabel() const { return vlabel_; }
+
+ private:
+  std::vector<VertexId> ids_;
+  LabelId vlabel_ = kInvalidLabel;
+  PropKeyId key_ = kInvalidPropKey;
+  Value value_;
+  Mode mode_ = Mode::kByIds;
+};
+
+/// Expand: moves traversers along (elabel, dir) edges.
+///
+/// Chain mode (loop_hops == 0): each input expands once; every neighbor
+/// continues at next().
+///
+/// Loop mode (loop_hops == k > 0): implements repeat(expand).times(k) with
+/// optional distance-memo pruning (Fig. 5). On arrival the traverser first
+/// checks/updates the shared DistanceMemo (pruning duplicates with
+/// greater-or-equal traversed distance), optionally tees the current vertex
+/// to `tee_step`, and re-emits neighbors to itself while hop < k.
+class ExpandStep : public Step {
+ public:
+  ExpandStep(LabelId elabel, Direction dir) : Step(StepKind::kExpand), elabel_(elabel), dir_(dir) {}
+
+  void set_loop(uint16_t hops, bool use_distance_memo) {
+    loop_hops_ = hops;
+    use_distance_memo_ = use_distance_memo;
+  }
+  void set_tee(uint16_t tee_step) { tee_step_ = tee_step; }
+  /// Tee on every distance improvement instead of only the first visit.
+  /// Required by min-distance queries: the first asynchronous visit of a
+  /// vertex need not carry its minimal distance, but the last improvement
+  /// always does.
+  void set_tee_on_improve(bool v) { tee_on_improve_ = v; }
+  /// Appends the traversed edge's property to the child traverser's vars.
+  void set_capture_edge_prop(bool capture) { capture_edge_prop_ = capture; }
+  /// Filters expanded edges by their edge property (evaluated inline).
+  void set_edge_prop_filter(CmpOp op, Value rhs) {
+    edge_filter_op_ = op;
+    edge_filter_rhs_ = std::move(rhs);
+  }
+  /// Children record the traversal path (Gremlin path()): each expansion
+  /// appends the parent vertex to the child's path vector.
+  void set_track_path(bool v) { track_path_ = v; }
+
+  LabelId elabel() const { return elabel_; }
+  Direction dir() const { return dir_; }
+  uint16_t loop_hops() const { return loop_hops_; }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  std::vector<uint16_t> ExtraSuccessors() const override {
+    return tee_step_ == kNoStep ? std::vector<uint16_t>{}
+                                : std::vector<uint16_t>{tee_step_};
+  }
+  std::string Describe() const override;
+
+ protected:
+  void OffsetExtraIds(uint16_t delta) override {
+    if (tee_step_ != kNoStep) tee_step_ = static_cast<uint16_t>(tee_step_ + delta);
+  }
+
+ private:
+  LabelId elabel_;
+  Direction dir_;
+  uint16_t loop_hops_ = 0;
+  bool use_distance_memo_ = false;
+  uint16_t tee_step_ = kNoStep;
+  bool tee_on_improve_ = false;
+  bool capture_edge_prop_ = false;
+  bool track_path_ = false;
+  std::optional<CmpOp> edge_filter_op_;
+  Value edge_filter_rhs_;
+};
+
+/// Filter: conjunction of predicates; failing traversers terminate.
+class FilterStep : public Step {
+ public:
+  explicit FilterStep(std::vector<Predicate> preds)
+      : Step(StepKind::kFilter), preds_(std::move(preds)) {}
+
+  /// FilterFusionStrategy: adjacent filters merge into one step.
+  void AddPredicate(Predicate p) { preds_.push_back(std::move(p)); }
+  size_t num_predicates() const { return preds_.size(); }
+  const std::vector<Predicate>& predicates() const { return preds_; }
+  /// Removes the predicate at `p`'s address (used by IndexLookUpStrategy
+  /// after the predicate is absorbed into an index probe).
+  void RemovePredicate(const Predicate& p) {
+    for (auto it = preds_.begin(); it != preds_.end(); ++it) {
+      if (&*it == &p) {
+        preds_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<Predicate> preds_;
+};
+
+/// Project: rewrites the traverser's local variables from operand sources.
+/// With append=true the new values are appended after the existing vars.
+class ProjectStep : public Step {
+ public:
+  ProjectStep(std::vector<Operand> sources, bool append = false)
+      : Step(StepKind::kProject), sources_(std::move(sources)), append_(append) {}
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<Operand> sources_;
+  bool append_;
+};
+
+/// Dedup: drops traversers whose key was already seen in the key's
+/// partition (partitionable per §III-A; executed incrementally, no
+/// barriers). The key operand must be traverser-local.
+class DedupStep : public Step {
+ public:
+  explicit DedupStep(Operand key) : Step(StepKind::kDedup), key_(std::move(key)) {}
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  PartitionId Route(const Traverser& t, const Partitioner& p) const override;
+  std::string Describe() const override;
+
+  const Operand& key() const { return key_; }
+
+ private:
+  Operand key_;
+};
+
+/// One side of a double-pipelined join (paper §III-A). Both sides share the
+/// JoinMemo stored under the LEFT step's id. An arriving instance inserts
+/// itself into its side's table, probes the opposite side, and emits one
+/// combined traverser per match (vars = left vars ++ right vars). The join
+/// is partitioned by key, so all state for one key lives in one partition.
+class JoinProbeStep : public Step {
+ public:
+  JoinProbeStep(bool left, Operand key)
+      : Step(StepKind::kJoinProbe), left_(left), key_(std::move(key)) {}
+
+  /// Both sides must point at the left step's id (memo home).
+  void set_memo_step(uint16_t id) { memo_step_ = id; }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  PartitionId Route(const Traverser& t, const Partitioner& p) const override;
+  std::string Describe() const override;
+
+ protected:
+  void OffsetExtraIds(uint16_t delta) override {
+    if (memo_step_ != kNoStep) memo_step_ = static_cast<uint16_t>(memo_step_ + delta);
+  }
+
+ private:
+  bool left_;
+  Operand key_;
+  uint16_t memo_step_ = kNoStep;
+};
+
+/// GroupBy: blocking grouped aggregation, partitioned by group key. During
+/// the scope it accumulates (key -> agg(value)); at finalization each
+/// partition emits one next-scope traverser per local group with
+/// vars = [key, aggregate] (local groups need no cross-partition merge
+/// because the key partitioning makes groups disjoint).
+class GroupByStep : public Step {
+ public:
+  GroupByStep(Operand key, Operand value, AggFunc func)
+      : Step(StepKind::kGroupBy), key_(std::move(key)), value_(std::move(value)), func_(func) {
+    set_blocking(true);
+  }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  PartitionId Route(const Traverser& t, const Partitioner& p) const override;
+  void OnFinalize(StepContext& ctx) const override;
+  std::string Describe() const override;
+
+  const Operand& key() const { return key_; }
+
+ private:
+  Operand key_;
+  Operand value_;
+  AggFunc func_;
+};
+
+/// OrderByLimit: blocking distributed top-k. Rows are the traverser's vars.
+/// Each partition keeps its local top-k in a memo; at finalization the local
+/// buffers travel to the coordinator (CollectReply), which merges, sorts and
+/// truncates — local aggregation before global aggregation.
+class OrderByLimitStep : public Step {
+ public:
+  OrderByLimitStep(std::vector<SortSpec> specs, size_t limit)
+      : Step(StepKind::kOrderByLimit), specs_(std::move(specs)), limit_(limit) {
+    set_blocking(true);
+  }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  /// Rows accumulate where they were produced (local top-k, merged at
+  /// finalization) — no routing hop.
+  PartitionId Route(const Traverser&, const Partitioner&) const override {
+    return kLocalRoute;
+  }
+  void OnFinalize(StepContext& ctx) const override;
+  bool NeedsCollect() const override { return true; }
+  void OnCollect(ByteReader* payload, CollectMergeState* state) const override;
+  void OnCollectComplete(const CollectMergeState& state, std::vector<Row>* result_rows,
+                         std::vector<Traverser>* continuations) const override;
+  std::string Describe() const override;
+
+  size_t limit() const { return limit_; }
+
+ private:
+  std::vector<SortSpec> specs_;
+  size_t limit_;
+};
+
+/// ScalarAgg: blocking ungrouped aggregate. Partitions accumulate locally;
+/// partial AggStates merge at the coordinator. Terminal when next()==kNoStep
+/// (emits a single result row); otherwise the merged value continues as a
+/// single next-scope traverser with vars = [aggregate].
+class ScalarAggStep : public Step {
+ public:
+  ScalarAggStep(Operand value, AggFunc func)
+      : Step(StepKind::kScalarAgg), value_(std::move(value)), func_(func) {
+    set_blocking(true);
+  }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  PartitionId Route(const Traverser& t, const Partitioner& p) const override {
+    return value_.TraverserLocal() ? kLocalRoute : p.Of(t.vertex);
+  }
+  void OnFinalize(StepContext& ctx) const override;
+  bool NeedsCollect() const override { return true; }
+  void OnCollect(ByteReader* payload, CollectMergeState* state) const override;
+  void OnCollectComplete(const CollectMergeState& state, std::vector<Row>* result_rows,
+                         std::vector<Traverser>* continuations) const override;
+  std::string Describe() const override;
+
+ private:
+  Operand value_;
+  AggFunc func_;
+};
+
+/// Emit: terminal non-blocking step streaming projected rows to the
+/// coordinator as they are produced.
+class EmitStep : public Step {
+ public:
+  explicit EmitStep(std::vector<Operand> projections, size_t limit = 0)
+      : Step(StepKind::kEmit), projections_(std::move(projections)), limit_(limit) {
+    local_ok_ = true;
+    for (const Operand& op : projections_) local_ok_ &= op.TraverserLocal();
+  }
+
+  /// Result-count limit; the coordinator cancels the query once reached
+  /// (scoped early termination). 0 = unlimited.
+  size_t limit() const { return limit_; }
+
+  void Execute(Traverser t, StepContext& ctx) const override;
+  PartitionId Route(const Traverser& t, const Partitioner& p) const override {
+    return local_ok_ ? kLocalRoute : p.Of(t.vertex);
+  }
+  std::string Describe() const override;
+
+ private:
+  std::vector<Operand> projections_;
+  size_t limit_;
+  bool local_ok_;
+};
+
+// --- collect payload helpers (shared with engine tests) ---------------------
+
+void SerializeRow(const Row& row, ByteWriter* out);
+Row DeserializeRow(ByteReader* in);
+void SerializeAggState(const AggState& agg, ByteWriter* out);
+AggState DeserializeAggState(ByteReader* in);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_PSTM_STEPS_H_

@@ -1,0 +1,89 @@
+#ifndef GRAPHDANCE_PSTM_TRAVERSER_H_
+#define GRAPHDANCE_PSTM_TRAVERSER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/small_vector.h"
+#include "common/value.h"
+#include "graph/types.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+
+/// A PSTM traverser (paper §III-B): the 4-tuple (v, psi, pi, w) extended
+/// with a scope id (for per-stage progress tracking) and a hop counter.
+struct Traverser {
+  /// Current position mu(t). May be kInvalidVertex for traversers that carry
+  /// only values (e.g. after a projection or inside a join pipeline).
+  VertexId vertex = kInvalidVertex;
+  /// Index into Plan::steps of the step this traverser is about to execute.
+  uint16_t step = 0;
+  /// Path length / loop counter (used by multi-hop expansion and pruning).
+  uint16_t hop = 0;
+  /// Progress-tracking scope (stage) this traverser's weight belongs to.
+  uint32_t scope = 0;
+  /// Progression weight w in Z_2^64.
+  Weight weight = 0;
+  /// Local variables pi, interpreted per step specification (projected
+  /// properties, join attributes, sort keys, ...).
+  SmallVector<Value, 4> vars;
+  /// Optional traversal path (kept only by path-carrying plans like joins
+  /// over patterns; empty otherwise to keep traversers small).
+  std::vector<VertexId> path;
+
+  void Serialize(ByteWriter* out) const {
+    out->WriteU64(vertex);
+    out->WriteU32((static_cast<uint32_t>(step) << 16) | hop);
+    out->WriteU32(scope);
+    out->WriteU64(weight);
+    out->WriteU8(static_cast<uint8_t>(vars.size()));
+    for (const Value& v : vars) v.Serialize(out);
+    out->WriteU32(static_cast<uint32_t>(path.size()));
+    for (VertexId v : path) out->WriteU64(v);
+  }
+
+  static Traverser Deserialize(ByteReader* in) {
+    Traverser t;
+    t.vertex = in->ReadU64();
+    uint32_t sh = in->ReadU32();
+    t.step = static_cast<uint16_t>(sh >> 16);
+    t.hop = static_cast<uint16_t>(sh & 0xffff);
+    t.scope = in->ReadU32();
+    t.weight = in->ReadU64();
+    uint8_t nvars = in->ReadU8();
+    for (uint8_t i = 0; i < nvars; ++i) t.vars.push_back(Value::Deserialize(in));
+    uint32_t plen = in->ReadU32();
+    t.path.reserve(plen);
+    for (uint32_t i = 0; i < plen; ++i) t.path.push_back(in->ReadU64());
+    return t;
+  }
+
+  /// Approximate in-flight size for the network model.
+  size_t WireSize() const {
+    size_t n = 8 + 4 + 4 + 8 + 1 + 4 + 8 * path.size();
+    for (const Value& v : vars) {
+      n += 1;
+      switch (v.type()) {
+        case Value::Type::kNull:
+          break;
+        case Value::Type::kBool:
+          n += 1;
+          break;
+        case Value::Type::kInt:
+        case Value::Type::kDouble:
+          n += 8;
+          break;
+        case Value::Type::kString:
+          n += 4 + v.as_string().size();
+          break;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_PSTM_TRAVERSER_H_

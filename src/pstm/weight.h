@@ -1,0 +1,69 @@
+#ifndef GRAPHDANCE_PSTM_WEIGHT_H_
+#define GRAPHDANCE_PSTM_WEIGHT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace graphdance {
+
+/// Progression weights (paper §III-B / §IV-A). Weights are elements of the
+/// finite abelian group Z_2^64 with wrapping addition. The root traverser of
+/// a scope carries kUnitWeight; splitting a weight w among n children draws
+/// n-1 uniformly random group elements and gives the last child the
+/// remainder, preserving the invariant
+///
+///     sum of active weights + finished weight == kUnitWeight  (mod 2^64).
+///
+/// Termination of a scope is detected when the coalesced finished weight
+/// reaches kUnitWeight; by Theorem 1 the false-positive probability after n
+/// coalesced reports is at most (n-1)/2^64.
+using Weight = uint64_t;
+
+inline constexpr Weight kUnitWeight = 1;
+
+/// Splits `w` into `n` shares summing to `w` (mod 2^64), n >= 1. Shares are
+/// uniform random group elements except the last, which is the remainder.
+inline std::vector<Weight> SplitWeight(Weight w, size_t n, Rng* rng) {
+  std::vector<Weight> shares(n);
+  Weight used = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    shares[i] = rng->Next();
+    used += shares[i];
+  }
+  shares[n - 1] = w - used;  // wrapping subtraction closes the sum
+  return shares;
+}
+
+/// Incremental splitter used on hot paths to avoid allocating a share
+/// vector: call Take() for each child but the last, then TakeLast().
+class WeightSplitter {
+ public:
+  WeightSplitter(Weight total, Rng* rng) : remaining_(total), rng_(rng) {}
+
+  /// A uniformly random share (for a non-final child).
+  Weight Take() {
+    Weight share = rng_->Next();
+    remaining_ -= share;
+    return share;
+  }
+
+  /// The remainder (for the final child). The splitter must not be used
+  /// afterwards.
+  Weight TakeLast() {
+    Weight share = remaining_;
+    remaining_ = 0;
+    return share;
+  }
+
+  Weight remaining() const { return remaining_; }
+
+ private:
+  Weight remaining_;
+  Rng* rng_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_PSTM_WEIGHT_H_

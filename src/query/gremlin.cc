@@ -1,0 +1,288 @@
+#include "query/gremlin.h"
+
+#include <cassert>
+#include <utility>
+
+namespace graphdance {
+
+Traversal& Traversal::V(std::vector<VertexId> ids) {
+  if (!steps_.empty() || !error_.ok()) {
+    error_ = Status::InvalidArgument("V() must start a traversal");
+    return *this;
+  }
+  auto step = std::make_unique<IndexLookupStep>(std::move(ids));
+  roots_.push_back(steps_.size());
+  tails_ = {step.get()};
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Traversal& Traversal::V(std::string_view label, std::string_view prop, Value value) {
+  if (!steps_.empty() || !error_.ok()) {
+    error_ = Status::InvalidArgument("V() must start a traversal");
+    return *this;
+  }
+  auto step = std::make_unique<IndexLookupStep>(VLabel(label), Prop(prop),
+                                                std::move(value));
+  roots_.push_back(steps_.size());
+  tails_ = {step.get()};
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Traversal& Traversal::VAll(std::string_view label) {
+  if (!steps_.empty() || !error_.ok()) {
+    error_ = Status::InvalidArgument("V() must start a traversal");
+    return *this;
+  }
+  auto step = std::make_unique<IndexLookupStep>(VLabel(label));
+  roots_.push_back(steps_.size());
+  tails_ = {step.get()};
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Traversal& Traversal::Append(std::unique_ptr<Step> step) {
+  if (!error_.ok()) return *this;
+  if (steps_.empty()) {
+    error_ = Status::InvalidArgument("traversal must start with V()");
+    return *this;
+  }
+  if (tails_.empty() && pending_tee_ == nullptr) {
+    error_ = Status::InvalidArgument("cannot append after a terminal step");
+    return *this;
+  }
+  uint16_t idx = static_cast<uint16_t>(steps_.size());
+  for (Step* t : tails_) t->set_next(idx);
+  if (pending_tee_ != nullptr) {
+    pending_tee_->set_tee(idx);
+    pending_tee_ = nullptr;
+  }
+  tails_ = {step.get()};
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Traversal& Traversal::AddExpand(std::string_view elabel, Direction dir) {
+  auto step = std::make_unique<ExpandStep>(ELabel(elabel), dir);
+  last_expand_ = step.get();
+  return Append(std::move(step));
+}
+
+Traversal& Traversal::RepeatOut(std::string_view elabel, uint16_t hops, bool dedup,
+                                Direction dir) {
+  auto step = std::make_unique<ExpandStep>(ELabel(elabel), dir);
+  step->set_loop(hops, dedup);
+  ExpandStep* raw = step.get();
+  last_expand_ = raw;
+  Append(std::move(step));
+  if (!error_.ok()) return *this;
+  // The looping expand has no next; visited vertices flow out via the tee
+  // to whatever step is appended next.
+  tails_.clear();
+  pending_tee_ = raw;
+  return *this;
+}
+
+Traversal& Traversal::Has(std::string_view prop, CmpOp op, Value value) {
+  Predicate p;
+  p.lhs = Operand::Property(Prop(prop));
+  p.op = op;
+  p.rhs = Operand::Const(std::move(value));
+  return Where(std::move(p));
+}
+
+Traversal& Traversal::Where(Predicate pred) {
+  return Where(std::vector<Predicate>{std::move(pred)});
+}
+
+Traversal& Traversal::Where(std::vector<Predicate> preds) {
+  if (!error_.ok()) return *this;
+  // FilterFusionStrategy: merge into an immediately preceding filter instead
+  // of adding a new step (fewer dispatches per traverser).
+  if (tails_.size() == 1 && tails_[0]->kind() == StepKind::kFilter &&
+      pending_tee_ == nullptr) {
+    auto* filter = static_cast<FilterStep*>(tails_[0]);
+    for (Predicate& p : preds) filter->AddPredicate(std::move(p));
+    return *this;
+  }
+  return Append(std::make_unique<FilterStep>(std::move(preds)));
+}
+
+Traversal& Traversal::Values(std::string_view prop) {
+  return Project({Operand::Property(Prop(prop))}, /*append=*/true);
+}
+
+Traversal& Traversal::Project(std::vector<Operand> ops, bool append) {
+  return Append(std::make_unique<ProjectStep>(std::move(ops), append));
+}
+
+Traversal& Traversal::Dedup(Operand key) {
+  return Append(std::make_unique<DedupStep>(std::move(key)));
+}
+
+Traversal& Traversal::GroupBy(Operand key, Operand value, AggFunc func) {
+  if (!error_.ok()) return *this;
+  if (!key.TraverserLocal() || !value.TraverserLocal()) {
+    error_ = Status::InvalidArgument(
+        "GroupBy key/value must be traverser-local; Project properties into "
+        "vars first");
+    return *this;
+  }
+  return Append(std::make_unique<GroupByStep>(std::move(key), std::move(value), func));
+}
+
+Traversal& Traversal::OrderByLimit(std::vector<SortSpec> specs, size_t limit) {
+  return Append(std::make_unique<OrderByLimitStep>(std::move(specs), limit));
+}
+
+Traversal& Traversal::ScalarAgg(Operand value, AggFunc func) {
+  return Append(std::make_unique<ScalarAggStep>(std::move(value), func));
+}
+
+Traversal& Traversal::Emit(std::vector<Operand> projections, size_t limit) {
+  return Append(std::make_unique<EmitStep>(std::move(projections), limit));
+}
+
+Traversal& Traversal::CaptureEdgeProp() {
+  if (last_expand_ == nullptr) {
+    error_ = Status::InvalidArgument("CaptureEdgeProp needs a preceding expand");
+    return *this;
+  }
+  last_expand_->set_capture_edge_prop(true);
+  return *this;
+}
+
+Traversal& Traversal::FilterEdgeProp(CmpOp op, Value rhs) {
+  if (last_expand_ == nullptr) {
+    error_ = Status::InvalidArgument("FilterEdgeProp needs a preceding expand");
+    return *this;
+  }
+  last_expand_->set_edge_prop_filter(op, std::move(rhs));
+  return *this;
+}
+
+Traversal& Traversal::TrackPath() {
+  if (last_expand_ == nullptr) {
+    error_ = Status::InvalidArgument("TrackPath needs a preceding expand");
+    return *this;
+  }
+  last_expand_->set_track_path(true);
+  return *this;
+}
+
+Traversal& Traversal::TeeOnImprove() {
+  if (last_expand_ == nullptr || last_expand_->loop_hops() == 0) {
+    error_ = Status::InvalidArgument("TeeOnImprove needs a preceding RepeatOut");
+    return *this;
+  }
+  last_expand_->set_tee_on_improve(true);
+  return *this;
+}
+
+Traversal Traversal::Join(Traversal left, Operand left_key, Traversal right,
+                          Operand right_key) {
+  Traversal out = std::move(left);
+  if (!out.error_.ok()) return out;
+  if (!right.error_.ok()) {
+    out.error_ = right.error_;
+    return out;
+  }
+  if (out.graph_.get() != right.graph_.get()) {
+    out.error_ = Status::InvalidArgument("join branches must share a graph");
+    return out;
+  }
+  if ((out.tails_.empty() && out.pending_tee_ == nullptr) ||
+      (right.tails_.empty() && right.pending_tee_ == nullptr)) {
+    out.error_ = Status::InvalidArgument("join branches must be open-ended");
+    return out;
+  }
+
+  // Splice the right branch's steps after the left's, shifting their ids.
+  uint16_t delta = static_cast<uint16_t>(out.steps_.size());
+  for (auto& step : right.steps_) step->OffsetIds(delta);
+  std::vector<Step*> right_tails = std::move(right.tails_);
+  for (size_t r : right.roots_) out.roots_.push_back(r + delta);
+  for (auto& step : right.steps_) out.steps_.push_back(std::move(step));
+
+  uint16_t left_idx = static_cast<uint16_t>(out.steps_.size());
+  uint16_t right_idx = static_cast<uint16_t>(left_idx + 1);
+  auto lp = std::make_unique<JoinProbeStep>(true, std::move(left_key));
+  auto rp = std::make_unique<JoinProbeStep>(false, std::move(right_key));
+  lp->set_memo_step(left_idx);
+  rp->set_memo_step(left_idx);
+  for (Step* t : out.tails_) t->set_next(left_idx);
+  if (out.pending_tee_ != nullptr) {
+    out.pending_tee_->set_tee(left_idx);
+    out.pending_tee_ = nullptr;
+  }
+  for (Step* t : right_tails) t->set_next(right_idx);
+  if (right.pending_tee_ != nullptr) right.pending_tee_->set_tee(right_idx);
+
+  out.tails_ = {lp.get(), rp.get()};
+  out.steps_.push_back(std::move(lp));
+  out.steps_.push_back(std::move(rp));
+  out.last_expand_ = nullptr;
+  return out;
+}
+
+Result<std::shared_ptr<const Plan>> Traversal::Build() {
+  if (!error_.ok()) return error_;
+  if (steps_.empty()) return Status::InvalidArgument("empty traversal");
+
+  // IndexLookUpStrategy (paper §II-B): a label scan followed by an
+  // equality filter on an indexed property becomes an index probe, and the
+  // satisfied predicate is dropped from the filter.
+  if (steps_.size() >= 2) {
+    auto* lookup = dynamic_cast<IndexLookupStep*>(steps_[0].get());
+    auto* filter = dynamic_cast<FilterStep*>(steps_[1].get());
+    if (lookup != nullptr && filter != nullptr &&
+        lookup->mode() == IndexLookupStep::Mode::kScanLabel &&
+        lookup->next() == 1) {
+      const Predicate* match = nullptr;
+      for (const Predicate& p : filter->predicates()) {
+        if (p.op == CmpOp::kEq && p.lhs.kind == Operand::Kind::kProp &&
+            p.rhs.kind == Operand::Kind::kConst &&
+            graph_->partition(0).HasIndex(lookup->vlabel(), p.lhs.prop)) {
+          match = &p;
+          break;
+        }
+      }
+      if (match != nullptr) {
+        auto rewritten = std::make_unique<IndexLookupStep>(
+            lookup->vlabel(), match->lhs.prop, match->rhs.constant);
+        rewritten->set_next(lookup->next());
+        filter->RemovePredicate(*match);
+        bool was_tail = !tails_.empty() && tails_[0] == steps_[0].get();
+        steps_[0] = std::move(rewritten);
+        if (was_tail) tails_ = {steps_[0].get()};
+      }
+    }
+  }
+
+  // Ensure a terminal: non-blocking tails (or group-by tails, whose groups
+  // would otherwise die silently) get an Emit of the current vars.
+  bool needs_emit = false;
+  for (Step* t : tails_) {
+    if (t->kind() == StepKind::kGroupBy || (!t->blocking() && t->kind() != StepKind::kEmit)) {
+      needs_emit = true;
+    }
+  }
+  if (pending_tee_ != nullptr) needs_emit = true;
+  if (needs_emit) {
+    Emit({});
+    if (!error_.ok()) return error_;
+  }
+
+  auto plan = std::make_shared<Plan>();
+  for (auto& step : steps_) plan->Add(std::move(step));
+  for (size_t r : roots_) plan->AddRoot(static_cast<uint16_t>(r));
+  steps_.clear();
+  roots_.clear();
+  tails_.clear();
+  Status s = plan->Finalize();
+  if (!s.ok()) return s;
+  return std::shared_ptr<const Plan>(plan);
+}
+
+}  // namespace graphdance

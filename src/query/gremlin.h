@@ -1,0 +1,144 @@
+#ifndef GRAPHDANCE_QUERY_GREMLIN_H_
+#define GRAPHDANCE_QUERY_GREMLIN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pstm/plan.h"
+#include "pstm/steps.h"
+
+namespace graphdance {
+
+/// A fluent Gremlin-style builder that compiles directly to a PSTM physical
+/// plan. Mirrors the paper's examples:
+///
+///   // Fig. 1: top-10 weighted vertices within k hops of `start`
+///   auto plan = Traversal(graph)
+///                   .V({start})
+///                   .RepeatOut("link", k, /*dedup=*/true)
+///                   .Project({Operand::VertexIdOp(), weight_prop})
+///                   .OrderByLimit({{1, false}, {0, true}}, 10)
+///                   .Build();
+///
+/// Chaining appends steps and wires next-pointers; Build() finalizes the
+/// plan (assigning scopes) and applies peephole strategies (filter fusion).
+class Traversal {
+ public:
+  explicit Traversal(std::shared_ptr<PartitionedGraph> graph)
+      : graph_(std::move(graph)) {}
+
+  // Move-only: the builder owns its steps.
+  Traversal(Traversal&&) = default;
+  Traversal& operator=(Traversal&&) = default;
+  Traversal(const Traversal&) = delete;
+  Traversal& operator=(const Traversal&) = delete;
+
+  /// Starts from explicit vertex ids.
+  Traversal& V(std::vector<VertexId> ids);
+  /// Starts from a secondary-index probe (IndexLookUpStrategy applied: the
+  /// logical scan+filter becomes an index lookup).
+  Traversal& V(std::string_view label, std::string_view prop, Value value);
+  /// Starts from a full scan of every vertex with `label`. A following
+  /// Has(prop, ==, value) is rewritten into an index lookup at Build time
+  /// when the index exists (IndexLookUpStrategy).
+  Traversal& VAll(std::string_view label);
+
+  /// Single-hop expansion along an edge label.
+  Traversal& Out(std::string_view elabel) { return AddExpand(elabel, Direction::kOut); }
+  Traversal& In(std::string_view elabel) { return AddExpand(elabel, Direction::kIn); }
+  Traversal& Both(std::string_view elabel) { return AddExpand(elabel, Direction::kBoth); }
+
+  /// k-hop looping expansion with optional memo-based distance pruning
+  /// (paper Fig. 5). Every visited vertex (including the start) flows to the
+  /// step appended after this call (the tee target).
+  Traversal& RepeatOut(std::string_view elabel, uint16_t hops, bool dedup = true,
+                       Direction dir = Direction::kOut);
+
+  /// Filters on a property / operand predicate.
+  Traversal& Has(std::string_view prop, CmpOp op, Value value);
+  Traversal& Where(Predicate pred);
+  Traversal& Where(std::vector<Predicate> preds);
+
+  /// Appends the current vertex's property (or other operand) to vars.
+  Traversal& Values(std::string_view prop);
+  Traversal& Project(std::vector<Operand> ops, bool append = false);
+
+  /// Memo-backed deduplication (by current vertex unless keyed otherwise).
+  Traversal& Dedup() { return Dedup(Operand::VertexIdOp()); }
+  Traversal& Dedup(Operand key);
+
+  /// Blocking grouped aggregation; emits [key, aggregate] per group.
+  Traversal& GroupBy(Operand key, Operand value, AggFunc func);
+  /// group().by(key).count() shorthand.
+  Traversal& GroupCount(Operand key) {
+    return GroupBy(std::move(key), Operand::Const(Value(int64_t{1})), AggFunc::kCount);
+  }
+
+  /// Blocking distributed top-k over the traverser's vars.
+  Traversal& OrderByLimit(std::vector<SortSpec> specs, size_t limit);
+
+  /// Blocking scalar aggregates.
+  Traversal& Count() {
+    return ScalarAgg(Operand::Const(Value(int64_t{1})), AggFunc::kCount);
+  }
+  Traversal& Sum(Operand value) { return ScalarAgg(std::move(value), AggFunc::kSum); }
+  Traversal& Max(Operand value) { return ScalarAgg(std::move(value), AggFunc::kMax); }
+  Traversal& Min(Operand value) { return ScalarAgg(std::move(value), AggFunc::kMin); }
+  Traversal& ScalarAgg(Operand value, AggFunc func);
+
+  /// Terminal row emission (defaults to emitting the vars). With limit > 0
+  /// the coordinator cancels the query once that many rows arrived.
+  Traversal& Emit(std::vector<Operand> projections = {}, size_t limit = 0);
+
+  /// Double-pipelined join of two branches on equal keys (paper Fig. 3).
+  /// Output vars = left vars ++ right vars; chaining continues after the
+  /// join. Both branches must come from the same graph.
+  static Traversal Join(Traversal left, Operand left_key, Traversal right,
+                        Operand right_key);
+
+  /// Finalizes into an executable plan. Terminal Emit is added when the last
+  /// step is non-blocking and not already an Emit.
+  Result<std::shared_ptr<const Plan>> Build();
+
+  /// Schema helpers (intern on demand).
+  LabelId VLabel(std::string_view name) { return graph_->mutable_schema().VertexLabel(name); }
+  LabelId ELabel(std::string_view name) { return graph_->mutable_schema().EdgeLabel(name); }
+  PropKeyId Prop(std::string_view name) { return graph_->mutable_schema().PropKey(name); }
+
+  const PartitionedGraph& graph() const { return *graph_; }
+
+  /// Low-level escape hatch: append a custom step and wire it after the
+  /// current tail(s).
+  Traversal& Append(std::unique_ptr<Step> step);
+
+  /// Configure the most recent Expand (edge-property capture/filtering).
+  Traversal& CaptureEdgeProp();
+  Traversal& FilterEdgeProp(CmpOp op, Value rhs);
+  /// For a preceding RepeatOut: tee on every distance improvement (needed
+  /// by min-distance queries like LDBC IC13).
+  Traversal& TeeOnImprove();
+  /// For a preceding expand: children record the traversal path (readable
+  /// via Operand::PathOp()).
+  Traversal& TrackPath();
+
+ private:
+  Traversal& AddExpand(std::string_view elabel, Direction dir);
+
+  std::shared_ptr<PartitionedGraph> graph_;
+  std::vector<std::unique_ptr<Step>> steps_;
+  std::vector<size_t> roots_;
+  // Steps whose next() must point at the next appended step. Usually one;
+  // two after a Join (both probes), or a looping expand waiting for its tee.
+  std::vector<Step*> tails_;
+  ExpandStep* pending_tee_ = nullptr;  // RepeatOut waiting for its tee target
+  ExpandStep* last_expand_ = nullptr;
+  Status error_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_QUERY_GREMLIN_H_

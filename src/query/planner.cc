@@ -1,0 +1,145 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace graphdance {
+
+namespace {
+
+Direction Reverse(Direction d) {
+  switch (d) {
+    case Direction::kOut:
+      return Direction::kIn;
+    case Direction::kIn:
+      return Direction::kOut;
+    case Direction::kBoth:
+      return Direction::kBoth;
+  }
+  return Direction::kBoth;
+}
+
+/// Estimated fanout of traversing `hop` in its stated direction.
+double Fanout(const GraphStats& stats, const Schema& schema, const PatternHop& hop,
+              bool reversed) {
+  LabelId el = schema.FindEdgeLabel(hop.elabel);
+  if (el == kInvalidLabel) return 0.0;
+  Direction dir = reversed ? Reverse(hop.dir) : hop.dir;
+  switch (dir) {
+    case Direction::kOut:
+      return stats.AvgOutDegree(el);
+    case Direction::kIn:
+      return stats.AvgInDegree(el);
+    case Direction::kBoth:
+      return stats.AvgOutDegree(el) + stats.AvgInDegree(el);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+JoinPlanChoice ChooseJoinSplit(const GraphStats& stats, const Schema& schema,
+                               const PathPattern& pattern, double card_a,
+                               double card_b) {
+  const size_t n = pattern.hops.size();
+  JoinPlanChoice best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+
+  for (size_t split = 0; split <= n; ++split) {
+    // Forward partial-path cardinalities: A expands hops [0, split).
+    double fwd = card_a;
+    double fwd_sum = card_a;
+    for (size_t i = 0; i < split; ++i) {
+      fwd *= std::max(Fanout(stats, schema, pattern.hops[i], false), 1e-9);
+      fwd_sum += fwd;
+    }
+    // Backward: B expands hops (n, split] in reverse.
+    double bwd = card_b;
+    double bwd_sum = card_b;
+    for (size_t i = n; i > split; --i) {
+      bwd *= std::max(Fanout(stats, schema, pattern.hops[i - 1], true), 1e-9);
+      bwd_sum += bwd;
+    }
+    double total = fwd_sum + bwd_sum;
+    if (total < best.total_cost) {
+      best.split = split;
+      best.cost_forward = fwd;
+      best.cost_backward = bwd;
+      best.total_cost = total;
+    }
+  }
+  best.use_join = best.split > 0 && best.split < n;
+  return best;
+}
+
+Result<Traversal> BuildPathQuery(std::shared_ptr<PartitionedGraph> graph,
+                                 std::vector<VertexId> anchors_a,
+                                 std::vector<VertexId> anchors_b,
+                                 const PathPattern& pattern,
+                                 const JoinPlanChoice& choice) {
+  const size_t n = pattern.hops.size();
+  if (choice.split > n) return Status::InvalidArgument("split out of range");
+
+  auto forward = [&]() {
+    Traversal t(graph);
+    t.V(anchors_a);
+    for (size_t i = 0; i < choice.split; ++i) {
+      const PatternHop& hop = pattern.hops[i];
+      switch (hop.dir) {
+        case Direction::kOut:
+          t.Out(hop.elabel);
+          break;
+        case Direction::kIn:
+          t.In(hop.elabel);
+          break;
+        case Direction::kBoth:
+          t.Both(hop.elabel);
+          break;
+      }
+    }
+    return t;
+  };
+  auto backward = [&]() {
+    Traversal t(graph);
+    t.V(anchors_b);
+    for (size_t i = n; i > choice.split; --i) {
+      const PatternHop& hop = pattern.hops[i - 1];
+      switch (Reverse(hop.dir)) {
+        case Direction::kOut:
+          t.Out(hop.elabel);
+          break;
+        case Direction::kIn:
+          t.In(hop.elabel);
+          break;
+        case Direction::kBoth:
+          t.Both(hop.elabel);
+          break;
+      }
+    }
+    return t;
+  };
+
+  if (choice.use_join) {
+    return Traversal::Join(forward(), Operand::VertexIdOp(), backward(),
+                           Operand::VertexIdOp());
+  }
+  // Unidirectional plan: expand fully from one endpoint and filter on the
+  // other anchor. (Multi-vertex far anchors require the join plan.)
+  const bool from_a = choice.split == n;
+  const std::vector<VertexId>& near = from_a ? anchors_a : anchors_b;
+  const std::vector<VertexId>& far = from_a ? anchors_b : anchors_a;
+  (void)near;
+  if (far.size() != 1) {
+    return Status::InvalidArgument(
+        "unidirectional path plan requires a single far anchor; use the join plan");
+  }
+  Traversal t = from_a ? forward() : backward();
+  Predicate pred;
+  pred.lhs = Operand::VertexIdOp();
+  pred.op = CmpOp::kEq;
+  pred.rhs = Operand::Const(Value(static_cast<int64_t>(far[0])));
+  t.Where(std::move(pred));
+  return t;
+}
+
+}  // namespace graphdance

@@ -1,0 +1,60 @@
+#ifndef GRAPHDANCE_QUERY_PLANNER_H_
+#define GRAPHDANCE_QUERY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/gremlin.h"
+
+namespace graphdance {
+
+/// One hop of a path pattern (edge label + traversal direction).
+struct PatternHop {
+  std::string elabel;
+  Direction dir = Direction::kOut;
+};
+
+/// A path pattern anchored at both endpoints, e.g. the paper's Fig. 3:
+///   Person --knows*--> Person --hasCreator^-1--> Post --hasTag--> Tag.
+struct PathPattern {
+  std::vector<PatternHop> hops;
+};
+
+/// Outcome of the cost-based join-key selection (JoinSelectionStrategy,
+/// paper §III-A): where to break the path into PathA and PathB so the
+/// estimated number of matched partial paths is minimized.
+struct JoinPlanChoice {
+  /// Hops [0, split) traverse forward from A; hops [split, n) traverse
+  /// backward from B. split == n means pure forward expansion, split == 0
+  /// pure backward.
+  size_t split = 0;
+  double cost_forward = 0.0;   // estimated partial instances from A
+  double cost_backward = 0.0;  // estimated partial instances from B
+  double total_cost = 0.0;     // sum of all intermediate cardinalities
+  /// True when an interior split beats both single-direction traversals,
+  /// i.e. the bidirectional join plan should be used.
+  bool use_join = false;
+};
+
+/// Estimates per-hop fanout from graph statistics and picks the split
+/// minimizing total intermediate cardinality. `card_a` / `card_b` are the
+/// anchor-set cardinalities at the two endpoints.
+JoinPlanChoice ChooseJoinSplit(const GraphStats& stats, const Schema& schema,
+                               const PathPattern& pattern, double card_a,
+                               double card_b);
+
+/// Builds the physical traversal for `pattern` between two anchored vertex
+/// sets, using the chosen split: a bidirectional double-pipelined join when
+/// `choice.use_join`, otherwise a unidirectional expansion. The returned
+/// traversal is open-ended at the meeting vertex (vars: [meet vertex id]);
+/// chain aggregations or Emit as needed.
+Result<Traversal> BuildPathQuery(std::shared_ptr<PartitionedGraph> graph,
+                                 std::vector<VertexId> anchors_a,
+                                 std::vector<VertexId> anchors_b,
+                                 const PathPattern& pattern,
+                                 const JoinPlanChoice& choice);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_QUERY_PLANNER_H_

@@ -1,0 +1,100 @@
+#ifndef GRAPHDANCE_RUNTIME_CONFIG_H_
+#define GRAPHDANCE_RUNTIME_CONFIG_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/cost_model.h"
+
+namespace graphdance {
+
+/// I/O scheduling modes for the two-tier message channel (paper §IV-B,
+/// evaluated in Fig. 12).
+enum class IoMode : uint8_t {
+  kSyncSend = 0,  // every message is its own frame (per-frame syscall each)
+  kTlcOnly,       // tier-1 thread-level combining only
+  kTlcNlc,        // tier-1 + tier-2 node-level combining (full GraphDance)
+};
+
+/// Execution engines. All engines run the same step implementations; they
+/// differ in scheduling, state sharing and coordination costs.
+enum class EngineKind : uint8_t {
+  kAsync = 0,   // GraphDance: asynchronous PSTM runtime
+  kBsp,         // superstep execution with global barriers (TigerGraph-style)
+  kShared,      // non-partitioned graph model: node-shared state + locks
+  kGaiaSim,     // dataflow baseline: per-worker operators, centralized agg
+  kBanyanSim,   // scoped-dataflow baseline: per-worker operators
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Per-engine cost/behaviour knobs (see DESIGN.md §1 for the rationale of
+/// each baseline's tuning).
+struct EngineTuning {
+  /// Extra scheduling cost charged per traverser task (dataflow operators).
+  uint64_t per_task_sched_extra_ns = 0;
+  /// Per-query setup cost, multiplied by num_workers * num_steps (dataflow
+  /// systems instantiate every operator in every worker).
+  uint64_t per_worker_setup_ns = 0;
+  /// Route all blocking-step accumulation to worker 0 (GAIA's centralized
+  /// final aggregation).
+  bool centralized_agg = false;
+  /// Node-shared graph/memo state guarded by a per-node lock, with a NUMA
+  /// penalty on data access (the non-partitioned baseline).
+  bool shared_state = false;
+
+  static EngineTuning For(EngineKind kind);
+};
+
+/// Full configuration of a simulated GraphDance cluster.
+struct ClusterConfig {
+  uint32_t num_nodes = 1;
+  uint32_t workers_per_node = 4;
+
+  EngineKind engine = EngineKind::kAsync;
+  IoMode io_mode = IoMode::kTlcNlc;
+
+  /// Tier-1 buffer flush threshold (paper uses 8 KB).
+  size_t flush_threshold_bytes = 8192;
+
+  /// Weight coalescing (paper §IV-A(a)); disable to reproduce Fig. 10/11.
+  bool weight_coalescing = true;
+
+  /// Tasks processed per worker quantum before yielding to the event loop.
+  uint32_t quantum_tasks = 128;
+
+  /// Schedule traversers with shorter history trajectories first (paper
+  /// §III-B: reduces redundant re-expansion after distance improvements).
+  /// Disable for the FIFO ablation.
+  bool shortest_first_scheduling = true;
+
+  /// CPU efficiency multiplier for this deployment (virtual charges divide
+  /// by it). Used by the single-node GraphScope stand-in: its LDBC queries
+  /// are hand-optimized C++ procedures rather than a general traversal
+  /// machine, which the paper's own numbers put at ~3.5x per-core efficiency
+  /// (58% lower latency on 1/8th the hardware). Default 1.0.
+  double cpu_speedup = 1.0;
+
+  /// Simulated per-node memory capacity; datasets larger than this suffer a
+  /// swap penalty on data access (single-node study, §V-A3). Default: no cap.
+  uint64_t memory_cap_bytes = std::numeric_limits<uint64_t>::max();
+  double swap_penalty = 40.0;
+
+  CostModel cost;
+  uint64_t seed = 1;
+
+  /// Fault injection (tests only): silently drop the N-th remote message
+  /// (1-based; 0 = disabled). A dropped traverser's weight never reaches the
+  /// tracker, so termination detection must report the failure rather than
+  /// declare completion or hang forever.
+  uint64_t fault_drop_remote_message = 0;
+
+  uint32_t total_workers() const { return num_nodes * workers_per_node; }
+  /// One partition per worker (shared-nothing ownership).
+  uint32_t num_partitions() const { return total_workers(); }
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_RUNTIME_CONFIG_H_

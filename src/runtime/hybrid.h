@@ -1,0 +1,83 @@
+#ifndef GRAPHDANCE_RUNTIME_HYBRID_H_
+#define GRAPHDANCE_RUNTIME_HYBRID_H_
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/graph.h"
+#include "pstm/plan.h"
+#include "pstm/steps.h"
+#include "runtime/config.h"
+
+namespace graphdance {
+
+/// PowerSwitch-style sync/async selection (the hybrid direction the paper's
+/// related-work section points at): interactive queries run on the
+/// asynchronous PSTM engine, while very large traversals — where global
+/// barriers amortize over huge frontiers (paper Fig. 9, Friendster 4-hop) —
+/// run under BSP. The choice is made per query from a cheap cardinality
+/// estimate over the plan.
+struct HybridChoice {
+  EngineKind engine = EngineKind::kAsync;
+  double estimated_tasks = 0.0;
+};
+
+/// Estimates the traverser count a plan will generate: expansion steps
+/// multiply the frontier by the average degree of their edge label; looping
+/// expansions are capped at the vertex count times the hop count (the
+/// memo-pruned O(k|E|)-style bound).
+inline double EstimatePlanTasks(const Plan& plan, const GraphStats& stats) {
+  double frontier = 1.0;
+  double total = 1.0;
+  const double nv = std::max<double>(1.0, static_cast<double>(stats.num_vertices));
+  for (size_t i = 0; i < plan.num_steps(); ++i) {
+    const Step& step = plan.step(i);
+    if (step.kind() == StepKind::kIndexLookup &&
+        static_cast<const IndexLookupStep&>(step).mode() !=
+            IndexLookupStep::Mode::kByIds) {
+      frontier = std::max(frontier, nv / 16.0);  // scans/index probes fan out
+      total += frontier;
+      continue;
+    }
+    if (step.kind() != StepKind::kExpand) continue;
+    const auto& expand = static_cast<const ExpandStep&>(step);
+    double fanout = std::max(
+        1.0, expand.dir() == Direction::kIn ? stats.AvgInDegree(expand.elabel())
+                                            : stats.AvgOutDegree(expand.elabel()));
+    if (expand.loop_hops() > 0) {
+      // Memo-pruned multi-hop: bounded by (hops * reachable vertices).
+      double reach = frontier;
+      for (uint16_t h = 0; h < expand.loop_hops(); ++h) {
+        reach = std::min(reach * fanout, nv);
+        total += reach;
+      }
+      frontier = reach;
+    } else {
+      frontier *= fanout;
+      total += frontier;
+    }
+  }
+  return total;
+}
+
+/// Chooses the engine for one query. The crossover depends on parallelism
+/// (Fig. 9: BSP only wins whole-graph traversals at low worker counts, where
+/// barriers amortize and async gains little overlap), so the threshold
+/// scales with `num_workers`. Pass `threshold_tasks` to override.
+inline HybridChoice ChooseEngine(const Plan& plan, const GraphStats& stats,
+                                 uint32_t num_workers = 1,
+                                 double threshold_tasks = 0.0) {
+  HybridChoice choice;
+  choice.estimated_tasks = EstimatePlanTasks(plan, stats);
+  if (threshold_tasks <= 0.0) {
+    threshold_tasks = static_cast<double>(stats.num_vertices) *
+                      (0.4 + 0.15 * static_cast<double>(num_workers));
+  }
+  choice.engine = choice.estimated_tasks > threshold_tasks ? EngineKind::kBsp
+                                                           : EngineKind::kAsync;
+  return choice;
+}
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_RUNTIME_HYBRID_H_

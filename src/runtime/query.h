@@ -1,0 +1,47 @@
+#ifndef GRAPHDANCE_RUNTIME_QUERY_H_
+#define GRAPHDANCE_RUNTIME_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pstm/memo.h"
+#include "pstm/plan.h"
+#include "sim/event_queue.h"
+
+namespace graphdance {
+
+/// The outcome of one query: its result rows plus timing.
+struct QueryResult {
+  uint64_t query_id = 0;
+  std::vector<Row> rows;
+  SimTime submit_time = 0;
+  SimTime complete_time = 0;
+  bool done = false;
+  /// True when the query was aborted at its deadline (paper §II-A: systems
+  /// abort interactive queries that miss their time budget). `rows` holds
+  /// whatever had been collected when the deadline fired.
+  bool timed_out = false;
+
+  /// End-to-end virtual latency in microseconds.
+  double LatencyMicros() const {
+    return static_cast<double>(complete_time - submit_time) / 1000.0;
+  }
+};
+
+/// Cluster-wide network statistics (drives Fig. 11 and sanity checks).
+struct NetStats {
+  uint64_t messages_by_kind[8] = {0};
+  uint64_t local_messages = 0;   // same-node shared-memory deliveries
+  uint64_t remote_messages = 0;  // messages carried inside frames
+  uint64_t frames = 0;           // network frames (syscalls) sent
+  uint64_t bytes = 0;            // bytes on the wire
+
+  uint64_t progress_messages() const;
+  uint64_t other_messages() const;
+  void Clear() { *this = NetStats{}; }
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_RUNTIME_QUERY_H_

@@ -1,0 +1,1014 @@
+#include "runtime/sim_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "pstm/steps.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+
+namespace {
+/// Combined key for per-worker coalesced weights.
+uint64_t WeightKey(uint64_t query, uint32_t scope) { return (query << 16) | scope; }
+
+constexpr size_t kFrameHeaderBytes = 64;
+constexpr uint64_t kNlcCombineWindowNs = 4'000;
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAsync:
+      return "graphdance";
+    case EngineKind::kBsp:
+      return "bsp";
+    case EngineKind::kShared:
+      return "non-partitioned";
+    case EngineKind::kGaiaSim:
+      return "gaia-sim";
+    case EngineKind::kBanyanSim:
+      return "banyan-sim";
+  }
+  return "?";
+}
+
+EngineTuning EngineTuning::For(EngineKind kind) {
+  EngineTuning t;
+  switch (kind) {
+    case EngineKind::kAsync:
+    case EngineKind::kBsp:
+      break;
+    case EngineKind::kShared:
+      t.shared_state = true;
+      break;
+    case EngineKind::kGaiaSim:
+      // GAIA instantiates every dataflow operator in every worker and runs
+      // final aggregation in a centralized worker (paper §V-B).
+      t.per_task_sched_extra_ns = 220;
+      t.per_worker_setup_ns = 5'000;
+      t.centralized_agg = true;
+      break;
+    case EngineKind::kBanyanSim:
+      // Banyan's scoped dataflow: cheaper per-task control than GAIA but
+      // still per-worker operator instances.
+      t.per_task_sched_extra_ns = 90;
+      t.per_worker_setup_ns = 3'000;
+      break;
+  }
+  return t;
+}
+
+uint64_t NetStats::progress_messages() const {
+  return messages_by_kind[static_cast<int>(MessageKind::kWeightReport)];
+}
+
+uint64_t NetStats::other_messages() const {
+  uint64_t total = 0;
+  for (int k = 0; k < static_cast<int>(MessageKind::kNumKinds); ++k) {
+    if (k != static_cast<int>(MessageKind::kWeightReport)) total += messages_by_kind[k];
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext: binds step execution to (cluster, worker, partition, query).
+// ---------------------------------------------------------------------------
+
+class ExecContext final : public StepContext {
+ public:
+  enum class Mode {
+    kAsync,     // live asynchronous execution
+    kFinalize,  // OnFinalize: emissions buffered for weight assignment
+    kBsp,       // superstep execution: emissions buffered, weights ignored
+  };
+
+  ExecContext(SimCluster* cluster, SimCluster::Worker* worker,
+              SimCluster::QueryState* qs, PartitionId partition, Mode mode,
+              SimTime* clock)
+      : cluster_(cluster),
+        worker_(worker),
+        qs_(qs),
+        partition_(partition),
+        mode_(mode),
+        clock_(clock) {}
+
+  const PartitionStore& store() const override {
+    return cluster_->graph_->partition(partition_);
+  }
+  MemoTable& memo() override { return cluster_->memos_[partition_]; }
+  const Partitioner& partitioner() const override {
+    return cluster_->graph_->partitioner();
+  }
+  const Schema& schema() const override { return cluster_->graph_->schema(); }
+  uint64_t query_id() const override { return qs_->id; }
+  Timestamp read_ts() const override { return qs_->read_ts; }
+  Rng& rng() override { return worker_->rng; }
+
+  void Charge(CostKind kind, uint64_t count) override;
+  using StepContext::Charge;
+
+  void Emit(Traverser t) override {
+    if (mode_ == Mode::kAsync) {
+      cluster_->EmitTraverser(*worker_, *qs_, partition_, std::move(t));
+    } else {
+      emitted_.push_back(std::move(t));
+    }
+  }
+
+  void Finish(uint32_t scope, Weight w) override;
+
+  void EmitRow(Row row) override;
+
+  void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) override;
+
+  std::vector<Traverser>& emitted() { return emitted_; }
+  SimTime* clock() { return clock_; }
+
+ private:
+  SimCluster* cluster_;
+  SimCluster::Worker* worker_;
+  SimCluster::QueryState* qs_;
+  PartitionId partition_;
+  Mode mode_;
+  SimTime* clock_;
+  std::vector<Traverser> emitted_;
+};
+
+void ExecContext::Charge(CostKind kind, uint64_t count) {
+  cluster_->charge_counts_[static_cast<int>(kind)] += count;
+  const CostModel& cost = cluster_->config_.cost;
+  double ns = static_cast<double>(cost.Of(kind)) * static_cast<double>(count) /
+              cluster_->config_.cpu_speedup;
+  const bool data_access = kind == CostKind::kPerEdge ||
+                           kind == CostKind::kPropAccess ||
+                           kind == CostKind::kMemoOp;
+  if (data_access) {
+    if (cluster_->tuning_.shared_state) ns *= cost.numa_penalty;
+    if (cluster_->swap_thrashing_) ns *= cluster_->config_.swap_penalty;
+  }
+  // Non-partitioned state is latched: memo accesses serialize on the node
+  // lock, modelling inter-thread synchronization on shared query state.
+  if (cluster_->tuning_.shared_state && kind == CostKind::kMemoOp) {
+    SimTime& lock = cluster_->node_lock_busy_[worker_->node];
+    SimTime start = std::max(*clock_, lock);
+    *clock_ = start + cost.lock_acquire_ns + static_cast<SimTime>(ns);
+    lock = *clock_;
+    return;
+  }
+  *clock_ += static_cast<SimTime>(ns);
+}
+
+void ExecContext::Finish(uint32_t scope, Weight w) {
+  if (mode_ == Mode::kBsp) return;  // BSP detects quiescence via barriers
+  if (cluster_->config_.weight_coalescing) {
+    *clock_ += cluster_->config_.cost.weight_track_ns;
+    worker_->pending_weights[WeightKey(qs_->id, scope)] += w;
+    return;
+  }
+  // Uncoalesced: one report message per finished traverser (Fig. 10/11
+  // ablation). Same-worker reports still charge the tracker.
+  Message m;
+  m.kind = MessageKind::kWeightReport;
+  m.src_worker = worker_->id;
+  m.dst_worker = qs_->coordinator;
+  m.query_id = qs_->id;
+  m.scope_id = scope;
+  m.weight = w;
+  if (qs_->coordinator == worker_->id) {
+    cluster_->HandleWeight(*qs_, scope, w, *worker_);
+  } else {
+    cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
+    cluster_->Send(*worker_, std::move(m));
+  }
+}
+
+void ExecContext::EmitRow(Row row) {
+  if (mode_ == Mode::kBsp) {
+    qs_->result.rows.push_back(std::move(row));
+    cluster_->net_stats_.messages_by_kind[static_cast<int>(MessageKind::kResultRow)]++;
+    return;
+  }
+  if (qs_->coordinator == worker_->id) {
+    qs_->result.rows.push_back(std::move(row));
+    cluster_->MaybeCancelOnLimit(*qs_, worker_->now);
+    return;
+  }
+  ByteWriter out;
+  SerializeRow(row, &out);
+  Message m;
+  m.kind = MessageKind::kResultRow;
+  m.src_worker = worker_->id;
+  m.dst_worker = qs_->coordinator;
+  m.query_id = qs_->id;
+  m.payload = out.Take();
+  cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
+  cluster_->Send(*worker_, std::move(m));
+}
+
+void ExecContext::SendCollect(uint32_t step_id, std::vector<uint8_t> payload) {
+  if (mode_ == Mode::kBsp) {
+    // The BSP driver merges collects synchronously via the merge state.
+    ByteReader reader(payload.data(), payload.size());
+    qs_->plan->step(static_cast<uint16_t>(step_id)).OnCollect(&reader, &qs_->collect);
+    qs_->collect.replies++;
+    return;
+  }
+  Message m;
+  m.kind = MessageKind::kCollectReply;
+  m.src_worker = worker_->id;
+  m.dst_worker = qs_->coordinator;
+  m.query_id = qs_->id;
+  m.tag = step_id;
+  m.payload = std::move(payload);
+  cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
+  if (qs_->coordinator == worker_->id) {
+    cluster_->HandleCollectReply(*qs_, m, *worker_);
+  } else {
+    cluster_->Send(*worker_, std::move(m));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimCluster
+// ---------------------------------------------------------------------------
+
+SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> graph)
+    : config_(config),
+      tuning_(EngineTuning::For(config.engine)),
+      graph_(std::move(graph)),
+      rng_(config.seed) {
+  if (graph_->num_partitions() != config_.num_partitions()) {
+    GD_ERROR("graph partition count (" + std::to_string(graph_->num_partitions()) +
+             ") must equal cluster worker count (" +
+             std::to_string(config_.num_partitions()) + ")");
+    std::abort();
+  }
+  const uint32_t total = config_.total_workers();
+  workers_.resize(total);
+  memos_.resize(total);
+  for (uint32_t w = 0; w < total; ++w) {
+    workers_[w].id = w;
+    workers_[w].node = NodeOfWorker(w);
+    workers_[w].out.resize(config_.num_nodes);
+    workers_[w].rng.Seed(config_.seed * 7919 + w + 1);
+  }
+  link_busy_.assign(static_cast<size_t>(config_.num_nodes) * config_.num_nodes, 0);
+  egress_.resize(static_cast<size_t>(config_.num_nodes) * config_.num_nodes);
+  node_lock_busy_.assign(config_.num_nodes, 0);
+  node_rr_.assign(config_.num_nodes, 0);
+  swap_thrashing_ =
+      graph_->stats().raw_bytes / config_.num_nodes > config_.memory_cap_bytes;
+}
+
+SimCluster::~SimCluster() = default;
+
+uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
+                            Timestamp read_ts, SimTime deadline_ns) {
+  if (plan == nullptr || !plan->finalized()) {
+    GD_ERROR("Submit requires a finalized plan");
+    std::abort();
+  }
+  uint64_t id = next_query_id_++;
+  QueryState& qs = queries_[id];
+  qs.id = id;
+  qs.plan = std::move(plan);
+  qs.coordinator = static_cast<uint32_t>(id % config_.total_workers());
+  qs.read_ts = read_ts;
+  qs.result.query_id = id;
+  qs.result.submit_time = std::max(at, now());
+  ++pending_queries_;
+
+  if (config_.engine == EngineKind::kBsp) {
+    bsp_queue_.push_back(BspSubmission{id, qs.plan, qs.result.submit_time, read_ts});
+    return id;
+  }
+  events_.Schedule(qs.result.submit_time, [this, id](SimTime t) {
+    auto it = queries_.find(id);
+    if (it != queries_.end()) StartQuery(it->second, t);
+  });
+  if (deadline_ns > 0) {
+    events_.Schedule(qs.result.submit_time + deadline_ns, [this, id](SimTime t) {
+      auto it = queries_.find(id);
+      if (it == queries_.end() || it->second.result.done) return;
+      it->second.result.timed_out = true;
+      CompleteQuery(it->second, t);
+    });
+  }
+  return id;
+}
+
+Status SimCluster::RunToCompletion(uint64_t max_events) {
+  if (config_.engine == EngineKind::kBsp) return RunBspToCompletion();
+  uint64_t ran = events_.RunUntilEmpty(max_events);
+  quiescent_time_ = events_.now();
+  if (!events_.empty()) {
+    return Status::ResourceExhausted("event budget exhausted after " +
+                                     std::to_string(ran) + " events");
+  }
+  if (pending_queries_ > 0) {
+    return Status::Internal(
+        "event queue drained with " + std::to_string(pending_queries_) +
+        " unfinished queries (termination detection failure)");
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> SimCluster::Run(std::shared_ptr<const Plan> plan,
+                                    Timestamp read_ts) {
+  uint64_t id = Submit(std::move(plan), now(), read_ts);
+  Status s = RunToCompletion();
+  if (!s.ok()) return s;
+  return queries_.at(id).result;
+}
+
+const QueryResult& SimCluster::result(uint64_t query_id) const {
+  return queries_.at(query_id).result;
+}
+
+void SimCluster::ApplyAtPartition(PartitionId p, uint64_t cost_ns,
+                                  const std::function<void(PartitionStore&)>& fn) {
+  Worker& w = workers_[WorkerOfPartition(p)];
+  w.now = std::max(w.now, now()) + cost_ns;
+  fn(graph_->partition(p));
+}
+
+// ---- query lifecycle --------------------------------------------------------
+
+void SimCluster::StartQuery(QueryState& qs, SimTime at) {
+  const Plan& plan = *qs.plan;
+  Worker& coord = workers_[qs.coordinator];
+  coord.now = std::max(coord.now, at);
+  // Dataflow baselines pay per-worker operator instantiation at query start.
+  coord.now += tuning_.per_worker_setup_ns * config_.total_workers() *
+               plan.num_steps();
+
+  // Build the root traverser set: the unit weight of scope 0 is split across
+  // every root traverser of every pipeline.
+  struct RootSpec {
+    uint16_t step;
+    PartitionId partition;
+    VertexId vertex;
+  };
+  std::vector<RootSpec> roots;
+  for (uint16_t r : plan.roots()) {
+    const Step& step = plan.step(r);
+    std::vector<VertexId> ids = step.RootVertices();
+    if (!ids.empty()) {
+      for (VertexId v : ids) roots.push_back(RootSpec{r, graph_->PartitionOf(v), v});
+    } else if (step.BroadcastRoot()) {
+      for (PartitionId p = 0; p < config_.num_partitions(); ++p) {
+        roots.push_back(RootSpec{r, p, kInvalidVertex});
+      }
+    } else {
+      roots.push_back(RootSpec{r, static_cast<PartitionId>(qs.coordinator),
+                               kInvalidVertex});
+    }
+  }
+  if (roots.empty()) {
+    CompleteQuery(qs, coord.now);
+    return;
+  }
+  std::vector<Weight> shares = SplitWeight(kUnitWeight, roots.size(), &rng_);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    Traverser t;
+    t.vertex = roots[i].vertex;
+    t.step = roots[i].step;
+    t.scope = plan.step(roots[i].step).scope();
+    t.weight = shares[i];
+    SendTraverser(coord, qs.id, roots[i].partition, std::move(t));
+  }
+  FlushAll(coord);
+}
+
+void SimCluster::HandleWeight(QueryState& qs, uint32_t scope, Weight w,
+                              Worker& at_worker) {
+  Charge(at_worker, CostKind::kTrackerReport, 1);
+  if (qs.result.done) return;
+  if (scope != qs.scope) {
+    // A report for a scope that already completed would indicate lost
+    // tracking; reports for future scopes cannot exist by construction.
+    GD_WARN("weight report for unexpected scope");
+    return;
+  }
+  qs.acc += w;
+  if (qs.acc == kUnitWeight) ScopeComplete(qs, at_worker);
+}
+
+void SimCluster::ScopeComplete(QueryState& qs, Worker& at_worker) {
+  const Plan& plan = *qs.plan;
+  uint16_t closer = plan.scope_closer(qs.scope);
+  if (closer == kNoStep) {
+    CompleteQuery(qs, at_worker.now);
+    return;
+  }
+  const Step& st = plan.step(closer);
+  qs.scope += 1;
+  qs.acc = 0;
+
+  std::vector<Weight> shares;
+  if (st.NeedsCollect()) {
+    qs.collecting = true;
+    qs.collect = CollectMergeState{};
+    qs.replies_expected = config_.num_partitions();
+  } else {
+    shares = SplitWeight(kUnitWeight, config_.total_workers(), &rng_);
+  }
+  for (uint32_t w = 0; w < config_.total_workers(); ++w) {
+    Message m;
+    m.kind = MessageKind::kFinalize;
+    m.src_worker = at_worker.id;
+    m.dst_worker = w;
+    m.query_id = qs.id;
+    m.scope_id = qs.scope;
+    m.tag = closer;
+    m.weight = st.NeedsCollect() ? 0 : shares[w];
+    Charge(at_worker, CostKind::kMsgPack, 1);
+    if (w == at_worker.id) {
+      RunFinalize(at_worker, m);
+    } else {
+      Send(at_worker, std::move(m));
+    }
+  }
+  FlushAll(at_worker);
+}
+
+void SimCluster::HandleCollectReply(QueryState& qs, const Message& msg,
+                                    Worker& at_worker) {
+  Charge(at_worker, CostKind::kTrackerReport, 1);
+  if (qs.result.done || !qs.collecting) return;
+  const Step& st = qs.plan->step(static_cast<uint16_t>(msg.tag));
+  ByteReader reader(msg.payload.data(), msg.payload.size());
+  st.OnCollect(&reader, &qs.collect);
+  if (++qs.collect.replies < qs.replies_expected) return;
+
+  qs.collecting = false;
+  std::vector<Traverser> continuations;
+  st.OnCollectComplete(qs.collect, &qs.result.rows, &continuations);
+  if (continuations.empty()) {
+    CompleteQuery(qs, at_worker.now);
+    return;
+  }
+  std::vector<Weight> shares = SplitWeight(kUnitWeight, continuations.size(), &rng_);
+  for (size_t i = 0; i < continuations.size(); ++i) {
+    Traverser t = std::move(continuations[i]);
+    t.weight = shares[i];
+    EmitTraverser(at_worker, qs, static_cast<PartitionId>(at_worker.id), std::move(t));
+  }
+  FlushAll(at_worker);
+}
+
+void SimCluster::MaybeCancelOnLimit(QueryState& qs, SimTime at) {
+  size_t limit = qs.plan->result_limit();
+  if (limit == 0 || qs.result.done || qs.result.rows.size() < limit) return;
+  // Scoped early termination: enough rows arrived; cancel the remaining
+  // traversal. Workers drop tasks of completed queries; the outstanding
+  // weight is simply never claimed.
+  qs.result.rows.resize(limit);
+  CompleteQuery(qs, at);
+}
+
+void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
+  if (qs.result.done) return;
+  qs.result.done = true;
+  qs.result.complete_time = at;
+  --pending_queries_;
+
+  // Memoranda lifetime: cleared cluster-wide once the creating query ends.
+  Worker& coord = workers_[qs.coordinator];
+  for (uint32_t w = 0; w < config_.total_workers(); ++w) {
+    if (w == coord.id) {
+      memos_[w].ClearQuery(qs.id);
+      continue;
+    }
+    Message m;
+    m.kind = MessageKind::kControl;
+    m.src_worker = coord.id;
+    m.dst_worker = w;
+    m.query_id = qs.id;
+    Send(coord, std::move(m));
+  }
+}
+
+// ---- worker execution -------------------------------------------------------
+
+void SimCluster::ScheduleWake(Worker& w, SimTime at) {
+  at = std::max(at, now());
+  if (w.running) return;  // the running quantum reschedules itself as needed
+  if (w.wake_pending && w.next_wake <= at) return;
+  w.wake_pending = true;
+  w.next_wake = at;
+  uint32_t id = w.id;
+  events_.Schedule(at, [this, id](SimTime t) { RunWorker(workers_[id], t); });
+}
+
+void SimCluster::RunWorker(Worker& w, SimTime at) {
+  w.wake_pending = false;
+  w.running = true;
+  w.now = std::max(w.now, at);
+  IngestInbox(w);
+  uint32_t executed = 0;
+  while (executed < config_.quantum_tasks && HasTask(w)) {
+    ExecuteTask(w, PopTask(w));
+    ++executed;
+  }
+  w.running = false;
+  if (HasTask(w) || !w.inbox.empty()) {
+    ScheduleWake(w, w.now);
+    return;
+  }
+  // Idle: flush buffered messages and coalesced weights, then sleep until
+  // the next delivery wakes us (paper §IV-B: flush-before-sleep).
+  FlushAll(w);
+  if (!w.inbox.empty()) ScheduleWake(w, w.now);
+}
+
+void SimCluster::IngestInbox(Worker& w) {
+  while (!w.inbox.empty()) {
+    std::vector<Message> batch;
+    batch.swap(w.inbox);
+    for (Message& m : batch) {
+      Charge(w, CostKind::kMsgUnpack, 1);
+      HandleMessage(w, std::move(m));
+    }
+  }
+}
+
+void SimCluster::HandleMessage(Worker& w, Message msg) {
+  auto qit = queries_.find(msg.query_id);
+  if (qit == queries_.end()) return;
+  QueryState& qs = qit->second;
+  switch (msg.kind) {
+    case MessageKind::kTraverserBatch: {
+      ByteReader reader(msg.payload.data(), msg.payload.size());
+      Traverser t = Traverser::Deserialize(&reader);
+      PushTask(w, Task{msg.query_id, static_cast<PartitionId>(msg.tag), std::move(t)});
+      break;
+    }
+    case MessageKind::kWeightReport:
+      HandleWeight(qs, msg.scope_id, msg.weight, w);
+      break;
+    case MessageKind::kFinalize:
+      RunFinalize(w, msg);
+      break;
+    case MessageKind::kCollectReply:
+      HandleCollectReply(qs, msg, w);
+      break;
+    case MessageKind::kResultRow: {
+      ByteReader reader(msg.payload.data(), msg.payload.size());
+      qs.result.rows.push_back(DeserializeRow(&reader));
+      MaybeCancelOnLimit(qs, w.now);
+      break;
+    }
+    case MessageKind::kControl:
+      memos_[w.id].ClearQuery(msg.query_id);
+      break;
+    default:
+      break;
+  }
+}
+
+void SimCluster::ExecuteTask(Worker& w, Task task) {
+  auto qit = queries_.find(task.query);
+  if (qit == queries_.end() || qit->second.result.done) return;
+  QueryState& qs = qit->second;
+  if (tuning_.per_task_sched_extra_ns > 0) {
+    w.now += tuning_.per_task_sched_extra_ns;
+  }
+  ExecContext ctx(this, &w, &qs, task.partition, ExecContext::Mode::kAsync, &w.now);
+  qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
+  ++w.tasks_executed;
+}
+
+void SimCluster::RunFinalize(Worker& w, const Message& msg) {
+  auto qit = queries_.find(msg.query_id);
+  if (qit == queries_.end() || qit->second.result.done) return;
+  QueryState& qs = qit->second;
+  const Step& st = qs.plan->step(static_cast<uint16_t>(msg.tag));
+  w.now += config_.cost.finalize_ns;
+
+  // Each worker finalizes the partitions it owns (one, in this build).
+  PartitionId partition = static_cast<PartitionId>(w.id);
+  ExecContext ctx(this, &w, &qs, partition, ExecContext::Mode::kFinalize, &w.now);
+  st.OnFinalize(ctx);
+
+  if (!st.NeedsCollect()) {
+    // Continuation protocol: distribute this worker's share of the next
+    // scope's unit weight over the emissions; leftover weight finishes now.
+    uint32_t new_scope = st.scope() + 1;
+    std::vector<Traverser>& emitted = ctx.emitted();
+    if (emitted.empty()) {
+      ExecContext report_ctx(this, &w, &qs, partition, ExecContext::Mode::kAsync,
+                             &w.now);
+      report_ctx.Finish(new_scope, msg.weight);
+    } else {
+      std::vector<Weight> shares = SplitWeight(msg.weight, emitted.size(), &w.rng);
+      for (size_t i = 0; i < emitted.size(); ++i) {
+        Traverser t = std::move(emitted[i]);
+        t.weight = shares[i];
+        EmitTraverser(w, qs, partition, std::move(t));
+      }
+    }
+  }
+  FlushAll(w);
+}
+
+void SimCluster::PushTask(Worker& w, Task task) {
+  // Shortest-trajectory-first bucketing; the FIFO ablation funnels every
+  // task through one bucket.
+  uint16_t bucket = config_.shortest_first_scheduling ? task.trav.hop : 0;
+  w.tasks[bucket].push_back(std::move(task));
+  ++w.num_tasks;
+}
+
+SimCluster::Task SimCluster::PopTask(Worker& w) {
+  auto it = w.tasks.begin();
+  Task task = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) w.tasks.erase(it);
+  --w.num_tasks;
+  return task;
+}
+
+// ---- routing / transport ----------------------------------------------------
+
+void SimCluster::EmitTraverser(Worker& from, QueryState& qs, PartitionId current,
+                               Traverser t) {
+  const Step& target = qs.plan->step(t.step);
+  t.scope = target.scope();
+  PartitionId route = target.Route(t, graph_->partitioner());
+  PartitionId p = route == kLocalRoute ? current : route;
+  if (tuning_.centralized_agg && target.blocking()) p = 0;
+  SendTraverser(from, qs.id, p, std::move(t));
+}
+
+void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partition,
+                               Traverser t) {
+  uint32_t dst = ExecWorkerFor(partition);
+  if (dst == from.id) {
+    PushTask(from, Task{query, partition, std::move(t)});
+    // Ensure the worker is (re)scheduled if this was emitted outside a
+    // running quantum (e.g. query start on an idle worker).
+    ScheduleWake(from, from.now);
+    return;
+  }
+  ByteWriter out(t.WireSize() + 8);
+  t.Serialize(&out);
+  Message m;
+  m.kind = MessageKind::kTraverserBatch;
+  m.src_worker = from.id;
+  m.dst_worker = dst;
+  m.query_id = query;
+  m.tag = partition;
+  m.payload = out.Take();
+  Charge(from, CostKind::kMsgPack, 1);
+  Send(from, std::move(m));
+}
+
+void SimCluster::Send(Worker& from, Message msg) {
+  net_stats_.messages_by_kind[static_cast<int>(msg.kind)]++;
+  uint32_t dst_node = NodeOfWorker(msg.dst_worker);
+  if (dst_node == from.node) {
+    net_stats_.local_messages++;
+    DeliverLocal(from, std::move(msg), from.now + config_.cost.shm_hop_ns);
+    return;
+  }
+  net_stats_.remote_messages++;
+  if (config_.fault_drop_remote_message > 0 &&
+      ++remote_sends_ == config_.fault_drop_remote_message) {
+    return;  // injected fault: the message vanishes on the wire
+  }
+  if (config_.io_mode == IoMode::kSyncSend) {
+    size_t bytes = msg.WireSize();
+    std::vector<Message> one;
+    one.push_back(std::move(msg));
+    SubmitPack(from.node, dst_node, std::move(one), bytes, from.now,
+               /*charge_sender=*/true, &from);
+    return;
+  }
+  TierBuffer& buf = from.out[dst_node];
+  buf.bytes += msg.WireSize();
+  buf.msgs.push_back(std::move(msg));
+  if (buf.bytes >= config_.flush_threshold_bytes) {
+    FlushBuffer(from, dst_node);
+    FlushWeights(from);
+  }
+}
+
+void SimCluster::DeliverLocal(Worker& from, Message msg, SimTime at) {
+  Worker& dst = workers_[msg.dst_worker];
+  dst.inbox.push_back(std::move(msg));
+  if (dst.id != from.id) {
+    ScheduleWake(dst, at);
+  } else {
+    ScheduleWake(dst, from.now);
+  }
+}
+
+void SimCluster::FlushBuffer(Worker& w, uint32_t dst_node) {
+  TierBuffer& buf = w.out[dst_node];
+  if (buf.msgs.empty()) return;
+  std::vector<Message> msgs;
+  msgs.swap(buf.msgs);
+  size_t bytes = buf.bytes;
+  buf.bytes = 0;
+  // In full GraphDance (TLC+NLC) the worker hands the pack to the node's
+  // network thread and keeps computing; otherwise the worker performs the
+  // send syscall itself.
+  bool charge_sender = config_.io_mode != IoMode::kTlcNlc;
+  SubmitPack(w.node, dst_node, std::move(msgs), bytes, w.now, charge_sender, &w);
+}
+
+void SimCluster::FlushAll(Worker& w) {
+  // Weights first: their report messages must ride in this flush, not sit
+  // in a freshly-emptied buffer until the next one.
+  FlushWeights(w);
+  for (uint32_t n = 0; n < config_.num_nodes; ++n) FlushBuffer(w, n);
+}
+
+void SimCluster::FlushWeights(Worker& w) {
+  if (w.pending_weights.empty()) return;
+  auto pending = std::move(w.pending_weights);
+  w.pending_weights.clear();
+  for (const auto& [key, weight] : pending) {
+    uint64_t query = key >> 16;
+    uint32_t scope = static_cast<uint32_t>(key & 0xffff);
+    auto qit = queries_.find(query);
+    if (qit == queries_.end()) continue;
+    QueryState& qs = qit->second;
+    if (qs.coordinator == w.id) {
+      HandleWeight(qs, scope, weight, w);
+      continue;
+    }
+    Message m;
+    m.kind = MessageKind::kWeightReport;
+    m.src_worker = w.id;
+    m.dst_worker = qs.coordinator;
+    m.query_id = query;
+    m.scope_id = scope;
+    m.weight = weight;
+    Charge(w, CostKind::kMsgPack, 1);
+    Send(w, std::move(m));
+  }
+}
+
+void SimCluster::SubmitPack(uint32_t src_node, uint32_t dst_node,
+                            std::vector<Message> msgs, size_t bytes, SimTime at,
+                            bool charge_sender, Worker* sender) {
+  if (charge_sender && sender != nullptr) {
+    // The send syscall runs on the worker's critical path.
+    sender->now += config_.cost.frame_overhead_ns;
+    at = sender->now;
+  }
+  if (config_.io_mode != IoMode::kTlcNlc) {
+    SendFrame(src_node, dst_node, std::move(msgs), bytes, at);
+    return;
+  }
+  // Tier-2 node-level combining: packs submitted within the combining
+  // window ride in one frame, sent by the node's network thread.
+  EgressSlot& slot = egress_[src_node * config_.num_nodes + dst_node];
+  slot.bytes += bytes;
+  for (Message& m : msgs) slot.pending.push_back(std::move(m));
+  if (!slot.send_scheduled) {
+    slot.send_scheduled = true;
+    events_.Schedule(at + kNlcCombineWindowNs, [this, src_node, dst_node](SimTime t) {
+      EgressSlot& s = egress_[src_node * config_.num_nodes + dst_node];
+      s.send_scheduled = false;
+      if (s.pending.empty()) return;
+      std::vector<Message> out;
+      out.swap(s.pending);
+      size_t out_bytes = s.bytes;
+      s.bytes = 0;
+      // The network thread pays the syscall off the workers' critical path.
+      SendFrame(src_node, dst_node, std::move(out), out_bytes,
+                t + config_.cost.frame_overhead_ns);
+    });
+  }
+}
+
+void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
+                           std::vector<Message> msgs, size_t bytes, SimTime at) {
+  net_stats_.frames++;
+  size_t wire_bytes = bytes + kFrameHeaderBytes;
+  net_stats_.bytes += wire_bytes;
+  SimTime& busy = LinkBusy(src_node, dst_node);
+  SimTime start = std::max(at, busy);
+  SimTime end = start + config_.cost.TransmitNs(wire_bytes);
+  busy = end;
+  SimTime delivery = end + config_.cost.link_latency_ns;
+  events_.Schedule(delivery, [this, batch = std::move(msgs)](SimTime t) mutable {
+    DeliverFrame(std::move(batch), t);
+  });
+}
+
+void SimCluster::DeliverFrame(std::vector<Message> msgs, SimTime at) {
+  for (Message& m : msgs) {
+    Worker& dst = workers_[m.dst_worker];
+    dst.inbox.push_back(std::move(m));
+    ScheduleWake(dst, at);
+  }
+}
+
+void SimCluster::Charge(Worker& w, CostKind kind, uint64_t count) {
+  ExecContext ctx(this, &w, nullptr, w.id, ExecContext::Mode::kAsync, &w.now);
+  ctx.Charge(kind, count);
+}
+
+uint32_t SimCluster::ExecWorkerFor(PartitionId p) {
+  if (!tuning_.shared_state) return WorkerOfPartition(p);
+  // Non-partitioned model: any worker on the data's node may execute the
+  // task (shared storage); distribute round-robin.
+  uint32_t node = NodeOfWorker(WorkerOfPartition(p));
+  uint32_t slot = node_rr_[node]++ % config_.workers_per_node;
+  return node * config_.workers_per_node + slot;
+}
+
+// ---- BSP driver ---------------------------------------------------------------
+
+Status SimCluster::RunBspToCompletion() {
+  std::stable_sort(bsp_queue_.begin(), bsp_queue_.end(),
+                   [](const BspSubmission& a, const BspSubmission& b) {
+                     return a.at < b.at;
+                   });
+  for (const BspSubmission& sub : bsp_queue_) {
+    QueryState& qs = queries_.at(sub.id);
+    SimTime start = std::max(sub.at, bsp_clock_);
+    RunBspQuery(qs, start);
+    bsp_clock_ = qs.result.complete_time;
+  }
+  bsp_queue_.clear();
+  quiescent_time_ = bsp_clock_;
+  if (pending_queries_ > 0) {
+    return Status::Internal("BSP driver left unfinished queries");
+  }
+  return Status::OK();
+}
+
+void SimCluster::RunBspQuery(QueryState& qs, SimTime start) {
+  const Plan& plan = *qs.plan;
+  const uint32_t total = config_.total_workers();
+  std::vector<SimTime> wt(total, start);
+  std::vector<std::vector<Task>> cur(total), nxt(total);
+
+  // Root placement (weights unused under BSP).
+  for (uint16_t r : plan.roots()) {
+    const Step& step = plan.step(r);
+    std::vector<VertexId> ids = step.RootVertices();
+    auto place = [&](PartitionId p, VertexId v) {
+      Traverser t;
+      t.vertex = v;
+      t.step = r;
+      t.scope = step.scope();
+      cur[WorkerOfPartition(p)].push_back(Task{qs.id, p, std::move(t)});
+    };
+    if (!ids.empty()) {
+      for (VertexId v : ids) place(graph_->PartitionOf(v), v);
+    } else if (step.BroadcastRoot()) {
+      for (PartitionId p = 0; p < config_.num_partitions(); ++p) {
+        place(p, kInvalidVertex);
+      }
+    } else {
+      place(static_cast<PartitionId>(qs.coordinator), kInvalidVertex);
+    }
+  }
+
+  uint32_t scope = 0;
+  auto route_emissions = [&](uint32_t src_worker, std::vector<Traverser>& emitted,
+                             PartitionId current) {
+    // Per-round exchange bookkeeping: per destination node, bytes combined
+    // into one frame per (worker, dst-node) pair (superstep batching).
+    std::vector<size_t> bytes_to_node(config_.num_nodes, 0);
+    for (Traverser& t : emitted) {
+      const Step& target = plan.step(t.step);
+      t.scope = target.scope();
+      PartitionId route = target.Route(t, graph_->partitioner());
+      PartitionId p = route == kLocalRoute ? current : route;
+      uint32_t dst = WorkerOfPartition(p);
+      if (dst != src_worker) {
+        net_stats_.messages_by_kind[static_cast<int>(MessageKind::kTraverserBatch)]++;
+        // BSP workers serialize/deserialize exchanged traversers too; charge
+        // both ends to the sending round (superstep batching amortizes the
+        // rest of the I/O path).
+        wt[src_worker] += config_.cost.msg_pack_ns + config_.cost.msg_unpack_ns;
+        if (NodeOfWorker(dst) == NodeOfWorker(src_worker)) {
+          net_stats_.local_messages++;
+        } else {
+          net_stats_.remote_messages++;
+          bytes_to_node[NodeOfWorker(dst)] += t.WireSize();
+        }
+      }
+      nxt[dst].push_back(Task{qs.id, p, std::move(t)});
+    }
+    emitted.clear();
+    SimTime max_delivery = wt[src_worker];
+    for (uint32_t n = 0; n < config_.num_nodes; ++n) {
+      if (bytes_to_node[n] == 0) continue;
+      net_stats_.frames++;
+      net_stats_.bytes += bytes_to_node[n] + kFrameHeaderBytes;
+      SimTime& busy = LinkBusy(NodeOfWorker(src_worker), n);
+      SimTime tx_start = std::max(wt[src_worker] + config_.cost.frame_overhead_ns, busy);
+      SimTime end = tx_start + config_.cost.TransmitNs(bytes_to_node[n] + kFrameHeaderBytes);
+      busy = end;
+      max_delivery = std::max(max_delivery, end + config_.cost.link_latency_ns);
+    }
+    return max_delivery;
+  };
+
+  while (true) {
+    // Run supersteps until the current scope's frontier drains.
+    bool any = true;
+    while (any) {
+      any = false;
+      SimTime round_end = 0;
+      for (uint32_t w = 0; w < total; ++w) {
+        if (cur[w].empty()) {
+          round_end = std::max(round_end, wt[w]);
+          continue;
+        }
+        any = true;
+        ExecContext ctx(this, &workers_[w], &qs, static_cast<PartitionId>(w),
+                        ExecContext::Mode::kBsp, &wt[w]);
+        for (Task& task : cur[w]) {
+          ExecContext task_ctx(this, &workers_[w], &qs, task.partition,
+                               ExecContext::Mode::kBsp, &wt[w]);
+          plan.step(task.trav.step).Execute(std::move(task.trav), task_ctx);
+          ++workers_[w].tasks_executed;
+          for (Traverser& t : task_ctx.emitted()) ctx.emitted().push_back(std::move(t));
+        }
+        cur[w].clear();
+        SimTime delivery = route_emissions(w, ctx.emitted(), static_cast<PartitionId>(w));
+        round_end = std::max(round_end, delivery);
+      }
+      if (!any) break;
+      // Global barrier: everyone waits for the slowest worker and the last
+      // in-flight frame (the straggler effect of Fig. 2b).
+      round_end += config_.cost.barrier_ns;
+      for (uint32_t w = 0; w < total; ++w) wt[w] = round_end;
+      for (uint32_t w = 0; w < total; ++w) {
+        cur[w] = std::move(nxt[w]);
+        nxt[w].clear();
+      }
+    }
+
+    SimTime t_quiesce = *std::max_element(wt.begin(), wt.end());
+    uint16_t closer = plan.scope_closer(scope);
+    if (closer == kNoStep) {
+      qs.result.complete_time = t_quiesce;
+      break;
+    }
+    const Step& st = plan.step(closer);
+    qs.collect = CollectMergeState{};
+    for (uint32_t w = 0; w < total; ++w) {
+      wt[w] = t_quiesce + config_.cost.finalize_ns;
+      ExecContext ctx(this, &workers_[w], &qs, static_cast<PartitionId>(w),
+                      ExecContext::Mode::kBsp, &wt[w]);
+      st.OnFinalize(ctx);
+      if (!st.NeedsCollect()) {
+        SimTime delivery = route_emissions(w, ctx.emitted(), static_cast<PartitionId>(w));
+        wt[w] = std::max(wt[w], delivery);
+        for (uint32_t d = 0; d < total; ++d) {
+          if (!nxt[d].empty()) {
+            cur[d].insert(cur[d].end(), std::make_move_iterator(nxt[d].begin()),
+                          std::make_move_iterator(nxt[d].end()));
+            nxt[d].clear();
+          }
+        }
+      }
+    }
+    if (st.NeedsCollect()) {
+      std::vector<Traverser> continuations;
+      st.OnCollectComplete(qs.collect, &qs.result.rows, &continuations);
+      SimTime t = *std::max_element(wt.begin(), wt.end()) +
+                  config_.cost.barrier_ns;  // collect barrier
+      for (uint32_t w = 0; w < total; ++w) wt[w] = t;
+      if (continuations.empty()) {
+        qs.result.complete_time = t;
+        break;
+      }
+      for (Traverser& t2 : continuations) {
+        const Step& target = plan.step(t2.step);
+        t2.scope = target.scope();
+        PartitionId route = target.Route(t2, graph_->partitioner());
+        PartitionId p = route == kLocalRoute
+                            ? static_cast<PartitionId>(qs.coordinator)
+                            : route;
+        cur[WorkerOfPartition(p)].push_back(Task{qs.id, p, std::move(t2)});
+      }
+    }
+    ++scope;
+  }
+
+  if (qs.plan->result_limit() > 0 &&
+      qs.result.rows.size() > qs.plan->result_limit()) {
+    // BSP cannot cancel mid-superstep; it truncates at the end.
+    qs.result.rows.resize(qs.plan->result_limit());
+  }
+  qs.result.done = true;
+  --pending_queries_;
+  for (uint32_t p = 0; p < config_.num_partitions(); ++p) {
+    memos_[p].ClearQuery(qs.id);
+  }
+}
+
+}  // namespace graphdance

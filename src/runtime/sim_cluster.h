@@ -1,0 +1,231 @@
+#ifndef GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_
+#define GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "net/message.h"
+#include "pstm/memo.h"
+#include "pstm/plan.h"
+#include "pstm/traverser.h"
+#include "runtime/config.h"
+#include "runtime/query.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+
+namespace graphdance {
+
+/// A simulated GraphDance cluster: the asynchronous PSTM runtime (plus the
+/// BSP / non-partitioned / dataflow baseline engines) executing real query
+/// plans over a real partitioned graph, with time and parallelism modelled
+/// by a deterministic discrete-event simulation (see DESIGN.md §1).
+///
+/// Usage:
+///   SimCluster cluster(config, graph);
+///   uint64_t q = cluster.Submit(plan, /*at=*/0);
+///   cluster.RunToCompletion();
+///   const QueryResult& r = cluster.result(q);
+class SimCluster {
+ public:
+  SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> graph);
+  ~SimCluster();
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Submits a query arriving at virtual time `at` (clamped to now()).
+  /// `read_ts` is the snapshot timestamp (defaults to "read everything").
+  /// A non-zero `deadline_ns` aborts the query that much virtual time after
+  /// arrival, marking the result timed_out (the interactive time-budget
+  /// semantics of paper §II-A). Deadlines are only honoured by the
+  /// asynchronous engines; BSP cannot abort mid-superstep.
+  uint64_t Submit(std::shared_ptr<const Plan> plan, SimTime at = 0,
+                  Timestamp read_ts = kMaxTimestamp - 1,
+                  SimTime deadline_ns = 0);
+
+  /// Runs the simulation until every submitted query completes. Fails with
+  /// kInternal if the event queue drains while queries are unfinished
+  /// (i.e. termination detection lost weight — should never happen).
+  Status RunToCompletion(uint64_t max_events = 2'000'000'000ULL);
+
+  /// Convenience: submit a single query now and run it to completion.
+  Result<QueryResult> Run(std::shared_ptr<const Plan> plan,
+                          Timestamp read_ts = kMaxTimestamp - 1);
+
+  const QueryResult& result(uint64_t query_id) const;
+  const NetStats& net_stats() const { return net_stats_; }
+  NetStats& mutable_net_stats() { return net_stats_; }
+
+  SimTime now() const { return events_.now(); }
+  /// Virtual time at which the whole simulation went quiescent.
+  SimTime quiescent_time() const { return quiescent_time_; }
+
+  const ClusterConfig& config() const { return config_; }
+  const PartitionedGraph& graph() const { return *graph_; }
+  PartitionedGraph& mutable_graph() { return *graph_; }
+
+  /// Per-partition memoranda (exposed for tests and the txn module).
+  MemoTable& memo(PartitionId p) { return memos_[p]; }
+
+  /// Applies a mutation to partition `p`'s store at the owning worker,
+  /// charging it `cost_ns` of virtual time (used by the txn module).
+  void ApplyAtPartition(PartitionId p, uint64_t cost_ns,
+                        const std::function<void(PartitionStore&)>& fn);
+
+  /// Total traverser tasks executed across all workers (a proxy for the
+  /// amount of graph data touched; used by the workload-characterization
+  /// bench).
+  uint64_t TotalTasksExecuted() const {
+    uint64_t n = 0;
+    for (const Worker& w : workers_) n += w.tasks_executed;
+    return n;
+  }
+
+  /// Cumulative count of operations charged under `kind` (e.g. kPerEdge =
+  /// adjacency entries scanned). Drives the Table I data-access metrics.
+  uint64_t ChargedCount(CostKind kind) const {
+    return charge_counts_[static_cast<int>(kind)];
+  }
+
+  uint32_t WorkerOfPartition(PartitionId p) const { return p; }
+  uint32_t NodeOfWorker(uint32_t w) const { return w / config_.workers_per_node; }
+
+ private:
+  friend class ExecContext;
+
+  struct Task {
+    uint64_t query;
+    PartitionId partition;
+    Traverser trav;
+  };
+
+  struct TierBuffer {
+    std::vector<Message> msgs;
+    size_t bytes = 0;
+  };
+
+  struct Worker {
+    uint32_t id = 0;
+    uint32_t node = 0;
+    SimTime now = 0;
+    bool wake_pending = false;
+    bool running = false;  // inside RunWorker: suppress redundant self-wakes
+    SimTime next_wake = 0;
+    // Tasks bucketed by hop count: shorter trajectories run first (§III-B).
+    std::map<uint16_t, std::deque<Task>> tasks;
+    size_t num_tasks = 0;
+    std::vector<Message> inbox;
+    std::vector<TierBuffer> out;  // per destination node
+    // Coalesced finished weights: (query<<16 | scope) -> weight.
+    std::unordered_map<uint64_t, Weight> pending_weights;
+    Rng rng{0};
+    uint64_t tasks_executed = 0;
+  };
+
+  /// Tier-2 egress combiner state for one (src node, dst node) pair.
+  struct EgressSlot {
+    std::vector<Message> pending;
+    size_t bytes = 0;
+    bool send_scheduled = false;
+  };
+
+  struct QueryState {
+    uint64_t id = 0;
+    std::shared_ptr<const Plan> plan;
+    uint32_t coordinator = 0;
+    Timestamp read_ts = 0;
+    uint32_t scope = 0;       // scope currently tracked
+    Weight acc = 0;           // coalesced finished weight of current scope
+    bool collecting = false;  // a collect-finalize is in flight
+    CollectMergeState collect;
+    uint32_t replies_expected = 0;
+    QueryResult result;
+  };
+
+  // --- query lifecycle ---
+  void StartQuery(QueryState& qs, SimTime at);
+  void HandleWeight(QueryState& qs, uint32_t scope, Weight w, Worker& at_worker);
+  void ScopeComplete(QueryState& qs, Worker& at_worker);
+  void HandleCollectReply(QueryState& qs, const Message& msg, Worker& at_worker);
+  void CompleteQuery(QueryState& qs, SimTime at);
+  /// Cancels the query early once the terminal Emit limit is reached.
+  void MaybeCancelOnLimit(QueryState& qs, SimTime at);
+
+  // --- worker execution ---
+  void ScheduleWake(Worker& w, SimTime at);
+  void RunWorker(Worker& w, SimTime at);
+  void IngestInbox(Worker& w);
+  void HandleMessage(Worker& w, Message msg);
+  void ExecuteTask(Worker& w, Task task);
+  void RunFinalize(Worker& w, const Message& msg);
+  void PushTask(Worker& w, Task task);
+  bool HasTask(const Worker& w) const { return w.num_tasks > 0; }
+  Task PopTask(Worker& w);
+
+  // --- routing / transport ---
+  /// Routes an emitted traverser to its target step's partition. `from` is
+  /// the emitting worker, `current` the partition it was emitted from.
+  void EmitTraverser(Worker& from, QueryState& qs, PartitionId current, Traverser t);
+  void SendTraverser(Worker& from, uint64_t query, PartitionId partition, Traverser t);
+  void Send(Worker& from, Message msg);
+  void DeliverLocal(Worker& from, Message msg, SimTime at);
+  void FlushBuffer(Worker& w, uint32_t dst_node);
+  void FlushAll(Worker& w);
+  void FlushWeights(Worker& w);
+  void SubmitPack(uint32_t src_node, uint32_t dst_node, std::vector<Message> msgs,
+                  size_t bytes, SimTime at, bool charge_sender, Worker* sender);
+  void SendFrame(uint32_t src_node, uint32_t dst_node, std::vector<Message> msgs,
+                 size_t bytes, SimTime at);
+  void DeliverFrame(std::vector<Message> msgs, SimTime at);
+
+  /// Virtual-time charge helper honouring the shared-state/NUMA/swap models.
+  void Charge(Worker& w, CostKind kind, uint64_t count);
+  /// Serializes shared-state critical sections on the node lock.
+  void ChargeLock(Worker& w);
+
+  uint32_t ExecWorkerFor(PartitionId p);
+  SimTime& LinkBusy(uint32_t src_node, uint32_t dst_node) {
+    return link_busy_[src_node * config_.num_nodes + dst_node];
+  }
+
+  // --- BSP driver ---
+  struct BspSubmission {
+    uint64_t id;
+    std::shared_ptr<const Plan> plan;
+    SimTime at;
+    Timestamp read_ts;
+  };
+  Status RunBspToCompletion();
+  void RunBspQuery(QueryState& qs, SimTime start);
+
+  ClusterConfig config_;
+  EngineTuning tuning_;
+  std::shared_ptr<PartitionedGraph> graph_;
+  EventQueue events_;
+  std::vector<Worker> workers_;
+  std::vector<MemoTable> memos_;          // one per partition
+  std::vector<SimTime> link_busy_;        // per (src,dst) node pair
+  std::vector<EgressSlot> egress_;        // per (src,dst) node pair
+  std::vector<SimTime> node_lock_busy_;   // shared-state mode
+  std::vector<uint32_t> node_rr_;         // shared-state round-robin cursor
+  std::unordered_map<uint64_t, QueryState> queries_;
+  std::vector<BspSubmission> bsp_queue_;  // BSP engine submissions
+  uint64_t next_query_id_ = 1;
+  uint64_t pending_queries_ = 0;
+  SimTime quiescent_time_ = 0;
+  SimTime bsp_clock_ = 0;
+  uint64_t remote_sends_ = 0;  // fault-injection counter
+  NetStats net_stats_;
+  uint64_t charge_counts_[static_cast<int>(CostKind::kNumKinds)] = {0};
+  Rng rng_;
+  bool swap_thrashing_ = false;  // dataset exceeds simulated node memory
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_

@@ -1,0 +1,72 @@
+#ifndef GRAPHDANCE_SIM_EVENT_QUEUE_H_
+#define GRAPHDANCE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace graphdance {
+
+/// Virtual time in nanoseconds.
+using SimTime = uint64_t;
+
+/// A deterministic virtual-time event queue. Events fire in (time, insertion
+/// sequence) order, so simulations are exactly reproducible run-to-run.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `cb` to run at virtual time `when` (must be >= now()).
+  void Schedule(SimTime when, Callback cb) {
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  /// Pops and runs the earliest event, advancing the clock. Returns false
+  /// when the queue is empty.
+  bool RunOne() {
+    if (heap_.empty()) return false;
+    // std::priority_queue::top returns const&; the callback must be moved out
+    // before pop, so copy the POD parts and const_cast the callback (safe: the
+    // element is removed immediately after).
+    Event& top = const_cast<Event&>(heap_.top());
+    SimTime when = top.when;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    now_ = when;
+    cb(when);
+    return true;
+  }
+
+  /// Runs events until the queue drains or `limit` events fire. Returns the
+  /// number of events run.
+  uint64_t RunUntilEmpty(uint64_t limit = ~0ULL) {
+    uint64_t n = 0;
+    while (n < limit && RunOne()) ++n;
+    return n;
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,216 @@
+#include "txn/txn_manager.h"
+
+namespace graphdance {
+
+namespace {
+// Virtual-time charges for transactional operations (lock table probe and
+// per-write TEL append at the owning partition).
+constexpr uint64_t kLockNs = 150;
+constexpr uint64_t kApplyNs = 400;
+}  // namespace
+
+TransactionManager::TxnId TransactionManager::Begin() {
+  TxnId id = next_txn_++;
+  txns_.emplace(id, TxnState{});
+  return id;
+}
+
+Status TransactionManager::Lock(TxnState& txn, TxnId id, VertexId v) {
+  if (txn.locks.count(v) > 0) return Status::OK();
+  auto [it, inserted] = lock_table_.try_emplace(v, id);
+  if (!inserted && it->second != id) {
+    return Status::Aborted("write-write conflict on vertex " + std::to_string(v));
+  }
+  it->second = id;
+  txn.locks.insert(v);
+  return Status::OK();
+}
+
+void TransactionManager::ReleaseLocks(TxnState& txn) {
+  for (VertexId v : txn.locks) lock_table_.erase(v);
+  txn.locks.clear();
+}
+
+Status TransactionManager::AddVertex(TxnId id, VertexId v, LabelId label) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  Status s = Lock(it->second, id, v);
+  if (!s.ok()) {
+    Abort(id);
+    return s;
+  }
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddVertex;
+  op.v = v;
+  op.label = label;
+  it->second.writes.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status TransactionManager::AddEdge(TxnId id, VertexId src, LabelId elabel,
+                                   VertexId dst, Value prop) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  // Both half-edges are written; lock both anchors for 2PL.
+  Status s = Lock(it->second, id, src);
+  if (s.ok()) s = Lock(it->second, id, dst);
+  if (!s.ok()) {
+    Abort(id);
+    return s;
+  }
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddEdge;
+  op.v = src;
+  op.other = dst;
+  op.label = elabel;
+  op.value = std::move(prop);
+  it->second.writes.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status TransactionManager::DeleteEdge(TxnId id, VertexId src, LabelId elabel,
+                                      VertexId dst) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  Status s = Lock(it->second, id, src);
+  if (s.ok()) s = Lock(it->second, id, dst);
+  if (!s.ok()) {
+    Abort(id);
+    return s;
+  }
+  WriteOp op;
+  op.kind = WriteOp::Kind::kDeleteEdge;
+  op.v = src;
+  op.other = dst;
+  op.label = elabel;
+  it->second.writes.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status TransactionManager::SetProperty(TxnId id, VertexId v, PropKeyId key,
+                                       Value value) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  Status s = Lock(it->second, id, v);
+  if (!s.ok()) {
+    Abort(id);
+    return s;
+  }
+  WriteOp op;
+  op.kind = WriteOp::Kind::kSetProp;
+  op.v = v;
+  op.prop_key = key;
+  op.value = std::move(value);
+  it->second.writes.push_back(std::move(op));
+  return Status::OK();
+}
+
+Result<Timestamp> TransactionManager::Commit(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  TxnState& txn = it->second;
+  Timestamp ts = next_ts_++;
+  ApplyWrites(txn, ts);
+  // Charge the lock-table interaction to the manager-resident worker 0.
+  cluster_->ApplyAtPartition(0, kLockNs * (txn.locks.size() + 1),
+                             [](PartitionStore&) {});
+  ReleaseLocks(txn);
+  txns_.erase(it);
+  // Serial commit order in the DES: the LCT advances to this commit and is
+  // (conceptually) broadcast so any node can serve read timestamps.
+  lct_ = ts;
+  ++committed_;
+  return ts;
+}
+
+void TransactionManager::CrashDuringCommit(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  Timestamp ts = next_ts_++;
+  ApplyWrites(it->second, ts);
+  // Crash before the LCT advances: locks evaporate, the partial commit
+  // stays in the TEL with ts > LCT until recovery truncates it.
+  ReleaseLocks(it->second);
+  txns_.erase(it);
+}
+
+void TransactionManager::ApplyWrites(const TxnState& txn, Timestamp ts) {
+  const PartitionedGraph& g = cluster_->graph();
+  for (const WriteOp& op : txn.writes) {
+    PartitionId anchor = g.PartitionOf(op.v);
+    switch (op.kind) {
+      case WriteOp::Kind::kAddVertex:
+        cluster_->ApplyAtPartition(anchor, kApplyNs, [&](PartitionStore& store) {
+          store.tel().AddVertex(op.v, op.label, ts);
+        });
+        break;
+      case WriteOp::Kind::kAddEdge: {
+        cluster_->ApplyAtPartition(anchor, kApplyNs, [&](PartitionStore& store) {
+          store.tel().AddEdge(op.v, op.label, Direction::kOut, op.other, ts, op.value);
+        });
+        cluster_->ApplyAtPartition(g.PartitionOf(op.other), kApplyNs,
+                                   [&](PartitionStore& store) {
+                                     store.tel().AddEdge(op.other, op.label,
+                                                         Direction::kIn, op.v, ts,
+                                                         op.value);
+                                   });
+        break;
+      }
+      case WriteOp::Kind::kDeleteEdge: {
+        cluster_->ApplyAtPartition(anchor, kApplyNs, [&](PartitionStore& store) {
+          store.tel().DeleteEdge(op.v, op.label, Direction::kOut, op.other, ts);
+        });
+        cluster_->ApplyAtPartition(g.PartitionOf(op.other), kApplyNs,
+                                   [&](PartitionStore& store) {
+                                     store.tel().DeleteEdge(op.other, op.label,
+                                                            Direction::kIn, op.v, ts);
+                                   });
+        break;
+      }
+      case WriteOp::Kind::kSetProp:
+        cluster_->ApplyAtPartition(anchor, kApplyNs, [&](PartitionStore& store) {
+          store.tel().SetProperty(op.v, op.prop_key, op.value, ts);
+        });
+        break;
+    }
+  }
+}
+
+void TransactionManager::Abort(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ReleaseLocks(it->second);
+  txns_.erase(it);
+  ++aborted_;
+}
+
+void TransactionManager::CompactAll(Timestamp watermark) {
+  PartitionedGraph& g = cluster_->mutable_graph();
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    cluster_->ApplyAtPartition(p, /*cost_ns=*/20'000, [&](PartitionStore& store) {
+      store.tel().Compact(watermark);
+    });
+  }
+}
+
+void TransactionManager::SimulateCrashAndRecover() {
+  // In-flight transactions vanish with the crash; their timestamps may have
+  // been consumed but nothing past the LCT survives recovery.
+  std::vector<TxnId> inflight;
+  inflight.reserve(txns_.size());
+  for (auto& [id, txn] : txns_) {
+    ReleaseLocks(txn);
+    inflight.push_back(id);
+  }
+  for (TxnId id : inflight) txns_.erase(id);
+  lock_table_.clear();
+
+  PartitionedGraph& g = cluster_->mutable_graph();
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    cluster_->ApplyAtPartition(p, /*cost_ns=*/50'000, [&](PartitionStore& store) {
+      store.tel().TruncateAfter(lct_);
+    });
+  }
+}
+
+}  // namespace graphdance

@@ -1,0 +1,217 @@
+// Tests for PSTM-expressed offline analytics: PageRank (iterative
+// Project/Expand/GroupBy scopes) against its single-threaded oracle across
+// engines, and the degree histogram.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "analytics/analytics.h"
+#include "query/gremlin.h"
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId node;
+  LabelId link;
+};
+
+TestGraph MakeGraph(uint32_t parts, uint64_t nv = 512, uint64_t ne = 4096) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = 71;
+  tg.graph = GeneratePowerLawGraph(opt, tg.schema, parts).TakeValue();
+  tg.node = tg.schema->VertexLabel("node");
+  tg.link = tg.schema->EdgeLabel("link");
+  return tg;
+}
+
+std::map<VertexId, double> RowsToRanks(const std::vector<Row>& rows) {
+  std::map<VertexId, double> out;
+  for (const Row& row : rows) {
+    out[static_cast<VertexId>(row[0].as_int())] = row[1].ToDouble();
+  }
+  return out;
+}
+
+TEST(PageRankTest, MatchesReferenceOracle) {
+  TestGraph tg = MakeGraph(8);
+  for (int iters : {1, 3}) {
+    auto plan = BuildPageRankPlan(tg.graph, "node", "link", iters);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ClusterConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.workers_per_node = 4;
+    SimCluster cluster(cfg, tg.graph);
+    auto res = cluster.Run(plan.TakeValue());
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+    auto expected = ReferencePageRank(*tg.graph, tg.node, tg.link, iters);
+    auto got = RowsToRanks(res.value().rows);
+    ASSERT_EQ(got.size(), expected.size()) << "iters=" << iters;
+    for (const auto& [v, rank] : expected) {
+      auto it = got.find(v);
+      ASSERT_NE(it, got.end()) << "missing vertex " << v;
+      EXPECT_NEAR(it->second, rank, 1e-9 + rank * 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+TEST(PageRankTest, RanksSumBounded) {
+  TestGraph tg = MakeGraph(4);
+  auto plan = BuildPageRankPlan(tg.graph, "node", "link", 4);
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 4;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  double sum = 0;
+  for (const Row& row : res.value().rows) sum += row[1].ToDouble();
+  EXPECT_GT(sum, 0.05);  // mass survives
+  EXPECT_LT(sum, 1.01);  // never exceeds total probability mass
+}
+
+TEST(PageRankTest, HubsRankHigh) {
+  TestGraph tg = MakeGraph(4, 1024, 16384);
+  auto plan = BuildPageRankPlan(tg.graph, "node", "link", 3);
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  auto ranks = RowsToRanks(res.value().rows);
+
+  // The vertex with the highest in-degree should rank in the top decile.
+  VertexId top_in = 0;
+  uint64_t best = 0;
+  for (VertexId v = 0; v < 1024; ++v) {
+    uint64_t deg = tg.graph->partition(tg.graph->PartitionOf(v))
+                       .Degree(v, tg.link, Direction::kIn, kMaxTimestamp - 1);
+    if (deg > best) {
+      best = deg;
+      top_in = v;
+    }
+  }
+  ASSERT_GT(ranks.count(top_in), 0u);
+  double top_rank = ranks[top_in];
+  size_t higher = 0;
+  for (const auto& [v, r] : ranks) {
+    if (r > top_rank) ++higher;
+  }
+  EXPECT_LT(higher, ranks.size() / 10);
+}
+
+TEST(PageRankTest, EnginesAgree) {
+  TestGraph tg = MakeGraph(4, 256, 2048);
+  auto make_plan = [&] {
+    return BuildPageRankPlan(tg.graph, "node", "link", 2).TakeValue();
+  };
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  SimCluster async_cluster(cfg, tg.graph);
+  auto base = async_cluster.Run(make_plan());
+  ASSERT_TRUE(base.ok());
+  auto base_ranks = RowsToRanks(base.value().rows);
+
+  for (EngineKind engine : {EngineKind::kBsp, EngineKind::kShared}) {
+    ClusterConfig ecfg = cfg;
+    ecfg.engine = engine;
+    SimCluster cluster(ecfg, tg.graph);
+    auto res = cluster.Run(make_plan());
+    ASSERT_TRUE(res.ok());
+    auto ranks = RowsToRanks(res.value().rows);
+    ASSERT_EQ(ranks.size(), base_ranks.size());
+    for (const auto& [v, r] : base_ranks) {
+      EXPECT_NEAR(ranks[v], r, 1e-12) << "vertex " << v;
+    }
+  }
+}
+
+TEST(PageRankTest, RejectsBadArguments) {
+  TestGraph tg = MakeGraph(2, 64, 128);
+  EXPECT_FALSE(BuildPageRankPlan(tg.graph, "node", "link", 0).ok());
+}
+
+TEST(DegreeHistogramTest, MatchesDirectComputation) {
+  TestGraph tg = MakeGraph(4, 512, 2048);
+  auto plan = BuildDegreeHistogramPlan(tg.graph, "node", "link");
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+
+  std::map<int64_t, int64_t> expected;
+  for (VertexId v = 0; v < 512; ++v) {
+    expected[static_cast<int64_t>(
+        tg.graph->partition(tg.graph->PartitionOf(v))
+            .Degree(v, tg.link, Direction::kOut, kMaxTimestamp - 1))]++;
+  }
+  ASSERT_EQ(res.value().rows.size(), expected.size());
+  int64_t prev_degree = -1;
+  for (const Row& row : res.value().rows) {
+    int64_t degree = row[0].as_int();
+    EXPECT_GT(degree, prev_degree) << "histogram must be sorted ascending";
+    prev_degree = degree;
+    EXPECT_EQ(row[1].as_int(), expected[degree]) << "degree " << degree;
+  }
+}
+
+TEST(ArithOperandTest, ComposesInProjection) {
+  TestGraph tg = MakeGraph(2, 64, 256);
+  // rank-style expression: 10 + 2 * degree(v).
+  Traversal t(tg.graph);
+  t.V({1}).Project({Operand::Arith(
+      ArithKind::kAdd, Operand::Const(Value(10.0)),
+      Operand::Arith(ArithKind::kMul, Operand::Const(Value(2.0)),
+                     Operand::Degree(tg.link, Direction::kOut)))});
+  auto plan = t.Emit().Build();
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 2;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().rows.size(), 1u);
+  double deg = static_cast<double>(
+      tg.graph->partition(tg.graph->PartitionOf(1))
+          .Degree(1, tg.link, Direction::kOut, kMaxTimestamp - 1));
+  EXPECT_DOUBLE_EQ(res.value().rows[0][0].ToDouble(), 10.0 + 2.0 * deg);
+}
+
+TEST(ArithOperandTest, DivisionByZeroYieldsZero) {
+  TestGraph tg = MakeGraph(2, 64, 256);
+  Traversal t(tg.graph);
+  t.V({1}).Project({Operand::Arith(ArithKind::kDiv, Operand::Const(Value(5.0)),
+                                   Operand::Const(Value(0.0)))});
+  auto plan = t.Emit().Build();
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 2;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res.value().rows[0][0].ToDouble(), 0.0);
+}
+
+}  // namespace
+}  // namespace graphdance

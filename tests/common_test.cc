@@ -1,0 +1,292 @@
+// Unit tests for the foundation library: Status/Result, Value, serde,
+// Rng determinism, MPSC queue, SmallVector and the latency recorder.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/mpsc_queue.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/small_vector.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace graphdance {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("vertex 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: vertex 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.TakeValue();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(int64_t{-5}).as_int(), -5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // null < bool < numeric < string.
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+}
+
+TEST(ValueTest, NumericComparesAcrossIntAndDouble) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("same"), Value("same"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{77}).Hash(), Value(int64_t{77}).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  std::vector<Value> values = {Value(), Value(true), Value(int64_t{-123456789}),
+                               Value(3.14159), Value("hello world")};
+  ByteWriter w;
+  for (const Value& v : values) v.Serialize(&w);
+  ByteReader r(w.data(), w.size());
+  for (const Value& v : values) {
+    Value back = Value::Deserialize(&r);
+    EXPECT_EQ(back, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ValueTest, ToDoubleAndToInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).ToDouble(), 4.0);
+  EXPECT_EQ(Value(4.9).ToInt(), 4);
+  EXPECT_EQ(Value().ToInt(), 0);
+  EXPECT_EQ(Value(true).ToInt(), 1);
+}
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(200);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-42);
+  w.WriteDouble(1.25);
+  w.WriteString("serde");
+
+  ByteReader r(w.data(), w.size());
+  EXPECT_EQ(r.ReadU8(), 200);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 1.25);
+  EXPECT_EQ(r.ReadString(), "serde");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, EmptyString) {
+  ByteWriter w;
+  w.WriteString("");
+  ByteReader r(w.data(), w.size());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HashTest, Mix64IsInjectiveOnSmallSample) {
+  std::vector<uint64_t> hashes;
+  for (uint64_t i = 0; i < 1000; ++i) hashes.push_back(Mix64(i));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::unique(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(MpscQueueTest, SingleThreadPushDrain) {
+  MpscQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainInto(&out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.DrainInto(&out), 0u);
+}
+
+TEST(MpscQueueTest, MultiProducer) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&q, t] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(t * kPerProducer + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<int> out;
+  q.DrainInto(&out);
+  EXPECT_EQ(out.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(MpscQueueTest, WaitDrainTimesOut) {
+  MpscQueue<int> q;
+  std::vector<int> out;
+  EXPECT_EQ(q.WaitDrainInto(&out, std::chrono::microseconds(500)), 0u);
+}
+
+TEST(MpscQueueTest, CloseWakesWaiter) {
+  MpscQueue<int> q;
+  std::thread waiter([&q] {
+    std::vector<int> out;
+    q.WaitDrainInto(&out, std::chrono::seconds(10));
+  });
+  q.Close();
+  waiter.join();
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(SmallVectorTest, StaysInline) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, SpillsToHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, CopyAndMove) {
+  SmallVector<std::string, 2> v;
+  v.push_back("a");
+  v.push_back("b");
+  v.push_back("c");  // spilled
+
+  SmallVector<std::string, 2> copy = v;
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "c");
+
+  SmallVector<std::string, 2> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "a");
+}
+
+TEST(SmallVectorTest, EqualityAndClear) {
+  SmallVector<int, 3> a{1, 2, 3};
+  SmallVector<int, 3> b{1, 2, 3};
+  EXPECT_TRUE(a == b);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVectorTest, PopBackAndResize) {
+  SmallVector<int, 2> v{5, 6, 7};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 6);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+}
+
+TEST(LatencyRecorderTest, AvgAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rec.Avg(), 50.5);
+  EXPECT_DOUBLE_EQ(rec.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.Max(), 100.0);
+  EXPECT_NEAR(rec.P99(), 99.0, 1.0);
+  EXPECT_NEAR(rec.P50(), 50.0, 1.0);
+}
+
+TEST(LatencyRecorderTest, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Avg(), 0.0);
+  EXPECT_EQ(rec.P99(), 0.0);
+}
+
+TEST(LatencyRecorderTest, Merge) {
+  LatencyRecorder a, b;
+  a.Record(1.0);
+  b.Record(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Avg(), 2.0);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,434 @@
+// Tests for the extended features: label scans + the IndexLookUpStrategy
+// rewrite, result-limit early termination, path tracking, fault injection
+// into termination detection, and a randomized cross-engine plan fuzzer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t parts, uint64_t nv = 1024, uint64_t ne = 8192,
+                    uint64_t seed = 33) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = seed;
+  opt.weight_range = 50;  // small range so equality filters match many
+  tg.graph = GeneratePowerLawGraph(opt, tg.schema, parts).TakeValue();
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig Config(uint32_t nodes = 2, uint32_t wpn = 2) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.workers_per_node = wpn;
+  return cfg;
+}
+
+std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+// ---- label scan + IndexLookupStrategy ----------------------------------------
+
+TEST(ScanTest, LabelScanVisitsAllVertices) {
+  TestGraph tg = MakeGraph(4, 256, 512);
+  auto plan = Traversal(tg.graph).VAll("node").Count().Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(Config(), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().rows[0][0].as_int(), 256);
+}
+
+TEST(ScanTest, ScanPlusFilterMatchesIndexedLookup) {
+  TestGraph tg = MakeGraph(4);
+  // No index: scan + filter executes as written.
+  auto scan_plan = Traversal(tg.graph)
+                       .VAll("node")
+                       .Has("weight", CmpOp::kEq, Value(int64_t{7}))
+                       .Count()
+                       .Build();
+  ASSERT_TRUE(scan_plan.ok());
+  SimCluster c1(Config(), tg.graph);
+  auto scanned = c1.Run(scan_plan.TakeValue());
+  ASSERT_TRUE(scanned.ok());
+
+  int64_t expected = 0;
+  for (VertexId v = 0; v < 1024; ++v) {
+    const Value* w = tg.graph->PropertyOf(v, tg.weight);
+    if (w != nullptr && w->as_int() == 7) ++expected;
+  }
+  EXPECT_GT(expected, 0);
+  EXPECT_EQ(scanned.value().rows[0][0].as_int(), expected);
+}
+
+TEST(ScanTest, IndexLookupStrategyRewritesScan) {
+  TestGraph tg = MakeGraph(4);
+  LabelId node = tg.schema->VertexLabel("node");
+  tg.graph->BuildIndex(node, tg.weight);
+
+  auto plan = Traversal(tg.graph)
+                  .VAll("node")
+                  .Has("weight", CmpOp::kEq, Value(int64_t{7}))
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  // The first step must have become an index probe.
+  EXPECT_NE(plan.value()->step(0).Describe().find("by-index"), std::string::npos)
+      << plan.value()->Describe();
+
+  SimCluster cluster(Config(), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  int64_t expected = 0;
+  for (VertexId v = 0; v < 1024; ++v) {
+    const Value* w = tg.graph->PropertyOf(v, tg.weight);
+    if (w != nullptr && w->as_int() == 7) ++expected;
+  }
+  EXPECT_EQ(res.value().rows[0][0].as_int(), expected);
+}
+
+TEST(ScanTest, StrategyReducesWorkDone) {
+  TestGraph tg = MakeGraph(4, 4096, 8192);
+  LabelId node = tg.schema->VertexLabel("node");
+
+  auto build = [&] {
+    return Traversal(tg.graph)
+        .VAll("node")
+        .Has("weight", CmpOp::kEq, Value(int64_t{3}))
+        .Count()
+        .Build()
+        .TakeValue();
+  };
+  // Without index: full scan.
+  SimCluster c1(Config(), tg.graph);
+  ASSERT_TRUE(c1.Run(build()).ok());
+  uint64_t scan_edges = c1.ChargedCount(CostKind::kPerEdge);
+
+  tg.graph->BuildIndex(node, tg.weight);
+  SimCluster c2(Config(), tg.graph);
+  ASSERT_TRUE(c2.Run(build()).ok());
+  uint64_t index_edges = c2.ChargedCount(CostKind::kPerEdge);
+
+  EXPECT_LT(index_edges * 10, scan_edges)
+      << "index lookup should touch far less data than the scan";
+}
+
+TEST(ScanTest, StrategyKeepsRemainingPredicates) {
+  TestGraph tg = MakeGraph(4);
+  LabelId node = tg.schema->VertexLabel("node");
+  tg.graph->BuildIndex(node, tg.weight);
+  // Two predicates: the equality is absorbed, the range check must remain.
+  auto plan = Traversal(tg.graph)
+                  .VAll("node")
+                  .Has("weight", CmpOp::kEq, Value(int64_t{7}))
+                  .Where([&] {
+                    Predicate p;
+                    p.lhs = Operand::VertexIdOp();
+                    p.op = CmpOp::kLt;
+                    p.rhs = Operand::Const(Value(int64_t{512}));
+                    return p;
+                  }())
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(Config(), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  int64_t expected = 0;
+  for (VertexId v = 0; v < 512; ++v) {
+    const Value* w = tg.graph->PropertyOf(v, tg.weight);
+    if (w != nullptr && w->as_int() == 7) ++expected;
+  }
+  EXPECT_EQ(res.value().rows[0][0].as_int(), expected);
+}
+
+// ---- result-limit early termination --------------------------------------------
+
+TEST(EarlyTerminationTest, LimitCapsRows) {
+  TestGraph tg = MakeGraph(4, 2048, 16384);
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .RepeatOut("link", 3, true)
+                  .Emit({Operand::VertexIdOp()}, /*limit=*/25)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value()->result_limit(), 25u);
+  SimCluster cluster(Config(), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().rows.size(), 25u);
+}
+
+TEST(EarlyTerminationTest, CancellationSavesWork) {
+  TestGraph tg = MakeGraph(8, 8192, 65536);
+  auto limited = Traversal(tg.graph)
+                     .V({1})
+                     .RepeatOut("link", 3, true)
+                     .Emit({Operand::VertexIdOp()}, 10)
+                     .Build()
+                     .TakeValue();
+  auto unlimited = Traversal(tg.graph)
+                       .V({1})
+                       .RepeatOut("link", 3, true)
+                       .Emit({Operand::VertexIdOp()})
+                       .Build()
+                       .TakeValue();
+  SimCluster c1(Config(2, 4), tg.graph);
+  SimCluster c2(Config(2, 4), tg.graph);
+  auto r1 = c1.Run(limited);
+  auto r2 = c2.Run(unlimited);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r1.value().LatencyMicros(), r2.value().LatencyMicros());
+  EXPECT_LT(c1.TotalTasksExecuted(), c2.TotalTasksExecuted());
+}
+
+TEST(EarlyTerminationTest, BspTruncatesAtLimit) {
+  TestGraph tg = MakeGraph(4, 512, 4096);
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .RepeatOut("link", 2, true)
+                  .Emit({Operand::VertexIdOp()}, 5)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg = Config();
+  cfg.engine = EngineKind::kBsp;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().rows.size(), 5u);
+}
+
+// ---- path tracking ----------------------------------------------------------------
+
+TEST(PathTest, TrackedPathsAreRealWalks) {
+  TestGraph tg = MakeGraph(4, 256, 2048);
+  auto plan = Traversal(tg.graph)
+                  .V({3})
+                  .Out("link")
+                  .TrackPath()
+                  .Out("link")
+                  .TrackPath()
+                  .Emit({Operand::PathOp()})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(Config(), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  ASSERT_GT(res.value().rows.size(), 0u);
+  for (const Row& row : res.value().rows) {
+    const std::string& path = row[0].as_string();
+    // Parse "a->b->c" and verify each consecutive pair is an edge.
+    std::vector<VertexId> hops;
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      size_t next = path.find("->", pos);
+      hops.push_back(std::stoull(path.substr(pos, next - pos)));
+      pos = next == std::string::npos ? next : next + 2;
+    }
+    ASSERT_EQ(hops.size(), 3u) << path;
+    EXPECT_EQ(hops[0], 3u);
+    LabelId link = tg.schema->EdgeLabel("link");
+    for (size_t i = 0; i + 1 < hops.size(); ++i) {
+      bool edge = false;
+      tg.graph->ForEachNeighbor(hops[i], link, Direction::kOut,
+                                [&](VertexId d, const Value&) {
+                                  if (d == hops[i + 1]) edge = true;
+                                });
+      EXPECT_TRUE(edge) << "missing edge in path " << path;
+    }
+  }
+}
+
+TEST(PathTest, PathCountMatchesWalkCount) {
+  TestGraph tg = MakeGraph(2, 128, 512);
+  auto plan = Traversal(tg.graph)
+                  .V({5})
+                  .Out("link")
+                  .TrackPath()
+                  .Out("link")
+                  .TrackPath()
+                  .Emit({Operand::PathOp()})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(Config(1, 2), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+
+  // Oracle: number of 2-edge walks from 5.
+  LabelId link = tg.schema->EdgeLabel("link");
+  int64_t walks = 0;
+  tg.graph->ForEachNeighbor(5, link, Direction::kOut, [&](VertexId m, const Value&) {
+    tg.graph->ForEachNeighbor(m, link, Direction::kOut,
+                              [&](VertexId, const Value&) { ++walks; });
+  });
+  EXPECT_EQ(static_cast<int64_t>(res.value().rows.size()), walks);
+}
+
+// ---- fault injection -----------------------------------------------------------
+
+TEST(FaultInjectionTest, DroppedMessageIsDetectedNotMiscompleted) {
+  TestGraph tg = MakeGraph(8, 1024, 8192);
+  ClusterConfig cfg = Config(4, 2);
+  cfg.fault_drop_remote_message = 50;  // drop the 50th remote message
+  SimCluster cluster(cfg, tg.graph);
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .RepeatOut("link", 3, true)
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  uint64_t id = cluster.Submit(plan.TakeValue());
+  Status s = cluster.RunToCompletion();
+  // Lost weight (or a lost collect) must surface as a detected failure:
+  // either the run errors out, or the query is left visibly unfinished.
+  // It must never claim completion with wrong results silently.
+  if (s.ok()) {
+    EXPECT_TRUE(cluster.result(id).done);
+    // If the dropped message was not weight-bearing for this query (e.g.
+    // a cleanup control message), the result must still be correct.
+    SimCluster clean(Config(4, 2), tg.graph);
+    auto expect = clean.Run(Traversal(tg.graph)
+                                .V({1})
+                                .RepeatOut("link", 3, true)
+                                .Count()
+                                .Build()
+                                .TakeValue());
+    ASSERT_TRUE(expect.ok());
+    EXPECT_EQ(cluster.result(id).rows, expect.value().rows);
+  } else {
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+  }
+}
+
+TEST(FaultInjectionTest, EveryEarlyDropDetected) {
+  // Sweep the first handful of remote messages: each drop must either be
+  // detected or harmless, never a silent wrong answer.
+  TestGraph tg = MakeGraph(4, 256, 2048);
+  auto make_plan = [&] {
+    return Traversal(tg.graph).V({2}).RepeatOut("link", 2, true).Count().Build().TakeValue();
+  };
+  SimCluster clean(Config(2, 2), tg.graph);
+  auto expect = clean.Run(make_plan());
+  ASSERT_TRUE(expect.ok());
+
+  for (uint64_t nth = 1; nth <= 12; ++nth) {
+    ClusterConfig cfg = Config(2, 2);
+    cfg.fault_drop_remote_message = nth;
+    SimCluster cluster(cfg, tg.graph);
+    uint64_t id = cluster.Submit(make_plan());
+    Status s = cluster.RunToCompletion();
+    if (s.ok() && cluster.result(id).done && !cluster.result(id).rows.empty()) {
+      EXPECT_EQ(cluster.result(id).rows, expect.value().rows) << "drop #" << nth;
+    } else {
+      EXPECT_FALSE(s.ok()) << "drop #" << nth << " should be detected";
+    }
+  }
+}
+
+// ---- randomized cross-engine fuzzing --------------------------------------------
+
+class PlanFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanFuzzTest, EnginesAgreeOnRandomPlans) {
+  uint64_t seed = 1000 + GetParam();
+  Rng rng(seed);
+  TestGraph tg = MakeGraph(4, 256 + rng.Below(512), 2048 + rng.Below(4096), seed);
+
+  // Random chain: V(starts) then 1-4 random ops, then a random terminal.
+  Traversal t(tg.graph);
+  std::vector<VertexId> starts;
+  uint64_t nstarts = 1 + rng.Below(3);
+  for (uint64_t i = 0; i < nstarts; ++i) {
+    starts.push_back(rng.Below(tg.graph->stats().num_vertices));
+  }
+  t.V(starts);
+  uint64_t ops = 1 + rng.Below(4);
+  bool expanded = false;
+  for (uint64_t i = 0; i < ops; ++i) {
+    switch (rng.Below(4)) {
+      case 0:
+        t.Out("link");
+        expanded = true;
+        break;
+      case 1:
+        t.Has("weight", rng.Chance(0.5) ? CmpOp::kGe : CmpOp::kLt,
+              Value(static_cast<int64_t>(rng.Below(50))));
+        break;
+      case 2:
+        t.Dedup();
+        break;
+      case 3:
+        t.Project({Operand::VertexIdOp(), Operand::Property(tg.weight)});
+        break;
+    }
+  }
+  if (!expanded) t.Out("link");
+  switch (rng.Below(3)) {
+    case 0:
+      t.Count();
+      break;
+    case 1:
+      t.GroupCount(Operand::VertexIdOp());
+      break;
+    case 2:
+      t.Project({Operand::VertexIdOp()});
+      t.Emit();
+      break;
+  }
+  auto plan = t.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::vector<Row> reference;
+  bool first = true;
+  for (EngineKind engine : {EngineKind::kAsync, EngineKind::kBsp,
+                            EngineKind::kShared, EngineKind::kGaiaSim,
+                            EngineKind::kBanyanSim}) {
+    ClusterConfig cfg = Config(2, 2);
+    cfg.engine = engine;
+    SimCluster cluster(cfg, tg.graph);
+    auto res = cluster.Run(plan.value());
+    ASSERT_TRUE(res.ok()) << EngineKindName(engine) << ": "
+                          << res.status().ToString();
+    std::vector<Row> rows = SortedRows(res.value().rows);
+    if (first) {
+      reference = rows;
+      first = false;
+    } else {
+      EXPECT_EQ(rows, reference) << "engine " << EngineKindName(engine)
+                                 << " diverged on seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzzTest, ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,400 @@
+// Unit tests for the partitioned property graph: schema interning, hash
+// partitioning, CSR construction, property access, secondary indexes, the
+// transactional edge log (TEL) and the synthetic generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partitioner.h"
+#include "graph/schema.h"
+#include "graph/tel.h"
+
+namespace graphdance {
+namespace {
+
+std::shared_ptr<PartitionedGraph> MakeTriangleGraph(uint32_t parts) {
+  auto schema = std::make_shared<Schema>();
+  LabelId person = schema->VertexLabel("person");
+  LabelId knows = schema->EdgeLabel("knows");
+  PropKeyId name = schema->PropKey("name");
+
+  GraphBuilder b(schema, parts);
+  b.AddVertex(1, person, {{name, Value("alice")}});
+  b.AddVertex(2, person, {{name, Value("bob")}});
+  b.AddVertex(3, person, {{name, Value("carol")}});
+  b.AddEdge(1, 2, knows, Value(int64_t{2010}));
+  b.AddEdge(2, 3, knows, Value(int64_t{2011}));
+  b.AddEdge(3, 1, knows, Value(int64_t{2012}));
+  auto result = b.Build();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.TakeValue();
+}
+
+TEST(SchemaTest, InterningIsStable) {
+  Schema schema;
+  LabelId a = schema.VertexLabel("person");
+  LabelId b = schema.VertexLabel("person");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(schema.VertexLabelName(a), "person");
+  EXPECT_NE(schema.VertexLabel("post"), a);
+  EXPECT_EQ(schema.num_vertex_labels(), 2u);
+}
+
+TEST(SchemaTest, FindWithoutIntern) {
+  Schema schema;
+  EXPECT_EQ(schema.FindVertexLabel("ghost"), kInvalidLabel);
+  schema.VertexLabel("ghost");
+  EXPECT_NE(schema.FindVertexLabel("ghost"), kInvalidLabel);
+  EXPECT_EQ(schema.FindPropKey("nope"), kInvalidPropKey);
+}
+
+TEST(PartitionerTest, CoversAllPartitions) {
+  Partitioner p(8);
+  std::set<PartitionId> seen;
+  for (VertexId v = 0; v < 1000; ++v) seen.insert(p.Of(v));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PartitionerTest, Deterministic) {
+  Partitioner a(16), b(16);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(a.Of(v), b.Of(v));
+}
+
+TEST(PartitionerTest, RoughlyBalanced) {
+  Partitioner p(4);
+  std::unordered_map<PartitionId, int> counts;
+  constexpr int kN = 40000;
+  for (VertexId v = 0; v < kN; ++v) counts[p.Of(v)]++;
+  for (const auto& [part, count] : counts) {
+    EXPECT_GT(count, kN / 4 * 0.9) << "partition " << part;
+    EXPECT_LT(count, kN / 4 * 1.1) << "partition " << part;
+  }
+}
+
+TEST(GraphBuilderTest, BuildsTriangle) {
+  auto g = MakeTriangleGraph(4);
+  EXPECT_EQ(g->stats().num_vertices, 3u);
+  EXPECT_EQ(g->stats().num_edges, 3u);
+  EXPECT_TRUE(g->HasVertex(1));
+  EXPECT_TRUE(g->HasVertex(3));
+  EXPECT_FALSE(g->HasVertex(99));
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateVertex) {
+  auto schema = std::make_shared<Schema>();
+  LabelId l = schema->VertexLabel("v");
+  GraphBuilder b(schema, 2);
+  b.AddVertex(1, l);
+  b.AddVertex(1, l);
+  auto result = b.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GraphBuilderTest, RejectsDanglingEdge) {
+  auto schema = std::make_shared<Schema>();
+  LabelId l = schema->VertexLabel("v");
+  LabelId e = schema->EdgeLabel("e");
+  GraphBuilder b(schema, 2);
+  b.AddVertex(1, l);
+  b.AddEdge(1, 2, e);
+  auto result = b.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, OutAndInNeighbors) {
+  auto g = MakeTriangleGraph(3);
+  LabelId knows = g->mutable_schema().EdgeLabel("knows");
+
+  std::vector<VertexId> out;
+  g->ForEachNeighbor(1, knows, Direction::kOut,
+                     [&](VertexId dst, const Value&) { out.push_back(dst); });
+  EXPECT_EQ(out, (std::vector<VertexId>{2}));
+
+  std::vector<VertexId> in;
+  g->ForEachNeighbor(1, knows, Direction::kIn,
+                     [&](VertexId dst, const Value&) { in.push_back(dst); });
+  EXPECT_EQ(in, (std::vector<VertexId>{3}));
+
+  std::vector<VertexId> both;
+  g->ForEachNeighbor(1, knows, Direction::kBoth,
+                     [&](VertexId dst, const Value&) { both.push_back(dst); });
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(GraphTest, EdgePropertiesPreserved) {
+  auto g = MakeTriangleGraph(2);
+  LabelId knows = g->mutable_schema().EdgeLabel("knows");
+  Value prop;
+  g->ForEachNeighbor(1, knows, Direction::kOut,
+                     [&](VertexId, const Value& p) { prop = p; });
+  EXPECT_EQ(prop, Value(int64_t{2010}));
+}
+
+TEST(GraphTest, VertexProperties) {
+  auto g = MakeTriangleGraph(2);
+  PropKeyId name = g->mutable_schema().PropKey("name");
+  const Value* v = g->PropertyOf(2, name);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, Value("bob"));
+  EXPECT_EQ(g->PropertyOf(2, g->mutable_schema().PropKey("missing")), nullptr);
+}
+
+TEST(GraphTest, LabelsAndVertexEnumeration) {
+  auto g = MakeTriangleGraph(2);
+  LabelId person = g->mutable_schema().VertexLabel("person");
+  EXPECT_EQ(g->LabelOf(1), person);
+  auto people = g->VerticesWithLabel(person);
+  std::set<VertexId> ids(people.begin(), people.end());
+  EXPECT_EQ(ids, (std::set<VertexId>{1, 2, 3}));
+}
+
+TEST(GraphTest, SecondaryIndexLookup) {
+  auto g = MakeTriangleGraph(4);
+  LabelId person = g->mutable_schema().VertexLabel("person");
+  PropKeyId name = g->mutable_schema().PropKey("name");
+  g->BuildIndex(person, name);
+
+  bool found = false;
+  for (uint32_t p = 0; p < g->num_partitions(); ++p) {
+    const auto* hits = g->partition(p).IndexLookup(person, name, Value("carol"));
+    if (hits != nullptr) {
+      EXPECT_EQ(hits->size(), 1u);
+      EXPECT_EQ((*hits)[0], 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphTest, PartitionAssignmentMatchesPartitioner) {
+  auto g = MakeTriangleGraph(4);
+  for (VertexId v = 1; v <= 3; ++v) {
+    PartitionId p = g->PartitionOf(v);
+    EXPECT_TRUE(g->partition(p).LocalIndex(v).has_value());
+    for (uint32_t q = 0; q < g->num_partitions(); ++q) {
+      if (q != p) {
+        EXPECT_FALSE(g->partition(q).LocalIndex(v).has_value());
+      }
+    }
+  }
+}
+
+// ---- TEL -------------------------------------------------------------------
+
+TEST(TelTest, EdgeVisibility) {
+  TransactionalEdgeLog tel;
+  tel.AddEdge(1, 0, Direction::kOut, 2, /*ts=*/10);
+
+  int count = 0;
+  tel.ForEachEdge(1, 0, Direction::kOut, /*ts=*/9,
+                  [&](VertexId, const Value&) { ++count; });
+  EXPECT_EQ(count, 0);
+
+  tel.ForEachEdge(1, 0, Direction::kOut, /*ts=*/10,
+                  [&](VertexId, const Value&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(TelTest, DeleteHidesEdgeAfterTs) {
+  TransactionalEdgeLog tel;
+  tel.AddEdge(1, 0, Direction::kOut, 2, 10);
+  EXPECT_TRUE(tel.DeleteEdge(1, 0, Direction::kOut, 2, 20));
+
+  int at15 = 0, at25 = 0;
+  tel.ForEachEdge(1, 0, Direction::kOut, 15, [&](VertexId, const Value&) { ++at15; });
+  tel.ForEachEdge(1, 0, Direction::kOut, 25, [&](VertexId, const Value&) { ++at25; });
+  EXPECT_EQ(at15, 1);
+  EXPECT_EQ(at25, 0);
+}
+
+TEST(TelTest, DeleteMissingEdgeReturnsFalse) {
+  TransactionalEdgeLog tel;
+  EXPECT_FALSE(tel.DeleteEdge(1, 0, Direction::kOut, 2, 5));
+}
+
+TEST(TelTest, VertexVisibilityAndProperties) {
+  TransactionalEdgeLog tel;
+  tel.AddVertex(7, /*label=*/3, /*ts=*/100);
+  EXPECT_FALSE(tel.HasVertex(7, 99));
+  EXPECT_TRUE(tel.HasVertex(7, 100));
+
+  tel.SetProperty(7, /*key=*/0, Value("v1"), 100);
+  tel.SetProperty(7, /*key=*/0, Value("v2"), 200);
+  EXPECT_EQ(*tel.GetProperty(7, 0, 150), Value("v1"));
+  EXPECT_EQ(*tel.GetProperty(7, 0, 250), Value("v2"));
+  EXPECT_EQ(tel.GetProperty(7, 1, 250), nullptr);
+}
+
+TEST(TelTest, RecoveryTruncatesUncommitted) {
+  TransactionalEdgeLog tel;
+  tel.AddVertex(1, 0, 10);
+  tel.AddEdge(1, 0, Direction::kOut, 2, 10);
+  tel.AddEdge(1, 0, Direction::kOut, 3, 50);   // after LCT: dropped
+  tel.DeleteEdge(1, 0, Direction::kOut, 2, 60);  // after LCT: undone
+  tel.SetProperty(1, 0, Value("keep"), 10);
+  tel.SetProperty(1, 0, Value("drop"), 70);
+
+  tel.TruncateAfter(/*lct=*/30);
+
+  std::vector<VertexId> dsts;
+  tel.ForEachEdge(1, 0, Direction::kOut, 30,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  EXPECT_EQ(dsts, (std::vector<VertexId>{2}));
+  EXPECT_EQ(*tel.GetProperty(1, 0, 100), Value("keep"));
+}
+
+TEST(TelTest, IntegratedWithPartitionStore) {
+  auto g = MakeTriangleGraph(1);
+  LabelId knows = g->mutable_schema().EdgeLabel("knows");
+  auto& part = g->partition(0);
+
+  // Static: 1 -> 2. Add a dynamic edge 1 -> 3 at ts=5.
+  part.tel().AddEdge(1, knows, Direction::kOut, 3, 5);
+
+  std::vector<VertexId> at0, at10;
+  part.ForEachNeighbor(1, knows, Direction::kOut, 0,
+                       [&](VertexId d, const Value&) { at0.push_back(d); });
+  part.ForEachNeighbor(1, knows, Direction::kOut, 10,
+                       [&](VertexId d, const Value&) { at10.push_back(d); });
+  EXPECT_EQ(at0, (std::vector<VertexId>{2}));
+  EXPECT_EQ(at10, (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(part.Degree(1, knows, Direction::kOut, 10), 2u);
+}
+
+TEST(TelTest, CompactDropsDeadVersions) {
+  TransactionalEdgeLog tel;
+  tel.AddEdge(1, 0, Direction::kOut, 2, 10);
+  tel.AddEdge(1, 0, Direction::kOut, 3, 20);
+  tel.DeleteEdge(1, 0, Direction::kOut, 2, 30);  // dead to readers >= 30
+  tel.SetProperty(1, 0, Value("v1"), 5);
+  tel.SetProperty(1, 0, Value("v2"), 15);
+  tel.SetProperty(1, 0, Value("v3"), 90);
+
+  EXPECT_EQ(tel.num_edge_versions(), 2u);
+  tel.Compact(/*watermark=*/50);
+  EXPECT_EQ(tel.num_edge_versions(), 1u);
+
+  // Post-compaction reads at/above the watermark are unchanged.
+  std::vector<VertexId> dsts;
+  tel.ForEachEdge(1, 0, Direction::kOut, 60,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  EXPECT_EQ(dsts, (std::vector<VertexId>{3}));
+  EXPECT_EQ(*tel.GetProperty(1, 0, 60), Value("v2"));
+  EXPECT_EQ(*tel.GetProperty(1, 0, 95), Value("v3"));
+}
+
+TEST(TelTest, CompactRemovesDeletedVertices) {
+  TransactionalEdgeLog tel;
+  tel.AddVertex(7, 1, 10);
+  tel.AddVertex(8, 1, 10);
+  EXPECT_TRUE(tel.DeleteVertex(7, 20));
+  EXPECT_FALSE(tel.HasVertex(7, 25));
+  EXPECT_TRUE(tel.HasVertex(7, 15));
+
+  tel.Compact(5);  // nothing dead at ts 5 yet
+  EXPECT_EQ(tel.num_vertices(), 2u);
+  tel.Compact(50);  // vertex 7 dead to every reader >= 50
+  EXPECT_EQ(tel.num_vertices(), 1u);
+  EXPECT_TRUE(tel.HasVertex(8, 60));
+}
+
+TEST(TelTest, CompactPreservesPropertyFloor) {
+  TransactionalEdgeLog tel;
+  for (int i = 1; i <= 10; ++i) {
+    tel.SetProperty(4, 2, Value(int64_t{i}), static_cast<Timestamp>(i * 10));
+  }
+  tel.Compact(55);
+  // Reader at the watermark still sees the version from ts=50.
+  EXPECT_EQ(*tel.GetProperty(4, 2, 55), Value(int64_t{5}));
+  EXPECT_EQ(*tel.GetProperty(4, 2, 100), Value(int64_t{10}));
+}
+
+// ---- generators --------------------------------------------------------------
+
+TEST(GeneratorTest, PowerLawDeterministicAndSized) {
+  auto schema1 = std::make_shared<Schema>();
+  auto schema2 = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 8192;
+  opt.seed = 7;
+  auto g1 = GeneratePowerLawGraph(opt, schema1, 4).TakeValue();
+  auto g2 = GeneratePowerLawGraph(opt, schema2, 4).TakeValue();
+  EXPECT_EQ(g1->stats().num_vertices, 1024u);
+  EXPECT_EQ(g1->stats().num_edges, 8192u);
+
+  // Determinism: same seed gives identical degree for sampled vertices.
+  LabelId link1 = schema1->EdgeLabel("link");
+  LabelId link2 = schema2->EdgeLabel("link");
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(g1->partition(g1->PartitionOf(v)).Degree(v, link1, Direction::kOut, 0),
+              g2->partition(g2->PartitionOf(v)).Degree(v, link2, Direction::kOut, 0));
+  }
+}
+
+TEST(GeneratorTest, PowerLawIsSkewed) {
+  auto schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 32768;
+  auto g = GeneratePowerLawGraph(opt, schema, 2).TakeValue();
+  LabelId link = schema->EdgeLabel("link");
+
+  uint64_t max_deg = 0;
+  for (VertexId v = 0; v < opt.num_vertices; ++v) {
+    max_deg = std::max(
+        max_deg, g->partition(g->PartitionOf(v)).Degree(v, link, Direction::kOut, 0));
+  }
+  double avg = static_cast<double>(opt.num_edges) / opt.num_vertices;
+  EXPECT_GT(static_cast<double>(max_deg), avg * 10)
+      << "power-law graph should have hubs";
+}
+
+TEST(GeneratorTest, VerticesHaveWeightProperty) {
+  auto schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1024;
+  auto g = GeneratePowerLawGraph(opt, schema, 2).TakeValue();
+  PropKeyId weight = schema->PropKey("weight");
+  for (VertexId v = 0; v < 256; ++v) {
+    const Value* w = g->PropertyOf(v, weight);
+    ASSERT_NE(w, nullptr);
+    EXPECT_GE(w->as_int(), 0);
+    EXPECT_LT(w->as_int(), opt.weight_range);
+  }
+}
+
+TEST(GeneratorTest, UniformGraphSized) {
+  auto schema = std::make_shared<Schema>();
+  auto g = GenerateUniformGraph(500, 2000, 3, schema, 4).TakeValue();
+  EXPECT_EQ(g->stats().num_vertices, 500u);
+  EXPECT_EQ(g->stats().num_edges, 2000u);
+}
+
+TEST(GeneratorTest, PresetsExist) {
+  auto schema = std::make_shared<Schema>();
+  auto lj = GeneratePreset("lj-sim", 0.05, schema, 2);
+  ASSERT_TRUE(lj.ok());
+  EXPECT_GT(lj.value()->stats().num_edges, lj.value()->stats().num_vertices * 5);
+
+  auto bad = GeneratePreset("nope", 1.0, std::make_shared<Schema>(), 2);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(GeneratorTest, StatsDegreeEstimates) {
+  auto schema = std::make_shared<Schema>();
+  auto g = GenerateUniformGraph(1000, 9000, 3, schema, 2).TakeValue();
+  LabelId link = schema->EdgeLabel("link");
+  EXPECT_NEAR(g->stats().AvgOutDegree(link), 9.0, 0.5);
+  EXPECT_NEAR(g->stats().AvgInDegree(link), 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace graphdance

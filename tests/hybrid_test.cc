@@ -1,0 +1,165 @@
+// Tests for the hybrid (PowerSwitch-style) engine chooser and the triangle
+// counting pattern-matching plan.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analytics/analytics.h"
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/hybrid.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  PropKeyId weight;
+};
+
+TestGraph MakePowerLaw(uint32_t parts, uint64_t nv, uint64_t ne) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = 44;
+  tg.graph = GeneratePowerLawGraph(opt, tg.schema, parts).TakeValue();
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+std::shared_ptr<const Plan> KHop(const TestGraph& tg, VertexId start, int k) {
+  return Traversal(tg.graph)
+      .V({start})
+      .RepeatOut("link", static_cast<uint16_t>(k), true)
+      .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+      .OrderByLimit({{1, false}, {0, true}}, 10)
+      .Build()
+      .TakeValue();
+}
+
+TEST(HybridTest, SmallQueriesStayAsync) {
+  TestGraph tg = MakePowerLaw(4, 4096, 32768);
+  auto plan = Traversal(tg.graph).V({1}).Out("link").Count().Build().TakeValue();
+  HybridChoice choice = ChooseEngine(*plan, tg.graph->stats());
+  EXPECT_EQ(choice.engine, EngineKind::kAsync);
+  EXPECT_LT(choice.estimated_tasks, 1000.0);
+}
+
+TEST(HybridTest, HugeTraversalsGoBsp) {
+  TestGraph tg = MakePowerLaw(4, 4096, 131072);  // dense: degree 32
+  auto plan = KHop(tg, 1, 6);
+  HybridChoice choice = ChooseEngine(*plan, tg.graph->stats(), /*num_workers=*/1);
+  EXPECT_EQ(choice.engine, EngineKind::kBsp);
+  EXPECT_GT(choice.estimated_tasks, static_cast<double>(4096 * 2));
+}
+
+TEST(HybridTest, EstimateGrowsWithHops) {
+  TestGraph tg = MakePowerLaw(4, 4096, 32768);
+  double prev = 0;
+  for (int k = 1; k <= 4; ++k) {
+    double est = EstimatePlanTasks(*KHop(tg, 1, k), tg.graph->stats());
+    EXPECT_GT(est, prev) << "k=" << k;
+    prev = est;
+  }
+}
+
+TEST(HybridTest, ChoicePicksTheFasterEngineAtLowParallelism) {
+  // At 1 worker the Fig. 9 crossover exists: small queries favour async,
+  // whole-graph multi-hop favours BSP. The chooser must agree with the
+  // measured winner on both extremes.
+  TestGraph tg = MakePowerLaw(1, 8192, 131072);
+  auto measure = [&](const std::shared_ptr<const Plan>& plan, EngineKind engine) {
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.workers_per_node = 1;
+    cfg.engine = engine;
+    SimCluster cluster(cfg, tg.graph);
+    return cluster.Run(plan).TakeValue().LatencyMicros();
+  };
+
+  auto small = KHop(tg, 7, 1);
+  auto large = KHop(tg, 7, 4);
+
+  EXPECT_EQ(ChooseEngine(*small, tg.graph->stats(), 1).engine, EngineKind::kAsync);
+  EXPECT_LT(measure(small, EngineKind::kAsync), measure(small, EngineKind::kBsp));
+
+  HybridChoice large_choice = ChooseEngine(*large, tg.graph->stats(), 1);
+  EXPECT_EQ(large_choice.engine, EngineKind::kBsp);
+  EXPECT_LT(measure(large, EngineKind::kBsp), measure(large, EngineKind::kAsync));
+}
+
+// ---- triangle counting -------------------------------------------------------
+
+TEST(TriangleTest, MatchesReferenceOnUniformGraph) {
+  auto schema = std::make_shared<Schema>();
+  auto graph = GenerateUniformGraph(256, 3072, 6, schema, 8).TakeValue();
+  LabelId node = schema->VertexLabel("node");
+  LabelId link = schema->EdgeLabel("link");
+
+  auto plan = BuildTriangleCountPlan(graph, "node", "link");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+  SimCluster cluster(cfg, graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  int64_t expected = ReferenceTriangleCount(*graph, node, link);
+  EXPECT_GT(expected, 0);
+  ASSERT_EQ(res.value().rows.size(), 1u);
+  EXPECT_EQ(res.value().rows[0][0].as_int(), expected);
+}
+
+TEST(TriangleTest, EnginesAgree) {
+  auto schema = std::make_shared<Schema>();
+  auto graph = GenerateUniformGraph(128, 1024, 6, schema, 4).TakeValue();
+  auto make_plan = [&] {
+    return BuildTriangleCountPlan(graph, "node", "link").TakeValue();
+  };
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  SimCluster a(cfg, graph);
+  auto ra = a.Run(make_plan());
+  ASSERT_TRUE(ra.ok());
+
+  ClusterConfig bcfg = cfg;
+  bcfg.engine = EngineKind::kBsp;
+  SimCluster b(bcfg, graph);
+  auto rb = b.Run(make_plan());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value().rows, rb.value().rows);
+}
+
+TEST(TriangleTest, TriangleFreeGraphCountsZero) {
+  // A bipartite-ish two-layer graph has no directed triangles.
+  auto schema = std::make_shared<Schema>();
+  LabelId vl = schema->VertexLabel("node");
+  LabelId el = schema->EdgeLabel("link");
+  GraphBuilder b(schema, 2);
+  for (VertexId v = 0; v < 20; ++v) b.AddVertex(v, vl);
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId w = 10; w < 20; ++w) b.AddEdge(u, w, el);
+  }
+  auto graph = b.Build().TakeValue();
+
+  auto plan = BuildTriangleCountPlan(graph, "node", "link");
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 2;
+  SimCluster cluster(cfg, graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().rows[0][0].as_int(), 0);
+  EXPECT_EQ(ReferenceTriangleCount(*graph, vl, el), 0);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,196 @@
+// System-level integration tests: interleaved update/query workloads with
+// snapshot isolation, multi-query concurrency determinism, memo hygiene
+// under sustained load, TEL compaction through the transaction manager, and
+// a mixed-engine consistency sweep over the LDBC dataset.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "graph/generators.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+#include "txn/txn_manager.h"
+
+namespace graphdance {
+namespace {
+
+TEST(IntegrationTest, InterleavedUpdatesAndSnapshots) {
+  // A history of snapshots: after each batch of edge inserts, remember the
+  // LCT and the expected 1-hop degree; at the end, every historical snapshot
+  // must still read its own consistent value.
+  auto schema = std::make_shared<Schema>();
+  auto graph = GenerateUniformGraph(128, 512, 4, schema, 8).TakeValue();
+  LabelId link = schema->EdgeLabel("link");
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+  SimCluster cluster(cfg, graph);
+  TransactionManager txn(&cluster);
+
+  std::vector<std::pair<Timestamp, int64_t>> snapshots;
+  auto degree_of_7 = [&](Timestamp ts) {
+    auto plan = Traversal(graph).V({7}).Out("link").Count().Build().TakeValue();
+    SimCluster c(cfg, graph);
+    auto res = c.Run(plan, ts);
+    EXPECT_TRUE(res.ok());
+    return res.value().rows[0][0].as_int();
+  };
+
+  int64_t base = degree_of_7(txn.ReadTimestamp());
+  for (int batch = 0; batch < 5; ++batch) {
+    auto t = txn.Begin();
+    for (int e = 0; e < 3; ++e) {
+      ASSERT_TRUE(txn.AddEdge(t, 7, link, 20 + batch * 3 + e).ok());
+    }
+    ASSERT_TRUE(txn.Commit(t).ok());
+    snapshots.emplace_back(txn.ReadTimestamp(), base + (batch + 1) * 3);
+  }
+  // All snapshots remain individually consistent.
+  for (const auto& [ts, expected] : snapshots) {
+    EXPECT_EQ(degree_of_7(ts), expected) << "snapshot ts=" << ts;
+  }
+}
+
+TEST(IntegrationTest, CompactionPreservesLatestSnapshot) {
+  auto schema = std::make_shared<Schema>();
+  auto graph = GenerateUniformGraph(64, 256, 5, schema, 4).TakeValue();
+  LabelId link = schema->EdgeLabel("link");
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 4;
+  SimCluster cluster(cfg, graph);
+  TransactionManager txn(&cluster);
+
+  // Add then delete an edge; add another that stays.
+  auto t1 = txn.Begin();
+  ASSERT_TRUE(txn.AddEdge(t1, 3, link, 40).ok());
+  ASSERT_TRUE(txn.Commit(t1).ok());
+  auto t2 = txn.Begin();
+  ASSERT_TRUE(txn.DeleteEdge(t2, 3, link, 40).ok());
+  ASSERT_TRUE(txn.AddEdge(t2, 3, link, 41).ok());
+  ASSERT_TRUE(txn.Commit(t2).ok());
+
+  Timestamp now_ts = txn.ReadTimestamp();
+  auto degree = [&](Timestamp ts) {
+    auto plan = Traversal(graph).V({3}).Out("link").Count().Build().TakeValue();
+    SimCluster c(cfg, graph);
+    return c.Run(plan, ts).TakeValue().rows[0][0].as_int();
+  };
+  int64_t before_gc = degree(now_ts);
+
+  size_t versions_before =
+      graph->partition(graph->PartitionOf(3)).tel().num_edge_versions();
+  txn.CompactAll(now_ts);
+  size_t versions_after =
+      graph->partition(graph->PartitionOf(3)).tel().num_edge_versions();
+  EXPECT_LT(versions_after, versions_before) << "GC must reclaim dead versions";
+  EXPECT_EQ(degree(now_ts), before_gc) << "GC must not change visible state";
+}
+
+TEST(IntegrationTest, ManyConcurrentQueriesDeterministic) {
+  auto schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 8192;
+  opt.seed = 12;
+  auto graph = GeneratePowerLawGraph(opt, schema, 8).TakeValue();
+  PropKeyId weight = schema->PropKey("weight");
+
+  auto run_batch = [&] {
+    ClusterConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.workers_per_node = 4;
+    SimCluster cluster(cfg, graph);
+    std::vector<uint64_t> ids;
+    for (VertexId s = 0; s < 24; ++s) {
+      auto plan = Traversal(graph)
+                      .V({s})
+                      .RepeatOut("link", 2, true)
+                      .Project({Operand::VertexIdOp(), Operand::Property(weight)})
+                      .OrderByLimit({{1, false}, {0, true}}, 5)
+                      .Build()
+                      .TakeValue();
+      ids.push_back(cluster.Submit(plan, s * 100));
+    }
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    std::vector<std::pair<std::vector<Row>, double>> out;
+    for (uint64_t id : ids) {
+      out.emplace_back(cluster.result(id).rows, cluster.result(id).LatencyMicros());
+    }
+    return out;
+  };
+
+  auto a = run_batch();
+  auto b = run_batch();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "query " << i;
+    EXPECT_DOUBLE_EQ(a[i].second, b[i].second) << "query " << i;
+  }
+}
+
+TEST(IntegrationTest, MemosStayCleanUnderSustainedLoad) {
+  auto schema = std::make_shared<Schema>();
+  auto graph = GenerateUniformGraph(256, 2048, 8, schema, 4).TakeValue();
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 4;
+  SimCluster cluster(cfg, graph);
+  for (int round = 0; round < 20; ++round) {
+    auto plan = Traversal(graph)
+                    .V({static_cast<VertexId>(round)})
+                    .RepeatOut("link", 2, true)
+                    .Count()
+                    .Build()
+                    .TakeValue();
+    ASSERT_TRUE(cluster.Run(plan).ok());
+  }
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(cluster.memo(p).size(), 0u)
+        << "partition " << p << " leaked memo state";
+  }
+}
+
+TEST(IntegrationTest, LdbcMixedWorkloadSnapshotConsistency) {
+  // Run the mixed workload, then re-execute one IC at an early LCT and at
+  // the final LCT: the early snapshot must be unaffected by the update
+  // stream that followed it.
+  auto data = GenerateSnb(SnbConfig::Tiny(120), 8).TakeValue();
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+
+  SnbParams p;
+  p.person = data->PersonId(3);
+  auto make_plan = [&] {
+    return BuildInteractiveShort(3, *data, p).TakeValue();  // friends list
+  };
+
+  SimCluster cluster(cfg, data->graph);
+  TransactionManager txn(&cluster);
+  Timestamp early = txn.ReadTimestamp();
+  auto run_at = [&](Timestamp ts) {
+    SimCluster c(cfg, data->graph);
+    return c.Run(make_plan(), ts).TakeValue().rows;
+  };
+  auto early_rows = run_at(early);
+
+  DriverConfig dcfg;
+  dcfg.tcr = 0.5;
+  dcfg.duration_s = 0.05;
+  dcfg.include_complex = false;
+  dcfg.include_short = false;  // updates only
+  RunMixedWorkload(&cluster, &txn, *data, dcfg);
+  ASSERT_GT(txn.committed(), 0u);
+
+  EXPECT_EQ(run_at(early), early_rows)
+      << "early snapshot changed after the update stream";
+}
+
+}  // namespace
+}  // namespace graphdance

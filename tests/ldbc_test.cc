@@ -1,0 +1,264 @@
+// LDBC SNB substrate tests: generator structure, every IC and IS query
+// checked against single-threaded reference oracles on the async engine
+// (parameterized across query numbers and starting persons), cross-engine
+// agreement for representative queries, and the mixed-workload driver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ldbc/driver.h"
+#include "ldbc/reference.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "runtime/sim_cluster.h"
+#include "txn/txn_manager.h"
+
+namespace graphdance {
+namespace {
+
+std::shared_ptr<SnbDataset> SharedDataset() {
+  static std::shared_ptr<SnbDataset> dataset = [] {
+    SnbConfig cfg = SnbConfig::Tiny(250);
+    auto r = GenerateSnb(cfg, /*num_partitions=*/8);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.TakeValue();
+  }();
+  return dataset;
+}
+
+ClusterConfig AsyncConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+  return cfg;
+}
+
+SnbParams ParamsFor(const SnbDataset& data, uint64_t which) {
+  SnbParamGen gen(data, 1000 + which);
+  return gen.Next();
+}
+
+std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+// ---- generator -----------------------------------------------------------------
+
+TEST(SnbGeneratorTest, StructuralCounts) {
+  auto data = SharedDataset();
+  EXPECT_GT(data->num_posts, 100u);
+  EXPECT_GT(data->num_comments, 100u);
+  EXPECT_GT(data->graph->stats().num_edges, data->graph->stats().num_vertices);
+  // knows must exist in both directions.
+  const auto& s = data->snb;
+  VertexId p0 = data->PersonId(0);
+  std::vector<VertexId> out, in;
+  data->graph->ForEachNeighbor(p0, s.knows, Direction::kOut,
+                               [&](VertexId d, const Value&) { out.push_back(d); });
+  data->graph->ForEachNeighbor(p0, s.knows, Direction::kIn,
+                               [&](VertexId d, const Value&) { in.push_back(d); });
+  EXPECT_EQ(SortedRows({}), SortedRows({}));  // trivial; keep sets equal below
+  std::sort(out.begin(), out.end());
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(out, in) << "knows must be symmetric";
+}
+
+TEST(SnbGeneratorTest, DeterministicBySeed) {
+  SnbConfig cfg = SnbConfig::Tiny(100);
+  auto a = GenerateSnb(cfg, 4).TakeValue();
+  auto b = GenerateSnb(cfg, 4).TakeValue();
+  EXPECT_EQ(a->graph->stats().num_edges, b->graph->stats().num_edges);
+  EXPECT_EQ(a->num_posts, b->num_posts);
+  EXPECT_EQ(a->num_comments, b->num_comments);
+}
+
+TEST(SnbGeneratorTest, EveryPersonHasProfile) {
+  auto data = SharedDataset();
+  for (uint64_t i = 0; i < data->config.num_persons; i += 17) {
+    VertexId p = data->PersonId(i);
+    EXPECT_NE(data->graph->PropertyOf(p, data->snb.first_name), nullptr);
+    EXPECT_NE(data->graph->PropertyOf(p, data->snb.creation_date), nullptr);
+  }
+}
+
+TEST(SnbGeneratorTest, MessagesHaveCreators) {
+  auto data = SharedDataset();
+  for (uint64_t i = 0; i < data->num_posts; i += 29) {
+    size_t creators = 0;
+    data->graph->ForEachNeighbor(data->PostId(i), data->snb.has_creator,
+                                 Direction::kOut,
+                                 [&](VertexId, const Value&) { ++creators; });
+    EXPECT_EQ(creators, 1u) << "post " << i;
+  }
+}
+
+// ---- per-query oracle comparison (parameterized sweep) ---------------------------
+
+class IcOracleTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IcOracleTest, AsyncMatchesReference) {
+  auto data = SharedDataset();
+  int number = std::get<0>(GetParam());
+  SnbParams params = ParamsFor(*data, std::get<1>(GetParam()));
+  auto plan = BuildInteractiveComplex(number, *data, params);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  SimCluster cluster(AsyncConfig(), data->graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  std::vector<Row> expected = ReferenceInteractiveComplex(number, *data, params);
+  EXPECT_EQ(res.value().rows, expected) << "IC" << number;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIcQueries, IcOracleTest,
+    ::testing::Combine(::testing::Range(1, kNumInteractiveComplex + 1),
+                       ::testing::Values(0, 1, 2, 3, 4)),
+    [](const auto& info) {
+      return "IC" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class IsOracleTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IsOracleTest, AsyncMatchesReference) {
+  auto data = SharedDataset();
+  int number = std::get<0>(GetParam());
+  SnbParams params = ParamsFor(*data, 50 + std::get<1>(GetParam()));
+  auto plan = BuildInteractiveShort(number, *data, params);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  SimCluster cluster(AsyncConfig(), data->graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  std::vector<Row> expected = ReferenceInteractiveShort(number, *data, params);
+  // IS5/IS6 emit in arbitrary arrival order; compare as multisets.
+  EXPECT_EQ(SortedRows(res.value().rows), SortedRows(expected)) << "IS" << number;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsQueries, IsOracleTest,
+    ::testing::Combine(::testing::Range(1, kNumInteractiveShort + 1),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return "IS" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- cross-engine agreement -------------------------------------------------------
+
+class IcEngineTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(IcEngineTest, MatchesReferenceOnRepresentativeQueries) {
+  auto data = SharedDataset();
+  for (int number : {1, 2, 5, 6, 10, 13}) {
+    SnbParams params = ParamsFor(*data, 7);
+    auto plan = BuildInteractiveComplex(number, *data, params);
+    ASSERT_TRUE(plan.ok());
+    ClusterConfig cfg = AsyncConfig();
+    cfg.engine = GetParam();
+    SimCluster cluster(cfg, data->graph);
+    auto res = cluster.Run(plan.TakeValue());
+    ASSERT_TRUE(res.ok()) << "IC" << number << ": " << res.status().ToString();
+    EXPECT_EQ(res.value().rows, ReferenceInteractiveComplex(number, *data, params))
+        << "IC" << number << " on " << EngineKindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, IcEngineTest,
+                         ::testing::Values(EngineKind::kBsp, EngineKind::kShared,
+                                           EngineKind::kGaiaSim,
+                                           EngineKind::kBanyanSim),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case EngineKind::kBsp:
+                               return "bsp";
+                             case EngineKind::kShared:
+                               return "shared";
+                             case EngineKind::kGaiaSim:
+                               return "gaia";
+                             default:
+                               return "banyan";
+                           }
+                         });
+
+// ---- mixed workload driver ---------------------------------------------------------
+
+TEST(DriverTest, MixedWorkloadCompletes) {
+  auto data = SharedDataset();
+  ClusterConfig cfg = AsyncConfig();
+  SimCluster cluster(cfg, data->graph);
+  TransactionManager txn(&cluster);
+  DriverConfig dcfg;
+  dcfg.tcr = 0.3;
+  dcfg.duration_s = 0.2;
+  DriverReport report = RunMixedWorkload(&cluster, &txn, *data, dcfg);
+
+  EXPECT_GT(report.total_operations, 10u);
+  EXPECT_TRUE(report.kept_up);
+  EXPECT_GT(report.AvgLatencyMicros("IS"), 0.0);
+  EXPECT_GT(report.AvgLatencyMicros("IC"), 0.0);
+  EXPECT_GT(txn.committed(), 0u);
+}
+
+TEST(DriverTest, LowerTcrMeansMoreOperations) {
+  auto data = SharedDataset();
+  DriverConfig fast;
+  fast.tcr = 1.0;
+  fast.duration_s = 0.05;
+  fast.include_updates = false;
+  DriverConfig slow = fast;
+  slow.tcr = 4.0;
+
+  SimCluster c1(AsyncConfig(), data->graph);
+  SimCluster c2(AsyncConfig(), data->graph);
+  DriverReport r1 = RunMixedWorkload(&c1, nullptr, *data, fast);
+  DriverReport r2 = RunMixedWorkload(&c2, nullptr, *data, slow);
+  EXPECT_GT(r1.total_operations, 2 * r2.total_operations);
+}
+
+TEST(DriverTest, UpdatesVisibleToLaterQueries) {
+  // A fresh tiny dataset so the update stream measurably changes degrees.
+  SnbConfig cfg = SnbConfig::Tiny(60);
+  auto data = GenerateSnb(cfg, 4).TakeValue();
+  ClusterConfig ccfg;
+  ccfg.num_nodes = 1;
+  ccfg.workers_per_node = 4;
+  SimCluster cluster(ccfg, data->graph);
+  TransactionManager txn(&cluster);
+
+  auto t = txn.Begin();
+  ASSERT_TRUE(txn.AddEdge(t, data->PersonId(0), data->snb.knows,
+                          data->PersonId(1), Value(int64_t{2500}))
+                  .ok());
+  ASSERT_TRUE(txn.AddEdge(t, data->PersonId(1), data->snb.knows,
+                          data->PersonId(0), Value(int64_t{2500}))
+                  .ok());
+  ASSERT_TRUE(txn.Commit(t).ok());
+
+  SnbParams p;
+  p.person = data->PersonId(0);
+  auto plan = BuildInteractiveShort(3, *data, p);  // friends of person 0
+  ASSERT_TRUE(plan.ok());
+  auto res = cluster.Run(plan.TakeValue(), txn.ReadTimestamp());
+  ASSERT_TRUE(res.ok());
+  bool found = false;
+  for (const Row& row : res.value().rows) {
+    if (row[1].as_int() == static_cast<int64_t>(data->PersonId(1))) found = true;
+  }
+  EXPECT_TRUE(found) << "committed friendship must be visible";
+}
+
+}  // namespace
+}  // namespace graphdance

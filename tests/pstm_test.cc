@@ -1,0 +1,307 @@
+// Unit tests for the PSTM model pieces: progression-weight arithmetic
+// (Theorem 1 invariants), traverser serialization, memoranda semantics,
+// plan scope assignment and validation, and row ordering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pstm/memo.h"
+#include "pstm/plan.h"
+#include "pstm/steps.h"
+#include "pstm/traverser.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+namespace {
+
+// ---- weights ----------------------------------------------------------------
+
+TEST(WeightTest, SplitSumsToTotal) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    Weight total = rng.Next();
+    size_t n = 1 + rng.Below(20);
+    std::vector<Weight> shares = SplitWeight(total, n, &rng);
+    ASSERT_EQ(shares.size(), n);
+    Weight sum = 0;
+    for (Weight s : shares) sum += s;
+    EXPECT_EQ(sum, total);
+  }
+}
+
+TEST(WeightTest, SplitterMatchesInvariant) {
+  Rng rng(13);
+  WeightSplitter split(kUnitWeight, &rng);
+  Weight sum = 0;
+  for (int i = 0; i < 9; ++i) sum += split.Take();
+  sum += split.TakeLast();
+  EXPECT_EQ(sum, kUnitWeight);
+  EXPECT_EQ(split.remaining(), 0u);
+}
+
+TEST(WeightTest, RecursiveSplittingPreservesUnit) {
+  // Simulate a traversal tree: repeatedly split a random leaf; the sum of
+  // all leaves must always be the unit weight (the paper's invariant).
+  Rng rng(17);
+  std::vector<Weight> leaves = {kUnitWeight};
+  for (int i = 0; i < 500; ++i) {
+    size_t pick = rng.Below(leaves.size());
+    Weight w = leaves[pick];
+    leaves.erase(leaves.begin() + pick);
+    size_t n = 1 + rng.Below(4);
+    for (Weight s : SplitWeight(w, n, &rng)) leaves.push_back(s);
+    Weight sum = 0;
+    for (Weight leaf : leaves) sum += leaf;
+    ASSERT_EQ(sum, kUnitWeight) << "after " << i << " splits";
+  }
+}
+
+TEST(WeightTest, PartialSumRarelyUnit) {
+  // A strict subset of shares should essentially never sum to the unit
+  // (Theorem 1's false-positive bound). With 64-bit weights this must not
+  // occur in a small sample.
+  Rng rng(19);
+  int false_positives = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Weight> shares = SplitWeight(kUnitWeight, 10, &rng);
+    Weight sum = 0;
+    for (size_t i = 0; i + 1 < shares.size(); ++i) {
+      sum += shares[i];
+      if (sum == kUnitWeight) ++false_positives;
+    }
+  }
+  EXPECT_EQ(false_positives, 0);
+}
+
+// ---- traverser serde ----------------------------------------------------------
+
+TEST(TraverserTest, SerializeRoundTrip) {
+  Traverser t;
+  t.vertex = 123456789;
+  t.step = 7;
+  t.hop = 3;
+  t.scope = 2;
+  t.weight = 0xdeadbeefcafef00dULL;
+  t.vars.push_back(Value(int64_t{42}));
+  t.vars.push_back(Value("hello"));
+  t.path = {1, 2, 3};
+
+  ByteWriter w;
+  t.Serialize(&w);
+  ByteReader r(w.data(), w.size());
+  Traverser back = Traverser::Deserialize(&r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.vertex, t.vertex);
+  EXPECT_EQ(back.step, t.step);
+  EXPECT_EQ(back.hop, t.hop);
+  EXPECT_EQ(back.scope, t.scope);
+  EXPECT_EQ(back.weight, t.weight);
+  ASSERT_EQ(back.vars.size(), 2u);
+  EXPECT_EQ(back.vars[0], Value(int64_t{42}));
+  EXPECT_EQ(back.vars[1], Value("hello"));
+  EXPECT_EQ(back.path, t.path);
+}
+
+TEST(TraverserTest, WireSizeMatchesSerialized) {
+  Traverser t;
+  t.vars.push_back(Value(3.5));
+  t.vars.push_back(Value("abcdef"));
+  t.path = {9, 8};
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(t.WireSize(), w.size());
+}
+
+// ---- memoranda ----------------------------------------------------------------
+
+TEST(MemoTest, DistanceMemoPrunesNonImproving) {
+  DistanceMemo memo;
+  EXPECT_TRUE(memo.TryImprove(5, 3));
+  EXPECT_FALSE(memo.TryImprove(5, 3));  // equal distance: pruned
+  EXPECT_FALSE(memo.TryImprove(5, 4));  // longer: pruned
+  EXPECT_TRUE(memo.TryImprove(5, 2));   // shorter: improves
+  EXPECT_EQ(*memo.Lookup(5), 2);
+  EXPECT_EQ(memo.Lookup(6), nullptr);
+}
+
+TEST(MemoTest, DedupMemoFirstSight) {
+  DedupMemo memo;
+  EXPECT_TRUE(memo.FirstSight(Value(int64_t{1})));
+  EXPECT_FALSE(memo.FirstSight(Value(int64_t{1})));
+  EXPECT_TRUE(memo.FirstSight(Value("1")));  // different type, different key
+  EXPECT_EQ(memo.size(), 2u);
+}
+
+TEST(MemoTest, JoinMemoProbe) {
+  JoinMemo memo;
+  JoinEntry e;
+  e.vertex = 9;
+  memo.Side(true, Value(int64_t{7})).push_back(e);
+  const auto* left = memo.Probe(true, Value(int64_t{7}));
+  ASSERT_NE(left, nullptr);
+  EXPECT_EQ((*left)[0].vertex, 9u);
+  EXPECT_EQ(memo.Probe(false, Value(int64_t{7})), nullptr);
+}
+
+TEST(MemoTest, AggStateAllFunctions) {
+  AggState agg;
+  for (int v : {5, 1, 9, 3}) agg.Update(Value(int64_t{v}));
+  EXPECT_EQ(agg.Finish(AggFunc::kCount), Value(int64_t{4}));
+  EXPECT_EQ(agg.Finish(AggFunc::kSum), Value(18.0));
+  EXPECT_EQ(agg.Finish(AggFunc::kMin), Value(int64_t{1}));
+  EXPECT_EQ(agg.Finish(AggFunc::kMax), Value(int64_t{9}));
+  EXPECT_EQ(agg.Finish(AggFunc::kAvg), Value(4.5));
+}
+
+TEST(MemoTest, AggStateMerge) {
+  AggState a, b;
+  a.Update(Value(int64_t{2}));
+  b.Update(Value(int64_t{10}));
+  b.Update(Value(int64_t{-1}));
+  a.Merge(b);
+  EXPECT_EQ(a.Finish(AggFunc::kCount), Value(int64_t{3}));
+  EXPECT_EQ(a.Finish(AggFunc::kMin), Value(int64_t{-1}));
+  EXPECT_EQ(a.Finish(AggFunc::kMax), Value(int64_t{10}));
+}
+
+TEST(MemoTest, MemoTableQueryLifetime) {
+  MemoTable table;
+  table.GetOrCreate<DedupMemo>(1, 0).FirstSight(Value(int64_t{5}));
+  table.GetOrCreate<DedupMemo>(2, 0).FirstSight(Value(int64_t{5}));
+  EXPECT_EQ(table.size(), 2u);
+  table.ClearQuery(1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ((table.Find<DedupMemo>(1, 0)), nullptr);
+  EXPECT_NE((table.Find<DedupMemo>(2, 0)), nullptr);
+}
+
+TEST(MemoTest, MemoTableDistinctSteps) {
+  MemoTable table;
+  auto& a = table.GetOrCreate<DedupMemo>(1, 0);
+  auto& b = table.GetOrCreate<DedupMemo>(1, 1);
+  EXPECT_NE(&a, &b);
+  auto& a2 = table.GetOrCreate<DedupMemo>(1, 0);
+  EXPECT_EQ(&a, &a2);
+}
+
+// ---- rows ---------------------------------------------------------------------
+
+TEST(RowTest, RowLessRespectsSpecs) {
+  Row a = {Value(int64_t{1}), Value(int64_t{100})};
+  Row b = {Value(int64_t{2}), Value(int64_t{50})};
+  // Descending by col 1: a (100) before b (50).
+  std::vector<SortSpec> by_weight_desc = {{1, false}, {0, true}};
+  EXPECT_TRUE(RowLess(a, b, by_weight_desc));
+  EXPECT_FALSE(RowLess(b, a, by_weight_desc));
+  // Tie on col 1 -> ascending col 0 breaks it.
+  Row c = {Value(int64_t{0}), Value(int64_t{50})};
+  EXPECT_TRUE(RowLess(c, b, by_weight_desc));
+}
+
+TEST(RowTest, SerializeRoundTrip) {
+  Row row = {Value(int64_t{1}), Value("x"), Value(2.5)};
+  ByteWriter w;
+  SerializeRow(row, &w);
+  ByteReader r(w.data(), w.size());
+  EXPECT_EQ(DeserializeRow(&r), row);
+}
+
+TEST(RowTest, AggStateSerde) {
+  AggState agg;
+  agg.Update(Value(int64_t{3}));
+  agg.Update(Value(int64_t{8}));
+  ByteWriter w;
+  SerializeAggState(agg, &w);
+  ByteReader r(w.data(), w.size());
+  AggState back = DeserializeAggState(&r);
+  EXPECT_EQ(back.count, 2);
+  EXPECT_DOUBLE_EQ(back.sum, 11.0);
+  EXPECT_EQ(back.min, Value(int64_t{3}));
+  EXPECT_EQ(back.max, Value(int64_t{8}));
+}
+
+// ---- plan scopes ----------------------------------------------------------------
+
+TEST(PlanTest, LinearPlanSingleScope) {
+  Plan plan;
+  auto* a = plan.Add(std::make_unique<IndexLookupStep>(std::vector<VertexId>{1}));
+  auto* b = plan.Add(std::make_unique<ExpandStep>(0, Direction::kOut));
+  auto* c = plan.Add(std::make_unique<EmitStep>(std::vector<Operand>{}));
+  a->set_next(b->id());
+  b->set_next(c->id());
+  plan.AddRoot(a->id());
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.num_scopes(), 1u);
+  EXPECT_EQ(plan.scope_closer(0), kNoStep);
+  EXPECT_EQ(plan.step(c->id()).scope(), 0u);
+}
+
+TEST(PlanTest, BlockingStepOpensNewScope) {
+  Plan plan;
+  auto* a = plan.Add(std::make_unique<IndexLookupStep>(std::vector<VertexId>{1}));
+  auto* g = plan.Add(std::make_unique<GroupByStep>(
+      Operand::VertexIdOp(), Operand::Const(Value(int64_t{1})), AggFunc::kCount));
+  auto* e = plan.Add(std::make_unique<EmitStep>(std::vector<Operand>{}));
+  a->set_next(g->id());
+  g->set_next(e->id());
+  plan.AddRoot(a->id());
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.num_scopes(), 2u);
+  EXPECT_EQ(plan.step(g->id()).scope(), 0u);
+  EXPECT_EQ(plan.step(e->id()).scope(), 1u);
+  EXPECT_EQ(plan.scope_closer(0), g->id());
+  EXPECT_EQ(plan.scope_closer(1), kNoStep);
+}
+
+TEST(PlanTest, TeeTargetSharesScope) {
+  Plan plan;
+  auto* a = plan.Add(std::make_unique<IndexLookupStep>(std::vector<VertexId>{1}));
+  auto* x = plan.Add(std::make_unique<ExpandStep>(0, Direction::kOut));
+  x->set_loop(3, true);
+  auto* k = plan.Add(std::make_unique<OrderByLimitStep>(
+      std::vector<SortSpec>{{0, true}}, 10));
+  a->set_next(x->id());
+  x->set_tee(k->id());
+  plan.AddRoot(a->id());
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.step(k->id()).scope(), 0u);
+  EXPECT_EQ(plan.scope_closer(0), k->id());
+}
+
+TEST(PlanTest, RejectsEmptyRoots) {
+  Plan plan;
+  plan.Add(std::make_unique<EmitStep>(std::vector<Operand>{}));
+  EXPECT_FALSE(plan.Finalize().ok());
+}
+
+TEST(PlanTest, RejectsTwoBlockersInOneScope) {
+  // Two pipelines each ending in a blocking step would put two blockers in
+  // scope 0, which the finalize protocol cannot serve.
+  Plan bad;
+  auto* r = bad.Add(std::make_unique<IndexLookupStep>(std::vector<VertexId>{1}));
+  auto* s1 = bad.Add(std::make_unique<ScalarAggStep>(
+      Operand::Const(Value(int64_t{1})), AggFunc::kCount));
+  auto* s2 = bad.Add(std::make_unique<ScalarAggStep>(
+      Operand::Const(Value(int64_t{1})), AggFunc::kCount));
+  r->set_next(s1->id());
+  bad.AddRoot(r->id());
+  bad.AddRoot(s2->id());
+  EXPECT_FALSE(bad.Finalize().ok());
+}
+
+TEST(PlanTest, DescribeListsSteps) {
+  Plan plan;
+  auto* a = plan.Add(std::make_unique<IndexLookupStep>(std::vector<VertexId>{1, 2}));
+  auto* e = plan.Add(std::make_unique<EmitStep>(std::vector<Operand>{}));
+  a->set_next(e->id());
+  plan.AddRoot(a->id());
+  ASSERT_TRUE(plan.Finalize().ok());
+  std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("IndexLookup"), std::string::npos);
+  EXPECT_NE(desc.find("Emit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,221 @@
+// Tests for the Gremlin-style DSL (compilation, wiring, error handling,
+// filter-fusion strategy) and the cost-based join planner
+// (JoinSelectionStrategy) including executed path-pattern plans.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "query/planner.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+};
+
+TestGraph MakeGraph(uint32_t parts = 4) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 4096;
+  opt.seed = 21;
+  tg.graph = GeneratePowerLawGraph(opt, tg.schema, parts).TakeValue();
+  return tg;
+}
+
+// ---- DSL compilation ---------------------------------------------------------
+
+TEST(DslTest, SimpleChainCompiles) {
+  TestGraph tg = MakeGraph();
+  auto plan = Traversal(tg.graph).V({1}).Out("link").Values("weight").Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // V -> Expand -> Project -> implicit Emit.
+  EXPECT_EQ(plan.value()->num_steps(), 4u);
+  EXPECT_EQ(plan.value()->num_scopes(), 1u);
+}
+
+TEST(DslTest, FilterFusionMergesAdjacentFilters) {
+  TestGraph tg = MakeGraph();
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .Out("link")
+                  .Has("weight", CmpOp::kGe, Value(int64_t{10}))
+                  .Has("weight", CmpOp::kLe, Value(int64_t{100}))
+                  .Has("weight", CmpOp::kNe, Value(int64_t{50}))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  // V, Expand, ONE fused Filter, Emit.
+  EXPECT_EQ(plan.value()->num_steps(), 4u);
+  int filters = 0;
+  for (size_t i = 0; i < plan.value()->num_steps(); ++i) {
+    if (plan.value()->step(i).kind() == StepKind::kFilter) ++filters;
+  }
+  EXPECT_EQ(filters, 1);
+}
+
+TEST(DslTest, RepeatOutGetsTerminalEmit) {
+  TestGraph tg = MakeGraph();
+  auto plan = Traversal(tg.graph).V({1}).RepeatOut("link", 2).Build();
+  ASSERT_TRUE(plan.ok());
+  // The dangling tee gets an Emit target.
+  const Plan& p = *plan.value();
+  EXPECT_EQ(p.step(p.num_steps() - 1).kind(), StepKind::kEmit);
+}
+
+TEST(DslTest, GroupByTerminalGetsEmit) {
+  TestGraph tg = MakeGraph();
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .Out("link")
+                  .GroupCount(Operand::VertexIdOp())
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  const Plan& p = *plan.value();
+  EXPECT_EQ(p.step(p.num_steps() - 1).kind(), StepKind::kEmit);
+  EXPECT_EQ(p.num_scopes(), 2u);
+}
+
+TEST(DslTest, ErrorsPropagate) {
+  TestGraph tg = MakeGraph();
+  // Out before V.
+  Traversal t1(tg.graph);
+  t1.Out("link");
+  EXPECT_FALSE(t1.Build().ok());
+  // Double V.
+  Traversal t2(tg.graph);
+  t2.V({1}).V({2});
+  EXPECT_FALSE(t2.Build().ok());
+  // GroupBy on a property operand.
+  Traversal t3(tg.graph);
+  t3.V({1}).GroupBy(Operand::Property(0), Operand::Const(Value(int64_t{1})),
+                    AggFunc::kCount);
+  EXPECT_FALSE(t3.Build().ok());
+  // CaptureEdgeProp without expand.
+  Traversal t4(tg.graph);
+  t4.V({1}).CaptureEdgeProp();
+  EXPECT_FALSE(t4.Build().ok());
+  // TeeOnImprove without RepeatOut.
+  Traversal t5(tg.graph);
+  t5.V({1}).Out("link").TeeOnImprove();
+  EXPECT_FALSE(t5.Build().ok());
+  // Empty traversal.
+  Traversal t6(tg.graph);
+  EXPECT_FALSE(t6.Build().ok());
+}
+
+TEST(DslTest, AppendAfterTerminalFails) {
+  TestGraph tg = MakeGraph();
+  Traversal t(tg.graph);
+  t.V({1}).Count();
+  // ScalarAgg is terminal-capable but still open for continuation...
+  auto plan = t.Build();
+  EXPECT_TRUE(plan.ok());
+}
+
+// ---- join planner -------------------------------------------------------------
+
+TEST(PlannerTest, ChoosesInteriorSplitForAnchoredEnds) {
+  GraphStats stats;
+  stats.num_vertices = 1000;
+  Schema schema;
+  LabelId e = schema.EdgeLabel("e");
+  stats.vertices_per_label[0] = 1000;
+  stats.edges_per_label[e] = 10'000;  // fanout 10 both ways
+  stats.edge_src_label[e] = 0;
+  stats.edge_dst_label[e] = 0;
+
+  PathPattern pattern;
+  for (int i = 0; i < 4; ++i) pattern.hops.push_back({"e", Direction::kOut});
+  // Both anchors single vertices: expanding 4 hops one way costs ~10^4;
+  // splitting 2+2 costs ~2*10^2.
+  JoinPlanChoice choice = ChooseJoinSplit(stats, schema, pattern, 1.0, 1.0);
+  EXPECT_TRUE(choice.use_join);
+  EXPECT_EQ(choice.split, 2u);
+}
+
+TEST(PlannerTest, PureForwardWhenFarAnchorHuge) {
+  GraphStats stats;
+  stats.num_vertices = 1000;
+  Schema schema;
+  LabelId e = schema.EdgeLabel("e");
+  stats.vertices_per_label[0] = 1000;
+  stats.edges_per_label[e] = 2'000;  // fanout 2
+  stats.edge_src_label[e] = 0;
+  stats.edge_dst_label[e] = 0;
+
+  PathPattern pattern;
+  pattern.hops.push_back({"e", Direction::kOut});
+  // B anchored at 10000 vertices: backward expansion is hopeless.
+  JoinPlanChoice choice = ChooseJoinSplit(stats, schema, pattern, 1.0, 10'000.0);
+  EXPECT_FALSE(choice.use_join);
+  EXPECT_EQ(choice.split, pattern.hops.size());
+}
+
+TEST(PlannerTest, JoinPlanExecutesAndMatchesUnidirectional) {
+  TestGraph tg = MakeGraph(4);
+  PathPattern pattern;
+  pattern.hops.push_back({"link", Direction::kOut});
+  pattern.hops.push_back({"link", Direction::kOut});
+
+  VertexId a = 3, b = 17;
+  // Forced interior split (join plan).
+  JoinPlanChoice join_choice;
+  join_choice.split = 1;
+  join_choice.use_join = true;
+  auto jt = BuildPathQuery(tg.graph, {a}, {b}, pattern, join_choice);
+  ASSERT_TRUE(jt.ok()) << jt.status().ToString();
+  auto jplan = jt.TakeValue().Count().Build();
+  ASSERT_TRUE(jplan.ok());
+
+  // Forced pure forward.
+  JoinPlanChoice fwd_choice;
+  fwd_choice.split = 2;
+  fwd_choice.use_join = false;
+  auto ft = BuildPathQuery(tg.graph, {a}, {b}, pattern, fwd_choice);
+  ASSERT_TRUE(ft.ok());
+  auto fplan = ft.TakeValue().Count().Build();
+  ASSERT_TRUE(fplan.ok());
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  SimCluster c1(cfg, tg.graph);
+  SimCluster c2(cfg, tg.graph);
+  auto r1 = c1.Run(jplan.TakeValue());
+  auto r2 = c2.Run(fplan.TakeValue());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1.value().rows, r2.value().rows)
+      << "join plan and unidirectional plan must count the same paths";
+}
+
+TEST(PlannerTest, RejectsMultiFarAnchorUnidirectional) {
+  TestGraph tg = MakeGraph(2);
+  PathPattern pattern;
+  pattern.hops.push_back({"link", Direction::kOut});
+  JoinPlanChoice choice;
+  choice.split = 1;
+  choice.use_join = false;
+  auto t = BuildPathQuery(tg.graph, {1}, {2, 3}, pattern, choice);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(PlannerTest, UnknownEdgeLabelFanoutZero) {
+  GraphStats stats;
+  Schema schema;
+  PathPattern pattern;
+  pattern.hops.push_back({"ghost", Direction::kOut});
+  JoinPlanChoice choice = ChooseJoinSplit(stats, schema, pattern, 1.0, 1.0);
+  // Still yields a valid split without crashing.
+  EXPECT_LE(choice.split, pattern.hops.size());
+}
+
+}  // namespace
+}  // namespace graphdance

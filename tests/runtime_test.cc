@@ -1,0 +1,567 @@
+// End-to-end tests of the simulated cluster runtime: every engine executes
+// real PSTM plans over real graphs; results are checked against
+// single-threaded reference oracles, across engines, weight-coalescing
+// settings and I/O modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+// ---- reference oracles -------------------------------------------------------
+
+/// BFS: all vertices within `k` hops of `start` (including start).
+std::set<VertexId> RefKHop(const PartitionedGraph& g, LabelId elabel, VertexId start,
+                           int k) {
+  std::set<VertexId> seen = {start};
+  std::vector<VertexId> frontier = {start};
+  for (int hop = 0; hop < k; ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      g.ForEachNeighbor(v, elabel, Direction::kOut, [&](VertexId d, const Value&) {
+        if (seen.insert(d).second) next.push_back(d);
+      });
+    }
+    frontier = std::move(next);
+  }
+  return seen;
+}
+
+/// Reference top-k rows [id, weight] ordered by weight desc, id asc.
+std::vector<Row> RefTopK(const PartitionedGraph& g, PropKeyId weight_key,
+                         const std::set<VertexId>& vertices, size_t k) {
+  std::vector<Row> rows;
+  for (VertexId v : vertices) {
+    const Value* w = g.PropertyOf(v, weight_key);
+    rows.push_back(Row{Value(static_cast<int64_t>(v)), w ? *w : Value()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    int c = a[1].Compare(b[1]);
+    if (c != 0) return c > 0;
+    return a[0].Compare(b[0]) < 0;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId link;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t partitions, uint64_t nv = 2048, uint64_t ne = 16384,
+                    uint64_t seed = 5) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = seed;
+  opt.weight_range = 10'000;
+  auto result = GeneratePowerLawGraph(opt, tg.schema, partitions);
+  EXPECT_TRUE(result.ok());
+  tg.graph = result.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig MakeConfig(uint32_t nodes, uint32_t wpn, EngineKind engine) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.workers_per_node = wpn;
+  cfg.engine = engine;
+  return cfg;
+}
+
+/// The paper's Fig. 1 query: top-10 most weighted vertices within k hops.
+std::shared_ptr<const Plan> KHopTopKPlan(const TestGraph& tg, VertexId start, int k,
+                                         size_t limit = 10) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, limit)
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+/// Plain k-hop reachability count (dedup via distance memo, then Count).
+std::shared_ptr<const Plan> KHopCountPlan(const TestGraph& tg, VertexId start, int k) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Count()
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+// ---- basic async execution ---------------------------------------------------
+
+TEST(AsyncEngineTest, KHopCountMatchesBfs) {
+  TestGraph tg = MakeGraph(8);
+  SimCluster cluster(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+  for (VertexId start : {VertexId{0}, VertexId{5}, VertexId{100}}) {
+    for (int k : {1, 2, 3}) {
+      SimCluster c(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+      auto res = c.Run(KHopCountPlan(tg, start, k));
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      ASSERT_EQ(res.value().rows.size(), 1u);
+      size_t expected = RefKHop(*tg.graph, tg.link, start, k).size();
+      EXPECT_EQ(res.value().rows[0][0].as_int(), static_cast<int64_t>(expected))
+          << "start=" << start << " k=" << k;
+    }
+  }
+}
+
+TEST(AsyncEngineTest, KHopTopKMatchesReference) {
+  TestGraph tg = MakeGraph(8);
+  for (int k : {2, 3}) {
+    SimCluster cluster(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+    auto res = cluster.Run(KHopTopKPlan(tg, /*start=*/3, k));
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    auto expected = RefTopK(*tg.graph, tg.weight,
+                            RefKHop(*tg.graph, tg.link, 3, k), 10);
+    ASSERT_EQ(res.value().rows.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(res.value().rows[i], expected[i]) << "row " << i << " k=" << k;
+    }
+  }
+}
+
+TEST(AsyncEngineTest, LatencyIsPositiveAndFinite) {
+  TestGraph tg = MakeGraph(4);
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(KHopTopKPlan(tg, 1, 2));
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res.value().LatencyMicros(), 0.0);
+  EXPECT_TRUE(res.value().done);
+}
+
+TEST(AsyncEngineTest, DeterministicAcrossRuns) {
+  TestGraph tg = MakeGraph(8);
+  std::vector<Row> first;
+  double latency = 0;
+  for (int trial = 0; trial < 2; ++trial) {
+    SimCluster cluster(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+    auto res = cluster.Run(KHopTopKPlan(tg, 7, 3));
+    ASSERT_TRUE(res.ok());
+    if (trial == 0) {
+      first = res.value().rows;
+      latency = res.value().LatencyMicros();
+    } else {
+      EXPECT_EQ(res.value().rows, first);
+      EXPECT_DOUBLE_EQ(res.value().LatencyMicros(), latency);
+    }
+  }
+}
+
+TEST(AsyncEngineTest, MissingStartVertexCompletesEmpty) {
+  TestGraph tg = MakeGraph(4, 256, 1024);
+  SimCluster cluster(MakeConfig(1, 4, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(KHopTopKPlan(tg, /*start=*/999999, 2));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res.value().rows.empty());
+}
+
+TEST(AsyncEngineTest, ConcurrentQueriesAllComplete) {
+  TestGraph tg = MakeGraph(8);
+  SimCluster cluster(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+  std::vector<uint64_t> ids;
+  for (VertexId s = 0; s < 16; ++s) {
+    ids.push_back(cluster.Submit(KHopCountPlan(tg, s, 2), /*at=*/s * 1000));
+  }
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  for (VertexId s = 0; s < 16; ++s) {
+    const QueryResult& r = cluster.result(ids[s]);
+    EXPECT_TRUE(r.done);
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_EQ(r.rows[0][0].as_int(),
+              static_cast<int64_t>(RefKHop(*tg.graph, tg.link, s, 2).size()));
+  }
+}
+
+TEST(AsyncEngineTest, MemosClearedAfterQuery) {
+  TestGraph tg = MakeGraph(4);
+  SimCluster cluster(MakeConfig(1, 4, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(KHopCountPlan(tg, 2, 3));
+  ASSERT_TRUE(res.ok());
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(cluster.memo(p).size(), 0u) << "partition " << p;
+  }
+}
+
+// ---- filters / projections / dedup -------------------------------------------
+
+TEST(AsyncEngineTest, FilterByProperty) {
+  TestGraph tg = MakeGraph(4, 512, 4096);
+  // Count 2-hop neighbors with weight >= 5000.
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .RepeatOut("link", 2, true)
+                  .Has("weight", CmpOp::kGe, Value(int64_t{5000}))
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+
+  int64_t expected = 0;
+  for (VertexId v : RefKHop(*tg.graph, tg.link, 1, 2)) {
+    const Value* w = tg.graph->PropertyOf(v, tg.weight);
+    if (w != nullptr && w->as_int() >= 5000) ++expected;
+  }
+  EXPECT_EQ(res.value().rows[0][0].as_int(), expected);
+}
+
+TEST(AsyncEngineTest, DedupStepDeduplicates) {
+  TestGraph tg = MakeGraph(4, 512, 4096);
+  // 2-hop paths WITHOUT distance pruning, then Dedup by vertex: the result
+  // count must equal the distinct vertices at <=2 hops.
+  auto plan = Traversal(tg.graph)
+                  .V({1})
+                  .RepeatOut("link", 2, /*dedup=*/false)
+                  .Dedup()
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().rows[0][0].as_int(),
+            static_cast<int64_t>(RefKHop(*tg.graph, tg.link, 1, 2).size()));
+}
+
+TEST(AsyncEngineTest, GroupByCountsPerKey) {
+  TestGraph tg = MakeGraph(4, 256, 2048);
+  // Group 1-hop neighbors of several starts by hop count (trivially 1) and
+  // by vertex: count of visits per vertex at exactly 1 hop from vertex 0.
+  auto plan = Traversal(tg.graph)
+                  .V({0})
+                  .Out("link")
+                  .GroupCount(Operand::VertexIdOp())
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+
+  std::map<VertexId, int64_t> expected;
+  tg.graph->ForEachNeighbor(0, tg.link, Direction::kOut,
+                            [&](VertexId d, const Value&) { expected[d]++; });
+  ASSERT_EQ(res.value().rows.size(), expected.size());
+  for (const Row& row : res.value().rows) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[1].as_int(), expected[row[0].as_int()]);
+  }
+}
+
+TEST(AsyncEngineTest, ScalarSumMatchesReference) {
+  TestGraph tg = MakeGraph(4, 512, 4096);
+  auto plan = Traversal(tg.graph)
+                  .V({9})
+                  .RepeatOut("link", 2, true)
+                  .Values("weight")
+                  .Sum(Operand::Var(0))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  double expected = 0;
+  for (VertexId v : RefKHop(*tg.graph, tg.link, 9, 2)) {
+    expected += tg.graph->PropertyOf(v, tg.weight)->ToDouble();
+  }
+  ASSERT_EQ(res.value().rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.value().rows[0][0].as_double(), expected);
+}
+
+TEST(AsyncEngineTest, IndexLookupByProperty) {
+  TestGraph tg = MakeGraph(4, 256, 1024);
+  LabelId node = tg.schema->VertexLabel("node");
+  tg.graph->BuildIndex(node, tg.weight);
+  // Find the weight of some vertex, look all vertices with that weight up
+  // via the index, and count them.
+  int64_t target = tg.graph->PropertyOf(42, tg.weight)->as_int();
+  auto plan = Traversal(tg.graph)
+                  .V("node", "weight", Value(target))
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok());
+  int64_t expected = 0;
+  for (VertexId v = 0; v < 256; ++v) {
+    const Value* w = tg.graph->PropertyOf(v, tg.weight);
+    if (w != nullptr && w->as_int() == target) ++expected;
+  }
+  EXPECT_GE(expected, 1);
+  EXPECT_EQ(res.value().rows[0][0].as_int(), expected);
+}
+
+// ---- joins ---------------------------------------------------------------------
+
+TEST(AsyncEngineTest, JoinCountsTwoHopPaths) {
+  TestGraph tg = MakeGraph(4, 512, 4096);
+  // Paths start ->out-> m ->out-> end, split at m: forward 1 hop from
+  // start, backward 1 hop from end; join at the middle vertex.
+  VertexId start = 1, end = 2;
+  Traversal fwd(tg.graph);
+  fwd.V({start}).Out("link");
+  Traversal bwd(tg.graph);
+  bwd.V({end}).In("link");
+  auto plan = Traversal::Join(std::move(fwd), Operand::VertexIdOp(),
+                              std::move(bwd), Operand::VertexIdOp())
+                  .Count()
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  SimCluster cluster(MakeConfig(2, 2, EngineKind::kAsync), tg.graph);
+  auto res = cluster.Run(plan.TakeValue());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  // Oracle: count pairs of edges start->m, m->end (multi-edges count).
+  std::map<VertexId, int64_t> mid_counts;
+  tg.graph->ForEachNeighbor(start, tg.link, Direction::kOut,
+                            [&](VertexId m, const Value&) { mid_counts[m]++; });
+  int64_t expected = 0;
+  tg.graph->ForEachNeighbor(end, tg.link, Direction::kIn,
+                            [&](VertexId m, const Value&) {
+                              auto it = mid_counts.find(m);
+                              if (it != mid_counts.end()) expected += it->second;
+                            });
+  ASSERT_EQ(res.value().rows.size(), 1u);
+  EXPECT_EQ(res.value().rows[0][0].as_int(), expected);
+}
+
+// ---- engine equivalence ---------------------------------------------------------
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineEquivalenceTest, TopKMatchesAsync) {
+  TestGraph tg = MakeGraph(8, 1024, 8192);
+  SimCluster async_cluster(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+  auto base = async_cluster.Run(KHopTopKPlan(tg, 11, 3));
+  ASSERT_TRUE(base.ok());
+
+  SimCluster other(MakeConfig(2, 4, GetParam()), tg.graph);
+  auto res = other.Run(KHopTopKPlan(tg, 11, 3));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().rows, base.value().rows);
+}
+
+TEST_P(EngineEquivalenceTest, GroupByMatchesAsync) {
+  TestGraph tg = MakeGraph(8, 512, 4096);
+  auto make_plan = [&] {
+    auto p = Traversal(tg.graph).V({0}).Out("link").Out("link")
+                 .GroupCount(Operand::VertexIdOp())
+                 .Build();
+    EXPECT_TRUE(p.ok());
+    return p.TakeValue();
+  };
+  SimCluster async_cluster(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+  auto base = async_cluster.Run(make_plan());
+  ASSERT_TRUE(base.ok());
+
+  SimCluster other(MakeConfig(2, 4, GetParam()), tg.graph);
+  auto res = other.Run(make_plan());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(SortedRows(res.value().rows), SortedRows(base.value().rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineEquivalenceTest,
+                         ::testing::Values(EngineKind::kBsp, EngineKind::kShared,
+                                           EngineKind::kGaiaSim,
+                                           EngineKind::kBanyanSim),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case EngineKind::kBsp:
+                               return "bsp";
+                             case EngineKind::kShared:
+                               return "shared";
+                             case EngineKind::kGaiaSim:
+                               return "gaia";
+                             case EngineKind::kBanyanSim:
+                               return "banyan";
+                             default:
+                               return "other";
+                           }
+                         });
+
+// ---- configuration sweeps: results invariant -----------------------------------
+
+struct SweepParam {
+  bool weight_coalescing;
+  IoMode io_mode;
+  uint32_t nodes;
+  uint32_t wpn;
+};
+
+class ConfigSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConfigSweepTest, ResultsInvariantUnderConfig) {
+  const SweepParam& p = GetParam();
+  TestGraph tg = MakeGraph(p.nodes * p.wpn, 1024, 8192);
+  ClusterConfig cfg = MakeConfig(p.nodes, p.wpn, EngineKind::kAsync);
+  cfg.weight_coalescing = p.weight_coalescing;
+  cfg.io_mode = p.io_mode;
+  SimCluster cluster(cfg, tg.graph);
+  auto res = cluster.Run(KHopTopKPlan(tg, 5, 3));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  auto expected =
+      RefTopK(*tg.graph, tg.weight, RefKHop(*tg.graph, tg.link, 5, 3), 10);
+  EXPECT_EQ(res.value().rows, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigSweepTest,
+    ::testing::Values(SweepParam{true, IoMode::kTlcNlc, 1, 1},
+                      SweepParam{true, IoMode::kTlcNlc, 1, 8},
+                      SweepParam{true, IoMode::kTlcNlc, 8, 4},
+                      SweepParam{false, IoMode::kTlcNlc, 4, 2},
+                      SweepParam{true, IoMode::kTlcOnly, 4, 2},
+                      SweepParam{true, IoMode::kSyncSend, 4, 2},
+                      SweepParam{false, IoMode::kSyncSend, 2, 2}),
+    [](const auto& info) {
+      const SweepParam& p = info.param;
+      std::string name = p.weight_coalescing ? "wc" : "nowc";
+      name += p.io_mode == IoMode::kSyncSend
+                  ? "_sync"
+                  : (p.io_mode == IoMode::kTlcOnly ? "_tlc" : "_tlcnlc");
+      name += "_n" + std::to_string(p.nodes) + "w" + std::to_string(p.wpn);
+      return name;
+    });
+
+// ---- performance-shape sanity ----------------------------------------------------
+
+TEST(PerfShapeTest, AsyncBeatsBspOnKHop) {
+  TestGraph tg = MakeGraph(16, 4096, 32768);
+  SimCluster async_cluster(MakeConfig(4, 4, EngineKind::kAsync), tg.graph);
+  auto a = async_cluster.Run(KHopTopKPlan(tg, 21, 3));
+  ASSERT_TRUE(a.ok());
+
+  SimCluster bsp_cluster(MakeConfig(4, 4, EngineKind::kBsp), tg.graph);
+  auto b = bsp_cluster.Run(KHopTopKPlan(tg, 21, 3));
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_LT(a.value().LatencyMicros(), b.value().LatencyMicros())
+      << "async should beat BSP on interactive queries";
+}
+
+TEST(PerfShapeTest, MoreWorkersReduceLatency) {
+  TestGraph tg1 = MakeGraph(1, 4096, 32768);
+  SimCluster c1(MakeConfig(1, 1, EngineKind::kAsync), tg1.graph);
+  auto r1 = c1.Run(KHopTopKPlan(tg1, 21, 3));
+  ASSERT_TRUE(r1.ok());
+
+  TestGraph tg8 = MakeGraph(8, 4096, 32768);
+  SimCluster c8(MakeConfig(2, 4, EngineKind::kAsync), tg8.graph);
+  auto r8 = c8.Run(KHopTopKPlan(tg8, 21, 3));
+  ASSERT_TRUE(r8.ok());
+
+  EXPECT_LT(r8.value().LatencyMicros(), r1.value().LatencyMicros())
+      << "8 workers should beat 1 worker on a large traversal";
+}
+
+TEST(PerfShapeTest, SharedStateSlowerThanPartitioned) {
+  TestGraph tg = MakeGraph(8, 4096, 32768);
+  SimCluster part(MakeConfig(2, 4, EngineKind::kAsync), tg.graph);
+  auto rp = part.Run(KHopTopKPlan(tg, 13, 3));
+  ASSERT_TRUE(rp.ok());
+
+  SimCluster shared(MakeConfig(2, 4, EngineKind::kShared), tg.graph);
+  auto rs = shared.Run(KHopTopKPlan(tg, 13, 3));
+  ASSERT_TRUE(rs.ok());
+
+  EXPECT_LT(rp.value().LatencyMicros(), rs.value().LatencyMicros())
+      << "partitioned execution should beat the shared/NUMA model";
+}
+
+TEST(PerfShapeTest, WeightCoalescingReducesProgressMessages) {
+  TestGraph tg = MakeGraph(8, 2048, 16384);
+  ClusterConfig with_wc = MakeConfig(2, 4, EngineKind::kAsync);
+  SimCluster c1(with_wc, tg.graph);
+  ASSERT_TRUE(c1.Run(KHopCountPlan(tg, 3, 3)).ok());
+  uint64_t wc_reports = c1.net_stats().progress_messages();
+
+  ClusterConfig no_wc = with_wc;
+  no_wc.weight_coalescing = false;
+  SimCluster c2(no_wc, tg.graph);
+  ASSERT_TRUE(c2.Run(KHopCountPlan(tg, 3, 3)).ok());
+  uint64_t raw_reports = c2.net_stats().progress_messages();
+
+  EXPECT_LT(wc_reports * 5, raw_reports)
+      << "coalescing should reduce progress messages by a large factor";
+}
+
+TEST(PerfShapeTest, TlcReducesFramesVsSyncSend) {
+  TestGraph tg = MakeGraph(8, 2048, 16384);
+  ClusterConfig sync_cfg = MakeConfig(2, 4, EngineKind::kAsync);
+  sync_cfg.io_mode = IoMode::kSyncSend;
+  SimCluster c1(sync_cfg, tg.graph);
+  ASSERT_TRUE(c1.Run(KHopCountPlan(tg, 3, 3)).ok());
+
+  ClusterConfig tlc_cfg = sync_cfg;
+  tlc_cfg.io_mode = IoMode::kTlcOnly;
+  SimCluster c2(tlc_cfg, tg.graph);
+  ASSERT_TRUE(c2.Run(KHopCountPlan(tg, 3, 3)).ok());
+
+  EXPECT_LT(c2.net_stats().frames * 3, c1.net_stats().frames)
+      << "thread-level combining should collapse frames";
+}
+
+// ---- transactional read path -----------------------------------------------------
+
+TEST(AsyncEngineTest, SnapshotReadsHonorTimestamps) {
+  TestGraph tg = MakeGraph(4, 128, 256);
+  // Dynamically add edges 0 -> {10, 11} at ts 100 on the owning partition.
+  SimCluster cluster(MakeConfig(1, 4, EngineKind::kAsync), tg.graph);
+  PartitionId p0 = tg.graph->PartitionOf(0);
+  cluster.ApplyAtPartition(p0, 100, [&](PartitionStore& store) {
+    store.tel().AddEdge(0, tg.link, Direction::kOut, 10, 100);
+    store.tel().AddEdge(0, tg.link, Direction::kOut, 11, 100);
+  });
+
+  auto count_at = [&](Timestamp ts) {
+    auto plan = Traversal(tg.graph).V({0}).Out("link").Count().Build();
+    EXPECT_TRUE(plan.ok());
+    SimCluster c(MakeConfig(1, 4, EngineKind::kAsync), tg.graph);
+    auto res = c.Run(plan.TakeValue(), ts);
+    EXPECT_TRUE(res.ok());
+    return res.value().rows[0][0].as_int();
+  };
+  int64_t before = count_at(50);
+  int64_t after = count_at(150);
+  EXPECT_EQ(after, before + 2);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,159 @@
+// Tests for the discrete-event simulation kernel (virtual-time event queue,
+// cost model arithmetic) and runtime deadline semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+
+namespace graphdance {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(300, [&](SimTime) { order.push_back(3); });
+  q.Schedule(100, [&](SimTime) { order.push_back(1); });
+  q.Schedule(200, [&](SimTime) { order.push_back(2); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(42, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleFurtherEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    ++fired;
+    if (fired < 10) q.Schedule(t + 10, chain);
+  };
+  q.Schedule(0, chain);
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(q.now(), 90u);
+}
+
+TEST(EventQueueTest, RunBudgetStopsEarly) {
+  EventQueue q;
+  for (int i = 0; i < 100; ++i) q.Schedule(i, [](SimTime) {});
+  EXPECT_EQ(q.RunUntilEmpty(10), 10u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 90u);
+}
+
+TEST(CostModelTest, TransmitScalesWithBandwidth) {
+  CostModel fast;
+  fast.bandwidth_gbps = 200.0;
+  CostModel slow = fast;
+  slow.bandwidth_gbps = 25.0;
+  // 8x less bandwidth -> 8x the transmit time.
+  EXPECT_EQ(slow.TransmitNs(100'000), 8 * fast.TransmitNs(100'000));
+  // 200 Gbps = 25 bytes/ns: 100 KB ~ 4000 ns.
+  EXPECT_EQ(fast.TransmitNs(100'000), 4000u);
+}
+
+TEST(CostModelTest, EveryKindHasACost) {
+  CostModel cost;
+  for (int k = 0; k < static_cast<int>(CostKind::kNumKinds); ++k) {
+    EXPECT_GT(cost.Of(static_cast<CostKind>(k)), 0u) << "kind " << k;
+  }
+}
+
+// ---- deadlines ------------------------------------------------------------------
+
+struct DeadlineFixture {
+  std::shared_ptr<Schema> schema = std::make_shared<Schema>();
+  std::shared_ptr<PartitionedGraph> graph;
+  ClusterConfig cfg;
+
+  DeadlineFixture() {
+    PowerLawGraphOptions opt;
+    opt.num_vertices = 4096;
+    opt.num_edges = 32768;
+    opt.seed = 9;
+    cfg.num_nodes = 2;
+    cfg.workers_per_node = 2;
+    graph = GeneratePowerLawGraph(opt, schema, cfg.num_partitions()).TakeValue();
+  }
+
+  std::shared_ptr<const Plan> BigQuery() {
+    return Traversal(graph)
+        .V({0})
+        .RepeatOut("link", 4, true)
+        .Count()
+        .Build()
+        .TakeValue();
+  }
+};
+
+TEST(DeadlineTest, TightDeadlineAbortsQuery) {
+  DeadlineFixture f;
+  SimCluster cluster(f.cfg, f.graph);
+  uint64_t id = cluster.Submit(f.BigQuery(), 0, kMaxTimestamp - 1,
+                               /*deadline_ns=*/50'000);  // 50 us budget
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(id);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_NEAR(r.LatencyMicros(), 50.0, 1.0);
+}
+
+TEST(DeadlineTest, GenerousDeadlineCompletesNormally) {
+  DeadlineFixture f;
+  SimCluster cluster(f.cfg, f.graph);
+  uint64_t id = cluster.Submit(f.BigQuery(), 0, kMaxTimestamp - 1,
+                               /*deadline_ns=*/60'000'000'000ULL);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(id);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.timed_out);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_GT(r.rows[0][0].as_int(), 0);
+}
+
+TEST(DeadlineTest, AbortedQueryFreesItsMemos) {
+  DeadlineFixture f;
+  SimCluster cluster(f.cfg, f.graph);
+  cluster.Submit(f.BigQuery(), 0, kMaxTimestamp - 1, 50'000);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  for (PartitionId p = 0; p < f.cfg.num_partitions(); ++p) {
+    EXPECT_EQ(cluster.memo(p).size(), 0u) << "partition " << p;
+  }
+}
+
+TEST(DeadlineTest, OtherQueriesUnaffectedByAbort) {
+  DeadlineFixture f;
+  SimCluster cluster(f.cfg, f.graph);
+  uint64_t doomed = cluster.Submit(f.BigQuery(), 0, kMaxTimestamp - 1, 50'000);
+  auto small = Traversal(f.graph).V({1}).Out("link").Count().Build().TakeValue();
+  uint64_t fine = cluster.Submit(small, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  EXPECT_TRUE(cluster.result(doomed).timed_out);
+  EXPECT_FALSE(cluster.result(fine).timed_out);
+
+  // The surviving query's answer matches an uncontended run.
+  SimCluster clean(f.cfg, f.graph);
+  auto expect =
+      clean.Run(Traversal(f.graph).V({1}).Out("link").Count().Build().TakeValue());
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(cluster.result(fine).rows, expect.value().rows);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,363 @@
+// Step-level unit tests through a mock StepContext: every step must
+// conserve progression weight (sum of emitted weights + finished weight ==
+// input weight, in Z_2^64 — the invariant behind Theorem 1), and its
+// emissions must follow the step's documented semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/generators.h"
+#include "pstm/memo.h"
+#include "pstm/steps.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+namespace {
+
+/// Records every side effect of a step execution.
+class MockStepContext : public StepContext {
+ public:
+  MockStepContext(std::shared_ptr<PartitionedGraph> graph, PartitionId partition)
+      : graph_(std::move(graph)), partition_(partition), rng_(7) {}
+
+  const PartitionStore& store() const override {
+    return graph_->partition(partition_);
+  }
+  MemoTable& memo() override { return memo_; }
+  const Partitioner& partitioner() const override {
+    return graph_->partitioner();
+  }
+  const Schema& schema() const override { return graph_->schema(); }
+  uint64_t query_id() const override { return 1; }
+  Timestamp read_ts() const override { return kMaxTimestamp - 1; }
+  Rng& rng() override { return rng_; }
+  void Charge(CostKind kind, uint64_t count) override {
+    charges[static_cast<int>(kind)] += count;
+  }
+  void Emit(Traverser t) override { emitted.push_back(std::move(t)); }
+  void Finish(uint32_t scope, Weight w) override {
+    finished_scope = scope;
+    finished += w;
+  }
+  void EmitRow(Row row) override { rows.push_back(std::move(row)); }
+  void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) override {
+    collects.emplace_back(step_id, std::move(payload));
+  }
+
+  /// The conservation check: emitted + finished == `input` (mod 2^64).
+  void ExpectWeightConserved(Weight input) const {
+    Weight sum = finished;
+    for (const Traverser& t : emitted) sum += t.weight;
+    EXPECT_EQ(sum, input) << "progression weight not conserved";
+  }
+
+  std::vector<Traverser> emitted;
+  std::vector<Row> rows;
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> collects;
+  Weight finished = 0;
+  uint32_t finished_scope = 0;
+  uint64_t charges[static_cast<int>(CostKind::kNumKinds)] = {0};
+
+ private:
+  std::shared_ptr<PartitionedGraph> graph_;
+  PartitionId partition_;
+  MemoTable memo_;
+  Rng rng_;
+};
+
+struct Fixture {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId link;
+  PropKeyId weight;
+
+  Fixture() {
+    schema = std::make_shared<Schema>();
+    // Single partition so any vertex's adjacency is locally visible.
+    graph = GenerateUniformGraph(64, 512, 3, schema, 1).TakeValue();
+    link = schema->EdgeLabel("link");
+    weight = schema->PropKey("weight");
+  }
+
+  Traverser At(VertexId v, Weight w = 0x123456789abcdefULL) {
+    Traverser t;
+    t.vertex = v;
+    t.weight = w;
+    return t;
+  }
+};
+
+TEST(StepUnitTest, ExpandConservesWeightAcrossChildren) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  ExpandStep step(f.link, Direction::kOut);
+  step.set_next(5);
+  Weight input = 0xdeadbeefULL;
+  step.Execute(f.At(1, input), ctx);
+  ctx.ExpectWeightConserved(input);
+  uint64_t degree = f.graph->partition(0).Degree(1, f.link, Direction::kOut,
+                                                 kMaxTimestamp - 1);
+  EXPECT_EQ(ctx.emitted.size(), degree);
+  for (const Traverser& t : ctx.emitted) {
+    EXPECT_EQ(t.step, 5);
+    EXPECT_EQ(t.hop, 1);
+  }
+}
+
+TEST(StepUnitTest, ExpandFinishesWeightWhenNoNeighbors) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  // An edge label with no edges at all.
+  ExpandStep step(f.schema->EdgeLabel("ghost"), Direction::kOut);
+  step.set_next(5);
+  Weight input = 77;
+  step.Execute(f.At(1, input), ctx);
+  EXPECT_TRUE(ctx.emitted.empty());
+  EXPECT_EQ(ctx.finished, input);
+}
+
+TEST(StepUnitTest, LoopExpandPrunesDuplicates) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  ExpandStep step(f.link, Direction::kOut);
+  step.set_loop(3, /*dedup=*/true);
+  step.set_tee(9);
+
+  Weight w1 = 1000, w2 = 2000;
+  Traverser first = f.At(2, w1);
+  first.hop = 1;
+  step.Execute(std::move(first), ctx);
+  size_t first_emissions = ctx.emitted.size();
+  EXPECT_GT(first_emissions, 0u);  // tee at minimum
+  ctx.ExpectWeightConserved(w1);
+
+  // Same vertex again at a longer distance: pruned outright.
+  Traverser dup = f.At(2, w2);
+  dup.hop = 2;
+  step.Execute(std::move(dup), ctx);
+  EXPECT_EQ(ctx.emitted.size(), first_emissions);
+  ctx.ExpectWeightConserved(w1 + w2);
+}
+
+TEST(StepUnitTest, LoopExpandImprovementReExpandsWithoutReTee) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  ExpandStep step(f.link, Direction::kOut);
+  step.set_loop(4, true);
+  step.set_tee(9);
+
+  Traverser far = f.At(3, 10);
+  far.hop = 3;
+  step.Execute(std::move(far), ctx);
+  size_t tees_before = 0;
+  for (const Traverser& t : ctx.emitted) tees_before += (t.step == 9);
+  EXPECT_EQ(tees_before, 1u);
+
+  // Shorter path arrives later: re-expansion happens, but no second tee
+  // (Fig. 4c blue traverser).
+  Traverser near = f.At(3, 20);
+  near.hop = 1;
+  step.Execute(std::move(near), ctx);
+  size_t tees_after = 0;
+  for (const Traverser& t : ctx.emitted) tees_after += (t.step == 9);
+  EXPECT_EQ(tees_after, 1u);
+  ctx.ExpectWeightConserved(30);
+}
+
+TEST(StepUnitTest, FilterPassAndFail) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  Predicate pred;
+  pred.lhs = Operand::VertexIdOp();
+  pred.op = CmpOp::kLt;
+  pred.rhs = Operand::Const(Value(int64_t{10}));
+  FilterStep step({pred});
+  step.set_next(2);
+
+  step.Execute(f.At(5, 100), ctx);
+  ASSERT_EQ(ctx.emitted.size(), 1u);
+  EXPECT_EQ(ctx.emitted[0].weight, 100u);
+
+  step.Execute(f.At(50, 200), ctx);
+  EXPECT_EQ(ctx.emitted.size(), 1u);
+  EXPECT_EQ(ctx.finished, 200u);
+}
+
+TEST(StepUnitTest, DedupPassesFirstOnly) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  DedupStep step(Operand::VertexIdOp());
+  step.set_next(3);
+  step.Execute(f.At(4, 10), ctx);
+  step.Execute(f.At(4, 20), ctx);
+  step.Execute(f.At(6, 30), ctx);
+  EXPECT_EQ(ctx.emitted.size(), 2u);
+  EXPECT_EQ(ctx.finished, 20u);
+  ctx.ExpectWeightConserved(60);
+}
+
+TEST(StepUnitTest, JoinProbeEmitsCrossProducts) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  JoinProbeStep left(true, Operand::VertexIdOp());
+  JoinProbeStep right(false, Operand::VertexIdOp());
+  left.set_memo_step(0);
+  right.set_memo_step(0);
+  left.set_next(7);
+  right.set_next(7);
+
+  // Two left instances at key vertex 9, then one right instance: the right
+  // probe matches both buffered lefts.
+  Traverser l1 = f.At(9, 100);
+  l1.vars.push_back(Value("L1"));
+  left.Execute(std::move(l1), ctx);
+  Traverser l2 = f.At(9, 200);
+  l2.vars.push_back(Value("L2"));
+  left.Execute(std::move(l2), ctx);
+  EXPECT_EQ(ctx.emitted.size(), 0u);  // no right side yet
+  EXPECT_EQ(ctx.finished, 300u);      // buffered copies hold no weight
+
+  Traverser r = f.At(9, 400);
+  r.vars.push_back(Value("R"));
+  right.Execute(std::move(r), ctx);
+  EXPECT_EQ(ctx.emitted.size(), 2u);
+  Weight out = 0;
+  for (const Traverser& t : ctx.emitted) {
+    out += t.weight;
+    ASSERT_EQ(t.vars.size(), 2u);
+    EXPECT_EQ(t.vars[1], Value("R"));  // left vars ++ right vars
+  }
+  EXPECT_EQ(out, 400u);
+}
+
+TEST(StepUnitTest, GroupByAccumulatesAndFinalizes) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  GroupByStep step(Operand::VertexIdOp(), Operand::Const(Value(int64_t{1})),
+                   AggFunc::kCount);
+  step.set_next(4);
+  step.Execute(f.At(1, 10), ctx);
+  step.Execute(f.At(1, 20), ctx);
+  step.Execute(f.At(2, 30), ctx);
+  EXPECT_EQ(ctx.finished, 60u);
+  EXPECT_TRUE(ctx.emitted.empty());
+
+  step.OnFinalize(ctx);
+  ASSERT_EQ(ctx.emitted.size(), 2u);  // two groups
+  for (const Traverser& t : ctx.emitted) {
+    ASSERT_EQ(t.vars.size(), 2u);
+    int64_t key = t.vars[0].as_int();
+    int64_t count = t.vars[1].as_int();
+    EXPECT_EQ(count, key == 1 ? 2 : 1);
+  }
+}
+
+TEST(StepUnitTest, OrderByLimitKeepsLocalTopK) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  OrderByLimitStep step({{0, false}}, 3);
+  for (int64_t v : {5, 1, 9, 7, 3}) {
+    Traverser t = f.At(1, 10);
+    t.vars.push_back(Value(v));
+    step.Execute(std::move(t), ctx);
+  }
+  EXPECT_EQ(ctx.finished, 50u);
+
+  step.OnFinalize(ctx);
+  ASSERT_EQ(ctx.collects.size(), 1u);
+  ByteReader reader(ctx.collects[0].second.data(), ctx.collects[0].second.size());
+  CollectMergeState state;
+  step.OnCollect(&reader, &state);
+  ASSERT_EQ(state.rows.size(), 3u);  // capped at k
+  EXPECT_EQ(state.rows[0][0], Value(int64_t{9}));
+  EXPECT_EQ(state.rows[1][0], Value(int64_t{7}));
+  EXPECT_EQ(state.rows[2][0], Value(int64_t{5}));
+
+  std::vector<Row> out;
+  std::vector<Traverser> conts;
+  step.OnCollectComplete(state, &out, &conts);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(conts.empty());
+}
+
+TEST(StepUnitTest, ScalarAggMergeAcrossPartitions) {
+  Fixture f;
+  ScalarAggStep step(Operand::Var(0), AggFunc::kSum);
+  CollectMergeState state;
+  // Two partitions' partial states.
+  for (int part = 0; part < 2; ++part) {
+    MockStepContext ctx(f.graph, 0);
+    for (int i = 1; i <= 3; ++i) {
+      Traverser t = f.At(1, 1);
+      t.vars.push_back(Value(int64_t{i * (part + 1)}));
+      step.Execute(std::move(t), ctx);
+    }
+    step.OnFinalize(ctx);
+    ASSERT_EQ(ctx.collects.size(), 1u);
+    ByteReader reader(ctx.collects[0].second.data(), ctx.collects[0].second.size());
+    step.OnCollect(&reader, &state);
+  }
+  std::vector<Row> rows;
+  std::vector<Traverser> conts;
+  step.OnCollectComplete(state, &rows, &conts);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][0].ToDouble(), 6.0 + 12.0);  // 1+2+3 + 2+4+6
+}
+
+TEST(StepUnitTest, ScalarAggWithNextEmitsContinuation) {
+  Fixture f;
+  ScalarAggStep step(Operand::Var(0), AggFunc::kCount);
+  step.set_next(8);
+  CollectMergeState state;
+  state.agg.Update(Value(int64_t{1}));
+  std::vector<Row> rows;
+  std::vector<Traverser> conts;
+  step.OnCollectComplete(state, &rows, &conts);
+  EXPECT_TRUE(rows.empty());
+  ASSERT_EQ(conts.size(), 1u);
+  EXPECT_EQ(conts[0].step, 8);
+  EXPECT_EQ(conts[0].vars[0], Value(int64_t{1}));
+}
+
+TEST(StepUnitTest, EmitProducesRowAndFinishes) {
+  Fixture f;
+  MockStepContext ctx(f.graph, 0);
+  EmitStep step({Operand::VertexIdOp()});
+  step.Execute(f.At(42, 123), ctx);
+  ASSERT_EQ(ctx.rows.size(), 1u);
+  EXPECT_EQ(ctx.rows[0][0], Value(int64_t{42}));
+  EXPECT_EQ(ctx.finished, 123u);
+}
+
+TEST(StepUnitTest, EdgeFilterAppliesDuringExpand) {
+  // Build a tiny graph with edge properties to filter on.
+  auto schema = std::make_shared<Schema>();
+  LabelId vl = schema->VertexLabel("v");
+  LabelId el = schema->EdgeLabel("e");
+  GraphBuilder b(schema, 1);
+  for (VertexId v = 0; v < 4; ++v) b.AddVertex(v, vl);
+  b.AddEdge(0, 1, el, Value(int64_t{5}));
+  b.AddEdge(0, 2, el, Value(int64_t{15}));
+  b.AddEdge(0, 3, el, Value(int64_t{25}));
+  auto graph = b.Build().TakeValue();
+
+  MockStepContext ctx(graph, 0);
+  ExpandStep step(el, Direction::kOut);
+  step.set_next(1);
+  step.set_edge_prop_filter(CmpOp::kGt, Value(int64_t{10}));
+  step.set_capture_edge_prop(true);
+  Traverser t;
+  t.vertex = 0;
+  t.weight = 100;
+  step.Execute(std::move(t), ctx);
+  ASSERT_EQ(ctx.emitted.size(), 2u);
+  for (const Traverser& child : ctx.emitted) {
+    EXPECT_GT(child.vars[0].as_int(), 10);
+  }
+  ctx.ExpectWeightConserved(100);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -1,0 +1,272 @@
+// graphdance_cli: an interactive shell over the GraphDance library. Loads a
+// synthetic dataset into a simulated cluster and runs queries against it.
+//
+//   $ ./tools/graphdance_cli
+//   gd> load lj-sim 0.25
+//   gd> khop 42 3
+//   gd> pagerank 5
+//   gd> snb 800
+//   gd> ic 9
+//   gd> engine bsp
+//   gd> stats
+//   gd> help
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analytics/analytics.h"
+#include "graph/generators.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+using namespace graphdance;
+
+namespace {
+
+struct Shell {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  std::shared_ptr<SnbDataset> snb;
+  ClusterConfig config;
+  uint64_t next_param_seed = 1;
+
+  Shell() {
+    config.num_nodes = 4;
+    config.workers_per_node = 4;
+  }
+
+  void PrintRows(const QueryResult& result, size_t max_rows = 20) {
+    std::printf("%zu row(s), %.1f us virtual latency\n", result.rows.size(),
+                result.LatencyMicros());
+    size_t shown = 0;
+    for (const Row& row : result.rows) {
+      if (++shown > max_rows) {
+        std::printf("  ... (%zu more)\n", result.rows.size() - max_rows);
+        break;
+      }
+      std::printf("  [");
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", row[i].ToString().c_str());
+      }
+      std::printf("]\n");
+    }
+  }
+
+  bool RunPlan(const Result<std::shared_ptr<const Plan>>& plan) {
+    if (!plan.ok()) {
+      std::printf("plan error: %s\n", plan.status().ToString().c_str());
+      return false;
+    }
+    SimCluster cluster(config, graph);
+    auto res = cluster.Run(plan.value());
+    if (!res.ok()) {
+      std::printf("run error: %s\n", res.status().ToString().c_str());
+      return false;
+    }
+    PrintRows(res.value());
+    return true;
+  }
+
+  void Load(const std::string& preset, double scale) {
+    schema = std::make_shared<Schema>();
+    auto g = GeneratePreset(preset, scale, schema, config.num_partitions());
+    if (!g.ok()) {
+      std::printf("error: %s\n", g.status().ToString().c_str());
+      return;
+    }
+    graph = g.TakeValue();
+    snb.reset();
+    Stats();
+  }
+
+  void LoadSnb(uint64_t persons) {
+    auto d = GenerateSnb(SnbConfig::Tiny(persons), config.num_partitions());
+    if (!d.ok()) {
+      std::printf("error: %s\n", d.status().ToString().c_str());
+      return;
+    }
+    snb = d.TakeValue();
+    schema = snb->schema;
+    graph = snb->graph;
+    Stats();
+  }
+
+  void Stats() {
+    if (graph == nullptr) {
+      std::printf("no graph loaded\n");
+      return;
+    }
+    std::printf("graph: %lu vertices, %lu edges, %.1f MB across %u partitions "
+                "(%u nodes x %u workers), engine=%s\n",
+                (unsigned long)graph->stats().num_vertices,
+                (unsigned long)graph->stats().num_edges,
+                graph->stats().raw_bytes / 1048576.0, config.num_partitions(),
+                config.num_nodes, config.workers_per_node,
+                EngineKindName(config.engine));
+  }
+
+  void Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return;
+
+    if (cmd == "help") {
+      std::printf(
+          "  load <lj-sim|fs-sim> [scale]   load a power-law graph preset\n"
+          "  snb [persons]                  load a synthetic LDBC SNB dataset\n"
+          "  khop <start> <k> [limit]       top-limit weighted vertices within k hops\n"
+          "  count <start> <k>              distinct vertices within k hops\n"
+          "  out <vertex> <edge-label>      list neighbors\n"
+          "  pagerank [iters]               PSTM-expressed PageRank, top 10\n"
+          "  ic <1..14> / is <1..7>         run an LDBC interactive query (needs snb)\n"
+          "  engine <async|bsp|shared>      switch execution engine\n"
+          "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
+          "  stats                          dataset / cluster summary\n"
+          "  quit\n");
+      return;
+    }
+    if (cmd == "load") {
+      std::string preset = "lj-sim";
+      double scale = 0.25;
+      in >> preset >> scale;
+      Load(preset, scale);
+      return;
+    }
+    if (cmd == "snb") {
+      uint64_t persons = 800;
+      in >> persons;
+      LoadSnb(persons);
+      return;
+    }
+    if (cmd == "engine") {
+      std::string which;
+      in >> which;
+      if (which == "async") {
+        config.engine = EngineKind::kAsync;
+      } else if (which == "bsp") {
+        config.engine = EngineKind::kBsp;
+      } else if (which == "shared") {
+        config.engine = EngineKind::kShared;
+      } else {
+        std::printf("unknown engine '%s'\n", which.c_str());
+        return;
+      }
+      std::printf("engine = %s\n", EngineKindName(config.engine));
+      return;
+    }
+    if (cmd == "cluster") {
+      uint32_t nodes = config.num_nodes, workers = config.workers_per_node;
+      in >> nodes >> workers;
+      config.num_nodes = std::max(1u, nodes);
+      config.workers_per_node = std::max(1u, workers);
+      std::printf("cluster = %u nodes x %u workers; reload the dataset to "
+                  "repartition\n",
+                  config.num_nodes, config.workers_per_node);
+      graph.reset();
+      snb.reset();
+      return;
+    }
+    if (cmd == "stats") {
+      Stats();
+      return;
+    }
+    if (graph == nullptr) {
+      std::printf("no graph loaded — try 'load lj-sim' or 'snb 800'\n");
+      return;
+    }
+    if (cmd == "khop") {
+      VertexId start = 0;
+      int k = 2;
+      size_t limit = 10;
+      in >> start >> k >> limit;
+      PropKeyId weight = schema->PropKey("weight");
+      RunPlan(Traversal(graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, limit)
+                  .Build());
+      return;
+    }
+    if (cmd == "count") {
+      VertexId start = 0;
+      int k = 2;
+      in >> start >> k;
+      RunPlan(Traversal(graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), true)
+                  .Count()
+                  .Build());
+      return;
+    }
+    if (cmd == "out") {
+      VertexId v = 0;
+      std::string label = "link";
+      in >> v >> label;
+      RunPlan(Traversal(graph).V({v}).Out(label).Emit({Operand::VertexIdOp()}).Build());
+      return;
+    }
+    if (cmd == "pagerank") {
+      int iters = 3;
+      in >> iters;
+      auto plan = BuildPageRankPlan(graph, "node", "link", iters);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        return;
+      }
+      SimCluster cluster(config, graph);
+      auto res = cluster.Run(plan.TakeValue());
+      if (!res.ok()) {
+        std::printf("run error: %s\n", res.status().ToString().c_str());
+        return;
+      }
+      auto rows = res.value().rows;
+      std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+        return a[1].ToDouble() > b[1].ToDouble();
+      });
+      if (rows.size() > 10) rows.resize(10);
+      QueryResult top = res.value();
+      top.rows = rows;
+      PrintRows(top);
+      return;
+    }
+    if (cmd == "ic" || cmd == "is") {
+      if (snb == nullptr) {
+        std::printf("'%s' needs an SNB dataset — run 'snb 800' first\n", cmd.c_str());
+        return;
+      }
+      int number = 1;
+      in >> number;
+      SnbParamGen gen(*snb, next_param_seed++);
+      SnbParams p = gen.Next();
+      RunPlan(cmd == "ic" ? BuildInteractiveComplex(number, *snb, p)
+                          : BuildInteractiveShort(number, *snb, p));
+      return;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("GraphDance interactive shell — 'help' for commands.\n");
+  std::string line;
+  while (true) {
+    std::printf("gd> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "quit" || line == "exit") break;
+    shell.Dispatch(line);
+  }
+  return 0;
+}
