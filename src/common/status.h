@@ -21,6 +21,7 @@ enum class StatusCode {
   kAborted,         // transaction aborts (lock conflicts)
   kResourceExhausted,
   kTimeout,
+  kDeadlineExceeded,  // a budget (e.g. the DES event budget) ran out mid-run
 };
 
 /// Returns a short human-readable name for a status code.
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

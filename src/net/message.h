@@ -51,7 +51,29 @@ struct Message {
   uint64_t tag = 0;                 // kind-specific discriminator
   std::vector<uint8_t> payload;     // kind-specific serialized body
 
-  /// Approximate wire size used by the link model.
+  // --- fault-recovery metadata (see DESIGN.md "Fault model & recovery") ---
+  /// Sender / receiver incarnation epochs, stamped at send time. A worker's
+  /// epoch increments on restart; a mismatch on delivery fences the message
+  /// out (it belongs to a pre-crash incarnation).
+  uint32_t src_epoch = 0;
+  uint32_t dst_epoch = 0;
+  /// Per-(src,dst) monotone sequence number for remote messages (0 = local /
+  /// unsequenced). Duplicated deliveries carry the same seq and are
+  /// suppressed at the receiver before they can corrupt weight accounting.
+  uint64_t seq = 0;
+  /// The query attempt this message belongs to; stale-attempt messages from
+  /// an aborted attempt are fenced at the receiver.
+  uint32_t attempt = 0;
+  /// kWeightReport: result rows this worker sent remotely since its last
+  /// report (the coordinator reconciles row arrival against this count
+  /// before declaring a query complete, so a lost ResultRow stalls — and is
+  /// then retried — instead of silently vanishing).
+  uint32_t row_delta = 0;
+
+  /// Approximate wire size used by the link model. The recovery metadata is
+  /// accounted inside the fixed header budget (it fits in the same cacheline
+  /// a real transport header would use), so fault-mode and fault-free runs
+  /// charge identical virtual bytes.
   size_t WireSize() const { return 40 + payload.size(); }
 };
 

@@ -209,6 +209,11 @@ class MemoTable {
 
   size_t size() const { return states_.size(); }
 
+  /// Drops everything. Used by the fault injector when a worker crashes:
+  /// memoranda are volatile per-worker state and do not survive a restart
+  /// (the TEL-backed graph storage does).
+  void Clear() { states_.clear(); }
+
  private:
   static uint64_t Key(uint64_t query_id, uint32_t step_id) {
     return (query_id << 20) | step_id;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sim/cost_model.h"
+#include "sim/fault.h"
 
 namespace graphdance {
 
@@ -84,11 +85,28 @@ struct ClusterConfig {
   CostModel cost;
   uint64_t seed = 1;
 
-  /// Fault injection (tests only): silently drop the N-th remote message
-  /// (1-based; 0 = disabled). A dropped traverser's weight never reaches the
-  /// tracker, so termination detection must report the failure rather than
-  /// declare completion or hang forever.
+  /// Fault injection plan: probabilistic and scripted message drops /
+  /// duplicates / delays, worker crashes and link degradation, all drawn
+  /// from a seeded PRNG so every fault schedule is deterministic and
+  /// replayable. See sim/fault.h.
+  FaultPlan fault;
+
+  /// Compatibility shim for the original single-knob injector: drop the
+  /// N-th remote message (1-based; 0 = disabled). Translated into
+  /// `fault.DropNth(n)` by the cluster constructor.
   uint64_t fault_drop_remote_message = 0;
+
+  /// Recovery protocol knobs (active only when the fault plan is). The
+  /// coordinator watches each query's virtual-time progress; a query that
+  /// makes no progress for `progress_timeout_ns` is presumed to have lost
+  /// weight (dropped message / crashed worker) and is resubmitted with
+  /// exponential backoff, up to `max_retries` attempts. Set
+  /// `fault_recovery = false` to keep the old detect-and-report behaviour
+  /// (lost weight surfaces as kInternal from RunToCompletion).
+  bool fault_recovery = true;
+  SimTime progress_timeout_ns = 50'000'000;  // 50 virtual ms
+  uint32_t max_retries = 3;
+  SimTime retry_backoff_ns = 1'000'000;  // first retry delay; doubles each try
 
   uint32_t total_workers() const { return num_nodes * workers_per_node; }
   /// One partition per worker (shared-nothing ownership).

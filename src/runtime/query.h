@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "pstm/memo.h"
@@ -22,6 +23,14 @@ struct QueryResult {
   /// abort interactive queries that miss their time budget). `rows` holds
   /// whatever had been collected when the deadline fired.
   bool timed_out = false;
+  /// True when recovery gave up: the query exhausted `max_retries` attempts
+  /// (progress timeouts / coordinator crashes). `rows` is cleared — a failed
+  /// query never reports a partial answer as if it were complete — and
+  /// `failure_reason` says why. Never set on the fault-free path.
+  bool failed = false;
+  /// Number of times the recovery protocol resubmitted this query.
+  uint32_t retries = 0;
+  std::string failure_reason;
 
   /// End-to-end virtual latency in microseconds.
   double LatencyMicros() const {

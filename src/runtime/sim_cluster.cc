@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <optional>
 
 #include "common/logging.h"
 #include "pstm/steps.h"
@@ -11,11 +12,17 @@
 namespace graphdance {
 
 namespace {
-/// Combined key for per-worker coalesced weights.
-uint64_t WeightKey(uint64_t query, uint32_t scope) { return (query << 16) | scope; }
-
 constexpr size_t kFrameHeaderBytes = 64;
 constexpr uint64_t kNlcCombineWindowNs = 4'000;
+
+/// Merges the legacy single-knob injector into the structured fault plan.
+FaultPlan EffectivePlan(const ClusterConfig& config) {
+  FaultPlan plan = config.fault;
+  if (config.fault_drop_remote_message > 0) {
+    plan.DropNth(config.fault_drop_remote_message);
+  }
+  return plan;
+}
 }  // namespace
 
 const char* EngineKindName(EngineKind kind) {
@@ -179,6 +186,13 @@ void ExecContext::Finish(uint32_t scope, Weight w) {
   if (qs_->coordinator == worker_->id) {
     cluster_->HandleWeight(*qs_, scope, w, *worker_);
   } else {
+    if (cluster_->fault_active_) {
+      auto it = worker_->rows_unreported.find(qs_->id);
+      if (it != worker_->rows_unreported.end()) {
+        m.row_delta = it->second;
+        worker_->rows_unreported.erase(it);
+      }
+    }
     cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
     cluster_->Send(*worker_, std::move(m));
   }
@@ -203,6 +217,10 @@ void ExecContext::EmitRow(Row row) {
   m.dst_worker = qs_->coordinator;
   m.query_id = qs_->id;
   m.payload = out.Take();
+  // Row-loss accounting: the count of rows sent remotely piggybacks on this
+  // worker's next weight report (EmitStep always finishes the emitting
+  // traverser's weight right after EmitRow, so a report will follow).
+  if (cluster_->fault_active_) worker_->rows_unreported[qs_->id]++;
   cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
   cluster_->Send(*worker_, std::move(m));
 }
@@ -238,6 +256,7 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
     : config_(config),
       tuning_(EngineTuning::For(config.engine)),
       graph_(std::move(graph)),
+      fault_(EffectivePlan(config)),
       rng_(config.seed) {
   if (graph_->num_partitions() != config_.num_partitions()) {
     GD_ERROR("graph partition count (" + std::to_string(graph_->num_partitions()) +
@@ -260,6 +279,32 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
   node_rr_.assign(config_.num_nodes, 0);
   swap_thrashing_ =
       graph_->stats().raw_bytes / config_.num_nodes > config_.memory_cap_bytes;
+
+  fault_active_ = fault_.active();
+  recovery_active_ = fault_active_ && config_.fault_recovery;
+  if (fault_active_) {
+    pair_seq_.assign(static_cast<size_t>(total) * total, 0);
+    // Time-based scripted events are part of the DES schedule from t=0;
+    // message-level faults are consulted per remote send instead.
+    for (const FaultEvent& ev : fault_.plan().scripted) {
+      switch (ev.kind) {
+        case FaultKind::kCrashWorker:
+          events_.Schedule(ev.at, [this, ev](SimTime t) {
+            CrashWorkerNow(ev.worker, t, ev.duration_ns);
+          });
+          break;
+        case FaultKind::kDegradeLink:
+          events_.Schedule(ev.at, [this, factor = ev.factor](SimTime) {
+            link_degrade_ = factor;
+          });
+          events_.Schedule(ev.at + ev.duration_ns,
+                           [this](SimTime) { link_degrade_ = 1.0; });
+          break;
+        default:
+          break;
+      }
+    }
+  }
 }
 
 SimCluster::~SimCluster() = default;
@@ -288,6 +333,12 @@ uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
     auto it = queries_.find(id);
     if (it != queries_.end()) StartQuery(it->second, t);
   });
+  if (recovery_active_) {
+    // The progress watchdog only exists when faults can lose weight; the
+    // fault-free event schedule stays byte-identical to previous builds.
+    qs.last_progress = qs.result.submit_time;
+    ArmWatchdog(qs, qs.result.submit_time);
+  }
   if (deadline_ns > 0) {
     events_.Schedule(qs.result.submit_time + deadline_ns, [this, id](SimTime t) {
       auto it = queries_.find(id);
@@ -304,13 +355,26 @@ Status SimCluster::RunToCompletion(uint64_t max_events) {
   uint64_t ran = events_.RunUntilEmpty(max_events);
   quiescent_time_ = events_.now();
   if (!events_.empty()) {
-    return Status::ResourceExhausted("event budget exhausted after " +
-                                     std::to_string(ran) + " events");
+    // Livelock / runaway schedule: events kept firing until the budget ran
+    // out. Distinct from lost weight, where the queue drains instead.
+    return Status::DeadlineExceeded("event budget exhausted after " +
+                                    std::to_string(ran) + " events");
   }
   if (pending_queries_ > 0) {
+    std::vector<uint64_t> stuck;
+    for (const auto& [id, qs] : queries_) {
+      if (!qs.result.done) stuck.push_back(id);
+    }
+    std::sort(stuck.begin(), stuck.end());
+    std::string ids;
+    for (uint64_t id : stuck) {
+      if (!ids.empty()) ids += ",";
+      ids += std::to_string(id);
+    }
     return Status::Internal(
         "event queue drained with " + std::to_string(pending_queries_) +
-        " unfinished queries (termination detection failure)");
+        " unfinished queries (lost progression weight); stuck query ids: " +
+        ids);
   }
   return Status::OK();
 }
@@ -339,6 +403,19 @@ void SimCluster::ApplyAtPartition(PartitionId p, uint64_t cost_ns,
 void SimCluster::StartQuery(QueryState& qs, SimTime at) {
   const Plan& plan = *qs.plan;
   Worker& coord = workers_[qs.coordinator];
+  if (coord.crashed) {
+    // The coordinator is down; start (or restart) once it comes back.
+    uint64_t id = qs.id;
+    events_.Schedule(std::max(at, coord.down_until), [this, id](SimTime t) {
+      auto it = queries_.find(id);
+      if (it != queries_.end() && !it->second.result.done) {
+        StartQuery(it->second, t);
+      }
+    });
+    return;
+  }
+  qs.restart_pending = false;
+  if (recovery_active_) NoteProgress(qs, at);
   coord.now = std::max(coord.now, at);
   // Dataflow baselines pay per-worker operator instantiation at query start.
   coord.now += tuning_.per_worker_setup_ns * config_.total_workers() *
@@ -386,6 +463,7 @@ void SimCluster::HandleWeight(QueryState& qs, uint32_t scope, Weight w,
                               Worker& at_worker) {
   Charge(at_worker, CostKind::kTrackerReport, 1);
   if (qs.result.done) return;
+  if (recovery_active_) NoteProgress(qs, at_worker.now);
   if (scope != qs.scope) {
     // A report for a scope that already completed would indicate lost
     // tracking; reports for future scopes cannot exist by construction.
@@ -400,6 +478,13 @@ void SimCluster::ScopeComplete(QueryState& qs, Worker& at_worker) {
   const Plan& plan = *qs.plan;
   uint16_t closer = plan.scope_closer(qs.scope);
   if (closer == kNoStep) {
+    if (fault_active_ && qs.rows_received < qs.rows_expected) {
+      // Every unit of weight arrived but announced result rows are still in
+      // flight (or were dropped on the wire). Hold completion: the trailing
+      // row arrivals finish the query, or the watchdog retries it.
+      qs.awaiting_rows = true;
+      return;
+    }
     CompleteQuery(qs, at_worker.now);
     return;
   }
@@ -438,6 +523,7 @@ void SimCluster::HandleCollectReply(QueryState& qs, const Message& msg,
                                     Worker& at_worker) {
   Charge(at_worker, CostKind::kTrackerReport, 1);
   if (qs.result.done || !qs.collecting) return;
+  if (recovery_active_) NoteProgress(qs, at_worker.now);
   const Step& st = qs.plan->step(static_cast<uint16_t>(msg.tag));
   ByteReader reader(msg.payload.data(), msg.payload.size());
   st.OnCollect(&reader, &qs.collect);
@@ -474,12 +560,16 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   qs.result.done = true;
   qs.result.complete_time = at;
   --pending_queries_;
+  if (recovery_active_ && qs.result.retries > 0 && !qs.result.failed) {
+    fault_.stats().recovered_queries++;
+  }
 
   // Memoranda lifetime: cleared cluster-wide once the creating query ends.
   Worker& coord = workers_[qs.coordinator];
   for (uint32_t w = 0; w < config_.total_workers(); ++w) {
     if (w == coord.id) {
       memos_[w].ClearQuery(qs.id);
+      if (fault_active_) workers_[w].rows_unreported.erase(qs.id);
       continue;
     }
     Message m;
@@ -491,9 +581,136 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   }
 }
 
+// ---- fault injection & recovery --------------------------------------------
+
+void SimCluster::NoteProgress(QueryState& qs, SimTime at) {
+  qs.last_progress = std::max(qs.last_progress, at);
+}
+
+void SimCluster::ArmWatchdog(QueryState& qs, SimTime at) {
+  uint64_t id = qs.id;
+  uint64_t gen = ++qs.watchdog_gen;
+  SimTime fire = std::max(at, qs.last_progress + config_.progress_timeout_ns);
+  events_.Schedule(fire, [this, id, gen](SimTime t) { WatchdogCheck(id, gen, t); });
+}
+
+void SimCluster::WatchdogCheck(uint64_t query_id, uint64_t gen, SimTime at) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  QueryState& qs = it->second;
+  if (qs.result.done || gen != qs.watchdog_gen) return;
+  if (qs.restart_pending) return;  // AbortAttempt armed a fresh chain
+  if (qs.last_progress + config_.progress_timeout_ns > at) {
+    ArmWatchdog(qs, at);  // progress since arming: re-check one window later
+    return;
+  }
+  // A full window passed with no coordinator-visible progress: some of the
+  // query's weight (or one of its announced rows) is gone.
+  AbortAttempt(qs, at, qs.awaiting_rows ? "lost result row" : "lost weight");
+}
+
+void SimCluster::AbortAttempt(QueryState& qs, SimTime at, const char* why) {
+  if (qs.result.done || qs.restart_pending) return;
+  if (qs.result.retries >= config_.max_retries) {
+    fault_.stats().failed_queries++;
+    qs.result.failed = true;
+    qs.result.rows.clear();
+    qs.result.failure_reason = std::string(why) + "; gave up after " +
+                               std::to_string(qs.result.retries) + " retries";
+    CompleteQuery(qs, at);
+    return;
+  }
+  fault_.stats().retries++;
+  qs.result.retries++;
+  // Bumping the attempt fences every in-flight message and queued task of
+  // the aborted execution; the retry starts from a clean slate.
+  qs.attempt++;
+  qs.scope = 0;
+  qs.acc = 0;
+  qs.collecting = false;
+  qs.collect = CollectMergeState{};
+  qs.replies_expected = 0;
+  qs.result.rows.clear();
+  qs.rows_expected = 0;
+  qs.rows_received = 0;
+  qs.awaiting_rows = false;
+  for (uint32_t p = 0; p < config_.num_partitions(); ++p) {
+    memos_[p].ClearQuery(qs.id);
+  }
+  for (Worker& w : workers_) w.rows_unreported.erase(qs.id);
+
+  // Exponential backoff; a down coordinator additionally delays the restart
+  // until it is back up.
+  SimTime backoff = config_.retry_backoff_ns << (qs.result.retries - 1);
+  SimTime when = at + backoff;
+  Worker& coord = workers_[qs.coordinator];
+  if (coord.crashed) when = std::max(when, coord.down_until);
+  qs.restart_pending = true;
+  qs.last_progress = when;
+  uint64_t id = qs.id;
+  events_.Schedule(when, [this, id](SimTime t) {
+    auto it = queries_.find(id);
+    if (it != queries_.end() && !it->second.result.done) {
+      StartQuery(it->second, t);
+    }
+  });
+  ArmWatchdog(qs, at);
+}
+
+void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_after) {
+  if (worker >= config_.total_workers()) return;
+  Worker& w = workers_[worker];
+  if (w.crashed) return;
+  fault_.stats().crashes++;
+  w.crashed = true;
+  w.down_until = at + restart_after;
+  // Volatile state is gone: queued messages and tasks, unsent buffers,
+  // coalesced weights, row accounting, and this partition's memoranda. The
+  // TEL-backed graph storage survives.
+  fault_.stats().lost_in_crash += w.inbox.size();
+  w.inbox.clear();
+  w.tasks.clear();
+  w.num_tasks = 0;
+  w.pending_weights.clear();
+  w.rows_unreported.clear();
+  for (TierBuffer& buf : w.out) {
+    buf.msgs.clear();
+    buf.bytes = 0;
+  }
+  memos_[worker].Clear();
+  // Schedule the restart before aborting attempts so that at an equal
+  // timestamp the worker is back up when a rescheduled StartQuery fires.
+  events_.Schedule(w.down_until,
+                   [this, worker](SimTime t) { RestartWorker(worker, t); });
+  if (recovery_active_) {
+    // Queries coordinated here lost their tracking state outright; retry
+    // them immediately rather than waiting for the watchdog.
+    std::vector<uint64_t> coordinated;
+    for (auto& [id, qs] : queries_) {
+      if (!qs.result.done && qs.coordinator == worker) coordinated.push_back(id);
+    }
+    std::sort(coordinated.begin(), coordinated.end());
+    for (uint64_t id : coordinated) {
+      AbortAttempt(queries_.at(id), at, "coordinator crash");
+    }
+  }
+}
+
+void SimCluster::RestartWorker(uint32_t worker, SimTime at) {
+  Worker& w = workers_[worker];
+  if (!w.crashed) return;
+  fault_.stats().restarts++;
+  w.crashed = false;
+  // New incarnation: pre-crash in-flight messages (in either direction) now
+  // fail the epoch fence at delivery.
+  w.epoch++;
+  w.now = std::max(w.now, at);
+}
+
 // ---- worker execution -------------------------------------------------------
 
 void SimCluster::ScheduleWake(Worker& w, SimTime at) {
+  if (w.crashed) return;
   at = std::max(at, now());
   if (w.running) return;  // the running quantum reschedules itself as needed
   if (w.wake_pending && w.next_wake <= at) return;
@@ -505,6 +722,7 @@ void SimCluster::ScheduleWake(Worker& w, SimTime at) {
 
 void SimCluster::RunWorker(Worker& w, SimTime at) {
   w.wake_pending = false;
+  if (w.crashed) return;
   w.running = true;
   w.now = std::max(w.now, at);
   IngestInbox(w);
@@ -539,14 +757,22 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
   auto qit = queries_.find(msg.query_id);
   if (qit == queries_.end()) return;
   QueryState& qs = qit->second;
+  if (fault_active_ && msg.attempt != qs.attempt) {
+    // The message belongs to an aborted attempt of this query.
+    fault_.stats().fenced_messages++;
+    return;
+  }
   switch (msg.kind) {
     case MessageKind::kTraverserBatch: {
       ByteReader reader(msg.payload.data(), msg.payload.size());
       Traverser t = Traverser::Deserialize(&reader);
-      PushTask(w, Task{msg.query_id, static_cast<PartitionId>(msg.tag), std::move(t)});
+      Task task{msg.query_id, static_cast<PartitionId>(msg.tag), std::move(t)};
+      task.attempt = msg.attempt;
+      PushTask(w, std::move(task));
       break;
     }
     case MessageKind::kWeightReport:
+      if (fault_active_ && msg.row_delta > 0) qs.rows_expected += msg.row_delta;
       HandleWeight(qs, msg.scope_id, msg.weight, w);
       break;
     case MessageKind::kFinalize:
@@ -558,11 +784,21 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
     case MessageKind::kResultRow: {
       ByteReader reader(msg.payload.data(), msg.payload.size());
       qs.result.rows.push_back(DeserializeRow(&reader));
+      if (fault_active_) {
+        qs.rows_received++;
+        if (recovery_active_) NoteProgress(qs, w.now);
+        if (qs.awaiting_rows && qs.rows_received >= qs.rows_expected) {
+          qs.awaiting_rows = false;
+          CompleteQuery(qs, w.now);
+          break;
+        }
+      }
       MaybeCancelOnLimit(qs, w.now);
       break;
     }
     case MessageKind::kControl:
       memos_[w.id].ClearQuery(msg.query_id);
+      if (fault_active_) w.rows_unreported.erase(msg.query_id);
       break;
     default:
       break;
@@ -573,6 +809,10 @@ void SimCluster::ExecuteTask(Worker& w, Task task) {
   auto qit = queries_.find(task.query);
   if (qit == queries_.end() || qit->second.result.done) return;
   QueryState& qs = qit->second;
+  if (fault_active_ && task.attempt != qs.attempt) {
+    fault_.stats().fenced_messages++;
+    return;
+  }
   if (tuning_.per_task_sched_extra_ns > 0) {
     w.now += tuning_.per_task_sched_extra_ns;
   }
@@ -647,7 +887,12 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
                                Traverser t) {
   uint32_t dst = ExecWorkerFor(partition);
   if (dst == from.id) {
-    PushTask(from, Task{query, partition, std::move(t)});
+    Task task{query, partition, std::move(t)};
+    if (fault_active_) {
+      auto qit = queries_.find(query);
+      if (qit != queries_.end()) task.attempt = qit->second.attempt;
+    }
+    PushTask(from, std::move(task));
     // Ensure the worker is (re)scheduled if this was emitted outside a
     // running quantum (e.g. query start on an idle worker).
     ScheduleWake(from, from.now);
@@ -669,16 +914,55 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
 void SimCluster::Send(Worker& from, Message msg) {
   net_stats_.messages_by_kind[static_cast<int>(msg.kind)]++;
   uint32_t dst_node = NodeOfWorker(msg.dst_worker);
+  if (fault_active_) {
+    // Stamp fencing metadata at the send boundary (once, for both tiers).
+    auto qit = queries_.find(msg.query_id);
+    msg.attempt = qit == queries_.end() ? 0 : qit->second.attempt;
+    msg.src_epoch = from.epoch;
+    msg.dst_epoch = workers_[msg.dst_worker].epoch;
+  }
   if (dst_node == from.node) {
     net_stats_.local_messages++;
     DeliverLocal(from, std::move(msg), from.now + config_.cost.shm_hop_ns);
     return;
   }
   net_stats_.remote_messages++;
-  if (config_.fault_drop_remote_message > 0 &&
-      ++remote_sends_ == config_.fault_drop_remote_message) {
-    return;  // injected fault: the message vanishes on the wire
+  if (fault_active_) {
+    msg.seq = ++PairSeq(msg.src_worker, msg.dst_worker);
+    FaultInjector::SendDecision d = fault_.OnRemoteSend();
+    if (d.drop) return;  // the message vanishes on the wire
+    std::optional<Message> dup;
+    if (d.duplicate) dup = msg;  // identical seq: the receiver suppresses one
+    if (d.extra_delay_ns > 0) {
+      // Straggler path: the message leaves the combining pipeline and
+      // travels in its own frame, arriving extra_delay_ns late.
+      size_t wire = msg.WireSize() + kFrameHeaderBytes;
+      net_stats_.frames++;
+      net_stats_.bytes += wire;
+      SimTime delivery = from.now + config_.cost.frame_overhead_ns +
+                         config_.cost.TransmitNs(wire) +
+                         config_.cost.link_latency_ns + d.extra_delay_ns;
+      events_.Schedule(delivery, [this, m = std::move(msg)](SimTime t) mutable {
+        DeliverToWorker(std::move(m), t);
+      });
+      if (!dup) return;
+      msg = std::move(*dup);  // the duplicate still rides the normal path
+      dup.reset();
+      net_stats_.remote_messages++;
+      net_stats_.messages_by_kind[static_cast<int>(msg.kind)]++;
+    }
+    EnqueueRemote(from, dst_node, std::move(msg));
+    if (dup) {
+      net_stats_.remote_messages++;
+      net_stats_.messages_by_kind[static_cast<int>(dup->kind)]++;
+      EnqueueRemote(from, dst_node, std::move(*dup));
+    }
+    return;
   }
+  EnqueueRemote(from, dst_node, std::move(msg));
+}
+
+void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
   if (config_.io_mode == IoMode::kSyncSend) {
     size_t bytes = msg.WireSize();
     std::vector<Message> one;
@@ -697,6 +981,11 @@ void SimCluster::Send(Worker& from, Message msg) {
 }
 
 void SimCluster::DeliverLocal(Worker& from, Message msg, SimTime at) {
+  if (fault_active_) {
+    SimTime wake = msg.dst_worker == from.id ? from.now : at;
+    DeliverToWorker(std::move(msg), wake);
+    return;
+  }
   Worker& dst = workers_[msg.dst_worker];
   dst.inbox.push_back(std::move(msg));
   if (dst.id != from.id) {
@@ -704,6 +993,32 @@ void SimCluster::DeliverLocal(Worker& from, Message msg, SimTime at) {
   } else {
     ScheduleWake(dst, from.now);
   }
+}
+
+void SimCluster::DeliverToWorker(Message msg, SimTime at) {
+  Worker& dst = workers_[msg.dst_worker];
+  if (dst.crashed) {
+    fault_.stats().lost_in_crash++;
+    return;
+  }
+  if (fault_active_) {
+    if (msg.src_epoch != workers_[msg.src_worker].epoch ||
+        msg.dst_epoch != dst.epoch) {
+      // The message was addressed to (or sent by) a pre-crash incarnation.
+      fault_.stats().fenced_messages++;
+      return;
+    }
+    if (msg.seq != 0) {
+      uint64_t pair =
+          (static_cast<uint64_t>(msg.src_worker) << 32) | msg.dst_worker;
+      if (!seen_seqs_[pair].insert(msg.seq).second) {
+        fault_.stats().duplicates_suppressed++;
+        return;
+      }
+    }
+  }
+  dst.inbox.push_back(std::move(msg));
+  ScheduleWake(dst, at);
 }
 
 void SimCluster::FlushBuffer(Worker& w, uint32_t dst_node) {
@@ -732,8 +1047,8 @@ void SimCluster::FlushWeights(Worker& w) {
   auto pending = std::move(w.pending_weights);
   w.pending_weights.clear();
   for (const auto& [key, weight] : pending) {
-    uint64_t query = key >> 16;
-    uint32_t scope = static_cast<uint32_t>(key & 0xffff);
+    uint64_t query = WeightKeyQuery(key);
+    uint32_t scope = WeightKeyScope(key);
     auto qit = queries_.find(query);
     if (qit == queries_.end()) continue;
     QueryState& qs = qit->second;
@@ -748,6 +1063,17 @@ void SimCluster::FlushWeights(Worker& w) {
     m.query_id = query;
     m.scope_id = scope;
     m.weight = weight;
+    if (fault_active_) {
+      // Announce rows sent remotely since the last report. Because weight
+      // completeness requires every report to arrive, the coordinator is
+      // guaranteed to have the full expected-row count by the time the
+      // final scope's weight closes.
+      auto rit = w.rows_unreported.find(query);
+      if (rit != w.rows_unreported.end()) {
+        m.row_delta = rit->second;
+        w.rows_unreported.erase(rit);
+      }
+    }
     Charge(w, CostKind::kMsgPack, 1);
     Send(w, std::move(m));
   }
@@ -794,8 +1120,11 @@ void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
   net_stats_.bytes += wire_bytes;
   SimTime& busy = LinkBusy(src_node, dst_node);
   SimTime start = std::max(at, busy);
-  SimTime end = start + config_.cost.TransmitNs(wire_bytes);
-  busy = end;
+  SimTime tx = config_.cost.TransmitNs(wire_bytes);
+  if (link_degrade_ != 1.0) {
+    tx = static_cast<SimTime>(static_cast<double>(tx) * link_degrade_);
+  }
+  SimTime end = start + tx;
   SimTime delivery = end + config_.cost.link_latency_ns;
   events_.Schedule(delivery, [this, batch = std::move(msgs)](SimTime t) mutable {
     DeliverFrame(std::move(batch), t);
@@ -804,6 +1133,10 @@ void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
 
 void SimCluster::DeliverFrame(std::vector<Message> msgs, SimTime at) {
   for (Message& m : msgs) {
+    if (fault_active_) {
+      DeliverToWorker(std::move(m), at);
+      continue;
+    }
     Worker& dst = workers_[m.dst_worker];
     dst.inbox.push_back(std::move(m));
     ScheduleWake(dst, at);
@@ -818,10 +1151,14 @@ void SimCluster::Charge(Worker& w, CostKind kind, uint64_t count) {
 uint32_t SimCluster::ExecWorkerFor(PartitionId p) {
   if (!tuning_.shared_state) return WorkerOfPartition(p);
   // Non-partitioned model: any worker on the data's node may execute the
-  // task (shared storage); distribute round-robin.
+  // task (shared storage); distribute round-robin, skipping crashed workers.
   uint32_t node = NodeOfWorker(WorkerOfPartition(p));
-  uint32_t slot = node_rr_[node]++ % config_.workers_per_node;
-  return node * config_.workers_per_node + slot;
+  for (uint32_t i = 0; i < config_.workers_per_node; ++i) {
+    uint32_t slot = node_rr_[node]++ % config_.workers_per_node;
+    uint32_t w = node * config_.workers_per_node + slot;
+    if (!workers_[w].crashed) return w;
+  }
+  return WorkerOfPartition(p);  // whole node down: deliveries will be lost
 }
 
 // ---- BSP driver ---------------------------------------------------------------

@@ -1,10 +1,12 @@
 #ifndef GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_
 #define GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_
 
+#include <cassert>
 #include <deque>
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/random.h"
@@ -18,8 +20,22 @@
 #include "runtime/query.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 
 namespace graphdance {
+
+/// Key for per-worker coalesced-weight maps: (query id, scope id) packed into
+/// one word. Query ids are dense counters and scope ids are plan-step
+/// indices, so 32 bits each is ample; the previous 16-bit scope field made
+/// query 1 / scope 65541 collide with query 2 / scope 5.
+inline uint64_t WeightKey(uint64_t query, uint32_t scope) {
+  assert(query < (1ULL << 32) && "query id overflows WeightKey packing");
+  return (query << 32) | scope;
+}
+inline uint64_t WeightKeyQuery(uint64_t key) { return key >> 32; }
+inline uint32_t WeightKeyScope(uint64_t key) {
+  return static_cast<uint32_t>(key & 0xffffffffULL);
+}
 
 /// A simulated GraphDance cluster: the asynchronous PSTM runtime (plus the
 /// BSP / non-partitioned / dataflow baseline engines) executing real query
@@ -60,6 +76,9 @@ class SimCluster {
   const QueryResult& result(uint64_t query_id) const;
   const NetStats& net_stats() const { return net_stats_; }
   NetStats& mutable_net_stats() { return net_stats_; }
+  /// Injected-fault and recovery-protocol counters (all zero when no fault
+  /// plan is configured).
+  const FaultStats& fault_stats() const { return fault_.stats(); }
 
   SimTime now() const { return events_.now(); }
   /// Virtual time at which the whole simulation went quiescent.
@@ -102,6 +121,9 @@ class SimCluster {
     uint64_t query;
     PartitionId partition;
     Traverser trav;
+    // Query attempt the task belongs to; stale-attempt tasks left in worker
+    // queues after a recovery abort are fenced at execution time.
+    uint32_t attempt = 0;
   };
 
   struct TierBuffer {
@@ -121,10 +143,17 @@ class SimCluster {
     size_t num_tasks = 0;
     std::vector<Message> inbox;
     std::vector<TierBuffer> out;  // per destination node
-    // Coalesced finished weights: (query<<16 | scope) -> weight.
+    // Coalesced finished weights: WeightKey(query, scope) -> weight.
     std::unordered_map<uint64_t, Weight> pending_weights;
     Rng rng{0};
     uint64_t tasks_executed = 0;
+    // --- fault / recovery state ---
+    uint32_t epoch = 0;       // incarnation; bumps on every restart
+    bool crashed = false;     // currently down (between crash and restart)
+    SimTime down_until = 0;   // restart time of the most recent crash
+    // Result rows sent remotely per query since the last weight report
+    // (piggybacked onto the next report as Message::row_delta).
+    std::unordered_map<uint64_t, uint32_t> rows_unreported;
   };
 
   /// Tier-2 egress combiner state for one (src node, dst node) pair.
@@ -145,6 +174,16 @@ class SimCluster {
     CollectMergeState collect;
     uint32_t replies_expected = 0;
     QueryResult result;
+    // --- recovery state (coordinator-side) ---
+    uint32_t attempt = 0;         // current execution attempt
+    SimTime last_progress = 0;    // virtual time of the last progress signal
+    uint64_t rows_expected = 0;   // remote rows announced via row_delta
+    uint64_t rows_received = 0;   // kResultRow messages actually delivered
+    bool awaiting_rows = false;   // weight done, waiting on trailing rows
+    bool restart_pending = false; // AbortAttempt scheduled a StartQuery
+    // Watchdog chain generation: arming bumps it, invalidating every
+    // previously scheduled check (exactly one live chain per query).
+    uint64_t watchdog_gen = 0;
   };
 
   // --- query lifecycle ---
@@ -155,6 +194,19 @@ class SimCluster {
   void CompleteQuery(QueryState& qs, SimTime at);
   /// Cancels the query early once the terminal Emit limit is reached.
   void MaybeCancelOnLimit(QueryState& qs, SimTime at);
+
+  // --- fault injection & recovery ---
+  /// Marks a query's coordinator-observed progress (resets the watchdog).
+  void NoteProgress(QueryState& qs, SimTime at);
+  /// Arms / re-arms the per-query progress watchdog chain.
+  void ArmWatchdog(QueryState& qs, SimTime at);
+  void WatchdogCheck(uint64_t query_id, uint64_t gen, SimTime at);
+  /// Tears down the current attempt (fencing its in-flight messages) and
+  /// either reschedules StartQuery with exponential backoff or, with
+  /// retries exhausted, marks the query failed.
+  void AbortAttempt(QueryState& qs, SimTime at, const char* why);
+  void CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_after);
+  void RestartWorker(uint32_t worker, SimTime at);
 
   // --- worker execution ---
   void ScheduleWake(Worker& w, SimTime at);
@@ -174,6 +226,12 @@ class SimCluster {
   void SendTraverser(Worker& from, uint64_t query, PartitionId partition, Traverser t);
   void Send(Worker& from, Message msg);
   void DeliverLocal(Worker& from, Message msg, SimTime at);
+  /// Common delivery path (local + framed): crash loss, epoch fencing and
+  /// sequence dedup happen here before the message reaches the inbox.
+  void DeliverToWorker(Message msg, SimTime at);
+  /// Hands one remote message to the tiered I/O pipeline (post fault
+  /// decisions).
+  void EnqueueRemote(Worker& from, uint32_t dst_node, Message msg);
   void FlushBuffer(Worker& w, uint32_t dst_node);
   void FlushAll(Worker& w);
   void FlushWeights(Worker& w);
@@ -191,6 +249,9 @@ class SimCluster {
   uint32_t ExecWorkerFor(PartitionId p);
   SimTime& LinkBusy(uint32_t src_node, uint32_t dst_node) {
     return link_busy_[src_node * config_.num_nodes + dst_node];
+  }
+  uint64_t& PairSeq(uint32_t src, uint32_t dst) {
+    return pair_seq_[static_cast<size_t>(src) * config_.total_workers() + dst];
   }
 
   // --- BSP driver ---
@@ -219,7 +280,15 @@ class SimCluster {
   uint64_t pending_queries_ = 0;
   SimTime quiescent_time_ = 0;
   SimTime bsp_clock_ = 0;
-  uint64_t remote_sends_ = 0;  // fault-injection counter
+  // --- fault injection & recovery ---
+  FaultInjector fault_;
+  bool fault_active_ = false;     // any fault source configured
+  bool recovery_active_ = false;  // fault_active_ && config.fault_recovery
+  // Per-(src,dst) worker-pair send sequence numbers (remote messages only).
+  std::vector<uint64_t> pair_seq_;
+  // Receive-side dedup: (src<<32|dst) -> seqs already delivered.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> seen_seqs_;
+  double link_degrade_ = 1.0;  // transmit-time multiplier (kDegradeLink)
   NetStats net_stats_;
   uint64_t charge_counts_[static_cast<int>(CostKind::kNumKinds)] = {0};
   Rng rng_;

@@ -1,0 +1,107 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+namespace graphdance {
+
+bool FaultPlan::Active() const {
+  return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
+         !scripted.empty();
+}
+
+FaultPlan& FaultPlan::DropNth(uint64_t nth) {
+  FaultEvent e;
+  e.kind = FaultKind::kDropNthRemote;
+  e.nth = nth;
+  scripted.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DuplicateNth(uint64_t nth) {
+  FaultEvent e;
+  e.kind = FaultKind::kDuplicateNthRemote;
+  e.nth = nth;
+  scripted.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DelayNth(uint64_t nth, SimTime extra_ns) {
+  FaultEvent e;
+  e.kind = FaultKind::kDelayNthRemote;
+  e.nth = nth;
+  e.extra_delay_ns = extra_ns;
+  scripted.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashWorker(uint32_t worker, SimTime at,
+                                  SimTime restart_after) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrashWorker;
+  e.worker = worker;
+  e.at = at;
+  e.duration_ns = restart_after;
+  scripted.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeLink(SimTime at, SimTime duration_ns,
+                                  double factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kDegradeLink;
+  e.at = at;
+  e.duration_ns = duration_ns;
+  e.factor = factor;
+  scripted.push_back(e);
+  return *this;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), active_(plan.Active()), rng_(plan.seed * 0x9e3779b9ULL + 17) {
+  for (const FaultEvent& e : plan_.scripted) {
+    if (e.kind == FaultKind::kDropNthRemote ||
+        e.kind == FaultKind::kDuplicateNthRemote ||
+        e.kind == FaultKind::kDelayNthRemote) {
+      by_nth_.emplace(e.nth, e);
+    }
+  }
+}
+
+FaultInjector::SendDecision FaultInjector::OnRemoteSend() {
+  SendDecision d;
+  if (!active_) return d;
+  ++remote_sends_;
+  auto it = by_nth_.find(remote_sends_);
+  if (it != by_nth_.end()) {
+    switch (it->second.kind) {
+      case FaultKind::kDropNthRemote:
+        d.drop = true;
+        break;
+      case FaultKind::kDuplicateNthRemote:
+        d.duplicate = true;
+        break;
+      case FaultKind::kDelayNthRemote:
+        d.extra_delay_ns = it->second.extra_delay_ns;
+        break;
+      default:
+        break;
+    }
+  }
+  // Probabilistic faults: the PRNG is consumed in a fixed order per send so
+  // the schedule is a deterministic function of the remote-send sequence.
+  if (plan_.drop_prob > 0.0 && rng_.Chance(plan_.drop_prob)) d.drop = true;
+  if (plan_.dup_prob > 0.0 && rng_.Chance(plan_.dup_prob)) d.duplicate = true;
+  if (plan_.delay_prob > 0.0 && rng_.Chance(plan_.delay_prob)) {
+    d.extra_delay_ns = std::max(d.extra_delay_ns, plan_.delay_ns);
+  }
+  if (d.drop) {
+    d.duplicate = false;
+    d.extra_delay_ns = 0;
+  }
+  if (d.drop) stats_.drops++;
+  if (d.duplicate) stats_.duplicates++;
+  if (d.extra_delay_ns > 0) stats_.delays++;
+  return d;
+}
+
+}  // namespace graphdance

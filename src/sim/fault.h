@@ -1,0 +1,117 @@
+#ifndef GRAPHDANCE_SIM_FAULT_H_
+#define GRAPHDANCE_SIM_FAULT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/event_queue.h"
+
+namespace graphdance {
+
+/// Kinds of injectable faults. Message-level faults (drop / duplicate /
+/// delay) can be scripted against the N-th remote send or drawn
+/// probabilistically per remote send; worker crashes and link degradation
+/// are scripted against virtual time.
+enum class FaultKind : uint8_t {
+  kDropNthRemote = 0,   // the nth remote message vanishes on the wire
+  kDuplicateNthRemote,  // the nth remote message is delivered twice
+  kDelayNthRemote,      // the nth remote message arrives extra_delay_ns late
+  kCrashWorker,         // worker loses volatile state at `at`, restarts later
+  kDegradeLink,         // all links transmit `factor`x slower for a window
+};
+
+/// One scripted fault. Which fields matter depends on `kind`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropNthRemote;
+  uint64_t nth = 0;            // 1-based remote-send ordinal (message faults)
+  SimTime extra_delay_ns = 0;  // kDelayNthRemote
+  uint32_t worker = 0;         // kCrashWorker
+  SimTime at = 0;              // kCrashWorker / kDegradeLink virtual time
+  SimTime duration_ns = 0;     // crash restart delay / degradation window
+  double factor = 1.0;         // kDegradeLink transmit-time multiplier
+};
+
+/// A deterministic fault schedule: probabilistic per-remote-message knobs
+/// (driven by a PRNG seeded from `seed`) plus scripted events. Two runs with
+/// the same plan, cluster config and workload inject the exact same faults
+/// at the exact same virtual times — chaos tests are fully reproducible.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // Probabilistic per-remote-message faults (0 = disabled).
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  SimTime delay_ns = 200'000;  // extra latency applied to delayed messages
+
+  std::vector<FaultEvent> scripted;
+
+  bool Active() const;
+
+  // Fluent builders for scripted events.
+  FaultPlan& DropNth(uint64_t nth);
+  FaultPlan& DuplicateNth(uint64_t nth);
+  FaultPlan& DelayNth(uint64_t nth, SimTime extra_ns);
+  FaultPlan& CrashWorker(uint32_t worker, SimTime at, SimTime restart_after);
+  FaultPlan& DegradeLink(SimTime at, SimTime duration_ns, double factor);
+};
+
+/// Cluster-wide fault / recovery statistics, exposed by SimCluster alongside
+/// NetStats.
+struct FaultStats {
+  // Injected faults.
+  uint64_t drops = 0;       // messages dropped on the wire
+  uint64_t duplicates = 0;  // messages sent twice
+  uint64_t delays = 0;      // messages diverted to the straggler path
+  uint64_t crashes = 0;     // worker crash events
+  uint64_t restarts = 0;    // worker restart events
+  // Recovery-protocol activity.
+  uint64_t fenced_messages = 0;        // stale epoch or stale query attempt
+  uint64_t duplicates_suppressed = 0;  // receive-side sequence dedup hits
+  uint64_t lost_in_crash = 0;          // messages addressed to a down worker
+  uint64_t retries = 0;                // query attempts restarted
+  uint64_t recovered_queries = 0;      // completed correctly after >=1 retry
+  uint64_t failed_queries = 0;         // retries exhausted, marked failed
+  void Clear() { *this = FaultStats{}; }
+};
+
+/// Per-cluster fault decision engine. The cluster consults OnRemoteSend()
+/// once per remote message; scripted time-based events (crash, degrade) are
+/// scheduled by the cluster itself from plan().scripted. All randomness
+/// comes from an internal PRNG seeded by the plan, so decisions are a pure
+/// function of the remote-send sequence.
+class FaultInjector {
+ public:
+  /// What to do with one remote message about to enter the wire.
+  struct SendDecision {
+    bool drop = false;
+    bool duplicate = false;
+    SimTime extra_delay_ns = 0;
+  };
+
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool active() const { return active_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides the fate of the next remote message (advances the ordinal).
+  SendDecision OnRemoteSend();
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  bool active_ = false;
+  Rng rng_;
+  uint64_t remote_sends_ = 0;
+  // Scripted message faults indexed by remote-send ordinal.
+  std::unordered_map<uint64_t, FaultEvent> by_nth_;
+  FaultStats stats_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_SIM_FAULT_H_

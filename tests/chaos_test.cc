@@ -1,0 +1,372 @@
+// Chaos harness for the fault-injection subsystem: randomized and scripted
+// fault schedules (message drops / duplicates / delays, worker crashes, link
+// degradation) run real query workloads on every asynchronous engine, and
+// every query must either match its fault-free reference exactly or be
+// explicitly marked failed / timed out. A silent wrong answer or a hang is a
+// bug; recovery is epoch-fenced retry driven by the progress watchdog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_generator.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+#include "txn/txn_manager.h"
+
+namespace graphdance {
+namespace {
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId link;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t partitions, uint64_t nv = 1024, uint64_t ne = 8192,
+                    uint64_t seed = 11) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = seed;
+  opt.weight_range = 10'000;
+  auto result = GeneratePowerLawGraph(opt, tg.schema, partitions);
+  EXPECT_TRUE(result.ok());
+  tg.graph = result.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig ChaosConfig(EngineKind engine) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.engine = engine;
+  // Queries here finish in well under a virtual millisecond, so a 20 ms
+  // silence window cannot fire spuriously yet keeps retry chains short.
+  cfg.progress_timeout_ns = 20'000'000;
+  return cfg;
+}
+
+std::shared_ptr<const Plan> TopKPlan(const TestGraph& tg, VertexId start, int k,
+                                     size_t limit = 10) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, limit)
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::shared_ptr<const Plan> CountPlan(const TestGraph& tg, VertexId start, int k) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Count()
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+/// Fault-free reference rows for `plans` under `cfg`'s engine.
+std::vector<std::vector<Row>> CleanReference(
+    const TestGraph& tg, ClusterConfig cfg,
+    const std::vector<std::shared_ptr<const Plan>>& plans) {
+  cfg.fault = FaultPlan{};
+  cfg.fault_drop_remote_message = 0;
+  SimCluster cluster(cfg, tg.graph);
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  EXPECT_TRUE(cluster.RunToCompletion().ok());
+  std::vector<std::vector<Row>> out;
+  for (uint64_t id : ids) out.push_back(SortedRows(cluster.result(id).rows));
+  return out;
+}
+
+// ---- WeightKey packing regression --------------------------------------------
+
+TEST(WeightKeyTest, QueryAndScopeDoNotCollide) {
+  // The original packing was (query << 16) | scope with an unmasked 32-bit
+  // scope: scope ids at or above 2^16 bled into the query bits, so
+  // (query=1, scope=0x20005) and (query=3, scope=5) coalesced into the same
+  // per-worker weight cell. The 32/32 split keeps them distinct.
+  EXPECT_EQ((1ULL << 16) | 0x20005ULL, (3ULL << 16) | 5ULL);  // the old bug
+  EXPECT_NE(WeightKey(1, 0x20005u), WeightKey(3, 5u));
+  EXPECT_EQ(WeightKeyQuery(WeightKey(123, 456u)), 123u);
+  EXPECT_EQ(WeightKeyScope(WeightKey(123, 456u)), 456u);
+  // Full 32-bit scope range survives the round trip.
+  EXPECT_EQ(WeightKeyScope(WeightKey(7, 0xfffffffeu)), 0xfffffffeu);
+}
+
+// ---- deterministic single-fault scenarios -------------------------------------
+
+TEST(ChaosTest, DuplicatedMessageIsSuppressedNotDoubleCounted) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  cfg.fault.DuplicateNth(5);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.retries, 0u);  // a duplicate loses nothing: no retry needed
+  EXPECT_EQ(SortedRows(r.rows), ref);
+  EXPECT_EQ(cluster.fault_stats().duplicates, 1u);
+  EXPECT_EQ(cluster.fault_stats().duplicates_suppressed, 1u);
+}
+
+TEST(ChaosTest, DelayedMessageOnlySlowsTheQuery) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  cfg.fault.DelayNth(7, /*extra_ns=*/150'000);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.retries, 0u);  // well inside the progress window
+  EXPECT_EQ(SortedRows(r.rows), ref);
+  EXPECT_EQ(cluster.fault_stats().delays, 1u);
+}
+
+TEST(ChaosTest, DroppedMessageIsRecoveredByRetry) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  cfg.fault.DropNth(10);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(SortedRows(r.rows), ref);
+  EXPECT_EQ(cluster.fault_stats().drops, 1u);
+  // The drop stalled attempt 0; the watchdog retried; the retry ran clean.
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_EQ(cluster.fault_stats().recovered_queries, 1u);
+}
+
+TEST(ChaosTest, CoordinatorCrashTriggersEpochFencedRetry) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  // The first submitted query gets id 1 and coordinator 1 % 4 = worker 1;
+  // crashing worker 1 early takes down the coordinator mid-flight.
+  cfg.fault.CrashWorker(/*worker=*/1, /*at=*/5'000, /*restart_after=*/300'000);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(SortedRows(r.rows), ref);
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_EQ(cluster.fault_stats().crashes, 1u);
+  EXPECT_EQ(cluster.fault_stats().restarts, 1u);
+  EXPECT_EQ(cluster.fault_stats().recovered_queries, 1u);
+}
+
+TEST(ChaosTest, DegradedLinkOnlySlowsTheQuery) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  cfg.fault.DegradeLink(/*at=*/0, /*duration_ns=*/5'000'000, /*factor=*/8.0);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(SortedRows(r.rows), ref);
+}
+
+TEST(ChaosTest, RetriesExhaustedMarksQueryFailedNotWrong) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  cfg.fault.drop_prob = 1.0;  // every remote message vanishes: unrecoverable
+  cfg.max_retries = 2;
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(TopKPlan(tg, 1, 2), 0);
+  Status s = cluster.RunToCompletion();
+  ASSERT_TRUE(s.ok()) << s.ToString();  // recovery resolves it: no hang
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.failed);
+  EXPECT_TRUE(r.rows.empty());  // never a partial answer posing as complete
+  EXPECT_EQ(r.retries, 2u);
+  EXPECT_FALSE(r.failure_reason.empty());
+  EXPECT_EQ(cluster.fault_stats().failed_queries, 1u);
+}
+
+TEST(ChaosTest, RecoveryDisabledSurfacesLostWeightAsInternal) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  cfg.fault.drop_prob = 1.0;
+  cfg.fault_recovery = false;  // detect-and-report mode: no watchdog, no retry
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(TopKPlan(tg, 1, 2), 0);
+  Status s = cluster.RunToCompletion();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("stuck query ids: " + std::to_string(q)),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_FALSE(cluster.result(q).done);
+}
+
+TEST(ChaosTest, TinyEventBudgetIsDeadlineExceededNotInternal) {
+  TestGraph tg = MakeGraph(4);
+  SimCluster cluster(ChaosConfig(EngineKind::kAsync), tg.graph);
+  cluster.Submit(TopKPlan(tg, 1, 3), 0);
+  Status s = cluster.RunToCompletion(/*max_events=*/5);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("event budget"), std::string::npos) << s.ToString();
+}
+
+TEST(ChaosTest, BspEngineIgnoresMessageFaultPlans) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kBsp);
+  auto plan = CountPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  cfg.fault.drop_prob = 0.9;
+  cfg.fault.dup_prob = 0.9;
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  // BSP exchanges traversers at superstep barriers, not via the message
+  // layer, so the injector is never consulted.
+  EXPECT_EQ(SortedRows(cluster.result(q).rows), ref);
+  EXPECT_EQ(cluster.fault_stats().drops, 0u);
+  EXPECT_EQ(cluster.fault_stats().duplicates, 0u);
+}
+
+// ---- randomized chaos matrix --------------------------------------------------
+
+TEST(ChaosTest, RandomizedScheduleMatrixNeverSilentlyWrong) {
+  TestGraph tg = MakeGraph(4);
+  const EngineKind engines[] = {EngineKind::kAsync, EngineKind::kShared,
+                                EngineKind::kGaiaSim, EngineKind::kBanyanSim};
+  int schedules = 0;
+  uint64_t total_injected = 0, total_failed = 0, total_recovered = 0;
+  for (EngineKind engine : engines) {
+    ClusterConfig base = ChaosConfig(engine);
+    std::vector<std::shared_ptr<const Plan>> plans = {
+        TopKPlan(tg, 1, 2),  TopKPlan(tg, 17, 3, 5), CountPlan(tg, 5, 2),
+        CountPlan(tg, 42, 3), TopKPlan(tg, 99, 2)};
+    std::vector<std::vector<Row>> ref = CleanReference(tg, base, plans);
+
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      ++schedules;
+      SCOPED_TRACE("engine=" + std::string(EngineKindName(engine)) +
+                   " seed=" + std::to_string(seed));
+      ClusterConfig cfg = base;
+      Rng mix(seed * 7919 + static_cast<uint64_t>(engine) * 131);
+      cfg.fault.seed = mix.Next();
+      cfg.fault.dup_prob = 0.01 + 0.04 * mix.NextDouble();
+      cfg.fault.delay_prob = 0.01 + 0.04 * mix.NextDouble();
+      cfg.fault.delay_ns = 20'000 + mix.Below(80'000);
+      // Drops are the destructive fault: keep them rare enough that most
+      // retries land, but present in half the schedules.
+      if (seed % 2 == 0) cfg.fault.drop_prob = 0.001;
+      if (seed % 3 == 0) {
+        cfg.fault.CrashWorker(static_cast<uint32_t>(mix.Below(4)),
+                              /*at=*/10'000 + mix.Below(80'000),
+                              /*restart_after=*/100'000 + mix.Below(400'000));
+      }
+      SimCluster cluster(cfg, tg.graph);
+      std::vector<uint64_t> ids;
+      for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+      Status s = cluster.RunToCompletion(/*max_events=*/200'000'000ULL);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const QueryResult& r = cluster.result(ids[i]);
+        ASSERT_TRUE(r.done) << "query " << ids[i] << " neither finished nor "
+                            << "failed explicitly";
+        if (r.failed || r.timed_out) continue;  // explicit, never silent
+        EXPECT_EQ(SortedRows(r.rows), ref[i])
+            << "silent wrong answer on query " << ids[i];
+      }
+      const FaultStats& fs = cluster.fault_stats();
+      total_injected += fs.drops + fs.duplicates + fs.delays + fs.crashes;
+      total_failed += fs.failed_queries;
+      total_recovered += fs.recovered_queries;
+      // Every suppressed duplicate had an injected twin.
+      EXPECT_LE(fs.duplicates_suppressed, fs.duplicates);
+    }
+  }
+  EXPECT_GE(schedules, 24);
+  EXPECT_GT(total_injected, 0u) << "the chaos matrix never injected a fault";
+  // The harness is only meaningful if recovery actually exercises: across
+  // the matrix at least one query must have survived a retry.
+  EXPECT_GT(total_recovered + total_failed, 0u);
+}
+
+// ---- LDBC mixed workload under faults -----------------------------------------
+
+TEST(ChaosTest, LdbcMixedWorkloadSurvivesFaults) {
+  SnbConfig scfg = SnbConfig::Tiny(150);
+  auto data = GenerateSnb(scfg, /*num_partitions=*/8).TakeValue();
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+  cfg.progress_timeout_ns = 20'000'000;
+  cfg.fault.seed = 77;
+  cfg.fault.dup_prob = 0.02;
+  cfg.fault.delay_prob = 0.02;
+  cfg.fault.drop_prob = 0.0005;
+  SimCluster cluster(cfg, data->graph);
+  TransactionManager txn(&cluster);
+  DriverConfig dcfg;
+  dcfg.tcr = 1.0;
+  dcfg.duration_s = 0.05;
+  DriverReport report = RunMixedWorkload(&cluster, &txn, *data, dcfg);
+  // The run must terminate (no hang) with real work done; individual
+  // queries may be failed/retried but the driver keeps going.
+  EXPECT_GT(report.total_operations, 10u);
+  EXPECT_GT(cluster.fault_stats().duplicates + cluster.fault_stats().delays +
+                cluster.fault_stats().drops,
+            0u);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "graph/generators.h"
@@ -153,6 +154,41 @@ TEST(DeadlineTest, OtherQueriesUnaffectedByAbort) {
       clean.Run(Traversal(f.graph).V({1}).Out("link").Count().Build().TakeValue());
   ASSERT_TRUE(expect.ok());
   EXPECT_EQ(cluster.result(fine).rows, expect.value().rows);
+}
+
+TEST(DeadlineTest, TimedOutStreamingQueryKeepsPartialRows) {
+  DeadlineFixture f;
+  // A streaming plan (terminal Emit, no blocking top-k) delivers rows to the
+  // coordinator as they are found, so a deadline abort leaves the prefix that
+  // already arrived — unlike OrderByLimit, which materializes only at the end.
+  auto streaming = Traversal(f.graph)
+                       .V({0})
+                       .RepeatOut("link", 3, true)
+                       .Project({Operand::VertexIdOp()})
+                       .Emit()
+                       .Build()
+                       .TakeValue();
+  SimCluster full(f.cfg, f.graph);
+  auto complete = full.Run(streaming, kMaxTimestamp - 1);
+  ASSERT_TRUE(complete.ok());
+  std::set<int64_t> all;
+  for (const Row& row : complete.value().rows) all.insert(row[0].as_int());
+
+  SimCluster cluster(f.cfg, f.graph);
+  uint64_t id = cluster.Submit(streaming, 0, kMaxTimestamp - 1,
+                               /*deadline_ns=*/60'000);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(id);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.timed_out);
+  // Some rows streamed back before the deadline and survive the abort...
+  EXPECT_FALSE(r.rows.empty());
+  // ...but strictly fewer than the complete answer, and every one is valid.
+  EXPECT_LT(r.rows.size(), all.size());
+  for (const Row& row : r.rows) {
+    EXPECT_TRUE(all.count(row[0].as_int()) > 0)
+        << "bogus partial row " << row[0].as_int();
+  }
 }
 
 }  // namespace

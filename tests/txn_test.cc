@@ -190,6 +190,68 @@ TEST(TxnTest, RecoveryPreservesCommitted) {
   EXPECT_EQ(f.OutDegree(2, f.txn->ReadTimestamp()), after_commit);
 }
 
+TEST(TxnTest, CrashDuringCommitWithQueriesInFlight) {
+  Fixture f;
+  int64_t before = f.OutDegree(1, f.txn->ReadTimestamp());
+  auto built = Traversal(f.graph).V({1}).Out("link").Count().Build();
+  ASSERT_TRUE(built.ok());
+  std::shared_ptr<const Plan> plan = built.TakeValue();
+
+  // A query already submitted (but not yet run) when the commit tears.
+  uint64_t q1 = f.cluster->Submit(plan, 0, f.txn->ReadTimestamp());
+
+  auto t = f.txn->Begin();
+  ASSERT_TRUE(f.txn->AddEdge(t, 1, f.link, 21).ok());
+  f.txn->CrashDuringCommit(t);
+
+  // Submitted after the torn commit, before recovery: the partial versions
+  // sit in the TEL with ts > LCT and must stay invisible.
+  uint64_t q2 = f.cluster->Submit(plan, 0, f.txn->ReadTimestamp());
+
+  ASSERT_TRUE(f.cluster->RunToCompletion().ok());
+  ASSERT_TRUE(f.cluster->result(q1).done);
+  ASSERT_TRUE(f.cluster->result(q2).done);
+  EXPECT_EQ(f.cluster->result(q1).rows[0][0].as_int(), before);
+  EXPECT_EQ(f.cluster->result(q2).rows[0][0].as_int(), before);
+}
+
+TEST(TxnTest, RecoveryInterleavedWithQueriesKeepsSnapshots) {
+  Fixture f;
+  int64_t before = f.OutDegree(3, f.txn->ReadTimestamp());
+  auto built = Traversal(f.graph).V({3}).Out("link").Count().Build();
+  ASSERT_TRUE(built.ok());
+  std::shared_ptr<const Plan> plan = built.TakeValue();
+
+  // Committed work, then a torn commit, then crash recovery — with queries
+  // submitted at every intermediate snapshot and all run afterwards.
+  auto t1 = f.txn->Begin();
+  ASSERT_TRUE(f.txn->AddEdge(t1, 3, f.link, 30).ok());
+  ASSERT_TRUE(f.txn->Commit(t1).ok());
+  Timestamp committed_ts = f.txn->ReadTimestamp();
+  uint64_t q_committed = f.cluster->Submit(plan, 0, committed_ts);
+
+  auto t2 = f.txn->Begin();
+  ASSERT_TRUE(f.txn->AddEdge(t2, 3, f.link, 31).ok());
+  f.txn->CrashDuringCommit(t2);
+  uint64_t q_torn = f.cluster->Submit(plan, 0, f.txn->ReadTimestamp());
+
+  f.txn->SimulateCrashAndRecover();
+  uint64_t q_recovered = f.cluster->Submit(plan, 0, f.txn->ReadTimestamp());
+
+  ASSERT_TRUE(f.cluster->RunToCompletion().ok());
+  // Recovery scrubbed the torn commit but preserved the committed edge; every
+  // snapshot sees exactly the committed state.
+  EXPECT_EQ(f.cluster->result(q_committed).rows[0][0].as_int(), before + 1);
+  EXPECT_EQ(f.cluster->result(q_torn).rows[0][0].as_int(), before + 1);
+  EXPECT_EQ(f.cluster->result(q_recovered).rows[0][0].as_int(), before + 1);
+
+  // And the manager is healthy: a fresh commit lands and is visible.
+  auto t3 = f.txn->Begin();
+  ASSERT_TRUE(f.txn->AddEdge(t3, 3, f.link, 32).ok());
+  ASSERT_TRUE(f.txn->Commit(t3).ok());
+  EXPECT_EQ(f.OutDegree(3, f.txn->ReadTimestamp()), before + 2);
+}
+
 TEST(TxnTest, LctMonotone) {
   Fixture f;
   Timestamp prev = f.txn->ReadTimestamp();
