@@ -184,6 +184,17 @@ void ExecContext::Finish(uint32_t scope, Weight w) {
   m.scope_id = scope;
   m.weight = w;
   if (qs_->coordinator == worker_->id) {
+    if (cluster_->fault_active_) {
+      // Symmetry with the remote branch: rows this worker announced via
+      // rows_unreported must enter rows_expected even when the report is
+      // handled locally, or rows_received would carry an unmatched surplus
+      // that could mask a dropped remote row at the final-scope check.
+      auto it = worker_->rows_unreported.find(qs_->id);
+      if (it != worker_->rows_unreported.end()) {
+        qs_->rows_expected += it->second;
+        worker_->rows_unreported.erase(it);
+      }
+    }
     cluster_->HandleWeight(*qs_, scope, w, *worker_);
   } else {
     if (cluster_->fault_active_) {
@@ -205,6 +216,13 @@ void ExecContext::EmitRow(Row row) {
     return;
   }
   if (qs_->coordinator == worker_->id) {
+    // Coordinator-local rows never cross the wire; count them in both row
+    // ledgers so rows_received can never outrun rows_expected and mask a
+    // dropped remote row (the two counters stay symmetric by construction).
+    if (cluster_->fault_active_) {
+      qs_->rows_expected++;
+      qs_->rows_received++;
+    }
     qs_->result.rows.push_back(std::move(row));
     cluster_->MaybeCancelOnLimit(*qs_, worker_->now);
     return;
@@ -295,10 +313,18 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
           break;
         case FaultKind::kDegradeLink:
           events_.Schedule(ev.at, [this, factor = ev.factor](SimTime) {
-            link_degrade_ = factor;
+            degrade_active_.push_back(factor);
+            RecomputeLinkDegrade();
           });
           events_.Schedule(ev.at + ev.duration_ns,
-                           [this](SimTime) { link_degrade_ = 1.0; });
+                           [this, factor = ev.factor](SimTime) {
+                             auto it = std::find(degrade_active_.begin(),
+                                                 degrade_active_.end(), factor);
+                             if (it != degrade_active_.end()) {
+                               degrade_active_.erase(it);
+                             }
+                             RecomputeLinkDegrade();
+                           });
           break;
         default:
           break;
@@ -415,7 +441,12 @@ void SimCluster::StartQuery(QueryState& qs, SimTime at) {
     return;
   }
   qs.restart_pending = false;
-  if (recovery_active_) NoteProgress(qs, at);
+  if (recovery_active_) {
+    // Every attempt begins with a live watchdog chain; arming bumps the
+    // generation, so a stale chain from the previous attempt dies quietly.
+    NoteProgress(qs, at);
+    ArmWatchdog(qs, at);
+  }
   coord.now = std::max(coord.now, at);
   // Dataflow baselines pay per-worker operator instantiation at query start.
   coord.now += tuning_.per_worker_setup_ns * config_.total_workers() *
@@ -599,7 +630,15 @@ void SimCluster::WatchdogCheck(uint64_t query_id, uint64_t gen, SimTime at) {
   if (it == queries_.end()) return;
   QueryState& qs = it->second;
   if (qs.result.done || gen != qs.watchdog_gen) return;
-  if (qs.restart_pending) return;  // AbortAttempt armed a fresh chain
+  if (qs.restart_pending) {
+    // A restart is scheduled but has not run yet (StartQuery may keep
+    // deferring on a crashed coordinator). Keep the chain alive instead of
+    // letting it die, so the eventually restarted attempt is never left
+    // unwatched.
+    NoteProgress(qs, at);
+    ArmWatchdog(qs, at);
+    return;
+  }
   if (qs.last_progress + config_.progress_timeout_ns > at) {
     ArmWatchdog(qs, at);  // progress since arming: re-check one window later
     return;
@@ -696,6 +735,11 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
   }
 }
 
+void SimCluster::RecomputeLinkDegrade() {
+  link_degrade_ = 1.0;
+  for (double f : degrade_active_) link_degrade_ *= f;
+}
+
 void SimCluster::RestartWorker(uint32_t worker, SimTime at) {
   Worker& w = workers_[worker];
   if (!w.crashed) return;
@@ -782,6 +826,9 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
       HandleCollectReply(qs, msg, w);
       break;
     case MessageKind::kResultRow: {
+      // A completed result is frozen: rows trailing a limit-cancel or a
+      // deadline timeout must not mutate it after the fact.
+      if (qs.result.done) break;
       ByteReader reader(msg.payload.data(), msg.payload.size());
       qs.result.rows.push_back(DeserializeRow(&reader));
       if (fault_active_) {
@@ -1011,7 +1058,7 @@ void SimCluster::DeliverToWorker(Message msg, SimTime at) {
     if (msg.seq != 0) {
       uint64_t pair =
           (static_cast<uint64_t>(msg.src_worker) << 32) | msg.dst_worker;
-      if (!seen_seqs_[pair].insert(msg.seq).second) {
+      if (!seen_seqs_[pair].Insert(msg.seq)) {
         fault_.stats().duplicates_suppressed++;
         return;
       }
@@ -1053,6 +1100,15 @@ void SimCluster::FlushWeights(Worker& w) {
     if (qit == queries_.end()) continue;
     QueryState& qs = qit->second;
     if (qs.coordinator == w.id) {
+      if (fault_active_) {
+        // Same symmetry rule as ExecContext::Finish: locally handled reports
+        // still account this worker's announced remote rows.
+        auto rit = w.rows_unreported.find(query);
+        if (rit != w.rows_unreported.end()) {
+          qs.rows_expected += rit->second;
+          w.rows_unreported.erase(rit);
+        }
+      }
       HandleWeight(qs, scope, weight, w);
       continue;
     }

@@ -156,6 +156,32 @@ class SimCluster {
     std::unordered_map<uint64_t, uint32_t> rows_unreported;
   };
 
+  /// Receive-side duplicate suppression for one (src,dst) worker pair.
+  /// Sequence numbers are assigned monotonically at send, so instead of
+  /// remembering every delivered seq forever the window keeps a low-water
+  /// mark (seqs at or below it count as already seen) plus the delivered
+  /// seqs above it, bounded to kReorderWindow entries. A straggler older
+  /// than the window is indistinguishable from a duplicate and is
+  /// suppressed — equivalent to a drop, which the recovery protocol
+  /// already tolerates — so memory stays bounded on long chaos runs.
+  struct SeqWindow {
+    static constexpr uint64_t kReorderWindow = 4096;
+    uint64_t low = 0;       // every seq <= low counts as already seen
+    uint64_t max_seen = 0;
+    std::unordered_set<uint64_t> seen;  // delivered seqs in (low, max_seen]
+    /// Records a delivery; returns true iff this seq was not seen before.
+    bool Insert(uint64_t seq) {
+      if (seq <= low || !seen.insert(seq).second) return false;
+      if (seq > max_seen) max_seen = seq;
+      while (seen.erase(low + 1) != 0) ++low;  // advance contiguous prefix
+      while (max_seen - low > kReorderWindow) {  // age out gaps (drops)
+        ++low;
+        seen.erase(low);
+      }
+      return true;
+    }
+  };
+
   /// Tier-2 egress combiner state for one (src node, dst node) pair.
   struct EgressSlot {
     std::vector<Message> pending;
@@ -207,6 +233,8 @@ class SimCluster {
   void AbortAttempt(QueryState& qs, SimTime at, const char* why);
   void CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_after);
   void RestartWorker(uint32_t worker, SimTime at);
+  /// Recomputes link_degrade_ from the currently active degradation windows.
+  void RecomputeLinkDegrade();
 
   // --- worker execution ---
   void ScheduleWake(Worker& w, SimTime at);
@@ -286,9 +314,12 @@ class SimCluster {
   bool recovery_active_ = false;  // fault_active_ && config.fault_recovery
   // Per-(src,dst) worker-pair send sequence numbers (remote messages only).
   std::vector<uint64_t> pair_seq_;
-  // Receive-side dedup: (src<<32|dst) -> seqs already delivered.
-  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> seen_seqs_;
-  double link_degrade_ = 1.0;  // transmit-time multiplier (kDegradeLink)
+  // Receive-side dedup: (src<<32|dst) -> bounded delivered-seq window.
+  std::unordered_map<uint64_t, SeqWindow> seen_seqs_;
+  // Currently active kDegradeLink factors; overlapping windows compound
+  // instead of the end of one window cancelling another still-active one.
+  std::vector<double> degrade_active_;
+  double link_degrade_ = 1.0;  // product of degrade_active_ (kDegradeLink)
   NetStats net_stats_;
   uint64_t charge_counts_[static_cast<int>(CostKind::kNumKinds)] = {0};
   Rng rng_;

@@ -71,8 +71,8 @@ FaultInjector::SendDecision FaultInjector::OnRemoteSend() {
   SendDecision d;
   if (!active_) return d;
   ++remote_sends_;
-  auto it = by_nth_.find(remote_sends_);
-  if (it != by_nth_.end()) {
+  auto range = by_nth_.equal_range(remote_sends_);
+  for (auto it = range.first; it != range.second; ++it) {
     switch (it->second.kind) {
       case FaultKind::kDropNthRemote:
         d.drop = true;
@@ -81,7 +81,7 @@ FaultInjector::SendDecision FaultInjector::OnRemoteSend() {
         d.duplicate = true;
         break;
       case FaultKind::kDelayNthRemote:
-        d.extra_delay_ns = it->second.extra_delay_ns;
+        d.extra_delay_ns = std::max(d.extra_delay_ns, it->second.extra_delay_ns);
         break;
       default:
         break;

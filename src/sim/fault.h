@@ -107,8 +107,10 @@ class FaultInjector {
   bool active_ = false;
   Rng rng_;
   uint64_t remote_sends_ = 0;
-  // Scripted message faults indexed by remote-send ordinal.
-  std::unordered_map<uint64_t, FaultEvent> by_nth_;
+  // Scripted message faults indexed by remote-send ordinal. A multimap:
+  // several faults may target the same ordinal (e.g. DuplicateNth(5) +
+  // DelayNth(5)) and all of them apply, with drop taking precedence.
+  std::unordered_multimap<uint64_t, FaultEvent> by_nth_;
   FaultStats stats_;
 };
 

@@ -219,6 +219,111 @@ TEST(ChaosTest, DegradedLinkOnlySlowsTheQuery) {
   EXPECT_EQ(SortedRows(r.rows), ref);
 }
 
+TEST(ChaosTest, ScriptedFaultsOnSameOrdinalAllApply) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  // Both faults target remote send #5: the message is delivered late AND a
+  // duplicate rides the normal path. Neither may be silently ignored.
+  cfg.fault.DuplicateNth(5);
+  cfg.fault.DelayNth(5, /*extra_ns=*/150'000);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(plan, 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(SortedRows(r.rows), ref);
+  EXPECT_EQ(cluster.fault_stats().duplicates, 1u);
+  EXPECT_EQ(cluster.fault_stats().delays, 1u);
+  EXPECT_EQ(cluster.fault_stats().duplicates_suppressed, 1u);
+}
+
+TEST(ChaosTest, OverlappingDegradeWindowsDoNotCancel) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, cfg, {plan})[0];
+
+  // A long window with a short one nested inside it. The short window's end
+  // must restore the long window's factor, not reset degradation entirely,
+  // and inside the overlap the factors compound — so the run can only be
+  // slower than with the long window alone.
+  ClusterConfig single = cfg;
+  single.fault.DegradeLink(/*at=*/0, /*duration_ns=*/10'000'000, /*factor=*/8.0);
+  SimCluster sc(single, tg.graph);
+  uint64_t sq = sc.Submit(plan, 0);
+  ASSERT_TRUE(sc.RunToCompletion().ok());
+  EXPECT_EQ(SortedRows(sc.result(sq).rows), ref);
+
+  ClusterConfig overlap = cfg;
+  overlap.fault.DegradeLink(/*at=*/0, /*duration_ns=*/10'000'000, /*factor=*/8.0);
+  overlap.fault.DegradeLink(/*at=*/1'000, /*duration_ns=*/5'000, /*factor=*/2.0);
+  SimCluster oc(overlap, tg.graph);
+  uint64_t oq = oc.Submit(plan, 0);
+  ASSERT_TRUE(oc.RunToCompletion().ok());
+  EXPECT_EQ(SortedRows(oc.result(oq).rows), ref);
+  EXPECT_GE(oc.result(oq).complete_time, sc.result(sq).complete_time);
+}
+
+TEST(ChaosTest, WatchdogSurvivesCoordinatorCrashDuringRestartBackoff) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
+  // Every remote message vanishes, so every attempt stalls and only a live
+  // watchdog chain can drive the query to its explicit failed verdict.
+  cfg.fault.drop_prob = 1.0;
+  cfg.max_retries = 3;
+  cfg.retry_backoff_ns = 10'000'000;
+  // Crash the coordinator (query 1 -> worker 1) inside the first retry's
+  // backoff window, and keep it down long past the rescheduled StartQuery:
+  // the restart keeps deferring with restart_pending set, which used to let
+  // the only live watchdog chain die and the query hang forever.
+  cfg.fault.CrashWorker(/*worker=*/1, /*at=*/25'000'000,
+                        /*restart_after=*/100'000'000);
+  SimCluster cluster(cfg, tg.graph);
+  uint64_t q = cluster.Submit(TopKPlan(tg, 1, 2), 0);
+  Status s = cluster.RunToCompletion();
+  ASSERT_TRUE(s.ok()) << s.ToString();  // no hang, no kInternal
+  const QueryResult& r = cluster.result(q);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.retries, cfg.max_retries);
+  EXPECT_EQ(cluster.fault_stats().crashes, 1u);
+  EXPECT_EQ(cluster.fault_stats().failed_queries, 1u);
+}
+
+TEST(ChaosTest, AnySingleDroppedMessageNeverSilentlyWrong) {
+  // Sweep the drop over every early remote-send ordinal so each message
+  // kind — traverser hop, weight report (with piggybacked row_delta),
+  // finalize, collect reply, result row, control — gets dropped in some
+  // run. Whatever vanishes, the query must either recover to the exact
+  // reference rows or fail explicitly; in particular a dropped ResultRow
+  // must not be masked by coordinator-local rows in the row ledgers.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig base = ChaosConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> ref = CleanReference(tg, base, {plan})[0];
+
+  int dropped_runs = 0;
+  for (uint64_t nth = 1; nth <= 60; ++nth) {
+    SCOPED_TRACE("drop ordinal " + std::to_string(nth));
+    ClusterConfig cfg = base;
+    cfg.fault.DropNth(nth);
+    SimCluster cluster(cfg, tg.graph);
+    uint64_t q = cluster.Submit(plan, 0);
+    Status s = cluster.RunToCompletion();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    const QueryResult& r = cluster.result(q);
+    ASSERT_TRUE(r.done);
+    if (cluster.fault_stats().drops > 0) ++dropped_runs;
+    if (r.failed || r.timed_out) continue;  // explicit, never silent
+    EXPECT_EQ(SortedRows(r.rows), ref) << "silent wrong answer";
+  }
+  EXPECT_GE(dropped_runs, 20) << "the sweep barely exercised the fault path";
+}
+
 TEST(ChaosTest, RetriesExhaustedMarksQueryFailedNotWrong) {
   TestGraph tg = MakeGraph(4);
   ClusterConfig cfg = ChaosConfig(EngineKind::kAsync);
