@@ -55,10 +55,16 @@ inline VertexId PickActiveStart(const std::shared_ptr<PartitionedGraph>& graph,
 /// (The paper: "the starting vertex is randomly selected from all vertices
 /// for 100 times and the average is reported" — we default to fewer trials
 /// to keep the harness fast; pass --trials to raise it.)
+///
+/// Message counts and percentiles come from each cluster's MetricsSnapshot()
+/// (the unified registry): `stats_out` accumulates the network counters,
+/// `snapshot_out` the full snapshot (latency histograms, per-link traffic,
+/// per-step traverser counts) across all trials.
 inline double AvgKHopLatency(const ClusterConfig& config,
                              const std::shared_ptr<PartitionedGraph>& graph,
                              PropKeyId weight_key, int k, int trials,
-                             uint64_t seed = 31, NetStats* stats_out = nullptr) {
+                             uint64_t seed = 31, NetStats* stats_out = nullptr,
+                             obs::MetricsSnapshot* snapshot_out = nullptr) {
   Rng rng(seed);
   LatencyRecorder rec;
   for (int t = 0; t < trials; ++t) {
@@ -70,14 +76,10 @@ inline double AvgKHopLatency(const ClusterConfig& config,
       continue;
     }
     rec.Record(res.value().LatencyMicros());
-    if (stats_out != nullptr) {
-      NetStats& agg = *stats_out;
-      const NetStats& s = cluster.net_stats();
-      for (int i = 0; i < 8; ++i) agg.messages_by_kind[i] += s.messages_by_kind[i];
-      agg.local_messages += s.local_messages;
-      agg.remote_messages += s.remote_messages;
-      agg.frames += s.frames;
-      agg.bytes += s.bytes;
+    if (stats_out != nullptr || snapshot_out != nullptr) {
+      obs::MetricsSnapshot snap = cluster.MetricsSnapshot();
+      if (stats_out != nullptr) stats_out->Merge(snap.net);
+      if (snapshot_out != nullptr) snapshot_out->Merge(snap);
     }
   }
   return rec.Avg();

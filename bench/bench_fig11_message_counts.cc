@@ -24,22 +24,24 @@ int main(int argc, char** argv) {
       cfg.workers_per_node = 2;
       BenchGraph bg = MakeBenchGraph(preset, s, cfg.num_partitions());
 
-      NetStats with_wc, without_wc;
+      // Message counts come from the unified metrics registry (the NetStats
+      // inside each cluster's MetricsSnapshot()), not hand-rolled counters.
+      obs::MetricsSnapshot with_wc, without_wc;
       cfg.weight_coalescing = true;
-      AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials, 31, &with_wc);
+      AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials, 31, nullptr, &with_wc);
       cfg.weight_coalescing = false;
-      AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials, 31, &without_wc);
+      AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials, 31, nullptr, &without_wc);
 
       double reduction =
-          without_wc.progress_messages() == 0
+          without_wc.net.progress_messages() == 0
               ? 0.0
-              : 100.0 * (1.0 - static_cast<double>(with_wc.progress_messages()) /
-                                   static_cast<double>(without_wc.progress_messages()));
+              : 100.0 * (1.0 - static_cast<double>(with_wc.net.progress_messages()) /
+                                   static_cast<double>(without_wc.net.progress_messages()));
       std::printf("%-10s %-4d | %13lu %13lu | %13lu %13lu | %8.1f%%\n", preset, k,
-                  (unsigned long)(with_wc.progress_messages() / trials),
-                  (unsigned long)(with_wc.other_messages() / trials),
-                  (unsigned long)(without_wc.progress_messages() / trials),
-                  (unsigned long)(without_wc.other_messages() / trials), reduction);
+                  (unsigned long)(with_wc.net.progress_messages() / trials),
+                  (unsigned long)(with_wc.net.other_messages() / trials),
+                  (unsigned long)(without_wc.net.progress_messages() / trials),
+                  (unsigned long)(without_wc.net.other_messages() / trials), reduction);
       std::fflush(stdout);
     }
   }

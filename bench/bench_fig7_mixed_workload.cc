@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
       DriverConfig dcfg;
       dcfg.tcr = tcr;
       dcfg.duration_s = duration;
+      // Latency averages/percentiles come from the per-family histograms in
+      // the cluster's metrics registry (DriverReport::metrics).
       DriverReport report = RunMixedWorkload(&cluster, &txn, *data, dcfg);
       if (!report.kept_up) {
         std::printf("%-14s %-6.2f | %51s | DNF (makespan %.0f ms for a %.0f ms window)\n",

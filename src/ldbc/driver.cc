@@ -37,12 +37,14 @@ SnbParams SnbParamGen::Next() {
   return p;
 }
 
+// The registry records nanoseconds; the report speaks microseconds. "query"
+// is the cluster's own all-queries histogram, not a driver family label.
 double DriverReport::AvgLatencyMicros(const std::string& prefix) const {
   double sum = 0.0;
   int n = 0;
-  for (const auto& [name, rec] : per_query) {
-    if (name.rfind(prefix, 0) == 0 && rec.count() > 0) {
-      sum += rec.Avg();
+  for (const auto& [name, hist] : metrics.latency) {
+    if (name != "query" && name.rfind(prefix, 0) == 0 && hist.Count() > 0) {
+      sum += hist.Avg() / 1000.0;
       ++n;
     }
   }
@@ -51,9 +53,9 @@ double DriverReport::AvgLatencyMicros(const std::string& prefix) const {
 
 double DriverReport::P99LatencyMicros(const std::string& prefix) const {
   double worst = 0.0;
-  for (const auto& [name, rec] : per_query) {
-    if (name.rfind(prefix, 0) == 0 && rec.count() > 0) {
-      worst = std::max(worst, rec.P99());
+  for (const auto& [name, hist] : metrics.latency) {
+    if (name != "query" && name.rfind(prefix, 0) == 0 && hist.Count() > 0) {
+      worst = std::max(worst, static_cast<double>(hist.P99()) / 1000.0);
     }
   }
   return worst;
@@ -161,7 +163,8 @@ DriverReport RunMixedWorkload(SimCluster* cluster, TransactionManager* txn,
       } else {
         latency_us = 1.0;  // aborted by conflict
       }
-      report.per_query["UP"].Record(latency_us);
+      cluster->metrics().latency("UP").Record(
+          static_cast<uint64_t>(latency_us * 1000.0));
       ++report.total_operations;
       continue;
     }
@@ -180,9 +183,10 @@ DriverReport RunMixedWorkload(SimCluster* cluster, TransactionManager* txn,
   if (s.ok()) {
     for (const Submitted& sub : submitted) {
       const QueryResult& r = cluster->result(sub.id);
-      if (r.done) report.per_query[sub.name].Record(r.LatencyMicros());
+      if (r.done) cluster->metrics().latency(sub.name).Record(r.LatencyNanos());
     }
   }
+  report.metrics = cluster->MetricsSnapshot();
   // "Keeping up": the backlog drained within 50% slack of the offered window
   // (TigerGraph-style failures show up as makespans far beyond the window).
   report.kept_up =

@@ -30,15 +30,20 @@ struct DriverConfig {
   double update_rate = 80.0;
 };
 
-/// Per-family latency results of one mixed-workload run.
+/// Per-family latency results of one mixed-workload run. Latencies live in
+/// the cluster's metrics registry: the driver records each operation into a
+/// per-family histogram ("IC1".."IS7", "UP") and `metrics` is the cluster's
+/// unified MetricsSnapshot() with those histograms inside.
 struct DriverReport {
-  std::map<std::string, LatencyRecorder> per_query;  // "IC1".."IS7", "UP"
+  obs::MetricsSnapshot metrics;
   uint64_t total_operations = 0;
   SimTime makespan = 0;       // virtual time until quiescence
   double offered_duration_s = 0.0;
   bool kept_up = false;       // finished within slack of the offered window
 
-  /// Mean of per-query average latencies whose name starts with `prefix`.
+  /// Mean of per-family average latencies whose name starts with `prefix`
+  /// (exact — histograms keep exact sums). P99 carries the histogram's
+  /// bucket resolution (<= ~3.1% relative error).
   double AvgLatencyMicros(const std::string& prefix) const;
   double P99LatencyMicros(const std::string& prefix) const;
 };

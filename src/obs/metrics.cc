@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/message.h"
+
+namespace graphdance {
+
+uint64_t NetStats::progress_messages() const {
+  return messages_by_kind[static_cast<int>(MessageKind::kWeightReport)];
+}
+
+uint64_t NetStats::other_messages() const {
+  uint64_t total = 0;
+  for (int k = 0; k < static_cast<int>(MessageKind::kNumKinds); ++k) {
+    if (k == static_cast<int>(MessageKind::kWeightReport)) continue;
+    total += messages_by_kind[k];
+  }
+  return total;
+}
+
+void NetStats::Merge(const NetStats& other) {
+  for (int k = 0; k < 8; ++k) messages_by_kind[k] += other.messages_by_kind[k];
+  local_messages += other.local_messages;
+  remote_messages += other.remote_messages;
+  frames += other.frames;
+  bytes += other.bytes;
+}
+
+namespace obs {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Fixed-point double formatting (two decimals) so ToString() is
+/// byte-identical across runs and platforms.
+std::string F2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches rank.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) rank++;
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (uint32_t b = 0; b < buckets_.size(); ++b) {
+    cum += buckets_[b];
+    if (cum >= rank) return std::min(UpperBound(b), max_);
+  }
+  return max_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string LogHistogram::ToString() const {
+  return "count=" + U64(count_) + " avg=" + F2(Avg()) + " p50=" + U64(P50()) +
+         " p95=" + U64(P95()) + " p99=" + U64(P99()) + " max=" + U64(max_);
+}
+
+const LogHistogram* MetricsSnapshot::Latency(const std::string& name) const {
+  auto it = latency.find(name);
+  return it == latency.end() ? nullptr : &it->second;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  net.Merge(other.net);
+  fault.Merge(other.fault);
+  for (uint32_t k = 0; k < kNumStepKinds; ++k) steps_in[k] += other.steps_in[k];
+  tasks_executed += other.tasks_executed;
+  memo_hits += other.memo_hits;
+  memo_misses += other.memo_misses;
+  memo_created += other.memo_created;
+  memo_cleared += other.memo_cleared;
+  weight_finishes += other.weight_finishes;
+  weight_reports += other.weight_reports;
+  queries_submitted += other.queries_submitted;
+  queries_completed += other.queries_completed;
+  queries_failed += other.queries_failed;
+  queries_timed_out += other.queries_timed_out;
+  if (links.empty()) {
+    num_nodes = other.num_nodes;
+    links = other.links;
+  } else if (other.num_nodes == num_nodes) {
+    for (size_t i = 0; i < links.size(); ++i) {
+      links[i].frames += other.links[i].frames;
+      links[i].bytes += other.links[i].bytes;
+    }
+  }
+  if (pair_messages.empty()) {
+    num_workers = other.num_workers;
+    pair_messages = other.pair_messages;
+  } else if (other.num_workers == num_workers) {
+    for (size_t i = 0; i < pair_messages.size(); ++i) {
+      pair_messages[i] += other.pair_messages[i];
+    }
+  }
+  for (const auto& [name, hist] : other.latency) latency[name].Merge(hist);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  out += "== metrics ==\n";
+  out += "queries: submitted=" + U64(queries_submitted) +
+         " completed=" + U64(queries_completed) +
+         " failed=" + U64(queries_failed) +
+         " timed_out=" + U64(queries_timed_out) + "\n";
+  out += "tasks_executed=" + U64(tasks_executed) + "\n";
+  out += "net: local=" + U64(net.local_messages) +
+         " remote=" + U64(net.remote_messages) + " frames=" + U64(net.frames) +
+         " bytes=" + U64(net.bytes) +
+         " progress=" + U64(net.progress_messages()) +
+         " other=" + U64(net.other_messages()) + "\n";
+  out += "messages_by_kind:";
+  for (int k = 0; k < static_cast<int>(MessageKind::kNumKinds); ++k) {
+    out += std::string(" ") + MessageKindName(static_cast<MessageKind>(k)) +
+           "=" + U64(net.messages_by_kind[k]);
+  }
+  out += "\n";
+  out += "weights: finishes=" + U64(weight_finishes) +
+         " reports=" + U64(weight_reports) + "\n";
+  out += "memo: hits=" + U64(memo_hits) + " misses=" + U64(memo_misses) +
+         " created=" + U64(memo_created) + " cleared=" + U64(memo_cleared) +
+         "\n";
+  out += "steps:";
+  for (uint32_t k = 0; k < kNumStepKinds; ++k) {
+    if (steps_in[k] == 0) continue;
+    out += std::string(" ") + StepKindName(static_cast<StepKind>(k)) + "=" +
+           U64(steps_in[k]);
+  }
+  out += "\n";
+  out += "fault: drops=" + U64(fault.drops) + " dups=" + U64(fault.duplicates) +
+         " delays=" + U64(fault.delays) + " crashes=" + U64(fault.crashes) +
+         " restarts=" + U64(fault.restarts) +
+         " fenced=" + U64(fault.fenced_messages) +
+         " dup_suppressed=" + U64(fault.duplicates_suppressed) +
+         " lost_in_crash=" + U64(fault.lost_in_crash) +
+         " retries=" + U64(fault.retries) +
+         " recovered=" + U64(fault.recovered_queries) +
+         " failed=" + U64(fault.failed_queries) + "\n";
+  for (uint32_t s = 0; s < num_nodes; ++s) {
+    for (uint32_t d = 0; d < num_nodes; ++d) {
+      const LinkStats& l = Link(s, d);
+      if (l.frames == 0) continue;
+      out += "link " + U64(s) + "->" + U64(d) + ": frames=" + U64(l.frames) +
+             " bytes=" + U64(l.bytes) + "\n";
+    }
+  }
+  for (const auto& [name, hist] : latency) {
+    out += "latency[" + name + "]: " + hist.ToString() + "\n";
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  s.net = net_;
+  s.num_nodes = num_nodes_;
+  s.num_workers = num_workers_;
+  s.links = links_;
+  s.pair_messages = pair_messages_;
+  s.latency = latency_;
+  s.queries_submitted = queries_submitted_;
+  s.queries_completed = queries_completed_;
+  s.queries_failed = queries_failed_;
+  s.queries_timed_out = queries_timed_out_;
+  for (const WorkerMetrics& w : workers_) {
+    for (uint32_t k = 0; k < kNumStepKinds; ++k) s.steps_in[k] += w.steps_in[k];
+    s.weight_finishes += w.weight_finishes;
+    s.weight_reports += w.weight_reports;
+  }
+  return s;
+}
+
+}  // namespace obs
+}  // namespace graphdance

@@ -1,0 +1,227 @@
+#ifndef GRAPHDANCE_OBS_METRICS_H_
+#define GRAPHDANCE_OBS_METRICS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pstm/step.h"
+#include "sim/event_queue.h"
+#include "sim/fault.h"
+
+namespace graphdance {
+
+/// Cluster-wide network statistics (drives Fig. 11 and sanity checks). The
+/// canonical instance is owned by obs::MetricsRegistry; SimCluster's
+/// net_stats() accessor remains as a thin view into it.
+struct NetStats {
+  uint64_t messages_by_kind[8] = {0};
+  uint64_t local_messages = 0;   // same-node shared-memory deliveries
+  uint64_t remote_messages = 0;  // messages carried inside frames
+  uint64_t frames = 0;           // network frames (syscalls) sent
+  uint64_t bytes = 0;            // bytes on the wire
+
+  uint64_t progress_messages() const;
+  uint64_t other_messages() const;
+  void Merge(const NetStats& other);
+  void Clear() { *this = NetStats{}; }
+};
+
+namespace obs {
+
+inline constexpr uint32_t kNumStepKinds =
+    static_cast<uint32_t>(StepKind::kEmit) + 1;
+
+/// A log-bucketed latency histogram (HDR-style): every power-of-two range is
+/// split into 32 sub-buckets, giving a worst-case relative quantile error of
+/// 1/32 ≈ 3.1%. Values below 32 are recorded exactly. Count, sum, min and
+/// max are kept exactly, so Avg() has no bucketing error. Values are plain
+/// uint64 in caller-chosen units (the cluster records virtual nanoseconds).
+class LogHistogram {
+ public:
+  void Record(uint64_t v) {
+    uint32_t b = BucketOf(v);
+    if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+    buckets_[b]++;
+    count_++;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  uint64_t Count() const { return count_; }
+  uint64_t Sum() const { return sum_; }
+  uint64_t Min() const { return min_; }
+  uint64_t Max() const { return max_; }
+  double Avg() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Nearest-rank quantile, q in (0, 1]. Returns the upper bound of the
+  /// bucket holding the rank, clamped to the exact recorded maximum.
+  uint64_t Percentile(double q) const;
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P95() const { return Percentile(0.95); }
+  uint64_t P99() const { return Percentile(0.99); }
+
+  void Merge(const LogHistogram& other);
+
+  /// "count=N avg=A p50=.. p95=.. p99=.. max=.." (deterministic formatting).
+  std::string ToString() const;
+
+  /// Exposed for tests: the bucket index a value lands in and the largest
+  /// value that bucket can hold.
+  static uint32_t BucketOf(uint64_t v) {
+    if (v < kSub) return static_cast<uint32_t>(v);
+    uint32_t e = 63 - static_cast<uint32_t>(__builtin_clzll(v));
+    uint32_t sub = static_cast<uint32_t>((v >> (e - kSubBits)) & (kSub - 1));
+    return (e - kSubBits + 1) * kSub + sub;
+  }
+  static uint64_t UpperBound(uint32_t b) {
+    if (b < kSub) return b;
+    uint32_t shift = b / kSub - 1;  // == e - kSubBits
+    uint64_t sub = b % kSub;
+    return ((kSub + sub + 1) << shift) - 1;
+  }
+
+ private:
+  static constexpr uint32_t kSubBits = 5;
+  static constexpr uint32_t kSub = 1u << kSubBits;  // sub-buckets per octave
+
+  std::vector<uint64_t> buckets_;  // grown lazily to the highest bucket seen
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Frame/byte counters of one directed node->node link.
+struct LinkStats {
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+};
+
+/// Per-virtual-worker counters, aggregated cluster-wide by Snapshot().
+struct WorkerMetrics {
+  uint64_t steps_in[kNumStepKinds] = {0};  // traversers entering each step kind
+  uint64_t weight_finishes = 0;            // Finish() calls (pre-coalescing)
+  uint64_t weight_reports = 0;             // kWeightReport messages produced
+};
+
+/// One unified, deterministic view of every runtime metric. Subsumes
+/// NetStats and FaultStats (both kept as members so existing call sites stay
+/// thin views), plus per-step traverser counts, memo behavior, weight-report
+/// coalescing, per-link traffic, and latency histograms. Everything is
+/// derived from the deterministic event schedule, so two same-seed runs
+/// produce identical snapshots (ToString() is byte-identical).
+struct MetricsSnapshot {
+  NetStats net;
+  FaultStats fault;
+
+  uint64_t steps_in[kNumStepKinds] = {0};
+  uint64_t tasks_executed = 0;
+
+  uint64_t memo_hits = 0;     // Find/GetOrCreate found existing state
+  uint64_t memo_misses = 0;   // lookups that found nothing
+  uint64_t memo_created = 0;  // states materialized
+  uint64_t memo_cleared = 0;  // states dropped (query end or crash)
+
+  uint64_t weight_finishes = 0;  // Finish() calls before coalescing
+  uint64_t weight_reports = 0;   // kWeightReport messages after coalescing
+
+  uint64_t queries_submitted = 0;
+  uint64_t queries_completed = 0;  // includes timed-out/failed completions
+  uint64_t queries_failed = 0;
+  uint64_t queries_timed_out = 0;
+
+  uint32_t num_nodes = 0;
+  uint32_t num_workers = 0;
+  std::vector<LinkStats> links;          // num_nodes^2, src-major
+  std::vector<uint64_t> pair_messages;   // num_workers^2, src-major
+
+  /// Named virtual-latency histograms in nanoseconds. The cluster records
+  /// every query under "query"; callers (LDBC driver, benches) add their own
+  /// labels via MetricsRegistry::latency().
+  std::map<std::string, LogHistogram> latency;
+
+  const LinkStats& Link(uint32_t src_node, uint32_t dst_node) const {
+    return links[src_node * num_nodes + dst_node];
+  }
+  uint64_t PairMessages(uint32_t src_worker, uint32_t dst_worker) const {
+    return pair_messages[src_worker * num_workers + dst_worker];
+  }
+  /// Looks up a latency histogram, nullptr when the label was never recorded.
+  const LogHistogram* Latency(const std::string& name) const;
+
+  void Merge(const MetricsSnapshot& other);
+
+  /// Deterministic human-readable dump (the `--metrics` CLI output).
+  std::string ToString() const;
+};
+
+/// The cluster's metrics sink. Pure observation: recording never charges
+/// virtual time, schedules events, or otherwise perturbs execution — the
+/// event schedule is identical whether or not anything reads the registry.
+class MetricsRegistry {
+ public:
+  void Init(uint32_t num_workers, uint32_t num_nodes) {
+    num_workers_ = num_workers;
+    num_nodes_ = num_nodes;
+    workers_.assign(num_workers, WorkerMetrics{});
+    links_.assign(static_cast<size_t>(num_nodes) * num_nodes, LinkStats{});
+    pair_messages_.assign(static_cast<size_t>(num_workers) * num_workers, 0);
+  }
+
+  WorkerMetrics& worker(uint32_t id) { return workers_[id]; }
+  NetStats& net() { return net_; }
+  const NetStats& net() const { return net_; }
+
+  void OnFrame(uint32_t src_node, uint32_t dst_node, uint64_t wire_bytes) {
+    net_.frames++;
+    net_.bytes += wire_bytes;
+    LinkStats& l = links_[src_node * num_nodes_ + dst_node];
+    l.frames++;
+    l.bytes += wire_bytes;
+  }
+
+  void OnPairMessage(uint32_t src_worker, uint32_t dst_worker) {
+    pair_messages_[src_worker * num_workers_ + dst_worker]++;
+  }
+
+  /// Named latency histogram, created on first use (deterministic: std::map).
+  LogHistogram& latency(const std::string& name) { return latency_[name]; }
+
+  void OnQuerySubmitted() { queries_submitted_++; }
+  void OnQueryDone(SimTime latency_ns, bool failed, bool timed_out) {
+    queries_completed_++;
+    if (failed) queries_failed_++;
+    if (timed_out) queries_timed_out_++;
+    latency_["query"].Record(latency_ns);
+  }
+
+  /// Aggregates per-worker counters with the cluster-wide ones into one
+  /// snapshot. FaultStats / memo counters / tasks_executed live outside the
+  /// registry; SimCluster::MetricsSnapshot() fills them in.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  uint32_t num_workers_ = 0;
+  uint32_t num_nodes_ = 0;
+  NetStats net_;
+  std::vector<WorkerMetrics> workers_;
+  std::vector<LinkStats> links_;
+  std::vector<uint64_t> pair_messages_;
+  std::map<std::string, LogHistogram> latency_;
+  uint64_t queries_submitted_ = 0;
+  uint64_t queries_completed_ = 0;
+  uint64_t queries_failed_ = 0;
+  uint64_t queries_timed_out_ = 0;
+};
+
+}  // namespace obs
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_OBS_METRICS_H_

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace graphdance {
+namespace obs {
+
+namespace {
+
+/// Virtual ns -> trace_event microseconds with 3 decimals, fixed-point so
+/// output is byte-identical across runs and platforms.
+void AppendMicros(std::string* out, SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  *out += buf;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::Span(std::string name, const char* category, SimTime start_ns,
+                  SimTime end_ns, uint32_t node, uint32_t worker,
+                  uint64_t query, uint32_t attempt, std::string extra_args) {
+  if (!enabled_) return;
+  if (end_ns < start_ns) end_ns = start_ns;
+  events_.push_back(Event{std::move(name), category, 'X', start_ns,
+                          end_ns - start_ns, node, worker, query, attempt,
+                          std::move(extra_args)});
+}
+
+void Tracer::Instant(std::string name, const char* category, SimTime at_ns,
+                     uint32_t node, uint32_t worker, uint64_t query,
+                     uint32_t attempt, std::string extra_args) {
+  if (!enabled_) return;
+  events_.push_back(Event{std::move(name), category, 'i', at_ns, 0, node,
+                          worker, query, attempt, std::move(extra_args)});
+}
+
+void Tracer::Meta(const char* what, uint32_t node, uint32_t worker,
+                  std::string label) {
+  if (!enabled_) return;
+  events_.push_back(Event{what, "__metadata", 'M', 0, 0, node, worker, 0, 0,
+                          "\"name\":\"" + label + "\""});
+}
+
+std::string Tracer::ToJson() const {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    out += e.category;
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    AppendMicros(&out, e.ts);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(&out, e.dur);
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":" + std::to_string(e.node);
+    out += ",\"tid\":" + std::to_string(e.worker);
+    out += ",\"args\":{";
+    if (e.phase == 'M') {
+      out += e.extra;
+    } else {
+      out += "\"query\":" + std::to_string(e.query);
+      out += ",\"attempt\":" + std::to_string(e.attempt);
+      if (!e.extra.empty()) {
+        out += ",";
+        out += e.extra;
+      }
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteJson(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::string json = ToJson();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return f.good();
+}
+
+}  // namespace obs
+}  // namespace graphdance

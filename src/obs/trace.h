@@ -1,0 +1,78 @@
+#ifndef GRAPHDANCE_OBS_TRACE_H_
+#define GRAPHDANCE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace graphdance {
+namespace obs {
+
+/// Records per-query spans (attempts, scope execution, termination, retries,
+/// crashes) stamped with virtual time and worker id, exportable as Chrome
+/// trace_event JSON for chrome://tracing / Perfetto.
+///
+/// Pure observation: recording never charges virtual time or schedules
+/// events, so enabling tracing cannot perturb the deterministic schedule —
+/// and because every timestamp is virtual, two same-seed runs produce
+/// byte-identical JSON.
+///
+/// Mapping: trace "pid" = simulated node, "tid" = virtual worker. All
+/// timestamps are VIRTUAL nanoseconds (rendered as microseconds with 3
+/// decimals); they are unrelated to wall-clock time.
+class Tracer {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// A completed interval [start_ns, end_ns] (trace_event ph="X").
+  /// `extra_args` is a raw JSON fragment appended inside "args" (e.g.
+  /// "\"status\":\"ok\",\"rows\":3"), empty for none.
+  void Span(std::string name, const char* category, SimTime start_ns,
+            SimTime end_ns, uint32_t node, uint32_t worker, uint64_t query,
+            uint32_t attempt, std::string extra_args = "");
+
+  /// A point event (trace_event ph="i", thread scope).
+  void Instant(std::string name, const char* category, SimTime at_ns,
+               uint32_t node, uint32_t worker, uint64_t query, uint32_t attempt,
+               std::string extra_args = "");
+
+  /// Metadata record (ph="M"): names a process ("process_name", pid) or
+  /// thread ("thread_name", pid+tid) in the trace viewer.
+  void Meta(const char* what, uint32_t node, uint32_t worker,
+            std::string label);
+
+  /// The full trace document: {"displayTimeUnit":...,"traceEvents":[...]}.
+  /// Deterministic: fixed-point timestamp formatting, events in recording
+  /// order.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false on I/O error.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    char phase;        // 'X' span, 'i' instant, 'M' metadata
+    SimTime ts;        // virtual ns
+    SimTime dur;       // virtual ns, spans only
+    uint32_t node;     // -> pid
+    uint32_t worker;   // -> tid
+    uint64_t query;
+    uint32_t attempt;
+    std::string extra;
+  };
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace obs
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_OBS_TRACE_H_

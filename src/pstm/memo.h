@@ -1,6 +1,7 @@
 #ifndef GRAPHDANCE_PSTM_MEMO_H_
 #define GRAPHDANCE_PSTM_MEMO_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -180,11 +181,27 @@ class TopKMemo : public MemoState {
 /// accessed by exactly one worker (shared-nothing), so no locking.
 class MemoTable {
  public:
+  /// Lookup/lifetime counters, surfaced through the cluster-wide
+  /// MetricsSnapshot(). Maintained unconditionally — plain integer bumps on
+  /// paths that already pay a hash lookup.
+  struct Stats {
+    uint64_t hits = 0;     // lookups that found existing state
+    uint64_t misses = 0;   // lookups that found nothing
+    uint64_t created = 0;  // states materialized by GetOrCreate
+    uint64_t cleared = 0;  // states dropped (query end or crash wipe)
+  };
+
   /// Gets or creates the state of type T for (query, step).
   template <typename T>
   T& GetOrCreate(uint64_t query_id, uint32_t step_id) {
     auto& slot = states_[Key(query_id, step_id)];
-    if (slot == nullptr) slot = std::make_unique<T>();
+    if (slot == nullptr) {
+      slot = std::make_unique<T>();
+      stats_.misses++;
+      stats_.created++;
+    } else {
+      stats_.hits++;
+    }
     return static_cast<T&>(*slot);
   }
 
@@ -192,15 +209,21 @@ class MemoTable {
   template <typename T>
   T* Find(uint64_t query_id, uint32_t step_id) {
     auto it = states_.find(Key(query_id, step_id));
-    return it == states_.end() ? nullptr : static_cast<T*>(it->second.get());
+    if (it == states_.end()) {
+      stats_.misses++;
+      return nullptr;
+    }
+    stats_.hits++;
+    return static_cast<T*>(it->second.get());
   }
 
   /// Drops every memo record owned by `query_id` (automatic cleanup after
   /// query termination, per the memoranda lifetime rule).
   void ClearQuery(uint64_t query_id) {
     for (auto it = states_.begin(); it != states_.end();) {
-      if ((it->first >> 20) == query_id) {
+      if ((it->first >> 32) == query_id) {
         it = states_.erase(it);
+        stats_.cleared++;
       } else {
         ++it;
       }
@@ -212,14 +235,24 @@ class MemoTable {
   /// Drops everything. Used by the fault injector when a worker crashes:
   /// memoranda are volatile per-worker state and do not survive a restart
   /// (the TEL-backed graph storage does).
-  void Clear() { states_.clear(); }
+  void Clear() {
+    stats_.cleared += states_.size();
+    states_.clear();
+  }
+
+  const Stats& stats() const { return stats_; }
 
  private:
+  /// Full 32/32 split, mirroring WeightKey in the runtime: a 20-bit step
+  /// field would let step_id >= 2^20 bleed into the query bits, aliasing
+  /// another query's memoranda and making ClearQuery erase or miss records.
   static uint64_t Key(uint64_t query_id, uint32_t step_id) {
-    return (query_id << 20) | step_id;
+    assert(query_id < (1ULL << 32));
+    return (query_id << 32) | step_id;
   }
 
   std::unordered_map<uint64_t, std::unique_ptr<MemoState>> states_;
+  Stats stats_;
 };
 
 }  // namespace graphdance

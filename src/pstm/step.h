@@ -68,6 +68,11 @@ class StepContext {
   virtual void Charge(CostKind kind, uint64_t count) = 0;
   void Charge(CostKind kind) { Charge(kind, 1); }
 
+  /// Observability hook: one traverser is entering a step of `kind`.
+  /// Implementations must be pure observation — no virtual-time charges, no
+  /// event scheduling — so metrics never perturb the event schedule.
+  virtual void CountTraverser(StepKind kind) { (void)kind; }
+
   /// Hands a traverser to the engine for (possibly remote) continuation.
   /// The engine routes it via Step::Route of its target step.
   virtual void Emit(Traverser t) = 0;
@@ -165,6 +170,13 @@ class Step {
 
  protected:
   void set_blocking(bool blocking) { blocking_ = blocking; }
+
+  /// Standard Execute() prologue: counts the traverser for per-step metrics,
+  /// then charges the base dispatch cost.
+  void EnterStep(StepContext& ctx) const {
+    ctx.CountTraverser(kind_);
+    ctx.Charge(CostKind::kStepBase);
+  }
 
   /// Subclasses holding extra step-id references override this to shift them.
   virtual void OffsetExtraIds(uint16_t delta) { (void)delta; }

@@ -166,7 +166,7 @@ bool RowLess(const Row& a, const Row& b, const std::vector<SortSpec>& specs) {
 // ---- IndexLookupStep --------------------------------------------------------
 
 void IndexLookupStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   if (next() == kNoStep) {
     ctx.Finish(t.scope, t.weight);
     return;
@@ -224,7 +224,7 @@ std::string IndexLookupStep::Describe() const {
 // ---- ExpandStep -------------------------------------------------------------
 
 void ExpandStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
 
   bool first_visit = true;
   if (loop_hops_ > 0 && use_distance_memo_) {
@@ -305,7 +305,7 @@ std::string ExpandStep::Describe() const {
 // ---- FilterStep -------------------------------------------------------------
 
 void FilterStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   for (const Predicate& p : preds_) {
     if (!p.Eval(t, ctx)) {
       ctx.Finish(t.scope, t.weight);
@@ -327,7 +327,7 @@ std::string FilterStep::Describe() const {
 // ---- ProjectStep ------------------------------------------------------------
 
 void ProjectStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   if (next() == kNoStep) {
     ctx.Finish(t.scope, t.weight);
     return;
@@ -348,7 +348,7 @@ std::string ProjectStep::Describe() const {
 // ---- DedupStep --------------------------------------------------------------
 
 void DedupStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   Value key = key_.Eval(t, ctx);
   auto& memo = ctx.memo().GetOrCreate<DedupMemo>(ctx.query_id(), id());
   ctx.Charge(CostKind::kMemoOp);
@@ -369,7 +369,7 @@ std::string DedupStep::Describe() const { return "Dedup"; }
 // ---- JoinProbeStep ----------------------------------------------------------
 
 void JoinProbeStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   Value key = key_.Eval(t, ctx);
   assert(memo_step_ != kNoStep && "join memo step not wired");
   auto& memo = ctx.memo().GetOrCreate<JoinMemo>(ctx.query_id(), memo_step_);
@@ -420,7 +420,7 @@ std::string JoinProbeStep::Describe() const {
 // ---- GroupByStep ------------------------------------------------------------
 
 void GroupByStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   Value key = key_.Eval(t, ctx);
   Value value = value_.Eval(t, ctx);
   auto& memo = ctx.memo().GetOrCreate<GroupAggMemo>(ctx.query_id(), id());
@@ -454,7 +454,7 @@ std::string GroupByStep::Describe() const { return "GroupBy"; }
 // ---- OrderByLimitStep -------------------------------------------------------
 
 void OrderByLimitStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   auto& memo = ctx.memo().GetOrCreate<TopKMemo>(ctx.query_id(), id());
   ctx.Charge(CostKind::kMemoOp);
   Row row(t.vars.begin(), t.vars.end());
@@ -503,7 +503,7 @@ std::string OrderByLimitStep::Describe() const {
 // ---- ScalarAggStep ----------------------------------------------------------
 
 void ScalarAggStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   Value value = value_.Eval(t, ctx);
   auto& memo = ctx.memo().GetOrCreate<ScalarAggMemo>(ctx.query_id(), id());
   ctx.Charge(CostKind::kMemoOp);
@@ -541,7 +541,7 @@ std::string ScalarAggStep::Describe() const { return "ScalarAgg"; }
 // ---- EmitStep ---------------------------------------------------------------
 
 void EmitStep::Execute(Traverser t, StepContext& ctx) const {
-  ctx.Charge(CostKind::kStepBase);
+  EnterStep(ctx);
   Row row;
   if (projections_.empty()) {
     row.assign(t.vars.begin(), t.vars.end());

@@ -1,6 +1,7 @@
 #ifndef GRAPHDANCE_PSTM_WEIGHT_H_
 #define GRAPHDANCE_PSTM_WEIGHT_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -25,7 +26,11 @@ inline constexpr Weight kUnitWeight = 1;
 
 /// Splits `w` into `n` shares summing to `w` (mod 2^64), n >= 1. Shares are
 /// uniform random group elements except the last, which is the remainder.
+/// n == 0 is a caller bug (asserts in debug builds); release builds return
+/// an empty vector instead of indexing shares[n - 1] out of bounds.
 inline std::vector<Weight> SplitWeight(Weight w, size_t n, Rng* rng) {
+  assert(n >= 1 && "SplitWeight: cannot split a weight into zero shares");
+  if (n == 0) return {};
   std::vector<Weight> shares(n);
   Weight used = 0;
   for (size_t i = 0; i + 1 < n; ++i) {
@@ -40,10 +45,13 @@ inline std::vector<Weight> SplitWeight(Weight w, size_t n, Rng* rng) {
 /// vector: call Take() for each child but the last, then TakeLast().
 class WeightSplitter {
  public:
-  WeightSplitter(Weight total, Rng* rng) : remaining_(total), rng_(rng) {}
+  WeightSplitter(Weight total, Rng* rng) : remaining_(total), rng_(rng) {
+    assert(rng != nullptr);
+  }
 
   /// A uniformly random share (for a non-final child).
   Weight Take() {
+    assert(rng_ != nullptr);
     Weight share = rng_->Next();
     remaining_ -= share;
     return share;

@@ -108,6 +108,12 @@ struct ClusterConfig {
   uint32_t max_retries = 3;
   SimTime retry_backoff_ns = 1'000'000;  // first retry delay; doubles each try
 
+  /// Record per-query virtual-time spans (attempts, scopes, retries, crash /
+  /// restart instants) into the cluster's Tracer for chrome://tracing export
+  /// (CLI: --trace-out). Pure observation: enabling it never changes the
+  /// event schedule. See obs/trace.h.
+  bool trace = false;
+
   uint32_t total_workers() const { return num_nodes * workers_per_node; }
   /// One partition per worker (shared-nothing ownership).
   uint32_t num_partitions() const { return total_workers(); }

@@ -67,17 +67,8 @@ EngineTuning EngineTuning::For(EngineKind kind) {
   return t;
 }
 
-uint64_t NetStats::progress_messages() const {
-  return messages_by_kind[static_cast<int>(MessageKind::kWeightReport)];
-}
-
-uint64_t NetStats::other_messages() const {
-  uint64_t total = 0;
-  for (int k = 0; k < static_cast<int>(MessageKind::kNumKinds); ++k) {
-    if (k != static_cast<int>(MessageKind::kWeightReport)) total += messages_by_kind[k];
-  }
-  return total;
-}
+// NetStats moved to obs/metrics.{h,cc}: the canonical instance is owned by
+// the metrics registry and net_stats() is a thin view into it.
 
 // ---------------------------------------------------------------------------
 // ExecContext: binds step execution to (cluster, worker, partition, query).
@@ -115,6 +106,13 @@ class ExecContext final : public StepContext {
 
   void Charge(CostKind kind, uint64_t count) override;
   using StepContext::Charge;
+
+  // Pure observation (no time charge, no events): per-step traverser counts
+  // for the metrics registry.
+  void CountTraverser(StepKind kind) override {
+    cluster_->metrics_.worker(worker_->id)
+        .steps_in[static_cast<uint32_t>(kind)]++;
+  }
 
   void Emit(Traverser t) override {
     if (mode_ == Mode::kAsync) {
@@ -169,11 +167,13 @@ void ExecContext::Charge(CostKind kind, uint64_t count) {
 
 void ExecContext::Finish(uint32_t scope, Weight w) {
   if (mode_ == Mode::kBsp) return;  // BSP detects quiescence via barriers
+  cluster_->metrics_.worker(worker_->id).weight_finishes++;
   if (cluster_->config_.weight_coalescing) {
     *clock_ += cluster_->config_.cost.weight_track_ns;
     worker_->pending_weights[WeightKey(qs_->id, scope)] += w;
     return;
   }
+  cluster_->metrics_.worker(worker_->id).weight_reports++;
   // Uncoalesced: one report message per finished traverser (Fig. 10/11
   // ablation). Same-worker reports still charge the tracker.
   Message m;
@@ -212,7 +212,7 @@ void ExecContext::Finish(uint32_t scope, Weight w) {
 void ExecContext::EmitRow(Row row) {
   if (mode_ == Mode::kBsp) {
     qs_->result.rows.push_back(std::move(row));
-    cluster_->net_stats_.messages_by_kind[static_cast<int>(MessageKind::kResultRow)]++;
+    cluster_->metrics_.net().messages_by_kind[static_cast<int>(MessageKind::kResultRow)]++;
     return;
   }
   if (qs_->coordinator == worker_->id) {
@@ -293,6 +293,17 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
   }
   link_busy_.assign(static_cast<size_t>(config_.num_nodes) * config_.num_nodes, 0);
   egress_.resize(static_cast<size_t>(config_.num_nodes) * config_.num_nodes);
+  metrics_.Init(total, config_.num_nodes);
+  tracer_.set_enabled(config_.trace);
+  if (tracer_.enabled()) {
+    for (uint32_t n = 0; n < config_.num_nodes; ++n) {
+      tracer_.Meta("process_name", n, 0, "node" + std::to_string(n));
+    }
+    for (uint32_t w = 0; w < total; ++w) {
+      tracer_.Meta("thread_name", NodeOfWorker(w), w,
+                   "worker" + std::to_string(w));
+    }
+  }
   node_lock_busy_.assign(config_.num_nodes, 0);
   node_rr_.assign(config_.num_nodes, 0);
   swap_thrashing_ =
@@ -335,6 +346,20 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
 
 SimCluster::~SimCluster() = default;
 
+obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
+  obs::MetricsSnapshot s = metrics_.Snapshot();
+  s.fault = fault_.stats();
+  for (const MemoTable& m : memos_) {
+    const MemoTable::Stats& ms = m.stats();
+    s.memo_hits += ms.hits;
+    s.memo_misses += ms.misses;
+    s.memo_created += ms.created;
+    s.memo_cleared += ms.cleared;
+  }
+  for (const Worker& w : workers_) s.tasks_executed += w.tasks_executed;
+  return s;
+}
+
 uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
                             Timestamp read_ts, SimTime deadline_ns) {
   if (plan == nullptr || !plan->finalized()) {
@@ -350,6 +375,9 @@ uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
   qs.result.query_id = id;
   qs.result.submit_time = std::max(at, now());
   ++pending_queries_;
+  metrics_.OnQuerySubmitted();
+  tracer_.Instant("submit", "query", qs.result.submit_time,
+                  NodeOfWorker(qs.coordinator), qs.coordinator, id, 0);
 
   if (config_.engine == EngineKind::kBsp) {
     bsp_queue_.push_back(BspSubmission{id, qs.plan, qs.result.submit_time, read_ts});
@@ -441,6 +469,12 @@ void SimCluster::StartQuery(QueryState& qs, SimTime at) {
     return;
   }
   qs.restart_pending = false;
+  qs.attempt_start = at;
+  qs.scope_start = at;
+  if (tracer_.enabled() && qs.attempt > 0) {
+    tracer_.Instant("attempt-start", "query", at, coord.node, coord.id, qs.id,
+                    qs.attempt);
+  }
   if (recovery_active_) {
     // Every attempt begins with a live watchdog chain; arming bumps the
     // generation, so a stale chain from the previous attempt dies quietly.
@@ -508,6 +542,12 @@ void SimCluster::HandleWeight(QueryState& qs, uint32_t scope, Weight w,
 void SimCluster::ScopeComplete(QueryState& qs, Worker& at_worker) {
   const Plan& plan = *qs.plan;
   uint16_t closer = plan.scope_closer(qs.scope);
+  if (tracer_.enabled()) {
+    // Termination detection: the scope's coalesced weight reached unity.
+    tracer_.Span("scope " + std::to_string(qs.scope), "scope", qs.scope_start,
+                 at_worker.now, at_worker.node, at_worker.id, qs.id, qs.attempt,
+                 closer == kNoStep ? "\"final\":true" : "");
+  }
   if (closer == kNoStep) {
     if (fault_active_ && qs.rows_received < qs.rows_expected) {
       // Every unit of weight arrived but announced result rows are still in
@@ -522,6 +562,7 @@ void SimCluster::ScopeComplete(QueryState& qs, Worker& at_worker) {
   const Step& st = plan.step(closer);
   qs.scope += 1;
   qs.acc = 0;
+  qs.scope_start = at_worker.now;
 
   std::vector<Weight> shares;
   if (st.NeedsCollect()) {
@@ -594,6 +635,22 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   if (recovery_active_ && qs.result.retries > 0 && !qs.result.failed) {
     fault_.stats().recovered_queries++;
   }
+  metrics_.OnQueryDone(qs.result.LatencyNanos(), qs.result.failed,
+                       qs.result.timed_out);
+  if (tracer_.enabled()) {
+    uint32_t node = NodeOfWorker(qs.coordinator);
+    const char* status = qs.result.failed     ? "failed"
+                         : qs.result.timed_out ? "timed_out"
+                                               : "ok";
+    tracer_.Span("attempt " + std::to_string(qs.attempt), "attempt",
+                 qs.attempt_start, at, node, qs.coordinator, qs.id, qs.attempt);
+    tracer_.Span("query " + std::to_string(qs.id), "query",
+                 qs.result.submit_time, at, node, qs.coordinator, qs.id,
+                 qs.attempt,
+                 std::string("\"status\":\"") + status +
+                     "\",\"rows\":" + std::to_string(qs.result.rows.size()) +
+                     ",\"retries\":" + std::to_string(qs.result.retries));
+  }
 
   // Memoranda lifetime: cleared cluster-wide once the creating query ends.
   Worker& coord = workers_[qs.coordinator];
@@ -659,6 +716,16 @@ void SimCluster::AbortAttempt(QueryState& qs, SimTime at, const char* why) {
     CompleteQuery(qs, at);
     return;
   }
+  if (tracer_.enabled()) {
+    // The aborted attempt's span ends here; the retry instant marks why.
+    tracer_.Span("attempt " + std::to_string(qs.attempt), "attempt",
+                 qs.attempt_start, at, NodeOfWorker(qs.coordinator),
+                 qs.coordinator, qs.id, qs.attempt,
+                 std::string("\"aborted\":\"") + why + "\"");
+    tracer_.Instant("retry", "fault", at, NodeOfWorker(qs.coordinator),
+                    qs.coordinator, qs.id, qs.attempt,
+                    std::string("\"why\":\"") + why + "\"");
+  }
   fault_.stats().retries++;
   qs.result.retries++;
   // Bumping the attempt fences every in-flight message and queued task of
@@ -703,6 +770,7 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
   fault_.stats().crashes++;
   w.crashed = true;
   w.down_until = at + restart_after;
+  tracer_.Instant("crash", "fault", at, w.node, w.id, 0, 0);
   // Volatile state is gone: queued messages and tasks, unsent buffers,
   // coalesced weights, row accounting, and this partition's memoranda. The
   // TEL-backed graph storage survives.
@@ -745,6 +813,7 @@ void SimCluster::RestartWorker(uint32_t worker, SimTime at) {
   if (!w.crashed) return;
   fault_.stats().restarts++;
   w.crashed = false;
+  tracer_.Instant("restart", "fault", at, w.node, w.id, 0, 0);
   // New incarnation: pre-crash in-flight messages (in either direction) now
   // fail the epoch fence at delivery.
   w.epoch++;
@@ -959,7 +1028,8 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
 }
 
 void SimCluster::Send(Worker& from, Message msg) {
-  net_stats_.messages_by_kind[static_cast<int>(msg.kind)]++;
+  metrics_.net().messages_by_kind[static_cast<int>(msg.kind)]++;
+  metrics_.OnPairMessage(msg.src_worker, msg.dst_worker);
   uint32_t dst_node = NodeOfWorker(msg.dst_worker);
   if (fault_active_) {
     // Stamp fencing metadata at the send boundary (once, for both tiers).
@@ -969,11 +1039,11 @@ void SimCluster::Send(Worker& from, Message msg) {
     msg.dst_epoch = workers_[msg.dst_worker].epoch;
   }
   if (dst_node == from.node) {
-    net_stats_.local_messages++;
+    metrics_.net().local_messages++;
     DeliverLocal(from, std::move(msg), from.now + config_.cost.shm_hop_ns);
     return;
   }
-  net_stats_.remote_messages++;
+  metrics_.net().remote_messages++;
   if (fault_active_) {
     msg.seq = ++PairSeq(msg.src_worker, msg.dst_worker);
     FaultInjector::SendDecision d = fault_.OnRemoteSend();
@@ -984,8 +1054,7 @@ void SimCluster::Send(Worker& from, Message msg) {
       // Straggler path: the message leaves the combining pipeline and
       // travels in its own frame, arriving extra_delay_ns late.
       size_t wire = msg.WireSize() + kFrameHeaderBytes;
-      net_stats_.frames++;
-      net_stats_.bytes += wire;
+      metrics_.OnFrame(from.node, dst_node, wire);
       SimTime delivery = from.now + config_.cost.frame_overhead_ns +
                          config_.cost.TransmitNs(wire) +
                          config_.cost.link_latency_ns + d.extra_delay_ns;
@@ -995,13 +1064,15 @@ void SimCluster::Send(Worker& from, Message msg) {
       if (!dup) return;
       msg = std::move(*dup);  // the duplicate still rides the normal path
       dup.reset();
-      net_stats_.remote_messages++;
-      net_stats_.messages_by_kind[static_cast<int>(msg.kind)]++;
+      metrics_.net().remote_messages++;
+      metrics_.net().messages_by_kind[static_cast<int>(msg.kind)]++;
+      metrics_.OnPairMessage(msg.src_worker, msg.dst_worker);
     }
     EnqueueRemote(from, dst_node, std::move(msg));
     if (dup) {
-      net_stats_.remote_messages++;
-      net_stats_.messages_by_kind[static_cast<int>(dup->kind)]++;
+      metrics_.net().remote_messages++;
+      metrics_.net().messages_by_kind[static_cast<int>(dup->kind)]++;
+      metrics_.OnPairMessage(dup->src_worker, dup->dst_worker);
       EnqueueRemote(from, dst_node, std::move(*dup));
     }
     return;
@@ -1098,6 +1169,9 @@ void SimCluster::FlushWeights(Worker& w) {
     uint32_t scope = WeightKeyScope(key);
     auto qit = queries_.find(query);
     if (qit == queries_.end()) continue;
+    // One coalesced report per (query, scope) leaves this worker, whether it
+    // is handled locally or crosses the wire.
+    metrics_.worker(w.id).weight_reports++;
     QueryState& qs = qit->second;
     if (qs.coordinator == w.id) {
       if (fault_active_) {
@@ -1171,9 +1245,8 @@ void SimCluster::SubmitPack(uint32_t src_node, uint32_t dst_node,
 
 void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
                            std::vector<Message> msgs, size_t bytes, SimTime at) {
-  net_stats_.frames++;
   size_t wire_bytes = bytes + kFrameHeaderBytes;
-  net_stats_.bytes += wire_bytes;
+  metrics_.OnFrame(src_node, dst_node, wire_bytes);
   SimTime& busy = LinkBusy(src_node, dst_node);
   SimTime start = std::max(at, busy);
   SimTime tx = config_.cost.TransmitNs(wire_bytes);
@@ -1279,15 +1352,16 @@ void SimCluster::RunBspQuery(QueryState& qs, SimTime start) {
       PartitionId p = route == kLocalRoute ? current : route;
       uint32_t dst = WorkerOfPartition(p);
       if (dst != src_worker) {
-        net_stats_.messages_by_kind[static_cast<int>(MessageKind::kTraverserBatch)]++;
+        metrics_.net().messages_by_kind[static_cast<int>(MessageKind::kTraverserBatch)]++;
+        metrics_.OnPairMessage(src_worker, dst);
         // BSP workers serialize/deserialize exchanged traversers too; charge
         // both ends to the sending round (superstep batching amortizes the
         // rest of the I/O path).
         wt[src_worker] += config_.cost.msg_pack_ns + config_.cost.msg_unpack_ns;
         if (NodeOfWorker(dst) == NodeOfWorker(src_worker)) {
-          net_stats_.local_messages++;
+          metrics_.net().local_messages++;
         } else {
-          net_stats_.remote_messages++;
+          metrics_.net().remote_messages++;
           bytes_to_node[NodeOfWorker(dst)] += t.WireSize();
         }
       }
@@ -1297,8 +1371,8 @@ void SimCluster::RunBspQuery(QueryState& qs, SimTime start) {
     SimTime max_delivery = wt[src_worker];
     for (uint32_t n = 0; n < config_.num_nodes; ++n) {
       if (bytes_to_node[n] == 0) continue;
-      net_stats_.frames++;
-      net_stats_.bytes += bytes_to_node[n] + kFrameHeaderBytes;
+      metrics_.OnFrame(NodeOfWorker(src_worker), n,
+                       bytes_to_node[n] + kFrameHeaderBytes);
       SimTime& busy = LinkBusy(NodeOfWorker(src_worker), n);
       SimTime tx_start = std::max(wt[src_worker] + config_.cost.frame_overhead_ns, busy);
       SimTime end = tx_start + config_.cost.TransmitNs(bytes_to_node[n] + kFrameHeaderBytes);
@@ -1399,6 +1473,15 @@ void SimCluster::RunBspQuery(QueryState& qs, SimTime start) {
   }
   qs.result.done = true;
   --pending_queries_;
+  metrics_.OnQueryDone(qs.result.LatencyNanos(), /*failed=*/false,
+                       /*timed_out=*/false);
+  if (tracer_.enabled()) {
+    tracer_.Span("query " + std::to_string(qs.id), "query",
+                 qs.result.submit_time, qs.result.complete_time,
+                 NodeOfWorker(qs.coordinator), qs.coordinator, qs.id, 0,
+                 "\"status\":\"ok\",\"rows\":" +
+                     std::to_string(qs.result.rows.size()) + ",\"retries\":0");
+  }
   for (uint32_t p = 0; p < config_.num_partitions(); ++p) {
     memos_[p].ClearQuery(qs.id);
   }

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pstm/memo.h"
 #include "pstm/plan.h"
 #include "pstm/traverser.h"
@@ -74,11 +76,25 @@ class SimCluster {
                           Timestamp read_ts = kMaxTimestamp - 1);
 
   const QueryResult& result(uint64_t query_id) const;
-  const NetStats& net_stats() const { return net_stats_; }
-  NetStats& mutable_net_stats() { return net_stats_; }
+  /// Thin views into the registry-owned counters (kept for existing call
+  /// sites; MetricsSnapshot() is the unified surface).
+  const NetStats& net_stats() const { return metrics_.net(); }
+  NetStats& mutable_net_stats() { return metrics_.net(); }
   /// Injected-fault and recovery-protocol counters (all zero when no fault
   /// plan is configured).
   const FaultStats& fault_stats() const { return fault_.stats(); }
+
+  /// One unified, deterministic snapshot of every runtime metric: network
+  /// counters (subsuming NetStats), fault/recovery counters (subsuming
+  /// FaultStats), per-step traverser counts, memo hit/miss behaviour,
+  /// weight-report coalescing, per-link traffic, per-(src,dst) worker
+  /// message counts and virtual-latency histograms.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Per-query virtual-time spans (enabled via ClusterConfig::trace),
+  /// exportable as Chrome trace_event JSON.
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::Tracer& mutable_tracer() { return tracer_; }
 
   SimTime now() const { return events_.now(); }
   /// Virtual time at which the whole simulation went quiescent.
@@ -210,6 +226,9 @@ class SimCluster {
     // Watchdog chain generation: arming bumps it, invalidating every
     // previously scheduled check (exactly one live chain per query).
     uint64_t watchdog_gen = 0;
+    // --- observability (tracer span anchors; never read by execution) ---
+    SimTime attempt_start = 0;  // StartQuery time of the current attempt
+    SimTime scope_start = 0;    // start of the scope currently tracked
   };
 
   // --- query lifecycle ---
@@ -320,7 +339,10 @@ class SimCluster {
   // instead of the end of one window cancelling another still-active one.
   std::vector<double> degrade_active_;
   double link_degrade_ = 1.0;  // product of degrade_active_ (kDegradeLink)
-  NetStats net_stats_;
+  // Observability sinks. Pure observation: nothing here feeds back into the
+  // event schedule, so metrics/tracing cannot perturb virtual time.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   uint64_t charge_counts_[static_cast<int>(CostKind::kNumKinds)] = {0};
   Rng rng_;
   bool swap_thrashing_ = false;  // dataset exceeds simulated node memory

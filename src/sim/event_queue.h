@@ -1,6 +1,8 @@
 #ifndef GRAPHDANCE_SIM_EVENT_QUEUE_H_
 #define GRAPHDANCE_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -19,7 +21,12 @@ class EventQueue {
   using Callback = std::function<void(SimTime)>;
 
   /// Schedules `cb` to run at virtual time `when` (must be >= now()).
+  /// Scheduling in the virtual past is a bug (asserts in debug builds);
+  /// release builds clamp to now() so the clock can never run backwards and
+  /// silently corrupt every duration metric derived from it.
   void Schedule(SimTime when, Callback cb) {
+    assert(when >= now_ && "EventQueue::Schedule called with a past time");
+    when = std::max(when, now_);
     heap_.push(Event{when, next_seq_++, std::move(cb)});
   }
 
@@ -31,7 +38,9 @@ class EventQueue {
     // before pop, so copy the POD parts and const_cast the callback (safe: the
     // element is removed immediately after).
     Event& top = const_cast<Event&>(heap_.top());
-    SimTime when = top.when;
+    // Schedule() clamps, so top.when >= now_ always holds; keep the clock
+    // monotone regardless so no heap state can ever rewind it.
+    SimTime when = std::max(top.when, now_);
     Callback cb = std::move(top.cb);
     heap_.pop();
     now_ = when;

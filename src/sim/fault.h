@@ -75,6 +75,19 @@ struct FaultStats {
   uint64_t recovered_queries = 0;      // completed correctly after >=1 retry
   uint64_t failed_queries = 0;         // retries exhausted, marked failed
   void Clear() { *this = FaultStats{}; }
+  void Merge(const FaultStats& o) {
+    drops += o.drops;
+    duplicates += o.duplicates;
+    delays += o.delays;
+    crashes += o.crashes;
+    restarts += o.restarts;
+    fenced_messages += o.fenced_messages;
+    duplicates_suppressed += o.duplicates_suppressed;
+    lost_in_crash += o.lost_in_crash;
+    retries += o.retries;
+    recovered_queries += o.recovered_queries;
+    failed_queries += o.failed_queries;
+  }
 };
 
 /// Per-cluster fault decision engine. The cluster consults OnRemoteSend()

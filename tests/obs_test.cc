@@ -1,0 +1,407 @@
+// Tests for the observability layer (src/obs/): the log-bucketed latency
+// histogram, the unified MetricsRegistry/MetricsSnapshot, the virtual-time
+// tracer, and — most importantly — the guarantee that observation is pure:
+// two same-seed runs produce byte-identical snapshots and trace JSON, with
+// or without faults injected.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+using obs::LogHistogram;
+using obs::MetricsSnapshot;
+
+// ---- LogHistogram -----------------------------------------------------------
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram h;
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(LogHistogram::BucketOf(v), v) << v;
+    EXPECT_EQ(LogHistogram::UpperBound(static_cast<uint32_t>(v)), v) << v;
+  }
+  h.Record(7);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.P50(), 7u);
+  EXPECT_EQ(h.P99(), 7u);
+  EXPECT_EQ(h.Min(), 7u);
+  EXPECT_EQ(h.Max(), 7u);
+}
+
+TEST(LogHistogramTest, BucketUpperBoundsAreConsistent) {
+  // Every value must land in a bucket whose upper bound is >= the value, and
+  // the previous bucket's upper bound must be < the value.
+  for (uint64_t v : {1ULL,        31ULL,      32ULL,       33ULL,
+                     1000ULL,     4095ULL,    4096ULL,     123456789ULL,
+                     (1ULL << 40), (1ULL << 40) + 12345ULL}) {
+    uint32_t b = LogHistogram::BucketOf(v);
+    EXPECT_GE(LogHistogram::UpperBound(b), v) << v;
+    if (b > 0) {
+      EXPECT_LT(LogHistogram::UpperBound(b - 1), v) << v;
+    }
+  }
+}
+
+TEST(LogHistogramTest, QuantileErrorIsBounded) {
+  // 32 sub-buckets per octave: relative quantile error <= 1/32.
+  Rng rng(41);
+  LogHistogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = 100 + rng.Below(10'000'000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.50, 0.95, 0.99}) {
+    size_t rank = static_cast<size_t>(q * values.size());
+    uint64_t exact = values[std::min(rank, values.size() - 1)];
+    uint64_t approx = h.Percentile(q);
+    EXPECT_GE(approx, exact * 0.96) << "q=" << q;
+    EXPECT_LE(approx, exact * 1.04) << "q=" << q;
+  }
+  // Percentiles never exceed the recorded maximum (clamped).
+  EXPECT_LE(h.Percentile(1.0), values.back());
+  EXPECT_EQ(h.Percentile(1.0), h.Max());
+}
+
+TEST(LogHistogramTest, AvgIsExact) {
+  LogHistogram h;
+  h.Record(1'000'000);
+  h.Record(3'000'000);
+  h.Record(5'000'000);
+  EXPECT_EQ(h.Sum(), 9'000'000u);
+  EXPECT_DOUBLE_EQ(h.Avg(), 3'000'000.0);  // no bucketing error in the mean
+}
+
+TEST(LogHistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(43);
+  LogHistogram a, b, combined;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t v = rng.Below(1'000'000);
+    (i % 2 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_EQ(a.Sum(), combined.Sum());
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Max(), combined.Max());
+  EXPECT_EQ(a.P50(), combined.P50());
+  EXPECT_EQ(a.P99(), combined.P99());
+  EXPECT_EQ(a.ToString(), combined.ToString());
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, LinksAndPairsAccumulate) {
+  obs::MetricsRegistry reg;
+  reg.Init(/*num_workers=*/4, /*num_nodes=*/2);
+  reg.OnFrame(0, 1, 100);
+  reg.OnFrame(0, 1, 50);
+  reg.OnFrame(1, 0, 10);
+  reg.OnPairMessage(0, 3);
+  reg.OnPairMessage(0, 3);
+  MetricsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.Link(0, 1).frames, 2u);
+  EXPECT_EQ(s.Link(0, 1).bytes, 150u);
+  EXPECT_EQ(s.Link(1, 0).frames, 1u);
+  EXPECT_EQ(s.Link(0, 0).frames, 0u);
+  EXPECT_EQ(s.PairMessages(0, 3), 2u);
+  EXPECT_EQ(s.PairMessages(3, 0), 0u);
+  EXPECT_EQ(s.net.frames, 3u);
+  EXPECT_EQ(s.net.bytes, 160u);
+}
+
+TEST(MetricsRegistryTest, QueryLifecycleCounters) {
+  obs::MetricsRegistry reg;
+  reg.Init(1, 1);
+  reg.OnQuerySubmitted();
+  reg.OnQuerySubmitted();
+  reg.OnQueryDone(/*latency_ns=*/5000, /*failed=*/false, /*timed_out=*/false);
+  reg.OnQueryDone(/*latency_ns=*/7000, /*failed=*/true, /*timed_out=*/true);
+  MetricsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.queries_submitted, 2u);
+  EXPECT_EQ(s.queries_completed, 2u);
+  EXPECT_EQ(s.queries_failed, 1u);
+  EXPECT_EQ(s.queries_timed_out, 1u);
+  const LogHistogram* lat = s.Latency("query");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Count(), 2u);
+  EXPECT_EQ(lat->Sum(), 12'000u);
+  EXPECT_EQ(s.Latency("no-such-label"), nullptr);
+}
+
+// ---- SimCluster integration -------------------------------------------------
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t partitions) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 8192;
+  opt.seed = 11;
+  opt.weight_range = 10'000;
+  auto result = GeneratePowerLawGraph(opt, tg.schema, partitions);
+  EXPECT_TRUE(result.ok());
+  tg.graph = result.TakeValue();
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.progress_timeout_ns = 20'000'000;
+  return cfg;
+}
+
+std::shared_ptr<const Plan> KHopPlan(const TestGraph& tg, VertexId start,
+                                     int k) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, 10)
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+TEST(MetricsClusterTest, SnapshotCoversAllSubsystems) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = SmallConfig();
+  SimCluster cluster(cfg, tg.graph);
+  cluster.Submit(KHopPlan(tg, 1, 3), 0);
+  cluster.Submit(KHopPlan(tg, 2, 2), 0);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_EQ(s.num_nodes, 2u);
+  EXPECT_EQ(s.num_workers, 4u);
+  EXPECT_EQ(s.queries_submitted, 2u);
+  EXPECT_EQ(s.queries_completed, 2u);
+  EXPECT_EQ(s.queries_failed, 0u);
+
+  // Per-step traverser counts: a k-hop plan exercises the source lookup,
+  // repeated expansion and the order-by sink.
+  EXPECT_GT(s.steps_in[static_cast<uint32_t>(StepKind::kIndexLookup)], 0u);
+  EXPECT_GT(s.steps_in[static_cast<uint32_t>(StepKind::kExpand)], 0u);
+  EXPECT_GT(s.steps_in[static_cast<uint32_t>(StepKind::kOrderByLimit)], 0u);
+  EXPECT_GT(s.tasks_executed, 0u);
+
+  // Dedup'd repeat traversal creates and consults memoranda.
+  EXPECT_GT(s.memo_created, 0u);
+  EXPECT_GT(s.memo_misses, 0u);
+  EXPECT_GT(s.memo_hits, 0u);
+  // Query teardown drops every memo state it materialized.
+  EXPECT_EQ(s.memo_cleared, s.memo_created);
+
+  // Weight lifecycle: finishes precede (and outnumber) coalesced reports.
+  EXPECT_GT(s.weight_finishes, 0u);
+  EXPECT_GT(s.weight_reports, 0u);
+  EXPECT_GE(s.weight_finishes, s.weight_reports);
+
+  // NetStats inside the snapshot is the same object net_stats() views.
+  EXPECT_EQ(s.net.frames, cluster.net_stats().frames);
+  EXPECT_EQ(s.net.bytes, cluster.net_stats().bytes);
+  EXPECT_GT(s.net.frames, 0u);
+
+  // Per-link traffic sums back to the cluster totals.
+  uint64_t link_frames = 0, link_bytes = 0;
+  for (uint32_t a = 0; a < s.num_nodes; ++a) {
+    for (uint32_t b = 0; b < s.num_nodes; ++b) {
+      link_frames += s.Link(a, b).frames;
+      link_bytes += s.Link(a, b).bytes;
+    }
+  }
+  EXPECT_EQ(link_frames, s.net.frames);
+  EXPECT_EQ(link_bytes, s.net.bytes);
+
+  // End-to-end virtual latency: one sample per completed query.
+  const LogHistogram* lat = s.Latency("query");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Count(), 2u);
+  EXPECT_GT(lat->Min(), 0u);
+}
+
+TEST(MetricsClusterTest, SameSeedRunsYieldIdenticalSnapshots) {
+  TestGraph tg = MakeGraph(4);
+  auto run = [&]() {
+    SimCluster cluster(SmallConfig(), tg.graph);
+    cluster.Submit(KHopPlan(tg, 1, 3), 0);
+    cluster.Submit(KHopPlan(tg, 5, 2), 1000);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return cluster.MetricsSnapshot().ToString();
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // byte-identical, not just "equivalent"
+}
+
+TEST(MetricsClusterTest, SnapshotMergeSumsRuns) {
+  TestGraph tg = MakeGraph(4);
+  auto run = [&]() {
+    SimCluster cluster(SmallConfig(), tg.graph);
+    cluster.Submit(KHopPlan(tg, 1, 2), 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return cluster.MetricsSnapshot();
+  };
+  MetricsSnapshot a = run();
+  MetricsSnapshot b = run();
+  uint64_t frames = a.net.frames;
+  uint64_t queries = a.queries_completed;
+  a.Merge(b);
+  EXPECT_EQ(a.net.frames, 2 * frames);
+  EXPECT_EQ(a.queries_completed, 2 * queries);
+  ASSERT_NE(a.Latency("query"), nullptr);
+  EXPECT_EQ(a.Latency("query")->Count(), 2 * queries);
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledByDefaultAndRecordsNothing) {
+  obs::Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.Span("x", "cat", 0, 10, 0, 0, 1, 0);
+  t.Instant("y", "cat", 5, 0, 0, 1, 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TracerTest, JsonShapeAndEscaping) {
+  obs::Tracer t;
+  t.set_enabled(true);
+  t.Meta("process_name", 0, 0, "node 0");
+  t.Span("scope \"1\"", "query", 1'500, 2'500, 0, 0, 7, 0);
+  t.Instant("submit", "query", 1'000, 0, 0, 7, 0);
+  std::string json = t.ToJson();
+  // Chrome trace_event envelope with microsecond fixed-point timestamps.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("scope \\\"1\\\""), std::string::npos);  // escaped quote
+}
+
+TEST(TracerTest, ClusterTraceIsByteIdenticalAcrossSameSeedRuns) {
+  TestGraph tg = MakeGraph(4);
+  auto run = [&]() {
+    ClusterConfig cfg = SmallConfig();
+    cfg.trace = true;
+    SimCluster cluster(cfg, tg.graph);
+    cluster.Submit(KHopPlan(tg, 1, 3), 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    EXPECT_GT(cluster.tracer().size(), 0u);
+    return cluster.tracer().ToJson();
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The trace contains query spans stamped with virtual time (ids from 1).
+  EXPECT_NE(first.find("\"query 1\""), std::string::npos);
+  EXPECT_NE(first.find("\"scope 0\""), std::string::npos);
+}
+
+TEST(TracerTest, TracingDoesNotPerturbExecution) {
+  // Pure observation: the event schedule — and hence every metric and every
+  // result — is identical with tracing on and off.
+  TestGraph tg = MakeGraph(4);
+  auto run = [&](bool trace) {
+    ClusterConfig cfg = SmallConfig();
+    cfg.trace = trace;
+    SimCluster cluster(cfg, tg.graph);
+    cluster.Submit(KHopPlan(tg, 1, 3), 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return cluster.MetricsSnapshot().ToString();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---- metrics under faults ---------------------------------------------------
+
+TEST(MetricsChaosTest, FaultActivityAppearsInSnapshot) {
+  // An Emit-terminated plan streams rows to the coordinator as kResultRow
+  // messages (top-k plans gather through the collect path instead).
+  TestGraph tg = MakeGraph(4);
+  auto emit_plan = Traversal(tg.graph)
+                       .V({1})
+                       .RepeatOut("link", 2, /*dedup=*/true)
+                       .Emit({Operand::VertexIdOp()})
+                       .Build();
+  ASSERT_TRUE(emit_plan.ok()) << emit_plan.status().ToString();
+  std::shared_ptr<const Plan> plan = emit_plan.TakeValue();
+
+  auto row_messages = [&](ClusterConfig cfg) {
+    SimCluster cluster(cfg, tg.graph);
+    uint64_t id = cluster.Submit(plan, 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    EXPECT_TRUE(cluster.result(id).done);
+    MetricsSnapshot s = cluster.MetricsSnapshot();
+    EXPECT_EQ(s.fault.drops, cluster.fault_stats().drops);  // thin view agrees
+    return std::make_pair(
+        s.net.messages_by_kind[static_cast<int>(MessageKind::kResultRow)], s);
+  };
+
+  auto [clean_rows, clean] = row_messages(SmallConfig());
+  ClusterConfig faulty_cfg = SmallConfig();
+  faulty_cfg.fault.DropNth(10);  // loses in-flight work -> watchdog retry
+  auto [faulty_rows, faulty] = row_messages(faulty_cfg);
+
+  // Injected faults and the recovery they triggered are all visible.
+  EXPECT_EQ(clean.fault.drops, 0u);
+  EXPECT_EQ(faulty.fault.drops, 1u);
+  EXPECT_GE(faulty.fault.retries, 1u);
+  EXPECT_EQ(faulty.queries_completed, 1u);
+  // The retried attempt re-sent its rows: strictly more kResultRow messages
+  // crossed the wire than in the fault-free run.
+  EXPECT_GT(clean_rows, 0u);
+  EXPECT_GT(faulty_rows, clean_rows);
+}
+
+TEST(MetricsChaosTest, ChaosSnapshotsAreBitIdenticalAcrossSameSeedRuns) {
+  TestGraph tg = MakeGraph(4);
+  auto run = [&]() {
+    ClusterConfig cfg = SmallConfig();
+    cfg.trace = true;
+    cfg.fault.seed = 77;
+    cfg.fault.drop_prob = 0.01;
+    cfg.fault.dup_prob = 0.02;
+    cfg.fault.delay_prob = 0.02;
+    SimCluster cluster(cfg, tg.graph);
+    cluster.Submit(KHopPlan(tg, 1, 3), 0);
+    cluster.Submit(KHopPlan(tg, 2, 2), 500);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return std::make_pair(cluster.MetricsSnapshot().ToString(),
+                          cluster.tracer().ToJson());
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first.first, second.first);    // metrics dump bit-identical
+  EXPECT_EQ(first.second, second.second);  // trace JSON bit-identical
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -58,6 +58,20 @@ TEST(WeightTest, RecursiveSplittingPreservesUnit) {
   }
 }
 
+#ifdef NDEBUG
+TEST(WeightTest, SplitZeroSharesReturnsEmpty) {
+  // n == 0 used to write shares[n - 1] out of bounds. Release builds now
+  // return no shares; debug builds assert (see WeightDeathTest below).
+  Rng rng(23);
+  EXPECT_TRUE(SplitWeight(kUnitWeight, 0, &rng).empty());
+}
+#else
+TEST(WeightDeathTest, SplitZeroSharesAsserts) {
+  Rng rng(23);
+  EXPECT_DEATH(SplitWeight(kUnitWeight, 0, &rng), "zero shares");
+}
+#endif
+
 TEST(WeightTest, PartialSumRarelyUnit) {
   // A strict subset of shares should essentially never sum to the unit
   // (Theorem 1's false-positive bound). With 64-bit weights this must not
@@ -184,6 +198,41 @@ TEST(MemoTest, MemoTableDistinctSteps) {
   EXPECT_NE(&a, &b);
   auto& a2 = table.GetOrCreate<DedupMemo>(1, 0);
   EXPECT_EQ(&a, &a2);
+}
+
+TEST(MemoTest, KeyPackingDoesNotAliasAcrossQueries) {
+  // The original key packed (query << 20) | step: a step id at or above 2^20
+  // bled into the query bits, so (query=1, step=2^20+5) collided with
+  // (query=2, step=5) — and ClearQuery, matching on `>> 20`, could erase or
+  // miss other queries' memoranda. The full 32/32 split keeps them distinct.
+  MemoTable table;
+  constexpr uint32_t kAliasStep = (1u << 20) + 5;
+  auto& a = table.GetOrCreate<DedupMemo>(1, kAliasStep);
+  auto& b = table.GetOrCreate<DedupMemo>(2, 5);
+  EXPECT_NE(&a, &b);  // the old packing mapped both to the same slot
+  EXPECT_EQ(table.size(), 2u);
+  a.FirstSight(Value(int64_t{42}));
+  table.ClearQuery(2);  // must not touch query 1's records
+  EXPECT_EQ(table.size(), 1u);
+  auto* survivor = table.Find<DedupMemo>(1, kAliasStep);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_FALSE(survivor->FirstSight(Value(int64_t{42})));  // state intact
+  EXPECT_EQ((table.Find<DedupMemo>(2, 5)), nullptr);
+}
+
+TEST(MemoTest, StatsCountLookupsAndLifetime) {
+  MemoTable table;
+  table.GetOrCreate<DedupMemo>(1, 0);  // miss + created
+  table.GetOrCreate<DedupMemo>(1, 0);  // hit
+  table.Find<DedupMemo>(1, 0);         // hit
+  table.Find<DedupMemo>(9, 9);         // miss
+  table.GetOrCreate<DedupMemo>(2, 0);  // miss + created
+  table.ClearQuery(1);
+  table.Clear();
+  EXPECT_EQ(table.stats().hits, 2u);
+  EXPECT_EQ(table.stats().misses, 3u);
+  EXPECT_EQ(table.stats().created, 2u);
+  EXPECT_EQ(table.stats().cleared, 2u);  // one by ClearQuery, one by Clear
 }
 
 // ---- rows ---------------------------------------------------------------------

@@ -50,6 +50,30 @@ TEST(EventQueueTest, EventsMayScheduleFurtherEvents) {
   EXPECT_EQ(q.now(), 90u);
 }
 
+#ifdef NDEBUG
+TEST(EventQueueTest, PastScheduleClampsToNow) {
+  // Scheduling into the past used to rewind now(), breaking virtual-time
+  // monotonicity for every later event. Release builds clamp to now();
+  // debug builds assert (see EventQueueDeathTest below).
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  q.Schedule(1000, [&](SimTime t) {
+    fire_times.push_back(t);
+    q.Schedule(10, [&](SimTime t2) { fire_times.push_back(t2); });  // past!
+    q.Schedule(2000, [&](SimTime t2) { fire_times.push_back(t2); });
+  });
+  q.RunUntilEmpty();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{1000, 1000, 2000}));
+  EXPECT_EQ(q.now(), 2000u);  // the clock never ran backwards
+}
+#else
+TEST(EventQueueDeathTest, PastScheduleAsserts) {
+  EventQueue q;
+  q.Schedule(1000, [&](SimTime) { q.Schedule(10, [](SimTime) {}); });
+  EXPECT_DEATH(q.RunUntilEmpty(), "past time");
+}
+#endif
+
 TEST(EventQueueTest, RunBudgetStopsEarly) {
   EventQueue q;
   for (int i = 0; i < 100; ++i) q.Schedule(i, [](SimTime) {});

@@ -36,10 +36,28 @@ struct Shell {
   std::shared_ptr<SnbDataset> snb;
   ClusterConfig config;
   uint64_t next_param_seed = 1;
+  bool show_metrics = false;      // --metrics: print MetricsSnapshot per run
+  std::string trace_out;          // --trace-out: write Chrome trace JSON
+  std::string last_metrics;       // snapshot text of the most recent run
 
   Shell() {
     config.num_nodes = 4;
     config.workers_per_node = 4;
+  }
+
+  /// Post-run observability: remembers the snapshot (for `metrics`), prints
+  /// it under --metrics, and appends the run's spans to the trace file.
+  void Observe(SimCluster& cluster) {
+    last_metrics = cluster.MetricsSnapshot().ToString();
+    if (show_metrics) std::printf("%s", last_metrics.c_str());
+    if (!trace_out.empty()) {
+      if (cluster.tracer().WriteJson(trace_out)) {
+        std::printf("trace written to %s (load in chrome://tracing)\n",
+                    trace_out.c_str());
+      } else {
+        std::printf("error: cannot write trace to %s\n", trace_out.c_str());
+      }
+    }
   }
 
   void PrintRows(const QueryResult& result, size_t max_rows = 20) {
@@ -71,6 +89,7 @@ struct Shell {
       return false;
     }
     PrintRows(res.value());
+    Observe(cluster);
     return true;
   }
 
@@ -130,7 +149,18 @@ struct Shell {
           "  engine <async|bsp|shared>      switch execution engine\n"
           "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
           "  stats                          dataset / cluster summary\n"
-          "  quit\n");
+          "  metrics                        unified metrics of the last run\n"
+          "  quit\n"
+          "flags: --metrics (print metrics after every run), --trace-out FILE\n"
+          "       (write the last run's Chrome trace_event JSON)\n");
+      return;
+    }
+    if (cmd == "metrics") {
+      if (last_metrics.empty()) {
+        std::printf("no runs yet — metrics appear after the first query\n");
+      } else {
+        std::printf("%s", last_metrics.c_str());
+      }
       return;
     }
     if (cmd == "load") {
@@ -236,6 +266,7 @@ struct Shell {
       QueryResult top = res.value();
       top.rows = rows;
       PrintRows(top);
+      Observe(cluster);
       return;
     }
     if (cmd == "ic" || cmd == "is") {
@@ -257,8 +288,21 @@ struct Shell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      shell.show_metrics = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      shell.trace_out = argv[++i];
+      shell.config.trace = true;  // record spans; pure observation
+    } else {
+      std::fprintf(stderr,
+                   "usage: graphdance_cli [--metrics] [--trace-out FILE]\n");
+      return 2;
+    }
+  }
   std::printf("GraphDance interactive shell — 'help' for commands.\n");
   std::string line;
   while (true) {
