@@ -1,0 +1,87 @@
+// Real wall-clock throughput of the simulator itself on a fixed mixed
+// k-hop workload, with traverser bulking on (default) and off. Unlike the
+// figure benches this measures host time, not virtual time: bulking must
+// not make the simulator slower even though it adds merge work on the hot
+// path. Writes BENCH_wallclock.json next to the working directory.
+//
+// Flags: --scale S (default 0.25), --trials N (default 3)
+
+#include <chrono>
+#include <fstream>
+
+#include "bench/bench_common.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+namespace {
+
+struct WallResult {
+  double wall_ms = 0.0;
+  uint64_t tasks = 0;
+  double tasks_per_sec = 0.0;
+};
+
+WallResult RunWorkload(bool bulking, double scale, int trials) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.workers_per_node = 2;
+  cfg.traverser_bulking = bulking;
+  BenchGraph bg = MakeBenchGraph("lj-sim", scale, cfg.num_partitions());
+
+  WallResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int k : {2, 3, 4}) {
+    obs::MetricsSnapshot snap;
+    AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials, 31, nullptr, &snap);
+    r.tasks += snap.tasks_executed;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+  r.tasks_per_sec = r.wall_ms <= 0.0
+                        ? 0.0
+                        : static_cast<double>(r.tasks) / (r.wall_ms / 1000.0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  double scale = ArgDouble(argc, argv, "--scale", 0.25);
+  int trials = static_cast<int>(ArgDouble(argc, argv, "--trials", 3));
+  PrintHeader("Wall-clock: simulator throughput, bulking on vs off");
+
+  // Warm-up pass so graph generation / allocator state doesn't skew the
+  // first timed run.
+  RunWorkload(true, scale * 0.25, 1);
+
+  WallResult on = RunWorkload(true, scale, trials);
+  WallResult off = RunWorkload(false, scale, trials);
+
+  std::printf("%-12s | %10s %12s %14s\n", "mode", "wall ms", "tasks",
+              "tasks/sec");
+  std::printf("%-12s | %10.1f %12lu %14.0f\n", "bulking on", on.wall_ms,
+              (unsigned long)on.tasks, on.tasks_per_sec);
+  std::printf("%-12s | %10.1f %12lu %14.0f\n", "bulking off", off.wall_ms,
+              (unsigned long)off.tasks, off.tasks_per_sec);
+  std::printf("\nwall-clock ratio on/off: %.2f (<= 1.0 means bulking is free "
+              "or faster in host time)\n",
+              off.wall_ms <= 0.0 ? 0.0 : on.wall_ms / off.wall_ms);
+
+  // Primary keys report the default configuration (bulking on); *_off keys
+  // carry the ablation baseline for regression tracking.
+  std::ofstream json("BENCH_wallclock.json");
+  json << "{\n"
+       << "  \"wall_ms\": " << on.wall_ms << ",\n"
+       << "  \"tasks_per_sec\": " << on.tasks_per_sec << ",\n"
+       << "  \"tasks\": " << on.tasks << ",\n"
+       << "  \"wall_ms_bulking_off\": " << off.wall_ms << ",\n"
+       << "  \"tasks_per_sec_bulking_off\": " << off.tasks_per_sec << ",\n"
+       << "  \"tasks_bulking_off\": " << off.tasks << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_wallclock.json\n");
+  return 0;
+}

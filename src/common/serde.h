@@ -18,6 +18,7 @@ class ByteWriter {
   explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
 
   void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU16(uint16_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
@@ -49,6 +50,7 @@ class ByteReader {
       : data_(buf.data()), size_(buf.size()) {}
 
   uint8_t ReadU8() { return data_[Advance(1)]; }
+  uint16_t ReadU16() { return ReadFixed<uint16_t>(); }
   uint32_t ReadU32() { return ReadFixed<uint32_t>(); }
   uint64_t ReadU64() { return ReadFixed<uint64_t>(); }
   int64_t ReadI64() { return ReadFixed<int64_t>(); }

@@ -70,6 +70,17 @@ struct Message {
   /// then retried — instead of silently vanishing).
   uint32_t row_delta = 0;
 
+  // --- traverser-bulking metadata (transient; never on the wire) ---
+  /// kTraverserBatch: hash of the carried traverser's site key, used by the
+  /// tier-1 send buffer to find merge candidates without re-deserializing.
+  /// 0 = not a merge candidate.
+  uint64_t trav_site = 0;
+  /// Excludes this message from send-side merging. Set on fault-injected
+  /// duplicate pairs: both copies share one seq, so folding either into a
+  /// differently-sequenced carrier would defeat the receiver's duplicate
+  /// suppression and double-count the weight.
+  bool no_bulk = false;
+
   /// Approximate wire size used by the link model. The recovery metadata is
   /// accounted inside the fixed header budget (it fits in the same cacheline
   /// a real transport header would use), so fault-mode and fault-free runs

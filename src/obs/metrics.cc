@@ -95,6 +95,8 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   memo_cleared += other.memo_cleared;
   weight_finishes += other.weight_finishes;
   weight_reports += other.weight_reports;
+  bulk_merges += other.bulk_merges;
+  traversers_bulked += other.traversers_bulked;
   queries_submitted += other.queries_submitted;
   queries_completed += other.queries_completed;
   queries_failed += other.queries_failed;
@@ -140,6 +142,8 @@ std::string MetricsSnapshot::ToString() const {
   out += "\n";
   out += "weights: finishes=" + U64(weight_finishes) +
          " reports=" + U64(weight_reports) + "\n";
+  out += "bulking: merges=" + U64(bulk_merges) +
+         " traversers_bulked=" + U64(traversers_bulked) + "\n";
   out += "memo: hits=" + U64(memo_hits) + " misses=" + U64(memo_misses) +
          " created=" + U64(memo_created) + " cleared=" + U64(memo_cleared) +
          "\n";
@@ -189,6 +193,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     for (uint32_t k = 0; k < kNumStepKinds; ++k) s.steps_in[k] += w.steps_in[k];
     s.weight_finishes += w.weight_finishes;
     s.weight_reports += w.weight_reports;
+    s.bulk_merges += w.bulk_merges;
+    s.traversers_bulked += w.traversers_bulked;
   }
   return s;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "net/message.h"
 #include "pstm/step.h"
 #include "sim/event_queue.h"
 #include "sim/fault.h"
@@ -109,6 +110,8 @@ struct WorkerMetrics {
   uint64_t steps_in[kNumStepKinds] = {0};  // traversers entering each step kind
   uint64_t weight_finishes = 0;            // Finish() calls (pre-coalescing)
   uint64_t weight_reports = 0;             // kWeightReport messages produced
+  uint64_t bulk_merges = 0;                // traverser-bulking merge operations
+  uint64_t traversers_bulked = 0;          // traversers absorbed by merging
 };
 
 /// One unified, deterministic view of every runtime metric. Subsumes
@@ -131,6 +134,9 @@ struct MetricsSnapshot {
 
   uint64_t weight_finishes = 0;  // Finish() calls before coalescing
   uint64_t weight_reports = 0;   // kWeightReport messages after coalescing
+
+  uint64_t bulk_merges = 0;       // traverser-bulking merges (send + receive)
+  uint64_t traversers_bulked = 0; // traversers absorbed into a bulk carrier
 
   uint64_t queries_submitted = 0;
   uint64_t queries_completed = 0;  // includes timed-out/failed completions
@@ -189,6 +195,15 @@ class MetricsRegistry {
 
   void OnPairMessage(uint32_t src_worker, uint32_t dst_worker) {
     pair_messages_[src_worker * num_workers_ + dst_worker]++;
+  }
+
+  /// A buffered message was absorbed into another by traverser bulking and
+  /// will never reach the wire: retract the per-message counters Send()
+  /// already bumped, so message counts stay wire-accurate.
+  void OnSendMerged(uint32_t src_worker, uint32_t dst_worker, MessageKind kind) {
+    net_.messages_by_kind[static_cast<int>(kind)]--;
+    net_.remote_messages--;
+    pair_messages_[src_worker * num_workers_ + dst_worker]--;
   }
 
   /// Named latency histogram, created on first use (deterministic: std::map).

@@ -73,6 +73,9 @@ struct JoinEntry {
   VertexId vertex;
   SmallVector<Value, 4> vars;
   std::vector<VertexId> path;
+  /// Multiplicity of the buffered input (bulked traversers rest here with
+  /// their bulk; a probe match contributes probe.bulk * entry.bulk outputs).
+  uint32_t bulk = 1;
 };
 
 /// Memo for the double-pipelined Join step (paper §III-A): per join key, the
@@ -109,9 +112,11 @@ struct AggState {
   Value min;
   Value max;
 
-  void Update(const Value& v) {
-    ++count;
-    sum += v.ToDouble();
+  /// Folds `n` occurrences of `v` (a bulked traverser contributes its value
+  /// once per represented traverser; min/max are idempotent in n).
+  void Update(const Value& v, uint64_t n = 1) {
+    count += static_cast<int64_t>(n);
+    sum += v.ToDouble() * static_cast<double>(n);
     if (min.is_null() || v < min) min = v;
     if (max.is_null() || max < v) max = v;
   }

@@ -81,8 +81,11 @@ class StepContext {
   /// (subject to weight coalescing).
   virtual void Finish(uint32_t scope, Weight w) = 0;
 
-  /// Streams one result row to the query coordinator.
-  virtual void EmitRow(Row row) = 0;
+  /// Streams `count` copies of one result row to the query coordinator
+  /// (a bulked traverser emits its row once per represented traverser; the
+  /// engine may carry the multiplicity on the wire instead of expanding).
+  virtual void EmitRow(Row row, uint32_t count) = 0;
+  void EmitRow(Row row) { EmitRow(std::move(row), 1); }
 
   /// Sends a blocking step's per-partition finalization payload to the
   /// coordinator (CollectReply).

@@ -239,6 +239,11 @@ void ExpandStep::Execute(Traverser t, StepContext& ctx) const {
       ctx.Finish(t.scope, t.weight);
       return;
     }
+    // Memo fold: of `bulk` equivalent arrivals, only the first survives the
+    // distance check unbulked — the rest would be pruned right here. Continue
+    // as that single survivor, carrying the full merged weight (the pruned
+    // copies' weight finishes through this traverser's eventual outputs).
+    t.bulk = 1;
   }
 
   // Gather qualifying neighbors (applies the edge-property filter inline).
@@ -356,6 +361,9 @@ void DedupStep::Execute(Traverser t, StepContext& ctx) const {
     ctx.Finish(t.scope, t.weight);
     return;
   }
+  // Memo fold: only the first of `bulk` equivalent traversers passes a dedup
+  // unbulked; fold to a single survivor carrying the full merged weight.
+  t.bulk = 1;
   t.step = next();
   ctx.Emit(std::move(t));
 }
@@ -376,7 +384,7 @@ void JoinProbeStep::Execute(Traverser t, StepContext& ctx) const {
 
   // Double-pipelined join: insert into own side, then probe the other side.
   ctx.Charge(CostKind::kMemoOp, 2);
-  memo.Side(left_, key).push_back(JoinEntry{t.vertex, t.vars, t.path});
+  memo.Side(left_, key).push_back(JoinEntry{t.vertex, t.vars, t.path, t.bulk});
   const std::vector<JoinEntry>* matches = memo.Probe(!left_, key);
 
   size_t n = matches == nullptr ? 0 : matches->size();
@@ -386,15 +394,33 @@ void JoinProbeStep::Execute(Traverser t, StepContext& ctx) const {
     ctx.Finish(t.scope, t.weight);
     return;
   }
-  WeightSplitter split(t.weight, &ctx.rng());
+  // A bulked probe against a bulked entry stands for bulk*bulk joined pairs;
+  // products beyond u32 are emitted as multiple chunked outputs.
+  struct Out {
+    const JoinEntry* other;
+    uint32_t bulk;
+  };
+  std::vector<Out> outs;
   for (size_t i = 0; i < n; ++i) {
-    const JoinEntry& other = (*matches)[i];
+    uint64_t product =
+        static_cast<uint64_t>(t.bulk) * (*matches)[i].bulk;
+    while (product > 0) {
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(product, UINT32_MAX));
+      outs.push_back(Out{&(*matches)[i], chunk});
+      product -= chunk;
+    }
+  }
+  WeightSplitter split(t.weight, &ctx.rng());
+  for (size_t i = 0; i < outs.size(); ++i) {
+    const JoinEntry& other = *outs[i].other;
     // The freshly inserted copy of `t` is in the *own* side table, never in
     // `matches` (opposite side), so no self-join artifacts arise.
     Traverser out;
     out.vertex = t.vertex;
     out.step = next();
     out.hop = t.hop;
+    out.bulk = outs[i].bulk;
     const auto& lvars = left_ ? t.vars : other.vars;
     const auto& rvars = left_ ? other.vars : t.vars;
     for (const Value& v : lvars) out.vars.push_back(v);
@@ -404,7 +430,7 @@ void JoinProbeStep::Execute(Traverser t, StepContext& ctx) const {
     out.path.reserve(lpath.size() + rpath.size());
     out.path.insert(out.path.end(), lpath.begin(), lpath.end());
     out.path.insert(out.path.end(), rpath.begin(), rpath.end());
-    out.weight = (i + 1 == n) ? split.TakeLast() : split.Take();
+    out.weight = (i + 1 == outs.size()) ? split.TakeLast() : split.Take();
     ctx.Emit(std::move(out));
   }
 }
@@ -425,7 +451,7 @@ void GroupByStep::Execute(Traverser t, StepContext& ctx) const {
   Value value = value_.Eval(t, ctx);
   auto& memo = ctx.memo().GetOrCreate<GroupAggMemo>(ctx.query_id(), id());
   ctx.Charge(CostKind::kMemoOp);
-  memo.Group(key).Update(value);
+  memo.Group(key).Update(value, t.bulk);
   ctx.Finish(t.scope, t.weight);
 }
 
@@ -459,12 +485,21 @@ void OrderByLimitStep::Execute(Traverser t, StepContext& ctx) const {
   ctx.Charge(CostKind::kMemoOp);
   Row row(t.vars.begin(), t.vars.end());
   auto& rows = memo.rows();
-  rows.push_back(std::move(row));
-  // Insertion-sort from the back; the buffer stays sorted and capped.
-  for (size_t i = rows.size() - 1; i > 0 && RowLess(rows[i], rows[i - 1], specs_); --i) {
-    std::swap(rows[i], rows[i - 1]);
+  // A bulked traverser splits across the limit: copies are inserted one at a
+  // time until one fails to beat the buffer's worst row — the remaining
+  // multiplicity is the remainder the cap would have dropped anyway.
+  for (uint32_t c = 0; c < t.bulk; ++c) {
+    if (rows.size() >= limit_ &&
+        (limit_ == 0 || !RowLess(row, rows.back(), specs_))) {
+      break;
+    }
+    rows.push_back(row);
+    // Insertion-sort from the back; the buffer stays sorted and capped.
+    for (size_t i = rows.size() - 1; i > 0 && RowLess(rows[i], rows[i - 1], specs_); --i) {
+      std::swap(rows[i], rows[i - 1]);
+    }
+    if (rows.size() > limit_) rows.pop_back();
   }
-  if (rows.size() > limit_) rows.pop_back();
   ctx.Finish(t.scope, t.weight);
 }
 
@@ -507,7 +542,7 @@ void ScalarAggStep::Execute(Traverser t, StepContext& ctx) const {
   Value value = value_.Eval(t, ctx);
   auto& memo = ctx.memo().GetOrCreate<ScalarAggMemo>(ctx.query_id(), id());
   ctx.Charge(CostKind::kMemoOp);
-  memo.state().Update(value);
+  memo.state().Update(value, t.bulk);
   ctx.Finish(t.scope, t.weight);
 }
 
@@ -548,7 +583,7 @@ void EmitStep::Execute(Traverser t, StepContext& ctx) const {
   } else {
     for (const Operand& op : projections_) row.push_back(op.Eval(t, ctx));
   }
-  ctx.EmitRow(std::move(row));
+  ctx.EmitRow(std::move(row), t.bulk);
   ctx.Finish(t.scope, t.weight);
 }
 

@@ -1,9 +1,12 @@
 #ifndef GRAPHDANCE_PSTM_TRAVERSER_H_
 #define GRAPHDANCE_PSTM_TRAVERSER_H_
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/serde.h"
 #include "common/small_vector.h"
 #include "common/value.h"
@@ -13,7 +16,10 @@
 namespace graphdance {
 
 /// A PSTM traverser (paper §III-B): the 4-tuple (v, psi, pi, w) extended
-/// with a scope id (for per-stage progress tracking) and a hop counter.
+/// with a scope id (for per-stage progress tracking), a hop counter, and a
+/// bulk multiplicity (Rodriguez 2015): `bulk` equivalent traversers collapsed
+/// into one. Two traversers are equivalent ("same site") when everything but
+/// (weight, bulk) matches; merging sums weights in Z_2^64 and adds bulks.
 struct Traverser {
   /// Current position mu(t). May be kInvalidVertex for traversers that carry
   /// only values (e.g. after a projection or inside a join pipeline).
@@ -24,8 +30,11 @@ struct Traverser {
   uint16_t hop = 0;
   /// Progress-tracking scope (stage) this traverser's weight belongs to.
   uint32_t scope = 0;
-  /// Progression weight w in Z_2^64.
+  /// Progression weight w in Z_2^64 (the summed weight of all `bulk` merged
+  /// traversers).
   Weight weight = 0;
+  /// Multiplicity: how many equivalent traversers this one stands for.
+  uint32_t bulk = 1;
   /// Local variables pi, interpreted per step specification (projected
   /// properties, join attributes, sort keys, ...).
   SmallVector<Value, 4> vars;
@@ -33,12 +42,27 @@ struct Traverser {
   /// over patterns; empty otherwise to keep traversers small).
   std::vector<VertexId> path;
 
+  // Fixed payload layout (bytes, little-endian):
+  //   [0,8)   vertex        -+
+  //   [8,12)  step<<16|hop   | site prefix
+  //   [12,16) scope         -+
+  //   [16,24) weight        -- summed on merge (wrapping u64)
+  //   [24,28) bulk          -- added on merge (refuse on u32 overflow)
+  //   [28,30) vars count (u16), then vars, then path count (u32) + path:
+  //           the site suffix. Same site <=> prefix and suffix bytes equal.
+  static constexpr size_t kWeightOffset = 16;
+  static constexpr size_t kBulkOffset = 24;
+  static constexpr size_t kSiteSuffixOffset = 28;
+
   void Serialize(ByteWriter* out) const {
+    // u16 vars count: >255 used to truncate silently as a raw u8.
+    assert(vars.size() <= 0xffff && "Traverser vars overflow u16 count");
     out->WriteU64(vertex);
     out->WriteU32((static_cast<uint32_t>(step) << 16) | hop);
     out->WriteU32(scope);
     out->WriteU64(weight);
-    out->WriteU8(static_cast<uint8_t>(vars.size()));
+    out->WriteU32(bulk);
+    out->WriteU16(static_cast<uint16_t>(vars.size()));
     for (const Value& v : vars) v.Serialize(out);
     out->WriteU32(static_cast<uint32_t>(path.size()));
     for (VertexId v : path) out->WriteU64(v);
@@ -52,8 +76,9 @@ struct Traverser {
     t.hop = static_cast<uint16_t>(sh & 0xffff);
     t.scope = in->ReadU32();
     t.weight = in->ReadU64();
-    uint8_t nvars = in->ReadU8();
-    for (uint8_t i = 0; i < nvars; ++i) t.vars.push_back(Value::Deserialize(in));
+    t.bulk = in->ReadU32();
+    uint16_t nvars = in->ReadU16();
+    for (uint16_t i = 0; i < nvars; ++i) t.vars.push_back(Value::Deserialize(in));
     uint32_t plen = in->ReadU32();
     t.path.reserve(plen);
     for (uint32_t i = 0; i < plen; ++i) t.path.push_back(in->ReadU64());
@@ -62,7 +87,7 @@ struct Traverser {
 
   /// Approximate in-flight size for the network model.
   size_t WireSize() const {
-    size_t n = 8 + 4 + 4 + 8 + 1 + 4 + 8 * path.size();
+    size_t n = 8 + 4 + 4 + 8 + 4 + 2 + 4 + 8 * path.size();
     for (const Value& v : vars) {
       n += 1;
       switch (v.type()) {
@@ -81,6 +106,66 @@ struct Traverser {
       }
     }
     return n;
+  }
+
+  /// True when `other` occupies the same site: equal on everything except
+  /// (weight, bulk). Such traversers are behaviourally interchangeable and
+  /// may be merged.
+  bool SameSite(const Traverser& other) const {
+    return vertex == other.vertex && step == other.step && hop == other.hop &&
+           scope == other.scope && vars == other.vars && path == other.path;
+  }
+
+  /// Hash of the site key (vertex, step, hop, scope, vars, path). Used as a
+  /// prefilter for merge candidates; equality is always confirmed byte- or
+  /// field-wise before merging.
+  uint64_t SiteHash() const {
+    uint64_t h = Mix64(vertex);
+    h = HashCombine(h, Mix64((static_cast<uint64_t>(step) << 32) |
+                             (static_cast<uint64_t>(hop) << 16) | scope));
+    for (const Value& v : vars) h = HashCombine(h, v.Hash());
+    for (VertexId v : path) h = HashCombine(h, Mix64(v));
+    return h;
+  }
+
+  /// Folds `other` (same site) into this traverser. Returns false — and
+  /// leaves both untouched — if the combined bulk would overflow u32.
+  bool MergeFrom(const Traverser& other) {
+    assert(SameSite(other));
+    uint64_t b = static_cast<uint64_t>(bulk) + other.bulk;
+    if (b > UINT32_MAX) return false;
+    weight += other.weight;  // Z_2^64: wraps
+    bulk = static_cast<uint32_t>(b);
+    return true;
+  }
+
+  /// Merges a serialized traverser `src` into serialized `dst` in place, iff
+  /// both encode the same site (byte-equal outside the weight/bulk fields).
+  /// Returns false (dst untouched) when the sites differ or bulk would
+  /// overflow. Payload-level so the send path can merge without
+  /// deserializing.
+  static bool MergePayloads(std::vector<uint8_t>& dst,
+                            const std::vector<uint8_t>& src) {
+    if (dst.size() != src.size() || dst.size() < kSiteSuffixOffset) return false;
+    if (std::memcmp(dst.data(), src.data(), kWeightOffset) != 0) return false;
+    if (std::memcmp(dst.data() + kSiteSuffixOffset,
+                    src.data() + kSiteSuffixOffset,
+                    dst.size() - kSiteSuffixOffset) != 0) {
+      return false;
+    }
+    uint64_t wd, ws;
+    uint32_t bd, bs;
+    std::memcpy(&wd, dst.data() + kWeightOffset, 8);
+    std::memcpy(&ws, src.data() + kWeightOffset, 8);
+    std::memcpy(&bd, dst.data() + kBulkOffset, 4);
+    std::memcpy(&bs, src.data() + kBulkOffset, 4);
+    uint64_t b = static_cast<uint64_t>(bd) + bs;
+    if (b > UINT32_MAX) return false;
+    wd += ws;  // Z_2^64: wraps
+    bd = static_cast<uint32_t>(b);
+    std::memcpy(dst.data() + kWeightOffset, &wd, 8);
+    std::memcpy(dst.data() + kBulkOffset, &bd, 4);
+    return true;
   }
 };
 

@@ -62,6 +62,13 @@ struct ClusterConfig {
   /// Weight coalescing (paper §IV-A(a)); disable to reproduce Fig. 10/11.
   bool weight_coalescing = true;
 
+  /// Traverser bulking (Rodriguez 2015): collapse equivalent traversers —
+  /// same (vertex, step, hop, scope, vars, path) — into one carrying a bulk
+  /// multiplicity and the summed weight. Applied in the tier-1 send buffer,
+  /// in worker task queues before dispatch, and honoured by every step.
+  /// Disable for the bench_ablation_bulking baseline.
+  bool traverser_bulking = true;
+
   /// Tasks processed per worker quantum before yielding to the event loop.
   uint32_t quantum_tasks = 128;
 

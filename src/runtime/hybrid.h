@@ -63,15 +63,21 @@ inline double EstimatePlanTasks(const Plan& plan, const GraphStats& stats) {
 /// Chooses the engine for one query. The crossover depends on parallelism
 /// (Fig. 9: BSP only wins whole-graph traversals at low worker counts, where
 /// barriers amortize and async gains little overlap), so the threshold
-/// scales with `num_workers`. Pass `threshold_tasks` to override.
+/// scales with `num_workers`. Traverser bulking compresses async's per-task
+/// and per-message cost on exactly the redundant-frontier workloads where
+/// BSP used to win, moving the crossover several times further out; pass the
+/// cluster's `traverser_bulking` so the estimate matches the engine that
+/// will actually run. Pass `threshold_tasks` to override.
 inline HybridChoice ChooseEngine(const Plan& plan, const GraphStats& stats,
                                  uint32_t num_workers = 1,
-                                 double threshold_tasks = 0.0) {
+                                 double threshold_tasks = 0.0,
+                                 bool traverser_bulking = true) {
   HybridChoice choice;
   choice.estimated_tasks = EstimatePlanTasks(plan, stats);
   if (threshold_tasks <= 0.0) {
     threshold_tasks = static_cast<double>(stats.num_vertices) *
                       (0.4 + 0.15 * static_cast<double>(num_workers));
+    if (traverser_bulking) threshold_tasks *= 4.0;
   }
   choice.engine = choice.estimated_tasks > threshold_tasks ? EngineKind::kBsp
                                                            : EngineKind::kAsync;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 
 #include "common/logging.h"
@@ -124,7 +125,8 @@ class ExecContext final : public StepContext {
 
   void Finish(uint32_t scope, Weight w) override;
 
-  void EmitRow(Row row) override;
+  void EmitRow(Row row, uint32_t count) override;
+  using StepContext::EmitRow;
 
   void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) override;
 
@@ -209,10 +211,13 @@ void ExecContext::Finish(uint32_t scope, Weight w) {
   }
 }
 
-void ExecContext::EmitRow(Row row) {
+void ExecContext::EmitRow(Row row, uint32_t count) {
+  if (count == 0) return;
   if (mode_ == Mode::kBsp) {
+    for (uint32_t i = 1; i < count; ++i) qs_->result.rows.push_back(row);
     qs_->result.rows.push_back(std::move(row));
-    cluster_->metrics_.net().messages_by_kind[static_cast<int>(MessageKind::kResultRow)]++;
+    cluster_->metrics_.net().messages_by_kind[static_cast<int>(MessageKind::kResultRow)] +=
+        count;
     return;
   }
   if (qs_->coordinator == worker_->id) {
@@ -220,9 +225,10 @@ void ExecContext::EmitRow(Row row) {
     // ledgers so rows_received can never outrun rows_expected and mask a
     // dropped remote row (the two counters stay symmetric by construction).
     if (cluster_->fault_active_) {
-      qs_->rows_expected++;
-      qs_->rows_received++;
+      qs_->rows_expected += count;
+      qs_->rows_received += count;
     }
+    for (uint32_t i = 1; i < count; ++i) qs_->result.rows.push_back(row);
     qs_->result.rows.push_back(std::move(row));
     cluster_->MaybeCancelOnLimit(*qs_, worker_->now);
     return;
@@ -234,11 +240,16 @@ void ExecContext::EmitRow(Row row) {
   m.src_worker = worker_->id;
   m.dst_worker = qs_->coordinator;
   m.query_id = qs_->id;
+  // A bulked emit ships ONE message carrying the multiplicity; the
+  // coordinator expands it and advances the row ledger by `count`, keeping
+  // rows_expected/rows_received symmetric under faults (the whole batch is
+  // lost or delivered atomically).
+  m.tag = count;
   m.payload = out.Take();
   // Row-loss accounting: the count of rows sent remotely piggybacks on this
   // worker's next weight report (EmitStep always finishes the emitting
   // traverser's weight right after EmitRow, so a report will follow).
-  if (cluster_->fault_active_) worker_->rows_unreported[qs_->id]++;
+  if (cluster_->fault_active_) worker_->rows_unreported[qs_->id] += count;
   cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
   cluster_->Send(*worker_, std::move(m));
 }
@@ -653,7 +664,11 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   }
 
   // Memoranda lifetime: cleared cluster-wide once the creating query ends.
+  // A watchdog abort reaches here at event time `at`, which can be ahead of
+  // the coordinator's local clock; sync it so the control fences below are
+  // sent "now", not in the virtual past.
   Worker& coord = workers_[qs.coordinator];
+  coord.now = std::max(coord.now, at);
   for (uint32_t w = 0; w < config_.total_workers(); ++w) {
     if (w == coord.id) {
       memos_[w].ClearQuery(qs.id);
@@ -777,12 +792,14 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
   fault_.stats().lost_in_crash += w.inbox.size();
   w.inbox.clear();
   w.tasks.clear();
+  w.first_bucket = 0;
   w.num_tasks = 0;
   w.pending_weights.clear();
   w.rows_unreported.clear();
   for (TierBuffer& buf : w.out) {
     buf.msgs.clear();
     buf.bytes = 0;
+    buf.merge_index.clear();
   }
   memos_[worker].Clear();
   // Schedule the restart before aborting attempts so that at an equal
@@ -881,6 +898,7 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
       Traverser t = Traverser::Deserialize(&reader);
       Task task{msg.query_id, static_cast<PartitionId>(msg.tag), std::move(t)};
       task.attempt = msg.attempt;
+      task.site = msg.trav_site;  // reuse the sender's hash for queue merging
       PushTask(w, std::move(task));
       break;
     }
@@ -899,9 +917,13 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
       // deadline timeout must not mutate it after the fact.
       if (qs.result.done) break;
       ByteReader reader(msg.payload.data(), msg.payload.size());
-      qs.result.rows.push_back(DeserializeRow(&reader));
+      // tag carries the bulk multiplicity of the emitted row (0 = legacy 1).
+      uint32_t nrows = msg.tag == 0 ? 1 : static_cast<uint32_t>(msg.tag);
+      Row row = DeserializeRow(&reader);
+      for (uint32_t i = 1; i < nrows; ++i) qs.result.rows.push_back(row);
+      qs.result.rows.push_back(std::move(row));
       if (fault_active_) {
-        qs.rows_received++;
+        qs.rows_received += nrows;
         if (recovery_active_) NoteProgress(qs, w.now);
         if (qs.awaiting_rows && qs.rows_received >= qs.rows_expected) {
           qs.awaiting_rows = false;
@@ -973,16 +995,51 @@ void SimCluster::RunFinalize(Worker& w, const Message& msg) {
 void SimCluster::PushTask(Worker& w, Task task) {
   // Shortest-trajectory-first bucketing; the FIFO ablation funnels every
   // task through one bucket.
-  uint16_t bucket = config_.shortest_first_scheduling ? task.trav.hop : 0;
-  w.tasks[bucket].push_back(std::move(task));
+  uint32_t bucket = config_.shortest_first_scheduling ? task.trav.hop : 0;
+  if (bucket >= w.tasks.size()) w.tasks.resize(bucket + 1);
+  Worker::TaskBucket& b = w.tasks[bucket];
+  if (config_.traverser_bulking && task.site != 0) {
+    // Receive/execute-side bulking: merge into a still-queued same-site task
+    // of the same (query, attempt, partition) in O(1). The site hash rode in
+    // from the send side; a hit is confirmed field-by-field — never merged
+    // on the hash alone — and the absorbed task takes the queue position of
+    // its target, so the dispatch order stays deterministic (first
+    // occurrence wins).
+    uint64_t h = HashCombine(
+        task.site,
+        Mix64(task.query ^ (static_cast<uint64_t>(task.attempt) << 32) ^
+              (static_cast<uint64_t>(task.partition) << 1)));
+    uint64_t newpos = b.base + b.q.size();
+    auto [it, inserted] = b.index.try_emplace(h, newpos);
+    if (!inserted) {
+      if (it->second >= b.base) {
+        Task& dst = b.q[it->second - b.base];
+        if (dst.query == task.query && dst.attempt == task.attempt &&
+            dst.partition == task.partition && dst.trav.SameSite(task.trav) &&
+            dst.trav.MergeFrom(task.trav)) {
+          auto& wm = metrics_.worker(w.id);
+          wm.bulk_merges++;
+          wm.traversers_bulked += task.trav.bulk;
+          return;  // absorbed: nothing enqueued
+        }
+      }
+      it->second = newpos;  // dispatched or unmergeable: track the newcomer
+    }
+  }
+  b.q.push_back(std::move(task));
+  if (bucket < w.first_bucket) w.first_bucket = bucket;
   ++w.num_tasks;
 }
 
 SimCluster::Task SimCluster::PopTask(Worker& w) {
-  auto it = w.tasks.begin();
-  Task task = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) w.tasks.erase(it);
+  // num_tasks > 0 (checked by the caller) guarantees a non-empty bucket at
+  // or after the cursor.
+  while (w.tasks[w.first_bucket].q.empty()) ++w.first_bucket;
+  Worker::TaskBucket& b = w.tasks[w.first_bucket];
+  Task task = std::move(b.q.front());
+  b.q.pop_front();
+  ++b.base;
+  if (b.q.empty() && !b.index.empty()) b.index.clear();
   --w.num_tasks;
   return task;
 }
@@ -1003,7 +1060,9 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
                                Traverser t) {
   uint32_t dst = ExecWorkerFor(partition);
   if (dst == from.id) {
+    uint64_t site = config_.traverser_bulking ? t.SiteHash() : 0;
     Task task{query, partition, std::move(t)};
+    task.site = site;
     if (fault_active_) {
       auto qit = queries_.find(query);
       if (qit != queries_.end()) task.attempt = qit->second.attempt;
@@ -1023,6 +1082,10 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
   m.query_id = query;
   m.tag = partition;
   m.payload = out.Take();
+  // Merge-candidate prefilter for the tier-1 buffer; 0 disables merging for
+  // this message (the hash only gates a byte-exact comparison, so the rare
+  // genuine-zero hash merely misses an optimization).
+  if (config_.traverser_bulking) m.trav_site = t.SiteHash();
   Charge(from, CostKind::kMsgPack, 1);
   Send(from, std::move(m));
 }
@@ -1049,7 +1112,14 @@ void SimCluster::Send(Worker& from, Message msg) {
     FaultInjector::SendDecision d = fault_.OnRemoteSend();
     if (d.drop) return;  // the message vanishes on the wire
     std::optional<Message> dup;
-    if (d.duplicate) dup = msg;  // identical seq: the receiver suppresses one
+    if (d.duplicate) {
+      // Both copies carry one seq, so the receiver suppresses the second.
+      // Neither may merge into a differently-sequenced carrier: the carrier
+      // would be delivered AND the twin would survive the seq check,
+      // double-counting the folded weight.
+      msg.no_bulk = true;
+      dup = msg;
+    }
     if (d.extra_delay_ns > 0) {
       // Straggler path: the message leaves the combining pipeline and
       // travels in its own frame, arriving extra_delay_ns late.
@@ -1090,6 +1160,32 @@ void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
     return;
   }
   TierBuffer& buf = from.out[dst_node];
+  if (config_.traverser_bulking && msg.kind == MessageKind::kTraverserBatch &&
+      msg.trav_site != 0 && !msg.no_bulk) {
+    uint32_t newidx = static_cast<uint32_t>(buf.msgs.size());
+    auto [it, inserted] = buf.merge_index.try_emplace(msg.trav_site, newidx);
+    if (!inserted) {
+      Message& cand = buf.msgs[it->second];
+      if (cand.query_id == msg.query_id && cand.dst_worker == msg.dst_worker &&
+          cand.tag == msg.tag && cand.attempt == msg.attempt &&
+          cand.src_epoch == msg.src_epoch && cand.dst_epoch == msg.dst_epoch &&
+          !cand.no_bulk && Traverser::MergePayloads(cand.payload, msg.payload)) {
+        // Absorbed: weight summed and bulk added into the buffered carrier.
+        // The absorbed message never reaches the wire (its seq surfaces as a
+        // gap at the receiver, which the bounded reorder window tolerates
+        // exactly like a drop).
+        uint32_t absorbed_bulk;
+        std::memcpy(&absorbed_bulk, msg.payload.data() + Traverser::kBulkOffset,
+                    sizeof(absorbed_bulk));
+        auto& wm = metrics_.worker(from.id);
+        wm.bulk_merges++;
+        wm.traversers_bulked += absorbed_bulk;
+        metrics_.OnSendMerged(msg.src_worker, msg.dst_worker, msg.kind);
+        return;
+      }
+      it->second = newidx;  // unmergeable: track the newcomer for this site
+    }
+  }
   buf.bytes += msg.WireSize();
   buf.msgs.push_back(std::move(msg));
   if (buf.bytes >= config_.flush_threshold_bytes) {
@@ -1146,6 +1242,7 @@ void SimCluster::FlushBuffer(Worker& w, uint32_t dst_node) {
   msgs.swap(buf.msgs);
   size_t bytes = buf.bytes;
   buf.bytes = 0;
+  buf.merge_index.clear();  // indices referenced the flushed msgs
   // In full GraphDance (TLC+NLC) the worker hands the pack to the node's
   // network thread and keeps computing; otherwise the worker performs the
   // send syscall itself.

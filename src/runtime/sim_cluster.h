@@ -140,11 +140,20 @@ class SimCluster {
     // Query attempt the task belongs to; stale-attempt tasks left in worker
     // queues after a recovery abort are fenced at execution time.
     uint32_t attempt = 0;
+    // Site hash of `trav`, carried from the send side (Message::trav_site)
+    // so the queue-merge probe never recomputes it; 0 = not a bulking
+    // candidate.
+    uint64_t site = 0;
   };
 
   struct TierBuffer {
     std::vector<Message> msgs;
     size_t bytes = 0;
+    // Traverser-bulking merge index: site hash -> index into `msgs` of the
+    // latest buffered kTraverserBatch merge candidate. Hash hits are
+    // confirmed by byte comparison before merging (a collision just misses
+    // a merge); cleared on every flush.
+    std::unordered_map<uint64_t, uint32_t> merge_index;
   };
 
   struct Worker {
@@ -155,7 +164,22 @@ class SimCluster {
     bool running = false;  // inside RunWorker: suppress redundant self-wakes
     SimTime next_wake = 0;
     // Tasks bucketed by hop count: shorter trajectories run first (§III-B).
-    std::map<uint16_t, std::deque<Task>> tasks;
+    // A flat vector indexed by bucket id replaces the old std::map — the
+    // enqueue sits in the innermost loop and a red-black tree rebalances on
+    // every push. `first_bucket` lower-bounds the lowest non-empty bucket.
+    // With traverser bulking, `index` maps a (site, query, attempt,
+    // partition) hash to the absolute position (`base` + queue offset) of
+    // the latest still-queued merge target, so an incoming task merges in
+    // O(1) at push time. Stale (already-dispatched) positions and the rare
+    // hash collision just miss a merge — the hash only gates a full
+    // field-by-field comparison, never replaces it.
+    struct TaskBucket {
+      std::deque<Task> q;
+      uint64_t base = 0;  // absolute position of q.front()
+      std::unordered_map<uint64_t, uint64_t> index;
+    };
+    std::vector<TaskBucket> tasks;
+    uint32_t first_bucket = 0;
     size_t num_tasks = 0;
     std::vector<Message> inbox;
     std::vector<TierBuffer> out;  // per destination node

@@ -1,0 +1,350 @@
+// Traverser bulking: serde/merge unit tests plus the on/off equivalence
+// suite — every engine must produce identical rows with bulking enabled and
+// disabled, on traversal, aggregate, join, and LDBC workloads, because
+// bulking is a pure compression of equivalent traversers (weights sum in
+// Z_2^64, multiplicities add) and must never change observable results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.h"
+#include "ldbc/driver.h"
+#include "ldbc/reference.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+// ---- unit: merge semantics ---------------------------------------------------
+
+Traverser MakeTraverser(VertexId v = 7, uint16_t step = 3, uint16_t hop = 2) {
+  Traverser t;
+  t.vertex = v;
+  t.step = step;
+  t.hop = hop;
+  t.scope = 5;
+  t.weight = 0x1234;
+  t.vars.push_back(Value(int64_t{42}));
+  t.vars.push_back(Value("abc"));
+  return t;
+}
+
+TEST(BulkMergeTest, SameSiteRequiresAllSiteFields) {
+  Traverser a = MakeTraverser();
+  EXPECT_TRUE(a.SameSite(MakeTraverser()));
+
+  Traverser b = MakeTraverser(8);
+  EXPECT_FALSE(a.SameSite(b));
+  b = MakeTraverser(7, 4);
+  EXPECT_FALSE(a.SameSite(b));
+  b = MakeTraverser(7, 3, 1);
+  EXPECT_FALSE(a.SameSite(b));
+  b = MakeTraverser();
+  b.vars[0] = Value(int64_t{43});
+  EXPECT_FALSE(a.SameSite(b));
+  b = MakeTraverser();
+  b.path.push_back(11);
+  EXPECT_FALSE(a.SameSite(b));
+  // Weight and bulk are NOT part of the site: they are what gets merged.
+  b = MakeTraverser();
+  b.weight = 999;
+  b.bulk = 12;
+  EXPECT_TRUE(a.SameSite(b));
+}
+
+TEST(BulkMergeTest, MergeSumsWeightWrappingAndAddsBulk) {
+  Traverser a = MakeTraverser();
+  a.weight = ~uint64_t{0};  // -1 in Z_2^64
+  a.bulk = 3;
+  Traverser b = MakeTraverser();
+  b.weight = 5;
+  b.bulk = 4;
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.weight, uint64_t{4});  // wrapped
+  EXPECT_EQ(a.bulk, 7u);
+  EXPECT_EQ(a.SiteHash(), b.SiteHash());
+}
+
+TEST(BulkMergeTest, MergeRefusesBulkOverflow) {
+  Traverser a = MakeTraverser();
+  a.bulk = 0xffffffff;
+  Traverser b = MakeTraverser();
+  b.bulk = 1;
+  uint64_t w = a.weight;
+  EXPECT_FALSE(a.MergeFrom(b));
+  EXPECT_EQ(a.bulk, 0xffffffffu);  // untouched on refusal
+  EXPECT_EQ(a.weight, w);
+}
+
+TEST(BulkMergeTest, PayloadMergeMatchesObjectMerge) {
+  Traverser a = MakeTraverser();
+  a.weight = 100;
+  a.bulk = 2;
+  Traverser b = MakeTraverser();
+  b.weight = 42;
+  b.bulk = 5;
+
+  ByteWriter wa(a.WireSize());
+  a.Serialize(&wa);
+  std::vector<uint8_t> pa = wa.Take();
+  ByteWriter wb(b.WireSize());
+  b.Serialize(&wb);
+  std::vector<uint8_t> pb = wb.Take();
+
+  ASSERT_TRUE(Traverser::MergePayloads(pa, pb));
+  ByteReader reader(pa.data(), pa.size());
+  Traverser merged = Traverser::Deserialize(&reader);
+  EXPECT_EQ(merged.weight, uint64_t{142});
+  EXPECT_EQ(merged.bulk, 7u);
+  EXPECT_TRUE(merged.SameSite(a));
+}
+
+TEST(BulkMergeTest, PayloadMergeRefusesDifferentSites) {
+  Traverser a = MakeTraverser();
+  Traverser b = MakeTraverser(8);  // different vertex
+  ByteWriter wa(a.WireSize());
+  a.Serialize(&wa);
+  std::vector<uint8_t> pa = wa.Take();
+  ByteWriter wb(b.WireSize());
+  b.Serialize(&wb);
+  std::vector<uint8_t> pb = wb.Take();
+  std::vector<uint8_t> before = pa;
+  EXPECT_FALSE(Traverser::MergePayloads(pa, pb));
+  EXPECT_EQ(pa, before);  // refused merges leave the carrier untouched
+
+  // Different vars => different suffix => refuse.
+  Traverser c = MakeTraverser();
+  c.vars[0] = Value(int64_t{77});
+  ByteWriter wc(c.WireSize());
+  c.Serialize(&wc);
+  std::vector<uint8_t> pc = wc.Take();
+  EXPECT_FALSE(Traverser::MergePayloads(pa, pc));
+}
+
+TEST(BulkMergeTest, PayloadMergeRefusesBulkOverflow) {
+  Traverser a = MakeTraverser();
+  a.bulk = 0xfffffffe;
+  Traverser b = MakeTraverser();
+  b.bulk = 3;
+  ByteWriter wa(a.WireSize());
+  a.Serialize(&wa);
+  std::vector<uint8_t> pa = wa.Take();
+  ByteWriter wb(b.WireSize());
+  b.Serialize(&wb);
+  std::vector<uint8_t> pb = wb.Take();
+  std::vector<uint8_t> before = pa;
+  EXPECT_FALSE(Traverser::MergePayloads(pa, pb));
+  EXPECT_EQ(pa, before);
+}
+
+// ---- equivalence: bulking on/off across engines and workloads ----------------
+
+std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  PropKeyId weight;
+};
+
+TestGraph SharedPowerLaw() {
+  static TestGraph tg = [] {
+    TestGraph g;
+    g.schema = std::make_shared<Schema>();
+    PowerLawGraphOptions opt;
+    opt.num_vertices = 1024;
+    opt.num_edges = 8192;
+    opt.seed = 5;
+    opt.weight_range = 10'000;
+    g.graph = GeneratePowerLawGraph(opt, g.schema, 8).TakeValue();
+    g.weight = g.schema->PropKey("weight");
+    return g;
+  }();
+  return tg;
+}
+
+enum class Workload { kTopK, kCount, kPathCount, kGroupCount, kJoin };
+
+std::shared_ptr<const Plan> BuildWorkload(const TestGraph& tg, Workload w) {
+  switch (w) {
+    case Workload::kTopK:
+      return Traversal(tg.graph)
+          .V({11})
+          .RepeatOut("link", 3, /*dedup=*/true)
+          .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+          .OrderByLimit({{1, false}, {0, true}}, 10)
+          .Build()
+          .TakeValue();
+    case Workload::kCount:
+      return Traversal(tg.graph)
+          .V({11})
+          .RepeatOut("link", 3, /*dedup=*/true)
+          .Count()
+          .Build()
+          .TakeValue();
+    case Workload::kPathCount:
+      // Multiplicity-preserving: no dedup, the count is the number of
+      // 2-step walks — the workload where bulk multiplicities do the work.
+      return Traversal(tg.graph)
+          .V({11})
+          .RepeatOut("link", 2, /*dedup=*/false)
+          .Count()
+          .Build()
+          .TakeValue();
+    case Workload::kGroupCount:
+      return Traversal(tg.graph)
+          .V({11})
+          .Out("link")
+          .Out("link")
+          .GroupCount(Operand::VertexIdOp())
+          .Build()
+          .TakeValue();
+    case Workload::kJoin: {
+      Traversal fwd(tg.graph);
+      fwd.V({1}).Out("link");
+      Traversal bwd(tg.graph);
+      bwd.V({2}).In("link");
+      return Traversal::Join(std::move(fwd), Operand::VertexIdOp(),
+                             std::move(bwd), Operand::VertexIdOp())
+          .Count()
+          .Build()
+          .TakeValue();
+    }
+  }
+  return nullptr;
+}
+
+class BulkingEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<EngineKind, Workload>> {};
+
+TEST_P(BulkingEquivalenceTest, RowsIdenticalOnAndOff) {
+  TestGraph tg = SharedPowerLaw();
+  auto [engine, workload] = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+  cfg.engine = engine;
+
+  cfg.traverser_bulking = true;
+  SimCluster on(cfg, tg.graph);
+  auto ron = on.Run(BuildWorkload(tg, workload));
+  ASSERT_TRUE(ron.ok()) << ron.status().ToString();
+
+  cfg.traverser_bulking = false;
+  SimCluster off(cfg, tg.graph);
+  auto roff = off.Run(BuildWorkload(tg, workload));
+  ASSERT_TRUE(roff.ok()) << roff.status().ToString();
+
+  EXPECT_EQ(SortedRows(ron.value().rows), SortedRows(roff.value().rows));
+
+  // Compression must never inflate traffic: with bulking on, the traverser
+  // message count is bounded by the bulking-off run.
+  auto tb = [](const obs::MetricsSnapshot& s) {
+    return s.net.messages_by_kind[static_cast<int>(MessageKind::kTraverserBatch)];
+  };
+  EXPECT_LE(tb(on.MetricsSnapshot()), tb(off.MetricsSnapshot()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesByWorkloads, BulkingEquivalenceTest,
+    ::testing::Combine(::testing::Values(EngineKind::kAsync, EngineKind::kBsp,
+                                         EngineKind::kShared,
+                                         EngineKind::kGaiaSim,
+                                         EngineKind::kBanyanSim),
+                       ::testing::Values(Workload::kTopK, Workload::kCount,
+                                         Workload::kPathCount,
+                                         Workload::kGroupCount, Workload::kJoin)),
+    [](const auto& info) -> std::string {
+      std::string e;
+      switch (std::get<0>(info.param)) {
+        case EngineKind::kAsync: e = "async"; break;
+        case EngineKind::kBsp: e = "bsp"; break;
+        case EngineKind::kShared: e = "shared"; break;
+        case EngineKind::kGaiaSim: e = "gaia"; break;
+        case EngineKind::kBanyanSim: e = "banyan"; break;
+      }
+      switch (std::get<1>(info.param)) {
+        case Workload::kTopK: e += "_topk"; break;
+        case Workload::kCount: e += "_count"; break;
+        case Workload::kPathCount: e += "_pathcount"; break;
+        case Workload::kGroupCount: e += "_groupcount"; break;
+        case Workload::kJoin: e += "_join"; break;
+      }
+      return e;
+    });
+
+TEST(BulkingTest, AsyncPathCountActuallyMerges) {
+  // Guards against the optimization silently turning itself off: on the
+  // multiplicity workload the async engine must report merges and a strictly
+  // smaller traverser-batch message count.
+  TestGraph tg = SharedPowerLaw();
+  auto plan = BuildWorkload(tg, Workload::kPathCount);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 4;
+
+  cfg.traverser_bulking = true;
+  SimCluster on(cfg, tg.graph);
+  ASSERT_TRUE(on.Run(plan).ok());
+  obs::MetricsSnapshot son = on.MetricsSnapshot();
+
+  cfg.traverser_bulking = false;
+  SimCluster off(cfg, tg.graph);
+  ASSERT_TRUE(off.Run(plan).ok());
+  obs::MetricsSnapshot soff = off.MetricsSnapshot();
+
+  EXPECT_GT(son.bulk_merges, 0u);
+  EXPECT_GT(son.traversers_bulked, 0u);
+  EXPECT_EQ(soff.bulk_merges, 0u);
+  auto tb = [](const obs::MetricsSnapshot& s) {
+    return s.net.messages_by_kind[static_cast<int>(MessageKind::kTraverserBatch)];
+  };
+  EXPECT_LT(tb(son), tb(soff));
+  EXPECT_LT(son.tasks_executed, soff.tasks_executed);
+}
+
+TEST(BulkingTest, LdbcInteractiveRowsIdenticalOnAndOff) {
+  SnbConfig snb_cfg = SnbConfig::Tiny(200);
+  auto data = GenerateSnb(snb_cfg, /*num_partitions=*/8).TakeValue();
+  SnbParamGen gen(*data, 1007);
+  SnbParams params = gen.Next();
+  for (int number : {1, 2, 5, 9, 13}) {
+    auto plan = BuildInteractiveComplex(number, *data, params);
+    ASSERT_TRUE(plan.ok()) << "IC" << number;
+    std::shared_ptr<const Plan> p = plan.TakeValue();
+    ClusterConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.workers_per_node = 4;
+
+    cfg.traverser_bulking = true;
+    SimCluster on(cfg, data->graph);
+    auto ron = on.Run(p);
+    ASSERT_TRUE(ron.ok()) << "IC" << number << ": " << ron.status().ToString();
+
+    cfg.traverser_bulking = false;
+    SimCluster off(cfg, data->graph);
+    auto roff = off.Run(p);
+    ASSERT_TRUE(roff.ok()) << "IC" << number << ": " << roff.status().ToString();
+
+    EXPECT_EQ(ron.value().rows, roff.value().rows) << "IC" << number;
+  }
+}
+
+}  // namespace
+}  // namespace graphdance

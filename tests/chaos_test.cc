@@ -446,6 +446,89 @@ TEST(ChaosTest, RandomizedScheduleMatrixNeverSilentlyWrong) {
   EXPECT_GT(total_recovered + total_failed, 0u);
 }
 
+// ---- traverser bulking under faults -------------------------------------------
+
+TEST(ChaosTest, BulkingOnAndOffAgreeUnderFaultSchedules) {
+  // Bulking merges in-flight traversers; with faults active that interacts
+  // with seq-window dedup, epoch fencing, and row-ledger accounting. Same
+  // fault schedule, bulking on vs off: both runs must either fail explicitly
+  // or produce the clean-run rows.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig base = ChaosConfig(EngineKind::kAsync);
+  std::vector<std::shared_ptr<const Plan>> plans = {
+      TopKPlan(tg, 1, 3), CountPlan(tg, 5, 3), TopKPlan(tg, 17, 2, 5)};
+  std::vector<std::vector<Row>> ref = CleanReference(tg, base, plans);
+
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (bool bulking : {true, false}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " bulking=" + (bulking ? std::string("on") : "off"));
+      ClusterConfig cfg = base;
+      cfg.traverser_bulking = bulking;
+      Rng mix(seed * 104729);
+      cfg.fault.seed = mix.Next();
+      cfg.fault.dup_prob = 0.03;
+      cfg.fault.delay_prob = 0.03;
+      cfg.fault.delay_ns = 50'000;
+      if (seed % 2 == 0) cfg.fault.drop_prob = 0.001;
+      if (seed % 3 == 0) {
+        cfg.fault.CrashWorker(static_cast<uint32_t>(mix.Below(4)),
+                              /*at=*/10'000 + mix.Below(50'000),
+                              /*restart_after=*/200'000);
+      }
+      SimCluster cluster(cfg, tg.graph);
+      std::vector<uint64_t> ids;
+      for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+      Status s = cluster.RunToCompletion(/*max_events=*/200'000'000ULL);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const QueryResult& r = cluster.result(ids[i]);
+        ASSERT_TRUE(r.done);
+        if (r.failed || r.timed_out) continue;  // explicit, never silent
+        EXPECT_EQ(SortedRows(r.rows), ref[i])
+            << "silent wrong answer on query " << ids[i];
+      }
+    }
+  }
+}
+
+TEST(ChaosTest, HighDuplicationNeverDoubleCountsBulkedWeight) {
+  // Regression for the duplicate/bulking hazard: an injector-duplicated
+  // message and its twin share one seq, so if either copy merged into a
+  // differently-sequenced carrier, the carrier would deliver its weight AND
+  // the surviving twin would pass the seq check — double-counting weight and
+  // either hanging the scope or finishing it early with missing rows. Both
+  // copies are marked no_bulk; under an aggressive duplication schedule the
+  // answers must still match the clean run exactly.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig base = ChaosConfig(EngineKind::kAsync);
+  std::vector<std::shared_ptr<const Plan>> plans = {TopKPlan(tg, 1, 3),
+                                                    CountPlan(tg, 5, 3)};
+  std::vector<std::vector<Row>> ref = CleanReference(tg, base, plans);
+
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ClusterConfig cfg = base;
+    cfg.traverser_bulking = true;
+    cfg.fault.seed = seed;
+    cfg.fault.dup_prob = 0.5;  // every other remote message is duplicated
+    SimCluster cluster(cfg, tg.graph);
+    std::vector<uint64_t> ids;
+    for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+    Status s = cluster.RunToCompletion(/*max_events=*/200'000'000ULL);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    const FaultStats& fs = cluster.fault_stats();
+    EXPECT_GT(fs.duplicates, 0u);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const QueryResult& r = cluster.result(ids[i]);
+      ASSERT_TRUE(r.done);
+      ASSERT_FALSE(r.failed || r.timed_out)
+          << "duplication alone must never fail a query";
+      EXPECT_EQ(SortedRows(r.rows), ref[i]);
+    }
+  }
+}
+
 // ---- LDBC mixed workload under faults -----------------------------------------
 
 TEST(ChaosTest, LdbcMixedWorkloadSurvivesFaults) {

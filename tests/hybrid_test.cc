@@ -70,14 +70,18 @@ TEST(HybridTest, EstimateGrowsWithHops) {
 
 TEST(HybridTest, ChoicePicksTheFasterEngineAtLowParallelism) {
   // At 1 worker the Fig. 9 crossover exists: small queries favour async,
-  // whole-graph multi-hop favours BSP. The chooser must agree with the
-  // measured winner on both extremes.
+  // whole-graph multi-hop favours BSP. Traverser bulking compresses async's
+  // redundant frontier, so where the crossover sits depends on whether
+  // bulking is on — the chooser must agree with the measured winner in both
+  // modes.
   TestGraph tg = MakePowerLaw(1, 8192, 131072);
-  auto measure = [&](const std::shared_ptr<const Plan>& plan, EngineKind engine) {
+  auto measure = [&](const std::shared_ptr<const Plan>& plan, EngineKind engine,
+                     bool bulking) {
     ClusterConfig cfg;
     cfg.num_nodes = 1;
     cfg.workers_per_node = 1;
     cfg.engine = engine;
+    cfg.traverser_bulking = bulking;
     SimCluster cluster(cfg, tg.graph);
     return cluster.Run(plan).TakeValue().LatencyMicros();
   };
@@ -86,11 +90,26 @@ TEST(HybridTest, ChoicePicksTheFasterEngineAtLowParallelism) {
   auto large = KHop(tg, 7, 4);
 
   EXPECT_EQ(ChooseEngine(*small, tg.graph->stats(), 1).engine, EngineKind::kAsync);
-  EXPECT_LT(measure(small, EngineKind::kAsync), measure(small, EngineKind::kBsp));
+  EXPECT_LT(measure(small, EngineKind::kAsync, true),
+            measure(small, EngineKind::kBsp, true));
 
-  HybridChoice large_choice = ChooseEngine(*large, tg.graph->stats(), 1);
-  EXPECT_EQ(large_choice.engine, EngineKind::kBsp);
-  EXPECT_LT(measure(large, EngineKind::kBsp), measure(large, EngineKind::kAsync));
+  // Bulking off: the whole-graph 4-hop floods async with duplicate
+  // traversers and BSP's barriers win (the classic Fig. 9 regime).
+  HybridChoice off_choice = ChooseEngine(*large, tg.graph->stats(), 1,
+                                         /*threshold_tasks=*/0.0,
+                                         /*traverser_bulking=*/false);
+  EXPECT_EQ(off_choice.engine, EngineKind::kBsp);
+  EXPECT_LT(measure(large, EngineKind::kBsp, false),
+            measure(large, EngineKind::kAsync, false));
+
+  // Bulking on: the duplicate frontier collapses into bulk carriers and
+  // async beats BSP on the very same plan — the chooser's boosted threshold
+  // must track the moved crossover. (BSP timings ignore the flag: its
+  // superstep path never bulks.)
+  HybridChoice on_choice = ChooseEngine(*large, tg.graph->stats(), 1);
+  EXPECT_EQ(on_choice.engine, EngineKind::kAsync);
+  EXPECT_LT(measure(large, EngineKind::kAsync, true),
+            measure(large, EngineKind::kBsp, true));
 }
 
 // ---- triangle counting -------------------------------------------------------

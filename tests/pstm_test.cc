@@ -98,6 +98,7 @@ TEST(TraverserTest, SerializeRoundTrip) {
   t.hop = 3;
   t.scope = 2;
   t.weight = 0xdeadbeefcafef00dULL;
+  t.bulk = 17;
   t.vars.push_back(Value(int64_t{42}));
   t.vars.push_back(Value("hello"));
   t.path = {1, 2, 3};
@@ -112,10 +113,26 @@ TEST(TraverserTest, SerializeRoundTrip) {
   EXPECT_EQ(back.hop, t.hop);
   EXPECT_EQ(back.scope, t.scope);
   EXPECT_EQ(back.weight, t.weight);
+  EXPECT_EQ(back.bulk, 17u);
   ASSERT_EQ(back.vars.size(), 2u);
   EXPECT_EQ(back.vars[0], Value(int64_t{42}));
   EXPECT_EQ(back.vars[1], Value("hello"));
   EXPECT_EQ(back.path, t.path);
+}
+
+TEST(TraverserTest, SerializeManyVarsRoundTrip) {
+  // The vars count is a u16 on the wire; >255 used to truncate as a raw u8.
+  Traverser t;
+  t.vertex = 5;
+  for (int i = 0; i < 300; ++i) t.vars.push_back(Value(int64_t{i}));
+  ByteWriter w;
+  t.Serialize(&w);
+  EXPECT_EQ(t.WireSize(), w.size());
+  ByteReader r(w.data(), w.size());
+  Traverser back = Traverser::Deserialize(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(back.vars.size(), 300u);
+  EXPECT_EQ(back.vars[299], Value(int64_t{299}));
 }
 
 TEST(TraverserTest, WireSizeMatchesSerialized) {

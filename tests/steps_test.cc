@@ -41,7 +41,10 @@ class MockStepContext : public StepContext {
     finished_scope = scope;
     finished += w;
   }
-  void EmitRow(Row row) override { rows.push_back(std::move(row)); }
+  void EmitRow(Row row, uint32_t count) override {
+    for (uint32_t i = 0; i < count; ++i) rows.push_back(row);
+  }
+  using StepContext::EmitRow;
   void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) override {
     collects.emplace_back(step_id, std::move(payload));
   }

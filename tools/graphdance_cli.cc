@@ -147,6 +147,8 @@ struct Shell {
           "  pagerank [iters]               PSTM-expressed PageRank, top 10\n"
           "  ic <1..14> / is <1..7>         run an LDBC interactive query (needs snb)\n"
           "  engine <async|bsp|shared>      switch execution engine\n"
+          "  bulking <on|off>               toggle traverser bulking (merge\n"
+          "                                 equivalent in-flight traversers)\n"
           "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
           "  stats                          dataset / cluster summary\n"
           "  metrics                        unified metrics of the last run\n"
@@ -190,6 +192,21 @@ struct Shell {
         return;
       }
       std::printf("engine = %s\n", EngineKindName(config.engine));
+      return;
+    }
+    if (cmd == "bulking") {
+      std::string which;
+      in >> which;
+      if (which == "on") {
+        config.traverser_bulking = true;
+      } else if (which == "off") {
+        config.traverser_bulking = false;
+      } else if (!which.empty()) {
+        std::printf("usage: bulking <on|off>\n");
+        return;
+      }
+      std::printf("traverser bulking = %s\n",
+                  config.traverser_bulking ? "on" : "off");
       return;
     }
     if (cmd == "cluster") {

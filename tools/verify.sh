@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full tier-1 verification matrix. Run from the repository root:
+#
+#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs)
+#   tools/verify.sh release    # just the release build + tests
+#
+# Stages:
+#   release — default (NDEBUG) build, full ctest suite
+#   asan    — -DSANITIZE=ON (AddressSanitizer + UBSan), full ctest suite
+#   debug   — -DCMAKE_BUILD_TYPE=Debug (asserts live), runs the death tests
+#   obs     — observability suite alone (ctest -L obs) in the release tree
+#
+# Each stage uses its own build directory (build/, build-asan/, build-debug/)
+# so they never clobber one another's caches.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+STAGES="${1:-all}"
+
+run_stage() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure + build ($dir) ===="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$STAGES" == "all" || "$STAGES" == "release" ]]; then
+  run_stage release build
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "asan" ]]; then
+  run_stage asan build-asan -DSANITIZE=ON
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "debug" ]]; then
+  run_stage debug build-debug -DCMAKE_BUILD_TYPE=Debug
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "obs" ]]; then
+  echo "==== [obs] ctest -L obs (release tree) ===="
+  ctest --test-dir build -L obs --output-on-failure -j "$JOBS"
+fi
+
+echo "==== verify: all requested stages passed ===="
