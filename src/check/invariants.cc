@@ -1,0 +1,429 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphdance::check {
+
+std::string Trip::ToString() const {
+  std::string s = "[" + checker + "] " + what + " (t=" + std::to_string(at);
+  if (query != 0) s += " query=" + std::to_string(query);
+  s += " scope=" + std::to_string(scope) + ")";
+  return s;
+}
+
+void InvariantChecker::ReportTrip(std::string what, SimTime at, uint64_t query,
+                                  uint32_t scope) {
+  harness_->Report(name(), std::move(what), at, query, scope);
+}
+
+const RunInfo& InvariantChecker::run() const { return harness_->info_; }
+
+void CheckHarness::Register(std::unique_ptr<InvariantChecker> checker) {
+  checker->harness_ = this;
+  checkers_.push_back(std::move(checker));
+}
+
+std::unique_ptr<CheckHarness> CheckHarness::WithAllCheckers() {
+  auto h = std::make_unique<CheckHarness>();
+  h->Register(MakeWeightConservationChecker());
+  h->Register(MakeMemoResidencyChecker());
+  h->Register(MakeRowLedgerChecker());
+  h->Register(MakeSeqWindowChecker());
+  h->Register(MakeClockChecker());
+  return h;
+}
+
+void CheckHarness::BeginRun(const RunInfo& info) {
+  info_ = info;
+  for (auto& c : checkers_) c->OnRunBegin(info);
+}
+
+void CheckHarness::Report(const char* checker, std::string what, SimTime at,
+                          uint64_t query, uint32_t scope) {
+  trip_count_++;
+  by_checker_[checker]++;
+  if (trips_.size() < kMaxStoredTrips) {
+    trips_.push_back(Trip{checker, std::move(what), at, query, scope});
+  }
+}
+
+std::string CheckHarness::Summary() const {
+  if (trip_count_ == 0) return "";
+  std::string s = std::to_string(trip_count_) + " invariant trip(s):\n";
+  for (const Trip& t : trips_) s += "  " + t.ToString() + "\n";
+  if (trip_count_ > trips_.size()) {
+    s += "  ... " + std::to_string(trip_count_ - trips_.size()) +
+         " further trip(s) not stored\n";
+  }
+  return s;
+}
+
+namespace {
+
+// ---- weight conservation ----------------------------------------------------
+
+class WeightConservationChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "weight-conservation"; }
+
+  void OnRunBegin(const RunInfo&) override {
+    live_.clear();
+    done_.clear();
+  }
+
+  void OnWeightSplit(uint64_t q, uint32_t /*a*/, uint32_t s, Weight parent,
+                     const Weight* shares, size_t n, SimTime at) override {
+    Weight sum = 0;
+    for (size_t i = 0; i < n; ++i) sum += shares[i];
+    if (sum != parent) {
+      ReportTrip("weight split does not conserve: sum(shares)=" +
+                     std::to_string(sum) + " != parent=" + std::to_string(parent),
+                 at, q, s);
+    }
+  }
+
+  void OnWeightMerge(uint64_t q, uint32_t /*a*/, uint32_t s, Weight before,
+                     Weight added, Weight after, SimTime at) override {
+    if (after != before + added) {  // wrapping add: exact in Z_2^64
+      ReportTrip("weight merge lost mass: " + std::to_string(before) + " + " +
+                     std::to_string(added) + " -> " + std::to_string(after),
+                 at, q, s);
+    }
+  }
+
+  void OnTaskWeight(uint64_t q, uint32_t /*a*/, uint32_t s, Weight in,
+                    Weight emitted, Weight finished, SimTime at) override {
+    if (in != emitted + finished) {
+      ReportTrip("task did not conserve its weight: in=" + std::to_string(in) +
+                     " emitted=" + std::to_string(emitted) +
+                     " finished=" + std::to_string(finished),
+                 at, q, s);
+    }
+  }
+
+  void OnWeightFinish(uint64_t q, uint32_t a, uint32_t s, Weight w,
+                      SimTime /*at*/) override {
+    if (done_.count(q) != 0) return;
+    Scope(q, a, s).finished += w;
+  }
+
+  void OnWeightAccumulate(uint64_t q, uint32_t a, uint32_t s, Weight w,
+                          Weight acc_after, SimTime at) override {
+    if (done_.count(q) != 0) return;
+    ScopeLedger& led = Scope(q, a, s);
+    led.accumulated += w;
+    if (led.accumulated != acc_after) {
+      // The coordinator's accumulator and our independent mirror disagree:
+      // some accumulate bypassed the hook or the accumulator was corrupted.
+      ReportTrip("coordinator accumulator diverged from mirror: acc=" +
+                     std::to_string(acc_after) +
+                     " mirror=" + std::to_string(led.accumulated),
+                 at, q, s);
+      led.accumulated = acc_after;  // resync: report each corruption once
+    }
+  }
+
+  void OnLateWeight(uint64_t q, uint32_t s, Weight w, bool after_done,
+                    SimTime at) override {
+    if (run().fault_active) return;  // legal residue of retries / fencing
+    if (after_done) {
+      // Weight trailing a completed query is expected only when completion
+      // abandoned outstanding weight (early cancel / timeout / failure).
+      auto it = done_.find(q);
+      if (it != done_.end() && !it->second) {
+        ReportTrip("weight arrived after normal completion (w=" +
+                       std::to_string(w) + ")",
+                   at, q, s);
+      }
+      return;
+    }
+    ReportTrip("weight report for an already-closed scope (w=" +
+                   std::to_string(w) + ")",
+               at, q, s);
+  }
+
+  void OnScopeClose(uint64_t q, uint32_t a, uint32_t s, Weight acc,
+                    SimTime at) override {
+    if (done_.count(q) != 0) return;
+    if (acc != kUnitWeight) {
+      ReportTrip("scope closed at acc=" + std::to_string(acc) +
+                     " != kUnitWeight",
+                 at, q, s);
+    }
+    ScopeLedger& led = Scope(q, a, s);
+    if (led.accumulated != kUnitWeight) {
+      ReportTrip("mirror accumulator closed at " +
+                     std::to_string(led.accumulated) + " != kUnitWeight",
+                 at, q, s);
+    }
+    if (!run().fault_active && led.finished != kUnitWeight) {
+      // Fault-free, every Finish for this scope was flushed and delivered
+      // before the accumulator could reach unity, so the finished mass must
+      // be exactly the unit too. (Under faults, fenced stale reports make
+      // the sum of *observed* finishes unreliable.)
+      ReportTrip("finished mass at close is " + std::to_string(led.finished) +
+                     " != kUnitWeight",
+                 at, q, s);
+    }
+    led.closed = true;
+  }
+
+  void OnAttemptAbort(uint64_t q, uint32_t /*new_attempt*/, SimTime /*at*/) override {
+    // The abort fences everything in flight; the retry starts a fresh ledger.
+    live_.erase(q);
+  }
+
+  void OnQueryComplete(const QueryProbe& q, SimTime at) override {
+    bool exempt = q.failed || q.timed_out || q.early_cancel;
+    if (!exempt) {
+      auto it = live_.find(q.id);
+      if (it != live_.end()) {
+        for (const auto& [scope, led] : it->second.scopes) {
+          if (!led.closed && led.accumulated != 0) {
+            ReportTrip("query completed with a partially accumulated open "
+                       "scope (acc mirror=" +
+                           std::to_string(led.accumulated) + ")",
+                       at, q.id, scope);
+          }
+        }
+      }
+    }
+    live_.erase(q.id);
+    done_[q.id] = exempt;
+  }
+
+  void OnQuiescence(const ClusterProbe& p, SimTime at, bool drained) override {
+    if (!drained) return;
+    if (!run().fault_active) {
+      // Fault-free, a drained queue with an unfinished query means its
+      // weight evaporated without any message loss to blame.
+      p.ProbeQueries([&](const QueryProbe& q) {
+        if (!q.done) {
+          ReportTrip("queue drained with unfinished query (lost weight)", at,
+                     q.id, 0);
+        }
+      });
+    }
+    // Flush-before-sleep: at a true drain every worker went idle and flushed,
+    // and crashed workers had their cells wiped — any residue is a leak.
+    p.ProbePendingWeights([&](uint32_t worker, uint64_t query, uint32_t scope,
+                              Weight w) {
+      ReportTrip("stranded coalesced weight at worker " +
+                     std::to_string(worker) + " (w=" + std::to_string(w) + ")",
+                 at, query, scope);
+    });
+  }
+
+ private:
+  struct ScopeLedger {
+    Weight accumulated = 0;  // mirror of the coordinator's acc
+    Weight finished = 0;     // sum of observed Finish() mass
+    bool closed = false;
+  };
+  struct QueryLedger {
+    uint32_t attempt = 0;
+    std::map<uint32_t, ScopeLedger> scopes;
+  };
+
+  ScopeLedger& Scope(uint64_t q, uint32_t attempt, uint32_t scope) {
+    QueryLedger& led = live_[q];
+    if (led.attempt != attempt) {
+      // Defensive: hooks are attempt-fenced at the call sites, so a mismatch
+      // only appears if an abort hook was missed. Reset rather than mixing
+      // two attempts' mass.
+      led.attempt = attempt;
+      led.scopes.clear();
+    }
+    return led.scopes[scope];
+  }
+
+  std::map<uint64_t, QueryLedger> live_;
+  std::map<uint64_t, bool> done_;  // query -> exempt from strict checks
+};
+
+// ---- memo residency ---------------------------------------------------------
+
+class MemoResidencyChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "memo-residency"; }
+
+  void OnQuiescence(const ClusterProbe& p, SimTime at, bool drained) override {
+    if (!drained) return;  // control fences may still be in flight mid-run
+    std::unordered_map<uint64_t, bool> done;  // query -> done
+    p.ProbeQueries([&](const QueryProbe& q) { done[q.id] = q.done; });
+    p.ProbeMemos([&](uint32_t partition, uint64_t query, uint32_t step) {
+      auto it = done.find(query);
+      if (it == done.end()) {
+        ReportTrip("memo owned by unknown query (partition " +
+                       std::to_string(partition) + ", step " +
+                       std::to_string(step) + ")",
+                   at, query, 0);
+      } else if (it->second) {
+        ReportTrip("memo outlives completed query (partition " +
+                       std::to_string(partition) + ", step " +
+                       std::to_string(step) + ")",
+                   at, query, 0);
+      }
+    });
+  }
+};
+
+// ---- row-ledger symmetry ----------------------------------------------------
+
+class RowLedgerChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "row-ledger"; }
+
+  void OnQueryComplete(const QueryProbe& q, SimTime at) override {
+    // The ledgers are only maintained when faults are active, and a query
+    // that failed / timed out / cancelled early legitimately abandons
+    // announced rows.
+    if (!run().fault_active) return;
+    if (q.failed || q.timed_out || q.early_cancel) return;
+    if (q.rows_received != q.rows_expected) {
+      ReportTrip("row ledgers asymmetric at completion: received=" +
+                     std::to_string(q.rows_received) +
+                     " expected=" + std::to_string(q.rows_expected),
+                 at, q.id, 0);
+    }
+  }
+};
+
+// ---- seq-window monotonicity ------------------------------------------------
+
+class SeqWindowChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "seq-window"; }
+
+  void OnRunBegin(const RunInfo&) override { pairs_.clear(); }
+
+  void OnSeqAssign(uint32_t src, uint32_t dst, uint64_t seq) override {
+    PairState& p = pairs_[Key(src, dst)];
+    if (seq <= p.last_assigned) {
+      ReportTrip("send seq not strictly increasing on pair " +
+                     std::to_string(src) + "->" + std::to_string(dst) + ": " +
+                     std::to_string(seq) + " after " +
+                     std::to_string(p.last_assigned),
+                 0, 0, 0);
+    }
+    p.last_assigned = seq;
+  }
+
+  void OnSeqDeliver(uint32_t src, uint32_t dst, uint64_t seq, bool accepted,
+                    uint64_t low, uint64_t max_seen) override {
+    PairState& p = pairs_[Key(src, dst)];
+    if (low < p.last_low) {
+      ReportTrip("dedup low-water mark regressed on pair " +
+                     std::to_string(src) + "->" + std::to_string(dst),
+                 0, 0, 0);
+    }
+    if (max_seen < low) {
+      ReportTrip("dedup window inverted (max_seen < low) on pair " +
+                     std::to_string(src) + "->" + std::to_string(dst),
+                 0, 0, 0);
+    }
+    if (accepted) {
+      // Independent dedup oracle: remember every accepted seq still above
+      // the window's low-water mark; accepting one twice means a duplicate
+      // slipped through.
+      if (!p.accepted.insert(seq).second) {
+        ReportTrip("seq " + std::to_string(seq) +
+                       " accepted twice on pair " + std::to_string(src) +
+                       "->" + std::to_string(dst),
+                   0, 0, 0);
+      }
+    }
+    if (low > p.last_low) {
+      // Seqs at or below low can never be accepted again (Insert rejects
+      // them), so the mirror set stays bounded like the window itself.
+      p.accepted.erase(p.accepted.begin(), p.accepted.upper_bound(low));
+    }
+    p.last_low = low;
+  }
+
+ private:
+  static uint64_t Key(uint32_t src, uint32_t dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+  struct PairState {
+    uint64_t last_assigned = 0;
+    uint64_t last_low = 0;
+    std::set<uint64_t> accepted;
+  };
+  std::unordered_map<uint64_t, PairState> pairs_;
+};
+
+// ---- virtual-clock monotonicity ---------------------------------------------
+
+class ClockChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "clock"; }
+
+  void OnRunBegin(const RunInfo&) override {
+    last_now_ = 0;
+    events_ = 0;
+    worker_clocks_.clear();
+  }
+
+  void OnEventBoundary(const ClusterProbe& p, SimTime now) override {
+    if (now < last_now_) {
+      ReportTrip("event-queue clock ran backwards: " + std::to_string(now) +
+                     " after " + std::to_string(last_now_),
+                 now, 0, 0);
+    }
+    last_now_ = now;
+    // Worker clocks only ever advance; sweep them periodically (every event
+    // would be quadratic in cluster size for no extra coverage).
+    if ((++events_ & 63) == 0) SweepWorkers(p, now);
+  }
+
+  void OnQuiescence(const ClusterProbe& p, SimTime at, bool) override {
+    if (at < last_now_) {
+      ReportTrip("quiescent time precedes the last event boundary", at, 0, 0);
+    }
+    SweepWorkers(p, at);
+  }
+
+ private:
+  void SweepWorkers(const ClusterProbe& p, SimTime at) {
+    uint32_t n = p.ProbeNumWorkers();
+    if (worker_clocks_.size() < n) worker_clocks_.resize(n, 0);
+    for (uint32_t w = 0; w < n; ++w) {
+      SimTime t = p.ProbeWorkerClock(w);
+      if (t < worker_clocks_[w]) {
+        ReportTrip("worker " + std::to_string(w) + " clock ran backwards: " +
+                       std::to_string(t) + " after " +
+                       std::to_string(worker_clocks_[w]),
+                   at, 0, 0);
+      }
+      worker_clocks_[w] = t;
+    }
+  }
+
+  SimTime last_now_ = 0;
+  uint64_t events_ = 0;
+  std::vector<SimTime> worker_clocks_;
+};
+
+}  // namespace
+
+std::unique_ptr<InvariantChecker> MakeWeightConservationChecker() {
+  return std::make_unique<WeightConservationChecker>();
+}
+std::unique_ptr<InvariantChecker> MakeMemoResidencyChecker() {
+  return std::make_unique<MemoResidencyChecker>();
+}
+std::unique_ptr<InvariantChecker> MakeRowLedgerChecker() {
+  return std::make_unique<RowLedgerChecker>();
+}
+std::unique_ptr<InvariantChecker> MakeSeqWindowChecker() {
+  return std::make_unique<SeqWindowChecker>();
+}
+std::unique_ptr<InvariantChecker> MakeClockChecker() {
+  return std::make_unique<ClockChecker>();
+}
+
+}  // namespace graphdance::check

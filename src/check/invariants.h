@@ -1,0 +1,267 @@
+#ifndef GRAPHDANCE_CHECK_INVARIANTS_H_
+#define GRAPHDANCE_CHECK_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pstm/weight.h"
+#include "sim/event_queue.h"
+
+namespace graphdance::check {
+
+/// One invariant violation. Trips are recorded (bounded) and counted
+/// (unbounded) by the harness; a single trip means the run found a real
+/// schedule-dependent bug, so tests assert trip_count() == 0.
+struct Trip {
+  std::string checker;
+  std::string what;
+  SimTime at = 0;
+  uint64_t query = 0;
+  uint32_t scope = 0;
+
+  std::string ToString() const;
+};
+
+/// A point-in-time view of one query's externally observable state.
+struct QueryProbe {
+  uint64_t id = 0;
+  uint32_t attempt = 0;
+  bool done = false;
+  bool failed = false;
+  bool timed_out = false;
+  /// The result limit was reached and the remaining traversal was cancelled
+  /// with its weight deliberately unclaimed; weight/row invariants that
+  /// assume a full run are vacuous for such queries.
+  bool early_cancel = false;
+  uint64_t rows_expected = 0;
+  uint64_t rows_received = 0;
+  uint64_t row_count = 0;
+};
+
+/// Read-only introspection surface the cluster exposes to checkers.
+/// Everything is pure observation — probing never charges virtual time or
+/// schedules events — and every sweep enumerates in a sorted, deterministic
+/// order so trip output is reproducible run-to-run.
+class ClusterProbe {
+ public:
+  virtual ~ClusterProbe() = default;
+
+  virtual uint32_t ProbeNumWorkers() const = 0;
+  virtual SimTime ProbeWorkerClock(uint32_t worker) const = 0;
+  virtual bool ProbeWorkerCrashed(uint32_t worker) const = 0;
+  /// Every submitted query, ascending id.
+  virtual void ProbeQueries(
+      const std::function<void(const QueryProbe&)>& fn) const = 0;
+  /// Every live memorandum as (partition, owning query, step), sorted.
+  virtual void ProbeMemos(const std::function<void(
+      uint32_t partition, uint64_t query, uint32_t step)>& fn) const = 0;
+  /// Every nonzero coalesced-but-unflushed weight cell, sorted.
+  virtual void ProbePendingWeights(
+      const std::function<void(uint32_t worker, uint64_t query, uint32_t scope,
+                               Weight w)>& fn) const = 0;
+};
+
+/// Static facts about the run, published once at attach time.
+struct RunInfo {
+  bool fault_active = false;    // any fault source configured
+  bool recovery_active = false; // fault_active && fault_recovery
+  uint32_t total_workers = 0;
+};
+
+class CheckHarness;
+
+/// Interface evaluated at event boundaries, weight-lifecycle sites and
+/// quiescence inside SimCluster. Every hook defaults to a no-op, so a
+/// checker only pays for what it watches; with no harness attached the
+/// cluster skips the calls entirely (a single null check per site).
+///
+/// Hook vocabulary (all times are virtual ns):
+///  - weight lifecycle: a scope's unit weight is split at creation
+///    (OnWeightSplit), conserved through every task (OnTaskWeight), finished
+///    at the workers (OnWeightFinish), coalesced per worker (OnWeightMerge),
+///    accumulated at the coordinator (OnWeightAccumulate) and closed when
+///    the accumulator reaches kUnitWeight (OnScopeClose).
+///  - recovery: OnAttemptAbort fences an attempt; OnLateWeight flags weight
+///    arriving for a finished query or an already-closed scope.
+///  - transport: OnSeqAssign / OnSeqDeliver mirror the per-pair sequence
+///    numbers the duplicate-suppression window sees.
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+  virtual const char* name() const = 0;
+
+  virtual void OnRunBegin(const RunInfo&) {}
+  virtual void OnEventBoundary(const ClusterProbe&, SimTime) {}
+  /// `drained` — the event queue is empty (true quiescence, not an event
+  /// budget stop); global sweeps are only sound then.
+  virtual void OnQuiescence(const ClusterProbe&, SimTime, bool /*drained*/) {}
+
+  virtual void OnWeightSplit(uint64_t /*query*/, uint32_t /*attempt*/,
+                             uint32_t /*scope*/, Weight /*parent*/,
+                             const Weight* /*shares*/, size_t /*n*/,
+                             SimTime /*at*/) {}
+  virtual void OnWeightMerge(uint64_t /*query*/, uint32_t /*attempt*/,
+                             uint32_t /*scope*/, Weight /*before*/,
+                             Weight /*added*/, Weight /*after*/,
+                             SimTime /*at*/) {}
+  virtual void OnTaskWeight(uint64_t /*query*/, uint32_t /*attempt*/,
+                            uint32_t /*scope*/, Weight /*in*/,
+                            Weight /*emitted*/, Weight /*finished*/,
+                            SimTime /*at*/) {}
+  virtual void OnWeightFinish(uint64_t /*query*/, uint32_t /*attempt*/,
+                              uint32_t /*scope*/, Weight /*w*/, SimTime /*at*/) {}
+  virtual void OnWeightAccumulate(uint64_t /*query*/, uint32_t /*attempt*/,
+                                  uint32_t /*scope*/, Weight /*w*/,
+                                  Weight /*acc_after*/, SimTime /*at*/) {}
+  virtual void OnLateWeight(uint64_t /*query*/, uint32_t /*scope*/, Weight /*w*/,
+                            bool /*after_done*/, SimTime /*at*/) {}
+  virtual void OnScopeClose(uint64_t /*query*/, uint32_t /*attempt*/,
+                            uint32_t /*scope*/, Weight /*acc*/, SimTime /*at*/) {}
+  virtual void OnAttemptAbort(uint64_t /*query*/, uint32_t /*new_attempt*/,
+                              SimTime /*at*/) {}
+  virtual void OnQueryComplete(const QueryProbe& /*q*/, SimTime /*at*/) {}
+
+  virtual void OnSeqAssign(uint32_t /*src*/, uint32_t /*dst*/, uint64_t /*seq*/) {}
+  virtual void OnSeqDeliver(uint32_t /*src*/, uint32_t /*dst*/, uint64_t /*seq*/,
+                            bool /*accepted*/, uint64_t /*low*/,
+                            uint64_t /*max_seen*/) {}
+
+ protected:
+  void ReportTrip(std::string what, SimTime at, uint64_t query = 0,
+                  uint32_t scope = 0);
+  const RunInfo& run() const;
+
+ private:
+  friend class CheckHarness;
+  CheckHarness* harness_ = nullptr;
+};
+
+/// Owns a set of checkers and fans every cluster hook out to them. One
+/// harness observes one cluster at a time (BeginRun resets per-run state).
+/// Also hosts the mutation hook used by the checker's own smoke test: the
+/// nth coalescing weight merge is corrupted by +1, which a live weight-
+/// conservation checker must catch (guards against a vacuously green
+/// checker).
+class CheckHarness {
+ public:
+  /// Stored-trip cap; trip_count() keeps counting past it so a pathological
+  /// run cannot OOM the harness.
+  static constexpr size_t kMaxStoredTrips = 1024;
+
+  void Register(std::unique_ptr<InvariantChecker> checker);
+  /// A harness with every built-in checker registered.
+  static std::unique_ptr<CheckHarness> WithAllCheckers();
+
+  void BeginRun(const RunInfo& info);
+
+  // --- fan-out (called by SimCluster; hot paths are simple loops) ---
+  void OnEventBoundary(const ClusterProbe& p, SimTime at) {
+    for (auto& c : checkers_) c->OnEventBoundary(p, at);
+  }
+  void OnQuiescence(const ClusterProbe& p, SimTime at, bool drained) {
+    for (auto& c : checkers_) c->OnQuiescence(p, at, drained);
+  }
+  void OnWeightSplit(uint64_t q, uint32_t a, uint32_t s, Weight parent,
+                     const Weight* shares, size_t n, SimTime at) {
+    for (auto& c : checkers_) c->OnWeightSplit(q, a, s, parent, shares, n, at);
+  }
+  void OnWeightMerge(uint64_t q, uint32_t a, uint32_t s, Weight before,
+                     Weight added, Weight after, SimTime at) {
+    for (auto& c : checkers_) c->OnWeightMerge(q, a, s, before, added, after, at);
+  }
+  void OnTaskWeight(uint64_t q, uint32_t a, uint32_t s, Weight in,
+                    Weight emitted, Weight finished, SimTime at) {
+    for (auto& c : checkers_) c->OnTaskWeight(q, a, s, in, emitted, finished, at);
+  }
+  void OnWeightFinish(uint64_t q, uint32_t a, uint32_t s, Weight w, SimTime at) {
+    for (auto& c : checkers_) c->OnWeightFinish(q, a, s, w, at);
+  }
+  void OnWeightAccumulate(uint64_t q, uint32_t a, uint32_t s, Weight w,
+                          Weight acc_after, SimTime at) {
+    for (auto& c : checkers_) c->OnWeightAccumulate(q, a, s, w, acc_after, at);
+  }
+  void OnLateWeight(uint64_t q, uint32_t s, Weight w, bool after_done,
+                    SimTime at) {
+    for (auto& c : checkers_) c->OnLateWeight(q, s, w, after_done, at);
+  }
+  void OnScopeClose(uint64_t q, uint32_t a, uint32_t s, Weight acc, SimTime at) {
+    for (auto& c : checkers_) c->OnScopeClose(q, a, s, acc, at);
+  }
+  void OnAttemptAbort(uint64_t q, uint32_t new_attempt, SimTime at) {
+    for (auto& c : checkers_) c->OnAttemptAbort(q, new_attempt, at);
+  }
+  void OnQueryComplete(const QueryProbe& q, SimTime at) {
+    for (auto& c : checkers_) c->OnQueryComplete(q, at);
+  }
+  void OnSeqAssign(uint32_t src, uint32_t dst, uint64_t seq) {
+    for (auto& c : checkers_) c->OnSeqAssign(src, dst, seq);
+  }
+  void OnSeqDeliver(uint32_t src, uint32_t dst, uint64_t seq, bool accepted,
+                    uint64_t low, uint64_t max_seen) {
+    for (auto& c : checkers_) c->OnSeqDeliver(src, dst, seq, accepted, low, max_seen);
+  }
+
+  // --- mutation hook (test-only; see class comment) ---
+  void CorruptNthWeightMerge(uint64_t nth) { corrupt_nth_merge_ = nth; }
+  void MaybeCorruptWeightCell(Weight* cell) {
+    if (corrupt_nth_merge_ != 0 && ++merge_counter_ == corrupt_nth_merge_) {
+      *cell += 1;
+    }
+  }
+
+  // --- results ---
+  const std::vector<Trip>& trips() const { return trips_; }
+  uint64_t trip_count() const { return trip_count_; }
+  const std::map<std::string, uint64_t>& TripsByChecker() const {
+    return by_checker_;
+  }
+  /// Multi-line human-readable report ("" when clean).
+  std::string Summary() const;
+
+ private:
+  friend class InvariantChecker;
+  void Report(const char* checker, std::string what, SimTime at,
+              uint64_t query, uint32_t scope);
+
+  std::vector<std::unique_ptr<InvariantChecker>> checkers_;
+  RunInfo info_;
+  std::vector<Trip> trips_;
+  uint64_t trip_count_ = 0;
+  std::map<std::string, uint64_t> by_checker_;
+  uint64_t corrupt_nth_merge_ = 0;
+  uint64_t merge_counter_ = 0;
+};
+
+// --- built-in checkers -------------------------------------------------------
+
+/// Z_2^64 weight conservation (paper §III-B Theorem 1): every split preserves
+/// its parent, every coalescing merge adds exactly what was finished, every
+/// task's input weight equals its emissions plus finishes, and the
+/// coordinator's accumulator closes each scope at exactly kUnitWeight.
+std::unique_ptr<InvariantChecker> MakeWeightConservationChecker();
+
+/// Memoranda lifetime: at (drained) quiescence no memo survives a completed
+/// or aborted query, and none belongs to an unknown query.
+std::unique_ptr<InvariantChecker> MakeMemoResidencyChecker();
+
+/// Row-ledger symmetry under faults: a normally completed query's
+/// rows_received must equal rows_expected.
+std::unique_ptr<InvariantChecker> MakeRowLedgerChecker();
+
+/// Per-pair sequence numbers: send-side strictly increasing; receive-side
+/// low-water mark monotone and no seq accepted twice (an independent oracle
+/// for the duplicate-suppression window).
+std::unique_ptr<InvariantChecker> MakeSeqWindowChecker();
+
+/// Virtual clocks never run backwards: the event queue's now() and every
+/// worker-local clock are monotone non-decreasing.
+std::unique_ptr<InvariantChecker> MakeClockChecker();
+
+}  // namespace graphdance::check
+
+#endif  // GRAPHDANCE_CHECK_INVARIANTS_H_

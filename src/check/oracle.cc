@@ -1,0 +1,432 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/invariants.h"
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/hybrid.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace check {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Round-trippable double formatting for replay tokens.
+std::string G17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+ClusterConfig CellConfig(const ReplaySpec& spec, const DifferentialOptions& opt,
+                         EngineKind engine) {
+  ClusterConfig cfg;
+  cfg.num_nodes = opt.num_nodes;
+  cfg.workers_per_node = opt.workers_per_node;
+  cfg.engine = engine;
+  cfg.traverser_bulking = opt.traverser_bulking;
+  // Oracle queries finish in well under a virtual millisecond; a short
+  // silence window keeps faulted retry chains fast without firing spuriously.
+  cfg.progress_timeout_ns = 20'000'000;
+  cfg.fault = spec.fault;
+  cfg.explore.tiebreak_seed = spec.tiebreak_seed;
+  cfg.explore.jitter_ns = spec.jitter_ns;
+  return cfg;
+}
+
+/// Runs `plan_indices` of the workload on one cluster and diffs each query
+/// against the reference multiset. Infrastructure errors (empty workload)
+/// surface as Status; behavioural failures (trips, mismatches, a run that
+/// ends in kInternal) are recorded in `report` — they are exactly what the
+/// oracle exists to catch, and what the shrinker's predicate replays.
+Status RunGroup(const WorkloadInstance& wl,
+                const std::vector<size_t>& plan_indices, EngineKind engine,
+                const ReplaySpec& spec,
+                const std::vector<std::vector<Row>>& reference,
+                const DifferentialOptions& opt, CellReport* report) {
+  if (plan_indices.empty()) return Status::OK();
+  ClusterConfig cfg = CellConfig(spec, opt, engine);
+  SimCluster cluster(cfg, wl.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  if (opt.corrupt_nth_merge != 0) {
+    harness->CorruptNthWeightMerge(opt.corrupt_nth_merge);
+  }
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (size_t idx : plan_indices) {
+    ids.push_back(cluster.Submit(wl.plans[idx], /*at=*/0));
+  }
+  Status s = cluster.RunToCompletion(opt.max_events);
+  if (!s.ok()) {
+    report->mismatches++;
+    if (report->detail.empty()) report->detail = "run: " + s.ToString();
+  }
+  report->trips += harness->trip_count();
+  if (harness->trip_count() > 0 && report->detail.empty()) {
+    report->detail = harness->trips().front().ToString();
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    report->queries++;
+    const QueryResult& r = cluster.result(ids[i]);
+    if (!r.done || r.failed || r.timed_out) {
+      report->explicit_failures++;  // explicit, never silent: legal
+      continue;
+    }
+    std::vector<Row> got = CanonicalRows(r.rows);
+    if (got != reference[plan_indices[i]]) {
+      report->mismatches++;
+      if (report->detail.empty()) {
+        report->detail = "plan " + U64(plan_indices[i]) + ": got " +
+                         U64(got.size()) + " rows, reference " +
+                         U64(reference[plan_indices[i]].size());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---- replay-token parsing helpers --------------------------------------------
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseScriptItem(const std::string& item, FaultEvent* ev) {
+  if (item.size() < 2) return false;
+  std::vector<std::string> parts = SplitOn(item.substr(1), ':');
+  uint64_t a = 0, b = 0, c = 0;
+  switch (item[0]) {
+    case 'D':
+      if (parts.size() != 1 || !ParseU64(parts[0], &a)) return false;
+      ev->kind = FaultKind::kDropNthRemote;
+      ev->nth = a;
+      return true;
+    case 'U':
+      if (parts.size() != 1 || !ParseU64(parts[0], &a)) return false;
+      ev->kind = FaultKind::kDuplicateNthRemote;
+      ev->nth = a;
+      return true;
+    case 'L':
+      if (parts.size() != 2 || !ParseU64(parts[0], &a) ||
+          !ParseU64(parts[1], &b)) {
+        return false;
+      }
+      ev->kind = FaultKind::kDelayNthRemote;
+      ev->nth = a;
+      ev->extra_delay_ns = b;
+      return true;
+    case 'C':
+      if (parts.size() != 3 || !ParseU64(parts[0], &a) ||
+          !ParseU64(parts[1], &b) || !ParseU64(parts[2], &c)) {
+        return false;
+      }
+      ev->kind = FaultKind::kCrashWorker;
+      ev->worker = static_cast<uint32_t>(a);
+      ev->at = b;
+      ev->duration_ns = c;
+      return true;
+    case 'G': {
+      double f = 1.0;
+      if (parts.size() != 3 || !ParseU64(parts[0], &a) ||
+          !ParseU64(parts[1], &b) || !ParseF64(parts[2], &f)) {
+        return false;
+      }
+      ev->kind = FaultKind::kDegradeLink;
+      ev->at = a;
+      ev->duration_ns = b;
+      ev->factor = f;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::string FormatScriptItem(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kDropNthRemote:
+      return "D" + U64(ev.nth);
+    case FaultKind::kDuplicateNthRemote:
+      return "U" + U64(ev.nth);
+    case FaultKind::kDelayNthRemote:
+      return "L" + U64(ev.nth) + ":" + U64(ev.extra_delay_ns);
+    case FaultKind::kCrashWorker:
+      return "C" + U64(ev.worker) + ":" + U64(ev.at) + ":" +
+             U64(ev.duration_ns);
+    case FaultKind::kDegradeLink:
+      return "G" + U64(ev.at) + ":" + U64(ev.duration_ns) + ":" +
+             G17(ev.factor);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<Row> CanonicalRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), RowLess);
+  return rows;
+}
+
+WorkloadFactory MakeDefaultCheckWorkload() {
+  return [](uint32_t num_partitions) {
+    WorkloadInstance wl;
+    auto schema = std::make_shared<Schema>();
+    PowerLawGraphOptions opt;
+    opt.num_vertices = 1024;
+    opt.num_edges = 8192;
+    opt.seed = 11;
+    opt.weight_range = 10'000;
+    auto graph = GeneratePowerLawGraph(opt, schema, num_partitions);
+    if (!graph.ok()) return wl;  // empty instance: callers see zero plans
+    wl.graph = graph.TakeValue();
+    PropKeyId weight = schema->PropKey("weight");
+    auto topk = [&](VertexId start, uint16_t k, size_t limit) {
+      auto plan =
+          Traversal(wl.graph)
+              .V({start})
+              .RepeatOut("link", k, /*dedup=*/true)
+              .Project({Operand::VertexIdOp(), Operand::Property(weight)})
+              .OrderByLimit({{1, false}, {0, true}}, limit)
+              .Build();
+      if (plan.ok()) wl.plans.push_back(plan.TakeValue());
+    };
+    auto count = [&](VertexId start, uint16_t k) {
+      auto plan = Traversal(wl.graph)
+                      .V({start})
+                      .RepeatOut("link", k, /*dedup=*/true)
+                      .Count()
+                      .Build();
+      if (plan.ok()) wl.plans.push_back(plan.TakeValue());
+    };
+    topk(1, 3, 10);
+    topk(17, 3, 5);
+    count(5, 2);
+    count(42, 3);
+    topk(99, 2, 10);
+    return wl;
+  };
+}
+
+std::string FormatReplayToken(const ReplaySpec& spec) {
+  std::string out = "gdchk1;mode=" + spec.mode +
+                    ";seed=" + U64(spec.tiebreak_seed) +
+                    ";jitter=" + U64(spec.jitter_ns) +
+                    ";fseed=" + U64(spec.fault.seed) +
+                    ";drop=" + G17(spec.fault.drop_prob) +
+                    ";dup=" + G17(spec.fault.dup_prob) +
+                    ";delayp=" + G17(spec.fault.delay_prob) +
+                    ";delayns=" + U64(spec.fault.delay_ns);
+  if (!spec.fault.scripted.empty()) {
+    out += ";script=";
+    for (size_t i = 0; i < spec.fault.scripted.size(); ++i) {
+      if (i > 0) out += "|";
+      out += FormatScriptItem(spec.fault.scripted[i]);
+    }
+  }
+  return out;
+}
+
+Result<ReplaySpec> ParseReplayToken(const std::string& token) {
+  std::vector<std::string> fields = SplitOn(token, ';');
+  if (fields.empty() || fields[0] != "gdchk1") {
+    return Status::InvalidArgument("replay token must start with gdchk1");
+  }
+  ReplaySpec spec;
+  for (size_t i = 1; i < fields.size(); ++i) {
+    size_t eq = fields[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed token field: " + fields[i]);
+    }
+    std::string key = fields[i].substr(0, eq);
+    std::string val = fields[i].substr(eq + 1);
+    bool ok = true;
+    if (key == "mode") {
+      spec.mode = val;
+      ok = val == "async" || val == "bsp" || val == "hybrid";
+    } else if (key == "seed") {
+      ok = ParseU64(val, &spec.tiebreak_seed);
+    } else if (key == "jitter") {
+      ok = ParseU64(val, &spec.jitter_ns);
+    } else if (key == "fseed") {
+      ok = ParseU64(val, &spec.fault.seed);
+    } else if (key == "drop") {
+      ok = ParseF64(val, &spec.fault.drop_prob);
+    } else if (key == "dup") {
+      ok = ParseF64(val, &spec.fault.dup_prob);
+    } else if (key == "delayp") {
+      ok = ParseF64(val, &spec.fault.delay_prob);
+    } else if (key == "delayns") {
+      ok = ParseU64(val, &spec.fault.delay_ns);
+    } else if (key == "script") {
+      for (const std::string& item : SplitOn(val, '|')) {
+        FaultEvent ev;
+        if (!ParseScriptItem(item, &ev)) {
+          return Status::InvalidArgument("malformed script item: " + item);
+        }
+        spec.fault.scripted.push_back(ev);
+      }
+    } else {
+      return Status::InvalidArgument("unknown token key: " + key);
+    }
+    if (!ok) {
+      return Status::InvalidArgument("malformed token value: " + fields[i]);
+    }
+  }
+  return spec;
+}
+
+std::string DifferentialReport::Summary() const {
+  std::string out = "cells=" + U64(cells) + " queries=" + U64(queries) +
+                    " trips=" + U64(trips) + " mismatches=" + U64(mismatches) +
+                    " explicit_failures=" + U64(explicit_failures) +
+                    " failing_cells=" + U64(failures.size());
+  for (size_t i = 0; i < failures.size() && i < 4; ++i) {
+    out += "\n  FAIL " + failures[i].what + "\n    replay: " +
+           failures[i].token;
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<Row>>> ComputeReference(
+    const WorkloadFactory& factory, uint64_t max_events) {
+  WorkloadInstance wl = factory(1);
+  if (wl.graph == nullptr || wl.plans.empty()) {
+    return Status::Internal("workload factory produced no plans");
+  }
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 1;
+  cfg.engine = EngineKind::kAsync;
+  SimCluster cluster(cfg, wl.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : wl.plans) ids.push_back(cluster.Submit(p, /*at=*/0));
+  Status s = cluster.RunToCompletion(max_events);
+  if (!s.ok()) return s;
+  if (harness->trip_count() > 0) {
+    return Status::Internal("invariant trip in the reference run: " +
+                            harness->trips().front().ToString());
+  }
+  std::vector<std::vector<Row>> out;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    if (!r.done || r.failed || r.timed_out) {
+      return Status::Internal("reference query " + U64(id) +
+                              " did not complete cleanly");
+    }
+    out.push_back(CanonicalRows(r.rows));
+  }
+  return out;
+}
+
+Result<CellReport> RunCell(const WorkloadFactory& factory,
+                           const std::vector<std::vector<Row>>& reference,
+                           const ReplaySpec& spec,
+                           const DifferentialOptions& opt) {
+  WorkloadInstance wl = factory(opt.num_nodes * opt.workers_per_node);
+  if (wl.graph == nullptr || wl.plans.size() != reference.size()) {
+    return Status::Internal("workload/reference plan count mismatch");
+  }
+  CellReport report;
+  std::vector<size_t> all(wl.plans.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Status s = Status::OK();
+  if (spec.mode == "async") {
+    s = RunGroup(wl, all, EngineKind::kAsync, spec, reference, opt, &report);
+  } else if (spec.mode == "bsp") {
+    s = RunGroup(wl, all, EngineKind::kBsp, spec, reference, opt, &report);
+  } else if (spec.mode == "hybrid") {
+    // Per-plan engine selection, each group on its own cluster (one
+    // SimCluster runs one engine).
+    std::vector<size_t> async_group, bsp_group;
+    uint32_t workers = opt.num_nodes * opt.workers_per_node;
+    for (size_t i = 0; i < wl.plans.size(); ++i) {
+      HybridChoice choice =
+          ChooseEngine(*wl.plans[i], wl.graph->stats(), workers,
+                       /*threshold_tasks=*/0.0, opt.traverser_bulking);
+      (choice.engine == EngineKind::kBsp ? bsp_group : async_group)
+          .push_back(i);
+    }
+    s = RunGroup(wl, async_group, EngineKind::kAsync, spec, reference, opt,
+                 &report);
+    if (s.ok()) {
+      s = RunGroup(wl, bsp_group, EngineKind::kBsp, spec, reference, opt,
+                   &report);
+    }
+  } else {
+    return Status::InvalidArgument("unknown oracle mode: " + spec.mode);
+  }
+  if (!s.ok()) return s;
+  return report;
+}
+
+Result<DifferentialReport> RunDifferential(const WorkloadFactory& factory,
+                                           const DifferentialOptions& opt) {
+  auto reference = ComputeReference(factory, opt.max_events);
+  if (!reference.ok()) return reference.status();
+  DifferentialReport report;
+  for (const std::string& mode : opt.modes) {
+    for (uint64_t seed = 0; seed < opt.num_seeds; ++seed) {
+      ReplaySpec spec;
+      spec.mode = mode;
+      spec.tiebreak_seed = seed;
+      spec.jitter_ns = seed == 0 ? 0 : opt.jitter_ns;
+      if (opt.fault_active) spec.fault = opt.fault;
+      auto cell = RunCell(factory, reference.value(), spec, opt);
+      if (!cell.ok()) return cell.status();
+      report.cells++;
+      report.queries += cell.value().queries;
+      report.trips += cell.value().trips;
+      report.mismatches += cell.value().mismatches;
+      report.explicit_failures += cell.value().explicit_failures;
+      if (!cell.value().ok()) {
+        report.failures.push_back(DifferentialFailure{
+            spec, FormatReplayToken(spec),
+            "mode=" + mode + " seed=" + U64(seed) + ": " +
+                cell.value().detail});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace graphdance

@@ -1,0 +1,123 @@
+#ifndef GRAPHDANCE_CHECK_ORACLE_H_
+#define GRAPHDANCE_CHECK_ORACLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pstm/plan.h"
+#include "sim/fault.h"
+
+namespace graphdance {
+namespace check {
+
+/// One materialized workload: a partitioned graph plus the plans to run on
+/// it. Plans hold a reference to the graph they were built against, so a
+/// factory regenerates both together for any partition count — partitioning
+/// must never change the logical dataset (generators assign global ids), or
+/// the single-worker reference would diverge for structural reasons.
+struct WorkloadInstance {
+  std::shared_ptr<PartitionedGraph> graph;
+  std::vector<std::shared_ptr<const Plan>> plans;
+};
+
+using WorkloadFactory = std::function<WorkloadInstance(uint32_t num_partitions)>;
+
+/// The default oracle workload: a small power-law graph with a mix of
+/// k-hop top-k and count queries (the same shapes the chaos harness uses).
+WorkloadFactory MakeDefaultCheckWorkload();
+
+/// Canonical row multiset: sorted with Value::Compare so two runs compare
+/// order-insensitively but multiplicity-sensitively.
+std::vector<Row> CanonicalRows(std::vector<Row> rows);
+
+/// Everything needed to replay one explored cell bit-for-bit: the engine
+/// mode, the schedule-exploration knobs, and the fault schedule. Encoded as
+/// a one-line token (`gdchk1;...`) for bug reports and `check replay`.
+struct ReplaySpec {
+  std::string mode = "async";  // async | bsp | hybrid
+  uint64_t tiebreak_seed = 0;  // 0 = pinned legacy schedule
+  uint64_t jitter_ns = 0;
+  FaultPlan fault;
+};
+
+std::string FormatReplayToken(const ReplaySpec& spec);
+Result<ReplaySpec> ParseReplayToken(const std::string& token);
+
+/// Differential-oracle matrix shape. Every cell is one (mode, tie-break
+/// seed) pair run under every invariant checker and compared row-for-row
+/// against the single-worker reference.
+struct DifferentialOptions {
+  uint32_t num_nodes = 2;
+  uint32_t workers_per_node = 2;
+  std::vector<std::string> modes = {"async", "bsp", "hybrid"};
+  /// Tie-break seeds explored per mode: seed 0 (the pinned schedule) plus
+  /// 1..num_seeds-1 permuted schedules.
+  uint64_t num_seeds = 8;
+  uint64_t jitter_ns = 0;
+  /// Fault schedule applied to every cell (BSP bypasses the message layer
+  /// and ignores it). Default: fault-free.
+  FaultPlan fault;
+  bool fault_active = false;  // apply `fault` (kept separate so a default
+                              // FaultPlan{} with seed=1 stays inactive)
+  uint64_t max_events = 200'000'000ULL;
+  bool traverser_bulking = true;
+  /// Test-only mutation hook: corrupt the nth weight merge in every cell
+  /// (CheckHarness::CorruptNthWeightMerge). Plants a known conservation bug
+  /// so the mutation smoke test and the shrinker have a real failure to
+  /// find. 0 = off.
+  uint64_t corrupt_nth_merge = 0;
+};
+
+/// Outcome of one replayed cell.
+struct CellReport {
+  uint64_t queries = 0;
+  uint64_t trips = 0;              // invariant-checker trips
+  uint64_t mismatches = 0;         // silent wrong answers vs the reference
+  uint64_t explicit_failures = 0;  // failed / timed-out queries (legal)
+  std::string detail;              // first trip or mismatch, for humans
+  bool ok() const { return trips == 0 && mismatches == 0; }
+};
+
+struct DifferentialFailure {
+  ReplaySpec spec;
+  std::string token;  // FormatReplayToken(spec)
+  std::string what;
+};
+
+struct DifferentialReport {
+  uint64_t cells = 0;
+  uint64_t queries = 0;
+  uint64_t trips = 0;
+  uint64_t mismatches = 0;
+  uint64_t explicit_failures = 0;
+  std::vector<DifferentialFailure> failures;
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Reference rows per plan: the workload regenerated for one partition and
+/// run on a 1-node x 1-worker async cluster — no faults, no exploration,
+/// every checker attached (a trip in the reference run is an error).
+Result<std::vector<std::vector<Row>>> ComputeReference(
+    const WorkloadFactory& factory, uint64_t max_events = 200'000'000ULL);
+
+/// Runs one cell of the matrix and compares against `reference`. `hybrid`
+/// mode splits plans by ChooseEngine and runs each group on its own cluster.
+Result<CellReport> RunCell(const WorkloadFactory& factory,
+                           const std::vector<std::vector<Row>>& reference,
+                           const ReplaySpec& spec,
+                           const DifferentialOptions& opt);
+
+/// The full matrix: every mode x every tie-break seed, all checkers, all
+/// cells diffed against the single-worker reference.
+Result<DifferentialReport> RunDifferential(const WorkloadFactory& factory,
+                                           const DifferentialOptions& opt);
+
+}  // namespace check
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_CHECK_ORACLE_H_

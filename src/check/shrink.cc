@@ -1,0 +1,107 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace graphdance {
+namespace check {
+
+namespace {
+
+/// Budget-capped predicate wrapper: counts evaluations and reports success
+/// only while budget remains (a spent budget freezes the current spec).
+class Evaluator {
+ public:
+  Evaluator(const std::function<bool(const ReplaySpec&)>& fails, int budget)
+      : fails_(fails), budget_(budget) {}
+
+  bool Fails(const ReplaySpec& spec) {
+    if (evaluations_ >= budget_) return false;
+    ++evaluations_;
+    return fails_(spec);
+  }
+
+  int evaluations() const { return evaluations_; }
+  bool exhausted() const { return evaluations_ >= budget_; }
+
+ private:
+  const std::function<bool(const ReplaySpec&)>& fails_;
+  int budget_;
+  int evaluations_ = 0;
+};
+
+/// ddmin over the scripted fault events: repeatedly try dropping chunks
+/// (halves first, then smaller) as long as the failure survives.
+void ShrinkScript(ReplaySpec* spec, Evaluator* eval) {
+  size_t chunk = spec->fault.scripted.size();
+  while (chunk >= 1 && !spec->fault.scripted.empty() && !eval->exhausted()) {
+    bool removed_any = false;
+    for (size_t start = 0; start < spec->fault.scripted.size();) {
+      ReplaySpec candidate = *spec;
+      size_t end = std::min(start + chunk, candidate.fault.scripted.size());
+      candidate.fault.scripted.erase(candidate.fault.scripted.begin() + start,
+                                     candidate.fault.scripted.begin() + end);
+      if (eval->Fails(candidate)) {
+        *spec = candidate;  // the chunk was irrelevant: keep it gone
+        removed_any = true;
+        // start stays: the next chunk slid into this position.
+      } else {
+        start += chunk;
+      }
+      if (eval->exhausted()) return;
+    }
+    if (!removed_any) chunk /= 2;  // refine granularity only when stuck
+  }
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const ReplaySpec& failing,
+                    const std::function<bool(const ReplaySpec&)>& fails,
+                    int budget) {
+  ShrinkResult result;
+  result.minimal = failing;
+  Evaluator eval(fails, budget);
+  if (!eval.Fails(failing)) {
+    // Nothing to shrink: either the spec passes or the budget was <= 0.
+    result.token = FormatReplayToken(result.minimal);
+    result.evaluations = eval.evaluations();
+    return result;
+  }
+  result.reproduced = true;
+
+  ShrinkScript(&result.minimal, &eval);
+
+  // Zero each probabilistic knob independently; an accepted zero means that
+  // fault family was not needed to reproduce.
+  ReplaySpec candidate = result.minimal;
+  candidate.fault.drop_prob = 0.0;
+  if (eval.Fails(candidate)) result.minimal = candidate;
+  candidate = result.minimal;
+  candidate.fault.dup_prob = 0.0;
+  if (eval.Fails(candidate)) result.minimal = candidate;
+  candidate = result.minimal;
+  candidate.fault.delay_prob = 0.0;
+  if (eval.Fails(candidate)) result.minimal = candidate;
+
+  // Simplify the schedule-exploration half of the pair: no jitter, then the
+  // pinned tie-break order.
+  candidate = result.minimal;
+  candidate.jitter_ns = 0;
+  if (candidate.jitter_ns != result.minimal.jitter_ns && eval.Fails(candidate)) {
+    result.minimal = candidate;
+  }
+  candidate = result.minimal;
+  candidate.tiebreak_seed = 0;
+  if (candidate.tiebreak_seed != result.minimal.tiebreak_seed &&
+      eval.Fails(candidate)) {
+    result.minimal = candidate;
+  }
+
+  result.token = FormatReplayToken(result.minimal);
+  result.evaluations = eval.evaluations();
+  return result;
+}
+
+}  // namespace check
+}  // namespace graphdance

@@ -1,0 +1,35 @@
+#ifndef GRAPHDANCE_CHECK_SHRINK_H_
+#define GRAPHDANCE_CHECK_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "check/oracle.h"
+
+namespace graphdance {
+namespace check {
+
+/// Outcome of minimizing a failing (fault schedule, tie-break seed) pair.
+struct ShrinkResult {
+  ReplaySpec minimal;
+  std::string token;    // FormatReplayToken(minimal): the one-line repro
+  int evaluations = 0;  // predicate calls spent
+  /// False when the input spec did not fail under the predicate (nothing to
+  /// shrink) — `minimal` is then the unmodified input.
+  bool reproduced = false;
+};
+
+/// Minimizes `failing` while `fails(candidate)` stays true, ddmin-style:
+/// scripted fault events are bisected away in shrinking chunks, then each
+/// probabilistic knob is zeroed, then latency jitter, then the tie-break
+/// seed — every accepted step keeps the failure alive, so the result is a
+/// locally minimal repro. `budget` caps predicate evaluations (each one
+/// replays the workload).
+ShrinkResult Shrink(const ReplaySpec& failing,
+                    const std::function<bool(const ReplaySpec&)>& fails,
+                    int budget = 256);
+
+}  // namespace check
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_CHECK_SHRINK_H_

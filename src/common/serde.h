@@ -41,15 +41,20 @@ class ByteWriter {
   std::vector<uint8_t> buf_;
 };
 
-/// Reads values written by ByteWriter, in the same order. Bounds violations
-/// trip an assert in debug builds; callers own framing correctness.
+/// Reads values written by ByteWriter, in the same order. A read past the
+/// end of the buffer trips an assert in debug builds; release builds
+/// fail-safe instead of reading out of bounds: the reader latches
+/// `truncated()`, the offending read (and every read after it) returns a
+/// zero value / empty string, and the cursor pins to the end. Decoders stay
+/// total functions over arbitrary byte strings — a truncated or corrupted
+/// frame can produce garbage values but never undefined behaviour.
 class ByteReader {
  public:
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit ByteReader(const std::vector<uint8_t>& buf)
       : data_(buf.data()), size_(buf.size()) {}
 
-  uint8_t ReadU8() { return data_[Advance(1)]; }
+  uint8_t ReadU8() { return ReadFixed<uint8_t>(); }
   uint16_t ReadU16() { return ReadFixed<uint16_t>(); }
   uint32_t ReadU32() { return ReadFixed<uint32_t>(); }
   uint64_t ReadU64() { return ReadFixed<uint64_t>(); }
@@ -57,32 +62,50 @@ class ByteReader {
   double ReadDouble() { return ReadFixed<double>(); }
   std::string ReadString() {
     uint32_t n = ReadU32();
-    size_t off = Advance(n);
+    if (!Bounded(n)) return std::string();
+    size_t off = pos_;
+    pos_ += n;
     return std::string(reinterpret_cast<const char*>(data_ + off), n);
+  }
+  /// Copies `n` bytes into `out`, zero-filling whatever the buffer cannot
+  /// cover (the guard path zero-fills all of it).
+  void ReadRaw(void* out, size_t n) {
+    if (!Bounded(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
   }
 
   bool AtEnd() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
   size_t pos() const { return pos_; }
+  /// True once any read ran past the end of the buffer.
+  bool truncated() const { return truncated_; }
 
  private:
   template <typename T>
   T ReadFixed() {
+    if (!Bounded(sizeof(T))) return T{};
     T v;
-    size_t off = Advance(sizeof(T));
-    std::memcpy(&v, data_ + off, sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
     return v;
   }
-  size_t Advance(size_t n) {
-    assert(pos_ + n <= size_ && "ByteReader overflow");
-    size_t off = pos_;
-    pos_ += n;
-    return off;
+  /// Overflow-safe bounds check (pos_ + n could wrap for hostile n).
+  bool Bounded(size_t n) {
+    if (n <= size_ - pos_) return true;  // pos_ <= size_ always holds
+    assert(false && "ByteReader overflow");
+    truncated_ = true;
+    pos_ = size_;
+    return false;
   }
 
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  bool truncated_ = false;
 };
 
 }  // namespace graphdance

@@ -101,6 +101,11 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   queries_completed += other.queries_completed;
   queries_failed += other.queries_failed;
   queries_timed_out += other.queries_timed_out;
+  checker_attached = checker_attached || other.checker_attached;
+  checker_trips += other.checker_trips;
+  for (const auto& [name, n] : other.checker_trips_by) {
+    checker_trips_by[name] += n;
+  }
   if (links.empty()) {
     num_nodes = other.num_nodes;
     links = other.links;
@@ -173,6 +178,15 @@ std::string MetricsSnapshot::ToString() const {
   }
   for (const auto& [name, hist] : latency) {
     out += "latency[" + name + "]: " + hist.ToString() + "\n";
+  }
+  if (checker_attached) {
+    // Gated on attachment so unchecked snapshots stay byte-identical to
+    // pre-checker builds (the obs determinism tests depend on it).
+    out += "checker: trips=" + U64(checker_trips);
+    for (const auto& [name, n] : checker_trips_by) {
+      out += " " + name + "=" + U64(n);
+    }
+    out += "\n";
   }
   return out;
 }

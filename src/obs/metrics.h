@@ -143,6 +143,14 @@ struct MetricsSnapshot {
   uint64_t queries_failed = 0;
   uint64_t queries_timed_out = 0;
 
+  /// Invariant-checker counters (check/invariants.h). Populated only when a
+  /// CheckHarness is attached to the cluster; checker_attached gates the
+  /// ToString() section so unchecked runs stay byte-identical to pre-checker
+  /// builds.
+  bool checker_attached = false;
+  uint64_t checker_trips = 0;
+  std::map<std::string, uint64_t> checker_trips_by;
+
   uint32_t num_nodes = 0;
   uint32_t num_workers = 0;
   std::vector<LinkStats> links;          // num_nodes^2, src-major

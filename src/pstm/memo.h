@@ -237,6 +237,16 @@ class MemoTable {
 
   size_t size() const { return states_.size(); }
 
+  /// Visits every live (query_id, step_id) key. Unordered (hash-map walk);
+  /// callers needing determinism must sort. Used by the residency checker.
+  template <typename Fn>
+  void ForEachKey(Fn&& fn) const {
+    for (const auto& [key, state] : states_) {
+      (void)state;
+      fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL));
+    }
+  }
+
   /// Drops everything. Used by the fault injector when a worker crashes:
   /// memoranda are volatile per-worker state and do not survive a restart
   /// (the TEL-backed graph storage does).

@@ -517,6 +517,9 @@ void OrderByLimitStep::OnFinalize(StepContext& ctx) const {
 
 void OrderByLimitStep::OnCollect(ByteReader* payload, CollectMergeState* state) const {
   uint32_t n = payload->ReadU32();
+  // Each serialized row is at least 4 bytes (its count prefix); see
+  // DeserializeRow for the same truncated-frame guard.
+  n = std::min<uint32_t>(n, static_cast<uint32_t>(payload->remaining() / 4));
   for (uint32_t i = 0; i < n; ++i) state->rows.push_back(DeserializeRow(payload));
 }
 
@@ -598,6 +601,9 @@ void SerializeRow(const Row& row, ByteWriter* out) {
 
 Row DeserializeRow(ByteReader* in) {
   uint32_t n = in->ReadU32();
+  // Every serialized Value is at least one byte, so a count beyond
+  // remaining() can only come from a truncated/corrupted frame.
+  n = std::min<uint32_t>(n, static_cast<uint32_t>(in->remaining()));
   Row row;
   row.reserve(n);
   for (uint32_t i = 0; i < n; ++i) row.push_back(Value::Deserialize(in));

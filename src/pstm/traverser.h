@@ -1,6 +1,7 @@
 #ifndef GRAPHDANCE_PSTM_TRAVERSER_H_
 #define GRAPHDANCE_PSTM_TRAVERSER_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -80,6 +81,9 @@ struct Traverser {
     uint16_t nvars = in->ReadU16();
     for (uint16_t i = 0; i < nvars; ++i) t.vars.push_back(Value::Deserialize(in));
     uint32_t plen = in->ReadU32();
+    // A valid stream carries 8 bytes per path element; clamping keeps a
+    // garbage count from a truncated frame from driving a giant allocation.
+    plen = std::min<uint32_t>(plen, static_cast<uint32_t>(in->remaining() / 8));
     t.path.reserve(plen);
     for (uint32_t i = 0; i < plen; ++i) t.path.push_back(in->ReadU64());
     return t;

@@ -121,6 +121,13 @@ struct ClusterConfig {
   /// event schedule. See obs/trace.h.
   bool trace = false;
 
+  /// Schedule-space exploration (check subsystem, DESIGN.md §10): a seeded
+  /// same-timestamp tie-break permutation plus bounded latency jitter in the
+  /// event queue. All-zero (the default) pins the historical insertion-order
+  /// schedule byte-for-byte; each nonzero seed deterministically replays one
+  /// distinct legal interleaving of the same workload. See sim/event_queue.h.
+  ScheduleExploration explore;
+
   uint32_t total_workers() const { return num_nodes * workers_per_node; }
   /// One partition per worker (shared-nothing ownership).
   uint32_t num_partitions() const { return total_workers(); }

@@ -117,6 +117,7 @@ class ExecContext final : public StepContext {
 
   void Emit(Traverser t) override {
     if (mode_ == Mode::kAsync) {
+      if (track_weights_) emitted_weight_ += t.weight;
       cluster_->EmitTraverser(*worker_, *qs_, partition_, std::move(t));
     } else {
       emitted_.push_back(std::move(t));
@@ -133,6 +134,14 @@ class ExecContext final : public StepContext {
   std::vector<Traverser>& emitted() { return emitted_; }
   SimTime* clock() { return clock_; }
 
+  /// Per-task Z_2^64 bookkeeping for the weight-conservation checker: sums
+  /// the weights this context emitted and finished so ExecuteTask can verify
+  /// in == emitted + finished after the step runs. Off (and cost-free) when
+  /// no checker is attached.
+  void TrackWeights() { track_weights_ = true; }
+  Weight emitted_weight() const { return emitted_weight_; }
+  Weight finished_weight() const { return finished_weight_; }
+
  private:
   SimCluster* cluster_;
   SimCluster::Worker* worker_;
@@ -141,6 +150,9 @@ class ExecContext final : public StepContext {
   Mode mode_;
   SimTime* clock_;
   std::vector<Traverser> emitted_;
+  bool track_weights_ = false;
+  Weight emitted_weight_ = 0;
+  Weight finished_weight_ = 0;
 };
 
 void ExecContext::Charge(CostKind kind, uint64_t count) {
@@ -169,10 +181,24 @@ void ExecContext::Charge(CostKind kind, uint64_t count) {
 
 void ExecContext::Finish(uint32_t scope, Weight w) {
   if (mode_ == Mode::kBsp) return;  // BSP detects quiescence via barriers
+  if (track_weights_) finished_weight_ += w;
   cluster_->metrics_.worker(worker_->id).weight_finishes++;
+  if (cluster_->check_ != nullptr) {
+    cluster_->check_->OnWeightFinish(qs_->id, qs_->attempt, scope, w, *clock_);
+  }
   if (cluster_->config_.weight_coalescing) {
     *clock_ += cluster_->config_.cost.weight_track_ns;
-    worker_->pending_weights[WeightKey(qs_->id, scope)] += w;
+    Weight& cell = worker_->pending_weights[WeightKey(qs_->id, scope)];
+    Weight before = cell;
+    cell += w;
+    if (cluster_->check_ != nullptr) {
+      // The mutation smoke hook corrupts the cell here, BETWEEN the merge
+      // and its observation, so OnWeightMerge sees exactly what later flows
+      // into the coordinator's accumulator.
+      cluster_->check_->MaybeCorruptWeightCell(&cell);
+      cluster_->check_->OnWeightMerge(qs_->id, qs_->attempt, scope, before, w,
+                                      cell, *clock_);
+    }
     return;
   }
   cluster_->metrics_.worker(worker_->id).weight_reports++;
@@ -287,6 +313,10 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
       graph_(std::move(graph)),
       fault_(EffectivePlan(config)),
       rng_(config.seed) {
+  // Exploration must be configured before the first Schedule() call (the
+  // scripted fault events below enter the queue from the constructor), so
+  // every event of the run is permuted/jittered under one seed.
+  if (config_.explore.Active()) events_.ConfigureExploration(config_.explore);
   if (graph_->num_partitions() != config_.num_partitions()) {
     GD_ERROR("graph partition count (" + std::to_string(graph_->num_partitions()) +
              ") must equal cluster worker count (" +
@@ -357,9 +387,77 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
 
 SimCluster::~SimCluster() = default;
 
+// ---- check::ClusterProbe ----------------------------------------------------
+
+uint32_t SimCluster::ProbeNumWorkers() const { return config_.total_workers(); }
+
+SimTime SimCluster::ProbeWorkerClock(uint32_t worker) const {
+  return workers_[worker].now;
+}
+
+bool SimCluster::ProbeWorkerCrashed(uint32_t worker) const {
+  return workers_[worker].crashed;
+}
+
+check::QueryProbe SimCluster::ProbeOf(const QueryState& qs) const {
+  check::QueryProbe p;
+  p.id = qs.id;
+  p.attempt = qs.attempt;
+  p.done = qs.result.done;
+  p.failed = qs.result.failed;
+  p.timed_out = qs.result.timed_out;
+  p.early_cancel = qs.plan->result_limit() > 0 &&
+                   qs.result.rows.size() >= qs.plan->result_limit();
+  p.rows_expected = qs.rows_expected;
+  p.rows_received = qs.rows_received;
+  p.row_count = qs.result.rows.size();
+  return p;
+}
+
+void SimCluster::ProbeQueries(
+    const std::function<void(const check::QueryProbe&)>& fn) const {
+  std::vector<uint64_t> ids;
+  ids.reserve(queries_.size());
+  for (const auto& [id, qs] : queries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) fn(ProbeOf(queries_.at(id)));
+}
+
+void SimCluster::ProbeMemos(
+    const std::function<void(uint32_t partition, uint64_t query, uint32_t step)>&
+        fn) const {
+  for (uint32_t p = 0; p < config_.num_partitions(); ++p) {
+    std::vector<std::pair<uint64_t, uint32_t>> keys;
+    memos_[p].ForEachKey(
+        [&](uint64_t query, uint32_t step) { keys.emplace_back(query, step); });
+    std::sort(keys.begin(), keys.end());
+    for (const auto& [query, step] : keys) fn(p, query, step);
+  }
+}
+
+void SimCluster::ProbePendingWeights(
+    const std::function<void(uint32_t worker, uint64_t query, uint32_t scope,
+                             Weight w)>& fn) const {
+  for (const Worker& w : workers_) {
+    std::vector<std::pair<uint64_t, Weight>> cells;
+    for (const auto& [key, weight] : w.pending_weights) {
+      if (weight != 0) cells.emplace_back(key, weight);
+    }
+    std::sort(cells.begin(), cells.end());
+    for (const auto& [key, weight] : cells) {
+      fn(w.id, WeightKeyQuery(key), WeightKeyScope(key), weight);
+    }
+  }
+}
+
 obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
   obs::MetricsSnapshot s = metrics_.Snapshot();
   s.fault = fault_.stats();
+  if (check_ != nullptr) {
+    s.checker_attached = true;
+    s.checker_trips = check_->trip_count();
+    s.checker_trips_by = check_->TripsByChecker();
+  }
   for (const MemoTable& m : memos_) {
     const MemoTable::Stats& ms = m.stats();
     s.memo_hits += ms.hits;
@@ -417,8 +515,21 @@ uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
 
 Status SimCluster::RunToCompletion(uint64_t max_events) {
   if (config_.engine == EngineKind::kBsp) return RunBspToCompletion();
-  uint64_t ran = events_.RunUntilEmpty(max_events);
+  uint64_t ran;
+  if (check_ == nullptr) {
+    ran = events_.RunUntilEmpty(max_events);
+  } else {
+    // Checked mode: evaluate the invariant harness at every event boundary.
+    ran = 0;
+    while (ran < max_events && events_.RunOne()) {
+      ++ran;
+      check_->OnEventBoundary(*this, events_.now());
+    }
+  }
   quiescent_time_ = events_.now();
+  if (check_ != nullptr) {
+    check_->OnQuiescence(*this, quiescent_time_, events_.empty());
+  }
   if (!events_.empty()) {
     // Livelock / runaway schedule: events kept firing until the budget ran
     // out. Distinct from lost weight, where the queue drains instead.
@@ -524,6 +635,10 @@ void SimCluster::StartQuery(QueryState& qs, SimTime at) {
     return;
   }
   std::vector<Weight> shares = SplitWeight(kUnitWeight, roots.size(), &rng_);
+  if (check_ != nullptr) {
+    check_->OnWeightSplit(qs.id, qs.attempt, qs.scope, kUnitWeight,
+                          shares.data(), shares.size(), coord.now);
+  }
   for (size_t i = 0; i < roots.size(); ++i) {
     Traverser t;
     t.vertex = roots[i].vertex;
@@ -538,21 +653,36 @@ void SimCluster::StartQuery(QueryState& qs, SimTime at) {
 void SimCluster::HandleWeight(QueryState& qs, uint32_t scope, Weight w,
                               Worker& at_worker) {
   Charge(at_worker, CostKind::kTrackerReport, 1);
-  if (qs.result.done) return;
+  if (qs.result.done) {
+    if (check_ != nullptr) {
+      check_->OnLateWeight(qs.id, scope, w, /*after_done=*/true, at_worker.now);
+    }
+    return;
+  }
   if (recovery_active_) NoteProgress(qs, at_worker.now);
   if (scope != qs.scope) {
     // A report for a scope that already completed would indicate lost
     // tracking; reports for future scopes cannot exist by construction.
+    if (check_ != nullptr) {
+      check_->OnLateWeight(qs.id, scope, w, /*after_done=*/false, at_worker.now);
+    }
     GD_WARN("weight report for unexpected scope");
     return;
   }
   qs.acc += w;
+  if (check_ != nullptr) {
+    check_->OnWeightAccumulate(qs.id, qs.attempt, scope, w, qs.acc,
+                               at_worker.now);
+  }
   if (qs.acc == kUnitWeight) ScopeComplete(qs, at_worker);
 }
 
 void SimCluster::ScopeComplete(QueryState& qs, Worker& at_worker) {
   const Plan& plan = *qs.plan;
   uint16_t closer = plan.scope_closer(qs.scope);
+  if (check_ != nullptr) {
+    check_->OnScopeClose(qs.id, qs.attempt, qs.scope, qs.acc, at_worker.now);
+  }
   if (tracer_.enabled()) {
     // Termination detection: the scope's coalesced weight reached unity.
     tracer_.Span("scope " + std::to_string(qs.scope), "scope", qs.scope_start,
@@ -582,6 +712,10 @@ void SimCluster::ScopeComplete(QueryState& qs, Worker& at_worker) {
     qs.replies_expected = config_.num_partitions();
   } else {
     shares = SplitWeight(kUnitWeight, config_.total_workers(), &rng_);
+    if (check_ != nullptr) {
+      check_->OnWeightSplit(qs.id, qs.attempt, qs.scope, kUnitWeight,
+                            shares.data(), shares.size(), at_worker.now);
+    }
   }
   for (uint32_t w = 0; w < config_.total_workers(); ++w) {
     Message m;
@@ -620,6 +754,10 @@ void SimCluster::HandleCollectReply(QueryState& qs, const Message& msg,
     return;
   }
   std::vector<Weight> shares = SplitWeight(kUnitWeight, continuations.size(), &rng_);
+  if (check_ != nullptr) {
+    check_->OnWeightSplit(qs.id, qs.attempt, qs.scope, kUnitWeight,
+                          shares.data(), shares.size(), at_worker.now);
+  }
   for (size_t i = 0; i < continuations.size(); ++i) {
     Traverser t = std::move(continuations[i]);
     t.weight = shares[i];
@@ -648,6 +786,7 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   }
   metrics_.OnQueryDone(qs.result.LatencyNanos(), qs.result.failed,
                        qs.result.timed_out);
+  if (check_ != nullptr) check_->OnQueryComplete(ProbeOf(qs), at);
   if (tracer_.enabled()) {
     uint32_t node = NodeOfWorker(qs.coordinator);
     const char* status = qs.result.failed     ? "failed"
@@ -664,17 +803,23 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   }
 
   // Memoranda lifetime: cleared cluster-wide once the creating query ends.
+  // The clear is applied directly (like AbortAttempt's) — the control fence
+  // below is best-effort and the injector may drop it, which used to leak
+  // the remote partitions' memos for the rest of the run (caught by the
+  // memo-residency checker). The fence still goes out for wire-cost realism
+  // and as the remote workers' cleanup trigger in a real deployment, where
+  // it would be retried rather than authoritative-on-send.
+  for (uint32_t w = 0; w < config_.total_workers(); ++w) {
+    memos_[w].ClearQuery(qs.id);
+    if (fault_active_) workers_[w].rows_unreported.erase(qs.id);
+  }
   // A watchdog abort reaches here at event time `at`, which can be ahead of
   // the coordinator's local clock; sync it so the control fences below are
   // sent "now", not in the virtual past.
   Worker& coord = workers_[qs.coordinator];
   coord.now = std::max(coord.now, at);
   for (uint32_t w = 0; w < config_.total_workers(); ++w) {
-    if (w == coord.id) {
-      memos_[w].ClearQuery(qs.id);
-      if (fault_active_) workers_[w].rows_unreported.erase(qs.id);
-      continue;
-    }
+    if (w == coord.id) continue;
     Message m;
     m.kind = MessageKind::kControl;
     m.src_worker = coord.id;
@@ -746,6 +891,7 @@ void SimCluster::AbortAttempt(QueryState& qs, SimTime at, const char* why) {
   // Bumping the attempt fences every in-flight message and queued task of
   // the aborted execution; the retry starts from a clean slate.
   qs.attempt++;
+  if (check_ != nullptr) check_->OnAttemptAbort(qs.id, qs.attempt, at);
   qs.scope = 0;
   qs.acc = 0;
   qs.collecting = false;
@@ -955,7 +1101,20 @@ void SimCluster::ExecuteTask(Worker& w, Task task) {
     w.now += tuning_.per_task_sched_extra_ns;
   }
   ExecContext ctx(this, &w, &qs, task.partition, ExecContext::Mode::kAsync, &w.now);
-  qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
+  if (check_ != nullptr) {
+    // Per-task conservation (Theorem 1's local obligation): whatever weight
+    // entered this task must leave it, as emissions or finishes.
+    ctx.TrackWeights();
+    Weight w_in = task.trav.weight;
+    uint32_t scope_in = task.trav.scope;
+    uint64_t query = task.query;
+    uint32_t attempt = task.attempt;
+    qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
+    check_->OnTaskWeight(query, attempt, scope_in, w_in, ctx.emitted_weight(),
+                         ctx.finished_weight(), w.now);
+  } else {
+    qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
+  }
   ++w.tasks_executed;
 }
 
@@ -982,6 +1141,10 @@ void SimCluster::RunFinalize(Worker& w, const Message& msg) {
       report_ctx.Finish(new_scope, msg.weight);
     } else {
       std::vector<Weight> shares = SplitWeight(msg.weight, emitted.size(), &w.rng);
+      if (check_ != nullptr) {
+        check_->OnWeightSplit(qs.id, qs.attempt, new_scope, msg.weight,
+                              shares.data(), shares.size(), w.now);
+      }
       for (size_t i = 0; i < emitted.size(); ++i) {
         Traverser t = std::move(emitted[i]);
         t.weight = shares[i];
@@ -1014,12 +1177,18 @@ void SimCluster::PushTask(Worker& w, Task task) {
     if (!inserted) {
       if (it->second >= b.base) {
         Task& dst = b.q[it->second - b.base];
+        Weight dst_before = dst.trav.weight;
         if (dst.query == task.query && dst.attempt == task.attempt &&
             dst.partition == task.partition && dst.trav.SameSite(task.trav) &&
             dst.trav.MergeFrom(task.trav)) {
           auto& wm = metrics_.worker(w.id);
           wm.bulk_merges++;
           wm.traversers_bulked += task.trav.bulk;
+          if (check_ != nullptr) {
+            check_->OnWeightMerge(task.query, task.attempt, dst.trav.scope,
+                                  dst_before, task.trav.weight, dst.trav.weight,
+                                  w.now);
+          }
           return;  // absorbed: nothing enqueued
         }
       }
@@ -1109,6 +1278,9 @@ void SimCluster::Send(Worker& from, Message msg) {
   metrics_.net().remote_messages++;
   if (fault_active_) {
     msg.seq = ++PairSeq(msg.src_worker, msg.dst_worker);
+    if (check_ != nullptr) {
+      check_->OnSeqAssign(msg.src_worker, msg.dst_worker, msg.seq);
+    }
     FaultInjector::SendDecision d = fault_.OnRemoteSend();
     if (d.drop) return;  // the message vanishes on the wire
     std::optional<Message> dup;
@@ -1166,6 +1338,11 @@ void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
     auto [it, inserted] = buf.merge_index.try_emplace(msg.trav_site, newidx);
     if (!inserted) {
       Message& cand = buf.msgs[it->second];
+      Weight cand_before = 0;
+      if (check_ != nullptr && cand.payload.size() >= Traverser::kBulkOffset) {
+        std::memcpy(&cand_before, cand.payload.data() + Traverser::kWeightOffset,
+                    sizeof(cand_before));
+      }
       if (cand.query_id == msg.query_id && cand.dst_worker == msg.dst_worker &&
           cand.tag == msg.tag && cand.attempt == msg.attempt &&
           cand.src_epoch == msg.src_epoch && cand.dst_epoch == msg.dst_epoch &&
@@ -1181,6 +1358,18 @@ void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
         wm.bulk_merges++;
         wm.traversers_bulked += absorbed_bulk;
         metrics_.OnSendMerged(msg.src_worker, msg.dst_worker, msg.kind);
+        if (check_ != nullptr) {
+          Weight added = 0, cand_after = 0;
+          uint32_t scope = 0;
+          std::memcpy(&added, msg.payload.data() + Traverser::kWeightOffset,
+                      sizeof(added));
+          std::memcpy(&cand_after,
+                      cand.payload.data() + Traverser::kWeightOffset,
+                      sizeof(cand_after));
+          std::memcpy(&scope, msg.payload.data() + 12, sizeof(scope));
+          check_->OnWeightMerge(msg.query_id, msg.attempt, scope, cand_before,
+                                added, cand_after, from.now);
+        }
         return;
       }
       it->second = newidx;  // unmergeable: track the newcomer for this site
@@ -1225,7 +1414,13 @@ void SimCluster::DeliverToWorker(Message msg, SimTime at) {
     if (msg.seq != 0) {
       uint64_t pair =
           (static_cast<uint64_t>(msg.src_worker) << 32) | msg.dst_worker;
-      if (!seen_seqs_[pair].Insert(msg.seq)) {
+      SeqWindow& win = seen_seqs_[pair];
+      bool fresh = win.Insert(msg.seq);
+      if (check_ != nullptr) {
+        check_->OnSeqDeliver(msg.src_worker, msg.dst_worker, msg.seq, fresh,
+                             win.low, win.max_seen);
+      }
+      if (!fresh) {
         fault_.stats().duplicates_suppressed++;
         return;
       }
@@ -1402,6 +1597,9 @@ Status SimCluster::RunBspToCompletion() {
   }
   bsp_queue_.clear();
   quiescent_time_ = bsp_clock_;
+  if (check_ != nullptr) {
+    check_->OnQuiescence(*this, quiescent_time_, /*drained=*/true);
+  }
   if (pending_queries_ > 0) {
     return Status::Internal("BSP driver left unfinished queries");
   }
@@ -1581,6 +1779,9 @@ void SimCluster::RunBspQuery(QueryState& qs, SimTime start) {
   }
   for (uint32_t p = 0; p < config_.num_partitions(); ++p) {
     memos_[p].ClearQuery(qs.id);
+  }
+  if (check_ != nullptr) {
+    check_->OnQueryComplete(ProbeOf(qs), qs.result.complete_time);
   }
 }
 

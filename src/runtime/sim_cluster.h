@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/invariants.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -49,7 +50,7 @@ inline uint32_t WeightKeyScope(uint64_t key) {
 ///   uint64_t q = cluster.Submit(plan, /*at=*/0);
 ///   cluster.RunToCompletion();
 ///   const QueryResult& r = cluster.result(q);
-class SimCluster {
+class SimCluster : public check::ClusterProbe {
  public:
   SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> graph);
   ~SimCluster();
@@ -129,6 +130,33 @@ class SimCluster {
 
   uint32_t WorkerOfPartition(PartitionId p) const { return p; }
   uint32_t NodeOfWorker(uint32_t w) const { return w / config_.workers_per_node; }
+
+  /// Attaches an invariant-checking harness (check subsystem, DESIGN.md §10).
+  /// The harness observes every weight split/merge/finish, scope close,
+  /// query completion, seq assignment/delivery, event boundary and the final
+  /// quiescence sweep. Pass nullptr to detach. With no harness attached
+  /// (the default) every hook site is a single branch on a null pointer, so
+  /// unchecked runs keep the historical event schedule and cost exactly.
+  void AttachChecker(check::CheckHarness* harness) {
+    check_ = harness;
+    if (check_ != nullptr) {
+      check_->BeginRun(check::RunInfo{fault_active_, recovery_active_,
+                                      config_.total_workers()});
+    }
+  }
+  check::CheckHarness* checker() const { return check_; }
+
+  // --- check::ClusterProbe (read-only, deterministic enumeration order) ---
+  uint32_t ProbeNumWorkers() const override;
+  SimTime ProbeWorkerClock(uint32_t worker) const override;
+  bool ProbeWorkerCrashed(uint32_t worker) const override;
+  void ProbeQueries(
+      const std::function<void(const check::QueryProbe&)>& fn) const override;
+  void ProbeMemos(const std::function<void(uint32_t partition, uint64_t query,
+                                           uint32_t step)>& fn) const override;
+  void ProbePendingWeights(
+      const std::function<void(uint32_t worker, uint64_t query, uint32_t scope,
+                               Weight w)>& fn) const override;
 
  private:
   friend class ExecContext;
@@ -367,6 +395,11 @@ class SimCluster {
   // event schedule, so metrics/tracing cannot perturb virtual time.
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  // Invariant-checking harness (null = detached; every hook site checks).
+  check::CheckHarness* check_ = nullptr;
+  /// Builds the QueryProbe view of one query (shared by CompleteQuery's
+  /// completion hook and the ProbeQueries sweep).
+  check::QueryProbe ProbeOf(const QueryState& qs) const;
   uint64_t charge_counts_[static_cast<int>(CostKind::kNumKinds)] = {0};
   Rng rng_;
   bool swap_thrashing_ = false;  // dataset exceeds simulated node memory

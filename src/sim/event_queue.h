@@ -9,16 +9,53 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace graphdance {
 
 /// Virtual time in nanoseconds.
 using SimTime = uint64_t;
 
-/// A deterministic virtual-time event queue. Events fire in (time, insertion
-/// sequence) order, so simulations are exactly reproducible run-to-run.
+/// Schedule-space exploration knobs (DESIGN.md §10). The default —
+/// everything zero — pins the historical schedule exactly: same-timestamp
+/// events fire in insertion order and no jitter is applied, so existing
+/// fixed-seed runs stay byte-identical. With a nonzero `tiebreak_seed`,
+/// same-timestamp ties fire in a seeded pseudo-random permutation instead;
+/// with a nonzero `jitter_ns`, every scheduled event is delayed by a seeded
+/// uniform draw from [0, jitter_ns]. Both are pure functions of (seed,
+/// insertion sequence), so each seed deterministically replays one distinct
+/// legal interleaving of the same workload.
+struct ScheduleExploration {
+  /// 0 = insertion-order ties (the pinned default schedule); nonzero = a
+  /// seeded permutation of same-timestamp ties.
+  uint64_t tiebreak_seed = 0;
+  /// Upper bound of per-event latency jitter (0 = off). Keep it within the
+  /// cost model's latency scale (e.g. <= link_latency_ns): jitter only ever
+  /// *adds* virtual time, so it can never schedule into the past, but large
+  /// values distort the latency distributions the cost model encodes.
+  SimTime jitter_ns = 0;
+
+  bool Active() const { return tiebreak_seed != 0 || jitter_ns != 0; }
+};
+
+/// A deterministic virtual-time event queue. Events fire in (time, tie-break
+/// key, insertion sequence) order; by default the tie-break key IS the
+/// insertion sequence, so simulations are exactly reproducible run-to-run.
+/// See ScheduleExploration for the seeded tie-break permutation / latency
+/// jitter used by the check subsystem to explore distinct legal schedules.
 class EventQueue {
  public:
   using Callback = std::function<void(SimTime)>;
+
+  /// Installs exploration knobs. Must be called before the first Schedule()
+  /// so every event of the run is permuted under one seed (a mid-run switch
+  /// would mix two incomparable key spaces in the heap).
+  void ConfigureExploration(const ScheduleExploration& explore) {
+    assert(heap_.empty() && next_seq_ == 0 &&
+           "ConfigureExploration must precede the first Schedule");
+    explore_ = explore;
+  }
+  const ScheduleExploration& exploration() const { return explore_; }
 
   /// Schedules `cb` to run at virtual time `when` (must be >= now()).
   /// Scheduling in the virtual past is a bug (asserts in debug builds);
@@ -27,7 +64,21 @@ class EventQueue {
   void Schedule(SimTime when, Callback cb) {
     assert(when >= now_ && "EventQueue::Schedule called with a past time");
     when = std::max(when, now_);
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+    uint64_t seq = next_seq_++;
+    if (explore_.jitter_ns > 0) {
+      // Seeded bounded delay. Addition only — a jittered event still honours
+      // the >= now() contract, so the clock stays monotone under any seed.
+      when += Mix64(seq * 0x9e3779b97f4a7c15ULL ^ explore_.tiebreak_seed ^
+                    0x6a09e667f3bcc909ULL) %
+              (explore_.jitter_ns + 1);
+    }
+    // The tie-break key: insertion order by default (the pinned schedule), a
+    // seeded permutation when exploring. `seq` stays the last comparand so
+    // the order is total and deterministic even on key collisions.
+    uint64_t key = explore_.tiebreak_seed == 0
+                       ? seq
+                       : Mix64(seq ^ explore_.tiebreak_seed * 0xff51afd7ed558ccdULL);
+    heap_.push(Event{when, key, seq, std::move(cb)});
   }
 
   /// Pops and runs the earliest event, advancing the clock. Returns false
@@ -63,10 +114,12 @@ class EventQueue {
  private:
   struct Event {
     SimTime when;
+    uint64_t key;  // tie-break: == seq by default, permuted when exploring
     uint64_t seq;
     Callback cb;
     bool operator>(const Event& other) const {
       if (when != other.when) return when > other.when;
+      if (key != other.key) return key > other.key;
       return seq > other.seq;
     }
   };
@@ -74,6 +127,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
   uint64_t next_seq_ = 0;
   SimTime now_ = 0;
+  ScheduleExploration explore_;
 };
 
 }  // namespace graphdance

@@ -1,0 +1,726 @@
+// Tests for the check subsystem (DESIGN.md §10): runtime invariant checkers
+// evaluated inside SimCluster, schedule-space exploration in the event queue
+// (seeded tie-break permutation + bounded latency jitter), the differential
+// oracle comparing every engine x explored schedule against a single-worker
+// reference, and the (fault schedule, seed) shrinker with its one-line replay
+// token. Includes the mutation smoke test: a deliberately corrupted weight
+// merge must trip the conservation checker (guards against a vacuously green
+// harness), and the pinned-schedule regression: with exploration off, a
+// fixed-seed run stays byte-identical snapshot- and trace-wise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/oracle.h"
+#include "check/shrink.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+#include "sim/event_queue.h"
+
+namespace graphdance {
+namespace {
+
+using check::CheckHarness;
+using check::DifferentialOptions;
+using check::DifferentialReport;
+using check::ReplaySpec;
+using check::RunCell;
+using check::RunDifferential;
+using check::ShrinkResult;
+using check::WorkloadFactory;
+using check::WorkloadInstance;
+
+// --- shared workload helpers (same idiom as chaos_test) ---------------------
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId link;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t partitions, uint64_t nv = 1024, uint64_t ne = 8192,
+                    uint64_t seed = 11) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = seed;
+  opt.weight_range = 10'000;
+  auto result = GeneratePowerLawGraph(opt, tg.schema, partitions);
+  EXPECT_TRUE(result.ok());
+  tg.graph = result.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig CheckConfig(EngineKind engine = EngineKind::kAsync) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.engine = engine;
+  cfg.progress_timeout_ns = 20'000'000;
+  return cfg;
+}
+
+std::shared_ptr<const Plan> TopKPlan(const TestGraph& tg, VertexId start, int k,
+                                     size_t limit = 10) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, limit)
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::shared_ptr<const Plan> CountPlan(const TestGraph& tg, VertexId start,
+                                      int k) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Count()
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::vector<std::shared_ptr<const Plan>> StandardPlans(const TestGraph& tg) {
+  return {TopKPlan(tg, 1, 3), CountPlan(tg, 5, 2), TopKPlan(tg, 17, 2, 5)};
+}
+
+/// Fault-free pinned-schedule reference rows for `plans` under `cfg`'s engine.
+std::vector<std::vector<Row>> CleanReference(
+    const TestGraph& tg, ClusterConfig cfg,
+    const std::vector<std::shared_ptr<const Plan>>& plans) {
+  cfg.fault = FaultPlan{};
+  cfg.explore = ScheduleExploration{};
+  SimCluster cluster(cfg, tg.graph);
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  EXPECT_TRUE(cluster.RunToCompletion().ok());
+  std::vector<std::vector<Row>> out;
+  for (uint64_t id : ids) {
+    out.push_back(check::CanonicalRows(cluster.result(id).rows));
+  }
+  return out;
+}
+
+// --- schedule-space exploration: EventQueue unit tests ----------------------
+
+TEST(EventQueueExploreTest, DefaultPinsInsertionOrderOnTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.Schedule(100, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.RunUntilEmpty();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_FALSE(q.exploration().Active());
+}
+
+std::vector<int> TieOrderUnderSeed(uint64_t seed, int n = 32) {
+  EventQueue q;
+  ScheduleExploration ex;
+  ex.tiebreak_seed = seed;
+  q.ConfigureExploration(ex);
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i) {
+    q.Schedule(100, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.RunUntilEmpty();
+  return order;
+}
+
+TEST(EventQueueExploreTest, SeededTieBreakIsAPermutationDistinctPerSeed) {
+  std::vector<int> pinned = TieOrderUnderSeed(0);
+  std::vector<int> a = TieOrderUnderSeed(5);
+  std::vector<int> b = TieOrderUnderSeed(9);
+  // Deterministic: the same seed replays the same interleaving.
+  EXPECT_EQ(a, TieOrderUnderSeed(5));
+  EXPECT_EQ(b, TieOrderUnderSeed(9));
+  // Distinct legal interleavings: each order is a permutation of the same
+  // event set, and different seeds give different orders.
+  for (std::vector<int> order : {pinned, a, b}) {
+    std::sort(order.begin(), order.end());
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+  }
+  EXPECT_NE(a, pinned);
+  EXPECT_NE(b, pinned);
+  EXPECT_NE(a, b);
+}
+
+TEST(EventQueueExploreTest, JitterIsBoundedSeededAndMonotone) {
+  auto fire_times = [](uint64_t seed) {
+    EventQueue q;
+    ScheduleExploration ex;
+    ex.tiebreak_seed = seed;
+    ex.jitter_ns = 500;
+    q.ConfigureExploration(ex);
+    std::vector<SimTime> times;
+    for (int i = 0; i < 64; ++i) {
+      q.Schedule(1000 + 10 * static_cast<SimTime>(i),
+                 [&times](SimTime at) { times.push_back(at); });
+    }
+    q.RunUntilEmpty();
+    return times;
+  };
+  std::vector<SimTime> times = fire_times(3);
+  ASSERT_EQ(times.size(), 64u);
+  SimTime prev = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    // Jitter only ever adds: every event fires within [when, when + jitter]
+    // of SOME event's schedule time, and the clock is monotone.
+    EXPECT_GE(times[i], 1000u);
+    EXPECT_LE(times[i], 1000 + 10 * 63 + 500u);
+    EXPECT_GE(times[i], prev);
+    prev = times[i];
+  }
+  EXPECT_EQ(times, fire_times(3));   // seeded: bit-for-bit reproducible
+  EXPECT_NE(times, fire_times(11));  // and seed-sensitive
+}
+
+// --- replay tokens ----------------------------------------------------------
+
+TEST(ReplayTokenTest, RoundTripsEveryField) {
+  ReplaySpec spec;
+  spec.mode = "hybrid";
+  spec.tiebreak_seed = 0xdeadbeef;
+  spec.jitter_ns = 1234;
+  spec.fault.seed = 77;
+  spec.fault.drop_prob = 0.0005;
+  spec.fault.dup_prob = 0.02;
+  spec.fault.delay_prob = 0.125;
+  spec.fault.delay_ns = 150'000;
+  spec.fault.DropNth(3);
+  spec.fault.DuplicateNth(5);
+  spec.fault.DelayNth(7, 90'000);
+  spec.fault.CrashWorker(2, 10'000, 300'000);
+  spec.fault.DegradeLink(0, 5'000'000, 8.5);
+
+  std::string token = check::FormatReplayToken(spec);
+  EXPECT_EQ(token.rfind("gdchk1;", 0), 0u) << token;
+  auto parsed = check::ParseReplayToken(token);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ReplaySpec& back = parsed.value();
+  EXPECT_EQ(back.mode, spec.mode);
+  EXPECT_EQ(back.tiebreak_seed, spec.tiebreak_seed);
+  EXPECT_EQ(back.jitter_ns, spec.jitter_ns);
+  EXPECT_EQ(back.fault.seed, spec.fault.seed);
+  EXPECT_EQ(back.fault.drop_prob, spec.fault.drop_prob);
+  EXPECT_EQ(back.fault.dup_prob, spec.fault.dup_prob);
+  EXPECT_EQ(back.fault.delay_prob, spec.fault.delay_prob);
+  EXPECT_EQ(back.fault.delay_ns, spec.fault.delay_ns);
+  ASSERT_EQ(back.fault.scripted.size(), spec.fault.scripted.size());
+  for (size_t i = 0; i < spec.fault.scripted.size(); ++i) {
+    const FaultEvent& want = spec.fault.scripted[i];
+    const FaultEvent& got = back.fault.scripted[i];
+    EXPECT_EQ(got.kind, want.kind) << "event " << i;
+    EXPECT_EQ(got.nth, want.nth);
+    EXPECT_EQ(got.extra_delay_ns, want.extra_delay_ns);
+    EXPECT_EQ(got.worker, want.worker);
+    EXPECT_EQ(got.at, want.at);
+    EXPECT_EQ(got.duration_ns, want.duration_ns);
+    EXPECT_EQ(got.factor, want.factor);
+  }
+  // Format is a fixed point: reformatting the parse gives the same token.
+  EXPECT_EQ(check::FormatReplayToken(back), token);
+}
+
+TEST(ReplayTokenTest, RejectsGarbage) {
+  EXPECT_FALSE(check::ParseReplayToken("").ok());
+  EXPECT_FALSE(check::ParseReplayToken("bogus").ok());
+  EXPECT_FALSE(check::ParseReplayToken("gdchk9;mode=async;seed=0").ok());
+}
+
+// --- invariant checkers on clean runs ---------------------------------------
+
+TEST(CheckerTest, CleanRunsTripNothingAcrossEnginesAndBulking) {
+  TestGraph tg = MakeGraph(4);
+  const EngineKind engines[] = {EngineKind::kAsync, EngineKind::kShared,
+                                EngineKind::kGaiaSim, EngineKind::kBanyanSim};
+  for (EngineKind engine : engines) {
+    for (bool bulking : {true, false}) {
+      for (bool coalescing : {true, false}) {
+        SCOPED_TRACE(std::string(EngineKindName(engine)) +
+                     " bulking=" + (bulking ? "on" : "off") +
+                     " coalescing=" + (coalescing ? "on" : "off"));
+        ClusterConfig cfg = CheckConfig(engine);
+        cfg.traverser_bulking = bulking;
+        cfg.weight_coalescing = coalescing;
+        std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+        SimCluster cluster(cfg, tg.graph);
+        cluster.AttachChecker(harness.get());
+        std::vector<uint64_t> ids;
+        for (const auto& p : StandardPlans(tg)) {
+          ids.push_back(cluster.Submit(p, 0));
+        }
+        ASSERT_TRUE(cluster.RunToCompletion().ok());
+        for (uint64_t id : ids) EXPECT_TRUE(cluster.result(id).done);
+        EXPECT_EQ(harness->trip_count(), 0u) << harness->Summary();
+        obs::MetricsSnapshot snap = cluster.MetricsSnapshot();
+        EXPECT_TRUE(snap.checker_attached);
+        EXPECT_EQ(snap.checker_trips, 0u);
+      }
+    }
+  }
+}
+
+TEST(CheckerTest, BspEngineRunsCleanUnderCheckers) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = CheckConfig(EngineKind::kBsp);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  SimCluster cluster(cfg, tg.graph);
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : StandardPlans(tg)) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+  for (uint64_t id : ids) EXPECT_TRUE(cluster.result(id).done);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->Summary();
+}
+
+TEST(CheckerTest, FaultedRunsStayCleanUnderAllCheckers) {
+  // Faults exercise the recovery machinery (retries, epoch fencing, seq
+  // dedup, row ledgers); none of it may violate an invariant. Explicitly
+  // failed / timed-out queries are legal; trips are not.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig base = CheckConfig(EngineKind::kAsync);
+  std::vector<std::shared_ptr<const Plan>> plans = StandardPlans(tg);
+  std::vector<std::vector<Row>> ref = CleanReference(tg, base, plans);
+
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ClusterConfig cfg = base;
+    Rng mix(seed * 2654435761ULL);
+    cfg.fault.seed = mix.Next();
+    cfg.fault.dup_prob = 0.03;
+    cfg.fault.delay_prob = 0.03;
+    cfg.fault.delay_ns = 50'000;
+    if (seed % 2 == 0) cfg.fault.drop_prob = 0.001;
+    if (seed % 3 == 0) {
+      cfg.fault.CrashWorker(static_cast<uint32_t>(mix.Below(4)),
+                            /*at=*/10'000 + mix.Below(50'000),
+                            /*restart_after=*/200'000);
+    }
+    std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+    SimCluster cluster(cfg, tg.graph);
+    cluster.AttachChecker(harness.get());
+    std::vector<uint64_t> ids;
+    for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+    Status s = cluster.RunToCompletion(/*max_events=*/200'000'000ULL);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(harness->trip_count(), 0u) << harness->Summary();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const QueryResult& r = cluster.result(ids[i]);
+      ASSERT_TRUE(r.done);
+      if (r.failed || r.timed_out) continue;  // explicit, never silent
+      EXPECT_EQ(check::CanonicalRows(r.rows), ref[i]);
+    }
+  }
+}
+
+TEST(CheckerTest, AttachingCheckersIsScheduleNeutral) {
+  // The harness is pure observation: an attached checker must not perturb
+  // the event schedule, the metrics, or the answers. The only allowed
+  // difference in the snapshot rendering is the checker section itself.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = CheckConfig(EngineKind::kAsync);
+  cfg.trace = true;
+  auto plan = TopKPlan(tg, 1, 3);
+
+  SimCluster plain(cfg, tg.graph);
+  uint64_t pq = plain.Submit(plan, 0);
+  ASSERT_TRUE(plain.RunToCompletion().ok());
+
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  SimCluster checked(cfg, tg.graph);
+  checked.AttachChecker(harness.get());
+  uint64_t cq = checked.Submit(plan, 0);
+  ASSERT_TRUE(checked.RunToCompletion().ok());
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->Summary();
+
+  EXPECT_EQ(plain.quiescent_time(), checked.quiescent_time());
+  EXPECT_EQ(plain.result(pq).complete_time, checked.result(cq).complete_time);
+  EXPECT_EQ(plain.result(pq).rows, checked.result(cq).rows);
+  EXPECT_EQ(plain.tracer().ToJson(), checked.tracer().ToJson());
+
+  // Snapshot strings agree once the checker's own section is removed.
+  std::string with = checked.MetricsSnapshot().ToString();
+  std::string without = plain.MetricsSnapshot().ToString();
+  size_t pos = with.find("checker: ");
+  ASSERT_NE(pos, std::string::npos);
+  with.erase(pos, with.find('\n', pos) - pos + 1);
+  EXPECT_EQ(with, without);
+  EXPECT_EQ(without.find("checker: "), std::string::npos);
+}
+
+// --- pinned default schedule (regression) -----------------------------------
+
+TEST(PinnedScheduleTest, FixedSeedRunsAreByteIdentical) {
+  // With exploration off, two identically configured runs must agree
+  // byte-for-byte on the metrics snapshot and the trace — the determinism
+  // contract every fixed-seed test in this repo leans on.
+  TestGraph tg = MakeGraph(4);
+  auto run = [&tg](ScheduleExploration explore) {
+    ClusterConfig cfg = CheckConfig(EngineKind::kAsync);
+    cfg.trace = true;
+    cfg.explore = explore;
+    SimCluster cluster(cfg, tg.graph);
+    for (const auto& p : StandardPlans(tg)) cluster.Submit(p, 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return std::make_pair(cluster.MetricsSnapshot().ToString(),
+                          cluster.tracer().ToJson());
+  };
+  auto first = run(ScheduleExploration{});
+  auto second = run(ScheduleExploration{});
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+
+  // An explicit all-zero exploration struct IS the pinned schedule: the knob
+  // being present must not change the ordering (Active() is false).
+  ScheduleExploration zeros;
+  zeros.tiebreak_seed = 0;
+  zeros.jitter_ns = 0;
+  EXPECT_FALSE(zeros.Active());
+  auto explicit_zeros = run(zeros);
+  EXPECT_EQ(first.first, explicit_zeros.first);
+  EXPECT_EQ(first.second, explicit_zeros.second);
+}
+
+TEST(PinnedScheduleTest, ExplorationChangesScheduleButNeverAnswers) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig base = CheckConfig(EngineKind::kAsync);
+  std::vector<std::shared_ptr<const Plan>> plans = StandardPlans(tg);
+  std::vector<std::vector<Row>> ref = CleanReference(tg, base, plans);
+
+  SimCluster pinned(base, tg.graph);
+  for (const auto& p : plans) pinned.Submit(p, 0);
+  ASSERT_TRUE(pinned.RunToCompletion().ok());
+  SimTime pinned_quiescent = pinned.quiescent_time();
+
+  int different_schedules = 0;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ClusterConfig cfg = base;
+    cfg.explore.tiebreak_seed = seed;
+    cfg.explore.jitter_ns = 2000;
+    std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+    SimCluster cluster(cfg, tg.graph);
+    cluster.AttachChecker(harness.get());
+    std::vector<uint64_t> ids;
+    for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+    ASSERT_TRUE(cluster.RunToCompletion().ok());
+    EXPECT_EQ(harness->trip_count(), 0u) << harness->Summary();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const QueryResult& r = cluster.result(ids[i]);
+      ASSERT_TRUE(r.done && !r.failed);
+      EXPECT_EQ(check::CanonicalRows(r.rows), ref[i])
+          << "exploration changed an answer";
+    }
+    if (cluster.quiescent_time() != pinned_quiescent) ++different_schedules;
+
+    // The same seed replays the same interleaving bit-for-bit.
+    std::unique_ptr<CheckHarness> replay_harness = CheckHarness::WithAllCheckers();
+    SimCluster replay(cfg, tg.graph);
+    replay.AttachChecker(replay_harness.get());
+    for (const auto& p : plans) replay.Submit(p, 0);
+    ASSERT_TRUE(replay.RunToCompletion().ok());
+    EXPECT_EQ(replay.MetricsSnapshot().ToString(),
+              cluster.MetricsSnapshot().ToString());
+  }
+  // Jitter stretches virtual time, so the explored schedules are genuinely
+  // distinct from the pinned one (not merely relabeled).
+  EXPECT_GT(different_schedules, 0);
+}
+
+// --- mutation smoke test ----------------------------------------------------
+
+TEST(CheckerTest, CorruptedWeightMergeTripsConservationChecker) {
+  // A planted bug: the first coalescing weight merge is corrupted by +1.
+  // The weight-conservation checker must trip, the query must never complete
+  // cleanly (its scope can no longer reach kUnitWeight), and the snapshot
+  // must surface the trip. Proves the checkers can actually fail.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = CheckConfig(EngineKind::kAsync);
+  auto plan = TopKPlan(tg, 1, 3);
+
+  // Sanity: the identical run without corruption is clean.
+  {
+    std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+    SimCluster cluster(cfg, tg.graph);
+    cluster.AttachChecker(harness.get());
+    cluster.Submit(plan, 0);
+    ASSERT_TRUE(cluster.RunToCompletion().ok());
+    ASSERT_EQ(harness->trip_count(), 0u) << harness->Summary();
+  }
+
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  harness->CorruptNthWeightMerge(1);
+  SimCluster cluster(cfg, tg.graph);
+  cluster.AttachChecker(harness.get());
+  uint64_t q = cluster.Submit(plan, 0);
+  Status s = cluster.RunToCompletion();
+  EXPECT_FALSE(s.ok()) << "corrupted weight still completed the query";
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_FALSE(cluster.result(q).done);
+
+  EXPECT_GT(harness->trip_count(), 0u);
+  auto it = harness->TripsByChecker().find("weight-conservation");
+  ASSERT_NE(it, harness->TripsByChecker().end())
+      << "the conservation checker missed the planted corruption:\n"
+      << harness->Summary();
+  EXPECT_GT(it->second, 0u);
+  ASSERT_FALSE(harness->trips().empty());
+  EXPECT_EQ(harness->trips()[0].checker, "weight-conservation");
+
+  obs::MetricsSnapshot snap = cluster.MetricsSnapshot();
+  EXPECT_TRUE(snap.checker_attached);
+  EXPECT_GT(snap.checker_trips, 0u);
+  EXPECT_NE(snap.ToString().find("checker: "), std::string::npos);
+}
+
+// --- differential oracle ----------------------------------------------------
+
+TEST(DifferentialOracleTest, ReferenceIsCleanAndComplete) {
+  WorkloadFactory factory = check::MakeDefaultCheckWorkload();
+  auto ref = check::ComputeReference(factory);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_EQ(ref.value().size(), factory(1).plans.size());
+  // The workload mixes top-k and count plans; every plan yields rows.
+  for (const auto& rows : ref.value()) EXPECT_FALSE(rows.empty());
+}
+
+TEST(DifferentialOracleTest, CleanMatrixMatchesReferenceEverywhere) {
+  DifferentialOptions opt;
+  opt.num_seeds = 4;
+  opt.jitter_ns = 1000;
+  auto rep = RunDifferential(check::MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  const DifferentialReport& r = rep.value();
+  EXPECT_EQ(r.cells, 3u * 4u);  // {async, bsp, hybrid} x 4 seeds
+  EXPECT_EQ(r.queries, r.cells * 5u);
+  EXPECT_EQ(r.trips, 0u) << r.Summary();
+  EXPECT_EQ(r.mismatches, 0u) << r.Summary();
+  EXPECT_EQ(r.explicit_failures, 0u);  // fault-free: nothing may fail
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DifferentialOracleTest, FaultedMatrixIsNeverSilentlyWrong) {
+  DifferentialOptions opt;
+  opt.num_seeds = 4;
+  opt.jitter_ns = 1000;
+  opt.fault_active = true;
+  opt.fault.seed = 77;
+  opt.fault.dup_prob = 0.02;
+  opt.fault.delay_prob = 0.02;
+  opt.fault.drop_prob = 0.0005;
+  auto rep = RunDifferential(check::MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  // Explicit failures are legal under faults; trips and silent mismatches
+  // are not.
+  EXPECT_TRUE(rep.value().ok()) << rep.value().Summary();
+  EXPECT_EQ(rep.value().trips, 0u);
+  EXPECT_EQ(rep.value().mismatches, 0u);
+}
+
+TEST(DifferentialOracleTest, PlantedCorruptionIsCaughtWithAReplayToken) {
+  WorkloadFactory factory = check::MakeDefaultCheckWorkload();
+  DifferentialOptions opt;
+  opt.modes = {"async"};
+  opt.num_seeds = 1;
+  opt.corrupt_nth_merge = 1;
+  auto rep = RunDifferential(factory, opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  ASSERT_FALSE(rep.value().ok())
+      << "the matrix missed a corrupted weight merge";
+  ASSERT_FALSE(rep.value().failures.empty());
+  const check::DifferentialFailure& failure = rep.value().failures[0];
+  EXPECT_FALSE(failure.what.empty());
+
+  // The failure's replay token reproduces the failing cell on its own.
+  auto spec = check::ParseReplayToken(failure.token);
+  ASSERT_TRUE(spec.ok()) << failure.token;
+  auto ref = check::ComputeReference(factory);
+  ASSERT_TRUE(ref.ok());
+  auto cell = RunCell(factory, ref.value(), spec.value(), opt);
+  ASSERT_TRUE(cell.ok()) << cell.status().ToString();
+  EXPECT_FALSE(cell.value().ok()) << "replay token did not reproduce";
+  EXPECT_FALSE(cell.value().detail.empty());
+}
+
+// --- shrinker ---------------------------------------------------------------
+
+TEST(ShrinkTest, SyntheticPredicateShrinksToTheRelevantFault) {
+  // The failure needs exactly two ingredients: the scripted DropNth(9) and a
+  // nonzero dup_prob. Everything else — five other scripted events, two
+  // other probability knobs, jitter, the tie-break seed — is noise the
+  // shrinker must strip.
+  ReplaySpec failing;
+  failing.mode = "async";
+  failing.tiebreak_seed = 42;
+  failing.jitter_ns = 500;
+  failing.fault.drop_prob = 0.01;
+  failing.fault.dup_prob = 0.02;
+  failing.fault.delay_prob = 0.03;
+  failing.fault.DropNth(3);
+  failing.fault.DuplicateNth(5);
+  failing.fault.DelayNth(7, 1000);
+  failing.fault.DropNth(9);  // the culprit
+  failing.fault.CrashWorker(1, 5'000, 100'000);
+  failing.fault.DegradeLink(0, 1'000, 2.0);
+
+  auto fails = [](const ReplaySpec& spec) {
+    bool has_drop9 = false;
+    for (const FaultEvent& e : spec.fault.scripted) {
+      if (e.kind == FaultKind::kDropNthRemote && e.nth == 9) has_drop9 = true;
+    }
+    return has_drop9 && spec.fault.dup_prob > 0.0;
+  };
+
+  ShrinkResult result = check::Shrink(failing, fails);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_LE(result.evaluations, 256);
+  ASSERT_EQ(result.minimal.fault.scripted.size(), 1u);
+  EXPECT_EQ(result.minimal.fault.scripted[0].kind, FaultKind::kDropNthRemote);
+  EXPECT_EQ(result.minimal.fault.scripted[0].nth, 9u);
+  EXPECT_GT(result.minimal.fault.dup_prob, 0.0);  // load-bearing: kept
+  EXPECT_EQ(result.minimal.fault.drop_prob, 0.0);
+  EXPECT_EQ(result.minimal.fault.delay_prob, 0.0);
+  EXPECT_EQ(result.minimal.jitter_ns, 0u);
+  EXPECT_EQ(result.minimal.tiebreak_seed, 0u);
+  // The minimal spec still fails, and its token round-trips to it.
+  EXPECT_TRUE(fails(result.minimal));
+  auto parsed = check::ParseReplayToken(result.token);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(fails(parsed.value()));
+}
+
+TEST(ShrinkTest, NonFailingSpecIsReportedNotShrunk) {
+  ReplaySpec passing;
+  passing.fault.DropNth(3);
+  auto fails = [](const ReplaySpec&) { return false; };
+  ShrinkResult result = check::Shrink(passing, fails);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.evaluations, 1);
+  EXPECT_EQ(result.minimal.fault.scripted.size(), 1u);
+}
+
+TEST(ShrinkTest, PlantedFailureShrinksAndReplaysFromToken) {
+  // End-to-end: a real failing (fault schedule, seed) pair — the failure
+  // planted by the corrupt-merge hook — bisects down to the clean minimal
+  // spec (the corruption fails under ANY schedule), and the emitted replay
+  // token reproduces the failure from scratch.
+  auto factory = [](uint32_t partitions) {
+    TestGraph tg = MakeGraph(partitions, 256, 1024, 7);
+    WorkloadInstance wl;
+    wl.graph = tg.graph;
+    wl.plans = {TopKPlan(tg, 1, 2, 5), CountPlan(tg, 5, 2)};
+    return wl;
+  };
+  auto ref = check::ComputeReference(factory);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  DifferentialOptions opt;
+  opt.corrupt_nth_merge = 1;
+  auto fails = [&](const ReplaySpec& spec) {
+    auto cell = RunCell(factory, ref.value(), spec, opt);
+    return cell.ok() && !cell.value().ok();
+  };
+
+  ReplaySpec failing;
+  failing.mode = "async";
+  failing.tiebreak_seed = 9;
+  failing.jitter_ns = 500;
+  failing.fault.dup_prob = 0.01;
+  failing.fault.DuplicateNth(4);
+  failing.fault.DelayNth(3, 50'000);
+  ASSERT_TRUE(fails(failing)) << "the planted corruption did not fail";
+
+  ShrinkResult result = check::Shrink(failing, fails, /*budget=*/64);
+  EXPECT_TRUE(result.reproduced);
+  // The corruption fails under every schedule, so everything shrinks away.
+  EXPECT_TRUE(result.minimal.fault.scripted.empty());
+  EXPECT_EQ(result.minimal.fault.dup_prob, 0.0);
+  EXPECT_EQ(result.minimal.jitter_ns, 0u);
+  EXPECT_EQ(result.minimal.tiebreak_seed, 0u);
+
+  // One-line replay token -> parse -> reproduce.
+  auto parsed = check::ParseReplayToken(result.token);
+  ASSERT_TRUE(parsed.ok()) << result.token;
+  EXPECT_TRUE(fails(parsed.value())) << "token " << result.token
+                                     << " did not reproduce the failure";
+}
+
+// --- acceptance matrix: 64 seeds x 3 engines on a faulted LDBC workload -----
+
+WorkloadFactory LdbcCheckWorkload() {
+  // Cached per partition count: RunDifferential regenerates the workload for
+  // every cell, and SNB generation dominates otherwise. The SNB generator
+  // assigns global ids independent of partitioning, so parameters drawn from
+  // one instance select the same logical entities in every instance.
+  auto cache = std::make_shared<std::map<uint32_t, WorkloadInstance>>();
+  return [cache](uint32_t partitions) {
+    auto it = cache->find(partitions);
+    if (it != cache->end()) return it->second;
+    SnbConfig scfg = SnbConfig::Tiny(50);
+    auto data = GenerateSnb(scfg, partitions).TakeValue();
+    SnbParamGen gen(*data, /*seed=*/1234);
+    SnbParams params = gen.Next();
+    WorkloadInstance wl;
+    wl.graph = data->graph;
+    for (int is : {1, 2, 3}) {
+      auto plan = BuildInteractiveShort(is, *data, params);
+      EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+      wl.plans.push_back(plan.TakeValue());
+    }
+    auto ic2 = BuildInteractiveComplex(2, *data, params);
+    EXPECT_TRUE(ic2.ok()) << ic2.status().ToString();
+    wl.plans.push_back(ic2.TakeValue());
+    (*cache)[partitions] = wl;
+    return wl;
+  };
+}
+
+TEST(AcceptanceMatrixTest, SixtyFourSeedsThreeEnginesFaultedLdbc) {
+  // The PR's acceptance bar: >= 64 distinct tie-break seeds x {async, bsp,
+  // hybrid} on a faulted LDBC workload, every invariant checker attached —
+  // zero trips, and every normally completed query row-identical to the
+  // single-worker reference.
+  DifferentialOptions opt;
+  opt.num_seeds = 64;
+  opt.jitter_ns = 2000;
+  opt.fault_active = true;
+  opt.fault.seed = 77;
+  opt.fault.dup_prob = 0.02;
+  opt.fault.delay_prob = 0.02;
+  opt.fault.drop_prob = 0.0005;
+  auto rep = RunDifferential(LdbcCheckWorkload(), opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  const DifferentialReport& r = rep.value();
+  EXPECT_EQ(r.cells, 3u * 64u);
+  EXPECT_EQ(r.queries, r.cells * 4u);
+  EXPECT_EQ(r.trips, 0u) << r.Summary();
+  EXPECT_EQ(r.mismatches, 0u) << r.Summary();
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  // The summary is the human-facing artifact the CLI prints; it must report
+  // the full matrix.
+  EXPECT_NE(r.Summary().find("192"), std::string::npos) << r.Summary();
+}
+
+}  // namespace
+}  // namespace graphdance

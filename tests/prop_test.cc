@@ -1,0 +1,533 @@
+// Property and regression tests for the serde layer and weight splitting:
+//  - ByteReader hardening: reads past the end assert in debug builds and
+//    fail-safe (zero value, pinned cursor, latched truncated()) in release.
+//  - Truncated-message regression: every Message payload decoder is total
+//    over arbitrary prefixes of a valid frame — no crash, no UB, no giant
+//    allocation from a garbage length prefix.
+//  - Randomized round-trips for Value, Traverser, Row and AggState (all
+//    tags, >255 vars, empty and near-limit payloads).
+//  - SplitWeight conservation in Z_2^64 and Take/TakeLast equivalence with
+//    the vector path.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/value.h"
+#include "gtest/gtest.h"
+#include "pstm/memo.h"
+#include "pstm/steps.h"
+#include "pstm/traverser.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+namespace {
+
+// --- ByteReader hardening (satellite: harden ByteReader) --------------------
+
+#ifdef NDEBUG
+
+TEST(ByteReaderGuardTest, TruncatedFixedReadsFailSafe) {
+  uint8_t buf[4] = {0x01, 0x02, 0x03, 0x04};
+  ByteReader r(buf, sizeof(buf));
+  EXPECT_EQ(r.ReadU32(), 0x04030201u);
+  EXPECT_FALSE(r.truncated());
+  // The buffer is spent: every further read returns zero, latches
+  // truncated() and pins the cursor at the end.
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.ReadU8(), 0u);
+  EXPECT_EQ(r.ReadI64(), 0);
+  EXPECT_EQ(r.ReadDouble(), 0.0);
+  EXPECT_EQ(r.pos(), sizeof(buf));
+}
+
+TEST(ByteReaderGuardTest, PartialReadDoesNotConsume) {
+  // A read that does not fit must not consume the bytes that were there: the
+  // guard pins to the end without handing out a half-read value.
+  uint8_t buf[6] = {1, 2, 3, 4, 5, 6};
+  ByteReader r(buf, sizeof(buf));
+  EXPECT_EQ(r.ReadU64(), 0u);  // needs 8, only 6 available
+  EXPECT_TRUE(r.truncated());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReaderGuardTest, TruncatedReadRawZeroFills) {
+  uint8_t buf[2] = {0xaa, 0xbb};
+  ByteReader r(buf, sizeof(buf));
+  uint8_t out[5] = {9, 9, 9, 9, 9};
+  r.ReadRaw(out, sizeof(out));
+  EXPECT_TRUE(r.truncated());
+  for (uint8_t b : out) EXPECT_EQ(b, 0u);
+}
+
+TEST(ByteReaderGuardTest, HostileStringLengthDoesNotOverflow) {
+  // A length prefix of 0xffffffff must not wrap pos_ + n or allocate 4 GB.
+  ByteWriter w;
+  w.WriteU32(0xffffffffu);
+  std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.truncated());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+#else  // !NDEBUG
+
+TEST(ByteReaderDeathTest, FixedReadPastEndAsserts) {
+  uint8_t buf[2] = {1, 2};
+  EXPECT_DEATH(
+      {
+        ByteReader r(buf, sizeof(buf));
+        (void)r.ReadU32();
+      },
+      "ByteReader overflow");
+}
+
+TEST(ByteReaderDeathTest, ReadRawPastEndAsserts) {
+  uint8_t buf[2] = {1, 2};
+  EXPECT_DEATH(
+      {
+        ByteReader r(buf, sizeof(buf));
+        uint8_t out[8];
+        r.ReadRaw(out, sizeof(out));
+      },
+      "ByteReader overflow");
+}
+
+TEST(ByteReaderDeathTest, HostileStringLengthAsserts) {
+  ByteWriter w;
+  w.WriteU32(0xffffffffu);
+  std::vector<uint8_t> buf = w.Take();
+  EXPECT_DEATH(
+      {
+        ByteReader r(buf);
+        (void)r.ReadString();
+      },
+      "ByteReader overflow");
+}
+
+#endif  // NDEBUG
+
+// --- truncated-message regression -------------------------------------------
+//
+// Message structs are never serialized whole; what crosses the simulated wire
+// is the payload of each kind. The decoders exercised below cover every kind
+// that carries one:
+//   kTraverserBatch -> Traverser::Deserialize
+//   kResultRow      -> DeserializeRow
+//   kCollectReply   -> u32 row count + DeserializeRow each (top-k collect),
+//                      or DeserializeAggState (scalar-aggregate collect)
+//   kWeightReport / kFinalize / kControl carry no payload bytes (all fields
+//   travel in the Message header), so truncation cannot reach a decoder.
+// Value::Deserialize is the shared leaf decoder under rows and vars.
+
+std::vector<uint8_t> SampleTraverserBytes() {
+  Traverser t;
+  t.vertex = 0x1122334455667788ULL;
+  t.step = 3;
+  t.hop = 2;
+  t.scope = 7;
+  t.weight = 0xdeadbeefcafef00dULL;
+  t.bulk = 5;
+  t.vars.push_back(Value(int64_t{42}));
+  t.vars.push_back(Value("hello world"));
+  t.vars.push_back(Value());
+  t.vars.push_back(Value(true));
+  t.vars.push_back(Value(2.5));
+  t.path = {11, 22, 33};
+  ByteWriter w;
+  t.Serialize(&w);
+  return w.Take();
+}
+
+std::vector<uint8_t> SampleRowBytes() {
+  Row row;
+  row.push_back(Value(int64_t{7}));
+  row.push_back(Value("abcdef"));
+  row.push_back(Value(1.25));
+  row.push_back(Value(false));
+  row.push_back(Value());
+  ByteWriter w;
+  SerializeRow(row, &w);
+  return w.Take();
+}
+
+std::vector<uint8_t> SampleTopKCollectBytes() {
+  ByteWriter w;
+  w.WriteU32(3);
+  for (int i = 0; i < 3; ++i) {
+    Row row;
+    row.push_back(Value(int64_t{i}));
+    row.push_back(Value(std::string(static_cast<size_t>(i) * 3, 'x')));
+    SerializeRow(row, &w);
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> SampleAggStateBytes() {
+  AggState agg;
+  agg.count = 12;
+  agg.sum = 99.5;
+  agg.min = Value(int64_t{-4});
+  agg.max = Value("zzz");
+  ByteWriter w;
+  SerializeAggState(agg, &w);
+  return w.Take();
+}
+
+// Decodes a top-k collect payload the way OrderByLimitStep::OnCollect does:
+// a u32 row count (clamped against remaining bytes: every row costs at least
+// its own 4-byte count prefix) followed by that many rows.
+std::vector<Row> DecodeTopKCollect(ByteReader* in) {
+  uint32_t n = in->ReadU32();
+  n = std::min<uint32_t>(n, static_cast<uint32_t>(in->remaining() / 4));
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) rows.push_back(DeserializeRow(in));
+  return rows;
+}
+
+// Runs `decode` over every strict prefix of `full`. The property under test:
+// the decoder is total — it terminates, never reads out of bounds (the ASan
+// job gives this teeth), never allocates from a garbage length prefix, and
+// leaves the reader cursor within the prefix.
+template <typename DecodeFn>
+void CheckTotalOverPrefixes(const std::vector<uint8_t>& full, DecodeFn decode) {
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(full.data(), cut);
+    decode(&r);
+    EXPECT_LE(r.pos(), cut) << "decoder cursor escaped a " << cut
+                            << "-byte prefix of a " << full.size()
+                            << "-byte frame";
+  }
+}
+
+#ifdef NDEBUG
+
+TEST(TruncatedMessageTest, TraverserBatchPayload) {
+  std::vector<uint8_t> full = SampleTraverserBytes();
+  CheckTotalOverPrefixes(full, [&](ByteReader* r) {
+    Traverser t = Traverser::Deserialize(r);
+    // A garbage path count from a truncated frame must not drive a giant
+    // reserve: a valid stream carries 8 bytes per element.
+    EXPECT_LE(t.path.size(), full.size() / 8 + 1);
+  });
+}
+
+TEST(TruncatedMessageTest, ResultRowPayload) {
+  std::vector<uint8_t> full = SampleRowBytes();
+  CheckTotalOverPrefixes(full, [&](ByteReader* r) {
+    Row row = DeserializeRow(r);
+    EXPECT_LE(row.size(), full.size());
+  });
+}
+
+TEST(TruncatedMessageTest, TopKCollectPayload) {
+  std::vector<uint8_t> full = SampleTopKCollectBytes();
+  CheckTotalOverPrefixes(full, [&](ByteReader* r) {
+    std::vector<Row> rows = DecodeTopKCollect(r);
+    EXPECT_LE(rows.size(), full.size() / 4 + 1);
+  });
+}
+
+TEST(TruncatedMessageTest, AggCollectPayload) {
+  std::vector<uint8_t> full = SampleAggStateBytes();
+  CheckTotalOverPrefixes(full,
+                         [](ByteReader* r) { (void)DeserializeAggState(r); });
+}
+
+TEST(TruncatedMessageTest, ValueLeafDecoder) {
+  // Unknown tags and truncated bodies both fall back to a null Value.
+  for (uint8_t tag = 0; tag < 16; ++tag) {
+    std::vector<uint8_t> buf = {tag};
+    ByteReader r(buf.data(), buf.size());
+    Value v = Value::Deserialize(&r);
+    if (tag == 0) {
+      EXPECT_TRUE(v.is_null());
+      EXPECT_FALSE(r.truncated());
+    }
+    EXPECT_LE(r.pos(), buf.size());
+  }
+}
+
+#else  // !NDEBUG
+
+// Debug builds assert on the first out-of-bounds read; cover a representative
+// truncation per payload kind rather than every prefix (death tests fork).
+
+TEST(TruncatedMessageDeathTest, TraverserBatchPayloadAsserts) {
+  std::vector<uint8_t> full = SampleTraverserBytes();
+  EXPECT_DEATH(
+      {
+        ByteReader r(full.data(), full.size() / 2);
+        (void)Traverser::Deserialize(&r);
+      },
+      "ByteReader overflow");
+}
+
+TEST(TruncatedMessageDeathTest, ResultRowPayloadAsserts) {
+  std::vector<uint8_t> full = SampleRowBytes();
+  EXPECT_DEATH(
+      {
+        ByteReader r(full.data(), full.size() - 1);
+        (void)DeserializeRow(&r);
+      },
+      "ByteReader overflow");
+}
+
+TEST(TruncatedMessageDeathTest, AggCollectPayloadAsserts) {
+  std::vector<uint8_t> full = SampleAggStateBytes();
+  EXPECT_DEATH(
+      {
+        ByteReader r(full.data(), full.size() / 2);
+        (void)DeserializeAggState(&r);
+      },
+      "ByteReader overflow");
+}
+
+#endif  // NDEBUG
+
+// --- randomized round-trips (satellite: serde property test) ----------------
+
+Value RandomValue(Rng* rng, bool allow_big_strings) {
+  switch (rng->Below(5)) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng->Chance(0.5));
+    case 2:
+      return Value(static_cast<int64_t>(rng->Next()));
+    case 3:
+      return Value(static_cast<double>(static_cast<int64_t>(rng->Next())) *
+                   1.5e-3);
+    default: {
+      size_t n = rng->Below(24);
+      if (allow_big_strings && rng->Chance(0.02)) {
+        n = 60000 + rng->Below(8192);  // near the u16-var / frame scale limits
+      }
+      std::string s(n, '\0');
+      for (char& c : s) {
+        c = static_cast<char>(rng->Below(256));  // full byte range, incl. NUL
+      }
+      return Value(std::move(s));
+    }
+  }
+}
+
+TEST(SerdePropertyTest, ValueRoundTripsAllTags) {
+  Rng rng(0x5eed0001);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Value v = RandomValue(&rng, /*allow_big_strings=*/true);
+    ByteWriter w;
+    v.Serialize(&w);
+    std::vector<uint8_t> buf = w.Take();
+    ByteReader r(buf);
+    Value back = Value::Deserialize(&r);
+    EXPECT_FALSE(r.truncated());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(v.type(), back.type());
+    EXPECT_EQ(v, back);
+  }
+}
+
+TEST(SerdePropertyTest, ValueEdgeCasesRoundTrip) {
+  std::vector<Value> edges;
+  edges.push_back(Value());
+  edges.push_back(Value(false));
+  edges.push_back(Value(true));
+  edges.push_back(Value(int64_t{0}));
+  edges.push_back(Value(std::numeric_limits<int64_t>::min()));
+  edges.push_back(Value(std::numeric_limits<int64_t>::max()));
+  edges.push_back(Value(0.0));
+  edges.push_back(Value(-0.0));
+  edges.push_back(Value(std::numeric_limits<double>::infinity()));
+  edges.push_back(Value(std::string()));  // empty string
+  edges.push_back(Value(std::string(1, '\0')));
+  edges.push_back(Value(std::string(100000, 'q')));
+  for (const Value& v : edges) {
+    ByteWriter w;
+    v.Serialize(&w);
+    std::vector<uint8_t> buf = w.Take();
+    ByteReader r(buf);
+    Value back = Value::Deserialize(&r);
+    EXPECT_FALSE(r.truncated());
+    EXPECT_EQ(v.type(), back.type());
+    EXPECT_EQ(v, back);
+  }
+}
+
+void ExpectTraverserEq(const Traverser& a, const Traverser& b) {
+  EXPECT_EQ(a.vertex, b.vertex);
+  EXPECT_EQ(a.step, b.step);
+  EXPECT_EQ(a.hop, b.hop);
+  EXPECT_EQ(a.scope, b.scope);
+  EXPECT_EQ(a.weight, b.weight);
+  EXPECT_EQ(a.bulk, b.bulk);
+  ASSERT_EQ(a.vars.size(), b.vars.size());
+  for (size_t i = 0; i < a.vars.size(); ++i) EXPECT_EQ(a.vars[i], b.vars[i]);
+  EXPECT_EQ(a.path, b.path);
+}
+
+Traverser RoundTrip(const Traverser& t) {
+  ByteWriter w;
+  t.Serialize(&w);
+  std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  Traverser back = Traverser::Deserialize(&r);
+  EXPECT_FALSE(r.truncated());
+  EXPECT_TRUE(r.AtEnd());
+  return back;
+}
+
+TEST(SerdePropertyTest, TraverserRoundTripsRandomized) {
+  Rng rng(0x5eed0002);
+  for (int iter = 0; iter < 300; ++iter) {
+    Traverser t;
+    t.vertex = rng.Next();
+    t.step = static_cast<uint16_t>(rng.Below(1 << 16));
+    t.hop = static_cast<uint16_t>(rng.Below(1 << 16));
+    t.scope = static_cast<uint32_t>(rng.Next());
+    t.weight = rng.Next();
+    t.bulk = static_cast<uint32_t>(rng.Below(UINT32_MAX) + 1);
+    size_t nvars = rng.Below(8);
+    for (size_t i = 0; i < nvars; ++i) {
+      t.vars.push_back(RandomValue(&rng, /*allow_big_strings=*/false));
+    }
+    size_t plen = rng.Chance(0.3) ? rng.Below(20) : 0;
+    for (size_t i = 0; i < plen; ++i) t.path.push_back(rng.Next());
+    ExpectTraverserEq(t, RoundTrip(t));
+  }
+}
+
+TEST(SerdePropertyTest, TraverserRoundTripsOver255Vars) {
+  // Regression: the vars count used to be a raw u8, silently truncating
+  // traversers with more than 255 local variables. It is a u16 now.
+  Traverser t;
+  t.vertex = 17;
+  t.weight = kUnitWeight;
+  for (int i = 0; i < 300; ++i) t.vars.push_back(Value(int64_t{i}));
+  Traverser back = RoundTrip(t);
+  ASSERT_EQ(back.vars.size(), 300u);
+  ExpectTraverserEq(t, back);
+}
+
+TEST(SerdePropertyTest, TraverserRoundTripsEmptyAndMinimal) {
+  Traverser t;  // all defaults: no vars, no path, weight 0
+  ExpectTraverserEq(t, RoundTrip(t));
+}
+
+TEST(SerdePropertyTest, RowAndAggStateRoundTripRandomized) {
+  Rng rng(0x5eed0003);
+  for (int iter = 0; iter < 300; ++iter) {
+    Row row;
+    size_t n = rng.Below(6);
+    for (size_t i = 0; i < n; ++i) {
+      row.push_back(RandomValue(&rng, /*allow_big_strings=*/false));
+    }
+    ByteWriter w;
+    SerializeRow(row, &w);
+    std::vector<uint8_t> buf = w.Take();
+    ByteReader r(buf);
+    Row back = DeserializeRow(&r);
+    EXPECT_FALSE(r.truncated());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(row, back);
+
+    AggState agg;
+    agg.count = static_cast<int64_t>(rng.Next());
+    agg.sum = static_cast<double>(static_cast<int64_t>(rng.Next())) * 1e-3;
+    agg.min = RandomValue(&rng, false);
+    agg.max = RandomValue(&rng, false);
+    ByteWriter aw;
+    SerializeAggState(agg, &aw);
+    std::vector<uint8_t> abuf = aw.Take();
+    ByteReader ar(abuf);
+    AggState aback = DeserializeAggState(&ar);
+    EXPECT_FALSE(ar.truncated());
+    EXPECT_TRUE(ar.AtEnd());
+    EXPECT_EQ(agg.count, aback.count);
+    EXPECT_EQ(agg.sum, aback.sum);
+    EXPECT_EQ(agg.min, aback.min);
+    EXPECT_EQ(agg.max, aback.max);
+  }
+}
+
+// --- weight-splitting properties (satellite: SplitWeight conservation) ------
+
+TEST(WeightPropertyTest, SplitWeightConservesMod2To64) {
+  Rng rng(0x5eed0004);
+  for (int iter = 0; iter < 500; ++iter) {
+    Weight w = rng.Chance(0.1) ? kUnitWeight : rng.Next();
+    size_t n = 1 + rng.Below(200);
+    Rng split_rng(rng.Next());
+    std::vector<Weight> shares = SplitWeight(w, n, &split_rng);
+    ASSERT_EQ(shares.size(), n);
+    Weight sum = 0;
+    for (Weight s : shares) sum += s;  // Z_2^64: wraps
+    EXPECT_EQ(sum, w) << "split of " << w << " into " << n
+                      << " shares lost mass";
+  }
+}
+
+TEST(WeightPropertyTest, SplitWeightSingleShareIsIdentity) {
+  Rng rng(0x5eed0005);
+  for (int iter = 0; iter < 50; ++iter) {
+    Weight w = rng.Next();
+    Rng split_rng(7);
+    std::vector<Weight> shares = SplitWeight(w, 1, &split_rng);
+    ASSERT_EQ(shares.size(), 1u);
+    EXPECT_EQ(shares[0], w);
+  }
+}
+
+TEST(WeightPropertyTest, SplitterMatchesVectorPath) {
+  // The allocation-free WeightSplitter must be share-for-share identical to
+  // SplitWeight under the same seed: Take() x (n-1) then TakeLast() IS the
+  // vector path. The runtime mixes both on different paths, so a divergence
+  // would silently break weight conservation across them.
+  Rng rng(0x5eed0006);
+  for (int iter = 0; iter < 500; ++iter) {
+    Weight total = rng.Next();
+    size_t n = 1 + rng.Below(64);
+    uint64_t seed = rng.Next();
+
+    Rng vec_rng(seed);
+    std::vector<Weight> expected = SplitWeight(total, n, &vec_rng);
+
+    Rng inc_rng(seed);
+    WeightSplitter splitter(total, &inc_rng);
+    Weight sum = 0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      Weight share = splitter.Take();
+      EXPECT_EQ(share, expected[i]);
+      sum += share;
+    }
+    Weight last = splitter.TakeLast();
+    EXPECT_EQ(last, expected[n - 1]);
+    sum += last;
+    EXPECT_EQ(sum, total);
+    EXPECT_EQ(splitter.remaining(), 0u);
+  }
+}
+
+TEST(WeightPropertyTest, SplitterRemainingTracksTakes) {
+  Rng rng(0x5eed0007);
+  Weight total = 123456789;
+  WeightSplitter splitter(total, &rng);
+  Weight taken = 0;
+  for (int i = 0; i < 10; ++i) {
+    taken += splitter.Take();
+    EXPECT_EQ(splitter.remaining(), static_cast<Weight>(total - taken));
+  }
+  EXPECT_EQ(splitter.TakeLast(), static_cast<Weight>(total - taken));
+}
+
+}  // namespace
+}  // namespace graphdance

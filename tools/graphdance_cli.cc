@@ -12,6 +12,7 @@
 //   gd> help
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -19,6 +20,8 @@
 #include <vector>
 
 #include "analytics/analytics.h"
+#include "check/oracle.h"
+#include "check/shrink.h"
 #include "graph/generators.h"
 #include "ldbc/driver.h"
 #include "ldbc/snb_generator.h"
@@ -131,6 +134,77 @@ struct Shell {
                 EngineKindName(config.engine));
   }
 
+  /// `check [seeds]` / `check replay <token>` / `check shrink <token>`.
+  /// Always runs on the built-in oracle workload — the loaded dataset (if
+  /// any) is untouched, since the reference demands a regenerable graph.
+  void Check(std::istringstream& in) {
+    std::string sub;
+    in >> sub;
+    check::WorkloadFactory factory = check::MakeDefaultCheckWorkload();
+    check::DifferentialOptions opt;
+
+    if (sub == "replay" || sub == "shrink") {
+      std::string token;
+      in >> token;
+      auto spec = check::ParseReplayToken(token);
+      if (!spec.ok()) {
+        std::printf("bad token: %s\n", spec.status().ToString().c_str());
+        return;
+      }
+      auto reference = check::ComputeReference(factory, opt.max_events);
+      if (!reference.ok()) {
+        std::printf("reference error: %s\n",
+                    reference.status().ToString().c_str());
+        return;
+      }
+      if (sub == "replay") {
+        auto cell = check::RunCell(factory, reference.value(), spec.value(), opt);
+        if (!cell.ok()) {
+          std::printf("replay error: %s\n", cell.status().ToString().c_str());
+          return;
+        }
+        const check::CellReport& r = cell.value();
+        std::printf("%s: queries=%lu trips=%lu mismatches=%lu "
+                    "explicit_failures=%lu\n",
+                    r.ok() ? "PASS" : "FAIL", (unsigned long)r.queries,
+                    (unsigned long)r.trips, (unsigned long)r.mismatches,
+                    (unsigned long)r.explicit_failures);
+        if (!r.detail.empty()) std::printf("  %s\n", r.detail.c_str());
+        return;
+      }
+      auto fails = [&](const check::ReplaySpec& s) {
+        auto cell = check::RunCell(factory, reference.value(), s, opt);
+        return !cell.ok() || !cell.value().ok();
+      };
+      check::ShrinkResult r = check::Shrink(spec.value(), fails);
+      if (!r.reproduced) {
+        std::printf("token does not fail — nothing to shrink "
+                    "(%d evaluation(s))\n", r.evaluations);
+        return;
+      }
+      std::printf("minimal repro after %d evaluation(s):\n  replay: %s\n",
+                  r.evaluations, r.token.c_str());
+      return;
+    }
+
+    if (!sub.empty()) {
+      char* end = nullptr;
+      unsigned long long seeds = std::strtoull(sub.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || seeds == 0) {
+        std::printf("usage: check [seeds] | check replay <token> | "
+                    "check shrink <token>\n");
+        return;
+      }
+      opt.num_seeds = seeds;
+    }
+    auto report = check::RunDifferential(factory, opt);
+    if (!report.ok()) {
+      std::printf("check error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", report.value().Summary().c_str());
+  }
+
   void Dispatch(const std::string& line) {
     std::istringstream in(line);
     std::string cmd;
@@ -152,6 +226,12 @@ struct Shell {
           "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
           "  stats                          dataset / cluster summary\n"
           "  metrics                        unified metrics of the last run\n"
+          "  check [seeds]                  differential oracle: every engine x\n"
+          "                                 [seeds] explored schedules vs a\n"
+          "                                 single-worker reference, all\n"
+          "                                 invariant checkers attached\n"
+          "  check replay <token>           re-run one gdchk1 replay token\n"
+          "  check shrink <token>           minimize a failing replay token\n"
           "  quit\n"
           "flags: --metrics (print metrics after every run), --trace-out FILE\n"
           "       (write the last run's Chrome trace_event JSON)\n");
@@ -223,6 +303,10 @@ struct Shell {
     }
     if (cmd == "stats") {
       Stats();
+      return;
+    }
+    if (cmd == "check") {
+      Check(in);
       return;
     }
     if (graph == nullptr) {

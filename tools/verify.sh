@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full tier-1 verification matrix. Run from the repository root:
 #
-#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs)
+#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check)
 #   tools/verify.sh release    # just the release build + tests
 #
 # Stages:
@@ -9,6 +9,9 @@
 #   asan    — -DSANITIZE=ON (AddressSanitizer + UBSan), full ctest suite
 #   debug   — -DCMAKE_BUILD_TYPE=Debug (asserts live), runs the death tests
 #   obs     — observability suite alone (ctest -L obs) in the release tree
+#   check   — simulation-checker suite alone (ctest -L check: invariant
+#             checkers, schedule exploration, differential oracle, shrinker,
+#             serde/weight property tests) in the release tree
 #
 # Each stage uses its own build directory (build/, build-asan/, build-debug/)
 # so they never clobber one another's caches.
@@ -44,6 +47,11 @@ fi
 if [[ "$STAGES" == "all" || "$STAGES" == "obs" ]]; then
   echo "==== [obs] ctest -L obs (release tree) ===="
   ctest --test-dir build -L obs --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "check" ]]; then
+  echo "==== [check] ctest -L check (release tree) ===="
+  ctest --test-dir build -L check --output-on-failure -j "$JOBS"
 fi
 
 echo "==== verify: all requested stages passed ===="
