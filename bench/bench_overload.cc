@@ -1,0 +1,265 @@
+// Multi-tenant overload curve (DESIGN.md §11): open-loop Poisson arrivals
+// from two client classes pushed at 0.5x, 1x, 2x and 4x the cluster's
+// calibrated capacity, with QoS governance on. Reports, per offered-load
+// point: p50/p95/p99 latency of completed queries, goodput, shed rate and
+// the peak queued task bytes — the curve the admission controller and the
+// budgets are supposed to bend (graceful shedding instead of collapse).
+//
+// Gated exit (CI): at 0.5x capacity nothing may be shed; at 4x capacity the
+// per-worker queued task bytes must stay within the configured budget plus
+// a one-message/local-fanout slack. Writes BENCH_overload.json.
+//
+// Flags: --scale S (default 0.25), --queries N per point (default 160),
+//        --seed R (default 31)
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+namespace {
+
+constexpr uint64_t kTaskBudgetBytes = 256u << 10;
+constexpr uint64_t kTaskBudgetSlack = 128u << 10;  // local fan-out overshoot
+
+ClusterConfig OverloadConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.workers_per_node = 2;
+  cfg.qos.enabled = true;
+  cfg.qos.max_concurrent_queries = 4;
+  cfg.qos.max_queued_queries = 32;
+  cfg.qos.class_weights = {2, 1};  // interactive : batch
+  cfg.qos.worker_task_budget_bytes = kTaskBudgetBytes;
+  return cfg;
+}
+
+struct Workload {
+  BenchGraph bg;
+  std::vector<std::shared_ptr<const Plan>> plans;  // cycled through arrivals
+};
+
+Workload MakeWorkload(double scale, uint32_t partitions, uint64_t seed) {
+  Workload w;
+  w.bg = MakeBenchGraph("lj-sim", scale, partitions);
+  Rng rng(seed);
+  for (int i = 0; i < 8; ++i) {
+    int k = 2 + (i % 2);
+    w.plans.push_back(
+        KHopPlan(w.bg.graph, w.bg.weight, PickActiveStart(w.bg.graph, &rng), k));
+  }
+  return w;
+}
+
+/// Mean solo virtual latency of the workload (one query on an idle cluster,
+/// governance off). Reported for context; NOT used to size the load, because
+/// concurrent queries contend for the same workers and the achievable rate is
+/// well below slots / solo-latency.
+double CalibrateSoloNanos(const Workload& w) {
+  ClusterConfig cfg = OverloadConfig();
+  cfg.qos.enabled = false;
+  double total = 0;
+  for (const auto& plan : w.plans) {
+    SimCluster cluster(cfg, w.bg.graph);
+    auto res = cluster.Run(plan);
+    if (!res.ok()) {
+      std::fprintf(stderr, "calibration run failed: %s\n",
+                   res.status().ToString().c_str());
+      std::exit(2);
+    }
+    total += static_cast<double>(res.value().LatencyNanos());
+  }
+  return total / static_cast<double>(w.plans.size());
+}
+
+/// Sustainable capacity of the governed cluster in queries per virtual
+/// second: a closed burst of N queries at t=0 (backlog sized so nothing
+/// sheds), capacity = N / makespan. This bakes in the worker contention the
+/// admission slots actually experience, so "1x" below means the knee of the
+/// real curve.
+double CalibrateCapacityQps(const Workload& w) {
+  ClusterConfig cfg = OverloadConfig();
+  constexpr int kBurst = 48;
+  cfg.qos.max_queued_queries = kBurst;  // hold the whole burst, shed nothing
+  SimCluster cluster(cfg, w.bg.graph);
+  for (int i = 0; i < kBurst; ++i) {
+    cluster.Submit(w.plans[i % w.plans.size()], /*at=*/0);
+  }
+  Status st = cluster.RunToCompletion();
+  if (!st.ok()) {
+    std::fprintf(stderr, "capacity calibration failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(2);
+  }
+  return static_cast<double>(kBurst) /
+         (static_cast<double>(cluster.quiescent_time()) / 1e9);
+}
+
+struct LoadPoint {
+  double multiplier = 0.0;
+  double offered_qps = 0.0;  // virtual queries per second
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;  // admitted but aborted by the deadline timer
+  double shed_rate = 0.0;
+  double goodput_qps = 0.0;
+  uint64_t p50_us = 0, p95_us = 0, p99_us = 0;
+  uint64_t admission_wait_p95_us = 0;
+  uint64_t peak_queued = 0;
+  uint64_t peak_task_bytes = 0;
+};
+
+LoadPoint RunPoint(const Workload& w, double capacity_qps, double multiplier,
+                   int num_queries, uint64_t seed) {
+  ClusterConfig cfg = OverloadConfig();
+  // Offered rate in queries per virtual nanosecond.
+  double rate = multiplier * capacity_qps / 1e9;
+  // Batch-class deadline: three quarters of the time a full backlog takes to
+  // drain. A saturated queue hovers near max_queued, so at 2x-4x the batch
+  // class sheds on deadline from the backlog; at 0.5x waits are near zero
+  // and the deadline never fires.
+  SimTime deadline_ns = static_cast<SimTime>(
+      0.75 * cfg.qos.max_queued_queries / capacity_qps * 1e9);
+
+  SimCluster cluster(cfg, w.bg.graph);
+  Rng rng(seed);
+  double arrive = 0.0;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < num_queries; ++i) {
+    // Exponential inter-arrival: -ln(1 - U) / rate.
+    arrive += -std::log(1.0 - rng.NextDouble()) / rate;
+    uint32_t cls = rng.Chance(0.5) ? 0 : 1;
+    ids.push_back(cluster.Submit(w.plans[i % w.plans.size()],
+                                 static_cast<SimTime>(arrive),
+                                 kMaxTimestamp - 1, cls == 1 ? deadline_ns : 0,
+                                 cls));
+  }
+  Status st = cluster.RunToCompletion();
+  if (!st.ok()) {
+    std::fprintf(stderr, "overload point %.1fx failed: %s\n", multiplier,
+                 st.ToString().c_str());
+    std::exit(2);
+  }
+
+  LoadPoint p;
+  p.multiplier = multiplier;
+  p.offered_qps = rate * 1e9;
+  p.submitted = ids.size();
+  obs::LogHistogram lat;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    if (r.resource_exhausted) {
+      ++p.shed;
+    } else if (r.timed_out) {
+      ++p.timed_out;
+    } else if (r.done && !r.failed) {
+      ++p.completed;
+      lat.Record(r.LatencyNanos());
+    }
+  }
+  p.shed_rate = static_cast<double>(p.shed) / static_cast<double>(p.submitted);
+  SimTime makespan = cluster.quiescent_time();
+  p.goodput_qps = makespan == 0 ? 0.0
+                                : static_cast<double>(p.completed) /
+                                      (static_cast<double>(makespan) / 1e9);
+  p.p50_us = lat.P50() / 1000;
+  p.p95_us = lat.P95() / 1000;
+  p.p99_us = lat.P99() / 1000;
+  obs::MetricsSnapshot snap = cluster.MetricsSnapshot();
+  auto wait = snap.latency.find("admission-wait");
+  if (wait != snap.latency.end()) {
+    p.admission_wait_p95_us = wait->second.P95() / 1000;
+  }
+  p.peak_queued = snap.qos.peak_queued;
+  p.peak_task_bytes = snap.qos.peak_task_bytes;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  double scale = ArgDouble(argc, argv, "--scale", 0.25);
+  int num_queries = static_cast<int>(ArgDouble(argc, argv, "--queries", 160));
+  uint64_t seed = static_cast<uint64_t>(ArgDouble(argc, argv, "--seed", 31));
+  PrintHeader("Overload: multi-tenant admission + backpressure curve");
+
+  ClusterConfig cfg = OverloadConfig();
+  Workload w = MakeWorkload(scale, cfg.num_partitions(), seed);
+  double solo_ns = CalibrateSoloNanos(w);
+  double capacity_qps = CalibrateCapacityQps(w);
+  std::printf("calibrated: solo latency %.1f us, sustained capacity %.1f q/s "
+              "(%u admission slots)\n\n",
+              solo_ns / 1000.0, capacity_qps,
+              cfg.qos.max_concurrent_queries);
+
+  std::printf("%6s | %9s %6s %5s %5s %7s %9s %9s %9s %9s %11s %10s\n", "load",
+              "offered/s", "done", "shed", "t/o", "shed%", "goodput/s",
+              "p50 us", "p95 us", "p99 us", "wait p95 us", "peak qB");
+  std::vector<LoadPoint> points;
+  for (double m : {0.5, 1.0, 2.0, 4.0}) {
+    LoadPoint p = RunPoint(w, capacity_qps, m, num_queries, seed + 7);
+    std::printf("%5.1fx | %9.1f %6lu %5lu %5lu %6.1f%% %9.1f %9lu %9lu %9lu "
+                "%11lu %10lu\n",
+                p.multiplier, p.offered_qps, (unsigned long)p.completed,
+                (unsigned long)p.shed, (unsigned long)p.timed_out,
+                100.0 * p.shed_rate, p.goodput_qps,
+                (unsigned long)p.p50_us, (unsigned long)p.p95_us,
+                (unsigned long)p.p99_us, (unsigned long)p.admission_wait_p95_us,
+                (unsigned long)p.peak_task_bytes);
+    points.push_back(p);
+  }
+
+  std::ofstream json("BENCH_overload.json");
+  json << "{\n  \"task_budget_bytes\": " << kTaskBudgetBytes
+       << ",\n  \"solo_latency_ns\": " << solo_ns
+       << ",\n  \"capacity_qps\": " << capacity_qps << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    json << "    {\"offered_multiplier\": " << p.multiplier
+         << ", \"offered_qps\": " << p.offered_qps
+         << ", \"submitted\": " << p.submitted
+         << ", \"completed\": " << p.completed << ", \"shed\": " << p.shed
+         << ", \"timed_out\": " << p.timed_out
+         << ", \"shed_rate\": " << p.shed_rate
+         << ", \"goodput_qps\": " << p.goodput_qps
+         << ", \"p50_us\": " << p.p50_us << ", \"p95_us\": " << p.p95_us
+         << ", \"p99_us\": " << p.p99_us
+         << ", \"admission_wait_p95_us\": " << p.admission_wait_p95_us
+         << ", \"peak_queued\": " << p.peak_queued
+         << ", \"peak_task_bytes\": " << p.peak_task_bytes << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_overload.json\n");
+
+  // --- gated exit ---------------------------------------------------------
+  int rc = 0;
+  if (points.front().shed != 0 || points.front().timed_out != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %lu shed / %lu timed out at 0.5x capacity "
+                 "(want 0/0)\n",
+                 (unsigned long)points.front().shed,
+                 (unsigned long)points.front().timed_out);
+    rc = 1;
+  }
+  const LoadPoint& hot = points.back();
+  if (hot.peak_task_bytes > kTaskBudgetBytes + kTaskBudgetSlack) {
+    std::fprintf(stderr,
+                 "GATE FAILED: peak queued task bytes %lu at 4x capacity "
+                 "exceed budget %lu + slack %lu\n",
+                 (unsigned long)hot.peak_task_bytes,
+                 (unsigned long)kTaskBudgetBytes,
+                 (unsigned long)kTaskBudgetSlack);
+    rc = 1;
+  }
+  if (rc == 0) std::printf("gates passed: no shedding at 0.5x, queue bytes bounded at 4x\n");
+  return rc;
+}

@@ -33,6 +33,7 @@ std::unique_ptr<CheckHarness> CheckHarness::WithAllCheckers() {
   h->Register(MakeRowLedgerChecker());
   h->Register(MakeSeqWindowChecker());
   h->Register(MakeClockChecker());
+  h->Register(MakeResourceLedgerChecker());
   return h;
 }
 
@@ -408,6 +409,226 @@ class ClockChecker final : public InvariantChecker {
   std::vector<SimTime> worker_clocks_;
 };
 
+// ---- qos resource ledgers ---------------------------------------------------
+
+class ResourceLedgerChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "resource-ledger"; }
+
+  void OnRunBegin(const RunInfo&) override {
+    links_.clear();
+    saturated_reported_.clear();
+    mirror_ = AdmissionMirror{};
+    events_ = 0;
+  }
+
+  void OnCreditConsume(uint32_t src, uint32_t dst, uint64_t bytes,
+                       SimTime /*at*/) override {
+    links_[Key(src, dst)] += bytes;  // consumed minus returned
+  }
+
+  void OnCreditReturn(uint32_t src, uint32_t dst, uint64_t bytes,
+                      SimTime at) override {
+    uint64_t& balance = links_[Key(src, dst)];
+    if (bytes > balance) {
+      ReportTrip("link " + LinkName(src, dst) + " returned " +
+                     std::to_string(bytes) + " credits with only " +
+                     std::to_string(balance) + " outstanding in the mirror",
+                 at, 0, 0);
+      balance = 0;
+      return;
+    }
+    balance -= bytes;
+  }
+
+  void OnAdmission(uint64_t q, AdmissionEvent ev, SimTime at) override {
+    switch (ev) {
+      case AdmissionEvent::kAdmit:
+        ++mirror_.submitted;
+        ++mirror_.admitted;
+        ++mirror_.running;
+        break;
+      case AdmissionEvent::kQueue:
+        ++mirror_.submitted;
+        ++mirror_.queued;
+        break;
+      case AdmissionEvent::kShed:
+        ++mirror_.submitted;
+        ++mirror_.shed;
+        break;
+      case AdmissionEvent::kDequeueAdmit:
+        TakeQueued(q, at);
+        ++mirror_.admitted;
+        ++mirror_.running;
+        break;
+      case AdmissionEvent::kDequeueShed:
+        TakeQueued(q, at);
+        ++mirror_.shed;
+        break;
+      case AdmissionEvent::kCancel:
+        TakeQueued(q, at);
+        ++mirror_.cancelled;
+        break;
+      case AdmissionEvent::kComplete:
+        if (mirror_.running == 0) {
+          ReportTrip("admission completion with no running query in the mirror",
+                     at, q, 0);
+        } else {
+          --mirror_.running;
+        }
+        ++mirror_.completed;
+        break;
+    }
+  }
+
+  void OnEventBoundary(const ClusterProbe& p, SimTime at) override {
+    // Sampled: link conservation cannot transiently break, so per-event
+    // checking would buy nothing over a periodic sweep.
+    if ((++events_ & 63) == 0) CheckLinks(p, at);
+  }
+
+  void OnQuiescence(const ClusterProbe& p, SimTime at, bool drained) override {
+    QosProbe q = p.ProbeQos();
+    if (!q.enabled) return;
+    CheckLinks(p, at);
+
+    // Admission ledger: internal conservation, then against our mirror.
+    if (q.submitted != q.admitted + q.shed + q.cancelled + q.queued) {
+      ReportTrip("admission ledger unbalanced: submitted=" +
+                     std::to_string(q.submitted) + " != admitted=" +
+                     std::to_string(q.admitted) + " + shed=" +
+                     std::to_string(q.shed) + " + cancelled=" +
+                     std::to_string(q.cancelled) + " + queued=" +
+                     std::to_string(q.queued),
+                 at, 0, 0);
+    }
+    if (q.admitted != q.completed + q.running) {
+      ReportTrip("admitted=" + std::to_string(q.admitted) + " != completed=" +
+                     std::to_string(q.completed) + " + running=" +
+                     std::to_string(q.running),
+                 at, 0, 0);
+    }
+    CompareMirror("submitted", q.submitted, mirror_.submitted, at);
+    CompareMirror("admitted", q.admitted, mirror_.admitted, at);
+    CompareMirror("shed", q.shed, mirror_.shed, at);
+    CompareMirror("cancelled", q.cancelled, mirror_.cancelled, at);
+    CompareMirror("completed", q.completed, mirror_.completed, at);
+    CompareMirror("queued", q.queued, mirror_.queued, at);
+    CompareMirror("running", q.running, mirror_.running, at);
+
+    // Task-byte ledger (holds even mid-run; queued bytes absorb the slack).
+    if (q.task_bytes_enqueued !=
+        q.task_bytes_dequeued + q.task_bytes_dropped + q.task_bytes_queued) {
+      ReportTrip("task-byte ledger unbalanced: enqueued=" +
+                     std::to_string(q.task_bytes_enqueued) + " dequeued=" +
+                     std::to_string(q.task_bytes_dequeued) + " dropped=" +
+                     std::to_string(q.task_bytes_dropped) + " queued=" +
+                     std::to_string(q.task_bytes_queued),
+                 at, 0, 0);
+    }
+
+    if (!drained) return;
+    bool all_done = true;
+    p.ProbeQueries([&](const QueryProbe& qq) { all_done &= qq.done; });
+    if (!all_done) return;  // a stuck run trips other checkers; zeros are
+                            // only guaranteed once every query resolved
+    if (q.queued != 0 || q.running != 0) {
+      ReportTrip("queries still queued/running at drained quiescence (queued=" +
+                     std::to_string(q.queued) + " running=" +
+                     std::to_string(q.running) + ")",
+                 at, 0, 0);
+    }
+    if (q.task_bytes_queued != 0) {
+      ReportTrip("queued task bytes nonzero at drained quiescence: " +
+                     std::to_string(q.task_bytes_queued),
+                 at, 0, 0);
+    }
+    if (q.memo_live_bytes != 0) {
+      ReportTrip("live memo bytes nonzero at drained quiescence: " +
+                     std::to_string(q.memo_live_bytes),
+                 at, 0, 0);
+    }
+    p.ProbeLinkCredits([&](const LinkCreditProbe& l) {
+      if (l.outstanding != 0) {
+        ReportTrip("link " + LinkName(l.src_node, l.dst_node) + " has " +
+                       std::to_string(l.outstanding) +
+                       " credits outstanding at drained quiescence",
+                   at, 0, 0);
+      }
+    });
+  }
+
+ private:
+  struct AdmissionMirror {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t cancelled = 0;
+    uint64_t completed = 0;
+    uint64_t queued = 0;
+    uint64_t running = 0;
+  };
+
+  static uint64_t Key(uint32_t src, uint32_t dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+  static std::string LinkName(uint32_t src, uint32_t dst) {
+    return std::to_string(src) + "->" + std::to_string(dst);
+  }
+
+  void TakeQueued(uint64_t q, SimTime at) {
+    if (mirror_.queued == 0) {
+      ReportTrip("admission dequeue with an empty backlog in the mirror", at, q,
+                 0);
+      return;
+    }
+    --mirror_.queued;
+  }
+
+  void CompareMirror(const char* field, uint64_t probe, uint64_t mirror,
+                     SimTime at) {
+    if (probe != mirror) {
+      ReportTrip("admission mirror diverged on " + std::string(field) +
+                     ": probe=" + std::to_string(probe) +
+                     " mirror=" + std::to_string(mirror),
+                 at, 0, 0);
+    }
+  }
+
+  void CheckLinks(const ClusterProbe& p, SimTime at) {
+    p.ProbeLinkCredits([&](const LinkCreditProbe& l) {
+      uint64_t key = Key(l.src_node, l.dst_node);
+      if (l.available + l.outstanding != l.granted) {
+        ReportTrip("link " + LinkName(l.src_node, l.dst_node) +
+                       " credits not conserved: available=" +
+                       std::to_string(l.available) + " + outstanding=" +
+                       std::to_string(l.outstanding) +
+                       " != granted=" + std::to_string(l.granted),
+                   at, 0, 0);
+      }
+      if (l.saturated && saturated_reported_.insert(key).second) {
+        ReportTrip("link " + LinkName(l.src_node, l.dst_node) +
+                       " credit meter saturated (release-mode clamp fired)",
+                   at, 0, 0);
+      }
+      auto it = links_.find(key);
+      uint64_t balance = it == links_.end() ? 0 : it->second;
+      if (l.outstanding != balance) {
+        ReportTrip("link " + LinkName(l.src_node, l.dst_node) +
+                       " outstanding=" + std::to_string(l.outstanding) +
+                       " diverged from hook mirror " + std::to_string(balance),
+                   at, 0, 0);
+        links_[key] = l.outstanding;  // resync: report each divergence once
+      }
+    });
+  }
+
+  std::unordered_map<uint64_t, uint64_t> links_;  // consumed - returned
+  std::unordered_set<uint64_t> saturated_reported_;
+  AdmissionMirror mirror_;
+  uint64_t events_ = 0;
+};
+
 }  // namespace
 
 std::unique_ptr<InvariantChecker> MakeWeightConservationChecker() {
@@ -424,6 +645,9 @@ std::unique_ptr<InvariantChecker> MakeSeqWindowChecker() {
 }
 std::unique_ptr<InvariantChecker> MakeClockChecker() {
   return std::make_unique<ClockChecker>();
+}
+std::unique_ptr<InvariantChecker> MakeResourceLedgerChecker() {
+  return std::make_unique<ResourceLedgerChecker>();
 }
 
 }  // namespace graphdance::check

@@ -43,6 +43,54 @@ struct QueryProbe {
   uint64_t row_count = 0;
 };
 
+/// A point-in-time view of the cluster's QoS resource ledgers (all zero /
+/// disabled when ClusterConfig::qos is off).
+struct QosProbe {
+  bool enabled = false;
+  // Admission ledger. Conservation: submitted == admitted + shed + cancelled
+  // + queued, and admitted == completed + running.
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t completed = 0;
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  // Per-worker queued-task-byte ledger, cluster-summed. Conservation:
+  // enqueued == dequeued + dropped + queued.
+  uint64_t task_bytes_enqueued = 0;
+  uint64_t task_bytes_dequeued = 0;
+  uint64_t task_bytes_dropped = 0;
+  uint64_t task_bytes_queued = 0;
+  // Live memo-table bytes, cluster-summed (0 at quiescence once every query
+  // is done — memoranda never outlive their query).
+  uint64_t memo_live_bytes = 0;
+};
+
+/// One directed inter-node link's credit meter. Conservation at any event
+/// boundary: available + outstanding == granted; saturated means the meter
+/// had to clamp a release-mode over/underflow (always a trip).
+struct LinkCreditProbe {
+  uint32_t src_node = 0;
+  uint32_t dst_node = 0;
+  uint64_t granted = 0;
+  uint64_t available = 0;
+  uint64_t outstanding = 0;
+  bool saturated = false;
+};
+
+/// Admission-controller transitions, mirrored by the resource-ledger checker
+/// independently of the controller's own counters.
+enum class AdmissionEvent : uint8_t {
+  kAdmit = 0,     // arrival admitted straight into a running slot
+  kQueue,         // arrival parked in the backlog
+  kShed,          // arrival rejected (backlog full)
+  kDequeueAdmit,  // popped from the backlog into a running slot
+  kDequeueShed,   // popped from the backlog and shed (deadline blown)
+  kCancel,        // removed from the backlog externally (deadline timer)
+  kComplete,      // a running (admitted) query finished
+};
+
 /// Read-only introspection surface the cluster exposes to checkers.
 /// Everything is pure observation — probing never charges virtual time or
 /// schedules events — and every sweep enumerates in a sorted, deterministic
@@ -64,6 +112,17 @@ class ClusterProbe {
   virtual void ProbePendingWeights(
       const std::function<void(uint32_t worker, uint64_t query, uint32_t scope,
                                Weight w)>& fn) const = 0;
+
+  // Default-implemented (unlike the pure hooks above) so probe
+  // implementations predating the QoS subsystem keep compiling.
+  /// The QoS resource ledgers; `enabled == false` when QoS is off.
+  virtual QosProbe ProbeQos() const { return QosProbe{}; }
+  /// Every inter-node link credit meter, src-major then dst-major order.
+  /// No-op when QoS is off.
+  virtual void ProbeLinkCredits(
+      const std::function<void(const LinkCreditProbe&)>& fn) const {
+    (void)fn;
+  }
 };
 
 /// Static facts about the run, published once at attach time.
@@ -130,6 +189,14 @@ class InvariantChecker {
   virtual void OnSeqDeliver(uint32_t /*src*/, uint32_t /*dst*/, uint64_t /*seq*/,
                             bool /*accepted*/, uint64_t /*low*/,
                             uint64_t /*max_seen*/) {}
+
+  // --- qos: link credits and admission (fire only when QoS is enabled) ---
+  virtual void OnCreditConsume(uint32_t /*src_node*/, uint32_t /*dst_node*/,
+                               uint64_t /*bytes*/, SimTime /*at*/) {}
+  virtual void OnCreditReturn(uint32_t /*src_node*/, uint32_t /*dst_node*/,
+                              uint64_t /*bytes*/, SimTime /*at*/) {}
+  virtual void OnAdmission(uint64_t /*query*/, AdmissionEvent /*ev*/,
+                           SimTime /*at*/) {}
 
  protected:
   void ReportTrip(std::string what, SimTime at, uint64_t query = 0,
@@ -205,6 +272,17 @@ class CheckHarness {
                     uint64_t low, uint64_t max_seen) {
     for (auto& c : checkers_) c->OnSeqDeliver(src, dst, seq, accepted, low, max_seen);
   }
+  void OnCreditConsume(uint32_t src_node, uint32_t dst_node, uint64_t bytes,
+                       SimTime at) {
+    for (auto& c : checkers_) c->OnCreditConsume(src_node, dst_node, bytes, at);
+  }
+  void OnCreditReturn(uint32_t src_node, uint32_t dst_node, uint64_t bytes,
+                      SimTime at) {
+    for (auto& c : checkers_) c->OnCreditReturn(src_node, dst_node, bytes, at);
+  }
+  void OnAdmission(uint64_t query, AdmissionEvent ev, SimTime at) {
+    for (auto& c : checkers_) c->OnAdmission(query, ev, at);
+  }
 
   // --- mutation hook (test-only; see class comment) ---
   void CorruptNthWeightMerge(uint64_t nth) { corrupt_nth_merge_ = nth; }
@@ -261,6 +339,14 @@ std::unique_ptr<InvariantChecker> MakeSeqWindowChecker();
 /// Virtual clocks never run backwards: the event queue's now() and every
 /// worker-local clock are monotone non-decreasing.
 std::unique_ptr<InvariantChecker> MakeClockChecker();
+
+/// QoS resource ledgers (DESIGN.md §11; inert when QoS is off): link credits
+/// conserved (available + outstanding == granted at every sampled boundary,
+/// the hook-mirrored consumed-minus-returned balance matches the meter, all
+/// returned by drained quiescence), the admission ledger balances against an
+/// independent event mirror (submitted == admitted + shed + cancelled +
+/// queued), and the task/memo byte ledgers drain to zero at quiescence.
+std::unique_ptr<InvariantChecker> MakeResourceLedgerChecker();
 
 }  // namespace graphdance::check
 

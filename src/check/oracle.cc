@@ -33,6 +33,20 @@ bool RowLess(const Row& a, const Row& b) {
   return false;
 }
 
+/// The one QoS shape every `;qos=1` cell replays: concurrency low enough to
+/// force real backlog queueing, credit windows small enough to hold flushes,
+/// and shed/abort limits high enough that no oracle query is ever rejected —
+/// governance must reshape timing only, never answers.
+qos::QosConfig StressQosConfig() {
+  qos::QosConfig q;
+  q.enabled = true;
+  q.max_concurrent_queries = 2;
+  q.max_queued_queries = 256;
+  q.link_credit_bytes = 4'096;
+  q.sender_stall_bytes = 2'048;
+  return q;
+}
+
 ClusterConfig CellConfig(const ReplaySpec& spec, const DifferentialOptions& opt,
                          EngineKind engine) {
   ClusterConfig cfg;
@@ -46,6 +60,7 @@ ClusterConfig CellConfig(const ReplaySpec& spec, const DifferentialOptions& opt,
   cfg.fault = spec.fault;
   cfg.explore.tiebreak_seed = spec.tiebreak_seed;
   cfg.explore.jitter_ns = spec.jitter_ns;
+  if (spec.qos) cfg.qos = StressQosConfig();
   return cfg;
 }
 
@@ -260,6 +275,9 @@ std::string FormatReplayToken(const ReplaySpec& spec) {
       out += FormatScriptItem(spec.fault.scripted[i]);
     }
   }
+  // Emitted only when set: the strict parser predates this key, so pre-QoS
+  // tokens keep round-tripping and new default tokens parse on old builds.
+  if (spec.qos) out += ";qos=1";
   return out;
 }
 
@@ -294,6 +312,10 @@ Result<ReplaySpec> ParseReplayToken(const std::string& token) {
       ok = ParseF64(val, &spec.fault.delay_prob);
     } else if (key == "delayns") {
       ok = ParseU64(val, &spec.fault.delay_ns);
+    } else if (key == "qos") {
+      uint64_t v = 0;
+      ok = ParseU64(val, &v);
+      spec.qos = v != 0;
     } else if (key == "script") {
       for (const std::string& item : SplitOn(val, '|')) {
         FaultEvent ev;
@@ -410,6 +432,7 @@ Result<DifferentialReport> RunDifferential(const WorkloadFactory& factory,
       spec.tiebreak_seed = seed;
       spec.jitter_ns = seed == 0 ? 0 : opt.jitter_ns;
       if (opt.fault_active) spec.fault = opt.fault;
+      spec.qos = opt.qos;
       auto cell = RunCell(factory, reference.value(), spec, opt);
       if (!cell.ok()) return cell.status();
       report.cells++;

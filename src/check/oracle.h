@@ -42,6 +42,10 @@ struct ReplaySpec {
   uint64_t tiebreak_seed = 0;  // 0 = pinned legacy schedule
   uint64_t jitter_ns = 0;
   FaultPlan fault;
+  /// Run the cell under the standard QoS stress config (small admission and
+  /// credit windows; see StressQosConfig in oracle.cc). Encoded as `;qos=1`
+  /// only when set, so old tokens round-trip unchanged.
+  bool qos = false;
 };
 
 std::string FormatReplayToken(const ReplaySpec& spec);
@@ -70,6 +74,11 @@ struct DifferentialOptions {
   /// so the mutation smoke test and the shrinker have a real failure to
   /// find. 0 = off.
   uint64_t corrupt_nth_merge = 0;
+  /// Apply the standard QoS stress config to every cell: governed admission
+  /// plus tight credit windows, with budgets generous enough that no oracle
+  /// query is ever shed — so governed rows must still match the ungoverned
+  /// single-worker reference exactly.
+  bool qos = false;
 };
 
 /// Outcome of one replayed cell.

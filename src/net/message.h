@@ -81,6 +81,14 @@ struct Message {
   /// suppression and double-count the weight.
   bool no_bulk = false;
 
+  // --- qos flow-control metadata (transient; never on the wire) ---
+  /// Link credits this message carries back to its (src node, dst node)
+  /// meter, assigned when its tier-1 buffer flushes and returned exactly
+  /// once at the message's terminal disposition — ingestion, fence/dedup
+  /// drop, fault drop, or crash wipe. 0 when QoS is off, for local
+  /// deliveries, and in kSyncSend mode (which bypasses tier buffers).
+  uint32_t credit_bytes = 0;
+
   /// Approximate wire size used by the link model. The recovery metadata is
   /// accounted inside the fixed header budget (it fits in the same cacheline
   /// a real transport header would use), so fault-mode and fault-free runs

@@ -79,6 +79,21 @@ std::string LogHistogram::ToString() const {
          " p95=" + U64(P95()) + " p99=" + U64(P99()) + " max=" + U64(max_);
 }
 
+void QosSnapshot::Merge(const QosSnapshot& other) {
+  submitted += other.submitted;
+  admitted += other.admitted;
+  shed += other.shed;
+  cancelled += other.cancelled;
+  peak_queued = std::max(peak_queued, other.peak_queued);
+  flushes_held += other.flushes_held;
+  ingest_deferrals += other.ingest_deferrals;
+  credit_bytes_consumed += other.credit_bytes_consumed;
+  credit_bytes_returned += other.credit_bytes_returned;
+  peak_task_bytes = std::max(peak_task_bytes, other.peak_task_bytes);
+  peak_memo_bytes = std::max(peak_memo_bytes, other.peak_memo_bytes);
+  memo_aborts += other.memo_aborts;
+}
+
 const LogHistogram* MetricsSnapshot::Latency(const std::string& name) const {
   auto it = latency.find(name);
   return it == latency.end() ? nullptr : &it->second;
@@ -102,6 +117,8 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   queries_failed += other.queries_failed;
   queries_timed_out += other.queries_timed_out;
   checker_attached = checker_attached || other.checker_attached;
+  qos_enabled = qos_enabled || other.qos_enabled;
+  qos.Merge(other.qos);
   checker_trips += other.checker_trips;
   for (const auto& [name, n] : other.checker_trips_by) {
     checker_trips_by[name] += n;
@@ -187,6 +204,21 @@ std::string MetricsSnapshot::ToString() const {
       out += " " + name + "=" + U64(n);
     }
     out += "\n";
+  }
+  if (qos_enabled) {
+    // Gated like the checker block: governance-off snapshots stay
+    // byte-identical to pre-QoS builds.
+    out += "qos: submitted=" + U64(qos.submitted) +
+           " admitted=" + U64(qos.admitted) + " shed=" + U64(qos.shed) +
+           " cancelled=" + U64(qos.cancelled) +
+           " peak_queued=" + U64(qos.peak_queued) + "\n";
+    out += "qos_flow: flushes_held=" + U64(qos.flushes_held) +
+           " ingest_deferrals=" + U64(qos.ingest_deferrals) +
+           " credits_consumed=" + U64(qos.credit_bytes_consumed) +
+           " credits_returned=" + U64(qos.credit_bytes_returned) + "\n";
+    out += "qos_budget: peak_task_bytes=" + U64(qos.peak_task_bytes) +
+           " peak_memo_bytes=" + U64(qos.peak_memo_bytes) +
+           " memo_aborts=" + U64(qos.memo_aborts) + "\n";
   }
   return out;
 }

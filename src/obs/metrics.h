@@ -114,6 +114,29 @@ struct WorkerMetrics {
   uint64_t traversers_bulked = 0;          // traversers absorbed by merging
 };
 
+/// QoS / resource-governance counters (DESIGN.md §11). Aggregated by
+/// SimCluster::MetricsSnapshot() from the admission controller, the link
+/// credit meters and the per-worker byte ledgers; all zero when QoS is off.
+struct QosSnapshot {
+  // Admission ledger.
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t peak_queued = 0;
+  // Flow control.
+  uint64_t flushes_held = 0;      // tier-1 flush attempts blocked on credits
+  uint64_t ingest_deferrals = 0;  // inbox ingestions deferred by task budget
+  uint64_t credit_bytes_consumed = 0;
+  uint64_t credit_bytes_returned = 0;
+  // Budgets.
+  uint64_t peak_task_bytes = 0;  // max queued task bytes on any one worker
+  uint64_t peak_memo_bytes = 0;  // max live memo bytes on any one partition
+  uint64_t memo_aborts = 0;      // queries aborted by the memo budget
+
+  void Merge(const QosSnapshot& other);
+};
+
 /// One unified, deterministic view of every runtime metric. Subsumes
 /// NetStats and FaultStats (both kept as members so existing call sites stay
 /// thin views), plus per-step traverser counts, memo behavior, weight-report
@@ -150,6 +173,12 @@ struct MetricsSnapshot {
   bool checker_attached = false;
   uint64_t checker_trips = 0;
   std::map<std::string, uint64_t> checker_trips_by;
+
+  /// QoS counters (qos/qos.h). qos_enabled gates the ToString() section the
+  /// same way checker_attached does, so governance-off snapshots stay
+  /// byte-identical to pre-QoS builds.
+  bool qos_enabled = false;
+  QosSnapshot qos;
 
   uint32_t num_nodes = 0;
   uint32_t num_workers = 0;

@@ -23,6 +23,15 @@ namespace graphdance {
 class MemoState {
  public:
   virtual ~MemoState() = default;
+
+  /// Approximate resident bytes of this state (container contents, not
+  /// malloc-exact). Feeds the QoS memo budget and the resource-ledger
+  /// checker; what matters is that it is monotone in the real footprint and
+  /// deterministic, not that it matches the allocator.
+  virtual size_t ApproxBytes() const { return kBaseBytes; }
+
+ protected:
+  static constexpr size_t kBaseBytes = 64;  // object + empty containers
 };
 
 /// Memo for distance-pruned multi-hop expansion (Fig. 5): best-known hop
@@ -50,6 +59,10 @@ class DistanceMemo : public MemoState {
 
   size_t size() const { return best_.size(); }
 
+  size_t ApproxBytes() const override {
+    return kBaseBytes + best_.size() * 16;  // key + value + bucket overhead
+  }
+
  private:
   std::unordered_map<VertexId, uint16_t> best_;
 };
@@ -62,6 +75,10 @@ class DedupMemo : public MemoState {
   bool FirstSight(const Value& key) { return seen_.insert(key).second; }
 
   size_t size() const { return seen_.size(); }
+
+  size_t ApproxBytes() const override {
+    return kBaseBytes + seen_.size() * 48;  // Value + node + bucket overhead
+  }
 
  private:
   std::unordered_set<Value, ValueHash> seen_;
@@ -95,6 +112,21 @@ class JoinMemo : public MemoState {
 
   size_t left_size() const { return left_.size(); }
   size_t right_size() const { return right_.size(); }
+
+  size_t ApproxBytes() const override {
+    size_t b = kBaseBytes;
+    for (const auto* table : {&left_, &right_}) {
+      for (const auto& [key, entries] : *table) {
+        (void)key;
+        b += 48;  // key + bucket overhead
+        for (const JoinEntry& e : entries) {
+          b += sizeof(JoinEntry) + e.vars.size() * sizeof(Value) +
+               e.path.size() * sizeof(VertexId);
+        }
+      }
+    }
+    return b;
+  }
 
  private:
   std::unordered_map<Value, std::vector<JoinEntry>, ValueHash> left_;
@@ -153,6 +185,10 @@ class GroupAggMemo : public MemoState {
     return groups_;
   }
 
+  size_t ApproxBytes() const override {
+    return kBaseBytes + groups_.size() * (48 + sizeof(AggState));
+  }
+
  private:
   std::unordered_map<Value, AggState, ValueHash> groups_;
 };
@@ -162,6 +198,8 @@ class ScalarAggMemo : public MemoState {
  public:
   AggState& state() { return state_; }
   const AggState& state() const { return state_; }
+
+  size_t ApproxBytes() const override { return kBaseBytes + sizeof(AggState); }
 
  private:
   AggState state_;
@@ -177,6 +215,12 @@ class TopKMemo : public MemoState {
  public:
   std::vector<Row>& rows() { return rows_; }
   const std::vector<Row>& rows() const { return rows_; }
+
+  size_t ApproxBytes() const override {
+    size_t b = kBaseBytes;
+    for (const Row& r : rows_) b += sizeof(Row) + r.size() * sizeof(Value);
+    return b;
+  }
 
  private:
   std::vector<Row> rows_;
@@ -244,6 +288,38 @@ class MemoTable {
     for (const auto& [key, state] : states_) {
       (void)state;
       fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL));
+    }
+  }
+
+  /// Approximate resident bytes of every live state. Walks the table —
+  /// intended for interval sweeps (the QoS memo budget checks every
+  /// `memo_check_interval` tasks) and quiescence audits, not per-task use.
+  size_t LiveBytes() const {
+    size_t b = 0;
+    for (const auto& [key, state] : states_) {
+      (void)key;
+      b += state->ApproxBytes();
+    }
+    return b;
+  }
+
+  /// Approximate bytes owned by one query in this partition.
+  size_t BytesForQuery(uint64_t query_id) const {
+    size_t b = 0;
+    for (const auto& [key, state] : states_) {
+      if ((key >> 32) == query_id) b += state->ApproxBytes();
+    }
+    return b;
+  }
+
+  /// Visits every live state as (query_id, step_id, approx_bytes). Unordered
+  /// (hash-map walk); callers needing determinism must sort. Used by the QoS
+  /// memo budget to find the biggest per-query consumer.
+  template <typename Fn>
+  void ForEachState(Fn&& fn) const {
+    for (const auto& [key, state] : states_) {
+      fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL),
+         state->ApproxBytes());
     }
   }
 

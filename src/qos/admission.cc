@@ -1,0 +1,109 @@
+#include "qos/admission.h"
+
+#include <algorithm>
+
+namespace graphdance {
+namespace qos {
+
+AdmissionController::AdmissionController(const QosConfig& cfg) : cfg_(cfg) {
+  uint32_t n = cfg_.num_classes();
+  queues_.resize(n);
+  pass_.assign(n, 0);
+  stride_.resize(n);
+  for (uint32_t c = 0; c < n; ++c) stride_[c] = kStrideScale / cfg_.weight_of(c);
+}
+
+uint32_t AdmissionController::PickClass() const {
+  uint32_t best = kNoClass;
+  for (uint32_t c = 0; c < queues_.size(); ++c) {
+    if (queues_[c].empty()) continue;
+    if (best == kNoClass || pass_[c] < pass_[best]) best = c;
+  }
+  return best;
+}
+
+void AdmissionController::Admit(uint32_t cls) {
+  ++running_;
+  ++stats_.admitted;
+  pass_[cls] += stride_[cls];
+}
+
+AdmissionController::Decision AdmissionController::OnSubmit(
+    uint64_t id, uint32_t client_class, SimTime now, SimTime deadline_ns) {
+  ++stats_.submitted;
+  uint32_t cls = std::min<uint32_t>(client_class, cfg_.num_classes() - 1);
+  if (running_ < cfg_.max_concurrent_queries && queued_ == 0) {
+    Admit(cls);
+    return Decision::kAdmit;
+  }
+  if (queued_ >= cfg_.max_queued_queries) {
+    ++stats_.shed_queue_full;
+    return Decision::kShed;
+  }
+  queues_[cls].push_back(Pending{id, now, deadline_ns});
+  ++queued_;
+  stats_.peak_queued = std::max(stats_.peak_queued, queued_);
+  return Decision::kQueue;
+}
+
+void AdmissionController::OnComplete(SimTime now, std::vector<uint64_t>* admit,
+                                     std::vector<uint64_t>* shed) {
+  if (running_ > 0) --running_;
+  ++stats_.completed;
+  while (running_ < cfg_.max_concurrent_queries && queued_ > 0) {
+    uint32_t cls = PickClass();
+    if (cls == kNoClass) break;
+    Pending p = queues_[cls].front();
+    queues_[cls].pop_front();
+    --queued_;
+    if (DeadlineExpired(p, now)) {
+      // Its wait already blew the deadline: shedding it now is strictly
+      // better than burning a slot on an answer nobody is waiting for.
+      ++stats_.shed_deadline;
+      if (shed != nullptr) shed->push_back(p.id);
+      continue;
+    }
+    Admit(cls);
+    if (admit != nullptr) admit->push_back(p.id);
+  }
+}
+
+bool AdmissionController::Cancel(uint64_t id) {
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->id != id) continue;
+      q.erase(it);
+      --queued_;
+      ++stats_.cancelled;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AdmissionController::ForceAdmit(uint64_t id, SimTime now) {
+  for (uint32_t c = 0; c < queues_.size(); ++c) {
+    auto& q = queues_[c];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->id != id) continue;
+      Pending p = *it;
+      q.erase(it);
+      --queued_;
+      if (DeadlineExpired(p, now)) {
+        ++stats_.shed_deadline;
+        return false;
+      }
+      Admit(c);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionController::OnCompleteNoDequeue() {
+  if (running_ > 0) --running_;
+  ++stats_.completed;
+}
+
+}  // namespace qos
+}  // namespace graphdance

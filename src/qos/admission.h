@@ -1,0 +1,104 @@
+#ifndef GRAPHDANCE_QOS_ADMISSION_H_
+#define GRAPHDANCE_QOS_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "qos/qos.h"
+#include "sim/event_queue.h"
+
+namespace graphdance {
+namespace qos {
+
+/// Admission-ledger counters. Conservation at any instant:
+///   submitted == admitted + shed() + cancelled + queued
+/// (the resource-ledger checker cross-checks this against an independent
+/// event mirror at quiescence).
+struct AdmissionStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;  // arrival found the backlog at max_queued
+  uint64_t shed_deadline = 0;    // backlog wait exceeded the deadline at pop
+  uint64_t cancelled = 0;        // removed from the queue externally
+  uint64_t completed = 0;        // admitted queries that finished
+  uint64_t peak_queued = 0;
+
+  uint64_t shed() const { return shed_queue_full + shed_deadline; }
+};
+
+/// Weighted-fair admission controller (DESIGN.md §11). Pure bookkeeping —
+/// it never touches the cluster, so property tests drive it directly.
+///
+/// Arrivals admit immediately while a concurrency slot is free and nobody
+/// is queued, park in a per-class FIFO otherwise, and shed once the backlog
+/// reaches `max_queued_queries`. Each completion pops the backlog with
+/// stride scheduling: the non-empty class with the lowest pass value wins
+/// (ties break to the lowest class id, so the schedule is deterministic),
+/// and its pass advances by K / weight — over a saturated run class c is
+/// admitted in proportion to class_weights[c]. A popped query whose backlog
+/// wait already exceeds its deadline is shed, never admitted.
+class AdmissionController {
+ public:
+  enum class Decision : uint8_t { kAdmit, kQueue, kShed };
+
+  explicit AdmissionController(const QosConfig& cfg);
+
+  /// A query arrives at `now` (deadline_ns 0 = none). kAdmit means it holds
+  /// a running slot on return.
+  Decision OnSubmit(uint64_t id, uint32_t client_class, SimTime now,
+                    SimTime deadline_ns);
+
+  /// An admitted query finished; frees its slot and pops the backlog.
+  /// Fair picks whose deadline still holds land in `admit` (slots permitting,
+  /// at most one per completion); deadline-expired pops land in `shed`.
+  void OnComplete(SimTime now, std::vector<uint64_t>* admit,
+                  std::vector<uint64_t>* shed);
+
+  /// Removes a still-queued query (e.g. its deadline timer fired while it
+  /// waited). Returns false when `id` is not queued.
+  bool Cancel(uint64_t id);
+
+  /// Serial-driver support (BSP runs its backlog in submission order): admit
+  /// one specific queued query out of band at `now`. Returns false — and
+  /// sheds the query — when its backlog wait already exceeds its deadline.
+  bool ForceAdmit(uint64_t id, SimTime now);
+  /// Serial-driver support: a ForceAdmit'ed query finished; frees its slot
+  /// without popping the fair queue.
+  void OnCompleteNoDequeue();
+
+  uint64_t queued() const { return queued_; }
+  uint64_t running() const { return running_; }
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    SimTime submit = 0;
+    SimTime deadline_ns = 0;
+  };
+
+  /// Non-empty class with the minimum pass value (tie: lowest class id);
+  /// kNoClass when the whole backlog is empty.
+  uint32_t PickClass() const;
+  void Admit(uint32_t cls);
+  bool DeadlineExpired(const Pending& p, SimTime now) const {
+    return p.deadline_ns > 0 && now - p.submit > p.deadline_ns;
+  }
+
+  static constexpr uint32_t kNoClass = UINT32_MAX;
+  static constexpr uint64_t kStrideScale = 1u << 20;
+
+  QosConfig cfg_;
+  std::vector<std::deque<Pending>> queues_;  // one FIFO per client class
+  std::vector<uint64_t> pass_;               // stride-scheduler state
+  std::vector<uint64_t> stride_;             // kStrideScale / weight
+  uint64_t queued_ = 0;
+  uint64_t running_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace qos
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_QOS_ADMISSION_H_

@@ -1,0 +1,73 @@
+#ifndef GRAPHDANCE_QOS_CREDIT_H_
+#define GRAPHDANCE_QOS_CREDIT_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace graphdance {
+namespace qos {
+
+/// Sender-side credit balance of one directed inter-node link.
+///
+/// The conservation invariant `available + outstanding == granted` holds by
+/// construction: Consume moves credits from available to outstanding, Return
+/// moves them back, and nothing else touches the balance. Hardened like
+/// ByteReader (DESIGN.md §10): protocol violations — consuming more than
+/// CanSend allows, returning more than is outstanding — assert in Debug
+/// builds and clamp fail-safe in release builds, latching `saturated()` so
+/// the resource-ledger checker can flag the run instead of the arithmetic
+/// wrapping.
+class CreditMeter {
+ public:
+  CreditMeter() = default;
+  explicit CreditMeter(uint64_t granted)
+      : granted_(granted), available_(granted) {}
+
+  uint64_t granted() const { return granted_; }
+  uint64_t available() const { return available_; }
+  uint64_t outstanding() const { return outstanding_; }
+  bool saturated() const { return saturated_; }
+
+  /// True when a buffer of `bytes` may flush now: either the available
+  /// credits cover it, or the link is fully idle (available == granted) and
+  /// the flush overdrafts the whole window. The overdraft case keeps a
+  /// single buffer larger than the window live — it consumes every credit,
+  /// flushes whole, and the link stays blocked until those credits return.
+  bool CanSend(uint64_t bytes) const {
+    return available_ >= bytes || available_ == granted_;
+  }
+
+  /// Consumes up to `bytes` credits and returns the amount actually taken
+  /// (== `bytes` except in the overdraft case, where the whole remaining
+  /// window is taken instead).
+  uint64_t Consume(uint64_t bytes) {
+    assert(CanSend(bytes) && "CreditMeter overdraw");
+    if (!CanSend(bytes)) saturated_ = true;  // release: clamp to available
+    uint64_t take = bytes < available_ ? bytes : available_;
+    available_ -= take;
+    outstanding_ += take;
+    return take;
+  }
+
+  /// Returns `bytes` previously consumed credits to the window.
+  void Return(uint64_t bytes) {
+    assert(bytes <= outstanding_ && "CreditMeter return exceeds outstanding");
+    if (bytes > outstanding_) {  // release: clamp, never overflow the window
+      bytes = outstanding_;
+      saturated_ = true;
+    }
+    outstanding_ -= bytes;
+    available_ += bytes;
+  }
+
+ private:
+  uint64_t granted_ = 0;
+  uint64_t available_ = 0;
+  uint64_t outstanding_ = 0;
+  bool saturated_ = false;
+};
+
+}  // namespace qos
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_QOS_CREDIT_H_

@@ -1,0 +1,69 @@
+#ifndef GRAPHDANCE_QOS_QOS_H_
+#define GRAPHDANCE_QOS_QOS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graphdance {
+namespace qos {
+
+/// Resource-governance knobs (DESIGN.md §11). Three cooperating mechanisms:
+/// admission control (queries queue behind a concurrency limit and shed past
+/// a backlog limit), credit-based flow control on inter-node links (senders
+/// hold tier-1 buffers until the receiving node returns credits), and
+/// per-worker budgets on queued traverser-task bytes and memo-table bytes.
+///
+/// Default-disabled: with `enabled == false` the cluster takes none of the
+/// governance branches and the event schedule stays byte-identical to a
+/// build without the subsystem.
+struct QosConfig {
+  bool enabled = false;
+
+  // --- admission control -------------------------------------------------
+  /// Queries running concurrently before arrivals start queueing.
+  uint32_t max_concurrent_queries = 8;
+  /// Queued queries tolerated before arrivals are shed (kResourceExhausted).
+  uint32_t max_queued_queries = 64;
+  /// Weighted fairness across client classes (stride scheduling): class `c`
+  /// is admitted from the backlog in proportion to `class_weights[c]`.
+  /// Queries with a class id past the end of the vector use the last entry;
+  /// an empty vector means one class of weight 1.
+  std::vector<uint32_t> class_weights = {1};
+
+  // --- per-worker budgets ------------------------------------------------
+  /// Budget on a worker's queued traverser-task bytes. An over-budget worker
+  /// defers inbox ingestion (draining its queue first), which in turn stops
+  /// returning link credits upstream — backpressure, not loss.
+  uint64_t worker_task_budget_bytes = 4u << 20;  // 4 MiB
+  /// Budget on a partition's live memo-table bytes. Checked every
+  /// `memo_check_interval` executed tasks; when exceeded, the query holding
+  /// the most memo bytes on that partition is aborted resource-exhausted.
+  uint64_t worker_memo_budget_bytes = 64u << 20;  // 64 MiB
+  uint32_t memo_check_interval = 64;
+
+  // --- credit-based link flow control ------------------------------------
+  /// Credit window per directed (src node, dst node) link. A tier-1 buffer
+  /// flush consumes credits for its bytes; each carried message returns its
+  /// share when the receiver ingests (or drops) it.
+  uint64_t link_credit_bytes = 64u << 10;  // 64 KiB
+  /// Once a worker is holding at least this many bytes in credit-blocked
+  /// send buffers, it pauses task execution (it keeps ingesting its inbox so
+  /// it still returns credits to ITS producers — see DESIGN.md §11 on why
+  /// that escape hatch is what makes stall cycles deadlock-free).
+  uint64_t sender_stall_bytes = 32u << 10;  // 32 KiB (4x the flush threshold)
+
+  uint32_t num_classes() const {
+    return class_weights.empty() ? 1u
+                                 : static_cast<uint32_t>(class_weights.size());
+  }
+  uint32_t weight_of(uint32_t cls) const {
+    if (class_weights.empty()) return 1;
+    if (cls >= class_weights.size()) cls = class_weights.size() - 1;
+    return class_weights[cls] == 0 ? 1 : class_weights[cls];
+  }
+};
+
+}  // namespace qos
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_QOS_QOS_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "qos/qos.h"
 #include "sim/cost_model.h"
 #include "sim/fault.h"
 
@@ -120,6 +121,12 @@ struct ClusterConfig {
   /// (CLI: --trace-out). Pure observation: enabling it never changes the
   /// event schedule. See obs/trace.h.
   bool trace = false;
+
+  /// Resource governance (DESIGN.md §11): admission control with weighted
+  /// fairness and load shedding, credit-based inter-node flow control, and
+  /// per-worker task/memo byte budgets. Default-disabled; with `qos.enabled
+  /// == false` the event schedule is byte-identical to pre-QoS builds.
+  qos::QosConfig qos;
 
   /// Schedule-space exploration (check subsystem, DESIGN.md §10): a seeded
   /// same-timestamp tie-break permutation plus bounded latency jitter in the

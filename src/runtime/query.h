@@ -29,9 +29,18 @@ struct QueryResult {
   /// query never reports a partial answer as if it were complete — and
   /// `failure_reason` says why. Never set on the fault-free path.
   bool failed = false;
+  /// True when QoS governance rejected or aborted the query (admission queue
+  /// full, backlog wait past the deadline, or memo budget exceeded). Always
+  /// paired with `failed`; `failure_reason` says which limit was hit. Never
+  /// set when `ClusterConfig::qos` is disabled.
+  bool resource_exhausted = false;
   /// Number of times the recovery protocol resubmitted this query.
   uint32_t retries = 0;
   std::string failure_reason;
+  /// When QoS admission queued this query, the virtual time it was admitted
+  /// (0 = admitted immediately at submit, or QoS off). `admit_time -
+  /// submit_time` is the backlog wait the admission histograms record.
+  SimTime admit_time = 0;
 
   /// End-to-end virtual latency in nanoseconds (what the cluster's latency
   /// histograms record) and in microseconds (for printing).

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 
 #include "common/logging.h"
@@ -350,6 +351,14 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
   swap_thrashing_ =
       graph_->stats().raw_bytes / config_.num_nodes > config_.memory_cap_bytes;
 
+  if (config_.qos.enabled) {
+    qos_active_ = true;
+    admission_ = std::make_unique<qos::AdmissionController>(config_.qos);
+    link_credits_.assign(
+        static_cast<size_t>(config_.num_nodes) * config_.num_nodes,
+        qos::CreditMeter(config_.qos.link_credit_bytes));
+  }
+
   fault_active_ = fault_.active();
   recovery_active_ = fault_active_ && config_.fault_recovery;
   if (fault_active_) {
@@ -450,6 +459,46 @@ void SimCluster::ProbePendingWeights(
   }
 }
 
+check::QosProbe SimCluster::ProbeQos() const {
+  check::QosProbe p;
+  p.enabled = qos_active_;
+  if (!qos_active_) return p;
+  const qos::AdmissionStats& as = admission_->stats();
+  p.submitted = as.submitted;
+  p.admitted = as.admitted;
+  p.shed = as.shed();
+  p.cancelled = as.cancelled;
+  p.completed = as.completed;
+  p.queued = admission_->queued();
+  p.running = admission_->running();
+  for (const Worker& w : workers_) {
+    p.task_bytes_enqueued += w.task_bytes_enqueued;
+    p.task_bytes_dequeued += w.task_bytes_dequeued;
+    p.task_bytes_dropped += w.task_bytes_dropped;
+    p.task_bytes_queued += w.task_bytes_queued;
+  }
+  for (const MemoTable& m : memos_) p.memo_live_bytes += m.LiveBytes();
+  return p;
+}
+
+void SimCluster::ProbeLinkCredits(
+    const std::function<void(const check::LinkCreditProbe&)>& fn) const {
+  if (!qos_active_) return;
+  for (uint32_t s = 0; s < config_.num_nodes; ++s) {
+    for (uint32_t d = 0; d < config_.num_nodes; ++d) {
+      const qos::CreditMeter& m = link_credits_[s * config_.num_nodes + d];
+      check::LinkCreditProbe p;
+      p.src_node = s;
+      p.dst_node = d;
+      p.granted = m.granted();
+      p.available = m.available();
+      p.outstanding = m.outstanding();
+      p.saturated = m.saturated();
+      fn(p);
+    }
+  }
+}
+
 obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
   obs::MetricsSnapshot s = metrics_.Snapshot();
   s.fault = fault_.stats();
@@ -457,6 +506,24 @@ obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
     s.checker_attached = true;
     s.checker_trips = check_->trip_count();
     s.checker_trips_by = check_->TripsByChecker();
+  }
+  if (qos_active_) {
+    s.qos_enabled = true;
+    const qos::AdmissionStats& as = admission_->stats();
+    s.qos.submitted = as.submitted;
+    s.qos.admitted = as.admitted;
+    s.qos.shed = as.shed();
+    s.qos.cancelled = as.cancelled;
+    s.qos.peak_queued = as.peak_queued;
+    s.qos.flushes_held = qos_stats_.flushes_held;
+    s.qos.ingest_deferrals = qos_stats_.ingest_deferrals;
+    s.qos.credit_bytes_consumed = qos_stats_.credit_bytes_consumed;
+    s.qos.credit_bytes_returned = qos_stats_.credit_bytes_returned;
+    for (const Worker& w : workers_) {
+      s.qos.peak_task_bytes = std::max(s.qos.peak_task_bytes, w.task_bytes_peak);
+    }
+    s.qos.peak_memo_bytes = qos_stats_.peak_memo_bytes;
+    s.qos.memo_aborts = qos_stats_.memo_aborts;
   }
   for (const MemoTable& m : memos_) {
     const MemoTable::Stats& ms = m.stats();
@@ -470,7 +537,8 @@ obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
 }
 
 uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
-                            Timestamp read_ts, SimTime deadline_ns) {
+                            Timestamp read_ts, SimTime deadline_ns,
+                            uint32_t client_class) {
   if (plan == nullptr || !plan->finalized()) {
     GD_ERROR("Submit requires a finalized plan");
     std::abort();
@@ -481,6 +549,8 @@ uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
   qs.plan = std::move(plan);
   qs.coordinator = static_cast<uint32_t>(id % config_.total_workers());
   qs.read_ts = read_ts;
+  qs.client_class = client_class;
+  qs.deadline_ns = deadline_ns;
   qs.result.query_id = id;
   qs.result.submit_time = std::max(at, now());
   ++pending_queries_;
@@ -489,12 +559,44 @@ uint64_t SimCluster::Submit(std::shared_ptr<const Plan> plan, SimTime at,
                   NodeOfWorker(qs.coordinator), qs.coordinator, id, 0);
 
   if (config_.engine == EngineKind::kBsp) {
+    if (qos_active_) {
+      // BSP runs its backlog serially, so admission reduces to shedding and
+      // the queued-past-deadline check; the fair pop order is meaningless
+      // when the driver executes in submission order anyway.
+      auto d = admission_->OnSubmit(id, qs.client_class, qs.result.submit_time,
+                                    deadline_ns);
+      if (d == qos::AdmissionController::Decision::kShed) {
+        if (check_ != nullptr) {
+          check_->OnAdmission(id, check::AdmissionEvent::kShed,
+                              qs.result.submit_time);
+        }
+        ShedQuery(qs, qs.result.submit_time, "admission backlog full");
+        return id;
+      }
+      if (d == qos::AdmissionController::Decision::kAdmit) {
+        qs.admitted = true;
+        qs.result.admit_time = qs.result.submit_time;
+        metrics_.latency("admission-wait").Record(0);
+        if (check_ != nullptr) {
+          check_->OnAdmission(id, check::AdmissionEvent::kAdmit,
+                              qs.result.submit_time);
+        }
+      } else if (check_ != nullptr) {
+        check_->OnAdmission(id, check::AdmissionEvent::kQueue,
+                            qs.result.submit_time);
+      }
+    }
     bsp_queue_.push_back(BspSubmission{id, qs.plan, qs.result.submit_time, read_ts});
     return id;
   }
   events_.Schedule(qs.result.submit_time, [this, id](SimTime t) {
     auto it = queries_.find(id);
-    if (it != queries_.end()) StartQuery(it->second, t);
+    if (it == queries_.end()) return;
+    if (qos_active_) {
+      if (!it->second.result.done) AdmitOrQueue(it->second, t);
+      return;
+    }
+    StartQuery(it->second, t);
   });
   if (recovery_active_) {
     // The progress watchdog only exists when faults can lose weight; the
@@ -532,9 +634,12 @@ Status SimCluster::RunToCompletion(uint64_t max_events) {
   }
   if (!events_.empty()) {
     // Livelock / runaway schedule: events kept firing until the budget ran
-    // out. Distinct from lost weight, where the queue drains instead.
+    // out. Distinct from lost weight, where the queue drains instead. Name
+    // the oldest unfinished queries and the deepest worker queues — "budget
+    // exhausted" alone is useless when debugging an overloaded cluster.
     return Status::DeadlineExceeded("event budget exhausted after " +
-                                    std::to_string(ran) + " events");
+                                    std::to_string(ran) + " events; " +
+                                    DescribeStuck());
   }
   if (pending_queries_ > 0) {
     std::vector<uint64_t> stuck;
@@ -802,6 +907,39 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
                      ",\"retries\":" + std::to_string(qs.result.retries));
   }
 
+  if (qos_active_) {
+    if (!qs.admitted) {
+      // Finished without ever leaving the backlog (deadline timer fired while
+      // queued). Pull it out of the controller; it never started, so there
+      // are no memoranda to clear and no fences to send.
+      if (admission_->Cancel(qs.id) && check_ != nullptr) {
+        check_->OnAdmission(qs.id, check::AdmissionEvent::kCancel, at);
+      }
+      return;
+    }
+    if (check_ != nullptr) {
+      check_->OnAdmission(qs.id, check::AdmissionEvent::kComplete, at);
+    }
+    // A running slot freed up: drain the backlog. Pops that sat past their
+    // deadline are shed rather than started dead-on-arrival.
+    std::vector<uint64_t> admit, shed;
+    admission_->OnComplete(at, &admit, &shed);
+    for (uint64_t sid : shed) {
+      if (check_ != nullptr) {
+        check_->OnAdmission(sid, check::AdmissionEvent::kDequeueShed, at);
+      }
+      QueryState& sq = queries_.at(sid);
+      sq.result.timed_out = true;
+      ShedQuery(sq, at, "deadline exceeded while queued");
+    }
+    for (uint64_t aid : admit) {
+      if (check_ != nullptr) {
+        check_->OnAdmission(aid, check::AdmissionEvent::kDequeueAdmit, at);
+      }
+      AdmitQuery(queries_.at(aid), at);
+    }
+  }
+
   // Memoranda lifetime: cleared cluster-wide once the creating query ends.
   // The clear is applied directly (like AbortAttempt's) — the control fence
   // below is best-effort and the injector may drop it, which used to leak
@@ -829,6 +967,144 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   }
 }
 
+// ---- qos: admission, budgets, credits ---------------------------------------
+
+void SimCluster::AdmitOrQueue(QueryState& qs, SimTime at) {
+  switch (admission_->OnSubmit(qs.id, qs.client_class, at, qs.deadline_ns)) {
+    case qos::AdmissionController::Decision::kAdmit:
+      if (check_ != nullptr) {
+        check_->OnAdmission(qs.id, check::AdmissionEvent::kAdmit, at);
+      }
+      AdmitQuery(qs, at);
+      break;
+    case qos::AdmissionController::Decision::kQueue:
+      // Parked in the backlog; a completion (or the deadline timer) is the
+      // next event that touches it.
+      if (check_ != nullptr) {
+        check_->OnAdmission(qs.id, check::AdmissionEvent::kQueue, at);
+      }
+      break;
+    case qos::AdmissionController::Decision::kShed:
+      if (check_ != nullptr) {
+        check_->OnAdmission(qs.id, check::AdmissionEvent::kShed, at);
+      }
+      ShedQuery(qs, at, "admission backlog full");
+      break;
+  }
+}
+
+void SimCluster::AdmitQuery(QueryState& qs, SimTime at) {
+  qs.admitted = true;
+  qs.result.admit_time = at;
+  // Recorded only under QoS, so governance-off snapshots stay byte-identical.
+  metrics_.latency("admission-wait").Record(at - qs.result.submit_time);
+  if (tracer_.enabled() && at > qs.result.submit_time) {
+    tracer_.Span("queued", "qos", qs.result.submit_time, at,
+                 NodeOfWorker(qs.coordinator), qs.coordinator, qs.id, 0);
+  }
+  if (recovery_active_) {
+    // The backlog wait is not a stall; the progress window starts at
+    // admission, not submission.
+    NoteProgress(qs, at);
+    ArmWatchdog(qs, at);
+  }
+  StartQuery(qs, at);
+}
+
+void SimCluster::ShedQuery(QueryState& qs, SimTime at, const char* why) {
+  if (qs.result.done) return;
+  // The query never started: no fences to send, no memoranda to clear, no
+  // weight in flight. Completion bookkeeping only.
+  qs.result.done = true;
+  qs.result.failed = true;
+  qs.result.resource_exhausted = true;
+  qs.result.rows.clear();
+  qs.result.failure_reason = why;
+  qs.result.complete_time = std::max(at, qs.result.submit_time);
+  --pending_queries_;
+  metrics_.OnQueryDone(qs.result.LatencyNanos(), /*failed=*/true,
+                       qs.result.timed_out);
+  if (check_ != nullptr) check_->OnQueryComplete(ProbeOf(qs), at);
+  if (tracer_.enabled()) {
+    tracer_.Instant("shed", "qos", qs.result.complete_time,
+                    NodeOfWorker(qs.coordinator), qs.coordinator, qs.id, 0,
+                    std::string("\"why\":\"") + why + "\"");
+  }
+}
+
+void SimCluster::MemoBudgetSweep(Worker& w) {
+  MemoTable& table = memos_[w.id];
+  uint64_t live = table.LiveBytes();
+  qos_stats_.peak_memo_bytes = std::max(qos_stats_.peak_memo_bytes, live);
+  while (live > config_.qos.worker_memo_budget_bytes) {
+    // Abort the hungriest resident query; ties go to the smallest id (std::map
+    // order plus strict >) so the victim choice is deterministic.
+    std::map<uint64_t, uint64_t> by_query;
+    table.ForEachState([&](uint64_t query, uint32_t /*step*/, size_t bytes) {
+      by_query[query] += bytes;
+    });
+    uint64_t victim = 0;
+    uint64_t victim_bytes = 0;
+    for (const auto& [query, bytes] : by_query) {
+      if (bytes > victim_bytes) {
+        victim = query;
+        victim_bytes = bytes;
+      }
+    }
+    auto it = victim_bytes == 0 ? queries_.end() : queries_.find(victim);
+    if (it == queries_.end() || it->second.result.done) break;
+    QueryState& qs = it->second;
+    qs.result.failed = true;
+    qs.result.resource_exhausted = true;
+    qs.result.rows.clear();
+    qs.result.failure_reason = "memo budget exceeded on worker " +
+                               std::to_string(w.id) + " (" +
+                               std::to_string(victim_bytes) + " live bytes)";
+    qos_stats_.memo_aborts++;
+    CompleteQuery(qs, w.now);
+    live = table.LiveBytes();
+  }
+}
+
+bool SimCluster::SendStalled(const Worker& w) const {
+  if (!qos_active_) return false;
+  for (const TierBuffer& buf : w.out) {
+    if (buf.held && buf.bytes >= config_.qos.sender_stall_bytes) return true;
+  }
+  return false;
+}
+
+void SimCluster::ReturnCredits(Message& msg, SimTime at) {
+  if (!qos_active_ || msg.credit_bytes == 0) return;
+  uint32_t src_node = NodeOfWorker(msg.src_worker);
+  uint32_t dst_node = NodeOfWorker(msg.dst_worker);
+  LinkCreditRef(src_node, dst_node).Return(msg.credit_bytes);
+  qos_stats_.credit_bytes_returned += msg.credit_bytes;
+  if (check_ != nullptr) {
+    check_->OnCreditReturn(src_node, dst_node, msg.credit_bytes, at);
+  }
+  msg.credit_bytes = 0;
+  RetryHeldFlushes(src_node, dst_node, at);
+}
+
+void SimCluster::RetryHeldFlushes(uint32_t src_node, uint32_t dst_node,
+                                  SimTime at) {
+  qos::CreditMeter& lc = LinkCreditRef(src_node, dst_node);
+  for (uint32_t i = 0; i < config_.workers_per_node; ++i) {
+    Worker& w = workers_[src_node * config_.workers_per_node + i];
+    TierBuffer& buf = w.out[dst_node];
+    if (!buf.held || buf.msgs.empty()) continue;
+    if (!lc.CanSend(buf.bytes)) break;  // lowest worker id first; rest wait
+    bool was_stalled = SendStalled(w);
+    FlushBufferAt(w, dst_node, std::max(w.now, at));
+    if (was_stalled && !SendStalled(w)) {
+      // The worker parked itself on this backed-up buffer; re-enter the run
+      // loop now that the pack has left.
+      ScheduleWake(w, std::max(w.now, at));
+    }
+  }
+}
+
 // ---- fault injection & recovery --------------------------------------------
 
 void SimCluster::NoteProgress(QueryState& qs, SimTime at) {
@@ -847,6 +1123,14 @@ void SimCluster::WatchdogCheck(uint64_t query_id, uint64_t gen, SimTime at) {
   if (it == queries_.end()) return;
   QueryState& qs = it->second;
   if (qs.result.done || gen != qs.watchdog_gen) return;
+  if (qos_active_ && !qs.admitted) {
+    // Still waiting in the admission backlog: not a stall, and aborting
+    // would "retry" a query that never ran. Keep the chain alive for the
+    // eventual admission.
+    NoteProgress(qs, at);
+    ArmWatchdog(qs, at);
+    return;
+  }
   if (qs.restart_pending) {
     // A restart is scheduled but has not run yet (StartQuery may keep
     // deferring on a crashed coordinator). Keep the chain alive instead of
@@ -936,6 +1220,14 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
   // coalesced weights, row accounting, and this partition's memoranda. The
   // TEL-backed graph storage survives.
   fault_.stats().lost_in_crash += w.inbox.size();
+  if (qos_active_) {
+    // Undelivered messages die with the worker, but their link credits must
+    // flow back to the senders or the link chokes forever. Queued task bytes
+    // move to the dropped column so the ledger still balances.
+    for (Message& m : w.inbox) ReturnCredits(m, at);
+    w.task_bytes_dropped += w.task_bytes_queued;
+    w.task_bytes_queued = 0;
+  }
   w.inbox.clear();
   w.tasks.clear();
   w.first_bucket = 0;
@@ -943,9 +1235,11 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
   w.pending_weights.clear();
   w.rows_unreported.clear();
   for (TierBuffer& buf : w.out) {
+    // Unflushed buffers never consumed credits; just drop them.
     buf.msgs.clear();
     buf.bytes = 0;
     buf.merge_index.clear();
+    buf.held = false;
   }
   memos_[worker].Clear();
   // Schedule the restart before aborting attempts so that at an equal
@@ -1003,11 +1297,23 @@ void SimCluster::RunWorker(Worker& w, SimTime at) {
   w.now = std::max(w.now, at);
   IngestInbox(w);
   uint32_t executed = 0;
-  while (executed < config_.quantum_tasks && HasTask(w)) {
+  while (executed < config_.quantum_tasks && HasTask(w) &&
+         !(qos_active_ && SendStalled(w))) {
     ExecuteTask(w, PopTask(w));
     ++executed;
   }
   w.running = false;
+  if (qos_active_ && SendStalled(w)) {
+    // Parked on send credits: flush whatever fits, then stop WITHOUT a
+    // self-wake — spinning at a fixed virtual time would livelock the event
+    // loop. RetryHeldFlushes (on credit return) or the next inbox delivery
+    // reschedules this worker.
+    FlushAll(w);
+    if (!SendStalled(w) && (HasTask(w) || !w.inbox.empty())) {
+      ScheduleWake(w, w.now);
+    }
+    return;
+  }
   if (HasTask(w) || !w.inbox.empty()) {
     ScheduleWake(w, w.now);
     return;
@@ -1022,9 +1328,32 @@ void SimCluster::IngestInbox(Worker& w) {
   while (!w.inbox.empty()) {
     std::vector<Message> batch;
     batch.swap(w.inbox);
-    for (Message& m : batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (qos_active_ && batch[i].kind == MessageKind::kTraverserBatch &&
+          w.task_bytes_queued >= config_.qos.worker_task_budget_bytes &&
+          !SendStalled(w)) {
+        // Task-budget backpressure: stop pulling work in the moment the
+        // queue crosses the budget — mid-inbox, so a large backlog of
+        // delivered frames cannot overshoot it by more than one message.
+        // The unread suffix keeps its credits (stalling the upstream
+        // senders) and precedes anything delivered since the swap, so it
+        // goes back at the FRONT of the inbox. Non-task messages (weights,
+        // finalize, control) still process: they carry no task bytes and
+        // delaying them would only slow completions that free the budget.
+        // Exception: a sender blocked on credits always ingests —
+        // returning the inbox's credits is what unblocks the reverse
+        // direction of a mutually-stalled node pair.
+        qos_stats_.ingest_deferrals++;
+        w.inbox.insert(w.inbox.begin(),
+                       std::make_move_iterator(batch.begin() +
+                                               static_cast<ptrdiff_t>(i)),
+                       std::make_move_iterator(batch.end()));
+        return;
+      }
+      // Ingestion is the normal terminal disposition of a credited message.
+      ReturnCredits(batch[i], w.now);
       Charge(w, CostKind::kMsgUnpack, 1);
-      HandleMessage(w, std::move(m));
+      HandleMessage(w, std::move(batch[i]));
     }
   }
 }
@@ -1116,6 +1445,10 @@ void SimCluster::ExecuteTask(Worker& w, Task task) {
     qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
   }
   ++w.tasks_executed;
+  if (qos_active_ && config_.qos.memo_check_interval > 0 &&
+      w.tasks_executed % config_.qos.memo_check_interval == 0) {
+    MemoBudgetSweep(w);
+  }
 }
 
 void SimCluster::RunFinalize(Worker& w, const Message& msg) {
@@ -1195,6 +1528,15 @@ void SimCluster::PushTask(Worker& w, Task task) {
       it->second = newpos;  // dispatched or unmergeable: track the newcomer
     }
   }
+  if (qos_active_) {
+    // Byte ledger on the actual enqueue only — a merge-absorbed task changed
+    // nothing (MergeFrom rewrites weight/bulk in place, so the carrier's
+    // WireSize at pop still equals its size at push).
+    uint64_t bytes = task.trav.WireSize();
+    w.task_bytes_queued += bytes;
+    w.task_bytes_enqueued += bytes;
+    w.task_bytes_peak = std::max(w.task_bytes_peak, w.task_bytes_queued);
+  }
   b.q.push_back(std::move(task));
   if (bucket < w.first_bucket) w.first_bucket = bucket;
   ++w.num_tasks;
@@ -1210,6 +1552,11 @@ SimCluster::Task SimCluster::PopTask(Worker& w) {
   ++b.base;
   if (b.q.empty() && !b.index.empty()) b.index.clear();
   --w.num_tasks;
+  if (qos_active_) {
+    uint64_t bytes = task.trav.WireSize();
+    w.task_bytes_queued -= bytes;
+    w.task_bytes_dequeued += bytes;
+  }
   return task;
 }
 
@@ -1402,6 +1749,7 @@ void SimCluster::DeliverToWorker(Message msg, SimTime at) {
   Worker& dst = workers_[msg.dst_worker];
   if (dst.crashed) {
     fault_.stats().lost_in_crash++;
+    ReturnCredits(msg, at);  // dropped on the floor; free the link
     return;
   }
   if (fault_active_) {
@@ -1409,6 +1757,7 @@ void SimCluster::DeliverToWorker(Message msg, SimTime at) {
         msg.dst_epoch != dst.epoch) {
       // The message was addressed to (or sent by) a pre-crash incarnation.
       fault_.stats().fenced_messages++;
+      ReturnCredits(msg, at);
       return;
     }
     if (msg.seq != 0) {
@@ -1422,6 +1771,7 @@ void SimCluster::DeliverToWorker(Message msg, SimTime at) {
       }
       if (!fresh) {
         fault_.stats().duplicates_suppressed++;
+        ReturnCredits(msg, at);
         return;
       }
     }
@@ -1431,8 +1781,40 @@ void SimCluster::DeliverToWorker(Message msg, SimTime at) {
 }
 
 void SimCluster::FlushBuffer(Worker& w, uint32_t dst_node) {
+  FlushBufferAt(w, dst_node, w.now);
+}
+
+void SimCluster::FlushBufferAt(Worker& w, uint32_t dst_node, SimTime at) {
   TierBuffer& buf = w.out[dst_node];
   if (buf.msgs.empty()) return;
+  if (qos_active_ && dst_node != w.node) {
+    qos::CreditMeter& lc = LinkCreditRef(w.node, dst_node);
+    if (!lc.CanSend(buf.bytes)) {
+      // Not enough credits for the pack: hold the whole buffer until returns
+      // free the link (RetryHeldFlushes reruns this flush).
+      if (!buf.held) {
+        buf.held = true;
+        qos_stats_.flushes_held++;
+      }
+      return;
+    }
+    uint64_t consumed = lc.Consume(buf.bytes);
+    qos_stats_.credit_bytes_consumed += consumed;
+    if (check_ != nullptr) {
+      check_->OnCreditConsume(w.node, dst_node, consumed, at);
+    }
+    // Attribute the consumed credits message-by-message so every terminal
+    // disposition (ingest, fence drop, crash wipe) returns its exact share.
+    // The empty-window overdraft can consume less than buf.bytes; trailing
+    // messages then carry zero.
+    uint64_t left = consumed;
+    for (Message& m : buf.msgs) {
+      uint64_t share = std::min<uint64_t>(m.WireSize(), left);
+      m.credit_bytes = static_cast<uint32_t>(share);
+      left -= share;
+    }
+    buf.held = false;
+  }
   std::vector<Message> msgs;
   msgs.swap(buf.msgs);
   size_t bytes = buf.bytes;
@@ -1442,7 +1824,7 @@ void SimCluster::FlushBuffer(Worker& w, uint32_t dst_node) {
   // network thread and keeps computing; otherwise the worker performs the
   // send syscall itself.
   bool charge_sender = config_.io_mode != IoMode::kTlcNlc;
-  SubmitPack(w.node, dst_node, std::move(msgs), bytes, w.now, charge_sender, &w);
+  SubmitPack(w.node, dst_node, std::move(msgs), bytes, at, charge_sender, &w);
 }
 
 void SimCluster::FlushAll(Worker& w) {
@@ -1505,8 +1887,11 @@ void SimCluster::SubmitPack(uint32_t src_node, uint32_t dst_node,
                             std::vector<Message> msgs, size_t bytes, SimTime at,
                             bool charge_sender, Worker* sender) {
   if (charge_sender && sender != nullptr) {
-    // The send syscall runs on the worker's critical path.
-    sender->now += config_.cost.frame_overhead_ns;
+    // The send syscall runs on the worker's critical path. A credit-retry
+    // flush can arrive with `at` ahead of the sender's clock; take the max
+    // so the frame is never scheduled in the virtual past (identity when
+    // `at` is the sender's own now, i.e. every non-retry flush).
+    sender->now = std::max(sender->now, at) + config_.cost.frame_overhead_ns;
     at = sender->now;
   }
   if (config_.io_mode != IoMode::kTlcNlc) {
@@ -1582,6 +1967,56 @@ uint32_t SimCluster::ExecWorkerFor(PartitionId p) {
   return WorkerOfPartition(p);  // whole node down: deliveries will be lost
 }
 
+std::string SimCluster::DescribeStuck() const {
+  std::vector<const QueryState*> stuck;
+  for (const auto& [id, qs] : queries_) {
+    if (!qs.result.done) stuck.push_back(&qs);
+  }
+  std::sort(stuck.begin(), stuck.end(),
+            [](const QueryState* a, const QueryState* b) {
+              if (a->result.submit_time != b->result.submit_time) {
+                return a->result.submit_time < b->result.submit_time;
+              }
+              return a->id < b->id;
+            });
+  std::string s = std::to_string(stuck.size()) + " unfinished queries";
+  const size_t show = std::min<size_t>(stuck.size(), 4);
+  if (show > 0) {
+    s += ", oldest:";
+    for (size_t i = 0; i < show; ++i) {
+      const QueryState& q = *stuck[i];
+      s += " q" + std::to_string(q.id) + "(submitted@" +
+           std::to_string(q.result.submit_time) + ", scope " +
+           std::to_string(q.scope);
+      if (qos_active_ && !q.admitted) s += ", awaiting admission";
+      s += ")";
+    }
+    if (stuck.size() > show) {
+      s += " +" + std::to_string(stuck.size() - show) + " more";
+    }
+  }
+  std::vector<const Worker*> deep;
+  for (const Worker& w : workers_) {
+    if (w.num_tasks > 0 || !w.inbox.empty()) deep.push_back(&w);
+  }
+  std::sort(deep.begin(), deep.end(), [](const Worker* a, const Worker* b) {
+    if (a->num_tasks != b->num_tasks) return a->num_tasks > b->num_tasks;
+    return a->id < b->id;
+  });
+  if (!deep.empty()) {
+    s += "; deepest queues:";
+    const size_t dshow = std::min<size_t>(deep.size(), 4);
+    for (size_t i = 0; i < dshow; ++i) {
+      const Worker& w = *deep[i];
+      s += " w" + std::to_string(w.id) + "(" + std::to_string(w.num_tasks) +
+           " tasks";
+      if (qos_active_) s += ", " + std::to_string(w.task_bytes_queued) + "B";
+      s += ", inbox " + std::to_string(w.inbox.size()) + ")";
+    }
+  }
+  return s;
+}
+
 // ---- BSP driver ---------------------------------------------------------------
 
 Status SimCluster::RunBspToCompletion() {
@@ -1592,6 +2027,36 @@ Status SimCluster::RunBspToCompletion() {
   for (const BspSubmission& sub : bsp_queue_) {
     QueryState& qs = queries_.at(sub.id);
     SimTime start = std::max(sub.at, bsp_clock_);
+    if (qos_active_) {
+      if (qs.result.done) continue;  // shed at submission
+      if (!qs.admitted) {
+        if (!admission_->ForceAdmit(qs.id, start)) {
+          // Waited past its deadline in the backlog; never start it.
+          if (check_ != nullptr) {
+            check_->OnAdmission(qs.id, check::AdmissionEvent::kDequeueShed,
+                                start);
+          }
+          qs.result.timed_out = true;
+          ShedQuery(qs, start, "deadline exceeded while queued");
+          continue;
+        }
+        if (check_ != nullptr) {
+          check_->OnAdmission(qs.id, check::AdmissionEvent::kDequeueAdmit,
+                              start);
+        }
+        qs.admitted = true;
+        qs.result.admit_time = start;
+        metrics_.latency("admission-wait").Record(start - qs.result.submit_time);
+      }
+      RunBspQuery(qs, start);
+      bsp_clock_ = qs.result.complete_time;
+      if (check_ != nullptr) {
+        check_->OnAdmission(qs.id, check::AdmissionEvent::kComplete,
+                            qs.result.complete_time);
+      }
+      admission_->OnCompleteNoDequeue();
+      continue;
+    }
     RunBspQuery(qs, start);
     bsp_clock_ = qs.result.complete_time;
   }

@@ -19,6 +19,9 @@
 #include "pstm/memo.h"
 #include "pstm/plan.h"
 #include "pstm/traverser.h"
+#include "qos/admission.h"
+#include "qos/credit.h"
+#include "qos/qos.h"
 #include "runtime/config.h"
 #include "runtime/query.h"
 #include "sim/cost_model.h"
@@ -63,9 +66,11 @@ class SimCluster : public check::ClusterProbe {
   /// arrival, marking the result timed_out (the interactive time-budget
   /// semantics of paper §II-A). Deadlines are only honoured by the
   /// asynchronous engines; BSP cannot abort mid-superstep.
+  /// `client_class` selects the QoS fairness class (qos/qos.h class_weights;
+  /// ignored when QoS is off).
   uint64_t Submit(std::shared_ptr<const Plan> plan, SimTime at = 0,
                   Timestamp read_ts = kMaxTimestamp - 1,
-                  SimTime deadline_ns = 0);
+                  SimTime deadline_ns = 0, uint32_t client_class = 0);
 
   /// Runs the simulation until every submitted query completes. Fails with
   /// kInternal if the event queue drains while queries are unfinished
@@ -157,6 +162,9 @@ class SimCluster : public check::ClusterProbe {
   void ProbePendingWeights(
       const std::function<void(uint32_t worker, uint64_t query, uint32_t scope,
                                Weight w)>& fn) const override;
+  check::QosProbe ProbeQos() const override;
+  void ProbeLinkCredits(const std::function<void(const check::LinkCreditProbe&)>&
+                            fn) const override;
 
  private:
   friend class ExecContext;
@@ -182,6 +190,10 @@ class SimCluster : public check::ClusterProbe {
     // confirmed by byte comparison before merging (a collision just misses
     // a merge); cleared on every flush.
     std::unordered_map<uint64_t, uint32_t> merge_index;
+    // QoS flow control: a flush attempt found the link out of credits; the
+    // buffer waits sender-side and is retried when credits return
+    // (RetryHeldFlushes). Never set when QoS is off.
+    bool held = false;
   };
 
   struct Worker {
@@ -222,6 +234,15 @@ class SimCluster : public check::ClusterProbe {
     // Result rows sent remotely per query since the last weight report
     // (piggybacked onto the next report as Message::row_delta).
     std::unordered_map<uint64_t, uint32_t> rows_unreported;
+    // --- QoS task-byte ledger (maintained only when QoS is enabled) ---
+    // Conservation: enqueued == dequeued + dropped + queued. `queued` is the
+    // quantity the worker_task_budget_bytes budget bounds; `dropped` counts
+    // bytes wiped by a crash.
+    uint64_t task_bytes_queued = 0;
+    uint64_t task_bytes_peak = 0;
+    uint64_t task_bytes_enqueued = 0;
+    uint64_t task_bytes_dequeued = 0;
+    uint64_t task_bytes_dropped = 0;
   };
 
   /// Receive-side duplicate suppression for one (src,dst) worker pair.
@@ -281,6 +302,13 @@ class SimCluster : public check::ClusterProbe {
     // --- observability (tracer span anchors; never read by execution) ---
     SimTime attempt_start = 0;  // StartQuery time of the current attempt
     SimTime scope_start = 0;    // start of the scope currently tracked
+    // --- QoS admission state ---
+    uint32_t client_class = 0;  // fairness class (qos/qos.h class_weights)
+    SimTime deadline_ns = 0;    // relative deadline (0 = none); also used by
+                                // admission's queued-too-long shedding
+    bool admitted = false;      // holds (or held) a running slot; a query
+                                // shed or cancelled from the backlog never
+                                // sets it. Only meaningful when QoS is on.
   };
 
   // --- query lifecycle ---
@@ -307,6 +335,32 @@ class SimCluster : public check::ClusterProbe {
   /// Recomputes link_degrade_ from the currently active degradation windows.
   void RecomputeLinkDegrade();
 
+  // --- QoS: admission, credits, budgets (every caller gates on qos_active_) ---
+  /// Runs the admission decision for an arrived query: start it, park it in
+  /// the controller's backlog, or shed it.
+  void AdmitOrQueue(QueryState& qs, SimTime at);
+  /// Grants the query its running slot and starts it.
+  void AdmitQuery(QueryState& qs, SimTime at);
+  /// Completes a query as resource-exhausted without ever starting it (no
+  /// fences / memo sweeps — it owns nothing). Works for both engines.
+  void ShedQuery(QueryState& qs, SimTime at, const char* why);
+  /// Returns a message's carried credits to its (src,dst) link meter and
+  /// retries any held buffers on that link. Idempotent: zeroes credit_bytes.
+  void ReturnCredits(Message& msg, SimTime at);
+  void RetryHeldFlushes(uint32_t src_node, uint32_t dst_node, SimTime at);
+  /// True when the worker's credit-blocked send buffers exceed the stall
+  /// threshold — it must pause execution until credits return.
+  bool SendStalled(const Worker& w) const;
+  /// Every `memo_check_interval` tasks: if the partition's live memo bytes
+  /// exceed the budget, abort the biggest per-query consumer.
+  void MemoBudgetSweep(Worker& w);
+  qos::CreditMeter& LinkCreditRef(uint32_t src_node, uint32_t dst_node) {
+    return link_credits_[src_node * config_.num_nodes + dst_node];
+  }
+  /// Oldest unfinished queries and deepest worker queues, for the
+  /// RunToCompletion event-budget diagnostic.
+  std::string DescribeStuck() const;
+
   // --- worker execution ---
   void ScheduleWake(Worker& w, SimTime at);
   void RunWorker(Worker& w, SimTime at);
@@ -332,6 +386,9 @@ class SimCluster : public check::ClusterProbe {
   /// decisions).
   void EnqueueRemote(Worker& from, uint32_t dst_node, Message msg);
   void FlushBuffer(Worker& w, uint32_t dst_node);
+  /// FlushBuffer at an explicit time >= w.now (credit-return retries run at
+  /// the returning event's time, not the sender's possibly older clock).
+  void FlushBufferAt(Worker& w, uint32_t dst_node, SimTime at);
   void FlushAll(Worker& w);
   void FlushWeights(Worker& w);
   void SubmitPack(uint32_t src_node, uint32_t dst_node, std::vector<Message> msgs,
@@ -395,6 +452,19 @@ class SimCluster : public check::ClusterProbe {
   // event schedule, so metrics/tracing cannot perturb virtual time.
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  // --- QoS (resource governance; everything below is inert when off) ---
+  bool qos_active_ = false;  // config_.qos.enabled, cached
+  std::unique_ptr<qos::AdmissionController> admission_;
+  std::vector<qos::CreditMeter> link_credits_;  // per (src,dst) node pair
+  struct QosRuntimeStats {
+    uint64_t flushes_held = 0;
+    uint64_t ingest_deferrals = 0;
+    uint64_t credit_bytes_consumed = 0;
+    uint64_t credit_bytes_returned = 0;
+    uint64_t peak_memo_bytes = 0;
+    uint64_t memo_aborts = 0;
+  };
+  QosRuntimeStats qos_stats_;
   // Invariant-checking harness (null = detached; every hook site checks).
   check::CheckHarness* check_ = nullptr;
   /// Builds the QueryProbe view of one query (shared by CompleteQuery's

@@ -1,4 +1,5 @@
-// Property and regression tests for the serde layer and weight splitting:
+// Property and regression tests for the serde layer, weight splitting and
+// the QoS bookkeeping primitives:
 //  - ByteReader hardening: reads past the end assert in debug builds and
 //    fail-safe (zero value, pinned cursor, latched truncated()) in release.
 //  - Truncated-message regression: every Message payload decoder is total
@@ -8,11 +9,18 @@
 //    tags, >255 vars, empty and near-limit payloads).
 //  - SplitWeight conservation in Z_2^64 and Take/TakeLast equivalence with
 //    the vector path.
+//  - CreditMeter conservation (available + outstanding == granted) under
+//    random traffic, with the same assert-in-debug / clamp-and-latch-in-
+//    release hardening contract as ByteReader.
+//  - AdmissionController ordering: per-class FIFO, deadline-expired pops
+//    are shed not admitted, ledger conservation at every step, and stride
+//    scheduling admits saturated classes in proportion to their weights.
 
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,6 +32,9 @@
 #include "pstm/steps.h"
 #include "pstm/traverser.h"
 #include "pstm/weight.h"
+#include "qos/admission.h"
+#include "qos/credit.h"
+#include "qos/qos.h"
 
 namespace graphdance {
 namespace {
@@ -527,6 +538,250 @@ TEST(WeightPropertyTest, SplitterRemainingTracksTakes) {
     EXPECT_EQ(splitter.remaining(), static_cast<Weight>(total - taken));
   }
   EXPECT_EQ(splitter.TakeLast(), static_cast<Weight>(total - taken));
+}
+
+// --- CreditMeter properties (satellite: credit arithmetic) ------------------
+
+TEST(CreditMeterPropertyTest, ConservationUnderRandomTraffic) {
+  // The conservation invariant `available + outstanding == granted` must
+  // hold after every legal Consume / Return, including overdraft flushes
+  // (an idle meter granting its whole window to an oversized buffer).
+  Rng rng(0x5eed0010);
+  for (int iter = 0; iter < 200; ++iter) {
+    uint64_t granted = 1 + rng.Below(1 << 16);
+    qos::CreditMeter m(granted);
+    std::vector<uint64_t> inflight;  // consumed amounts awaiting return
+    for (int step = 0; step < 300; ++step) {
+      if (!inflight.empty() && rng.Chance(0.5)) {
+        size_t i = rng.Below(inflight.size());
+        m.Return(inflight[i]);
+        inflight[i] = inflight.back();
+        inflight.pop_back();
+      } else {
+        uint64_t avail = m.available();
+        uint64_t want = 1 + rng.Below(2 * granted);
+        if (!m.CanSend(want)) {
+          // Blocked means genuinely short of credits — never a full window.
+          EXPECT_LT(avail, want);
+          EXPECT_LT(avail, granted);
+          continue;
+        }
+        uint64_t got = m.Consume(want);
+        EXPECT_EQ(got, std::min(want, avail));  // exact, or whole-window
+        if (got > 0) inflight.push_back(got);
+      }
+      EXPECT_EQ(m.available() + m.outstanding(), granted);
+      EXPECT_FALSE(m.saturated());
+    }
+    for (uint64_t b : inflight) m.Return(b);
+    EXPECT_EQ(m.available(), granted);
+    EXPECT_EQ(m.outstanding(), 0u);
+  }
+}
+
+#ifdef NDEBUG
+
+TEST(CreditMeterGuardTest, OverdrawClampsAndLatches) {
+  // Release builds clamp a protocol violation to the available balance and
+  // latch saturated() so the resource-ledger checker can flag the run.
+  qos::CreditMeter m(100);
+  EXPECT_EQ(m.Consume(60), 60u);
+  EXPECT_FALSE(m.CanSend(50));  // 40 available, not idle: must not send
+  EXPECT_EQ(m.Consume(50), 40u);
+  EXPECT_TRUE(m.saturated());
+  EXPECT_EQ(m.available(), 0u);
+  EXPECT_EQ(m.outstanding(), 100u);  // conservation survives the clamp
+}
+
+TEST(CreditMeterGuardTest, OverReturnClampsAndLatches) {
+  qos::CreditMeter m(100);
+  EXPECT_EQ(m.Consume(30), 30u);
+  m.Return(50);  // more than is outstanding
+  EXPECT_TRUE(m.saturated());
+  EXPECT_EQ(m.available(), 100u);  // clamped: the window never overflows
+  EXPECT_EQ(m.outstanding(), 0u);
+}
+
+#else  // !NDEBUG
+
+TEST(CreditMeterDeathTest, OverdrawAsserts) {
+  EXPECT_DEATH(
+      {
+        qos::CreditMeter m(100);
+        (void)m.Consume(60);
+        (void)m.Consume(50);
+      },
+      "CreditMeter overdraw");
+}
+
+TEST(CreditMeterDeathTest, OverReturnAsserts) {
+  EXPECT_DEATH(
+      {
+        qos::CreditMeter m(100);
+        (void)m.Consume(30);
+        m.Return(50);
+      },
+      "CreditMeter return exceeds outstanding");
+}
+
+#endif  // NDEBUG
+
+// --- AdmissionController properties (satellite: admission ordering) ---------
+
+TEST(AdmissionPropertyTest, LedgerFifoAndDeadlinesUnderRandomSchedules) {
+  // Random arrival / completion / cancel schedules with random classes and
+  // deadlines. Checked at every step:
+  //  - ledger conservation: submitted == admitted + shed + cancelled + queued
+  //  - running never exceeds max_concurrent; at most one admit per pop
+  //  - within a class, backlog pops are FIFO
+  //  - a popped query is admitted iff its backlog wait respects its deadline
+  Rng rng(0x5eed0011);
+  for (int iter = 0; iter < 40; ++iter) {
+    qos::QosConfig cfg;
+    cfg.enabled = true;
+    cfg.max_concurrent_queries = 1 + static_cast<uint32_t>(rng.Below(3));
+    cfg.max_queued_queries = 1 + static_cast<uint32_t>(rng.Below(8));
+    cfg.class_weights = {1 + static_cast<uint32_t>(rng.Below(4)),
+                         1 + static_cast<uint32_t>(rng.Below(4)),
+                         1 + static_cast<uint32_t>(rng.Below(4))};
+    qos::AdmissionController adm(cfg);
+
+    struct Rec {
+      uint32_t cls;
+      SimTime submit;
+      SimTime deadline;
+    };
+    std::map<uint64_t, Rec> recs;
+    std::vector<std::vector<uint64_t>> fifo(cfg.num_classes());  // queued ids
+    uint64_t next_id = 1;
+    uint64_t running = 0;
+    SimTime now = 0;
+
+    auto check_ledger = [&] {
+      const qos::AdmissionStats& st = adm.stats();
+      EXPECT_EQ(st.submitted,
+                st.admitted + st.shed() + st.cancelled + adm.queued());
+      EXPECT_EQ(adm.running(), running);
+      EXPECT_LE(adm.running(), cfg.max_concurrent_queries);
+    };
+
+    // Pops from a completion: sheds (in pop order) then at most one admit.
+    // Each popped id must be the FIFO head of its class, and the deadline
+    // decides which side of the shed/admit line it lands on.
+    auto check_pops = [&](const std::vector<uint64_t>& admit,
+                          const std::vector<uint64_t>& shed) {
+      EXPECT_LE(admit.size(), 1u);
+      for (uint64_t id : shed) {
+        const Rec& r = recs.at(id);
+        ASSERT_FALSE(fifo[r.cls].empty());
+        EXPECT_EQ(fifo[r.cls].front(), id) << "non-FIFO shed pop";
+        fifo[r.cls].erase(fifo[r.cls].begin());
+        EXPECT_TRUE(r.deadline > 0 && now - r.submit > r.deadline)
+            << "shed a query whose deadline still held";
+      }
+      for (uint64_t id : admit) {
+        const Rec& r = recs.at(id);
+        ASSERT_FALSE(fifo[r.cls].empty());
+        EXPECT_EQ(fifo[r.cls].front(), id) << "non-FIFO admission";
+        fifo[r.cls].erase(fifo[r.cls].begin());
+        EXPECT_FALSE(r.deadline > 0 && now - r.submit > r.deadline)
+            << "admitted a query past its deadline";
+        ++running;
+      }
+    };
+
+    for (int step = 0; step < 300; ++step) {
+      now += rng.Below(100);
+      uint32_t dice = static_cast<uint32_t>(rng.Below(10));
+      if (dice < 5) {  // arrival
+        uint64_t id = next_id++;
+        uint32_t cls = static_cast<uint32_t>(rng.Below(cfg.num_classes()));
+        SimTime deadline = rng.Chance(0.3) ? 1 + rng.Below(200) : 0;
+        recs[id] = Rec{cls, now, deadline};
+        auto d = adm.OnSubmit(id, cls, now, deadline);
+        switch (d) {
+          case qos::AdmissionController::Decision::kAdmit:
+            // Immediate admission requires a free slot and an empty backlog.
+            EXPECT_LT(running, cfg.max_concurrent_queries);
+            for (const auto& q : fifo) EXPECT_TRUE(q.empty());
+            ++running;
+            break;
+          case qos::AdmissionController::Decision::kQueue:
+            fifo[cls].push_back(id);
+            break;
+          case qos::AdmissionController::Decision::kShed:
+            EXPECT_EQ(adm.queued(), cfg.max_queued_queries);
+            break;
+        }
+      } else if (dice < 8) {  // completion
+        if (running == 0) continue;
+        std::vector<uint64_t> admit, shed;
+        adm.OnComplete(now, &admit, &shed);
+        --running;
+        check_pops(admit, shed);
+      } else {  // cancel a random queued query (its deadline timer fired)
+        std::vector<uint64_t> queued;
+        for (const auto& q : fifo) queued.insert(queued.end(), q.begin(), q.end());
+        if (queued.empty()) continue;
+        uint64_t id = queued[rng.Below(queued.size())];
+        EXPECT_TRUE(adm.Cancel(id));
+        EXPECT_FALSE(adm.Cancel(id));  // second cancel: no longer queued
+        uint32_t cls = recs.at(id).cls;
+        auto& q = fifo[cls];
+        q.erase(std::find(q.begin(), q.end(), id));
+      }
+      check_ledger();
+    }
+
+    // Drain: completing everything must admit / shed the whole backlog.
+    while (running > 0) {
+      now += 50;
+      std::vector<uint64_t> admit, shed;
+      adm.OnComplete(now, &admit, &shed);
+      --running;
+      check_pops(admit, shed);
+      check_ledger();
+    }
+    EXPECT_EQ(adm.queued(), 0u);
+    for (const auto& q : fifo) EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(AdmissionPropertyTest, StrideSchedulingHonorsClassWeights) {
+  // A saturated backlog with weights 3:1 must admit class 0 three times as
+  // often as class 1 — stride scheduling is exactly proportional, so over
+  // 800 backlog admissions the split is 600/200 up to one stride of skew.
+  qos::QosConfig cfg;
+  cfg.enabled = true;
+  cfg.max_concurrent_queries = 1;
+  cfg.max_queued_queries = 4096;
+  cfg.class_weights = {3, 1};
+  qos::AdmissionController adm(cfg);
+
+  ASSERT_EQ(adm.OnSubmit(0, 0, 0, 0), qos::AdmissionController::Decision::kAdmit);
+  // Queue more per class than the total admissions below, so neither class
+  // ever runs dry — exhaustion would skew the observed ratio.
+  std::map<uint64_t, uint32_t> cls_of;
+  uint64_t id = 1;
+  for (int i = 0; i < 900; ++i) {
+    for (uint32_t c : {0u, 1u}) {
+      cls_of[id] = c;
+      ASSERT_EQ(adm.OnSubmit(id, c, 0, 0),
+                qos::AdmissionController::Decision::kQueue);
+      ++id;
+    }
+  }
+
+  uint64_t admits_by_class[2] = {0, 0};
+  for (int i = 0; i < 800; ++i) {
+    std::vector<uint64_t> admit, shed;
+    adm.OnComplete(static_cast<SimTime>(i), &admit, &shed);
+    ASSERT_EQ(admit.size(), 1u);
+    EXPECT_TRUE(shed.empty());
+    ++admits_by_class[cls_of.at(admit[0])];
+  }
+  EXPECT_NEAR(static_cast<double>(admits_by_class[0]), 600.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(admits_by_class[1]), 200.0, 2.0);
 }
 
 }  // namespace

@@ -1,0 +1,549 @@
+// Tests for the resource-governance subsystem (DESIGN.md §11): admission
+// control with weighted fairness and deadline-aware backlog shedding,
+// credit-based flow control on inter-node links, per-worker task-byte and
+// memo-byte budgets, and the resource-ledger invariant checker that audits
+// all of it. The battery proves three things end to end:
+//   1. Off means off: with qos.enabled == false the metrics snapshot and the
+//      trace are byte-identical to a pre-QoS build on the pinned schedule.
+//   2. Governance never changes answers: every admitted query returns rows
+//      identical to an ungoverned serial run, across engines, tie-break
+//      seeds, tight credit windows and the faulted differential matrix.
+//   3. Limits actually limit: backlog overflow sheds, queued-past-deadline
+//      queries never start, credit windows hold flushes, task budgets defer
+//      ingestion, and the memo budget aborts the hungriest query — all with
+//      zero resource-ledger trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/oracle.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "qos/qos.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace {
+
+using check::CheckHarness;
+using check::DifferentialOptions;
+using check::DifferentialReport;
+using check::ReplaySpec;
+using check::RunDifferential;
+
+// --- shared workload helpers (same idiom as check_test / chaos_test) --------
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId link;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t partitions, uint64_t nv = 1024, uint64_t ne = 8192,
+                    uint64_t seed = 11) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = seed;
+  opt.weight_range = 10'000;
+  auto result = GeneratePowerLawGraph(opt, tg.schema, partitions);
+  EXPECT_TRUE(result.ok());
+  tg.graph = result.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig BaseConfig(EngineKind engine = EngineKind::kAsync) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.engine = engine;
+  cfg.progress_timeout_ns = 20'000'000;
+  return cfg;
+}
+
+std::shared_ptr<const Plan> TopKPlan(const TestGraph& tg, VertexId start, int k,
+                                     size_t limit = 10) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, limit)
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::shared_ptr<const Plan> CountPlan(const TestGraph& tg, VertexId start,
+                                      int k) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Count()
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+/// Six overlapping queries: enough concurrency to force queueing behind a
+/// small max_concurrent and real cross-partition traffic for flow control.
+std::vector<std::shared_ptr<const Plan>> OverlapPlans(const TestGraph& tg) {
+  return {TopKPlan(tg, 1, 3),  CountPlan(tg, 5, 2), TopKPlan(tg, 17, 2, 5),
+          TopKPlan(tg, 9, 3),  CountPlan(tg, 2, 3), TopKPlan(tg, 33, 2, 7)};
+}
+
+/// Ungoverned serial reference: each plan alone on a fresh pinned-schedule
+/// async cluster. The bar every governed run must clear row-for-row.
+std::vector<std::vector<Row>> SerialReference(
+    const TestGraph& tg, const std::vector<std::shared_ptr<const Plan>>& plans) {
+  std::vector<std::vector<Row>> out;
+  for (const auto& p : plans) {
+    SimCluster cluster(BaseConfig(), tg.graph);
+    auto r = cluster.Run(p);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    out.push_back(check::CanonicalRows(r.value().rows));
+  }
+  return out;
+}
+
+// --- off means off: byte-identical snapshots and traces ---------------------
+
+TEST(QosOffTest, DisabledKnobsLeaveSnapshotAndTraceByteIdentical) {
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+
+  auto run = [&](const ClusterConfig& cfg) {
+    SimCluster cluster(cfg, tg.graph);
+    for (const auto& p : plans) cluster.Submit(p, 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return std::make_pair(cluster.MetricsSnapshot().ToString(),
+                          cluster.tracer().ToJson());
+  };
+
+  ClusterConfig plain = BaseConfig();
+  plain.trace = true;
+
+  // Every governance knob cranked to aggressive values — but enabled=false,
+  // so none of it may perturb the schedule, the metrics or the trace.
+  ClusterConfig knobs = plain;
+  knobs.qos.enabled = false;
+  knobs.qos.max_concurrent_queries = 1;
+  knobs.qos.max_queued_queries = 1;
+  knobs.qos.worker_task_budget_bytes = 1024;
+  knobs.qos.worker_memo_budget_bytes = 1024;
+  knobs.qos.memo_check_interval = 1;
+  knobs.qos.link_credit_bytes = 512;
+  knobs.qos.sender_stall_bytes = 256;
+
+  auto [plain_metrics, plain_trace] = run(plain);
+  auto [knob_metrics, knob_trace] = run(knobs);
+  EXPECT_EQ(plain_metrics, knob_metrics);
+  EXPECT_EQ(plain_trace, knob_trace);
+  // The qos sections are gated exactly like checker_attached: absent when
+  // governance is off, so pre-QoS golden snapshots keep matching.
+  EXPECT_EQ(plain_metrics.find("qos:"), std::string::npos);
+  EXPECT_EQ(plain_metrics.find("qos_flow:"), std::string::npos);
+  EXPECT_EQ(plain_metrics.find("qos_budget:"), std::string::npos);
+}
+
+// --- governance never changes answers ---------------------------------------
+
+TEST(QosInterleavingTest, GovernedRowsMatchUngovernedSerialAcrossEngines) {
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+  std::vector<std::vector<Row>> reference = SerialReference(tg, plans);
+
+  for (EngineKind engine : {EngineKind::kAsync, EngineKind::kBsp}) {
+    for (uint64_t seed : {uint64_t{0}, uint64_t{7}}) {
+      for (bool governed : {false, true}) {
+        SCOPED_TRACE(std::string("engine=") +
+                     (engine == EngineKind::kAsync ? "async" : "bsp") +
+                     " seed=" + std::to_string(seed) +
+                     " qos=" + (governed ? "on" : "off"));
+        ClusterConfig cfg = BaseConfig(engine);
+        cfg.explore.tiebreak_seed = seed;
+        if (seed != 0) cfg.explore.jitter_ns = 500;
+        if (governed) {
+          cfg.qos.enabled = true;
+          // Small enough to force real queueing, generous enough that no
+          // query is ever shed: governance must reorder, never reject.
+          cfg.qos.max_concurrent_queries = 2;
+          cfg.qos.max_queued_queries = 64;
+          cfg.qos.link_credit_bytes = 8192;
+          cfg.qos.sender_stall_bytes = 4096;
+        }
+        SimCluster cluster(cfg, tg.graph);
+        std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+        cluster.AttachChecker(harness.get());
+        std::vector<uint64_t> ids;
+        for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+        ASSERT_TRUE(cluster.RunToCompletion().ok());
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const QueryResult& r = cluster.result(ids[i]);
+          EXPECT_TRUE(r.done);
+          EXPECT_FALSE(r.failed) << r.failure_reason;
+          EXPECT_FALSE(r.resource_exhausted);
+          EXPECT_EQ(check::CanonicalRows(r.rows), reference[i])
+              << "plan " << i << " diverged from the serial reference";
+        }
+        EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+      }
+    }
+  }
+}
+
+TEST(QosInterleavingTest, GovernedDifferentialMatrixMatchesReference) {
+  // The full oracle matrix — {async, bsp, hybrid} x tie-break seeds — under
+  // the standard QoS stress config. Budgets are sized so nothing is shed:
+  // every cell must stay row-identical to the ungoverned single-worker
+  // reference with zero checker trips.
+  DifferentialOptions opt;
+  opt.num_seeds = 4;
+  opt.jitter_ns = 1000;
+  opt.qos = true;
+  auto rep = RunDifferential(check::MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  const DifferentialReport& r = rep.value();
+  EXPECT_EQ(r.cells, 3u * 4u);
+  EXPECT_EQ(r.trips, 0u) << r.Summary();
+  EXPECT_EQ(r.mismatches, 0u) << r.Summary();
+  EXPECT_EQ(r.explicit_failures, 0u);  // generous budgets: nothing shed
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(QosAcceptanceTest, SixtyFourSeedsThreeEnginesGovernedAndFaulted) {
+  // The PR's acceptance bar: >= 64 tie-break seeds x {async, bsp, hybrid}
+  // with QoS governance AND message-level faults active simultaneously —
+  // zero resource-ledger (or any other checker) trips, no silent mismatches.
+  DifferentialOptions opt;
+  opt.num_seeds = 64;
+  opt.jitter_ns = 2000;
+  opt.qos = true;
+  opt.fault_active = true;
+  opt.fault.seed = 77;
+  opt.fault.dup_prob = 0.02;
+  opt.fault.delay_prob = 0.02;
+  opt.fault.drop_prob = 0.0005;
+  auto rep = RunDifferential(check::MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  const DifferentialReport& r = rep.value();
+  EXPECT_EQ(r.cells, 3u * 64u);
+  EXPECT_EQ(r.trips, 0u) << r.Summary();
+  EXPECT_EQ(r.mismatches, 0u) << r.Summary();
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST(AdmissionTest, ShedsArrivalsPastTheBacklogLimit) {
+  TestGraph tg = MakeGraph(4);
+  auto plan = TopKPlan(tg, 1, 3);
+  std::vector<Row> reference;
+  {
+    SimCluster ref(BaseConfig(), tg.graph);
+    auto r = ref.Run(plan);
+    ASSERT_TRUE(r.ok());
+    reference = check::CanonicalRows(r.value().rows);
+  }
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.max_concurrent_queries = 1;
+  cfg.qos.max_queued_queries = 2;
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(cluster.Submit(plan, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  // 1 admitted at arrival + 2 drained from the backlog; the other 5 arrivals
+  // found the backlog full and were shed resource-exhausted.
+  size_t ok = 0, shed = 0;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    EXPECT_TRUE(r.done);
+    if (r.resource_exhausted) {
+      ++shed;
+      EXPECT_TRUE(r.failed);
+      EXPECT_TRUE(r.rows.empty());
+      EXPECT_EQ(r.failure_reason, "admission backlog full");
+    } else {
+      ++ok;
+      EXPECT_EQ(check::CanonicalRows(r.rows), reference)
+          << "an admitted query diverged from the ungoverned reference";
+    }
+  }
+  EXPECT_EQ(ok, 3u);
+  EXPECT_EQ(shed, 5u);
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_TRUE(s.qos_enabled);
+  EXPECT_EQ(s.qos.submitted, 8u);
+  EXPECT_EQ(s.qos.admitted, 3u);
+  EXPECT_EQ(s.qos.shed, 5u);
+  EXPECT_EQ(s.qos.cancelled, 0u);
+  EXPECT_EQ(s.qos.peak_queued, 2u);
+  EXPECT_NE(s.ToString().find("qos:"), std::string::npos);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+TEST(AdmissionTest, DeadlineTimerCancelsAQueuedQuery) {
+  // Async engine: the query's deadline fires while it still sits in the
+  // admission backlog. It must complete timed-out without ever starting
+  // (no rows, no slot consumed) via the controller's Cancel path.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.max_concurrent_queries = 1;
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+
+  uint64_t big = cluster.Submit(TopKPlan(tg, 1, 3), 0);
+  uint64_t doomed = cluster.Submit(CountPlan(tg, 5, 2), 0,
+                                   kMaxTimestamp - 1, /*deadline_ns=*/1);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  EXPECT_TRUE(cluster.result(big).done);
+  EXPECT_FALSE(cluster.result(big).timed_out);
+  const QueryResult& r = cluster.result(doomed);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.rows.empty());
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_EQ(s.qos.cancelled, 1u);
+  EXPECT_EQ(s.qos.admitted, 1u);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+TEST(AdmissionTest, BspDriverShedsQueuedPastDeadlineInsteadOfStarting) {
+  // BSP runs its backlog serially; a queued query whose wait already blew
+  // its deadline is shed at its turn (ForceAdmit fails), never started.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = BaseConfig(EngineKind::kBsp);
+  cfg.qos.enabled = true;
+  cfg.qos.max_concurrent_queries = 1;
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+
+  uint64_t big = cluster.Submit(TopKPlan(tg, 1, 3), 0);
+  uint64_t doomed = cluster.Submit(CountPlan(tg, 5, 2), 0,
+                                   kMaxTimestamp - 1, /*deadline_ns=*/1);
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  EXPECT_TRUE(cluster.result(big).done);
+  EXPECT_FALSE(cluster.result(big).resource_exhausted);
+  const QueryResult& r = cluster.result(doomed);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.resource_exhausted);
+  EXPECT_EQ(r.failure_reason, "deadline exceeded while queued");
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+// --- flow control and budgets ------------------------------------------------
+
+TEST(FlowControlTest, TightCreditsHoldFlushesWithoutChangingAnswers) {
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+  std::vector<std::vector<Row>> reference = SerialReference(tg, plans);
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.link_credit_bytes = 2048;   // far below the tier-1 flush threshold
+  cfg.qos.sender_stall_bytes = 1024;  // senders park while credit-blocked
+  cfg.qos.worker_task_budget_bytes = 4096;  // ingestion gates under load
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const QueryResult& r = cluster.result(ids[i]);
+    EXPECT_TRUE(r.done);
+    EXPECT_FALSE(r.resource_exhausted) << r.failure_reason;
+    EXPECT_EQ(check::CanonicalRows(r.rows), reference[i]) << "plan " << i;
+  }
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  // The tiny window actually blocked flushes, and the task budget actually
+  // deferred ingestion — the mechanisms engaged, they didn't just exist.
+  EXPECT_GT(s.qos.flushes_held, 0u);
+  EXPECT_GT(s.qos.ingest_deferrals, 0u);
+  // Credit conservation at quiescence: everything consumed came back, every
+  // meter is idle at full grant, nothing ever clamped.
+  EXPECT_EQ(s.qos.credit_bytes_consumed, s.qos.credit_bytes_returned);
+  EXPECT_GT(s.qos.credit_bytes_consumed, 0u);
+  cluster.ProbeLinkCredits([](const check::LinkCreditProbe& lc) {
+    EXPECT_EQ(lc.outstanding, 0u)
+        << "link " << lc.src_node << "->" << lc.dst_node;
+    EXPECT_EQ(lc.available, lc.granted);
+    EXPECT_FALSE(lc.saturated);
+  });
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+TEST(FlowControlTest, TaskBudgetBoundsPeakQueuedBytes) {
+  // The budget is enforced at ingest: remote bytes stop entering while a
+  // worker is over budget. It deliberately does NOT gate a task's own local
+  // fan-out — blocking a worker from expanding its own queue would deadlock
+  // the drain — so a multi-hop frontier can exceed the budget locally. The
+  // workload here is therefore remote-dominated: single-hop expansions from
+  // many scattered sources, whose traversers arrive almost entirely over
+  // the wire and die after one hop. Ungoverned, a burst of delivered frames
+  // dumps straight into the task queue; governed, ingestion stops at the
+  // budget and the backlog waits in the inbox (and, via credits, upstream).
+  // 16 partitions: a task's local emission share is 1/16, so with avg
+  // out-degree 8 the local growth factor is 1/2 — local queues decay and
+  // nearly everything a worker executes arrived through its inbox.
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  auto g = GenerateUniformGraph(4096, 32768, 13, tg.schema, 16);
+  ASSERT_TRUE(g.ok());
+  tg.graph = g.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  std::vector<std::shared_ptr<const Plan>> plans;
+  for (int q = 0; q < 8; ++q) {
+    std::vector<VertexId> starts;
+    for (VertexId v = 0; v < 64; ++v) starts.push_back(q * 64 + v);
+    auto plan = Traversal(tg.graph)
+                    .V(starts)
+                    .RepeatOut("link", 2, /*dedup=*/true)
+                    .Count()
+                    .Build();
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plans.push_back(plan.TakeValue());
+  }
+
+  auto peak_bytes = [&](uint64_t budget) {
+    ClusterConfig cfg = BaseConfig();
+    cfg.num_nodes = 8;
+    cfg.qos.enabled = true;
+    cfg.qos.worker_task_budget_bytes = budget;
+    SimCluster cluster(cfg, tg.graph);
+    // Open-loop burst: every plan four times, all arriving at once.
+    for (int rep = 0; rep < 4; ++rep) {
+      for (const auto& p : plans) cluster.Submit(p, 0);
+    }
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return cluster.MetricsSnapshot().qos.peak_task_bytes;
+  };
+
+  const uint64_t small_budget = 4096;
+  uint64_t governed_peak = peak_bytes(small_budget);
+  uint64_t open_peak = peak_bytes(1ull << 40);  // effectively unbounded
+  EXPECT_GT(governed_peak, 0u);
+  EXPECT_LE(governed_peak, small_budget + (8u << 10))
+      << "budget + local-fanout slack exceeded: " << governed_peak;
+  EXPECT_GT(open_peak, 2 * governed_peak)
+      << "the workload never pressured the budget: open peak " << open_peak;
+}
+
+TEST(BudgetTest, MemoBudgetAbortsTheHungriestQuery) {
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.worker_memo_budget_bytes = 512;  // a handful of memo states
+  cfg.qos.memo_check_interval = 1;
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  size_t aborted = 0;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    EXPECT_TRUE(r.done);
+    if (r.resource_exhausted) {
+      ++aborted;
+      EXPECT_NE(r.failure_reason.find("memo budget exceeded"),
+                std::string::npos)
+          << r.failure_reason;
+      EXPECT_TRUE(r.rows.empty());
+    }
+  }
+  EXPECT_GE(aborted, 1u);
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_GE(s.qos.memo_aborts, 1u);
+  EXPECT_GT(s.qos.peak_memo_bytes, 0u);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+TEST(DiagnosticsTest, EventBudgetExhaustionNamesStuckQueries) {
+  TestGraph tg = MakeGraph(4);
+  SimCluster cluster(BaseConfig(), tg.graph);
+  for (const auto& p : OverlapPlans(tg)) cluster.Submit(p, 0);
+  Status st = cluster.RunToCompletion(/*max_events=*/50);
+  ASSERT_FALSE(st.ok());
+  std::string msg = st.ToString();
+  EXPECT_NE(msg.find("event budget exhausted"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unfinished queries"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("q1(submitted@"), std::string::npos) << msg;
+}
+
+TEST(DiagnosticsTest, EventBudgetExhaustionMarksUnadmittedQueries) {
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.max_concurrent_queries = 1;
+  SimCluster cluster(cfg, tg.graph);
+  for (const auto& p : OverlapPlans(tg)) cluster.Submit(p, 0);
+  Status st = cluster.RunToCompletion(/*max_events=*/200);
+  ASSERT_FALSE(st.ok());
+  // With max_concurrent=1 and six arrivals, at least one stuck query is
+  // still waiting in the admission backlog when the budget runs out.
+  EXPECT_NE(st.ToString().find("awaiting admission"), std::string::npos)
+      << st.ToString();
+}
+
+// --- replay token ------------------------------------------------------------
+
+TEST(ReplayTokenTest, QosFlagRoundTripsAndStaysBackCompatible) {
+  ReplaySpec spec;
+  spec.mode = "bsp";
+  spec.tiebreak_seed = 5;
+  spec.qos = true;
+  std::string token = check::FormatReplayToken(spec);
+  EXPECT_NE(token.find(";qos=1"), std::string::npos) << token;
+  auto parsed = check::ParseReplayToken(token);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().qos);
+  EXPECT_EQ(parsed.value().mode, "bsp");
+  EXPECT_EQ(parsed.value().tiebreak_seed, 5u);
+
+  // A token minted without QoS carries no qos key and parses to qos=false —
+  // old bug-report tokens keep replaying the exact same cell.
+  spec.qos = false;
+  std::string legacy = check::FormatReplayToken(spec);
+  EXPECT_EQ(legacy.find("qos"), std::string::npos) << legacy;
+  auto reparsed = check::ParseReplayToken(legacy);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_FALSE(reparsed.value().qos);
+}
+
+}  // namespace
+}  // namespace graphdance

@@ -143,6 +143,14 @@ struct Shell {
     check::WorkloadFactory factory = check::MakeDefaultCheckWorkload();
     check::DifferentialOptions opt;
 
+    if (sub == "qos") {
+      // `check qos [seeds]`: the whole matrix under the standard QoS stress
+      // config (replay tokens of failing cells then carry `;qos=1`).
+      opt.qos = true;
+      sub.clear();
+      in >> sub;
+    }
+
     if (sub == "replay" || sub == "shrink") {
       std::string token;
       in >> token;
@@ -191,7 +199,7 @@ struct Shell {
       char* end = nullptr;
       unsigned long long seeds = std::strtoull(sub.c_str(), &end, 10);
       if (end == nullptr || *end != '\0' || seeds == 0) {
-        std::printf("usage: check [seeds] | check replay <token> | "
+        std::printf("usage: check [qos] [seeds] | check replay <token> | "
                     "check shrink <token>\n");
         return;
       }
@@ -223,6 +231,8 @@ struct Shell {
           "  engine <async|bsp|shared>      switch execution engine\n"
           "  bulking <on|off>               toggle traverser bulking (merge\n"
           "                                 equivalent in-flight traversers)\n"
+          "  qos <on|off>                   toggle resource governance (admission\n"
+          "                                 control + credit flow control + budgets)\n"
           "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
           "  stats                          dataset / cluster summary\n"
           "  metrics                        unified metrics of the last run\n"
@@ -230,6 +240,9 @@ struct Shell {
           "                                 [seeds] explored schedules vs a\n"
           "                                 single-worker reference, all\n"
           "                                 invariant checkers attached\n"
+          "  check qos [seeds]              the same matrix under the standard\n"
+          "                                 QoS stress config (governed cells\n"
+          "                                 must match the ungoverned reference)\n"
           "  check replay <token>           re-run one gdchk1 replay token\n"
           "  check shrink <token>           minimize a failing replay token\n"
           "  quit\n"
@@ -287,6 +300,30 @@ struct Shell {
       }
       std::printf("traverser bulking = %s\n",
                   config.traverser_bulking ? "on" : "off");
+      return;
+    }
+    if (cmd == "qos") {
+      std::string which;
+      in >> which;
+      if (which == "on") {
+        config.qos.enabled = true;
+      } else if (which == "off") {
+        config.qos.enabled = false;
+      } else if (!which.empty()) {
+        std::printf("usage: qos <on|off>\n");
+        return;
+      }
+      if (config.qos.enabled) {
+        std::printf("qos = on (max_concurrent=%u max_queued=%u "
+                    "task_budget=%lluB memo_budget=%lluB credit_window=%lluB)\n",
+                    config.qos.max_concurrent_queries,
+                    config.qos.max_queued_queries,
+                    (unsigned long long)config.qos.worker_task_budget_bytes,
+                    (unsigned long long)config.qos.worker_memo_budget_bytes,
+                    (unsigned long long)config.qos.link_credit_bytes);
+      } else {
+        std::printf("qos = off\n");
+      }
       return;
     }
     if (cmd == "cluster") {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full tier-1 verification matrix. Run from the repository root:
 #
-#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check)
+#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos)
 #   tools/verify.sh release    # just the release build + tests
 #
 # Stages:
@@ -12,6 +12,10 @@
 #   check   — simulation-checker suite alone (ctest -L check: invariant
 #             checkers, schedule exploration, differential oracle, shrinker,
 #             serde/weight property tests) in the release tree
+#   qos     — resource-governance suite alone (ctest -L qos: admission /
+#             flow-control / budget tests, credit + admission property tests,
+#             64-seed governed+faulted differential matrix) in the release
+#             tree, then the gated bench_overload curve
 #
 # Each stage uses its own build directory (build/, build-asan/, build-debug/)
 # so they never clobber one another's caches.
@@ -52,6 +56,14 @@ fi
 if [[ "$STAGES" == "all" || "$STAGES" == "check" ]]; then
   echo "==== [check] ctest -L check (release tree) ===="
   ctest --test-dir build -L check --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "qos" ]]; then
+  echo "==== [qos] ctest -L qos (release tree) ===="
+  ctest --test-dir build -L qos --output-on-failure -j "$JOBS"
+  echo "==== [qos] bench_overload gates ===="
+  cmake --build build --target bench_overload -j "$JOBS"
+  ./build/bench/bench_overload
 fi
 
 echo "==== verify: all requested stages passed ===="
