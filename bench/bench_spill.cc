@@ -1,0 +1,301 @@
+// Memory-pressure curve for the spill tier (DESIGN.md §12): the same
+// concurrent k-hop workload run under progressively tighter per-worker memo
+// budgets with the cost-modelled storage tier absorbing the overflow.
+// Reports, per budget point: completed/failed queries, p95 latency of
+// completed queries, bytes written/faulted through the tier and the peak
+// parked bytes — the curve the spill manager is supposed to flatten
+// (smooth I/O-bound degradation instead of aborts).
+//
+// Gated exit (CI): zero failed queries at every spill-on point (the tier
+// capacity is never exhausted, so the last-resort abort must not fire);
+// p95 latency degrades monotonically (within jitter tolerance) as the
+// budget shrinks, with no cliff between consecutive points; and at the
+// tightest budget the spill-off control run aborts at least one query —
+// proving the tier absorbed pressure that governance alone rejects.
+//
+// Also reports the §V-A3 endgame at a dataset that exceeds modelled RAM:
+// a memory-capped single node (swap-penalty model) vs a distributed
+// cluster running the same load through the spill tier. Writes
+// BENCH_spill.json.
+//
+// Flags: --queries N concurrent queries per point (default 24),
+//        --seed R (default 31)
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+namespace {
+
+// p95 may wobble a little across budget points (different eviction sets
+// shift the schedule); it must not *improve* by more than this factor as
+// the budget tightens, and must not blow up by more than the cliff bound
+// between consecutive points.
+constexpr double kMonotoneTolerance = 0.95;
+constexpr double kCliffBound = 10.0;
+
+ClusterConfig SpillConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.progress_timeout_ns = 50'000'000;
+  cfg.qos.enabled = true;
+  // Generous admission: latency differences between points must come from
+  // spill I/O charges, not from queueing behind admission slots.
+  cfg.qos.max_concurrent_queries = 64;
+  cfg.qos.max_queued_queries = 256;
+  cfg.qos.memo_check_interval = 4;
+  return cfg;
+}
+
+struct Workload {
+  BenchGraph bg;
+  std::vector<std::shared_ptr<const Plan>> plans;
+};
+
+Workload MakeWorkload(int num_queries, uint32_t partitions, uint64_t seed) {
+  Workload w;
+  w.bg = MakeBenchGraph("lj-sim", /*scale=*/0.1, partitions, seed);
+  Rng rng(seed);
+  for (int i = 0; i < num_queries; ++i) {
+    int k = 2 + (i % 2);
+    w.plans.push_back(
+        KHopPlan(w.bg.graph, w.bg.weight, PickActiveStart(w.bg.graph, &rng), k));
+  }
+  return w;
+}
+
+struct PressurePoint {
+  double budget_fraction = 0.0;  // of the unconstrained peak
+  uint64_t budget_bytes = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t p95_us = 0;
+  uint64_t spill_written = 0;
+  uint64_t spill_faults = 0;
+  uint64_t spill_peak_bytes = 0;
+  uint64_t last_resort = 0;
+  uint64_t memo_aborts = 0;
+};
+
+PressurePoint RunPoint(const Workload& w, uint64_t budget, double fraction,
+                       bool spill_on) {
+  ClusterConfig cfg = SpillConfig();
+  cfg.qos.worker_memo_budget_bytes = budget;
+  cfg.qos.spill.enabled = spill_on;
+  cfg.qos.spill.memo_spill_watermark = 0.75;
+  cfg.qos.spill.memo_low_watermark = 0.5;
+
+  SimCluster cluster(cfg, w.bg.graph);
+  std::vector<uint64_t> ids;
+  for (const auto& p : w.plans) ids.push_back(cluster.Submit(p, /*at=*/0));
+  Status st = cluster.RunToCompletion();
+  if (!st.ok()) {
+    std::fprintf(stderr, "pressure point %.2fx failed: %s\n", fraction,
+                 st.ToString().c_str());
+    std::exit(2);
+  }
+
+  PressurePoint p;
+  p.budget_fraction = fraction;
+  p.budget_bytes = budget;
+  obs::LogHistogram lat;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    if (r.done && !r.failed) {
+      ++p.completed;
+      lat.Record(r.LatencyNanos());
+    } else {
+      ++p.failed;
+    }
+  }
+  p.p95_us = lat.P95() / 1000;
+  obs::MetricsSnapshot snap = cluster.MetricsSnapshot();
+  p.spill_written = snap.qos.spill_memo_bytes_written;
+  p.spill_faults = snap.qos.spill_memo_faults;
+  p.spill_peak_bytes = snap.qos.spill_peak_bytes;
+  p.last_resort = snap.qos.spill_last_resort;
+  p.memo_aborts = snap.qos.memo_aborts;
+  return p;
+}
+
+/// Unconstrained run: how many memo bytes does the workload actually want
+/// per worker? Budget points below are fractions of this peak.
+uint64_t UnconstrainedPeak(const Workload& w) {
+  ClusterConfig cfg = SpillConfig();
+  SimCluster cluster(cfg, w.bg.graph);
+  for (const auto& p : w.plans) cluster.Submit(p, /*at=*/0);
+  Status st = cluster.RunToCompletion();
+  if (!st.ok()) {
+    std::fprintf(stderr, "unconstrained run failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(2);
+  }
+  return cluster.MetricsSnapshot().qos.peak_memo_bytes;
+}
+
+/// §V-A3 endgame: the dataset exceeds one node's modelled RAM. The capped
+/// single node pays the swap-thrash multiplier on every access; the
+/// distributed cluster splits the data and runs the overflow through the
+/// spill tier instead. Returns {single_capped_us, distributed_spill_us}.
+std::pair<double, double> SingleVsDistributed(uint64_t seed) {
+  const int kTrials = 4;
+  // Single node, memory capped at half the dataset: swap penalty engages.
+  ClusterConfig scfg;
+  scfg.num_nodes = 1;
+  scfg.workers_per_node = 2;
+  scfg.progress_timeout_ns = 50'000'000;
+  BenchGraph single =
+      MakeBenchGraph("lj-sim", /*scale=*/0.1, scfg.num_partitions(), seed);
+  scfg.memory_cap_bytes = single.graph->stats().raw_bytes / 2;
+  double single_us =
+      AvgKHopLatency(scfg, single.graph, single.weight, 3, kTrials, seed);
+
+  // Distributed with the spill tier: same logical dataset split across four
+  // nodes, each worker under a memo budget far below what the single node
+  // needed resident.
+  ClusterConfig dcfg = SpillConfig();
+  dcfg.num_nodes = 4;
+  BenchGraph dist =
+      MakeBenchGraph("lj-sim", /*scale=*/0.1, dcfg.num_partitions(), seed);
+  dcfg.qos.worker_memo_budget_bytes = 16u << 10;
+  dcfg.qos.spill.enabled = true;
+  double dist_us =
+      AvgKHopLatency(dcfg, dist.graph, dist.weight, 3, kTrials, seed);
+  return {single_us, dist_us};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  int num_queries = static_cast<int>(ArgDouble(argc, argv, "--queries", 24));
+  uint64_t seed = static_cast<uint64_t>(ArgDouble(argc, argv, "--seed", 31));
+  PrintHeader("Spill tier: memory-pressure curve under shrinking memo budgets");
+
+  ClusterConfig cfg = SpillConfig();
+  Workload w = MakeWorkload(num_queries, cfg.num_partitions(), seed);
+  uint64_t peak = UnconstrainedPeak(w);
+  std::printf("unconstrained peak memo bytes per sweep: %llu\n\n",
+              (unsigned long long)peak);
+
+  std::printf("%8s | %10s %5s %5s %9s %12s %8s %10s %6s\n", "budget",
+              "bytes", "done", "fail", "p95 us", "written B", "faults",
+              "peak spill", "abort");
+  const double kFractions[] = {1.0, 0.75, 0.5, 0.35, 0.25};
+  std::vector<PressurePoint> points;
+  for (double f : kFractions) {
+    uint64_t budget = std::max<uint64_t>(
+        static_cast<uint64_t>(f * static_cast<double>(peak)), 1024);
+    PressurePoint p = RunPoint(w, budget, f, /*spill_on=*/true);
+    std::printf("%7.2fx | %10llu %5llu %5llu %9llu %12llu %8llu %10llu %6llu\n",
+                p.budget_fraction, (unsigned long long)p.budget_bytes,
+                (unsigned long long)p.completed, (unsigned long long)p.failed,
+                (unsigned long long)p.p95_us,
+                (unsigned long long)p.spill_written,
+                (unsigned long long)p.spill_faults,
+                (unsigned long long)p.spill_peak_bytes,
+                (unsigned long long)p.memo_aborts);
+    points.push_back(p);
+  }
+
+  // Spill-off control at the tightest budget: governance alone must abort.
+  PressurePoint off = RunPoint(w, points.back().budget_bytes,
+                               points.back().budget_fraction,
+                               /*spill_on=*/false);
+  std::printf("\nspill-off control at %.2fx: %llu completed, %llu failed, "
+              "%llu memo aborts\n",
+              off.budget_fraction, (unsigned long long)off.completed,
+              (unsigned long long)off.failed,
+              (unsigned long long)off.memo_aborts);
+
+  auto [single_us, dist_us] = SingleVsDistributed(seed);
+  std::printf("\nsingle capped (swap-thrash) avg: %.1f us | distributed + "
+              "spill tier avg: %.1f us\n",
+              single_us, dist_us);
+
+  std::ofstream json("BENCH_spill.json");
+  json << "{\n  \"unconstrained_peak_memo_bytes\": " << peak
+       << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PressurePoint& p = points[i];
+    json << "    {\"budget_fraction\": " << p.budget_fraction
+         << ", \"budget_bytes\": " << p.budget_bytes
+         << ", \"completed\": " << p.completed << ", \"failed\": " << p.failed
+         << ", \"p95_us\": " << p.p95_us
+         << ", \"spill_memo_bytes_written\": " << p.spill_written
+         << ", \"spill_memo_faults\": " << p.spill_faults
+         << ", \"spill_peak_bytes\": " << p.spill_peak_bytes
+         << ", \"spill_last_resort\": " << p.last_resort
+         << ", \"memo_aborts\": " << p.memo_aborts << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"spill_off_control\": {\"budget_bytes\": "
+       << off.budget_bytes << ", \"completed\": " << off.completed
+       << ", \"failed\": " << off.failed
+       << ", \"memo_aborts\": " << off.memo_aborts << "},\n"
+       << "  \"single_vs_distributed\": {\"single_capped_avg_us\": "
+       << single_us << ", \"distributed_spill_avg_us\": " << dist_us
+       << "}\n}\n";
+  std::printf("\nwrote BENCH_spill.json\n");
+
+  // --- gated exit ---------------------------------------------------------
+  int rc = 0;
+  for (const PressurePoint& p : points) {
+    if (p.failed != 0 || p.last_resort != 0) {
+      std::fprintf(stderr,
+                   "GATE FAILED: %llu failed queries / %llu last-resort "
+                   "escalations at budget %.2fx (tier capacity was never "
+                   "exhausted; want 0/0)\n",
+                   (unsigned long long)p.failed,
+                   (unsigned long long)p.last_resort, p.budget_fraction);
+      rc = 1;
+    }
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    double prev = static_cast<double>(points[i - 1].p95_us);
+    double cur = static_cast<double>(points[i].p95_us);
+    if (cur < prev * kMonotoneTolerance) {
+      std::fprintf(stderr,
+                   "GATE FAILED: p95 improved from %llu us to %llu us as the "
+                   "budget tightened (%.2fx -> %.2fx): the tier is not being "
+                   "charged\n",
+                   (unsigned long long)points[i - 1].p95_us,
+                   (unsigned long long)points[i].p95_us,
+                   points[i - 1].budget_fraction, points[i].budget_fraction);
+      rc = 1;
+    }
+    if (prev > 0 && cur > prev * kCliffBound) {
+      std::fprintf(stderr,
+                   "GATE FAILED: p95 cliff %llu us -> %llu us between "
+                   "consecutive budget points (%.2fx -> %.2fx)\n",
+                   (unsigned long long)points[i - 1].p95_us,
+                   (unsigned long long)points[i].p95_us,
+                   points[i - 1].budget_fraction, points[i].budget_fraction);
+      rc = 1;
+    }
+  }
+  if (points.back().spill_written == 0) {
+    std::fprintf(stderr, "GATE FAILED: the tightest budget never spilled — "
+                         "the curve measured nothing\n");
+    rc = 1;
+  }
+  if (off.memo_aborts == 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: the spill-off control at the tightest budget "
+                 "aborted nothing — the budget was not actually tight\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("gates passed: zero failures at every spill-on point, p95 "
+                "degrades smoothly, spill-off control aborts\n");
+  }
+  return rc;
+}

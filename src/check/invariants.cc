@@ -517,13 +517,41 @@ class ResourceLedgerChecker final : public InvariantChecker {
     CompareMirror("running", q.running, mirror_.running, at);
 
     // Task-byte ledger (holds even mid-run; queued bytes absorb the slack).
-    if (q.task_bytes_enqueued !=
-        q.task_bytes_dequeued + q.task_bytes_dropped + q.task_bytes_queued) {
+    // With the spill manager on, bytes parked on the storage tier are the
+    // fourth resting place; the spill term is zero when spill is off.
+    if (q.task_bytes_enqueued != q.task_bytes_dequeued + q.task_bytes_dropped +
+                                     q.task_bytes_queued +
+                                     q.spill_task_bytes_now) {
       ReportTrip("task-byte ledger unbalanced: enqueued=" +
                      std::to_string(q.task_bytes_enqueued) + " dequeued=" +
                      std::to_string(q.task_bytes_dequeued) + " dropped=" +
                      std::to_string(q.task_bytes_dropped) + " queued=" +
-                     std::to_string(q.task_bytes_queued),
+                     std::to_string(q.task_bytes_queued) + " spilled=" +
+                     std::to_string(q.spill_task_bytes_now),
+                 at, 0, 0);
+    }
+
+    // Spill ledgers ("no spilled memo lost"): every byte written to the tier
+    // is faulted back in, dropped with its owner, or still parked there.
+    // Trivially 0 == 0 + 0 + 0 while the spill manager is off.
+    if (q.spill_memo_bytes_written != q.spill_memo_bytes_read +
+                                          q.spill_memo_bytes_dropped +
+                                          q.spill_memo_bytes_now) {
+      ReportTrip("memo spill ledger unbalanced: written=" +
+                     std::to_string(q.spill_memo_bytes_written) + " read=" +
+                     std::to_string(q.spill_memo_bytes_read) + " dropped=" +
+                     std::to_string(q.spill_memo_bytes_dropped) + " parked=" +
+                     std::to_string(q.spill_memo_bytes_now),
+                 at, 0, 0);
+    }
+    if (q.spill_task_bytes_written != q.spill_task_bytes_read +
+                                          q.spill_task_bytes_dropped +
+                                          q.spill_task_bytes_now) {
+      ReportTrip("task spill ledger unbalanced: written=" +
+                     std::to_string(q.spill_task_bytes_written) + " read=" +
+                     std::to_string(q.spill_task_bytes_read) + " dropped=" +
+                     std::to_string(q.spill_task_bytes_dropped) + " parked=" +
+                     std::to_string(q.spill_task_bytes_now),
                  at, 0, 0);
     }
 
@@ -546,6 +574,13 @@ class ResourceLedgerChecker final : public InvariantChecker {
     if (q.memo_live_bytes != 0) {
       ReportTrip("live memo bytes nonzero at drained quiescence: " +
                      std::to_string(q.memo_live_bytes),
+                 at, 0, 0);
+    }
+    if (q.spill_memo_bytes_now != 0 || q.spill_task_bytes_now != 0) {
+      ReportTrip("spilled state stranded on the storage tier at drained "
+                 "quiescence (memo=" +
+                     std::to_string(q.spill_memo_bytes_now) + " task=" +
+                     std::to_string(q.spill_task_bytes_now) + ")",
                  at, 0, 0);
     }
     p.ProbeLinkCredits([&](const LinkCreditProbe& l) {

@@ -63,8 +63,25 @@ struct QosProbe {
   uint64_t task_bytes_dropped = 0;
   uint64_t task_bytes_queued = 0;
   // Live memo-table bytes, cluster-summed (0 at quiescence once every query
-  // is done — memoranda never outlive their query).
+  // is done — memoranda never outlive their query). Includes spilled state:
+  // a memo parked on the storage tier is still live.
   uint64_t memo_live_bytes = 0;
+  // --- spill ledgers (every field zero while the spill manager is off) ---
+  bool spill_enabled = false;
+  // Memo spill conservation: written == read + dropped + now. "No spilled
+  // memo lost": every byte evicted to the tier is faulted back, dropped
+  // with its owning query, or still parked there.
+  uint64_t spill_memo_bytes_written = 0;
+  uint64_t spill_memo_bytes_read = 0;
+  uint64_t spill_memo_bytes_dropped = 0;
+  uint64_t spill_memo_bytes_now = 0;
+  // Task spill conservation: written == read + dropped + now. `now` is also
+  // a term of the task-byte law above, which becomes enqueued == dequeued +
+  // dropped + queued + spill_task_bytes_now.
+  uint64_t spill_task_bytes_written = 0;
+  uint64_t spill_task_bytes_read = 0;
+  uint64_t spill_task_bytes_dropped = 0;
+  uint64_t spill_task_bytes_now = 0;
 };
 
 /// One directed inter-node link's credit meter. Conservation at any event

@@ -47,6 +47,21 @@ qos::QosConfig StressQosConfig() {
   return q;
 }
 
+/// The one spill shape every `;spill=1` cell replays: the QoS stress config
+/// plus a memo budget tight enough that real eviction and fault-in traffic
+/// happens, a sweep every task so pressure is caught immediately, and a tier
+/// big enough that nothing ever reaches the last-resort abort — spilling
+/// must reshape timing only, never answers.
+qos::QosConfig StressSpillConfig() {
+  qos::QosConfig q = StressQosConfig();
+  q.spill.enabled = true;
+  q.worker_memo_budget_bytes = 4'096;
+  q.memo_check_interval = 1;
+  q.spill.memo_spill_watermark = 0.5;
+  q.spill.memo_low_watermark = 0.25;
+  return q;
+}
+
 ClusterConfig CellConfig(const ReplaySpec& spec, const DifferentialOptions& opt,
                          EngineKind engine) {
   ClusterConfig cfg;
@@ -60,7 +75,11 @@ ClusterConfig CellConfig(const ReplaySpec& spec, const DifferentialOptions& opt,
   cfg.fault = spec.fault;
   cfg.explore.tiebreak_seed = spec.tiebreak_seed;
   cfg.explore.jitter_ns = spec.jitter_ns;
-  if (spec.qos) cfg.qos = StressQosConfig();
+  if (spec.spill) {
+    cfg.qos = StressSpillConfig();
+  } else if (spec.qos) {
+    cfg.qos = StressQosConfig();
+  }
   return cfg;
 }
 
@@ -278,6 +297,7 @@ std::string FormatReplayToken(const ReplaySpec& spec) {
   // Emitted only when set: the strict parser predates this key, so pre-QoS
   // tokens keep round-tripping and new default tokens parse on old builds.
   if (spec.qos) out += ";qos=1";
+  if (spec.spill) out += ";spill=1";
   return out;
 }
 
@@ -316,6 +336,10 @@ Result<ReplaySpec> ParseReplayToken(const std::string& token) {
       uint64_t v = 0;
       ok = ParseU64(val, &v);
       spec.qos = v != 0;
+    } else if (key == "spill") {
+      uint64_t v = 0;
+      ok = ParseU64(val, &v);
+      spec.spill = v != 0;
     } else if (key == "script") {
       for (const std::string& item : SplitOn(val, '|')) {
         FaultEvent ev;
@@ -433,6 +457,7 @@ Result<DifferentialReport> RunDifferential(const WorkloadFactory& factory,
       spec.jitter_ns = seed == 0 ? 0 : opt.jitter_ns;
       if (opt.fault_active) spec.fault = opt.fault;
       spec.qos = opt.qos;
+      spec.spill = opt.spill;
       auto cell = RunCell(factory, reference.value(), spec, opt);
       if (!cell.ok()) return cell.status();
       report.cells++;

@@ -46,6 +46,10 @@ struct ReplaySpec {
   /// credit windows; see StressQosConfig in oracle.cc). Encoded as `;qos=1`
   /// only when set, so old tokens round-trip unchanged.
   bool qos = false;
+  /// Additionally enable the spill manager with a tight memo budget (see
+  /// StressSpillConfig in oracle.cc) — implies the QoS stress config.
+  /// Encoded as `;spill=1` only when set, like `;qos=1`.
+  bool spill = false;
 };
 
 std::string FormatReplayToken(const ReplaySpec& spec);
@@ -79,6 +83,10 @@ struct DifferentialOptions {
   /// query is ever shed — so governed rows must still match the ungoverned
   /// single-worker reference exactly.
   bool qos = false;
+  /// Every cell also runs the spill manager under a memo budget tight enough
+  /// to force evictions and fault-ins — spilled rows must still match the
+  /// reference exactly (weight conservation across spill/reload).
+  bool spill = false;
 };
 
 /// Outcome of one replayed cell.

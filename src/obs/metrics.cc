@@ -92,6 +92,17 @@ void QosSnapshot::Merge(const QosSnapshot& other) {
   peak_task_bytes = std::max(peak_task_bytes, other.peak_task_bytes);
   peak_memo_bytes = std::max(peak_memo_bytes, other.peak_memo_bytes);
   memo_aborts += other.memo_aborts;
+  spill_memo_bytes_written += other.spill_memo_bytes_written;
+  spill_memo_bytes_read += other.spill_memo_bytes_read;
+  spill_memo_bytes_dropped += other.spill_memo_bytes_dropped;
+  spill_memo_records += other.spill_memo_records;
+  spill_memo_faults += other.spill_memo_faults;
+  spill_task_bytes_written += other.spill_task_bytes_written;
+  spill_task_bytes_read += other.spill_task_bytes_read;
+  spill_task_bytes_dropped += other.spill_task_bytes_dropped;
+  spill_peak_bytes = std::max(spill_peak_bytes, other.spill_peak_bytes);
+  spill_pressure_transitions += other.spill_pressure_transitions;
+  spill_last_resort += other.spill_last_resort;
 }
 
 const LogHistogram* MetricsSnapshot::Latency(const std::string& name) const {
@@ -118,6 +129,7 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   queries_timed_out += other.queries_timed_out;
   checker_attached = checker_attached || other.checker_attached;
   qos_enabled = qos_enabled || other.qos_enabled;
+  spill_enabled = spill_enabled || other.spill_enabled;
   qos.Merge(other.qos);
   checker_trips += other.checker_trips;
   for (const auto& [name, n] : other.checker_trips_by) {
@@ -219,6 +231,21 @@ std::string MetricsSnapshot::ToString() const {
     out += "qos_budget: peak_task_bytes=" + U64(qos.peak_task_bytes) +
            " peak_memo_bytes=" + U64(qos.peak_memo_bytes) +
            " memo_aborts=" + U64(qos.memo_aborts) + "\n";
+  }
+  if (spill_enabled) {
+    // Gated separately from qos_enabled: a qos-on / spill-off run must stay
+    // byte-identical to snapshots taken before the spill manager existed.
+    out += "spill_memo: written=" + U64(qos.spill_memo_bytes_written) +
+           " read=" + U64(qos.spill_memo_bytes_read) +
+           " dropped=" + U64(qos.spill_memo_bytes_dropped) +
+           " records=" + U64(qos.spill_memo_records) +
+           " faults=" + U64(qos.spill_memo_faults) + "\n";
+    out += "spill_tasks: written=" + U64(qos.spill_task_bytes_written) +
+           " read=" + U64(qos.spill_task_bytes_read) +
+           " dropped=" + U64(qos.spill_task_bytes_dropped) + "\n";
+    out += "spill_pressure: peak_bytes=" + U64(qos.spill_peak_bytes) +
+           " spilling=" + U64(qos.spill_pressure_transitions) +
+           " last_resort=" + U64(qos.spill_last_resort) + "\n";
   }
   return out;
 }

@@ -133,6 +133,18 @@ struct QosSnapshot {
   uint64_t peak_task_bytes = 0;  // max queued task bytes on any one worker
   uint64_t peak_memo_bytes = 0;  // max live memo bytes on any one partition
   uint64_t memo_aborts = 0;      // queries aborted by the memo budget
+  // Spill manager (DESIGN.md §12); all zero when qos.spill is off.
+  uint64_t spill_memo_bytes_written = 0;  // memo bytes evicted to the tier
+  uint64_t spill_memo_bytes_read = 0;     // memo bytes faulted back in
+  uint64_t spill_memo_bytes_dropped = 0;  // spilled memo discarded
+  uint64_t spill_memo_records = 0;        // memo eviction operations
+  uint64_t spill_memo_faults = 0;         // memo fault-in operations
+  uint64_t spill_task_bytes_written = 0;  // task bytes evicted to the tier
+  uint64_t spill_task_bytes_read = 0;     // task bytes reloaded
+  uint64_t spill_task_bytes_dropped = 0;  // spilled tasks crash-wiped
+  uint64_t spill_peak_bytes = 0;          // max tier occupancy on any worker
+  uint64_t spill_pressure_transitions = 0;  // entries into the spilling state
+  uint64_t spill_last_resort = 0;           // entries into last-resort aborts
 
   void Merge(const QosSnapshot& other);
 };
@@ -179,6 +191,9 @@ struct MetricsSnapshot {
   /// byte-identical to pre-QoS builds.
   bool qos_enabled = false;
   QosSnapshot qos;
+  /// Gates the spill ToString() section separately from qos_enabled, so
+  /// qos-on / spill-off snapshots stay byte-identical to pre-spill builds.
+  bool spill_enabled = false;
 
   uint32_t num_nodes = 0;
   uint32_t num_workers = 0;

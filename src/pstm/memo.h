@@ -1,9 +1,11 @@
 #ifndef GRAPHDANCE_PSTM_MEMO_H_
 #define GRAPHDANCE_PSTM_MEMO_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -228,6 +230,14 @@ class TopKMemo : public MemoState {
 
 /// All memoranda of one partition: (query, step) -> state. Owned and
 /// accessed by exactly one worker (shared-nothing), so no locking.
+///
+/// Residency: each record is either resident (in modelled RAM) or spilled to
+/// the simulated storage tier (DESIGN.md §12). Spilling is purely a cost
+/// annotation — the state object itself never leaves the process; a spilled
+/// record is frozen (every access path faults it back in first) so its byte
+/// snapshot taken at eviction stays exact. The table does not charge virtual
+/// time itself; it accumulates pending fault work for the owning worker to
+/// drain (see TakePendingFaults).
 class MemoTable {
  public:
   /// Lookup/lifetime counters, surfaced through the cluster-wide
@@ -240,18 +250,31 @@ class MemoTable {
     uint64_t cleared = 0;  // states dropped (query end or crash wipe)
   };
 
+  /// Cumulative spill ledger. Invariant (checked by the resource-ledger
+  /// checker): bytes_written == bytes_read + bytes_dropped + SpilledBytes().
+  /// All-zero while spill is disabled.
+  struct SpillStats {
+    uint64_t bytes_written = 0;    // evicted to the tier
+    uint64_t bytes_read = 0;       // faulted back into RAM
+    uint64_t bytes_dropped = 0;    // spilled state discarded (query end/crash)
+    uint64_t records_spilled = 0;  // eviction operations
+    uint64_t faults = 0;           // fault-in operations
+  };
+
   /// Gets or creates the state of type T for (query, step).
   template <typename T>
   T& GetOrCreate(uint64_t query_id, uint32_t step_id) {
-    auto& slot = states_[Key(query_id, step_id)];
-    if (slot == nullptr) {
-      slot = std::make_unique<T>();
+    Slot& slot = states_[Key(query_id, step_id)];
+    slot.last_access = ++access_tick_;
+    if (slot.state == nullptr) {
+      slot.state = std::make_unique<T>();
       stats_.misses++;
       stats_.created++;
     } else {
       stats_.hits++;
+      FaultIn(slot);
     }
-    return static_cast<T&>(*slot);
+    return static_cast<T&>(*slot.state);
   }
 
   /// Looks up existing state or returns nullptr.
@@ -263,14 +286,18 @@ class MemoTable {
       return nullptr;
     }
     stats_.hits++;
-    return static_cast<T*>(it->second.get());
+    it->second.last_access = ++access_tick_;
+    FaultIn(it->second);
+    return static_cast<T*>(it->second.state.get());
   }
 
   /// Drops every memo record owned by `query_id` (automatic cleanup after
-  /// query termination, per the memoranda lifetime rule).
+  /// query termination, per the memoranda lifetime rule). Spilled records go
+  /// straight from the tier to dropped — no fault-in, no read charge.
   void ClearQuery(uint64_t query_id) {
     for (auto it = states_.begin(); it != states_.end();) {
       if ((it->first >> 32) == query_id) {
+        DropSpilled(it->second);
         it = states_.erase(it);
         stats_.cleared++;
       } else {
@@ -285,29 +312,36 @@ class MemoTable {
   /// callers needing determinism must sort. Used by the residency checker.
   template <typename Fn>
   void ForEachKey(Fn&& fn) const {
-    for (const auto& [key, state] : states_) {
-      (void)state;
+    for (const auto& [key, slot] : states_) {
+      (void)slot;
       fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL));
     }
   }
 
-  /// Approximate resident bytes of every live state. Walks the table —
-  /// intended for interval sweeps (the QoS memo budget checks every
+  /// Approximate bytes of every live state, resident or spilled. Walks the
+  /// table — intended for interval sweeps (the QoS memo budget checks every
   /// `memo_check_interval` tasks) and quiescence audits, not per-task use.
   size_t LiveBytes() const {
     size_t b = 0;
-    for (const auto& [key, state] : states_) {
+    for (const auto& [key, slot] : states_) {
       (void)key;
-      b += state->ApproxBytes();
+      b += slot.state->ApproxBytes();
     }
     return b;
   }
 
+  /// Bytes currently parked on the simulated storage tier.
+  uint64_t SpilledBytes() const { return spilled_now_bytes_; }
+
+  /// Bytes occupying modelled RAM (what the memo budget governs once the
+  /// spill manager is on).
+  size_t ResidentBytes() const { return LiveBytes() - spilled_now_bytes_; }
+
   /// Approximate bytes owned by one query in this partition.
   size_t BytesForQuery(uint64_t query_id) const {
     size_t b = 0;
-    for (const auto& [key, state] : states_) {
-      if ((key >> 32) == query_id) b += state->ApproxBytes();
+    for (const auto& [key, slot] : states_) {
+      if ((key >> 32) == query_id) b += slot.state->ApproxBytes();
     }
     return b;
   }
@@ -317,23 +351,108 @@ class MemoTable {
   /// memo budget to find the biggest per-query consumer.
   template <typename Fn>
   void ForEachState(Fn&& fn) const {
-    for (const auto& [key, state] : states_) {
+    for (const auto& [key, slot] : states_) {
       fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL),
-         state->ApproxBytes());
+         slot.state->ApproxBytes());
     }
   }
 
+  /// One eviction pass's outcome, for the caller to price (records seeks +
+  /// bytes of sequential transfer on the write path).
+  struct EvictResult {
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// Evicts coldest-first (least-recently-accessed, key-ordered on ties —
+  /// deterministic) resident records until ResidentBytes() <= `target_bytes`
+  /// or the tier's remaining `room_bytes` cannot absorb more. Records larger
+  /// than the remaining room are skipped in favor of smaller cold ones.
+  EvictResult EvictColdest(uint64_t target_bytes, uint64_t room_bytes) {
+    EvictResult out;
+    size_t resident = ResidentBytes();
+    if (resident <= target_bytes) return out;
+    std::vector<std::pair<uint64_t, uint64_t>> order;  // (last_access, key)
+    order.reserve(states_.size());
+    for (const auto& [key, slot] : states_) {
+      if (slot.spilled_bytes == 0) order.emplace_back(slot.last_access, key);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [tick, key] : order) {
+      (void)tick;
+      if (resident <= target_bytes || room_bytes == 0) break;
+      Slot& slot = states_.at(key);
+      uint64_t b = slot.state->ApproxBytes();
+      if (b > room_bytes) continue;  // does not fit; try a smaller cold one
+      slot.spilled_bytes = b;
+      spilled_now_bytes_ += b;
+      spill_stats_.bytes_written += b;
+      spill_stats_.records_spilled++;
+      resident -= b;
+      room_bytes -= b;
+      out.records++;
+      out.bytes += b;
+    }
+    return out;
+  }
+
+  /// Hands the accumulated fault-in work (record count + bytes faulted since
+  /// the last call) to the owning worker, which charges virtual read time
+  /// for it. Resets the accumulator.
+  void TakePendingFaults(uint64_t* records, uint64_t* bytes) {
+    *records = pending_fault_records_;
+    *bytes = pending_fault_bytes_;
+    pending_fault_records_ = 0;
+    pending_fault_bytes_ = 0;
+  }
+
+  bool HasPendingFaults() const { return pending_fault_records_ != 0; }
+
   /// Drops everything. Used by the fault injector when a worker crashes:
   /// memoranda are volatile per-worker state and do not survive a restart
-  /// (the TEL-backed graph storage does).
+  /// (the TEL-backed graph storage does), and the crash also takes the
+  /// worker's spill files with it.
   void Clear() {
+    for (auto& [key, slot] : states_) {
+      (void)key;
+      DropSpilled(slot);
+    }
     stats_.cleared += states_.size();
     states_.clear();
+    pending_fault_records_ = 0;
+    pending_fault_bytes_ = 0;
   }
 
   const Stats& stats() const { return stats_; }
+  const SpillStats& spill_stats() const { return spill_stats_; }
 
  private:
+  struct Slot {
+    std::unique_ptr<MemoState> state;
+    /// Logical access clock value of the most recent touch (LRU ordering).
+    uint64_t last_access = 0;
+    /// 0 = resident; otherwise the record's byte snapshot at eviction time
+    /// (exact, because spilled records are frozen until faulted back in).
+    uint64_t spilled_bytes = 0;
+  };
+
+  void FaultIn(Slot& slot) {
+    if (slot.spilled_bytes == 0) return;
+    pending_fault_records_++;
+    pending_fault_bytes_ += slot.spilled_bytes;
+    spill_stats_.faults++;
+    spill_stats_.bytes_read += slot.spilled_bytes;
+    spilled_now_bytes_ -= slot.spilled_bytes;
+    slot.spilled_bytes = 0;
+  }
+
+  void DropSpilled(Slot& slot) {
+    if (slot.spilled_bytes == 0) return;
+    spill_stats_.bytes_dropped += slot.spilled_bytes;
+    spilled_now_bytes_ -= slot.spilled_bytes;
+    slot.spilled_bytes = 0;
+  }
+
   /// Full 32/32 split, mirroring WeightKey in the runtime: a 20-bit step
   /// field would let step_id >= 2^20 bleed into the query bits, aliasing
   /// another query's memoranda and making ClearQuery erase or miss records.
@@ -342,8 +461,13 @@ class MemoTable {
     return (query_id << 32) | step_id;
   }
 
-  std::unordered_map<uint64_t, std::unique_ptr<MemoState>> states_;
+  std::unordered_map<uint64_t, Slot> states_;
   Stats stats_;
+  SpillStats spill_stats_;
+  uint64_t access_tick_ = 0;
+  uint64_t spilled_now_bytes_ = 0;
+  uint64_t pending_fault_records_ = 0;
+  uint64_t pending_fault_bytes_ = 0;
 };
 
 }  // namespace graphdance

@@ -16,6 +16,42 @@ namespace qos {
 /// Default-disabled: with `enabled == false` the cluster takes none of the
 /// governance branches and the event schedule stays byte-identical to a
 /// build without the subsystem.
+/// Spill-manager policy (DESIGN.md §12). When enabled (and qos is enabled),
+/// a worker crossing its memo budget first evicts cold memoranda — and, when
+/// its queued task bytes cross the task budget, deep task-queue suffixes —
+/// to the simulated storage tier instead of immediately aborting the
+/// hungriest query. Aborts remain as the last resort when the tier itself is
+/// exhausted or eviction cannot relieve pressure.
+///
+/// Default-disabled: with `enabled == false` the spill branches are never
+/// taken and the event schedule stays byte-identical to a build without the
+/// subsystem (even when qos itself is on).
+struct SpillConfig {
+  bool enabled = false;
+
+  /// Fraction of `worker_memo_budget_bytes` at which the sweep starts
+  /// evicting cold memoranda (pressure enters kSpilling).
+  double memo_spill_watermark = 0.75;
+  /// Eviction target: spill until resident memo bytes fall to this fraction
+  /// of the budget (hysteresis; avoids re-entering the sweep every interval).
+  double memo_low_watermark = 0.50;
+
+  /// Fraction of `worker_task_budget_bytes` at which inbox ingestion spills
+  /// the deepest queued task suffix instead of deferring (backpressure is
+  /// replaced by storage-priced absorption until the tier fills).
+  double task_spill_watermark = 1.0;
+  /// Reload target: fault spilled tasks back in once queued bytes fall to
+  /// this fraction of the task budget.
+  double task_low_watermark = 0.50;
+  /// Spilled tasks reloaded per worker-quantum (bounds reload burstiness).
+  uint32_t task_reload_batch = 32;
+
+  /// Capacity of the per-worker simulated spill device. Exhaustion is the
+  /// last-resort condition: a worker that cannot evict falls back to
+  /// aborting the hungriest query, exactly like the spill-off budget sweep.
+  uint64_t capacity_bytes = 1ull << 30;  // 1 GiB
+};
+
 struct QosConfig {
   bool enabled = false;
 
@@ -40,6 +76,11 @@ struct QosConfig {
   /// the most memo bytes on that partition is aborted resource-exhausted.
   uint64_t worker_memo_budget_bytes = 64u << 20;  // 64 MiB
   uint32_t memo_check_interval = 64;
+
+  // --- spill-to-storage policy (DESIGN.md §12) ---------------------------
+  /// Graceful-degradation alternative to budget aborts; only consulted when
+  /// `enabled` is also true.
+  SpillConfig spill;
 
   // --- credit-based link flow control ------------------------------------
   /// Credit window per directed (src node, dst node) link. A tier-1 buffer

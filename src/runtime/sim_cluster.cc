@@ -358,6 +358,10 @@ SimCluster::SimCluster(ClusterConfig config, std::shared_ptr<PartitionedGraph> g
         static_cast<size_t>(config_.num_nodes) * config_.num_nodes,
         qos::CreditMeter(config_.qos.link_credit_bytes));
   }
+  // The spill manager is a refinement of the qos budgets; without qos there
+  // is no budget to relieve, so the flag stays off (and every spill branch
+  // stays untaken — byte-identical schedule).
+  spill_active_ = qos_active_ && config_.qos.spill.enabled;
 
   fault_active_ = fault_.active();
   recovery_active_ = fault_active_ && config_.fault_recovery;
@@ -471,13 +475,25 @@ check::QosProbe SimCluster::ProbeQos() const {
   p.completed = as.completed;
   p.queued = admission_->queued();
   p.running = admission_->running();
+  p.spill_enabled = spill_active_;
   for (const Worker& w : workers_) {
     p.task_bytes_enqueued += w.task_bytes_enqueued;
     p.task_bytes_dequeued += w.task_bytes_dequeued;
     p.task_bytes_dropped += w.task_bytes_dropped;
     p.task_bytes_queued += w.task_bytes_queued;
+    p.spill_task_bytes_written += w.task_spill_bytes_written;
+    p.spill_task_bytes_read += w.task_spill_bytes_read;
+    p.spill_task_bytes_dropped += w.task_spill_bytes_dropped;
+    p.spill_task_bytes_now += w.task_bytes_spilled;
   }
-  for (const MemoTable& m : memos_) p.memo_live_bytes += m.LiveBytes();
+  for (const MemoTable& m : memos_) {
+    p.memo_live_bytes += m.LiveBytes();
+    const MemoTable::SpillStats& ss = m.spill_stats();
+    p.spill_memo_bytes_written += ss.bytes_written;
+    p.spill_memo_bytes_read += ss.bytes_read;
+    p.spill_memo_bytes_dropped += ss.bytes_dropped;
+    p.spill_memo_bytes_now += m.SpilledBytes();
+  }
   return p;
 }
 
@@ -524,6 +540,25 @@ obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
     }
     s.qos.peak_memo_bytes = qos_stats_.peak_memo_bytes;
     s.qos.memo_aborts = qos_stats_.memo_aborts;
+  }
+  if (spill_active_) {
+    s.spill_enabled = true;
+    for (const MemoTable& m : memos_) {
+      const MemoTable::SpillStats& ss = m.spill_stats();
+      s.qos.spill_memo_bytes_written += ss.bytes_written;
+      s.qos.spill_memo_bytes_read += ss.bytes_read;
+      s.qos.spill_memo_bytes_dropped += ss.bytes_dropped;
+      s.qos.spill_memo_records += ss.records_spilled;
+      s.qos.spill_memo_faults += ss.faults;
+    }
+    for (const Worker& w : workers_) {
+      s.qos.spill_task_bytes_written += w.task_spill_bytes_written;
+      s.qos.spill_task_bytes_read += w.task_spill_bytes_read;
+      s.qos.spill_task_bytes_dropped += w.task_spill_bytes_dropped;
+    }
+    s.qos.spill_peak_bytes = spill_stats_.peak_spill_bytes;
+    s.qos.spill_pressure_transitions = spill_stats_.pressure_transitions;
+    s.qos.spill_last_resort = spill_stats_.last_resort;
   }
   for (const MemoTable& m : memos_) {
     const MemoTable::Stats& ms = m.stats();
@@ -1036,7 +1071,37 @@ void SimCluster::MemoBudgetSweep(Worker& w) {
   MemoTable& table = memos_[w.id];
   uint64_t live = table.LiveBytes();
   qos_stats_.peak_memo_bytes = std::max(qos_stats_.peak_memo_bytes, live);
-  while (live > config_.qos.worker_memo_budget_bytes) {
+  const uint64_t budget = config_.qos.worker_memo_budget_bytes;
+  if (spill_active_) {
+    // Pressure state machine (DESIGN.md §12): evict cold memoranda to the
+    // storage tier before considering any abort. What the budget governs
+    // shifts from live to *resident* bytes — spilled state occupies the
+    // tier, not modelled RAM.
+    const qos::SpillConfig& sc = config_.qos.spill;
+    const uint64_t high = static_cast<uint64_t>(
+        sc.memo_spill_watermark * static_cast<double>(budget));
+    uint64_t resident = table.ResidentBytes();
+    if (resident > high) {
+      SetPressure(w, PressureState::kSpilling);
+      SpillMemos(w);
+      resident = table.ResidentBytes();
+    }
+    if (resident <= budget) {
+      // Relieved (or never critical). Stay in kSpilling while state is
+      // parked on the tier; back to normal once it fully drains.
+      if (resident <= high && SpillBytesOf(w) == 0) {
+        SetPressure(w, PressureState::kNormal);
+      } else {
+        SetPressure(w, PressureState::kSpilling);
+      }
+      return;
+    }
+    // Eviction could not bring the resident set under budget: the tier is
+    // full or the remainder was just faulted back in. Last resort below.
+    SetPressure(w, PressureState::kLastResort);
+  }
+  uint64_t over = spill_active_ ? table.ResidentBytes() : live;
+  while (over > budget) {
     // Abort the hungriest resident query; ties go to the smallest id (std::map
     // order plus strict >) so the victim choice is deterministic.
     std::map<uint64_t, uint64_t> by_query;
@@ -1062,7 +1127,162 @@ void SimCluster::MemoBudgetSweep(Worker& w) {
                                std::to_string(victim_bytes) + " live bytes)";
     qos_stats_.memo_aborts++;
     CompleteQuery(qs, w.now);
-    live = table.LiveBytes();
+    over = spill_active_ ? table.ResidentBytes() : table.LiveBytes();
+  }
+}
+
+// ---- spill manager ----------------------------------------------------------
+
+const char* SimCluster::PressureName(uint8_t s) {
+  switch (static_cast<PressureState>(s)) {
+    case PressureState::kSpilling:
+      return "spilling";
+    case PressureState::kLastResort:
+      return "last-resort";
+    default:
+      return "normal";
+  }
+}
+
+uint64_t SimCluster::SpillBytesOf(const Worker& w) const {
+  return memos_[w.id].SpilledBytes() + w.task_bytes_spilled;
+}
+
+void SimCluster::SetPressure(Worker& w, PressureState next) {
+  uint8_t n = static_cast<uint8_t>(next);
+  if (w.pressure == n) return;
+  if (next == PressureState::kSpilling) spill_stats_.pressure_transitions++;
+  if (next == PressureState::kLastResort) spill_stats_.last_resort++;
+  if (tracer_.enabled()) {
+    tracer_.Instant("pressure", "spill", w.now, w.node, w.id, 0, 0,
+                    std::string("\"state\":\"") + PressureName(n) + "\"");
+  }
+  w.pressure = n;
+}
+
+uint64_t SimCluster::SpillMemos(Worker& w) {
+  MemoTable& table = memos_[w.id];
+  const qos::SpillConfig& sc = config_.qos.spill;
+  const uint64_t target = static_cast<uint64_t>(
+      sc.memo_low_watermark *
+      static_cast<double>(config_.qos.worker_memo_budget_bytes));
+  const uint64_t used = SpillBytesOf(w);
+  const uint64_t room = used >= sc.capacity_bytes ? 0 : sc.capacity_bytes - used;
+  MemoTable::EvictResult ev = table.EvictColdest(target, room);
+  if (ev.records > 0) {
+    // One seek per evicted record plus sequential transfer of the bytes.
+    w.now += config_.cost.storage.SeekNs(StorageKind::kSpillWrite) * ev.records +
+             config_.cost.storage.TransferNs(StorageKind::kSpillWrite, ev.bytes);
+    spill_stats_.peak_spill_bytes =
+        std::max(spill_stats_.peak_spill_bytes, SpillBytesOf(w));
+    if (tracer_.enabled()) {
+      tracer_.Instant("memo-spill", "spill", w.now, w.node, w.id, 0, 0,
+                      "\"records\":" + std::to_string(ev.records) +
+                          ",\"bytes\":" + std::to_string(ev.bytes));
+    }
+  }
+  return ev.bytes;
+}
+
+void SimCluster::ChargeMemoFaults(Worker& w) {
+  MemoTable& table = memos_[w.id];
+  if (!table.HasPendingFaults()) return;
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  table.TakePendingFaults(&records, &bytes);
+  w.now += config_.cost.storage.SeekNs(StorageKind::kSpillRead) * records +
+           config_.cost.storage.TransferNs(StorageKind::kSpillRead, bytes);
+  if (tracer_.enabled()) {
+    tracer_.Instant("memo-fault", "spill", w.now, w.node, w.id, 0, 0,
+                    "\"records\":" + std::to_string(records) +
+                        ",\"bytes\":" + std::to_string(bytes));
+  }
+}
+
+void SimCluster::SpillTasks(Worker& w) {
+  const qos::SpillConfig& sc = config_.qos.spill;
+  const uint64_t target = static_cast<uint64_t>(
+      sc.task_low_watermark *
+      static_cast<double>(config_.qos.worker_task_budget_bytes));
+  const uint64_t used = SpillBytesOf(w);
+  uint64_t room = used >= sc.capacity_bytes ? 0 : sc.capacity_bytes - used;
+  uint64_t moved_records = 0;
+  uint64_t moved_bytes = 0;
+  while (w.task_bytes_queued > target && room > 0 && w.num_tasks > 0) {
+    // Deepest suffix first: the tail of the highest non-empty bucket is the
+    // work farthest from dispatch, so parking it delays the least. The
+    // vacated queue position may still be referenced by the bulking merge
+    // index; PushTask bounds-checks stale positions before dereferencing.
+    uint32_t bi = static_cast<uint32_t>(w.tasks.size());
+    while (bi > 0 && w.tasks[bi - 1].q.empty()) --bi;
+    if (bi == 0) break;
+    Worker::TaskBucket& b = w.tasks[bi - 1];
+    uint64_t bytes = b.q.back().trav.WireSize();
+    if (bytes > room) break;  // tier exhausted; backpressure takes over
+    w.spilled_tasks.push_back(std::move(b.q.back()));
+    b.q.pop_back();
+    --w.num_tasks;
+    w.task_bytes_queued -= bytes;
+    w.task_bytes_spilled += bytes;
+    w.task_spill_bytes_written += bytes;
+    room -= bytes;
+    moved_records++;
+    moved_bytes += bytes;
+  }
+  if (moved_records > 0) {
+    w.now += config_.cost.storage.SeekNs(StorageKind::kSpillWrite) *
+                 moved_records +
+             config_.cost.storage.TransferNs(StorageKind::kSpillWrite,
+                                             moved_bytes);
+    spill_stats_.peak_spill_bytes =
+        std::max(spill_stats_.peak_spill_bytes, SpillBytesOf(w));
+    SetPressure(w, PressureState::kSpilling);
+    if (tracer_.enabled()) {
+      tracer_.Instant("task-spill", "spill", w.now, w.node, w.id, 0, 0,
+                      "\"records\":" + std::to_string(moved_records) +
+                          ",\"bytes\":" + std::to_string(moved_bytes));
+    }
+  }
+}
+
+void SimCluster::ReloadSpilledTasks(Worker& w) {
+  if (w.spilled_tasks.empty()) return;
+  const qos::SpillConfig& sc = config_.qos.spill;
+  const uint64_t limit = static_cast<uint64_t>(
+      sc.task_low_watermark *
+      static_cast<double>(config_.qos.worker_task_budget_bytes));
+  if (w.task_bytes_queued >= limit) return;  // hysteresis: wait for drain
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  while (!w.spilled_tasks.empty() && records < sc.task_reload_batch &&
+         w.task_bytes_queued < limit) {
+    Task t = std::move(w.spilled_tasks.front());
+    w.spilled_tasks.pop_front();
+    uint64_t b = t.trav.WireSize();
+    w.task_bytes_spilled -= b;
+    w.task_spill_bytes_read += b;
+    records++;
+    bytes += b;
+    // Re-enqueue without the merge probe: the ledger move is an exact
+    // spilled -> queued transfer (no new `enqueued` bytes), and a reload is
+    // rare enough that missing a bulking merge costs nothing.
+    uint32_t bucket = config_.shortest_first_scheduling ? t.trav.hop : 0;
+    if (bucket >= w.tasks.size()) w.tasks.resize(bucket + 1);
+    Worker::TaskBucket& bk = w.tasks[bucket];
+    w.task_bytes_queued += b;
+    w.task_bytes_peak = std::max(w.task_bytes_peak, w.task_bytes_queued);
+    bk.q.push_back(std::move(t));
+    if (bucket < w.first_bucket) w.first_bucket = bucket;
+    ++w.num_tasks;
+  }
+  if (records > 0) {
+    w.now += config_.cost.storage.SeekNs(StorageKind::kSpillRead) * records +
+             config_.cost.storage.TransferNs(StorageKind::kSpillRead, bytes);
+    if (tracer_.enabled()) {
+      tracer_.Instant("task-reload", "spill", w.now, w.node, w.id, 0, 0,
+                      "\"records\":" + std::to_string(records) +
+                          ",\"bytes\":" + std::to_string(bytes));
+    }
   }
 }
 
@@ -1227,6 +1447,16 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
     for (Message& m : w.inbox) ReturnCredits(m, at);
     w.task_bytes_dropped += w.task_bytes_queued;
     w.task_bytes_queued = 0;
+    if (spill_active_) {
+      // The crash takes the worker's spill files with it: spilled tasks move
+      // to the dropped column (conservation) and the spill ledger records
+      // the loss; the memo side is handled by MemoTable::Clear below.
+      w.task_bytes_dropped += w.task_bytes_spilled;
+      w.task_spill_bytes_dropped += w.task_bytes_spilled;
+      w.task_bytes_spilled = 0;
+      w.spilled_tasks.clear();
+      w.pressure = static_cast<uint8_t>(PressureState::kNormal);
+    }
   }
   w.inbox.clear();
   w.tasks.clear();
@@ -1296,6 +1526,7 @@ void SimCluster::RunWorker(Worker& w, SimTime at) {
   w.running = true;
   w.now = std::max(w.now, at);
   IngestInbox(w);
+  if (spill_active_) ReloadSpilledTasks(w);
   uint32_t executed = 0;
   while (executed < config_.quantum_tasks && HasTask(w) &&
          !(qos_active_ && SendStalled(w))) {
@@ -1303,18 +1534,21 @@ void SimCluster::RunWorker(Worker& w, SimTime at) {
     ++executed;
   }
   w.running = false;
+  // Spilled tasks are pending work: a worker must never sleep forever while
+  // holding them, or their weight is stranded on the tier.
+  const bool spill_pending = spill_active_ && !w.spilled_tasks.empty();
   if (qos_active_ && SendStalled(w)) {
     // Parked on send credits: flush whatever fits, then stop WITHOUT a
     // self-wake — spinning at a fixed virtual time would livelock the event
     // loop. RetryHeldFlushes (on credit return) or the next inbox delivery
     // reschedules this worker.
     FlushAll(w);
-    if (!SendStalled(w) && (HasTask(w) || !w.inbox.empty())) {
+    if (!SendStalled(w) && (HasTask(w) || !w.inbox.empty() || spill_pending)) {
       ScheduleWake(w, w.now);
     }
     return;
   }
-  if (HasTask(w) || !w.inbox.empty()) {
+  if (HasTask(w) || !w.inbox.empty() || spill_pending) {
     ScheduleWake(w, w.now);
     return;
   }
@@ -1325,13 +1559,29 @@ void SimCluster::RunWorker(Worker& w, SimTime at) {
 }
 
 void SimCluster::IngestInbox(Worker& w) {
+  // With the spill manager on, the budget trigger can be pulled in below the
+  // budget itself (task_spill_watermark < 1); off, it is exactly the budget.
+  uint64_t task_high = config_.qos.worker_task_budget_bytes;
+  if (spill_active_) {
+    task_high = std::min(
+        task_high,
+        static_cast<uint64_t>(config_.qos.spill.task_spill_watermark *
+                              static_cast<double>(task_high)));
+  }
   while (!w.inbox.empty()) {
     std::vector<Message> batch;
     batch.swap(w.inbox);
     for (size_t i = 0; i < batch.size(); ++i) {
       if (qos_active_ && batch[i].kind == MessageKind::kTraverserBatch &&
-          w.task_bytes_queued >= config_.qos.worker_task_budget_bytes &&
-          !SendStalled(w)) {
+          w.task_bytes_queued >= task_high && !SendStalled(w)) {
+        // Over the task trigger. With the spill manager on, first try to
+        // absorb the pressure by parking the deepest queued suffix on the
+        // storage tier; only when the tier cannot take it (capacity
+        // exhausted) fall back to deferral-based backpressure below.
+        if (spill_active_) SpillTasks(w);
+        if (spill_active_ && w.task_bytes_queued < task_high) {
+          // Spilling freed room; keep ingesting this message normally.
+        } else {
         // Task-budget backpressure: stop pulling work in the moment the
         // queue crosses the budget — mid-inbox, so a large backlog of
         // delivered frames cannot overshoot it by more than one message.
@@ -1349,6 +1599,7 @@ void SimCluster::IngestInbox(Worker& w) {
                                                static_cast<ptrdiff_t>(i)),
                        std::make_move_iterator(batch.end()));
         return;
+        }
       }
       // Ingestion is the normal terminal disposition of a credited message.
       ReturnCredits(batch[i], w.now);
@@ -1444,10 +1695,20 @@ void SimCluster::ExecuteTask(Worker& w, Task task) {
   } else {
     qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
   }
+  // Any spilled memoranda this task touched were faulted back in; charge
+  // the virtual read time before the task's end-of-execution timestamp is
+  // observed by the sweep below.
+  if (spill_active_) ChargeMemoFaults(w);
   ++w.tasks_executed;
   if (qos_active_ && config_.qos.memo_check_interval > 0 &&
       w.tasks_executed % config_.qos.memo_check_interval == 0) {
     MemoBudgetSweep(w);
+    if (spill_active_ &&
+        w.task_bytes_queued >= config_.qos.worker_task_budget_bytes) {
+      // Locally-generated pushes bypass inbox backpressure; bound their
+      // overshoot at sweep granularity by parking the deepest suffix.
+      SpillTasks(w);
+    }
   }
 }
 
@@ -1462,6 +1723,8 @@ void SimCluster::RunFinalize(Worker& w, const Message& msg) {
   PartitionId partition = static_cast<PartitionId>(w.id);
   ExecContext ctx(this, &w, &qs, partition, ExecContext::Mode::kFinalize, &w.now);
   st.OnFinalize(ctx);
+  // Finalize reads its partition's memo state; charge any fault-ins.
+  if (spill_active_) ChargeMemoFaults(w);
 
   if (!st.NeedsCollect()) {
     // Continuation protocol: distribute this worker's share of the next
@@ -1508,7 +1771,9 @@ void SimCluster::PushTask(Worker& w, Task task) {
     uint64_t newpos = b.base + b.q.size();
     auto [it, inserted] = b.index.try_emplace(h, newpos);
     if (!inserted) {
-      if (it->second >= b.base) {
+      // Lower bound fences dispatched positions; the upper bound fences
+      // positions vacated by task spilling (back-of-bucket eviction).
+      if (it->second >= b.base && it->second < b.base + b.q.size()) {
         Task& dst = b.q[it->second - b.base];
         Weight dst_before = dst.trav.weight;
         if (dst.query == task.query && dst.attempt == task.attempt &&
@@ -1997,7 +2262,10 @@ std::string SimCluster::DescribeStuck() const {
   }
   std::vector<const Worker*> deep;
   for (const Worker& w : workers_) {
-    if (w.num_tasks > 0 || !w.inbox.empty()) deep.push_back(&w);
+    if (w.num_tasks > 0 || !w.inbox.empty() ||
+        (spill_active_ && SpillBytesOf(w) > 0)) {
+      deep.push_back(&w);
+    }
   }
   std::sort(deep.begin(), deep.end(), [](const Worker* a, const Worker* b) {
     if (a->num_tasks != b->num_tasks) return a->num_tasks > b->num_tasks;
@@ -2011,6 +2279,13 @@ std::string SimCluster::DescribeStuck() const {
       s += " w" + std::to_string(w.id) + "(" + std::to_string(w.num_tasks) +
            " tasks";
       if (qos_active_) s += ", " + std::to_string(w.task_bytes_queued) + "B";
+      if (spill_active_) {
+        // Memory-pressure attribution: how much memo state is resident vs
+        // parked on the tier, and which pressure state the worker is in.
+        s += ", memo " + std::to_string(memos_[w.id].ResidentBytes()) +
+             "B resident, spilled " + std::to_string(SpillBytesOf(w)) +
+             "B, pressure " + PressureName(w.pressure);
+      }
       s += ", inbox " + std::to_string(w.inbox.size()) + ")";
     }
   }

@@ -243,6 +243,16 @@ class SimCluster : public check::ClusterProbe {
     uint64_t task_bytes_enqueued = 0;
     uint64_t task_bytes_dequeued = 0;
     uint64_t task_bytes_dropped = 0;
+    // --- spill manager state (maintained only when qos.spill is enabled) ---
+    // Deep task-queue suffixes evicted to the storage tier, oldest-evicted
+    // first. With spill on, the task-byte conservation law gains a term:
+    // enqueued == dequeued + dropped + queued + spilled.
+    std::deque<Task> spilled_tasks;
+    uint64_t task_bytes_spilled = 0;        // bytes currently on the tier
+    uint64_t task_spill_bytes_written = 0;  // cumulative bytes evicted
+    uint64_t task_spill_bytes_read = 0;     // cumulative bytes reloaded
+    uint64_t task_spill_bytes_dropped = 0;  // cumulative bytes crash-wiped
+    uint8_t pressure = 0;                   // PressureState of the last sweep
   };
 
   /// Receive-side duplicate suppression for one (src,dst) worker pair.
@@ -351,9 +361,32 @@ class SimCluster : public check::ClusterProbe {
   /// True when the worker's credit-blocked send buffers exceed the stall
   /// threshold — it must pause execution until credits return.
   bool SendStalled(const Worker& w) const;
-  /// Every `memo_check_interval` tasks: if the partition's live memo bytes
-  /// exceed the budget, abort the biggest per-query consumer.
+  /// Every `memo_check_interval` tasks: if the partition's memo bytes exceed
+  /// the budget, relieve pressure. With the spill manager off, abort the
+  /// biggest per-query consumer; with it on, run the pressure state machine
+  /// (normal -> spilling -> abort-hungriest only as last resort).
   void MemoBudgetSweep(Worker& w);
+
+  // --- spill manager (every caller gates on spill_active_) ---
+  /// Pressure states of one worker's memory-relief state machine.
+  enum class PressureState : uint8_t { kNormal = 0, kSpilling, kLastResort };
+  static const char* PressureName(uint8_t s);
+  /// Current storage-tier occupancy of worker `w` (memo + task spill).
+  uint64_t SpillBytesOf(const Worker& w) const;
+  /// Evicts cold memoranda until resident bytes reach the low watermark or
+  /// the tier fills; charges virtual write time. Returns bytes evicted.
+  uint64_t SpillMemos(Worker& w);
+  /// Moves the deepest queued-task suffix to the tier (charged write time)
+  /// until queued bytes reach the task low watermark or the tier fills.
+  void SpillTasks(Worker& w);
+  /// Faults up to one batch of spilled tasks back in (charged read time)
+  /// once queued bytes are below the reload watermark.
+  void ReloadSpilledTasks(Worker& w);
+  /// Charges read time for memo fault-ins accumulated by the partition's
+  /// MemoTable since the last drain.
+  void ChargeMemoFaults(Worker& w);
+  /// Records a pressure transition: counters + tracer instant on change.
+  void SetPressure(Worker& w, PressureState next);
   qos::CreditMeter& LinkCreditRef(uint32_t src_node, uint32_t dst_node) {
     return link_credits_[src_node * config_.num_nodes + dst_node];
   }
@@ -465,6 +498,14 @@ class SimCluster : public check::ClusterProbe {
     uint64_t memo_aborts = 0;
   };
   QosRuntimeStats qos_stats_;
+  // --- spill manager (inert when off) ---
+  bool spill_active_ = false;  // qos_active_ && config_.qos.spill.enabled
+  struct SpillRuntimeStats {
+    uint64_t peak_spill_bytes = 0;      // max per-worker tier occupancy seen
+    uint64_t pressure_transitions = 0;  // entries into kSpilling
+    uint64_t last_resort = 0;           // entries into kLastResort
+  };
+  SpillRuntimeStats spill_stats_;
   // Invariant-checking harness (null = detached; every hook site checks).
   check::CheckHarness* check_ = nullptr;
   /// Builds the QueryProbe view of one query (shared by CompleteQuery's

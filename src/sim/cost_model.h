@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.h"
+#include "sim/storage_model.h"
 
 namespace graphdance {
 
@@ -57,6 +58,11 @@ struct CostModel {
   // --- baseline-specific ---
   double numa_penalty = 1.6;       // data-access multiplier, non-partitioned
   uint64_t lock_acquire_ns = 120;  // uncontended lock acquire (shared mode)
+
+  // --- storage tier (spill manager) ---
+  /// Per-worker simulated spill device; charged by the spill manager when
+  /// memoranda or task-queue suffixes move between RAM and the tier.
+  StorageModel storage;
 
   uint64_t Of(CostKind kind) const {
     switch (kind) {

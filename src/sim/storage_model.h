@@ -1,0 +1,62 @@
+#ifndef GRAPHDANCE_SIM_STORAGE_MODEL_H_
+#define GRAPHDANCE_SIM_STORAGE_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace graphdance {
+
+/// Categories of virtual storage work charged by the spill manager, parallel
+/// to CostKind's CPU taxonomy and the network constants. Kept as its own enum
+/// (rather than new CostKind entries) so existing per-kind charge counters
+/// keep their layout.
+enum class StorageKind : uint8_t {
+  kSpillWrite = 0,  // evicting state to the simulated tier
+  kSpillRead,       // faulting spilled state back in
+  kNumKinds,
+};
+
+/// Cost model of the simulated per-worker storage tier (local NVMe-class
+/// device). Spilled state is written and read as whole records, so every
+/// operation pays one seek (command issue + device latency) plus sequential
+/// transfer at the tier's bandwidth. Reads and writes are priced separately:
+/// flash reads are lower-latency than program operations, while sustained
+/// write bandwidth trails read bandwidth. Defaults are calibrated to
+/// datacenter NVMe magnitudes (~25 us read / ~60 us write latency,
+/// ~3.5 GB/s read, ~2 GB/s write).
+struct StorageModel {
+  uint64_t read_seek_ns = 25'000;
+  uint64_t write_seek_ns = 60'000;
+  double read_bandwidth_gbps = 28.0;   // ~3.5 GB/s sequential read
+  double write_bandwidth_gbps = 16.0;  // ~2 GB/s sequential write
+
+  uint64_t SeekNs(StorageKind kind) const {
+    return kind == StorageKind::kSpillWrite ? write_seek_ns : read_seek_ns;
+  }
+
+  /// Virtual time to stream `bytes` for `kind`, excluding the seek.
+  SimTime TransferNs(StorageKind kind, size_t bytes) const {
+    double gbps = kind == StorageKind::kSpillWrite ? write_bandwidth_gbps
+                                                   : read_bandwidth_gbps;
+    // gbps Gbit/s == gbps / 8 bytes per ns.
+    double ns = static_cast<double>(bytes) * 8.0 / gbps;
+    return static_cast<SimTime>(ns);
+  }
+
+  /// Full virtual cost of one record-sized operation: seek + transfer.
+  SimTime OpNs(StorageKind kind, size_t bytes) const {
+    return SeekNs(kind) + TransferNs(kind, bytes);
+  }
+
+  SimTime WriteNs(size_t bytes) const {
+    return OpNs(StorageKind::kSpillWrite, bytes);
+  }
+  SimTime ReadNs(size_t bytes) const {
+    return OpNs(StorageKind::kSpillRead, bytes);
+  }
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_SIM_STORAGE_MODEL_H_

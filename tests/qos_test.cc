@@ -491,6 +491,46 @@ TEST(BudgetTest, MemoBudgetAbortsTheHungriestQuery) {
   EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
 }
 
+TEST(BudgetTest, MemoBudgetAbortSurvivesAnActiveFaultSchedule) {
+  // A worker crash interleaved with hungriest-query aborts: the crash wipes
+  // one worker's memo partition and queued tasks mid-pressure, recovery
+  // retries its coordinated queries, and the sweep keeps aborting over-budget
+  // ones — the resource ledger must balance through both teardown paths at
+  // once, and every query must still reach a terminal state.
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.worker_memo_budget_bytes = 512;
+  cfg.qos.memo_check_interval = 1;
+  cfg.fault.CrashWorker(/*worker=*/1, /*at=*/50'000,
+                        /*restart_after=*/400'000);
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  size_t aborted = 0;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    EXPECT_TRUE(r.done);
+    if (r.resource_exhausted) {
+      ++aborted;
+      EXPECT_NE(r.failure_reason.find("memo budget exceeded"),
+                std::string::npos)
+          << r.failure_reason;
+    }
+  }
+  EXPECT_GE(aborted, 1u);
+  EXPECT_EQ(cluster.fault_stats().crashes, 1u);
+  EXPECT_EQ(cluster.fault_stats().restarts, 1u);
+  EXPECT_GE(cluster.MetricsSnapshot().qos.memo_aborts, 1u);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
 // --- diagnostics -------------------------------------------------------------
 
 TEST(DiagnosticsTest, EventBudgetExhaustionNamesStuckQueries) {

@@ -1,0 +1,460 @@
+// Tests for the cost-modelled spill tier (DESIGN.md §12): a simulated
+// storage device (seek + sequential-bandwidth cost model) under the memo
+// table and the worker task queues. When a worker crosses its qos memory
+// budget the spill manager parks cold memoranda and deep task-queue
+// suffixes on the tier (charging virtual write time), faults them back on
+// access (charging read time), and escalates pressure
+// normal -> spilling -> last-resort-abort only when the tier is exhausted.
+// The battery proves four things end to end:
+//   1. Off means off: with qos.spill.enabled == false (or qos off entirely)
+//      the metrics snapshot and trace are byte-identical to a pre-spill
+//      build, including under an active fault schedule.
+//   2. Spilling never changes answers: every query that runs under memory
+//      pressure returns rows identical to an unpressured serial run, and
+//      the full differential matrix stays row-identical to the reference.
+//   3. Spilling absorbs pressure that would otherwise abort: a memo budget
+//      that aborts the hungriest query without the tier completes every
+//      query with it — and when the tier itself fills up, the last-resort
+//      abort path still fires instead of hanging.
+//   4. Nothing leaks: the resource-ledger checker audits both spill ledgers
+//      (written == read + dropped + parked) through crashes and aborts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/oracle.h"
+#include "graph/generators.h"
+#include "qos/qos.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
+#include "sim/storage_model.h"
+
+namespace graphdance {
+namespace {
+
+using check::CheckHarness;
+using check::DifferentialOptions;
+using check::DifferentialReport;
+using check::ReplaySpec;
+using check::RunDifferential;
+
+// --- shared workload helpers (same idiom as qos_test / check_test) ----------
+
+struct TestGraph {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  LabelId link;
+  PropKeyId weight;
+};
+
+TestGraph MakeGraph(uint32_t partitions, uint64_t nv = 1024, uint64_t ne = 8192,
+                    uint64_t seed = 11) {
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  PowerLawGraphOptions opt;
+  opt.num_vertices = nv;
+  opt.num_edges = ne;
+  opt.seed = seed;
+  opt.weight_range = 10'000;
+  auto result = GeneratePowerLawGraph(opt, tg.schema, partitions);
+  EXPECT_TRUE(result.ok());
+  tg.graph = result.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  return tg;
+}
+
+ClusterConfig BaseConfig(EngineKind engine = EngineKind::kAsync) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.engine = engine;
+  cfg.progress_timeout_ns = 20'000'000;
+  return cfg;
+}
+
+/// Aggressive spill knobs. With enabled=false none of this may be
+/// observable; with enabled=true it forces early, frequent eviction.
+void CrankSpillKnobs(ClusterConfig& cfg) {
+  cfg.qos.spill.memo_spill_watermark = 0.5;
+  cfg.qos.spill.memo_low_watermark = 0.25;
+  cfg.qos.spill.task_spill_watermark = 0.75;
+  cfg.qos.spill.task_low_watermark = 0.25;
+  cfg.qos.spill.task_reload_batch = 4;
+  cfg.qos.spill.capacity_bytes = 1ull << 20;
+}
+
+std::shared_ptr<const Plan> TopKPlan(const TestGraph& tg, VertexId start, int k,
+                                     size_t limit = 10) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Project({Operand::VertexIdOp(), Operand::Property(tg.weight)})
+                  .OrderByLimit({{1, false}, {0, true}}, limit)
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::shared_ptr<const Plan> CountPlan(const TestGraph& tg, VertexId start,
+                                      int k) {
+  auto plan = Traversal(tg.graph)
+                  .V({start})
+                  .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/true)
+                  .Count()
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.TakeValue();
+}
+
+std::vector<std::shared_ptr<const Plan>> OverlapPlans(const TestGraph& tg) {
+  return {TopKPlan(tg, 1, 3),  CountPlan(tg, 5, 2), TopKPlan(tg, 17, 2, 5),
+          TopKPlan(tg, 9, 3),  CountPlan(tg, 2, 3), TopKPlan(tg, 33, 2, 7)};
+}
+
+/// Unpressured serial reference: each plan alone on a fresh pinned-schedule
+/// async cluster. The bar every spilled run must clear row-for-row.
+std::vector<std::vector<Row>> SerialReference(
+    const TestGraph& tg, const std::vector<std::shared_ptr<const Plan>>& plans) {
+  std::vector<std::vector<Row>> out;
+  for (const auto& p : plans) {
+    SimCluster cluster(BaseConfig(), tg.graph);
+    auto r = cluster.Run(p);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    out.push_back(check::CanonicalRows(r.value().rows));
+  }
+  return out;
+}
+
+// --- the storage cost model --------------------------------------------------
+
+TEST(StorageModelTest, CostsAreSeekPlusSequentialTransfer) {
+  StorageModel m;
+  // A zero-byte op is pure seek, and writes seek slower than reads.
+  EXPECT_EQ(m.WriteNs(0), m.write_seek_ns);
+  EXPECT_EQ(m.ReadNs(0), m.read_seek_ns);
+  EXPECT_GT(m.write_seek_ns, m.read_seek_ns);
+  // Transfer is linear in bytes: doubling the payload doubles the
+  // bandwidth-bound component exactly.
+  SimTime one = m.TransferNs(StorageKind::kSpillRead, 1 << 20);
+  SimTime two = m.TransferNs(StorageKind::kSpillRead, 2 << 20);
+  EXPECT_GT(one, 0u);
+  EXPECT_EQ(two, 2 * one);
+  // Asymmetric bandwidth: the same payload costs more to write than to read.
+  EXPECT_GT(m.TransferNs(StorageKind::kSpillWrite, 1 << 20), one);
+  // OpNs composes the two pieces with nothing hidden.
+  EXPECT_EQ(m.OpNs(StorageKind::kSpillRead, 4096),
+            m.SeekNs(StorageKind::kSpillRead) +
+                m.TransferNs(StorageKind::kSpillRead, 4096));
+}
+
+// --- off means off: byte-identical snapshots and traces ---------------------
+
+TEST(SpillOffTest, DisabledSpillLeavesGovernedRunByteIdentical) {
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+
+  auto run = [&](const ClusterConfig& cfg) {
+    SimCluster cluster(cfg, tg.graph);
+    for (const auto& p : plans) cluster.Submit(p, 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return std::make_pair(cluster.MetricsSnapshot().ToString(),
+                          cluster.tracer().ToJson());
+  };
+
+  // Baseline: governance on (real queueing and budgets), spill off.
+  ClusterConfig governed = BaseConfig();
+  governed.trace = true;
+  governed.qos.enabled = true;
+  governed.qos.max_concurrent_queries = 2;
+  governed.qos.max_queued_queries = 64;
+  governed.qos.link_credit_bytes = 8192;
+  governed.qos.sender_stall_bytes = 4096;
+
+  // Every spill knob cranked to aggressive values — but enabled=false, so
+  // none of it may perturb the schedule, the metrics or the trace.
+  ClusterConfig knobs = governed;
+  knobs.qos.spill.enabled = false;
+  CrankSpillKnobs(knobs);
+
+  auto [governed_metrics, governed_trace] = run(governed);
+  auto [knob_metrics, knob_trace] = run(knobs);
+  EXPECT_EQ(governed_metrics, knob_metrics);
+  EXPECT_EQ(governed_trace, knob_trace);
+  // The spill sections are gated separately from the qos sections: absent
+  // whenever the manager is off, so pre-spill golden snapshots keep matching.
+  EXPECT_EQ(governed_metrics.find("spill_memo:"), std::string::npos);
+  EXPECT_EQ(governed_metrics.find("spill_tasks:"), std::string::npos);
+  EXPECT_EQ(governed_metrics.find("spill_pressure:"), std::string::npos);
+}
+
+TEST(SpillOffTest, UngovernedRunIgnoresSpillEvenWhenEnabledUnderFaults) {
+  // The spill manager rides on the qos subsystem: with qos.enabled == false
+  // even spill.enabled = true must be inert — including under an active
+  // fault schedule, where crash cleanup touches the spill ledgers.
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+
+  auto run = [&](const ClusterConfig& cfg) {
+    SimCluster cluster(cfg, tg.graph);
+    for (const auto& p : plans) cluster.Submit(p, 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return std::make_pair(cluster.MetricsSnapshot().ToString(),
+                          cluster.tracer().ToJson());
+  };
+
+  ClusterConfig plain = BaseConfig();
+  plain.trace = true;
+  plain.fault.CrashWorker(/*worker=*/1, /*at=*/50'000,
+                          /*restart_after=*/400'000);
+  plain.fault.dup_prob = 0.02;
+  plain.fault.seed = 77;
+
+  ClusterConfig knobs = plain;
+  knobs.qos.spill.enabled = true;  // qos off => spill_active_ stays false
+  CrankSpillKnobs(knobs);
+
+  auto [plain_metrics, plain_trace] = run(plain);
+  auto [knob_metrics, knob_trace] = run(knobs);
+  EXPECT_EQ(plain_metrics, knob_metrics);
+  EXPECT_EQ(plain_trace, knob_trace);
+  EXPECT_EQ(plain_metrics.find("spill_"), std::string::npos);
+}
+
+// --- spilling absorbs memory pressure ---------------------------------------
+
+TEST(SpillPressureTest, TightMemoBudgetSpillsInsteadOfAborting) {
+  // The same budget that makes BudgetTest.MemoBudgetAbortsTheHungriestQuery
+  // abort at least one query: with the spill tier on, cold memoranda park on
+  // the device instead and every query completes with reference-identical
+  // rows — paying virtual I/O time, not answers.
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+  std::vector<std::vector<Row>> reference = SerialReference(tg, plans);
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.worker_memo_budget_bytes = 512;  // aborts without the tier
+  cfg.qos.memo_check_interval = 1;
+  cfg.qos.spill.enabled = true;
+  cfg.qos.spill.memo_spill_watermark = 0.5;
+  cfg.qos.spill.memo_low_watermark = 0.25;
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const QueryResult& r = cluster.result(ids[i]);
+    EXPECT_TRUE(r.done);
+    EXPECT_FALSE(r.failed) << r.failure_reason;
+    EXPECT_FALSE(r.resource_exhausted);
+    EXPECT_EQ(check::CanonicalRows(r.rows), reference[i])
+        << "plan " << i << " diverged under memory pressure";
+  }
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_TRUE(s.spill_enabled);
+  EXPECT_EQ(s.qos.memo_aborts, 0u);
+  // The tier actually engaged: records were evicted and faulted back.
+  EXPECT_GT(s.qos.spill_memo_bytes_written, 0u);
+  EXPECT_GT(s.qos.spill_memo_records, 0u);
+  EXPECT_GT(s.qos.spill_memo_faults, 0u);
+  EXPECT_GT(s.qos.spill_peak_bytes, 0u);
+  EXPECT_GT(s.qos.spill_pressure_transitions, 0u);
+  EXPECT_EQ(s.qos.spill_last_resort, 0u);
+  // Spill ledger closed at drained quiescence: everything written either
+  // faulted back in or was dropped with its completed query.
+  EXPECT_EQ(s.qos.spill_memo_bytes_written,
+            s.qos.spill_memo_bytes_read + s.qos.spill_memo_bytes_dropped);
+  EXPECT_NE(s.ToString().find("spill_memo:"), std::string::npos);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+TEST(SpillPressureTest, TaskQueueSuffixSpillsAndReloads) {
+  // Remote-dominated workload (same shape as the qos task-budget test): a
+  // burst of delivered frames overruns the per-worker task budget. With the
+  // tier on, the deepest queued suffix parks instead of deferring ingestion
+  // forever, then reloads in batches as the queue drains.
+  TestGraph tg;
+  tg.schema = std::make_shared<Schema>();
+  auto g = GenerateUniformGraph(4096, 32768, 13, tg.schema, 16);
+  ASSERT_TRUE(g.ok());
+  tg.graph = g.TakeValue();
+  tg.link = tg.schema->EdgeLabel("link");
+  tg.weight = tg.schema->PropKey("weight");
+  std::vector<std::shared_ptr<const Plan>> plans;
+  for (int q = 0; q < 8; ++q) {
+    std::vector<VertexId> starts;
+    for (VertexId v = 0; v < 64; ++v) starts.push_back(q * 64 + v);
+    auto plan = Traversal(tg.graph)
+                    .V(starts)
+                    .RepeatOut("link", 2, /*dedup=*/true)
+                    .Count()
+                    .Build();
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plans.push_back(plan.TakeValue());
+  }
+  std::vector<std::vector<Row>> reference;
+  for (const auto& p : plans) {
+    ClusterConfig ref = BaseConfig();
+    ref.num_nodes = 8;
+    SimCluster cluster(ref, tg.graph);
+    auto r = cluster.Run(p);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    reference.push_back(check::CanonicalRows(r.value().rows));
+  }
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.num_nodes = 8;
+  cfg.qos.enabled = true;
+  cfg.qos.worker_task_budget_bytes = 4096;
+  cfg.qos.spill.enabled = true;
+  cfg.qos.spill.task_spill_watermark = 1.0;
+  cfg.qos.spill.task_low_watermark = 0.5;
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const QueryResult& r = cluster.result(ids[i]);
+    EXPECT_TRUE(r.done);
+    EXPECT_FALSE(r.failed) << r.failure_reason;
+    EXPECT_EQ(check::CanonicalRows(r.rows), reference[i]) << "plan " << i;
+  }
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_GT(s.qos.spill_task_bytes_written, 0u);
+  // No crash in this run: every parked task reloaded and executed.
+  EXPECT_EQ(s.qos.spill_task_bytes_dropped, 0u);
+  EXPECT_EQ(s.qos.spill_task_bytes_read, s.qos.spill_task_bytes_written);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+TEST(SpillPressureTest, ExhaustedTierFallsBackToLastResortAbort) {
+  // A tier too small to absorb the working set: the pressure state machine
+  // escalates to last-resort and the pre-spill abort path fires — bounded
+  // memory still wins over completing every query, and the ledgers must
+  // balance through the aborts.
+  TestGraph tg = MakeGraph(4);
+  auto plans = OverlapPlans(tg);
+
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.worker_memo_budget_bytes = 512;
+  cfg.qos.memo_check_interval = 1;
+  cfg.qos.spill.enabled = true;
+  cfg.qos.spill.memo_spill_watermark = 0.5;
+  cfg.qos.spill.memo_low_watermark = 0.25;
+  cfg.qos.spill.capacity_bytes = 64;  // the tier fills almost immediately
+  SimCluster cluster(cfg, tg.graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  std::vector<uint64_t> ids;
+  for (const auto& p : plans) ids.push_back(cluster.Submit(p, 0));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  size_t aborted = 0;
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    EXPECT_TRUE(r.done);
+    if (r.resource_exhausted) {
+      ++aborted;
+      EXPECT_NE(r.failure_reason.find("memo budget exceeded"),
+                std::string::npos)
+          << r.failure_reason;
+    }
+  }
+  EXPECT_GE(aborted, 1u);
+
+  obs::MetricsSnapshot s = cluster.MetricsSnapshot();
+  EXPECT_GE(s.qos.memo_aborts, 1u);
+  EXPECT_GE(s.qos.spill_last_resort, 1u);
+  EXPECT_EQ(harness->trip_count(), 0u) << harness->trips()[0].what;
+}
+
+// --- spilling never changes answers -----------------------------------------
+
+TEST(SpillDifferentialTest, SpilledMatrixMatchesReference) {
+  // The full oracle matrix — {async, bsp, hybrid} x tie-break seeds — under
+  // the spill stress config (memo budget tight enough to force evictions and
+  // fault-ins in every async cell). Every cell must stay row-identical to
+  // the unpressured single-worker reference with zero checker trips: weight
+  // conservation holds across spill and reload.
+  DifferentialOptions opt;
+  opt.num_seeds = 4;
+  opt.jitter_ns = 1000;
+  opt.spill = true;
+  auto rep = RunDifferential(check::MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  const DifferentialReport& r = rep.value();
+  EXPECT_EQ(r.cells, 3u * 4u);
+  EXPECT_EQ(r.trips, 0u) << r.Summary();
+  EXPECT_EQ(r.mismatches, 0u) << r.Summary();
+  EXPECT_EQ(r.explicit_failures, 0u) << r.Summary();
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// --- replay token ------------------------------------------------------------
+
+TEST(SpillReplayTokenTest, SpillFlagRoundTripsAndStaysBackCompatible) {
+  ReplaySpec spec;
+  spec.mode = "async";
+  spec.tiebreak_seed = 9;
+  spec.spill = true;
+  std::string token = check::FormatReplayToken(spec);
+  EXPECT_NE(token.find(";spill=1"), std::string::npos) << token;
+  auto parsed = check::ParseReplayToken(token);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().spill);
+  EXPECT_EQ(parsed.value().mode, "async");
+  EXPECT_EQ(parsed.value().tiebreak_seed, 9u);
+
+  // A token minted without spill carries no spill key and parses to
+  // spill=false — old bug-report tokens keep replaying the exact same cell.
+  spec.spill = false;
+  spec.qos = true;
+  std::string legacy = check::FormatReplayToken(spec);
+  EXPECT_EQ(legacy.find("spill"), std::string::npos) << legacy;
+  auto reparsed = check::ParseReplayToken(legacy);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_FALSE(reparsed.value().spill);
+  EXPECT_TRUE(reparsed.value().qos);
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+TEST(SpillDiagnosticsTest, StuckReportShowsResidencyAndPressure) {
+  // Exhaust the event budget mid-pressure: the stuck-cluster report must
+  // attribute memory per worker — resident vs spilled bytes and the
+  // pressure state — so an operator can see where the memory went.
+  TestGraph tg = MakeGraph(4);
+  ClusterConfig cfg = BaseConfig();
+  cfg.qos.enabled = true;
+  cfg.qos.worker_memo_budget_bytes = 512;
+  cfg.qos.memo_check_interval = 1;
+  cfg.qos.spill.enabled = true;
+  cfg.qos.spill.memo_spill_watermark = 0.5;
+  cfg.qos.spill.memo_low_watermark = 0.25;
+  SimCluster cluster(cfg, tg.graph);
+  for (const auto& p : OverlapPlans(tg)) cluster.Submit(p, 0);
+  Status st = cluster.RunToCompletion(/*max_events=*/200);
+  ASSERT_FALSE(st.ok());
+  std::string msg = st.ToString();
+  EXPECT_NE(msg.find("event budget exhausted"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("B resident, spilled "), std::string::npos) << msg;
+  EXPECT_NE(msg.find(", pressure "), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace graphdance

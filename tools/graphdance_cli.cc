@@ -149,6 +149,13 @@ struct Shell {
       opt.qos = true;
       sub.clear();
       in >> sub;
+    } else if (sub == "spill") {
+      // `check spill [seeds]`: the matrix under the spill stress config — a
+      // memo budget tight enough to force evictions and fault-ins in every
+      // cell (failing-cell tokens then carry `;spill=1`).
+      opt.spill = true;
+      sub.clear();
+      in >> sub;
     }
 
     if (sub == "replay" || sub == "shrink") {
@@ -199,7 +206,7 @@ struct Shell {
       char* end = nullptr;
       unsigned long long seeds = std::strtoull(sub.c_str(), &end, 10);
       if (end == nullptr || *end != '\0' || seeds == 0) {
-        std::printf("usage: check [qos] [seeds] | check replay <token> | "
+        std::printf("usage: check [qos|spill] [seeds] | check replay <token> | "
                     "check shrink <token>\n");
         return;
       }
@@ -233,6 +240,9 @@ struct Shell {
           "                                 equivalent in-flight traversers)\n"
           "  qos <on|off>                   toggle resource governance (admission\n"
           "                                 control + credit flow control + budgets)\n"
+          "  spill <on|off>                 toggle the spill tier (cold memoranda\n"
+          "                                 and deep task queues park on simulated\n"
+          "                                 storage under memory pressure; needs qos)\n"
           "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
           "  stats                          dataset / cluster summary\n"
           "  metrics                        unified metrics of the last run\n"
@@ -243,6 +253,9 @@ struct Shell {
           "  check qos [seeds]              the same matrix under the standard\n"
           "                                 QoS stress config (governed cells\n"
           "                                 must match the ungoverned reference)\n"
+          "  check spill [seeds]            the same matrix under the spill stress\n"
+          "                                 config (memo budget tight enough to\n"
+          "                                 force evictions in every cell)\n"
           "  check replay <token>           re-run one gdchk1 replay token\n"
           "  check shrink <token>           minimize a failing replay token\n"
           "  quit\n"
@@ -323,6 +336,35 @@ struct Shell {
                     (unsigned long long)config.qos.link_credit_bytes);
       } else {
         std::printf("qos = off\n");
+      }
+      return;
+    }
+    if (cmd == "spill") {
+      std::string which;
+      in >> which;
+      if (which == "on") {
+        config.qos.spill.enabled = true;
+      } else if (which == "off") {
+        config.qos.spill.enabled = false;
+      } else if (!which.empty()) {
+        std::printf("usage: spill <on|off>\n");
+        return;
+      }
+      if (config.qos.spill.enabled) {
+        std::printf("spill = on (capacity=%lluB memo watermark %.2f/%.2f, "
+                    "task watermark %.2f/%.2f, reload batch %u)%s\n",
+                    (unsigned long long)config.qos.spill.capacity_bytes,
+                    config.qos.spill.memo_spill_watermark,
+                    config.qos.spill.memo_low_watermark,
+                    config.qos.spill.task_spill_watermark,
+                    config.qos.spill.task_low_watermark,
+                    config.qos.spill.task_reload_batch,
+                    config.qos.enabled
+                        ? ""
+                        : " — inert until `qos on` (the tier enforces the "
+                          "qos budgets)");
+      } else {
+        std::printf("spill = off\n");
       }
       return;
     }

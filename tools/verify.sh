@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full tier-1 verification matrix. Run from the repository root:
 #
-#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos)
+#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos, spill)
 #   tools/verify.sh release    # just the release build + tests
 #
 # Stages:
@@ -16,6 +16,9 @@
 #             flow-control / budget tests, credit + admission property tests,
 #             64-seed governed+faulted differential matrix) in the release
 #             tree, then the gated bench_overload curve
+#   spill   — spill-tier suite alone (ctest -L spill: off-switch byte
+#             identity, pressure state machine, spilled differential matrix)
+#             in the release tree, then the gated bench_spill pressure curve
 #
 # Each stage uses its own build directory (build/, build-asan/, build-debug/)
 # so they never clobber one another's caches.
@@ -64,6 +67,14 @@ if [[ "$STAGES" == "all" || "$STAGES" == "qos" ]]; then
   echo "==== [qos] bench_overload gates ===="
   cmake --build build --target bench_overload -j "$JOBS"
   ./build/bench/bench_overload
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "spill" ]]; then
+  echo "==== [spill] ctest -L spill (release tree) ===="
+  ctest --test-dir build -L spill --output-on-failure -j "$JOBS"
+  echo "==== [spill] bench_spill gates ===="
+  cmake --build build --target bench_spill -j "$JOBS"
+  ./build/bench/bench_spill
 fi
 
 echo "==== verify: all requested stages passed ===="
