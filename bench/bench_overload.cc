@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <string>
 #include <vector>
 
@@ -217,7 +218,11 @@ int main(int argc, char** argv) {
     points.push_back(p);
   }
 
+  // Fixed-point with explicit precision: default ostream precision renders
+  // large doubles in lossy scientific notation, which breaks trajectory
+  // diffing on the JSON.
   std::ofstream json("BENCH_overload.json");
+  json << std::fixed << std::setprecision(3);
   json << "{\n  \"task_budget_bytes\": " << kTaskBudgetBytes
        << ",\n  \"solo_latency_ns\": " << solo_ns
        << ",\n  \"capacity_qps\": " << capacity_qps << ",\n  \"points\": [\n";

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <string>
 #include <vector>
 
@@ -221,7 +222,11 @@ int main(int argc, char** argv) {
               "spill tier avg: %.1f us\n",
               single_us, dist_us);
 
+  // Fixed-point with explicit precision: default ostream precision renders
+  // large doubles in lossy scientific notation, which breaks trajectory
+  // diffing on the JSON.
   std::ofstream json("BENCH_spill.json");
+  json << std::fixed << std::setprecision(3);
   json << "{\n  \"unconstrained_peak_memo_bytes\": " << peak
        << ",\n  \"points\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {

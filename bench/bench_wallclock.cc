@@ -1,49 +1,222 @@
-// Real wall-clock throughput of the simulator itself on a fixed mixed
-// k-hop workload, with traverser bulking on (default) and off. Unlike the
-// figure benches this measures host time, not virtual time: bulking must
-// not make the simulator slower even though it adds merge work on the hot
-// path. Writes BENCH_wallclock.json next to the working directory.
+// Real wall-clock throughput of the simulator itself, measured over a
+// multi-workload suite with traverser bulking on (default) and off. Unlike
+// the figure benches this measures host time, not virtual time: data-layout
+// and allocation work on the hot path shows up here and nowhere else,
+// because the DES cost model pins virtual time regardless of how fast the
+// host executes.
 //
-// Flags: --scale S (default 0.25), --trials N (default 3)
+// Workloads:
+//   topk      — the paper's k-hop top-10 mix (lj-sim, k = 2/3/4)
+//   pathcount — non-dedup path counting (fs-sim, k = 2/3): bulking carries
+//               multiplicity, so this is the merge-heavy hot path
+//   ldbc-ic   — LDBC SNB interactive complex mix: sequential runs plus one
+//               concurrent batch (multi-query memo + scheduler pressure)
+//
+// Each workload also records determinism fingerprints: the virtual-time
+// makespan, an order-sensitive FNV over all result rows, and a hash of the
+// merged MetricsSnapshot::ToString(). Refactors of the execute/serde path
+// must leave every fingerprint byte-identical (bulking on AND off) while
+// moving only wall_ms / tasks_per_sec. The binary exits non-zero if the
+// bulking-on and bulking-off row fingerprints of any workload disagree.
+//
+// Writes BENCH_wallclock.json (fixed-point doubles, per-workload entries;
+// top-level legacy keys mirror the topk workload for trajectory diffing).
+//
+// Flags: --scale S (default 0.25), --trials N (default 3),
+//        --persons P (default 800), --concurrent C (default 12)
 
 #include <chrono>
 #include <fstream>
+#include <iomanip>
 
 #include "bench/bench_common.h"
+#include "common/hash.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_queries.h"
 
 using namespace graphdance;
 using namespace graphdance::bench;
 
 namespace {
 
-struct WallResult {
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+uint64_t HashRows(uint64_t h, const std::vector<Row>& rows) {
+  h = HashCombine(h, rows.size());
+  for (const Row& row : rows) {
+    h = HashCombine(h, row.size());
+    for (const Value& v : row) h = HashCombine(h, v.Hash());
+  }
+  return h;
+}
+
+struct WorkloadResult {
   double wall_ms = 0.0;
   uint64_t tasks = 0;
   double tasks_per_sec = 0.0;
+  uint64_t makespan_ns = 0;  // summed virtual latencies (+ batch quiescence)
+  uint64_t rows_fnv = kFnvSeed;
+  uint64_t metrics_fnv = 0;
+  obs::MetricsSnapshot snap;
+
+  void Finish(std::chrono::steady_clock::time_point t0) {
+    auto t1 = std::chrono::steady_clock::now();
+    wall_ms = std::chrono::duration_cast<
+                  std::chrono::duration<double, std::milli>>(t1 - t0)
+                  .count();
+    tasks = snap.tasks_executed;
+    tasks_per_sec =
+        wall_ms <= 0.0 ? 0.0 : static_cast<double>(tasks) / (wall_ms / 1000.0);
+    std::string s = snap.ToString();
+    metrics_fnv = HashBytes(s.data(), s.size());
+  }
 };
 
-WallResult RunWorkload(bool bulking, double scale, int trials) {
+// --- topk: the original fixed mixed k-hop workload (kept call-for-call so
+// the tasks/s trajectory stays comparable with older BENCH_wallclock.json).
+WorkloadResult RunTopk(bool bulking, double scale, int trials) {
   ClusterConfig cfg;
   cfg.num_nodes = 8;
   cfg.workers_per_node = 2;
   cfg.traverser_bulking = bulking;
   BenchGraph bg = MakeBenchGraph("lj-sim", scale, cfg.num_partitions());
 
-  WallResult r;
+  WorkloadResult r;
   auto t0 = std::chrono::steady_clock::now();
   for (int k : {2, 3, 4}) {
-    obs::MetricsSnapshot snap;
-    AvgKHopLatency(cfg, bg.graph, bg.weight, k, trials, 31, nullptr, &snap);
-    r.tasks += snap.tasks_executed;
+    Rng rng(31);
+    for (int t = 0; t < trials; ++t) {
+      VertexId start = PickActiveStart(bg.graph, &rng);
+      SimCluster cluster(cfg, bg.graph);
+      auto res = cluster.Run(KHopPlan(bg.graph, bg.weight, start, k));
+      if (!res.ok()) continue;
+      r.makespan_ns += res.value().LatencyNanos();
+      r.rows_fnv = HashRows(r.rows_fnv, res.value().rows);
+      r.snap.Merge(cluster.MetricsSnapshot());
+    }
   }
-  auto t1 = std::chrono::steady_clock::now();
-  r.wall_ms =
-      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
-          .count();
-  r.tasks_per_sec = r.wall_ms <= 0.0
-                        ? 0.0
-                        : static_cast<double>(r.tasks) / (r.wall_ms / 1000.0);
+  r.Finish(t0);
   return r;
+}
+
+// --- pathcount: non-dedup k-step walk counting, the bulking-heavy path.
+std::shared_ptr<const Plan> PathCountPlan(
+    const std::shared_ptr<PartitionedGraph>& graph, VertexId start, int k) {
+  return Traversal(graph)
+      .V({start})
+      .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/false)
+      .Count()
+      .Build()
+      .TakeValue();
+}
+
+WorkloadResult RunPathCount(bool bulking, double scale, int trials) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.workers_per_node = 2;
+  cfg.traverser_bulking = bulking;
+  // Quarter scale: without bulking the non-dedup walk count explodes
+  // multiplicatively with graph size; this keeps the off-mode run in
+  // seconds while still exercising the merge-heavy path.
+  BenchGraph bg = MakeBenchGraph("fs-sim", scale * 0.25, cfg.num_partitions());
+
+  WorkloadResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int k : {2, 3}) {
+    Rng rng(47);
+    for (int t = 0; t < trials; ++t) {
+      VertexId start = PickActiveStart(bg.graph, &rng);
+      SimCluster cluster(cfg, bg.graph);
+      auto res = cluster.Run(PathCountPlan(bg.graph, start, k));
+      if (!res.ok()) continue;
+      r.makespan_ns += res.value().LatencyNanos();
+      r.rows_fnv = HashRows(r.rows_fnv, res.value().rows);
+      r.snap.Merge(cluster.MetricsSnapshot());
+    }
+  }
+  r.Finish(t0);
+  return r;
+}
+
+// --- ldbc-ic: interactive complex mix. Sequential latency runs over a mix
+// of IC numbers, then one concurrent batch so the multi-query execute path
+// (shared memo table, interleaved scheduling) is exercised too.
+WorkloadResult RunLdbcIc(bool bulking, const SnbDataset& data, int concurrent) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.workers_per_node = 2;
+  cfg.traverser_bulking = bulking;
+
+  const int kMix[] = {1, 2, 3, 5, 6, 9};
+  WorkloadResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int number : kMix) {
+    SnbParamGen gen(data, 100 + number);
+    SnbParams p = gen.Next();
+    auto plan = BuildInteractiveComplex(number, data, p);
+    if (!plan.ok()) continue;
+    SimCluster cluster(cfg, data.graph);
+    auto res = cluster.Run(plan.TakeValue());
+    if (!res.ok()) continue;
+    r.makespan_ns += res.value().LatencyNanos();
+    r.rows_fnv = HashRows(r.rows_fnv, res.value().rows);
+    r.snap.Merge(cluster.MetricsSnapshot());
+  }
+
+  SimCluster cluster(cfg, data.graph);
+  SnbParamGen gen(data, 500);
+  std::vector<uint64_t> qids;
+  for (int i = 0; i < concurrent; ++i) {
+    SnbParams p = gen.Next();
+    auto plan = BuildInteractiveComplex(kMix[i % 6], data, p);
+    if (!plan.ok()) continue;
+    qids.push_back(cluster.Submit(plan.TakeValue(), 0));
+  }
+  if (cluster.RunToCompletion().ok()) {
+    r.makespan_ns += cluster.quiescent_time();
+    for (uint64_t q : qids) r.rows_fnv = HashRows(r.rows_fnv, cluster.result(q).rows);
+    r.snap.Merge(cluster.MetricsSnapshot());
+  }
+  r.Finish(t0);
+  return r;
+}
+
+struct Suite {
+  const char* name;
+  WorkloadResult on;
+  WorkloadResult off;
+};
+
+void PrintSuite(const Suite& s) {
+  std::printf("%-9s %-11s | %10.1f %12lu %14.0f | makespan %14lu ns  rows %016lx\n",
+              s.name, "bulking on", s.on.wall_ms, (unsigned long)s.on.tasks,
+              s.on.tasks_per_sec, (unsigned long)s.on.makespan_ns,
+              (unsigned long)s.on.rows_fnv);
+  std::printf("%-9s %-11s | %10.1f %12lu %14.0f | makespan %14lu ns  rows %016lx\n",
+              s.name, "bulking off", s.off.wall_ms, (unsigned long)s.off.tasks,
+              s.off.tasks_per_sec, (unsigned long)s.off.makespan_ns,
+              (unsigned long)s.off.rows_fnv);
+}
+
+void JsonWorkload(std::ofstream& json, const Suite& s, bool last) {
+  json << "    {\n"
+       << "      \"name\": \"" << s.name << "\",\n"
+       << "      \"wall_ms\": " << s.on.wall_ms << ",\n"
+       << "      \"tasks\": " << s.on.tasks << ",\n"
+       << "      \"tasks_per_sec\": " << s.on.tasks_per_sec << ",\n"
+       << "      \"makespan_ns\": " << s.on.makespan_ns << ",\n"
+       << "      \"rows_fnv\": \"" << std::hex << s.on.rows_fnv << std::dec << "\",\n"
+       << "      \"metrics_fnv\": \"" << std::hex << s.on.metrics_fnv << std::dec
+       << "\",\n"
+       << "      \"wall_ms_bulking_off\": " << s.off.wall_ms << ",\n"
+       << "      \"tasks_bulking_off\": " << s.off.tasks << ",\n"
+       << "      \"tasks_per_sec_bulking_off\": " << s.off.tasks_per_sec << ",\n"
+       << "      \"makespan_ns_bulking_off\": " << s.off.makespan_ns << ",\n"
+       << "      \"rows_fnv_bulking_off\": \"" << std::hex << s.off.rows_fnv
+       << std::dec << "\",\n"
+       << "      \"metrics_fnv_bulking_off\": \"" << std::hex << s.off.metrics_fnv
+       << std::dec << "\"\n"
+       << "    }" << (last ? "\n" : ",\n");
 }
 
 }  // namespace
@@ -52,36 +225,57 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarn);
   double scale = ArgDouble(argc, argv, "--scale", 0.25);
   int trials = static_cast<int>(ArgDouble(argc, argv, "--trials", 3));
-  PrintHeader("Wall-clock: simulator throughput, bulking on vs off");
+  uint64_t persons =
+      static_cast<uint64_t>(ArgDouble(argc, argv, "--persons", 800));
+  int concurrent = static_cast<int>(ArgDouble(argc, argv, "--concurrent", 12));
+  PrintHeader("Wall-clock: simulator throughput, multi-workload suite");
 
   // Warm-up pass so graph generation / allocator state doesn't skew the
   // first timed run.
-  RunWorkload(true, scale * 0.25, 1);
+  RunTopk(true, scale * 0.25, 1);
 
-  WallResult on = RunWorkload(true, scale, trials);
-  WallResult off = RunWorkload(false, scale, trials);
+  std::vector<Suite> suites;
+  suites.push_back({"topk", RunTopk(true, scale, trials),
+                    RunTopk(false, scale, trials)});
+  suites.push_back({"pathcount", RunPathCount(true, scale, trials),
+                    RunPathCount(false, scale, trials)});
+  {
+    auto data = GenerateSnb(SnbConfig::Tiny(persons), 16).TakeValue();
+    suites.push_back({"ldbc-ic", RunLdbcIc(true, *data, concurrent),
+                      RunLdbcIc(false, *data, concurrent)});
+  }
 
-  std::printf("%-12s | %10s %12s %14s\n", "mode", "wall ms", "tasks",
-              "tasks/sec");
-  std::printf("%-12s | %10.1f %12lu %14.0f\n", "bulking on", on.wall_ms,
-              (unsigned long)on.tasks, on.tasks_per_sec);
-  std::printf("%-12s | %10.1f %12lu %14.0f\n", "bulking off", off.wall_ms,
-              (unsigned long)off.tasks, off.tasks_per_sec);
-  std::printf("\nwall-clock ratio on/off: %.2f (<= 1.0 means bulking is free "
-              "or faster in host time)\n",
-              off.wall_ms <= 0.0 ? 0.0 : on.wall_ms / off.wall_ms);
+  std::printf("%-9s %-11s | %10s %12s %14s |\n", "workload", "mode", "wall ms",
+              "tasks", "tasks/sec");
+  bool rows_equal = true;
+  for (const Suite& s : suites) {
+    PrintSuite(s);
+    if (s.on.rows_fnv != s.off.rows_fnv) {
+      std::printf("FAIL: %s rows differ between bulking on and off\n", s.name);
+      rows_equal = false;
+    }
+  }
 
-  // Primary keys report the default configuration (bulking on); *_off keys
-  // carry the ablation baseline for regression tracking.
+  // Fixed-point with explicit precision: the JSON is a diffable perf
+  // trajectory, and default ostream precision turns big tasks/s values into
+  // lossy scientific notation ("1.6543e+06").
   std::ofstream json("BENCH_wallclock.json");
+  json << std::fixed << std::setprecision(3);
+  const Suite& topk = suites[0];
   json << "{\n"
-       << "  \"wall_ms\": " << on.wall_ms << ",\n"
-       << "  \"tasks_per_sec\": " << on.tasks_per_sec << ",\n"
-       << "  \"tasks\": " << on.tasks << ",\n"
-       << "  \"wall_ms_bulking_off\": " << off.wall_ms << ",\n"
-       << "  \"tasks_per_sec_bulking_off\": " << off.tasks_per_sec << ",\n"
-       << "  \"tasks_bulking_off\": " << off.tasks << "\n"
-       << "}\n";
+       << "  \"wall_ms\": " << topk.on.wall_ms << ",\n"
+       << "  \"tasks_per_sec\": " << topk.on.tasks_per_sec << ",\n"
+       << "  \"tasks\": " << topk.on.tasks << ",\n"
+       << "  \"wall_ms_bulking_off\": " << topk.off.wall_ms << ",\n"
+       << "  \"tasks_per_sec_bulking_off\": " << topk.off.tasks_per_sec << ",\n"
+       << "  \"tasks_bulking_off\": " << topk.off.tasks << ",\n"
+       << "  \"workloads\": [\n";
+  for (size_t i = 0; i < suites.size(); ++i) {
+    JsonWorkload(json, suites[i], i + 1 == suites.size());
+  }
+  json << "  ]\n}\n";
   std::printf("wrote BENCH_wallclock.json\n");
+
+  if (!rows_equal) return 1;
   return 0;
 }
