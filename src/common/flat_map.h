@@ -1,0 +1,280 @@
+#ifndef GRAPHDANCE_COMMON_FLAT_MAP_H_
+#define GRAPHDANCE_COMMON_FLAT_MAP_H_
+
+// Open-addressing hash containers for the execute hot path. The per-worker
+// lookup structures (memo tables, bulking merge indices, receive-queue
+// indices, distance/dedup memos) are hit once or more per traverser;
+// std::unordered_map costs a heap-allocated node per entry and a pointer
+// chase per probe. FlatMap keeps entries in one contiguous slot array with
+// linear probing, so the common hit is a single cache line.
+//
+// Determinism note (DESIGN.md §13): iteration order of ForEach/EraseIf is
+// the slot order, which depends on insertion history — exactly as
+// unordered_map's order was unspecified. Callers on the result/schedule
+// path must therefore sort before iterating (the pre-existing rule; the
+// checker's determinism suite enforces it).
+//
+// Not provided on purpose: iterators (use ForEach), reference stability
+// across mutation (entries move on rehash and erase — take copies, not
+// pointers, across mutating calls), and node handles.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace graphdance {
+
+/// Default hasher. Integral keys are finalized through Mix64: the hot keys
+/// are structured packs like (query_id << 32) | step_id, and linear probing
+/// degenerates into long runs without full avalanche. Other key types must
+/// supply their own hasher (e.g. ValueHash).
+template <typename K, typename Enable = void>
+struct FlatHash;
+
+template <typename K>
+struct FlatHash<K, std::enable_if_t<std::is_integral_v<K>>> {
+  uint64_t operator()(K k) const { return Mix64(static_cast<uint64_t>(k)); }
+};
+
+/// Open-addressing hash map: linear probing, power-of-two capacity, max load
+/// factor 3/4, backward-shift deletion (no tombstones). Requirements:
+/// K and V default-constructible and move-assignable.
+template <typename K, typename V, typename Hash = FlatHash<K>,
+          typename Eq = std::equal_to<K>>
+class FlatMap {
+ public:
+  using Entry = std::pair<K, V>;
+
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops all entries but keeps the slot array (the per-flush merge-index
+  /// reset must not re-grow from scratch every batch).
+  void Clear() {
+    if (size_ == 0) return;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i]) {
+        slots_[i] = Entry{};
+        ctrl_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    size_t want = kMinCapacity;
+    while (want * 3 < n * 4) want <<= 1;
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  V* Find(const K& k) {
+    if (size_ == 0) return nullptr;
+    size_t i = ProbeStart(k);
+    const size_t mask = slots_.size() - 1;
+    while (ctrl_[i]) {
+      if (eq_(slots_[i].first, k)) return &slots_[i].second;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* Find(const K& k) const {
+    return const_cast<FlatMap*>(this)->Find(k);
+  }
+
+  bool Contains(const K& k) const { return Find(k) != nullptr; }
+
+  /// Inserts {k, V(args...)} if absent. Returns {slot, inserted}. The slot
+  /// pointer is invalidated by any later mutation.
+  template <typename... Args>
+  std::pair<V*, bool> TryEmplace(const K& k, Args&&... args) {
+    GrowIfNeeded();
+    size_t i = ProbeStart(k);
+    const size_t mask = slots_.size() - 1;
+    while (ctrl_[i]) {
+      if (eq_(slots_[i].first, k)) return {&slots_[i].second, false};
+      i = (i + 1) & mask;
+    }
+    ctrl_[i] = 1;
+    slots_[i].first = k;
+    slots_[i].second = V(std::forward<Args>(args)...);
+    ++size_;
+    return {&slots_[i].second, true};
+  }
+
+  V& operator[](const K& k) { return *TryEmplace(k).first; }
+
+  /// Backward-shift deletion: restores the linear-probing invariant without
+  /// tombstones, so load factor (and probe length) never rots.
+  bool Erase(const K& k) {
+    if (size_ == 0) return false;
+    const size_t mask = slots_.size() - 1;
+    size_t i = ProbeStart(k);
+    while (ctrl_[i]) {
+      if (eq_(slots_[i].first, k)) {
+        EraseSlot(i);
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  /// Erases every entry matching `pred(key, value)`; returns the count.
+  /// Implemented as mark + in-place rehash (safe under arbitrary erase
+  /// patterns, unlike shifting while iterating).
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i] &&
+          pred(const_cast<const K&>(slots_[i].first), slots_[i].second)) {
+        slots_[i] = Entry{};
+        ctrl_[i] = 0;
+        ++erased;
+      }
+    }
+    if (erased > 0) {
+      size_ -= erased;
+      RehashInPlace();
+    }
+    return erased;
+  }
+
+  /// Visits every entry in slot order (unspecified order — sort first if the
+  /// result feeds the schedule or rows). Must not mutate the map.
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i]) fn(const_cast<const K&>(slots_[i].first), slots_[i].second);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i]) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t ProbeStart(const K& k) const {
+    return hash_(k) & (slots_.size() - 1);
+  }
+
+  void GrowIfNeeded() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Entry> old_slots;
+    std::vector<uint8_t> old_ctrl;
+    old_slots.swap(slots_);
+    old_ctrl.swap(ctrl_);
+    slots_.resize(new_cap);
+    ctrl_.assign(new_cap, 0);
+    const size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_ctrl[i]) continue;
+      size_t j = hash_(old_slots[i].first) & mask;
+      while (ctrl_[j]) j = (j + 1) & mask;
+      ctrl_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  /// Re-seats every surviving entry after a bulk erase. Marks entries
+  /// "pending" (ctrl 2) and re-probes each; displaced pending entries are
+  /// swapped into the cursor and re-probed in turn.
+  void RehashInPlace() {
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i]) ctrl_[i] = 2;
+    }
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      while (ctrl_[i] == 2) {
+        Entry e = std::move(slots_[i]);
+        slots_[i] = Entry{};
+        ctrl_[i] = 0;
+        for (;;) {
+          size_t j = hash_(e.first) & mask;
+          while (ctrl_[j] == 1) j = (j + 1) & mask;
+          if (ctrl_[j] == 2) {
+            std::swap(e, slots_[j]);
+            ctrl_[j] = 1;
+            continue;  // re-probe the displaced pending entry
+          }
+          ctrl_[j] = 1;
+          slots_[j] = std::move(e);
+          break;
+        }
+      }
+    }
+  }
+
+  void EraseSlot(size_t i) {
+    const size_t mask = slots_.size() - 1;
+    size_t hole = i;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!ctrl_[j]) break;
+      size_t ideal = hash_(slots_[j].first) & mask;
+      // Entry at j may fill the hole iff the hole lies within j's probe
+      // window [ideal, j] (cyclically) — Knuth's linear-probing deletion.
+      if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole] = Entry{};
+    ctrl_[hole] = 0;
+    --size_;
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<uint8_t> ctrl_;  // 0 empty, 1 full, 2 rehash-pending
+  size_t size_ = 0;
+  Hash hash_;
+  Eq eq_;
+};
+
+/// Open-addressing hash set over FlatMap's probe machinery.
+template <typename K, typename Hash = FlatHash<K>, typename Eq = std::equal_to<K>>
+class FlatSet {
+ public:
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.Clear(); }
+  void Reserve(size_t n) { map_.Reserve(n); }
+
+  /// Returns true when `k` was newly inserted.
+  bool Insert(const K& k) { return map_.TryEmplace(k).second; }
+  bool Contains(const K& k) const { return map_.Contains(k); }
+  bool Erase(const K& k) { return map_.Erase(k); }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    map_.ForEach([&fn](const K& k, const Empty&) { fn(k); });
+  }
+
+ private:
+  struct Empty {};
+  FlatMap<K, Empty, Hash, Eq> map_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_FLAT_MAP_H_

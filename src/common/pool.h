@@ -1,0 +1,96 @@
+#ifndef GRAPHDANCE_COMMON_POOL_H_
+#define GRAPHDANCE_COMMON_POOL_H_
+
+// Free-list object recycling for the execute/serde hot path. A remote
+// traverser hop churns several heap blocks (serialization buffer, message
+// payload, frame vector, the traverser's own path/vars storage); each dies
+// microseconds after it is born. These pools keep the dead bodies and hand
+// them back with their capacity intact, so steady-state execution allocates
+// nothing.
+//
+// Ownership protocol: Acquire() MOVES an object out of the pool — the pool
+// never retains a reference to a live object, so a recycled object can never
+// alias one still in use (the property test in container_test.cc checks
+// this under ASan). Release() moves the object back; the caller must treat
+// it as gone. Contents are not cleared on Release — Acquire() clears
+// vectors before handing them out, and opaque objects (ObjectPool) are the
+// caller's job to re-initialize.
+//
+// All pools are single-threaded (the DES cluster is single-threaded by
+// design) and bounded: releases beyond `max_pooled` — or of buffers that
+// grew past `max_retained` elements — simply free, so one pathological
+// query cannot pin memory for the rest of the run.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace graphdance {
+
+/// Recycles std::vector<T> instances, preserving their capacity.
+template <typename T>
+class VectorPool {
+ public:
+  explicit VectorPool(size_t max_pooled = 256, size_t max_retained = 1 << 16)
+      : max_pooled_(max_pooled), max_retained_(max_retained) {}
+
+  /// Returns an empty vector, reusing pooled capacity when available.
+  std::vector<T> Acquire() {
+    if (free_.empty()) return {};
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  /// Takes ownership of a dead vector. Oversized or surplus vectors free.
+  void Release(std::vector<T>&& v) {
+    if (v.capacity() == 0 || v.capacity() > max_retained_ ||
+        free_.size() >= max_pooled_) {
+      return;  // v's destructor frees it
+    }
+    free_.push_back(std::move(v));
+  }
+
+  size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<std::vector<T>> free_;
+  size_t max_pooled_;
+  size_t max_retained_;
+};
+
+/// Payload/serialization buffers.
+using BufferPool = VectorPool<uint8_t>;
+
+/// Recycles whole objects (e.g. Traverser: its path vector and spilled vars
+/// keep their heap capacity across reuse). The caller re-initializes every
+/// field after Acquire(); the pool only preserves storage.
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(size_t max_pooled = 256) : max_pooled_(max_pooled) {}
+
+  T Acquire() {
+    if (free_.empty()) return T{};
+    T obj = std::move(free_.back());
+    free_.pop_back();
+    return obj;
+  }
+
+  void Release(T&& obj) {
+    if (free_.size() >= max_pooled_) return;
+    free_.push_back(std::move(obj));
+  }
+
+  size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<T> free_;
+  size_t max_pooled_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_COMMON_POOL_H_

@@ -15,12 +15,25 @@ namespace graphdance {
 /// A vector with inline storage for the first N elements; spills to the heap
 /// beyond that. Traverser local-variable lists are almost always tiny, so
 /// this avoids a heap allocation per traverser on the hot path.
+///
+/// Iterator-invalidation contract (begin()/end()/data() are raw pointers):
+///  - push_back/emplace_back/resize/reserve invalidate ALL iterators when
+///    they grow past capacity(); while capacity suffices, only end() moves.
+///  - pop_back/clear keep storage, so data() stays valid but iterators at or
+///    past the new end() dangle.
+///  - Moving FROM a spilled (heap-backed) vector transfers the heap block:
+///    iterators into it stay valid but now belong to the destination. Moving
+///    from an inline vector moves element-by-element and leaves the source
+///    empty; its iterators are invalidated.
+///  - Self-move-assignment is a no-op; copy/move-assignment invalidate all
+///    destination iterators.
 template <typename T, size_t N>
 class SmallVector {
  public:
   SmallVector() = default;
 
   SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
     for (const T& v : init) push_back(v);
   }
 
@@ -101,7 +114,13 @@ class SmallVector {
   const T* end() const { return data() + size_; }
 
   size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
   bool empty() const { return size_ == 0; }
+
+  /// Grows capacity to at least `n` in one reallocation (never shrinks).
+  void reserve(size_t n) {
+    if (n > capacity_) GrowTo(n);
+  }
 
   bool operator==(const SmallVector& other) const {
     if (size_ != other.size_) return false;
@@ -109,9 +128,10 @@ class SmallVector {
   }
 
  private:
-  void Grow() {
-    size_t new_cap = capacity_ * 2;
-    T* new_heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+  void Grow() { GrowTo(capacity_ * 2); }
+
+  void GrowTo(size_t new_cap) {
+    T* new_heap = static_cast<T*>(Allocate(new_cap));
     for (size_t i = 0; i < size_; ++i) {
       ::new (static_cast<void*>(new_heap + i)) T(std::move(data()[i]));
       data()[i].~T();
@@ -121,15 +141,28 @@ class SmallVector {
     capacity_ = new_cap;
   }
 
+  static void* Allocate(size_t cap) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return ::operator new(cap * sizeof(T), std::align_val_t(alignof(T)));
+    } else {
+      return ::operator new(cap * sizeof(T));
+    }
+  }
+
   void ReleaseHeap() {
     if (heap_) {
-      ::operator delete(heap_);
+      if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+        ::operator delete(heap_, std::align_val_t(alignof(T)));
+      } else {
+        ::operator delete(heap_);
+      }
       heap_ = nullptr;
       capacity_ = N;
     }
   }
 
   void CopyFrom(const SmallVector& other) {
+    reserve(other.size_);
     for (const T& v : other) push_back(v);
   }
 

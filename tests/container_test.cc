@@ -1,0 +1,340 @@
+// Property tests for the hot-path containers: FlatMap/FlatSet vs the
+// std::unordered_map/set reference model under random operation streams
+// (insert/erase/rehash/bulk-erase), pool recycle-reuse never aliasing a live
+// object, and SmallVector copy/move/grow/initializer-list behavior. The
+// whole file runs under the ASan tier too (tools/verify.sh asan), which is
+// what makes "never aliases" and the move-out contracts trustworthy.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flat_map.h"
+#include "common/pool.h"
+#include "common/random.h"
+#include "common/small_vector.h"
+#include "common/value.h"
+
+namespace graphdance {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlatMap vs unordered_map: random op stream equivalence.
+
+TEST(FlatMapTest, RandomOpsMatchUnorderedMap) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    Rng rng(seed);
+    FlatMap<uint64_t, uint64_t> flat;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    // Small key space forces collisions, repeats, and erase-of-present.
+    const uint64_t key_space = 1 + rng.Below(200);
+    for (int op = 0; op < 20000; ++op) {
+      uint64_t k = rng.Below(key_space);
+      switch (rng.Below(4)) {
+        case 0:
+        case 1: {  // insert-or-keep
+          uint64_t v = rng.Next();
+          auto [slot, inserted] = flat.TryEmplace(k, v);
+          auto [it, ref_inserted] = ref.try_emplace(k, v);
+          ASSERT_EQ(inserted, ref_inserted);
+          ASSERT_EQ(*slot, it->second);
+          break;
+        }
+        case 2: {  // overwrite via operator[]
+          uint64_t v = rng.Next();
+          flat[k] = v;
+          ref[k] = v;
+          break;
+        }
+        case 3: {  // erase
+          ASSERT_EQ(flat.Erase(k), ref.erase(k) > 0);
+          break;
+        }
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Full-content equivalence, both directions.
+    ASSERT_EQ(flat.size(), ref.size());
+    size_t visited = 0;
+    flat.ForEach([&](const uint64_t& k, const uint64_t& v) {
+      auto it = ref.find(k);
+      ASSERT_NE(it, ref.end());
+      ASSERT_EQ(it->second, v);
+      ++visited;
+    });
+    ASSERT_EQ(visited, ref.size());
+    for (const auto& [k, v] : ref) {
+      const uint64_t* found = flat.Find(k);
+      ASSERT_NE(found, nullptr);
+      ASSERT_EQ(*found, v);
+    }
+  }
+}
+
+TEST(FlatMapTest, EraseIfMatchesReference) {
+  Rng rng(99);
+  FlatMap<uint64_t, uint64_t> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      uint64_t k = rng.Below(500);
+      uint64_t v = rng.Next();
+      flat[k] = v;
+      ref[k] = v;
+    }
+    uint64_t modulus = 2 + rng.Below(5);
+    uint64_t target = rng.Below(modulus);
+    size_t flat_erased =
+        flat.EraseIf([&](const uint64_t& k, uint64_t&) { return k % modulus == target; });
+    size_t ref_erased = std::erase_if(
+        ref, [&](const auto& kv) { return kv.first % modulus == target; });
+    ASSERT_EQ(flat_erased, ref_erased);
+    ASSERT_EQ(flat.size(), ref.size());
+    // Post-erase probe invariant: every survivor is still findable.
+    for (const auto& [k, v] : ref) {
+      const uint64_t* found = flat.Find(k);
+      ASSERT_NE(found, nullptr);
+      ASSERT_EQ(*found, v);
+    }
+  }
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndEmpties) {
+  FlatMap<uint64_t, uint64_t> flat;
+  for (uint64_t i = 0; i < 1000; ++i) flat.TryEmplace(i, i * 3);
+  flat.Clear();
+  ASSERT_EQ(flat.size(), 0u);
+  ASSERT_TRUE(flat.empty());
+  for (uint64_t i = 0; i < 1000; ++i) ASSERT_EQ(flat.Find(i), nullptr);
+  // Reusable after Clear.
+  flat.TryEmplace(7, 11);
+  ASSERT_EQ(*flat.Find(7), 11u);
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  FlatMap<uint64_t, std::unique_ptr<int>> flat;
+  for (uint64_t i = 0; i < 300; ++i) {
+    flat.TryEmplace(i, std::make_unique<int>(static_cast<int>(i)));
+  }
+  for (uint64_t i = 0; i < 300; i += 2) ASSERT_TRUE(flat.Erase(i));
+  for (uint64_t i = 0; i < 300; ++i) {
+    auto* p = flat.Find(i);
+    if (i % 2 == 0) {
+      ASSERT_EQ(p, nullptr);
+    } else {
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(**p, static_cast<int>(i));
+    }
+  }
+  flat.EraseIf([](const uint64_t&, std::unique_ptr<int>&) { return true; });
+  ASSERT_TRUE(flat.empty());
+}
+
+TEST(FlatMapTest, ValueKeysWithValueHash) {
+  // DedupMemo's key type: the Value variant hashed through ValueHash.
+  FlatSet<Value, ValueHash> flat;
+  std::unordered_set<Value, ValueHash> ref;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    Value v;
+    switch (rng.Below(3)) {
+      case 0: v = Value(static_cast<int64_t>(rng.Below(300))); break;
+      case 1: v = Value(std::string("k") + std::to_string(rng.Below(300))); break;
+      case 2: v = Value(rng.Below(2) == 0); break;
+    }
+    ASSERT_EQ(flat.Insert(v), ref.insert(v).second);
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const Value& v : ref) ASSERT_TRUE(flat.Contains(v));
+}
+
+TEST(FlatSetTest, RandomOpsMatchUnorderedSet) {
+  Rng rng(2026);
+  FlatSet<uint64_t> flat;
+  std::unordered_set<uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t k = rng.Below(300);
+    if (rng.Below(3) == 0) {
+      ASSERT_EQ(flat.Erase(k), ref.erase(k) > 0);
+    } else {
+      ASSERT_EQ(flat.Insert(k), ref.insert(k).second);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  size_t visited = 0;
+  flat.ForEach([&](const uint64_t& k) {
+    ASSERT_TRUE(ref.count(k));
+    ++visited;
+  });
+  ASSERT_EQ(visited, ref.size());
+}
+
+// ---------------------------------------------------------------------------
+// Pools: a recycled object must never alias a live one.
+
+TEST(PoolTest, RecycledBuffersNeverAliasLive) {
+  BufferPool pool(64);
+  Rng rng(5);
+  std::vector<std::vector<uint8_t>> live;
+  std::set<const uint8_t*> live_data;
+  for (int op = 0; op < 5000; ++op) {
+    if (live.empty() || rng.Below(2) == 0) {
+      std::vector<uint8_t> buf = pool.Acquire();
+      ASSERT_TRUE(buf.empty());  // pool hands out cleared buffers
+      buf.resize(1 + rng.Below(256), static_cast<uint8_t>(op));
+      // The new buffer's storage must not alias any live buffer's storage.
+      ASSERT_EQ(live_data.count(buf.data()), 0u)
+          << "pool returned storage still owned by a live buffer";
+      live_data.insert(buf.data());
+      live.push_back(std::move(buf));
+    } else {
+      size_t i = rng.Below(live.size());
+      live_data.erase(live[i].data());
+      pool.Release(std::move(live[i]));
+      live.erase(live.begin() + i);
+    }
+  }
+}
+
+TEST(PoolTest, ReleaseBoundsRetention) {
+  BufferPool pool(/*max_pooled=*/2, /*max_retained=*/64);
+  std::vector<uint8_t> small(16), small2(16), small3(16), big(1024);
+  pool.Release(std::move(small));
+  pool.Release(std::move(small2));
+  ASSERT_EQ(pool.pooled(), 2u);
+  pool.Release(std::move(small3));  // over max_pooled: freed
+  ASSERT_EQ(pool.pooled(), 2u);
+  BufferPool pool2(8, 64);
+  pool2.Release(std::move(big));  // over max_retained: freed
+  ASSERT_EQ(pool2.pooled(), 0u);
+}
+
+TEST(PoolTest, ObjectPoolRecyclesCapacity) {
+  struct Trav {
+    std::vector<uint64_t> path;
+  };
+  ObjectPool<Trav> pool;
+  Trav t = pool.Acquire();
+  t.path.assign(100, 7);
+  const uint64_t* storage = t.path.data();
+  pool.Release(std::move(t));
+  Trav t2 = pool.Acquire();
+  // Same storage came back (recycled, not reallocated)...
+  ASSERT_EQ(t2.path.data(), storage);
+  // ...and a second Acquire cannot hand the same storage out again.
+  Trav t3 = pool.Acquire();
+  ASSERT_NE(t3.path.data(), storage);
+}
+
+// ---------------------------------------------------------------------------
+// SmallVector: copy/move/grow/initializer-list properties.
+
+TEST(SmallVectorTest, InitializerListSizesOnce) {
+  SmallVector<int, 4> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ASSERT_EQ(v.size(), 9u);
+  ASSERT_EQ(v.capacity(), 9u);  // pre-sized: one allocation, not doublings
+  for (int i = 0; i < 9; ++i) ASSERT_EQ(v[i], i + 1);
+  SmallVector<int, 4> inline_v{1, 2, 3};
+  ASSERT_EQ(inline_v.size(), 3u);
+  ASSERT_EQ(inline_v.capacity(), 4u);  // fits inline: no heap
+}
+
+TEST(SmallVectorTest, RandomOpsMatchVector) {
+  Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    SmallVector<std::string, 2> sv;
+    std::vector<std::string> ref;
+    for (int op = 0; op < 64; ++op) {
+      switch (rng.Below(4)) {
+        case 0:
+        case 1: {
+          std::string s(1 + rng.Below(20), 'a' + static_cast<char>(rng.Below(26)));
+          sv.push_back(s);
+          ref.push_back(s);
+          break;
+        }
+        case 2:
+          if (!ref.empty()) {
+            sv.pop_back();
+            ref.pop_back();
+          }
+          break;
+        case 3: {
+          size_t n = rng.Below(8);
+          sv.resize(n);
+          ref.resize(n);
+          break;
+        }
+      }
+      ASSERT_EQ(sv.size(), ref.size());
+    }
+    ASSERT_TRUE(std::equal(sv.begin(), sv.end(), ref.begin(), ref.end()));
+
+    // Copy preserves content and is independent of the source.
+    SmallVector<std::string, 2> copy(sv);
+    ASSERT_TRUE(copy == sv);
+    copy.push_back("sentinel");
+    ASSERT_EQ(copy.size(), sv.size() + 1);
+
+    // Move leaves content in the destination; source is reusable.
+    SmallVector<std::string, 2> moved(std::move(copy));
+    ASSERT_EQ(moved.size(), sv.size() + 1);
+    ASSERT_EQ(moved.back(), "sentinel");
+
+    // Move-assignment over existing content.
+    SmallVector<std::string, 2> target{std::string("x"), std::string("y"),
+                                       std::string("z")};
+    target = std::move(moved);
+    ASSERT_EQ(target.size(), sv.size() + 1);
+    ASSERT_EQ(target.back(), "sentinel");
+
+    // Copy-assignment.
+    SmallVector<std::string, 2> copy2;
+    copy2 = sv;
+    ASSERT_TRUE(copy2 == sv);
+  }
+}
+
+TEST(SmallVectorTest, SelfMoveAssignIsNoOp) {
+  SmallVector<std::string, 2> v{std::string("a"), std::string("b"),
+                                std::string("c")};
+  SmallVector<std::string, 2>& alias = v;
+  v = std::move(alias);
+  ASSERT_EQ(v.size(), 3u);
+  ASSERT_EQ(v[0], "a");
+  ASSERT_EQ(v[2], "c");
+}
+
+TEST(SmallVectorTest, ReserveGrowsOnceAndKeepsContent) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.reserve(100);
+  ASSERT_EQ(v.capacity(), 100u);
+  int* data = v.data();
+  for (int i = 3; i <= 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.data(), data);  // no reallocation within reserved capacity
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(v[i], i + 1);
+}
+
+TEST(SmallVectorTest, MoveFromSpilledTransfersHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* heap = v.data();
+  SmallVector<int, 2> stolen(std::move(v));
+  ASSERT_EQ(stolen.data(), heap);  // heap block transferred, not copied
+  ASSERT_EQ(stolen.size(), 50u);
+  ASSERT_TRUE(v.empty());
+  v.push_back(7);  // source reusable after move
+  ASSERT_EQ(v[0], 7);
+}
+
+}  // namespace
+}  // namespace graphdance
