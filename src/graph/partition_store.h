@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/value.h"
 #include "graph/schema.h"
 #include "graph/tel.h"
@@ -49,9 +50,9 @@ class PartitionStore {
 
   /// Local dense index of a static vertex, or nullopt if not stored here.
   std::optional<uint32_t> LocalIndex(VertexId v) const {
-    auto it = local_index_.find(v);
-    if (it == local_index_.end()) return std::nullopt;
-    return it->second;
+    const uint32_t* local = local_index_.Find(v);
+    if (local == nullptr) return std::nullopt;
+    return *local;
   }
 
   VertexId GlobalId(uint32_t local) const { return vertex_ids_[local]; }
@@ -70,8 +71,8 @@ class PartitionStore {
   }
 
   const CsrAdjacency* Adjacency(LabelId elabel, Direction dir) const {
-    auto it = adjacency_.find(AdjMapKey(elabel, dir));
-    return it == adjacency_.end() ? nullptr : it->second.get();
+    uint32_t key = AdjMapKey(elabel, dir);
+    return key < adjacency_.size() ? adjacency_[key].get() : nullptr;
   }
 
   /// Degree of a static vertex for one (label, direction), excluding TEL.
@@ -86,14 +87,14 @@ class PartitionStore {
   /// True when vertex `v` exists in this partition at read timestamp `ts`
   /// (static vertices exist at all timestamps).
   bool HasVertex(VertexId v, Timestamp ts) const {
-    if (local_index_.count(v) > 0) return true;
+    if (local_index_.Contains(v)) return true;
     return tel_.HasVertex(v, ts);
   }
 
   /// Label of `v` at `ts`, or kInvalidLabel when absent.
   LabelId LabelOf(VertexId v, Timestamp ts) const {
-    auto it = local_index_.find(v);
-    if (it != local_index_.end()) return vertex_labels_[it->second];
+    const uint32_t* local = local_index_.Find(v);
+    if (local != nullptr) return vertex_labels_[*local];
     const TelVertex* rec = tel_.FindVertex(v);
     if (rec != nullptr && rec->VisibleAt(ts)) return rec->label;
     return kInvalidLabel;
@@ -103,9 +104,9 @@ class PartitionStore {
   const Value* PropertyOf(VertexId v, PropKeyId key, Timestamp ts) const {
     const Value* dynamic = tel_.GetProperty(v, key, ts);
     if (dynamic != nullptr) return dynamic;
-    auto it = local_index_.find(v);
-    if (it == local_index_.end()) return nullptr;
-    return GetProperty(it->second, key);
+    const uint32_t* local = local_index_.Find(v);
+    if (local == nullptr) return nullptr;
+    return GetProperty(*local, key);
   }
 
   /// Iterates neighbors of `v` for (elabel, dir) visible at `ts`, static
@@ -118,12 +119,12 @@ class PartitionStore {
       ForEachNeighbor(v, elabel, Direction::kIn, ts, fn);
       return;
     }
-    auto it = local_index_.find(v);
-    if (it != local_index_.end()) {
+    const uint32_t* local = local_index_.Find(v);
+    if (local != nullptr) {
       const CsrAdjacency* adj = Adjacency(elabel, dir);
       if (adj != nullptr) {
-        uint32_t begin = adj->offsets[it->second];
-        uint32_t end = adj->offsets[it->second + 1];
+        uint32_t begin = adj->offsets[*local];
+        uint32_t end = adj->offsets[*local + 1];
         const bool has_props = !adj->props.empty();
         for (uint32_t i = begin; i < end; ++i) {
           fn(adj->targets[i], has_props ? adj->props[i] : kNullValue());
@@ -179,14 +180,16 @@ class PartitionStore {
     vertex_ids_.push_back(v);
     vertex_labels_.push_back(label);
     vertex_props_.push_back(std::move(props));
-    local_index_.emplace(v, local);
+    local_index_.TryEmplace(v, local);
     return local;
   }
 
   void InstallAdjacency(LabelId elabel, Direction dir,
                         std::unique_ptr<CsrAdjacency> adj) {
     num_static_edges_ += dir == Direction::kOut ? adj->targets.size() : 0;
-    adjacency_[AdjMapKey(elabel, dir)] = std::move(adj);
+    uint32_t key = AdjMapKey(elabel, dir);
+    if (key >= adjacency_.size()) adjacency_.resize(key + 1);
+    adjacency_[key] = std::move(adj);
   }
 
  private:
@@ -205,8 +208,10 @@ class PartitionStore {
   std::vector<VertexId> vertex_ids_;
   std::vector<LabelId> vertex_labels_;
   std::vector<std::vector<Prop>> vertex_props_;
-  std::unordered_map<VertexId, uint32_t> local_index_;
-  std::unordered_map<uint32_t, std::unique_ptr<CsrAdjacency>> adjacency_;
+  // Hot per-traverser lookups: open-addressing id->local map, and direct
+  // AdjMapKey-indexed adjacency (edge-label ids are small and dense).
+  FlatMap<VertexId, uint32_t> local_index_;
+  std::vector<std::unique_ptr<CsrAdjacency>> adjacency_;
   std::unordered_map<uint32_t, std::unordered_map<Value, std::vector<VertexId>, ValueHash>>
       indexes_;
   uint64_t num_static_edges_ = 0;

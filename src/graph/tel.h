@@ -1,10 +1,13 @@
 #ifndef GRAPHDANCE_GRAPH_TEL_H_
 #define GRAPHDANCE_GRAPH_TEL_H_
 
-#include <unordered_map>
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/small_vector.h"
 #include "common/value.h"
 #include "graph/types.h"
 
@@ -30,14 +33,24 @@ struct TelPropVersion {
   Value value;
 };
 
-/// Per-vertex dynamic state: creation stamp, adjacency logs per
-/// (edge label, direction) and a property version log.
+/// Per-vertex dynamic state: creation stamp, adjacency chains per
+/// (edge label, direction) and a property version log. Adjacency is NOT a
+/// per-vertex map of edge vectors: each (label, dir) pair holds a chain of
+/// blocks inside the log's shared edge arena (see TransactionalEdgeLog).
 struct TelVertex {
+  /// Chain handle: `key` is (elabel << 1) | dir_bit, `head`/`tail` index the
+  /// log's block table. A vertex rarely has more than two active
+  /// (label, dir) combinations, so the chains live inline.
+  struct AdjChain {
+    uint32_t key = 0;
+    uint32_t head = 0;
+    uint32_t tail = 0;
+  };
+
   LabelId label = kInvalidLabel;
   Timestamp create_ts = 0;
   Timestamp delete_ts = kMaxTimestamp;
-  // Keyed by (elabel << 1) | dir_bit, dir_bit 0 = out, 1 = in.
-  std::unordered_map<uint32_t, std::vector<TelEdge>> adj;
+  SmallVector<AdjChain, 2> adj;
   std::vector<TelPropVersion> props;
 
   bool VisibleAt(Timestamp ts) const { return create_ts <= ts && ts < delete_ts; }
@@ -46,6 +59,16 @@ struct TelVertex {
 /// Transactional edge log for one partition. Holds all vertices/edges created
 /// after the static bulk load, plus tombstones for deletions of static data
 /// (not needed by the current workloads, but supported).
+///
+/// Storage layout (DESIGN.md §13): all edge versions of the partition live in
+/// one contiguous arena, carved into per-(vertex, label, dir) blocks that
+/// double in capacity and are linked in append order — a CSR-like layout
+/// that keeps a visibility scan on one or two cache lines instead of a
+/// pointer chase through per-vertex unordered_map nodes. Scan order equals
+/// append order, exactly as the old per-key std::vector gave, which the
+/// deterministic scheduler relies on. Compact() is epoch-based: it rebuilds
+/// the arena from the survivors (dropping dead blocks and padding) and bumps
+/// `compaction_epoch()`; TruncateAfter() rewrites chains in place.
 ///
 /// Thread-safety: a TEL is owned by exactly one worker thread (shared-nothing
 /// design); all mutation happens on that thread, so no internal locking.
@@ -58,7 +81,7 @@ class TransactionalEdgeLog {
 
   /// Creates a dynamic vertex. Overwrites any prior tombstone.
   void AddVertex(VertexId v, LabelId label, Timestamp ts) {
-    TelVertex& rec = vertices_[v];
+    TelVertex& rec = GetOrCreate(v);
     rec.label = label;
     rec.create_ts = ts;
     rec.delete_ts = kMaxTimestamp;
@@ -66,48 +89,50 @@ class TransactionalEdgeLog {
 
   /// Marks a dynamic vertex deleted at `ts` (visible before, gone after).
   bool DeleteVertex(VertexId v, Timestamp ts) {
-    auto it = vertices_.find(v);
-    if (it == vertices_.end() || !it->second.VisibleAt(ts)) return false;
-    it->second.delete_ts = ts;
+    TelVertex* rec = Find(v);
+    if (rec == nullptr || !rec->VisibleAt(ts)) return false;
+    rec->delete_ts = ts;
     return true;
   }
 
   bool HasVertex(VertexId v, Timestamp ts) const {
-    auto it = vertices_.find(v);
-    return it != vertices_.end() && it->second.VisibleAt(ts);
+    const TelVertex* rec = Find(v);
+    return rec != nullptr && rec->VisibleAt(ts);
   }
 
-  const TelVertex* FindVertex(VertexId v) const {
-    auto it = vertices_.find(v);
-    return it == vertices_.end() ? nullptr : &it->second;
-  }
+  const TelVertex* FindVertex(VertexId v) const { return Find(v); }
 
   /// Appends a half-edge under `anchor` (the endpoint owned by this
   /// partition). The caller adds the mirrored half-edge in the partition of
   /// the other endpoint.
   void AddEdge(VertexId anchor, LabelId elabel, Direction dir, VertexId other,
                Timestamp ts, Value prop = Value()) {
-    TelVertex& rec = vertices_[anchor];
+    TelVertex& rec = GetOrCreate(anchor);
     if (rec.create_ts == 0 && rec.label == kInvalidLabel) {
       // Anchor is a static vertex gaining dynamic edges; keep it visible
       // from the beginning of time.
       rec.create_ts = 0;
     }
-    rec.adj[AdjKey(elabel, dir)].push_back(TelEdge{other, ts, kMaxTimestamp, std::move(prop)});
+    uint32_t slot = AppendSlot(&rec, AdjKey(elabel, dir));
+    arena_[slot] = TelEdge{other, ts, kMaxTimestamp, std::move(prop)};
   }
 
   /// Marks the first visible (anchor -> other) edge as deleted at `ts`.
   /// Returns true when such an edge existed.
   bool DeleteEdge(VertexId anchor, LabelId elabel, Direction dir, VertexId other,
                   Timestamp ts) {
-    auto vit = vertices_.find(anchor);
-    if (vit == vertices_.end()) return false;
-    auto ait = vit->second.adj.find(AdjKey(elabel, dir));
-    if (ait == vit->second.adj.end()) return false;
-    for (TelEdge& e : ait->second) {
-      if (e.dst == other && e.VisibleAt(ts)) {
-        e.delete_ts = ts;
-        return true;
+    TelVertex* rec = Find(anchor);
+    if (rec == nullptr) return false;
+    const TelVertex::AdjChain* chain = FindChain(*rec, AdjKey(elabel, dir));
+    if (chain == nullptr) return false;
+    for (uint32_t b = chain->head; b != kNoBlock; b = blocks_[b].next) {
+      const Block& blk = blocks_[b];
+      for (uint32_t i = 0; i < blk.len; ++i) {
+        TelEdge& e = arena_[blk.first + i];
+        if (e.dst == other && e.VisibleAt(ts)) {
+          e.delete_ts = ts;
+          return true;
+        }
       }
     }
     return false;
@@ -115,16 +140,16 @@ class TransactionalEdgeLog {
 
   /// Writes a vertex property version at `ts`.
   void SetProperty(VertexId v, PropKeyId key, Value value, Timestamp ts) {
-    vertices_[v].props.push_back(TelPropVersion{ts, key, std::move(value)});
+    GetOrCreate(v).props.push_back(TelPropVersion{ts, key, std::move(value)});
   }
 
   /// Latest property version visible at `ts`, or nullptr.
   const Value* GetProperty(VertexId v, PropKeyId key, Timestamp ts) const {
-    auto it = vertices_.find(v);
-    if (it == vertices_.end()) return nullptr;
+    const TelVertex* rec = Find(v);
+    if (rec == nullptr) return nullptr;
     const Value* best = nullptr;
     Timestamp best_ts = 0;
-    for (const TelPropVersion& pv : it->second.props) {
+    for (const TelPropVersion& pv : rec->props) {
       if (pv.key == key && pv.ts <= ts && pv.ts >= best_ts) {
         best = &pv.value;
         best_ts = pv.ts;
@@ -133,52 +158,78 @@ class TransactionalEdgeLog {
     return best;
   }
 
-  /// Sequentially scans the adjacency log of `anchor`, invoking
+  /// Sequentially scans the adjacency chain of `anchor`, invoking
   /// `fn(dst, prop)` for every edge visible at `ts` (single-pass visibility,
-  /// the TEL property the paper relies on).
+  /// the TEL property the paper relies on). Scan order is append order.
   template <typename Fn>
   void ForEachEdge(VertexId anchor, LabelId elabel, Direction dir, Timestamp ts,
                    Fn&& fn) const {
-    auto vit = vertices_.find(anchor);
-    if (vit == vertices_.end()) return;
-    auto ait = vit->second.adj.find(AdjKey(elabel, dir));
-    if (ait == vit->second.adj.end()) return;
-    for (const TelEdge& e : ait->second) {
-      if (e.VisibleAt(ts)) fn(e.dst, e.prop);
+    if (index_.empty()) return;  // static-only partition: common fast path
+    const TelVertex* rec = Find(anchor);
+    if (rec == nullptr) return;
+    const TelVertex::AdjChain* chain = FindChain(*rec, AdjKey(elabel, dir));
+    if (chain == nullptr) return;
+    for (uint32_t b = chain->head; b != kNoBlock; b = blocks_[b].next) {
+      const Block& blk = blocks_[b];
+      const TelEdge* e = &arena_[blk.first];
+      for (uint32_t i = 0; i < blk.len; ++i) {
+        if (e[i].VisibleAt(ts)) fn(e[i].dst, e[i].prop);
+      }
     }
   }
 
   /// Crash recovery (paper §IV-C): removes all versions with timestamps
-  /// beyond the last-commit timestamp, as a restarted node would.
+  /// beyond the last-commit timestamp, as a restarted node would. Chains are
+  /// rewritten in place (surviving edges slide down within their blocks);
+  /// vacated arena slots are reset so they hold no stale property Values.
   void TruncateAfter(Timestamp lct) {
-    for (auto it = vertices_.begin(); it != vertices_.end();) {
-      TelVertex& rec = it->second;
+    index_.EraseIf([&](const VertexId&, uint32_t idx) {
+      TelVertex& rec = recs_[idx];
       if (rec.create_ts > lct && rec.label != kInvalidLabel) {
-        it = vertices_.erase(it);
-        continue;
+        ReleaseRec(&rec);
+        return true;
       }
       if (rec.delete_ts != kMaxTimestamp && rec.delete_ts > lct) {
         rec.delete_ts = kMaxTimestamp;
       }
-      for (auto& [key, edges] : rec.adj) {
-        std::vector<TelEdge> kept;
-        kept.reserve(edges.size());
-        for (TelEdge& e : edges) {
-          if (e.create_ts > lct) continue;
-          if (e.delete_ts != kMaxTimestamp && e.delete_ts > lct) {
-            e.delete_ts = kMaxTimestamp;
+      for (const TelVertex::AdjChain& chain : rec.adj) {
+        // Two-cursor rewrite: read walks every stored edge, write trails,
+        // compacting survivors into the front of the chain.
+        uint32_t wb = chain.head;
+        uint32_t wi = 0;
+        for (uint32_t b = chain.head; b != kNoBlock; b = blocks_[b].next) {
+          Block& blk = blocks_[b];
+          for (uint32_t i = 0; i < blk.len; ++i) {
+            TelEdge& e = arena_[blk.first + i];
+            if (e.create_ts > lct) continue;
+            if (e.delete_ts != kMaxTimestamp && e.delete_ts > lct) {
+              e.delete_ts = kMaxTimestamp;
+            }
+            if (wi == blocks_[wb].cap) {
+              blocks_[wb].len = wi;
+              wb = blocks_[wb].next;
+              wi = 0;
+            }
+            if (wb != b || wi != i) {
+              arena_[blocks_[wb].first + wi] = std::move(e);
+            }
+            ++wi;
           }
-          kept.push_back(std::move(e));
         }
-        edges = std::move(kept);
+        // Trim the tail: the write block keeps `wi` edges, later blocks none.
+        blocks_[wb].len = wi;
+        ClearSlotsAfter(wb, wi);
+        for (uint32_t b = blocks_[wb].next; b != kNoBlock; b = blocks_[b].next) {
+          blocks_[b].len = 0;
+          ClearSlotsAfter(b, 0);
+        }
       }
-      std::vector<TelPropVersion> kept_props;
-      for (TelPropVersion& pv : rec.props) {
-        if (pv.ts <= lct) kept_props.push_back(std::move(pv));
-      }
-      rec.props = std::move(kept_props);
-      ++it;
-    }
+      rec.props.erase(
+          std::remove_if(rec.props.begin(), rec.props.end(),
+                         [&](const TelPropVersion& pv) { return pv.ts > lct; }),
+          rec.props.end());
+      return false;
+    });
   }
 
   /// Version compaction (LiveGraph-style GC): drops edge and property
@@ -186,57 +237,198 @@ class TransactionalEdgeLog {
   /// (i.e. deleted at or before it), and rewrites surviving pre-watermark
   /// creation stamps to 0 so later compactions stay cheap. Safe when no
   /// active query holds a read timestamp below the watermark.
+  ///
+  /// Epoch-based: the whole arena is rebuilt from the survivors — one
+  /// exact-size block per chain, dead vertices and padding dropped — and
+  /// `compaction_epoch()` advances. Nothing may hold pointers into the old
+  /// arena across a compaction (FindVertex/scan results are transient).
   void Compact(Timestamp watermark) {
-    for (auto it = vertices_.begin(); it != vertices_.end();) {
-      TelVertex& rec = it->second;
+    ++compaction_epoch_;
+    std::vector<TelEdge> old_arena;
+    std::vector<Block> old_blocks;
+    old_arena.swap(arena_);
+    old_blocks.swap(blocks_);
+
+    index_.EraseIf([&](const VertexId&, uint32_t idx) {
+      TelVertex& rec = recs_[idx];
       if (rec.delete_ts <= watermark) {
-        it = vertices_.erase(it);
-        continue;
+        ReleaseRec(&rec);
+        return true;
       }
-      for (auto& [key, edges] : rec.adj) {
-        std::vector<TelEdge> kept;
-        kept.reserve(edges.size());
-        for (TelEdge& e : edges) {
-          if (e.delete_ts <= watermark) continue;  // dead to all readers
-          if (e.create_ts <= watermark) e.create_ts = 0;
-          kept.push_back(std::move(e));
+      for (TelVertex::AdjChain& chain : rec.adj) {
+        uint32_t survivors = 0;
+        for (uint32_t b = chain.head; b != kNoBlock; b = old_blocks[b].next) {
+          const Block& blk = old_blocks[b];
+          for (uint32_t i = 0; i < blk.len; ++i) {
+            if (old_arena[blk.first + i].delete_ts > watermark) ++survivors;
+          }
         }
-        edges = std::move(kept);
+        uint32_t nb = NewBlock(survivors == 0 ? kFirstBlockCap : survivors);
+        Block& dst = blocks_[nb];
+        for (uint32_t b = chain.head; b != kNoBlock; b = old_blocks[b].next) {
+          const Block& blk = old_blocks[b];
+          for (uint32_t i = 0; i < blk.len; ++i) {
+            TelEdge& e = old_arena[blk.first + i];
+            if (e.delete_ts <= watermark) continue;  // dead to all readers
+            if (e.create_ts <= watermark) e.create_ts = 0;
+            arena_[dst.first + dst.len] = std::move(e);
+            ++dst.len;
+          }
+        }
+        chain.head = chain.tail = nb;
       }
-      // Properties: keep only the latest version at or below the watermark
-      // plus everything after it.
-      std::vector<TelPropVersion> kept_props;
-      std::unordered_map<PropKeyId, size_t> latest_below;
-      for (TelPropVersion& pv : rec.props) {
-        if (pv.ts > watermark) {
-          kept_props.push_back(std::move(pv));
-          continue;
-        }
-        auto [lit, inserted] = latest_below.try_emplace(pv.key, kept_props.size());
-        if (inserted) {
-          kept_props.push_back(std::move(pv));
-        } else if (kept_props[lit->second].ts <= pv.ts) {
-          kept_props[lit->second] = std::move(pv);
-        }
-      }
-      rec.props = std::move(kept_props);
-      ++it;
-    }
+      CompactProps(&rec, watermark);
+      return false;
+    });
   }
 
-  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_vertices() const { return index_.size(); }
 
   /// Total stored edge versions (for compaction tests/metrics).
   size_t num_edge_versions() const {
     size_t n = 0;
-    for (const auto& [v, rec] : vertices_) {
-      for (const auto& [key, edges] : rec.adj) n += edges.size();
-    }
+    index_.ForEach([&](const VertexId&, const uint32_t& idx) {
+      for (const TelVertex::AdjChain& chain : recs_[idx].adj) {
+        for (uint32_t b = chain.head; b != kNoBlock; b = blocks_[b].next) {
+          n += blocks_[b].len;
+        }
+      }
+    });
     return n;
   }
 
+  /// Number of completed epoch compactions (arena rebuilds).
+  uint64_t compaction_epoch() const { return compaction_epoch_; }
+
  private:
-  std::unordered_map<VertexId, TelVertex> vertices_;
+  static constexpr uint32_t kNoBlock = 0xffffffffu;
+  static constexpr uint32_t kFirstBlockCap = 4;
+
+  /// One capacity-doubling segment of an adjacency chain: `cap` arena slots
+  /// starting at `first`, `len` of them in use.
+  struct Block {
+    uint32_t first = 0;
+    uint32_t len = 0;
+    uint32_t cap = 0;
+    uint32_t next = kNoBlock;
+  };
+
+  TelVertex* Find(VertexId v) {
+    uint32_t* idx = index_.Find(v);
+    return idx == nullptr ? nullptr : &recs_[*idx];
+  }
+  const TelVertex* Find(VertexId v) const {
+    return const_cast<TransactionalEdgeLog*>(this)->Find(v);
+  }
+
+  TelVertex& GetOrCreate(VertexId v) {
+    auto [idx, inserted] = index_.TryEmplace(v, 0);
+    if (inserted) {
+      *idx = static_cast<uint32_t>(recs_.size());
+      recs_.emplace_back();
+    }
+    return recs_[*idx];
+  }
+
+  static const TelVertex::AdjChain* FindChain(const TelVertex& rec,
+                                              uint32_t key) {
+    for (const TelVertex::AdjChain& c : rec.adj) {
+      if (c.key == key) return &c;
+    }
+    return nullptr;
+  }
+
+  uint32_t NewBlock(uint32_t cap) {
+    uint32_t b = static_cast<uint32_t>(blocks_.size());
+    Block blk;
+    blk.first = static_cast<uint32_t>(arena_.size());
+    blk.cap = cap;
+    blocks_.push_back(blk);
+    arena_.resize(arena_.size() + cap);
+    return b;
+  }
+
+  /// Returns the arena slot for the next edge appended under (rec, key),
+  /// growing the chain with a doubled block when the tail is full.
+  uint32_t AppendSlot(TelVertex* rec, uint32_t key) {
+    TelVertex::AdjChain* chain = nullptr;
+    for (TelVertex::AdjChain& c : rec->adj) {
+      if (c.key == key) {
+        chain = &c;
+        break;
+      }
+    }
+    if (chain == nullptr) {
+      uint32_t b = NewBlock(kFirstBlockCap);
+      rec->adj.push_back(TelVertex::AdjChain{key, b, b});
+      chain = &rec->adj.back();
+    }
+    if (blocks_[chain->tail].len == blocks_[chain->tail].cap) {
+      uint32_t b = NewBlock(blocks_[chain->tail].cap * 2);
+      blocks_[chain->tail].next = b;
+      chain->tail = b;
+    }
+    Block& tail = blocks_[chain->tail];
+    return tail.first + tail.len++;
+  }
+
+  /// Resets vacated slots of `b` past `keep` so they drop any owned Values.
+  void ClearSlotsAfter(uint32_t b, uint32_t keep) {
+    // Copy-assign from a named empty edge: GCC 12 flags variant move-assign
+    // from a temporary as maybe-uninitialized through the visit table.
+    static const TelEdge kEmptyEdge{};
+    const Block& blk = blocks_[b];
+    for (uint32_t i = keep; i < blk.cap; ++i) arena_[blk.first + i] = kEmptyEdge;
+  }
+
+  /// Drops an erased vertex's heap state (its arena blocks stay dead until
+  /// the next compaction rebuild reclaims them).
+  void ReleaseRec(TelVertex* rec) {
+    for (const TelVertex::AdjChain& chain : rec->adj) {
+      for (uint32_t b = chain.head; b != kNoBlock; b = blocks_[b].next) {
+        blocks_[b].len = 0;
+        ClearSlotsAfter(b, 0);
+      }
+    }
+    *rec = TelVertex{};
+    rec->create_ts = 1;
+    rec->delete_ts = 0;  // never visible; unreachable once unindexed
+  }
+
+  /// Properties: keep only the latest version at or below the watermark plus
+  /// everything after it. `latest_below` is a small inline scan (prop keys
+  /// per vertex are few) instead of a per-call unordered_map; replacement
+  /// position and the later-in-log-wins tie rule match the original exactly.
+  void CompactProps(TelVertex* rec, Timestamp watermark) {
+    std::vector<TelPropVersion> kept_props;
+    SmallVector<std::pair<PropKeyId, size_t>, 8> latest_below;
+    for (TelPropVersion& pv : rec->props) {
+      if (pv.ts > watermark) {
+        kept_props.push_back(std::move(pv));
+        continue;
+      }
+      size_t* seen = nullptr;
+      for (auto& [key, pos] : latest_below) {
+        if (key == pv.key) {
+          seen = &pos;
+          break;
+        }
+      }
+      if (seen == nullptr) {
+        latest_below.push_back({pv.key, kept_props.size()});
+        kept_props.push_back(std::move(pv));
+      } else if (kept_props[*seen].ts <= pv.ts) {
+        kept_props[*seen] = std::move(pv);
+      }
+    }
+    rec->props = std::move(kept_props);
+  }
+
+  FlatMap<VertexId, uint32_t> index_;
+  std::vector<TelVertex> recs_;
+  std::vector<TelEdge> arena_;
+  std::vector<Block> blocks_;
+  uint64_t compaction_epoch_ = 0;
 };
 
 }  // namespace graphdance

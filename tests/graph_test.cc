@@ -315,6 +315,83 @@ TEST(TelTest, CompactPreservesPropertyFloor) {
   EXPECT_EQ(*tel.GetProperty(4, 2, 100), Value(int64_t{10}));
 }
 
+TEST(TelTest, ArenaPreservesAppendOrderAcrossBlocks) {
+  // Chains grow through multiple capacity-doubling blocks; scan order must
+  // stay append order (the deterministic scheduler depends on it).
+  TransactionalEdgeLog tel;
+  const int n = 50;  // spans several blocks (4 + 8 + 16 + 32)
+  for (int i = 0; i < n; ++i) {
+    tel.AddEdge(1, 0, Direction::kOut, static_cast<VertexId>(100 + i), 10);
+    // Interleave another vertex and label so blocks from different chains
+    // alternate inside the shared arena.
+    tel.AddEdge(2, 0, Direction::kOut, static_cast<VertexId>(500 + i), 10);
+    tel.AddEdge(1, 1, Direction::kIn, static_cast<VertexId>(900 + i), 10);
+  }
+  std::vector<VertexId> dsts;
+  tel.ForEachEdge(1, 0, Direction::kOut, 20,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  ASSERT_EQ(dsts.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(dsts[i], static_cast<VertexId>(100 + i));
+  EXPECT_EQ(tel.num_edge_versions(), static_cast<size_t>(3 * n));
+}
+
+TEST(TelTest, CompactBumpsEpochAndPreservesOrder) {
+  TransactionalEdgeLog tel;
+  for (int i = 0; i < 20; ++i) {
+    tel.AddEdge(1, 0, Direction::kOut, static_cast<VertexId>(100 + i), 10);
+  }
+  tel.DeleteEdge(1, 0, Direction::kOut, 103, 30);
+  tel.DeleteEdge(1, 0, Direction::kOut, 110, 30);
+  EXPECT_EQ(tel.compaction_epoch(), 0u);
+  tel.Compact(/*watermark=*/40);
+  EXPECT_EQ(tel.compaction_epoch(), 1u);
+  EXPECT_EQ(tel.num_edge_versions(), 18u);
+
+  std::vector<VertexId> dsts;
+  tel.ForEachEdge(1, 0, Direction::kOut, 50,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  std::vector<VertexId> expect;
+  for (int i = 0; i < 20; ++i) {
+    if (i != 3 && i != 10) expect.push_back(static_cast<VertexId>(100 + i));
+  }
+  EXPECT_EQ(dsts, expect);
+
+  // The rebuilt arena stays appendable: new edges land after survivors.
+  tel.AddEdge(1, 0, Direction::kOut, 999, 60);
+  dsts.clear();
+  tel.ForEachEdge(1, 0, Direction::kOut, 70,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  expect.push_back(999);
+  EXPECT_EQ(dsts, expect);
+}
+
+TEST(TelTest, TruncateRewritesChainsInPlaceAndStaysAppendable) {
+  TransactionalEdgeLog tel;
+  tel.AddVertex(1, 0, 10);
+  for (int i = 0; i < 12; ++i) {
+    // Edges at alternating committed/uncommitted timestamps.
+    Timestamp ts = (i % 2 == 0) ? 10 : 50;
+    tel.AddEdge(1, 0, Direction::kOut, static_cast<VertexId>(100 + i), ts);
+  }
+  tel.TruncateAfter(/*lct=*/30);  // drops the 6 ts=50 edges
+
+  std::vector<VertexId> dsts;
+  tel.ForEachEdge(1, 0, Direction::kOut, 30,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  std::vector<VertexId> expect;
+  for (int i = 0; i < 12; i += 2) expect.push_back(static_cast<VertexId>(100 + i));
+  EXPECT_EQ(dsts, expect);
+  EXPECT_EQ(tel.num_edge_versions(), 6u);
+
+  // Appends after recovery continue the surviving chain in order.
+  tel.AddEdge(1, 0, Direction::kOut, 777, 35);
+  dsts.clear();
+  tel.ForEachEdge(1, 0, Direction::kOut, 40,
+                  [&](VertexId d, const Value&) { dsts.push_back(d); });
+  expect.push_back(777);
+  EXPECT_EQ(dsts, expect);
+}
+
 // ---- generators --------------------------------------------------------------
 
 TEST(GeneratorTest, PowerLawDeterministicAndSized) {
