@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bulking.dir/bench_ablation_bulking.cc.o"
+  "CMakeFiles/bench_ablation_bulking.dir/bench_ablation_bulking.cc.o.d"
+  "bench_ablation_bulking"
+  "bench_ablation_bulking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bulking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

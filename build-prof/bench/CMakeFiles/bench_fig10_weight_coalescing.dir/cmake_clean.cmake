@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_weight_coalescing.dir/bench_fig10_weight_coalescing.cc.o"
+  "CMakeFiles/bench_fig10_weight_coalescing.dir/bench_fig10_weight_coalescing.cc.o.d"
+  "bench_fig10_weight_coalescing"
+  "bench_fig10_weight_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_weight_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_message_counts.dir/bench_fig11_message_counts.cc.o"
+  "CMakeFiles/bench_fig11_message_counts.dir/bench_fig11_message_counts.cc.o.d"
+  "bench_fig11_message_counts"
+  "bench_fig11_message_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_message_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ic_queries.dir/bench_fig8_ic_queries.cc.o"
+  "CMakeFiles/bench_fig8_ic_queries.dir/bench_fig8_ic_queries.cc.o.d"
+  "bench_fig8_ic_queries"
+  "bench_fig8_ic_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ic_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_vs_distributed.dir/bench_single_vs_distributed.cc.o"
+  "CMakeFiles/bench_single_vs_distributed.dir/bench_single_vs_distributed.cc.o.d"
+  "bench_single_vs_distributed"
+  "bench_single_vs_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_vs_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

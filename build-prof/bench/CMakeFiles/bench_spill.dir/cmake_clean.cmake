@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spill.dir/bench_spill.cc.o"
+  "CMakeFiles/bench_spill.dir/bench_spill.cc.o.d"
+  "bench_spill"
+  "bench_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wallclock.dir/bench_wallclock.cc.o"
+  "CMakeFiles/bench_wallclock.dir/bench_wallclock.cc.o.d"
+  "bench_wallclock"
+  "bench_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldbc_snb_demo.dir/ldbc_snb_demo.cpp.o"
+  "CMakeFiles/ldbc_snb_demo.dir/ldbc_snb_demo.cpp.o.d"
+  "ldbc_snb_demo"
+  "ldbc_snb_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldbc_snb_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/offline_analytics.cpp" "examples/CMakeFiles/offline_analytics.dir/offline_analytics.cpp.o" "gcc" "examples/CMakeFiles/offline_analytics.dir/offline_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/analytics/CMakeFiles/gd_analytics.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/runtime/CMakeFiles/gd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/query/CMakeFiles/gd_query.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/obs/CMakeFiles/gd_obs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/qos/CMakeFiles/gd_qos.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/check/CMakeFiles/gd_check.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/pstm/CMakeFiles/gd_pstm.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/graph/CMakeFiles/gd_graph.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/gd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/common/CMakeFiles/gd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

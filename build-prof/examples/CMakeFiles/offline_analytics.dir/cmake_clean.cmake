@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_analytics.dir/offline_analytics.cpp.o"
+  "CMakeFiles/offline_analytics.dir/offline_analytics.cpp.o.d"
+  "offline_analytics"
+  "offline_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

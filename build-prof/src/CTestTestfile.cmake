@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-prof/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("graph")
+subdirs("net")
+subdirs("pstm")
+subdirs("obs")
+subdirs("txn")
+subdirs("qos")
+subdirs("check")
+subdirs("runtime")
+subdirs("query")
+subdirs("analytics")
+subdirs("ldbc")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_analytics.dir/analytics.cc.o"
+  "CMakeFiles/gd_analytics.dir/analytics.cc.o.d"
+  "libgd_analytics.a"
+  "libgd_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

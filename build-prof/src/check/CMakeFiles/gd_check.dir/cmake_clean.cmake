@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_check.dir/invariants.cc.o"
+  "CMakeFiles/gd_check.dir/invariants.cc.o.d"
+  "libgd_check.a"
+  "libgd_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_check_driver.dir/oracle.cc.o"
+  "CMakeFiles/gd_check_driver.dir/oracle.cc.o.d"
+  "CMakeFiles/gd_check_driver.dir/shrink.cc.o"
+  "CMakeFiles/gd_check_driver.dir/shrink.cc.o.d"
+  "libgd_check_driver.a"
+  "libgd_check_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_check_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

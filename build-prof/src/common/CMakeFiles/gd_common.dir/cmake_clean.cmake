@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_common.dir/logging.cc.o"
+  "CMakeFiles/gd_common.dir/logging.cc.o.d"
+  "CMakeFiles/gd_common.dir/status.cc.o"
+  "CMakeFiles/gd_common.dir/status.cc.o.d"
+  "CMakeFiles/gd_common.dir/value.cc.o"
+  "CMakeFiles/gd_common.dir/value.cc.o.d"
+  "libgd_common.a"
+  "libgd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

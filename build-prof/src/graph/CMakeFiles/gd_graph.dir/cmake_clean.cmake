@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_graph.dir/generators.cc.o"
+  "CMakeFiles/gd_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gd_graph.dir/graph.cc.o"
+  "CMakeFiles/gd_graph.dir/graph.cc.o.d"
+  "libgd_graph.a"
+  "libgd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_ldbc.dir/driver.cc.o"
+  "CMakeFiles/gd_ldbc.dir/driver.cc.o.d"
+  "CMakeFiles/gd_ldbc.dir/reference.cc.o"
+  "CMakeFiles/gd_ldbc.dir/reference.cc.o.d"
+  "CMakeFiles/gd_ldbc.dir/snb_generator.cc.o"
+  "CMakeFiles/gd_ldbc.dir/snb_generator.cc.o.d"
+  "CMakeFiles/gd_ldbc.dir/snb_queries.cc.o"
+  "CMakeFiles/gd_ldbc.dir/snb_queries.cc.o.d"
+  "libgd_ldbc.a"
+  "libgd_ldbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_ldbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

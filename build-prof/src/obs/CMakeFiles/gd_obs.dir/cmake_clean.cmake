@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_obs.dir/metrics.cc.o"
+  "CMakeFiles/gd_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/gd_obs.dir/trace.cc.o"
+  "CMakeFiles/gd_obs.dir/trace.cc.o.d"
+  "libgd_obs.a"
+  "libgd_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pstm/plan.cc" "src/pstm/CMakeFiles/gd_pstm.dir/plan.cc.o" "gcc" "src/pstm/CMakeFiles/gd_pstm.dir/plan.cc.o.d"
+  "/root/repo/src/pstm/steps.cc" "src/pstm/CMakeFiles/gd_pstm.dir/steps.cc.o" "gcc" "src/pstm/CMakeFiles/gd_pstm.dir/steps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/common/CMakeFiles/gd_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/graph/CMakeFiles/gd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_pstm.dir/plan.cc.o"
+  "CMakeFiles/gd_pstm.dir/plan.cc.o.d"
+  "CMakeFiles/gd_pstm.dir/steps.cc.o"
+  "CMakeFiles/gd_pstm.dir/steps.cc.o.d"
+  "libgd_pstm.a"
+  "libgd_pstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_pstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

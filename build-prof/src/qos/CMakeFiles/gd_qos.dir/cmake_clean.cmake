@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_qos.dir/admission.cc.o"
+  "CMakeFiles/gd_qos.dir/admission.cc.o.d"
+  "libgd_qos.a"
+  "libgd_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

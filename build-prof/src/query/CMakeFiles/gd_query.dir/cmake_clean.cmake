@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_query.dir/gremlin.cc.o"
+  "CMakeFiles/gd_query.dir/gremlin.cc.o.d"
+  "CMakeFiles/gd_query.dir/planner.cc.o"
+  "CMakeFiles/gd_query.dir/planner.cc.o.d"
+  "libgd_query.a"
+  "libgd_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_runtime.dir/sim_cluster.cc.o"
+  "CMakeFiles/gd_runtime.dir/sim_cluster.cc.o.d"
+  "libgd_runtime.a"
+  "libgd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_sim.dir/fault.cc.o"
+  "CMakeFiles/gd_sim.dir/fault.cc.o.d"
+  "libgd_sim.a"
+  "libgd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/gd_txn.dir/txn_manager.cc.o.d"
+  "libgd_txn.a"
+  "libgd_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulking_test.dir/bulking_test.cc.o"
+  "CMakeFiles/bulking_test.dir/bulking_test.cc.o.d"
+  "bulking_test"
+  "bulking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

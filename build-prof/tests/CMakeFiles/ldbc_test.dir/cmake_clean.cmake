@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldbc_test.dir/ldbc_test.cc.o"
+  "CMakeFiles/ldbc_test.dir/ldbc_test.cc.o.d"
+  "ldbc_test"
+  "ldbc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

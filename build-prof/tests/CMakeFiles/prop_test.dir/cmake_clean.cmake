@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_test.dir/prop_test.cc.o"
+  "CMakeFiles/prop_test.dir/prop_test.cc.o.d"
+  "prop_test"
+  "prop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

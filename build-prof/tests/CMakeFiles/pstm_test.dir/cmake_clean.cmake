@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstm_test.dir/pstm_test.cc.o"
+  "CMakeFiles/pstm_test.dir/pstm_test.cc.o.d"
+  "pstm_test"
+  "pstm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

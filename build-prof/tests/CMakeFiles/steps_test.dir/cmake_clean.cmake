@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steps_test.dir/steps_test.cc.o"
+  "CMakeFiles/steps_test.dir/steps_test.cc.o.d"
+  "steps_test"
+  "steps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdance_cli.dir/graphdance_cli.cc.o"
+  "CMakeFiles/graphdance_cli.dir/graphdance_cli.cc.o.d"
+  "graphdance_cli"
+  "graphdance_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdance_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,6 +16,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts a recycled buffer (e.g. from a BufferPool), reusing its
+  /// capacity; grows to at least `reserve` bytes.
+  ByteWriter(std::vector<uint8_t> recycled, size_t reserve)
+      : buf_(std::move(recycled)) {
+    buf_.clear();
+    buf_.reserve(reserve);
+  }
 
   void WriteU8(uint8_t v) { buf_.push_back(v); }
   void WriteU16(uint16_t v) { WriteRaw(&v, sizeof(v)); }

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/small_vector.h"
 #include "common/value.h"
 #include "graph/types.h"
@@ -44,20 +45,17 @@ class DistanceMemo : public MemoState {
   /// Returns true when a visit at `hop` improves on the recorded distance
   /// (and records it); false when the traverser should be pruned.
   bool TryImprove(VertexId v, uint16_t hop) {
-    auto [it, inserted] = best_.try_emplace(v, hop);
+    auto [best, inserted] = best_.TryEmplace(v, hop);
     if (inserted) return true;
-    if (hop < it->second) {
-      it->second = hop;
+    if (hop < *best) {
+      *best = hop;
       return true;
     }
     return false;
   }
 
   /// Best-known distance, or nullptr when unvisited.
-  const uint16_t* Lookup(VertexId v) const {
-    auto it = best_.find(v);
-    return it == best_.end() ? nullptr : &it->second;
-  }
+  const uint16_t* Lookup(VertexId v) const { return best_.Find(v); }
 
   size_t size() const { return best_.size(); }
 
@@ -66,7 +64,10 @@ class DistanceMemo : public MemoState {
   }
 
  private:
-  std::unordered_map<VertexId, uint16_t> best_;
+  // Pure lookup table (never iterated), so an open-addressing map is
+  // schedule-neutral here. The bytes formula is unchanged: it prices the
+  // record for the spill cost model, not the allocator.
+  FlatMap<VertexId, uint16_t> best_;
 };
 
 /// Memo for the Dedup step: the set of already-seen keys in this partition.
@@ -74,7 +75,7 @@ class DedupMemo : public MemoState {
  public:
   /// Returns true on first sight of `key` (traverser passes), false on a
   /// duplicate (traverser terminates).
-  bool FirstSight(const Value& key) { return seen_.insert(key).second; }
+  bool FirstSight(const Value& key) { return seen_.Insert(key); }
 
   size_t size() const { return seen_.size(); }
 
@@ -83,7 +84,8 @@ class DedupMemo : public MemoState {
   }
 
  private:
-  std::unordered_set<Value, ValueHash> seen_;
+  // Membership-only (never iterated) — safe as an open-addressing set.
+  FlatSet<Value, ValueHash> seen_;
 };
 
 /// One buffered input of a double-pipelined join: the traverser's carried
@@ -280,30 +282,26 @@ class MemoTable {
   /// Looks up existing state or returns nullptr.
   template <typename T>
   T* Find(uint64_t query_id, uint32_t step_id) {
-    auto it = states_.find(Key(query_id, step_id));
-    if (it == states_.end()) {
+    Slot* slot = states_.Find(Key(query_id, step_id));
+    if (slot == nullptr) {
       stats_.misses++;
       return nullptr;
     }
     stats_.hits++;
-    it->second.last_access = ++access_tick_;
-    FaultIn(it->second);
-    return static_cast<T*>(it->second.state.get());
+    slot->last_access = ++access_tick_;
+    FaultIn(*slot);
+    return static_cast<T*>(slot->state.get());
   }
 
   /// Drops every memo record owned by `query_id` (automatic cleanup after
   /// query termination, per the memoranda lifetime rule). Spilled records go
   /// straight from the tier to dropped — no fault-in, no read charge.
   void ClearQuery(uint64_t query_id) {
-    for (auto it = states_.begin(); it != states_.end();) {
-      if ((it->first >> 32) == query_id) {
-        DropSpilled(it->second);
-        it = states_.erase(it);
-        stats_.cleared++;
-      } else {
-        ++it;
-      }
-    }
+    stats_.cleared += states_.EraseIf([&](uint64_t key, Slot& slot) {
+      if ((key >> 32) != query_id) return false;
+      DropSpilled(slot);
+      return true;
+    });
   }
 
   size_t size() const { return states_.size(); }
@@ -312,10 +310,9 @@ class MemoTable {
   /// callers needing determinism must sort. Used by the residency checker.
   template <typename Fn>
   void ForEachKey(Fn&& fn) const {
-    for (const auto& [key, slot] : states_) {
-      (void)slot;
+    states_.ForEach([&fn](uint64_t key, const Slot&) {
       fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL));
-    }
+    });
   }
 
   /// Approximate bytes of every live state, resident or spilled. Walks the
@@ -323,10 +320,8 @@ class MemoTable {
   /// `memo_check_interval` tasks) and quiescence audits, not per-task use.
   size_t LiveBytes() const {
     size_t b = 0;
-    for (const auto& [key, slot] : states_) {
-      (void)key;
-      b += slot.state->ApproxBytes();
-    }
+    states_.ForEach(
+        [&b](uint64_t, const Slot& slot) { b += slot.state->ApproxBytes(); });
     return b;
   }
 
@@ -340,9 +335,9 @@ class MemoTable {
   /// Approximate bytes owned by one query in this partition.
   size_t BytesForQuery(uint64_t query_id) const {
     size_t b = 0;
-    for (const auto& [key, slot] : states_) {
+    states_.ForEach([&](uint64_t key, const Slot& slot) {
       if ((key >> 32) == query_id) b += slot.state->ApproxBytes();
-    }
+    });
     return b;
   }
 
@@ -351,10 +346,10 @@ class MemoTable {
   /// memo budget to find the biggest per-query consumer.
   template <typename Fn>
   void ForEachState(Fn&& fn) const {
-    for (const auto& [key, slot] : states_) {
+    states_.ForEach([&fn](uint64_t key, const Slot& slot) {
       fn(key >> 32, static_cast<uint32_t>(key & 0xffffffffULL),
          slot.state->ApproxBytes());
-    }
+    });
   }
 
   /// One eviction pass's outcome, for the caller to price (records seeks +
@@ -374,14 +369,14 @@ class MemoTable {
     if (resident <= target_bytes) return out;
     std::vector<std::pair<uint64_t, uint64_t>> order;  // (last_access, key)
     order.reserve(states_.size());
-    for (const auto& [key, slot] : states_) {
+    states_.ForEach([&order](uint64_t key, const Slot& slot) {
       if (slot.spilled_bytes == 0) order.emplace_back(slot.last_access, key);
-    }
+    });
     std::sort(order.begin(), order.end());
     for (const auto& [tick, key] : order) {
       (void)tick;
       if (resident <= target_bytes || room_bytes == 0) break;
-      Slot& slot = states_.at(key);
+      Slot& slot = *states_.Find(key);
       uint64_t b = slot.state->ApproxBytes();
       if (b > room_bytes) continue;  // does not fit; try a smaller cold one
       slot.spilled_bytes = b;
@@ -413,12 +408,9 @@ class MemoTable {
   /// (the TEL-backed graph storage does), and the crash also takes the
   /// worker's spill files with it.
   void Clear() {
-    for (auto& [key, slot] : states_) {
-      (void)key;
-      DropSpilled(slot);
-    }
+    states_.ForEach([this](uint64_t, Slot& slot) { DropSpilled(slot); });
     stats_.cleared += states_.size();
-    states_.clear();
+    states_.Clear();
     pending_fault_records_ = 0;
     pending_fault_bytes_ = 0;
   }
@@ -461,7 +453,10 @@ class MemoTable {
     return (query_id << 32) | step_id;
   }
 
-  std::unordered_map<uint64_t, Slot> states_;
+  // Open-addressing: the per-traverser memo lookup is the hottest map in the
+  // execute path. Iterating walks (ForEachKey/ForEachState) stay unordered,
+  // as documented; EvictColdest sorts before acting.
+  FlatMap<uint64_t, Slot> states_;
   Stats stats_;
   SpillStats spill_stats_;
   uint64_t access_tick_ = 0;

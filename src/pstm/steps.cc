@@ -251,7 +251,10 @@ void ExpandStep::Execute(Traverser t, StepContext& ctx) const {
     VertexId v;
     Value prop;
   };
-  std::vector<Nbr> nbrs;
+  // Reused across tasks: Execute never re-enters itself (Emit only queues),
+  // so one scratch per thread is safe and saves an allocation per expand.
+  static thread_local std::vector<Nbr> nbrs;
+  nbrs.clear();
   const bool expand = loop_hops_ == 0 || t.hop < loop_hops_;
   if (expand) {
     ctx.store().ForEachNeighbor(t.vertex, elabel_, dir_, ctx.read_ts(),

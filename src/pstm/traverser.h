@@ -58,35 +58,78 @@ struct Traverser {
   void Serialize(ByteWriter* out) const {
     // u16 vars count: >255 used to truncate silently as a raw u8.
     assert(vars.size() <= 0xffff && "Traverser vars overflow u16 count");
-    out->WriteU64(vertex);
-    out->WriteU32((static_cast<uint32_t>(step) << 16) | hop);
-    out->WriteU32(scope);
-    out->WriteU64(weight);
-    out->WriteU32(bulk);
-    out->WriteU16(static_cast<uint16_t>(vars.size()));
+    // The whole fixed-offset prefix goes out in one append (byte-identical
+    // to the per-field writes it replaces; see the layout table above).
+    uint8_t prefix[kSiteSuffixOffset + 2];
+    const uint32_t sh = (static_cast<uint32_t>(step) << 16) | hop;
+    const uint16_t nvars = static_cast<uint16_t>(vars.size());
+    std::memcpy(prefix, &vertex, 8);
+    std::memcpy(prefix + 8, &sh, 4);
+    std::memcpy(prefix + 12, &scope, 4);
+    std::memcpy(prefix + kWeightOffset, &weight, 8);
+    std::memcpy(prefix + kBulkOffset, &bulk, 4);
+    std::memcpy(prefix + kSiteSuffixOffset, &nvars, 2);
+    out->WriteRaw(prefix, sizeof(prefix));
     for (const Value& v : vars) v.Serialize(out);
     out->WriteU32(static_cast<uint32_t>(path.size()));
-    for (VertexId v : path) out->WriteU64(v);
+    // VertexId elements are written as raw little-endian u64s, so a
+    // contiguous vector appends in one shot.
+    if (!path.empty()) out->WriteRaw(path.data(), path.size() * 8);
   }
 
   static Traverser Deserialize(ByteReader* in) {
     Traverser t;
-    t.vertex = in->ReadU64();
-    uint32_t sh = in->ReadU32();
-    t.step = static_cast<uint16_t>(sh >> 16);
-    t.hop = static_cast<uint16_t>(sh & 0xffff);
-    t.scope = in->ReadU32();
-    t.weight = in->ReadU64();
-    t.bulk = in->ReadU32();
-    uint16_t nvars = in->ReadU16();
-    for (uint16_t i = 0; i < nvars; ++i) t.vars.push_back(Value::Deserialize(in));
+    DeserializeInto(in, &t);
+    return t;
+  }
+
+  /// Decodes into an existing traverser (a pooled one keeps its vars/path
+  /// heap capacity across reuse). Well-formed payloads take the zero-copy
+  /// fast path: one bounds check covers the whole fixed-offset prefix,
+  /// copied out with a single 30-byte memcpy instead of five checked
+  /// cursor reads; only the variable-width suffix (vars, path) streams
+  /// through the reader. Short buffers fall back to the checked
+  /// field-by-field decode, so the total-function guarantee is unchanged.
+  static void DeserializeInto(ByteReader* in, Traverser* t) {
+    t->vars.clear();
+    t->path.clear();
+    uint32_t sh;
+    if (in->remaining() >= kSiteSuffixOffset + 2) {
+      uint8_t prefix[kSiteSuffixOffset + 2];
+      in->ReadRaw(prefix, sizeof(prefix));
+      std::memcpy(&t->vertex, prefix, 8);
+      std::memcpy(&sh, prefix + 8, 4);
+      std::memcpy(&t->scope, prefix + 12, 4);
+      std::memcpy(&t->weight, prefix + kWeightOffset, 8);
+      std::memcpy(&t->bulk, prefix + kBulkOffset, 4);
+      uint16_t nvars;
+      std::memcpy(&nvars, prefix + kSiteSuffixOffset, 2);
+      t->step = static_cast<uint16_t>(sh >> 16);
+      t->hop = static_cast<uint16_t>(sh & 0xffff);
+      for (uint16_t i = 0; i < nvars; ++i) {
+        t->vars.push_back(Value::Deserialize(in));
+      }
+    } else {
+      t->vertex = in->ReadU64();
+      sh = in->ReadU32();
+      t->step = static_cast<uint16_t>(sh >> 16);
+      t->hop = static_cast<uint16_t>(sh & 0xffff);
+      t->scope = in->ReadU32();
+      t->weight = in->ReadU64();
+      t->bulk = in->ReadU32();
+      uint16_t nvars = in->ReadU16();
+      for (uint16_t i = 0; i < nvars; ++i) {
+        t->vars.push_back(Value::Deserialize(in));
+      }
+    }
     uint32_t plen = in->ReadU32();
     // A valid stream carries 8 bytes per path element; clamping keeps a
     // garbage count from a truncated frame from driving a giant allocation.
+    // Post-clamp the elements are guaranteed in bounds, so they copy out in
+    // one raw read instead of per-element checked cursor reads.
     plen = std::min<uint32_t>(plen, static_cast<uint32_t>(in->remaining() / 8));
-    t.path.reserve(plen);
-    for (uint32_t i = 0; i < plen; ++i) t.path.push_back(in->ReadU64());
-    return t;
+    t->path.resize(plen);
+    if (plen > 0) in->ReadRaw(t->path.data(), plen * 8ULL);
   }
 
   /// Approximate in-flight size for the network model.

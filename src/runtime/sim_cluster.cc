@@ -218,19 +218,17 @@ void ExecContext::Finish(uint32_t scope, Weight w) {
       // rows_unreported must enter rows_expected even when the report is
       // handled locally, or rows_received would carry an unmatched surplus
       // that could mask a dropped remote row at the final-scope check.
-      auto it = worker_->rows_unreported.find(qs_->id);
-      if (it != worker_->rows_unreported.end()) {
-        qs_->rows_expected += it->second;
-        worker_->rows_unreported.erase(it);
+      if (const uint32_t* rows = worker_->rows_unreported.Find(qs_->id)) {
+        qs_->rows_expected += *rows;
+        worker_->rows_unreported.Erase(qs_->id);
       }
     }
     cluster_->HandleWeight(*qs_, scope, w, *worker_);
   } else {
     if (cluster_->fault_active_) {
-      auto it = worker_->rows_unreported.find(qs_->id);
-      if (it != worker_->rows_unreported.end()) {
-        m.row_delta = it->second;
-        worker_->rows_unreported.erase(it);
+      if (const uint32_t* rows = worker_->rows_unreported.Find(qs_->id)) {
+        m.row_delta = *rows;
+        worker_->rows_unreported.Erase(qs_->id);
       }
     }
     cluster_->Charge(*worker_, CostKind::kMsgPack, 1);
@@ -260,7 +258,7 @@ void ExecContext::EmitRow(Row row, uint32_t count) {
     cluster_->MaybeCancelOnLimit(*qs_, worker_->now);
     return;
   }
-  ByteWriter out;
+  ByteWriter out(cluster_->payload_pool_.Acquire(), 64);
   SerializeRow(row, &out);
   Message m;
   m.kind = MessageKind::kResultRow;
@@ -984,7 +982,7 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   // it would be retried rather than authoritative-on-send.
   for (uint32_t w = 0; w < config_.total_workers(); ++w) {
     memos_[w].ClearQuery(qs.id);
-    if (fault_active_) workers_[w].rows_unreported.erase(qs.id);
+    if (fault_active_) workers_[w].rows_unreported.Erase(qs.id);
   }
   // A watchdog abort reaches here at event time `at`, which can be ahead of
   // the coordinator's local clock; sync it so the control fences below are
@@ -1408,7 +1406,7 @@ void SimCluster::AbortAttempt(QueryState& qs, SimTime at, const char* why) {
   for (uint32_t p = 0; p < config_.num_partitions(); ++p) {
     memos_[p].ClearQuery(qs.id);
   }
-  for (Worker& w : workers_) w.rows_unreported.erase(qs.id);
+  for (Worker& w : workers_) w.rows_unreported.Erase(qs.id);
 
   // Exponential backoff; a down coordinator additionally delays the restart
   // until it is back up.
@@ -1463,12 +1461,12 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
   w.first_bucket = 0;
   w.num_tasks = 0;
   w.pending_weights.clear();
-  w.rows_unreported.clear();
+  w.rows_unreported.Clear();
   for (TierBuffer& buf : w.out) {
     // Unflushed buffers never consumed credits; just drop them.
     buf.msgs.clear();
     buf.bytes = 0;
-    buf.merge_index.clear();
+    buf.merge_index.Clear();
     buf.held = false;
   }
   memos_[worker].Clear();
@@ -1569,7 +1567,10 @@ void SimCluster::IngestInbox(Worker& w) {
                               static_cast<double>(task_high)));
   }
   while (!w.inbox.empty()) {
-    std::vector<Message> batch;
+    // Reuse the worker's scratch vector for the swap (empty while in use, so
+    // a reentrant drain would just allocate fresh — correct either way).
+    std::vector<Message> batch = std::move(w.inbox_scratch);
+    batch.clear();
     batch.swap(w.inbox);
     for (size_t i = 0; i < batch.size(); ++i) {
       if (qos_active_ && batch[i].kind == MessageKind::kTraverserBatch &&
@@ -1598,6 +1599,8 @@ void SimCluster::IngestInbox(Worker& w) {
                        std::make_move_iterator(batch.begin() +
                                                static_cast<ptrdiff_t>(i)),
                        std::make_move_iterator(batch.end()));
+        batch.clear();
+        w.inbox_scratch = std::move(batch);
         return;
         }
       }
@@ -1606,10 +1609,12 @@ void SimCluster::IngestInbox(Worker& w) {
       Charge(w, CostKind::kMsgUnpack, 1);
       HandleMessage(w, std::move(batch[i]));
     }
+    batch.clear();
+    w.inbox_scratch = std::move(batch);
   }
 }
 
-void SimCluster::HandleMessage(Worker& w, Message msg) {
+void SimCluster::HandleMessage(Worker& w, Message&& msg) {
   auto qit = queries_.find(msg.query_id);
   if (qit == queries_.end()) return;
   QueryState& qs = qit->second;
@@ -1621,7 +1626,11 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
   switch (msg.kind) {
     case MessageKind::kTraverserBatch: {
       ByteReader reader(msg.payload.data(), msg.payload.size());
-      Traverser t = Traverser::Deserialize(&reader);
+      // Pooled receive: the recycled traverser brings vars/path capacity;
+      // the fixed-offset prefix decodes with one bounds check (see
+      // Traverser::DeserializeInto).
+      Traverser t = trav_pool_.Acquire();
+      Traverser::DeserializeInto(&reader, &t);
       Task task{msg.query_id, static_cast<PartitionId>(msg.tag), std::move(t)};
       task.attempt = msg.attempt;
       task.site = msg.trav_site;  // reuse the sender's hash for queue merging
@@ -1662,14 +1671,17 @@ void SimCluster::HandleMessage(Worker& w, Message msg) {
     }
     case MessageKind::kControl:
       memos_[w.id].ClearQuery(msg.query_id);
-      if (fault_active_) w.rows_unreported.erase(msg.query_id);
+      if (fault_active_) w.rows_unreported.Erase(msg.query_id);
       break;
     default:
       break;
   }
+  // The message is at its terminal disposition; recycle its payload buffer
+  // (every handler above has finished reading it).
+  payload_pool_.Release(std::move(msg.payload));
 }
 
-void SimCluster::ExecuteTask(Worker& w, Task task) {
+void SimCluster::ExecuteTask(Worker& w, Task&& task) {
   auto qit = queries_.find(task.query);
   if (qit == queries_.end() || qit->second.result.done) return;
   QueryState& qs = qit->second;
@@ -1751,7 +1763,7 @@ void SimCluster::RunFinalize(Worker& w, const Message& msg) {
   FlushAll(w);
 }
 
-void SimCluster::PushTask(Worker& w, Task task) {
+void SimCluster::PushTask(Worker& w, Task&& task) {
   // Shortest-trajectory-first bucketing; the FIFO ablation funnels every
   // task through one bucket.
   uint32_t bucket = config_.shortest_first_scheduling ? task.trav.hop : 0;
@@ -1769,12 +1781,12 @@ void SimCluster::PushTask(Worker& w, Task task) {
         Mix64(task.query ^ (static_cast<uint64_t>(task.attempt) << 32) ^
               (static_cast<uint64_t>(task.partition) << 1)));
     uint64_t newpos = b.base + b.q.size();
-    auto [it, inserted] = b.index.try_emplace(h, newpos);
+    auto [pos, inserted] = b.index.TryEmplace(h, newpos);
     if (!inserted) {
       // Lower bound fences dispatched positions; the upper bound fences
       // positions vacated by task spilling (back-of-bucket eviction).
-      if (it->second >= b.base && it->second < b.base + b.q.size()) {
-        Task& dst = b.q[it->second - b.base];
+      if (*pos >= b.base && *pos < b.base + b.q.size()) {
+        Task& dst = b.q[*pos - b.base];
         Weight dst_before = dst.trav.weight;
         if (dst.query == task.query && dst.attempt == task.attempt &&
             dst.partition == task.partition && dst.trav.SameSite(task.trav) &&
@@ -1787,10 +1799,11 @@ void SimCluster::PushTask(Worker& w, Task task) {
                                   dst_before, task.trav.weight, dst.trav.weight,
                                   w.now);
           }
+          trav_pool_.Release(std::move(task.trav));
           return;  // absorbed: nothing enqueued
         }
       }
-      it->second = newpos;  // dispatched or unmergeable: track the newcomer
+      *pos = newpos;  // dispatched or unmergeable: track the newcomer
     }
   }
   if (qos_active_) {
@@ -1815,7 +1828,7 @@ SimCluster::Task SimCluster::PopTask(Worker& w) {
   Task task = std::move(b.q.front());
   b.q.pop_front();
   ++b.base;
-  if (b.q.empty() && !b.index.empty()) b.index.clear();
+  if (b.q.empty() && !b.index.empty()) b.index.Clear();
   --w.num_tasks;
   if (qos_active_) {
     uint64_t bytes = task.trav.WireSize();
@@ -1828,7 +1841,7 @@ SimCluster::Task SimCluster::PopTask(Worker& w) {
 // ---- routing / transport ----------------------------------------------------
 
 void SimCluster::EmitTraverser(Worker& from, QueryState& qs, PartitionId current,
-                               Traverser t) {
+                               Traverser&& t) {
   const Step& target = qs.plan->step(t.step);
   t.scope = target.scope();
   PartitionId route = target.Route(t, graph_->partitioner());
@@ -1838,7 +1851,7 @@ void SimCluster::EmitTraverser(Worker& from, QueryState& qs, PartitionId current
 }
 
 void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partition,
-                               Traverser t) {
+                               Traverser&& t) {
   uint32_t dst = ExecWorkerFor(partition);
   if (dst == from.id) {
     uint64_t site = config_.traverser_bulking ? t.SiteHash() : 0;
@@ -1854,7 +1867,7 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
     ScheduleWake(from, from.now);
     return;
   }
-  ByteWriter out(t.WireSize() + 8);
+  ByteWriter out(payload_pool_.Acquire(), t.WireSize() + 8);
   t.Serialize(&out);
   Message m;
   m.kind = MessageKind::kTraverserBatch;
@@ -1868,10 +1881,12 @@ void SimCluster::SendTraverser(Worker& from, uint64_t query, PartitionId partiti
   // genuine-zero hash merely misses an optimization).
   if (config_.traverser_bulking) m.trav_site = t.SiteHash();
   Charge(from, CostKind::kMsgPack, 1);
+  // The traverser now lives on as payload bytes; recycle its heap storage.
+  trav_pool_.Release(std::move(t));
   Send(from, std::move(m));
 }
 
-void SimCluster::Send(Worker& from, Message msg) {
+void SimCluster::Send(Worker& from, Message&& msg) {
   metrics_.net().messages_by_kind[static_cast<int>(msg.kind)]++;
   metrics_.OnPairMessage(msg.src_worker, msg.dst_worker);
   uint32_t dst_node = NodeOfWorker(msg.dst_worker);
@@ -1934,10 +1949,10 @@ void SimCluster::Send(Worker& from, Message msg) {
   EnqueueRemote(from, dst_node, std::move(msg));
 }
 
-void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
+void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message&& msg) {
   if (config_.io_mode == IoMode::kSyncSend) {
     size_t bytes = msg.WireSize();
-    std::vector<Message> one;
+    std::vector<Message> one = frame_pool_.Acquire();
     one.push_back(std::move(msg));
     SubmitPack(from.node, dst_node, std::move(one), bytes, from.now,
                /*charge_sender=*/true, &from);
@@ -1947,9 +1962,9 @@ void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
   if (config_.traverser_bulking && msg.kind == MessageKind::kTraverserBatch &&
       msg.trav_site != 0 && !msg.no_bulk) {
     uint32_t newidx = static_cast<uint32_t>(buf.msgs.size());
-    auto [it, inserted] = buf.merge_index.try_emplace(msg.trav_site, newidx);
+    auto [idx, inserted] = buf.merge_index.TryEmplace(msg.trav_site, newidx);
     if (!inserted) {
-      Message& cand = buf.msgs[it->second];
+      Message& cand = buf.msgs[*idx];
       Weight cand_before = 0;
       if (check_ != nullptr && cand.payload.size() >= Traverser::kBulkOffset) {
         std::memcpy(&cand_before, cand.payload.data() + Traverser::kWeightOffset,
@@ -1982,9 +1997,10 @@ void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
           check_->OnWeightMerge(msg.query_id, msg.attempt, scope, cand_before,
                                 added, cand_after, from.now);
         }
+        payload_pool_.Release(std::move(msg.payload));
         return;
       }
-      it->second = newidx;  // unmergeable: track the newcomer for this site
+      *idx = newidx;  // unmergeable: track the newcomer for this site
     }
   }
   buf.bytes += msg.WireSize();
@@ -1995,7 +2011,7 @@ void SimCluster::EnqueueRemote(Worker& from, uint32_t dst_node, Message msg) {
   }
 }
 
-void SimCluster::DeliverLocal(Worker& from, Message msg, SimTime at) {
+void SimCluster::DeliverLocal(Worker& from, Message&& msg, SimTime at) {
   if (fault_active_) {
     SimTime wake = msg.dst_worker == from.id ? from.now : at;
     DeliverToWorker(std::move(msg), wake);
@@ -2010,7 +2026,7 @@ void SimCluster::DeliverLocal(Worker& from, Message msg, SimTime at) {
   }
 }
 
-void SimCluster::DeliverToWorker(Message msg, SimTime at) {
+void SimCluster::DeliverToWorker(Message&& msg, SimTime at) {
   Worker& dst = workers_[msg.dst_worker];
   if (dst.crashed) {
     fault_.stats().lost_in_crash++;
@@ -2080,11 +2096,13 @@ void SimCluster::FlushBufferAt(Worker& w, uint32_t dst_node, SimTime at) {
     }
     buf.held = false;
   }
-  std::vector<Message> msgs;
+  // Swap a recycled vector in: the flushed one comes back through
+  // frame_pool_ after delivery, so steady-state flushing allocates nothing.
+  std::vector<Message> msgs = frame_pool_.Acquire();
   msgs.swap(buf.msgs);
   size_t bytes = buf.bytes;
   buf.bytes = 0;
-  buf.merge_index.clear();  // indices referenced the flushed msgs
+  buf.merge_index.Clear();  // indices referenced the flushed msgs
   // In full GraphDance (TLC+NLC) the worker hands the pack to the node's
   // network thread and keeps computing; otherwise the worker performs the
   // send syscall itself.
@@ -2116,10 +2134,9 @@ void SimCluster::FlushWeights(Worker& w) {
       if (fault_active_) {
         // Same symmetry rule as ExecContext::Finish: locally handled reports
         // still account this worker's announced remote rows.
-        auto rit = w.rows_unreported.find(query);
-        if (rit != w.rows_unreported.end()) {
-          qs.rows_expected += rit->second;
-          w.rows_unreported.erase(rit);
+        if (const uint32_t* rows = w.rows_unreported.Find(query)) {
+          qs.rows_expected += *rows;
+          w.rows_unreported.Erase(query);
         }
       }
       HandleWeight(qs, scope, weight, w);
@@ -2137,10 +2154,9 @@ void SimCluster::FlushWeights(Worker& w) {
       // completeness requires every report to arrive, the coordinator is
       // guaranteed to have the full expected-row count by the time the
       // final scope's weight closes.
-      auto rit = w.rows_unreported.find(query);
-      if (rit != w.rows_unreported.end()) {
-        m.row_delta = rit->second;
-        w.rows_unreported.erase(rit);
+      if (const uint32_t* rows = w.rows_unreported.Find(query)) {
+        m.row_delta = *rows;
+        w.rows_unreported.Erase(query);
       }
     }
     Charge(w, CostKind::kMsgPack, 1);
@@ -2160,21 +2176,25 @@ void SimCluster::SubmitPack(uint32_t src_node, uint32_t dst_node,
     at = sender->now;
   }
   if (config_.io_mode != IoMode::kTlcNlc) {
-    SendFrame(src_node, dst_node, std::move(msgs), bytes, at);
+    std::vector<std::vector<Message>> packs = pack_pool_.Acquire();
+    packs.push_back(std::move(msgs));
+    SendFrame(src_node, dst_node, std::move(packs), bytes, at);
     return;
   }
   // Tier-2 node-level combining: packs submitted within the combining
   // window ride in one frame, sent by the node's network thread.
   EgressSlot& slot = egress_[src_node * config_.num_nodes + dst_node];
   slot.bytes += bytes;
-  for (Message& m : msgs) slot.pending.push_back(std::move(m));
+  // The pack rides whole into the combiner: one vector move instead of one
+  // Message move per element (~20 packs combine per frame window here).
+  slot.pending.push_back(std::move(msgs));
   if (!slot.send_scheduled) {
     slot.send_scheduled = true;
     events_.Schedule(at + kNlcCombineWindowNs, [this, src_node, dst_node](SimTime t) {
       EgressSlot& s = egress_[src_node * config_.num_nodes + dst_node];
       s.send_scheduled = false;
       if (s.pending.empty()) return;
-      std::vector<Message> out;
+      std::vector<std::vector<Message>> out = pack_pool_.Acquire();
       out.swap(s.pending);
       size_t out_bytes = s.bytes;
       s.bytes = 0;
@@ -2186,7 +2206,8 @@ void SimCluster::SubmitPack(uint32_t src_node, uint32_t dst_node,
 }
 
 void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
-                           std::vector<Message> msgs, size_t bytes, SimTime at) {
+                           std::vector<std::vector<Message>> packs,
+                           size_t bytes, SimTime at) {
   size_t wire_bytes = bytes + kFrameHeaderBytes;
   metrics_.OnFrame(src_node, dst_node, wire_bytes);
   SimTime& busy = LinkBusy(src_node, dst_node);
@@ -2197,21 +2218,26 @@ void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
   }
   SimTime end = start + tx;
   SimTime delivery = end + config_.cost.link_latency_ns;
-  events_.Schedule(delivery, [this, batch = std::move(msgs)](SimTime t) mutable {
+  events_.Schedule(delivery, [this, batch = std::move(packs)](SimTime t) mutable {
     DeliverFrame(std::move(batch), t);
   });
 }
 
-void SimCluster::DeliverFrame(std::vector<Message> msgs, SimTime at) {
-  for (Message& m : msgs) {
-    if (fault_active_) {
-      DeliverToWorker(std::move(m), at);
-      continue;
+void SimCluster::DeliverFrame(std::vector<std::vector<Message>> packs,
+                              SimTime at) {
+  for (std::vector<Message>& msgs : packs) {
+    for (Message& m : msgs) {
+      if (fault_active_) {
+        DeliverToWorker(std::move(m), at);
+        continue;
+      }
+      Worker& dst = workers_[m.dst_worker];
+      dst.inbox.push_back(std::move(m));
+      ScheduleWake(dst, at);
     }
-    Worker& dst = workers_[m.dst_worker];
-    dst.inbox.push_back(std::move(m));
-    ScheduleWake(dst, at);
+    frame_pool_.Release(std::move(msgs));  // hollow shells; capacity recycled
   }
+  pack_pool_.Release(std::move(packs));
 }
 
 void SimCluster::Charge(Worker& w, CostKind kind, uint64_t count) {

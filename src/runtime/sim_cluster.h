@@ -1,6 +1,8 @@
 #ifndef GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_
 #define GRAPHDANCE_RUNTIME_SIM_CLUSTER_H_
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <deque>
 #include <map>
@@ -10,6 +12,8 @@
 #include <vector>
 
 #include "check/invariants.h"
+#include "common/flat_map.h"
+#include "common/pool.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -170,8 +174,8 @@ class SimCluster : public check::ClusterProbe {
   friend class ExecContext;
 
   struct Task {
-    uint64_t query;
-    PartitionId partition;
+    uint64_t query = 0;
+    PartitionId partition = 0;
     Traverser trav;
     // Query attempt the task belongs to; stale-attempt tasks left in worker
     // queues after a recovery abort are fenced at execution time.
@@ -188,8 +192,9 @@ class SimCluster : public check::ClusterProbe {
     // Traverser-bulking merge index: site hash -> index into `msgs` of the
     // latest buffered kTraverserBatch merge candidate. Hash hits are
     // confirmed by byte comparison before merging (a collision just misses
-    // a merge); cleared on every flush.
-    std::unordered_map<uint64_t, uint32_t> merge_index;
+    // a merge); cleared on every flush. Open-addressing (never iterated,
+    // so schedule-neutral); Clear keeps the slot array across flushes.
+    FlatMap<uint64_t, uint32_t> merge_index;
     // QoS flow control: a flush attempt found the link out of credits; the
     // buffer waits sender-side and is retried when credits return
     // (RetryHeldFlushes). Never set when QoS is off.
@@ -216,7 +221,7 @@ class SimCluster : public check::ClusterProbe {
     struct TaskBucket {
       std::deque<Task> q;
       uint64_t base = 0;  // absolute position of q.front()
-      std::unordered_map<uint64_t, uint64_t> index;
+      FlatMap<uint64_t, uint64_t> index;  // lookup-only: schedule-neutral
     };
     std::vector<TaskBucket> tasks;
     uint32_t first_bucket = 0;
@@ -232,8 +237,12 @@ class SimCluster : public check::ClusterProbe {
     bool crashed = false;     // currently down (between crash and restart)
     SimTime down_until = 0;   // restart time of the most recent crash
     // Result rows sent remotely per query since the last weight report
-    // (piggybacked onto the next report as Message::row_delta).
-    std::unordered_map<uint64_t, uint32_t> rows_unreported;
+    // (piggybacked onto the next report as Message::row_delta). Looked up
+    // by query id only, never iterated.
+    FlatMap<uint64_t, uint32_t> rows_unreported;
+    // Scratch vector for the inbox swap in IngestInbox: keeps one batch's
+    // capacity alive across drains instead of reallocating per swap.
+    std::vector<Message> inbox_scratch;
     // --- QoS task-byte ledger (maintained only when QoS is enabled) ---
     // Conservation: enqueued == dequeued + dropped + queued. `queued` is the
     // quantity the worker_task_budget_bytes budget bounds; `dropped` counts
@@ -263,27 +272,58 @@ class SimCluster : public check::ClusterProbe {
   /// than the window is indistinguishable from a duplicate and is
   /// suppressed — equivalent to a drop, which the recovery protocol
   /// already tolerates — so memory stays bounded on long chaos runs.
+  /// Implementation: a flat 4096-bit ring indexed by seq modulo the window
+  /// (512 bytes per worker pair) instead of an unordered_set node per
+  /// delivered seq. At most one in-window seq maps to each bit because
+  /// max_seen - low never exceeds kReorderWindow, and bits are cleared as
+  /// `low` passes them, so a set bit always means "this exact seq". Aging
+  /// runs before the membership test; the return value ("seen before?") is
+  /// unchanged from the set-based version — both reduce to the predicate
+  /// seq <= low || delivered(seq).
   struct SeqWindow {
     static constexpr uint64_t kReorderWindow = 4096;
     uint64_t low = 0;       // every seq <= low counts as already seen
     uint64_t max_seen = 0;
-    std::unordered_set<uint64_t> seen;  // delivered seqs in (low, max_seen]
+    std::array<uint64_t, kReorderWindow / 64> bits{};  // seqs in (low, max_seen]
+    bool Test(uint64_t seq) const {
+      uint64_t b = seq & (kReorderWindow - 1);
+      return (bits[b >> 6] >> (b & 63)) & 1;
+    }
+    void Set(uint64_t seq) {
+      uint64_t b = seq & (kReorderWindow - 1);
+      bits[b >> 6] |= 1ULL << (b & 63);
+    }
+    void ClearBit(uint64_t seq) {
+      uint64_t b = seq & (kReorderWindow - 1);
+      bits[b >> 6] &= ~(1ULL << (b & 63));
+    }
     /// Records a delivery; returns true iff this seq was not seen before.
     bool Insert(uint64_t seq) {
-      if (seq <= low || !seen.insert(seq).second) return false;
-      if (seq > max_seen) max_seen = seq;
-      while (seen.erase(low + 1) != 0) ++low;  // advance contiguous prefix
-      while (max_seen - low > kReorderWindow) {  // age out gaps (drops)
+      if (seq <= low) return false;
+      uint64_t new_max = std::max(max_seen, seq);
+      while (new_max - low > kReorderWindow) {  // age out gaps (drops)
         ++low;
-        seen.erase(low);
+        ClearBit(low);
+      }
+      max_seen = new_max;
+      // Aging only runs when seq == new_max, which lands above the aged
+      // floor, so the recheck is defensive; the ring bit is unambiguous.
+      if (seq <= low || Test(seq)) return false;
+      Set(seq);
+      while (Test(low + 1)) {  // advance contiguous prefix
+        ClearBit(low + 1);
+        ++low;
       }
       return true;
     }
   };
 
   /// Tier-2 egress combiner state for one (src node, dst node) pair.
+  /// Submitted tier-1 packs are kept whole (one inner vector per pack) so
+  /// combining moves vectors, not every Message; delivery walks packs in
+  /// submission order, which is exactly the order a flat append would give.
   struct EgressSlot {
-    std::vector<Message> pending;
+    std::vector<std::vector<Message>> pending;
     size_t bytes = 0;
     bool send_scheduled = false;
   };
@@ -398,26 +438,29 @@ class SimCluster : public check::ClusterProbe {
   void ScheduleWake(Worker& w, SimTime at);
   void RunWorker(Worker& w, SimTime at);
   void IngestInbox(Worker& w);
-  void HandleMessage(Worker& w, Message msg);
-  void ExecuteTask(Worker& w, Task task);
+  void HandleMessage(Worker& w, Message&& msg);
+  // Task / traverser handoffs take rvalue refs: each hop of the
+  // emit -> route -> enqueue chain runs a few million times per second, and
+  // a by-value parameter costs one extra Traverser move per hop.
+  void ExecuteTask(Worker& w, Task&& task);
   void RunFinalize(Worker& w, const Message& msg);
-  void PushTask(Worker& w, Task task);
+  void PushTask(Worker& w, Task&& task);
   bool HasTask(const Worker& w) const { return w.num_tasks > 0; }
   Task PopTask(Worker& w);
 
   // --- routing / transport ---
   /// Routes an emitted traverser to its target step's partition. `from` is
   /// the emitting worker, `current` the partition it was emitted from.
-  void EmitTraverser(Worker& from, QueryState& qs, PartitionId current, Traverser t);
-  void SendTraverser(Worker& from, uint64_t query, PartitionId partition, Traverser t);
-  void Send(Worker& from, Message msg);
-  void DeliverLocal(Worker& from, Message msg, SimTime at);
+  void EmitTraverser(Worker& from, QueryState& qs, PartitionId current, Traverser&& t);
+  void SendTraverser(Worker& from, uint64_t query, PartitionId partition, Traverser&& t);
+  void Send(Worker& from, Message&& msg);
+  void DeliverLocal(Worker& from, Message&& msg, SimTime at);
   /// Common delivery path (local + framed): crash loss, epoch fencing and
   /// sequence dedup happen here before the message reaches the inbox.
-  void DeliverToWorker(Message msg, SimTime at);
+  void DeliverToWorker(Message&& msg, SimTime at);
   /// Hands one remote message to the tiered I/O pipeline (post fault
   /// decisions).
-  void EnqueueRemote(Worker& from, uint32_t dst_node, Message msg);
+  void EnqueueRemote(Worker& from, uint32_t dst_node, Message&& msg);
   void FlushBuffer(Worker& w, uint32_t dst_node);
   /// FlushBuffer at an explicit time >= w.now (credit-return retries run at
   /// the returning event's time, not the sender's possibly older clock).
@@ -426,9 +469,10 @@ class SimCluster : public check::ClusterProbe {
   void FlushWeights(Worker& w);
   void SubmitPack(uint32_t src_node, uint32_t dst_node, std::vector<Message> msgs,
                   size_t bytes, SimTime at, bool charge_sender, Worker* sender);
-  void SendFrame(uint32_t src_node, uint32_t dst_node, std::vector<Message> msgs,
-                 size_t bytes, SimTime at);
-  void DeliverFrame(std::vector<Message> msgs, SimTime at);
+  void SendFrame(uint32_t src_node, uint32_t dst_node,
+                 std::vector<std::vector<Message>> packs, size_t bytes,
+                 SimTime at);
+  void DeliverFrame(std::vector<std::vector<Message>> packs, SimTime at);
 
   /// Virtual-time charge helper honouring the shared-state/NUMA/swap models.
   void Charge(Worker& w, CostKind kind, uint64_t count);
@@ -476,7 +520,7 @@ class SimCluster : public check::ClusterProbe {
   // Per-(src,dst) worker-pair send sequence numbers (remote messages only).
   std::vector<uint64_t> pair_seq_;
   // Receive-side dedup: (src<<32|dst) -> bounded delivered-seq window.
-  std::unordered_map<uint64_t, SeqWindow> seen_seqs_;
+  FlatMap<uint64_t, SeqWindow> seen_seqs_;
   // Currently active kDegradeLink factors; overlapping windows compound
   // instead of the end of one window cancelling another still-active one.
   std::vector<double> degrade_active_;
@@ -514,6 +558,12 @@ class SimCluster : public check::ClusterProbe {
   uint64_t charge_counts_[static_cast<int>(CostKind::kNumKinds)] = {0};
   Rng rng_;
   bool swap_thrashing_ = false;  // dataset exceeds simulated node memory
+  // --- hot-path free lists (allocation recycling only; the DES charges
+  // virtual time through the cost model, so pooling cannot perturb it) ---
+  BufferPool payload_pool_;            // message payload / serde buffers
+  VectorPool<Message> frame_pool_;     // frame + flush message vectors
+  VectorPool<std::vector<Message>> pack_pool_;  // frame pack-of-packs shells
+  ObjectPool<Traverser> trav_pool_;    // recycles vars/path heap storage
 };
 
 }  // namespace graphdance

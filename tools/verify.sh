@@ -19,6 +19,12 @@
 #   spill   — spill-tier suite alone (ctest -L spill: off-switch byte
 #             identity, pressure state machine, spilled differential matrix)
 #             in the release tree, then the gated bench_spill pressure curve
+#   perf    — wall-clock smoke (bench_wallclock): runs the multi-workload
+#             throughput suite in the release tree and writes
+#             BENCH_wallclock.json. The binary gates determinism (it exits
+#             non-zero when a workload's bulking-on and bulking-off row
+#             fingerprints disagree) but the tasks/s numbers themselves are
+#             machine-dependent and not asserted — track them across runs.
 #
 # Each stage uses its own build directory (build/, build-asan/, build-debug/)
 # so they never clobber one another's caches.
@@ -75,6 +81,12 @@ if [[ "$STAGES" == "all" || "$STAGES" == "spill" ]]; then
   echo "==== [spill] bench_spill gates ===="
   cmake --build build --target bench_spill -j "$JOBS"
   ./build/bench/bench_spill
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "perf" ]]; then
+  echo "==== [perf] bench_wallclock smoke (release tree) ===="
+  cmake --build build --target bench_wallclock -j "$JOBS"
+  ./build/bench/bench_wallclock
 fi
 
 echo "==== verify: all requested stages passed ===="
