@@ -1,0 +1,298 @@
+// Real-thread scalability of the ThreadCluster runtime (DESIGN.md §14):
+// the wall-clock suite's three workloads executed on 1..N OS threads, same
+// graphs, same plans, shared-nothing partition ownership. Unlike
+// bench_wallclock (which measures how fast one host thread turns the
+// simulator crank) this measures actual parallel speedup of the PSTM hot
+// path on real cores.
+//
+// Workloads (mirroring bench_wallclock):
+//   topk      — k-hop top-10 mix (lj-sim, k = 2/3/4), all queries submitted
+//               to one cluster per thread count
+//   pathcount — non-dedup path counting (fs-sim, k = 2/3), the bulking-heavy
+//               merge path
+//   ldbc-ic   — LDBC SNB interactive complex mix + one concurrent batch
+//
+// Correctness gate (always enforced): the order-sensitive FNV over every
+// query's rows must be byte-identical at every thread count — the
+// differential guarantee, re-checked in the perf harness so a scalability
+// "win" can never come from dropping or reordering work. The binary exits
+// non-zero on any fingerprint divergence.
+//
+// Speedup gates (enforced only when the host has >= 4 hardware threads;
+// on smaller hosts the numbers are recorded but oversubscribed threads
+// cannot speed anything up): wall time monotone non-increasing over
+// 1 -> 2 -> 4 threads (10% tolerance), and >= 1.5x at 4 threads on at
+// least 2 of the 3 workloads.
+//
+// Writes BENCH_threads.json (fixed-point doubles, per-workload series).
+//
+// Flags: --scale S (default 0.25), --trials N (default 3),
+//        --persons P (default 800), --concurrent C (default 12),
+//        --max-threads T (default max(4, hardware_concurrency))
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "common/hash.h"
+#include "ldbc/driver.h"
+#include "ldbc/snb_queries.h"
+#include "rt/thread_cluster.h"
+
+using namespace graphdance;
+using namespace graphdance::bench;
+
+namespace {
+
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+constexpr uint32_t kPartitions = 16;  // matches bench_wallclock's 8x2 grid
+
+uint64_t HashRows(uint64_t h, const std::vector<Row>& rows) {
+  h = HashCombine(h, rows.size());
+  for (const Row& row : rows) {
+    h = HashCombine(h, row.size());
+    for (const Value& v : row) h = HashCombine(h, v.Hash());
+  }
+  return h;
+}
+
+/// One workload = a graph plus the full plan list; every thread count runs
+/// the identical batch on a fresh cluster over the same graph.
+struct Workload {
+  const char* name;
+  std::shared_ptr<PartitionedGraph> graph;
+  std::vector<std::shared_ptr<const Plan>> plans;
+};
+
+struct Sample {
+  uint32_t threads = 0;
+  double wall_ms = 0.0;
+  uint64_t tasks = 0;
+  double tasks_per_sec = 0.0;
+  uint64_t rows_fnv = kFnvSeed;
+  bool ok = false;
+};
+
+Sample RunWorkload(const Workload& wl, uint32_t threads) {
+  rt::ThreadClusterConfig cfg;
+  cfg.num_threads = threads;
+  Sample s;
+  s.threads = threads;
+
+  auto t0 = std::chrono::steady_clock::now();
+  rt::ThreadCluster cluster(cfg, wl.graph);
+  std::vector<uint64_t> ids;
+  ids.reserve(wl.plans.size());
+  for (const auto& plan : wl.plans) ids.push_back(cluster.Submit(plan));
+  Status st = cluster.RunToCompletion();
+  auto t1 = std::chrono::steady_clock::now();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s @ %u threads failed: %s\n", wl.name, threads,
+                 st.ToString().c_str());
+    return s;
+  }
+  // Submit order, not completion order: the fingerprint must not depend on
+  // which thread finished first.
+  for (uint64_t id : ids) s.rows_fnv = HashRows(s.rows_fnv, cluster.result(id).rows);
+  s.wall_ms = std::chrono::duration_cast<
+                  std::chrono::duration<double, std::milli>>(t1 - t0)
+                  .count();
+  s.tasks = cluster.TotalTasksExecuted();
+  s.tasks_per_sec =
+      s.wall_ms <= 0.0 ? 0.0 : static_cast<double>(s.tasks) / (s.wall_ms / 1000.0);
+  s.ok = true;
+  return s;
+}
+
+Workload MakeTopk(double scale, int trials) {
+  Workload wl;
+  wl.name = "topk";
+  BenchGraph bg = MakeBenchGraph("lj-sim", scale, kPartitions);
+  wl.graph = bg.graph;
+  for (int k : {2, 3, 4}) {
+    Rng rng(31);
+    for (int t = 0; t < trials; ++t) {
+      VertexId start = PickActiveStart(bg.graph, &rng);
+      wl.plans.push_back(KHopPlan(bg.graph, bg.weight, start, k));
+    }
+  }
+  return wl;
+}
+
+Workload MakePathCount(double scale, int trials) {
+  Workload wl;
+  wl.name = "pathcount";
+  BenchGraph bg = MakeBenchGraph("fs-sim", scale * 0.25, kPartitions);
+  wl.graph = bg.graph;
+  for (int k : {2, 3}) {
+    Rng rng(47);
+    for (int t = 0; t < trials; ++t) {
+      VertexId start = PickActiveStart(bg.graph, &rng);
+      auto plan = Traversal(bg.graph)
+                      .V({start})
+                      .RepeatOut("link", static_cast<uint16_t>(k), /*dedup=*/false)
+                      .Count()
+                      .Build();
+      if (plan.ok()) wl.plans.push_back(plan.TakeValue());
+    }
+  }
+  return wl;
+}
+
+Workload MakeLdbcIc(const SnbDataset& data, int concurrent) {
+  Workload wl;
+  wl.name = "ldbc-ic";
+  wl.graph = data.graph;
+  const int kMix[] = {1, 2, 3, 5, 6, 9};
+  for (int number : kMix) {
+    SnbParamGen gen(data, 100 + number);
+    SnbParams p = gen.Next();
+    auto plan = BuildInteractiveComplex(number, data, p);
+    if (plan.ok()) wl.plans.push_back(plan.TakeValue());
+  }
+  SnbParamGen gen(data, 500);
+  for (int i = 0; i < concurrent; ++i) {
+    SnbParams p = gen.Next();
+    auto plan = BuildInteractiveComplex(kMix[i % 6], data, p);
+    if (plan.ok()) wl.plans.push_back(plan.TakeValue());
+  }
+  return wl;
+}
+
+struct Series {
+  const char* name;
+  std::vector<Sample> samples;
+
+  const Sample* At(uint32_t threads) const {
+    for (const Sample& s : samples) {
+      if (s.threads == threads && s.ok) return &s;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  double scale = ArgDouble(argc, argv, "--scale", 0.25);
+  int trials = static_cast<int>(ArgDouble(argc, argv, "--trials", 3));
+  uint64_t persons =
+      static_cast<uint64_t>(ArgDouble(argc, argv, "--persons", 800));
+  int concurrent = static_cast<int>(ArgDouble(argc, argv, "--concurrent", 12));
+  const uint32_t hc = std::max(1u, std::thread::hardware_concurrency());
+  uint32_t max_threads = static_cast<uint32_t>(
+      ArgDouble(argc, argv, "--max-threads", std::max(4u, hc)));
+  PrintHeader("Real threads: ThreadCluster scalability, multi-workload suite");
+  std::printf("hardware_concurrency = %u, measuring 1..%u threads\n", hc,
+              max_threads);
+
+  // Doubling thread counts 1,2,4,... capped at max_threads (always including
+  // max_threads itself so "1 -> hardware_concurrency" is the measured span).
+  std::vector<uint32_t> counts;
+  for (uint32_t t = 1; t < max_threads; t *= 2) counts.push_back(t);
+  counts.push_back(max_threads);
+
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeTopk(scale, trials));
+  workloads.push_back(MakePathCount(scale, trials));
+  {
+    auto data = GenerateSnb(SnbConfig::Tiny(persons), kPartitions).TakeValue();
+    workloads.push_back(MakeLdbcIc(*data, concurrent));
+    // `data` owns the graph; workload keeps a shared_ptr so this scope can end.
+  }
+
+  // Warm-up: one single-thread pass over the smallest workload.
+  RunWorkload(workloads[1], 1);
+
+  std::printf("%-9s %8s | %10s %12s %14s | %7s  %s\n", "workload", "threads",
+              "wall ms", "tasks", "tasks/sec", "speedup", "rows");
+  std::vector<Series> series;
+  bool rows_equal = true;
+  for (const Workload& wl : workloads) {
+    Series s{wl.name, {}};
+    for (uint32_t t : counts) {
+      Sample smp = RunWorkload(wl, t);
+      if (smp.ok) {
+        const Sample& base = s.samples.empty() ? smp : s.samples.front();
+        double speedup = smp.wall_ms <= 0.0 ? 0.0 : base.wall_ms / smp.wall_ms;
+        std::printf("%-9s %8u | %10.1f %12lu %14.0f | %6.2fx  %016lx\n",
+                    wl.name, t, smp.wall_ms, (unsigned long)smp.tasks,
+                    smp.tasks_per_sec, speedup, (unsigned long)smp.rows_fnv);
+        if (!s.samples.empty() && smp.rows_fnv != s.samples.front().rows_fnv) {
+          std::printf("FAIL: %s rows @ %u threads differ from 1-thread run\n",
+                      wl.name, t);
+          rows_equal = false;
+        }
+      } else {
+        std::printf("%-9s %8u | FAILED\n", wl.name, t);
+        rows_equal = false;
+      }
+      s.samples.push_back(smp);
+    }
+    series.push_back(std::move(s));
+  }
+
+  // Speedup gates: only meaningful with >= 4 real hardware threads.
+  const bool enforce_speedup = hc >= 4 && max_threads >= 4;
+  int fast_workloads = 0;
+  bool monotone = true;
+  for (const Series& s : series) {
+    const Sample* w1 = s.At(1);
+    const Sample* w2 = s.At(2);
+    const Sample* w4 = s.At(4);
+    if (w1 == nullptr || w4 == nullptr) continue;
+    double speedup4 = w4->wall_ms <= 0.0 ? 0.0 : w1->wall_ms / w4->wall_ms;
+    if (speedup4 >= 1.5) ++fast_workloads;
+    // 10% tolerance: small workloads jitter; the trend must still point down.
+    if (w2 != nullptr &&
+        (w2->wall_ms > w1->wall_ms * 1.10 || w4->wall_ms > w2->wall_ms * 1.10)) {
+      std::printf("WARN: %s wall time not monotone over 1/2/4 threads\n", s.name);
+      monotone = false;
+    }
+  }
+  if (enforce_speedup) {
+    std::printf("speedup gate: %d/3 workloads >= 1.5x at 4 threads%s\n",
+                fast_workloads, monotone ? "" : " (non-monotone)");
+  } else {
+    std::printf("speedup gate skipped: hardware_concurrency = %u < 4\n", hc);
+  }
+
+  std::ofstream json("BENCH_threads.json");
+  json << std::fixed << std::setprecision(3);
+  json << "{\n"
+       << "  \"hardware_concurrency\": " << hc << ",\n"
+       << "  \"max_threads\": " << max_threads << ",\n"
+       << "  \"speedup_gate_enforced\": " << (enforce_speedup ? "true" : "false")
+       << ",\n"
+       << "  \"workloads\": [\n";
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Series& s = series[i];
+    const Sample* w1 = s.At(1);
+    const Sample* w4 = s.At(4);
+    double speedup4 = (w1 != nullptr && w4 != nullptr && w4->wall_ms > 0.0)
+                          ? w1->wall_ms / w4->wall_ms
+                          : 0.0;
+    json << "    {\n"
+         << "      \"name\": \"" << s.name << "\",\n"
+         << "      \"speedup_4\": " << speedup4 << ",\n"
+         << "      \"series\": [\n";
+    for (size_t j = 0; j < s.samples.size(); ++j) {
+      const Sample& smp = s.samples[j];
+      json << "        {\"threads\": " << smp.threads
+           << ", \"wall_ms\": " << smp.wall_ms << ", \"tasks\": " << smp.tasks
+           << ", \"tasks_per_sec\": " << smp.tasks_per_sec
+           << ", \"rows_fnv\": \"" << std::hex << smp.rows_fnv << std::dec
+           << "\"}" << (j + 1 == s.samples.size() ? "\n" : ",\n");
+    }
+    json << "      ]\n    }" << (i + 1 == series.size() ? "\n" : ",\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_threads.json\n");
+
+  if (!rows_equal) return 1;
+  if (enforce_speedup && (fast_workloads < 2 || !monotone)) return 1;
+  return 0;
+}

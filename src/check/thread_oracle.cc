@@ -1,0 +1,75 @@
+#include "check/thread_oracle.h"
+
+#include <sstream>
+
+#include "rt/thread_cluster.h"
+
+namespace graphdance {
+namespace check {
+
+std::string ThreadDifferentialReport::Summary() const {
+  std::ostringstream os;
+  os << "thread-differential: " << cells << " cells, " << queries
+     << " queries, " << mismatches << " mismatches";
+  if (!failures.empty()) os << "; first: " << failures.front();
+  return os.str();
+}
+
+Result<ThreadDifferentialReport> RunThreadDifferential(
+    const WorkloadFactory& factory, const ThreadDifferentialOptions& opt) {
+  Result<std::vector<std::vector<Row>>> reference = ComputeReference(factory);
+  if (!reference.ok()) return reference.status();
+  const std::vector<std::vector<Row>>& ref = reference.value();
+
+  ThreadDifferentialReport report;
+  for (uint32_t threads : opt.thread_counts) {
+    for (uint64_t seed = 1; seed <= opt.num_seeds; ++seed) {
+      WorkloadInstance wl = factory(opt.num_partitions);
+      if (wl.plans.size() != ref.size()) {
+        return Status::Internal("workload factory is not deterministic");
+      }
+      rt::ThreadClusterConfig cfg;
+      cfg.num_threads = threads;
+      cfg.seed = seed;
+      cfg.traverser_bulking = opt.traverser_bulking;
+      cfg.flush_threshold_bytes = opt.flush_threshold_bytes;
+      rt::ThreadCluster cluster(cfg, wl.graph);
+      std::vector<uint64_t> ids;
+      ids.reserve(wl.plans.size());
+      for (const auto& plan : wl.plans) ids.push_back(cluster.Submit(plan));
+      Status st = cluster.RunToCompletion(opt.run_timeout_ms);
+      if (!st.ok()) {
+        return Status::Internal("threads=" + std::to_string(threads) +
+                                " seed=" + std::to_string(seed) + ": " +
+                                st.ToString());
+      }
+      ++report.cells;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        ++report.queries;
+        const QueryResult& r = cluster.result(ids[i]);
+        if (!r.done) {
+          ++report.mismatches;
+          report.failures.push_back(
+              "threads=" + std::to_string(threads) + " seed=" +
+              std::to_string(seed) + " plan=" + std::to_string(i) +
+              ": query not done");
+          continue;
+        }
+        std::vector<Row> got = CanonicalRows(r.rows);
+        std::vector<Row> want = CanonicalRows(ref[i]);
+        if (got != want) {
+          ++report.mismatches;
+          report.failures.push_back(
+              "threads=" + std::to_string(threads) + " seed=" +
+              std::to_string(seed) + " plan=" + std::to_string(i) + ": " +
+              std::to_string(got.size()) + " rows vs reference " +
+              std::to_string(want.size()));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace graphdance

@@ -1,0 +1,51 @@
+#ifndef GRAPHDANCE_CHECK_THREAD_ORACLE_H_
+#define GRAPHDANCE_CHECK_THREAD_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+
+namespace graphdance {
+namespace check {
+
+/// Matrix shape for the real-thread differential gate: the workload is run on
+/// a rt::ThreadCluster at every (thread count, seed) cell and each plan's
+/// canonical row multiset is compared against the single-worker simulated
+/// reference (ComputeReference). Together with RunDifferential this closes
+/// the loop sim == reference == threads: the real-thread engine must produce
+/// byte-identical rows no matter how the OS schedules its workers.
+struct ThreadDifferentialOptions {
+  /// Partition count of the workload under test (matches the sim matrix's
+  /// num_nodes * workers_per_node so the same reference applies).
+  uint32_t num_partitions = 4;
+  std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  /// Weight-split RNG seeds explored per thread count. Weights never affect
+  /// rows, so every seed must agree; a divergence means lost or double
+  /// weight, i.e. a real termination bug.
+  uint64_t num_seeds = 8;
+  bool traverser_bulking = true;
+  /// Small flush threshold keeps cross-thread traffic frequent under test.
+  size_t flush_threshold_bytes = 512;
+  uint64_t run_timeout_ms = 120'000;
+};
+
+struct ThreadDifferentialReport {
+  uint64_t cells = 0;
+  uint64_t queries = 0;
+  uint64_t mismatches = 0;
+  std::vector<std::string> failures;  // "threads=4 seed=3 plan=2: ..." lines
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the full threads x seeds matrix against the simulated single-worker
+/// reference. Errors (not mismatches) when a cell fails to terminate.
+Result<ThreadDifferentialReport> RunThreadDifferential(
+    const WorkloadFactory& factory, const ThreadDifferentialOptions& opt);
+
+}  // namespace check
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_CHECK_THREAD_ORACLE_H_

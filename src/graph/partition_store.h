@@ -173,6 +173,12 @@ class PartitionStore {
   TransactionalEdgeLog& tel() { return tel_; }
   const TransactionalEdgeLog& tel() const { return tel_; }
 
+  /// Debug-build shared-nothing enforcement: a multi-threaded runtime claims
+  /// each partition from its owning worker thread; TEL mutations then assert
+  /// they run on that thread (no-ops in release, inert when never claimed).
+  void ClaimOwnerThread() { tel_.ClaimOwnerThread(); }
+  void ReleaseOwnerThread() { tel_.ReleaseOwnerThread(); }
+
   // ---- construction (used by GraphBuilder only) ---------------------------
 
   uint32_t AddVertexForBuild(VertexId v, LabelId label, std::vector<Prop> props) {

@@ -6,6 +6,11 @@
 #include <utility>
 #include <vector>
 
+#ifndef NDEBUG
+#include <cassert>
+#include <thread>
+#endif
+
 #include "common/flat_map.h"
 #include "common/small_vector.h"
 #include "common/value.h"
@@ -79,8 +84,32 @@ class TransactionalEdgeLog {
            (dir == Direction::kIn ? 1u : 0u);
   }
 
+  /// Debug-build enforcement of the one-owner-thread contract above. A
+  /// runtime (e.g. rt::ThreadCluster) claims each partition's TEL from the
+  /// worker thread that owns it; every mutation then asserts it runs on that
+  /// thread. Unclaimed TELs (single-threaded tests, the simulator) assert
+  /// nothing. Release builds compile these away entirely.
+#ifndef NDEBUG
+  void ClaimOwnerThread() {
+    assert(owner_thread_ == std::thread::id() &&
+           "TEL already claimed by another thread");
+    owner_thread_ = std::this_thread::get_id();
+  }
+  void ReleaseOwnerThread() { owner_thread_ = std::thread::id(); }
+  void AssertOwnerThread() const {
+    assert((owner_thread_ == std::thread::id() ||
+            owner_thread_ == std::this_thread::get_id()) &&
+           "TEL mutated off its owner thread");
+  }
+#else
+  void ClaimOwnerThread() {}
+  void ReleaseOwnerThread() {}
+  void AssertOwnerThread() const {}
+#endif
+
   /// Creates a dynamic vertex. Overwrites any prior tombstone.
   void AddVertex(VertexId v, LabelId label, Timestamp ts) {
+    AssertOwnerThread();
     TelVertex& rec = GetOrCreate(v);
     rec.label = label;
     rec.create_ts = ts;
@@ -89,6 +118,7 @@ class TransactionalEdgeLog {
 
   /// Marks a dynamic vertex deleted at `ts` (visible before, gone after).
   bool DeleteVertex(VertexId v, Timestamp ts) {
+    AssertOwnerThread();
     TelVertex* rec = Find(v);
     if (rec == nullptr || !rec->VisibleAt(ts)) return false;
     rec->delete_ts = ts;
@@ -107,6 +137,7 @@ class TransactionalEdgeLog {
   /// the other endpoint.
   void AddEdge(VertexId anchor, LabelId elabel, Direction dir, VertexId other,
                Timestamp ts, Value prop = Value()) {
+    AssertOwnerThread();
     TelVertex& rec = GetOrCreate(anchor);
     if (rec.create_ts == 0 && rec.label == kInvalidLabel) {
       // Anchor is a static vertex gaining dynamic edges; keep it visible
@@ -121,6 +152,7 @@ class TransactionalEdgeLog {
   /// Returns true when such an edge existed.
   bool DeleteEdge(VertexId anchor, LabelId elabel, Direction dir, VertexId other,
                   Timestamp ts) {
+    AssertOwnerThread();
     TelVertex* rec = Find(anchor);
     if (rec == nullptr) return false;
     const TelVertex::AdjChain* chain = FindChain(*rec, AdjKey(elabel, dir));
@@ -140,6 +172,7 @@ class TransactionalEdgeLog {
 
   /// Writes a vertex property version at `ts`.
   void SetProperty(VertexId v, PropKeyId key, Value value, Timestamp ts) {
+    AssertOwnerThread();
     GetOrCreate(v).props.push_back(TelPropVersion{ts, key, std::move(value)});
   }
 
@@ -183,6 +216,7 @@ class TransactionalEdgeLog {
   /// rewritten in place (surviving edges slide down within their blocks);
   /// vacated arena slots are reset so they hold no stale property Values.
   void TruncateAfter(Timestamp lct) {
+    AssertOwnerThread();
     index_.EraseIf([&](const VertexId&, uint32_t idx) {
       TelVertex& rec = recs_[idx];
       if (rec.create_ts > lct && rec.label != kInvalidLabel) {
@@ -243,6 +277,7 @@ class TransactionalEdgeLog {
   /// `compaction_epoch()` advances. Nothing may hold pointers into the old
   /// arena across a compaction (FindVertex/scan results are transient).
   void Compact(Timestamp watermark) {
+    AssertOwnerThread();
     ++compaction_epoch_;
     std::vector<TelEdge> old_arena;
     std::vector<Block> old_blocks;
@@ -429,6 +464,10 @@ class TransactionalEdgeLog {
   std::vector<TelEdge> arena_;
   std::vector<Block> blocks_;
   uint64_t compaction_epoch_ = 0;
+#ifndef NDEBUG
+  // Default-constructed id = unclaimed (no enforcement).
+  std::thread::id owner_thread_;
+#endif
 };
 
 }  // namespace graphdance

@@ -48,6 +48,20 @@ struct CollectMergeState {
   uint32_t replies = 0;
 };
 
+/// Per-worker reusable scratch buffers for step execution. Owned by the
+/// engine's worker object (one per simulated worker / one per real thread)
+/// and handed to steps through the StepContext, so the hot path reuses
+/// capacity without function-local `thread_local` state — which would leak
+/// one buffer per short-lived worker thread and hide ownership from the
+/// engine (see ExpandStep::Execute).
+struct StepScratch {
+  struct Nbr {
+    VertexId v;
+    Value prop;
+  };
+  std::vector<Nbr> nbrs;
+};
+
 /// The services a step implementation receives from the executing engine.
 /// One StepContext is bound to (worker, partition, query) for the duration
 /// of a step execution; all mutation flows through it so the same step code
@@ -90,6 +104,14 @@ class StepContext {
   /// Sends a blocking step's per-partition finalization payload to the
   /// coordinator (CollectReply).
   virtual void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) = 0;
+
+  /// Worker-owned scratch buffers (may be null for bare contexts in tests;
+  /// steps must fall back to local storage when unset).
+  StepScratch* scratch() { return scratch_; }
+  void set_scratch(StepScratch* scratch) { scratch_ = scratch; }
+
+ private:
+  StepScratch* scratch_ = nullptr;
 };
 
 /// Immutable description of one traversal step psi. Step objects carry only

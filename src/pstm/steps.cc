@@ -247,13 +247,12 @@ void ExpandStep::Execute(Traverser t, StepContext& ctx) const {
   }
 
   // Gather qualifying neighbors (applies the edge-property filter inline).
-  struct Nbr {
-    VertexId v;
-    Value prop;
-  };
-  // Reused across tasks: Execute never re-enters itself (Emit only queues),
-  // so one scratch per thread is safe and saves an allocation per expand.
-  static thread_local std::vector<Nbr> nbrs;
+  // The scratch buffer is worker-owned (reused across tasks: Execute never
+  // re-enters itself, Emit only queues) so expand allocates nothing steady-
+  // state and short-lived worker threads leave no per-thread residue behind.
+  using Nbr = StepScratch::Nbr;
+  std::vector<Nbr> local_nbrs;
+  std::vector<Nbr>& nbrs = ctx.scratch() ? ctx.scratch()->nbrs : local_nbrs;
   nbrs.clear();
   const bool expand = loop_hops_ == 0 || t.hop < loop_hops_;
   if (expand) {

@@ -24,6 +24,20 @@ using Weight = uint64_t;
 
 inline constexpr Weight kUnitWeight = 1;
 
+/// Key for per-worker coalesced-weight maps: (query id, scope id) packed into
+/// one word. Query ids are dense counters and scope ids are plan-step
+/// indices, so 32 bits each is ample; a 16-bit scope field would make
+/// query 1 / scope 65541 collide with query 2 / scope 5. Shared by the
+/// simulated and real-thread runtimes.
+inline uint64_t WeightKey(uint64_t query, uint32_t scope) {
+  assert(query < (1ULL << 32) && "query id overflows WeightKey packing");
+  return (query << 32) | scope;
+}
+inline uint64_t WeightKeyQuery(uint64_t key) { return key >> 32; }
+inline uint32_t WeightKeyScope(uint64_t key) {
+  return static_cast<uint32_t>(key & 0xffffffffULL);
+}
+
 /// Splits `w` into `n` shares summing to `w` (mod 2^64), n >= 1. Shares are
 /// uniform random group elements except the last, which is the remainder.
 /// n == 0 is a caller bug (asserts in debug builds); release builds return

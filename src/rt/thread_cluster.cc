@@ -1,0 +1,782 @@
+#include "rt/thread_cluster.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/serde.h"
+#include "pstm/steps.h"
+#include "pstm/weight.h"
+
+namespace graphdance {
+namespace rt {
+
+// ---------------------------------------------------------------------------
+// RtExecContext
+// ---------------------------------------------------------------------------
+
+/// StepContext bound to (thread, partition, query) for one task or finalize.
+/// The real-thread sibling of the simulator's ExecContext: identical routing,
+/// weight and row semantics, no virtual-time accounting (wall time is real
+/// here). Everything it touches is thread-local except the coordinator-only
+/// inline handoffs, which only happen when this thread IS the coordinator.
+class RtExecContext final : public StepContext {
+ public:
+  enum class Mode {
+    kAsync,     // live asynchronous execution
+    kFinalize,  // OnFinalize: emissions buffered for weight assignment
+  };
+
+  RtExecContext(ThreadCluster* cluster, ThreadCluster::WorkerThread* worker,
+                ThreadCluster::QueryState* qs, PartitionId partition, Mode mode)
+      : cluster_(cluster),
+        worker_(worker),
+        qs_(qs),
+        partition_(partition),
+        mode_(mode) {
+    set_scratch(&worker_->scratch);
+  }
+
+  const PartitionStore& store() const override {
+    return cluster_->graph_->partition(partition_);
+  }
+  MemoTable& memo() override { return cluster_->memos_[partition_]; }
+  const Partitioner& partitioner() const override {
+    return cluster_->graph_->partitioner();
+  }
+  const Schema& schema() const override { return cluster_->graph_->schema(); }
+  uint64_t query_id() const override { return qs_->id; }
+  Timestamp read_ts() const override { return qs_->read_ts; }
+  Rng& rng() override { return worker_->rng; }
+
+  // Wall time is real: there is no cost model to charge.
+  void Charge(CostKind kind, uint64_t count) override {
+    (void)kind;
+    (void)count;
+  }
+  using StepContext::Charge;
+
+  void CountTraverser(StepKind kind) override {
+    worker_->metrics.steps_in[static_cast<uint32_t>(kind)]++;
+  }
+
+  void Emit(Traverser t) override {
+    if (mode_ == Mode::kAsync) {
+      cluster_->EmitTraverser(*worker_, *qs_, partition_, std::move(t));
+    } else {
+      emitted_.push_back(std::move(t));
+    }
+  }
+
+  void Finish(uint32_t scope, Weight w) override {
+    worker_->metrics.weight_finishes++;
+    if (cluster_->config_.weight_coalescing) {
+      worker_->pending_weights[WeightKey(qs_->id, scope)] += w;
+      return;
+    }
+    worker_->metrics.weight_reports++;
+    if (qs_->coordinator == worker_->id) {
+      cluster_->HandleWeight(*worker_, *qs_, scope, w);
+      return;
+    }
+    Message m;
+    m.kind = MessageKind::kWeightReport;
+    m.src_worker = worker_->id;
+    m.dst_worker = qs_->coordinator;
+    m.query_id = qs_->id;
+    m.scope_id = scope;
+    m.weight = w;
+    cluster_->Send(*worker_, std::move(m));
+  }
+
+  void EmitRow(Row row, uint32_t count) override {
+    if (count == 0) return;
+    if (qs_->coordinator == worker_->id) {
+      // Coordinator-local rows never cross an inbox; the coordinator thread
+      // is the only mutator of its queries' results.
+      for (uint32_t i = 1; i < count; ++i) qs_->result.rows.push_back(row);
+      qs_->result.rows.push_back(std::move(row));
+      cluster_->MaybeCancelOnLimit(*worker_, *qs_);
+      return;
+    }
+    ByteWriter out(worker_->payload_pool.Acquire(), 64);
+    SerializeRow(row, &out);
+    Message m;
+    m.kind = MessageKind::kResultRow;
+    m.src_worker = worker_->id;
+    m.dst_worker = qs_->coordinator;
+    m.query_id = qs_->id;
+    // tag carries the bulk multiplicity; the coordinator expands it.
+    m.tag = count;
+    m.payload = out.Take();
+    cluster_->Send(*worker_, std::move(m));
+  }
+
+  void SendCollect(uint32_t step_id, std::vector<uint8_t> payload) override {
+    Message m;
+    m.kind = MessageKind::kCollectReply;
+    m.src_worker = worker_->id;
+    m.dst_worker = qs_->coordinator;
+    m.query_id = qs_->id;
+    m.tag = step_id;
+    m.payload = std::move(payload);
+    if (qs_->coordinator == worker_->id) {
+      cluster_->HandleCollectReply(*worker_, *qs_, m);
+      worker_->payload_pool.Release(std::move(m.payload));
+    } else {
+      cluster_->Send(*worker_, std::move(m));
+    }
+  }
+
+  std::vector<Traverser>& emitted() { return emitted_; }
+
+ private:
+  ThreadCluster* cluster_;
+  ThreadCluster::WorkerThread* worker_;
+  ThreadCluster::QueryState* qs_;
+  PartitionId partition_;
+  Mode mode_;
+  std::vector<Traverser> emitted_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadCluster
+// ---------------------------------------------------------------------------
+
+ThreadCluster::ThreadCluster(ThreadClusterConfig config,
+                             std::shared_ptr<PartitionedGraph> graph)
+    : config_(config), graph_(std::move(graph)) {
+  if (config_.num_threads == 0) config_.num_threads = 1;
+  memos_.resize(graph_->num_partitions());
+  coordinated_.resize(config_.num_threads);
+  workers_.reserve(config_.num_threads);
+  for (uint32_t i = 0; i < config_.num_threads; ++i) {
+    auto w = std::make_unique<WorkerThread>();
+    w->id = i;
+    w->rng = Rng(config_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
+    w->out.resize(config_.num_threads);
+    w->pair_messages.assign(config_.num_threads, 0);
+    workers_.push_back(std::move(w));
+  }
+}
+
+ThreadCluster::~ThreadCluster() {
+  // Defensive: if RunToCompletion was never reached (or threw before join),
+  // make sure no thread outlives the cluster.
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->inbox.Close();
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+uint64_t ThreadCluster::Submit(std::shared_ptr<const Plan> plan,
+                               Timestamp read_ts) {
+  if (plan == nullptr || !plan->finalized()) {
+    GD_ERROR("Submit requires a finalized plan");
+    std::abort();
+  }
+  if (ran_) {
+    GD_ERROR("ThreadCluster is single-shot: Submit before RunToCompletion");
+    std::abort();
+  }
+  uint64_t id = next_query_id_++;
+  QueryState& qs = queries_[id];
+  qs.id = id;
+  qs.plan = std::move(plan);
+  // Same coordinator assignment as the simulator (worker id == partition id
+  // there), so default root placement — and therefore row content — matches.
+  qs.coordinator_partition =
+      static_cast<PartitionId>(id % graph_->num_partitions());
+  qs.coordinator = OwnerOf(qs.coordinator_partition);
+  qs.read_ts = read_ts;
+  qs.result.query_id = id;
+  coordinated_[qs.coordinator].push_back(id);
+  pending_queries_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Status ThreadCluster::RunToCompletion(uint64_t timeout_ms) {
+  if (ran_) return Status::Internal("ThreadCluster is single-shot");
+  ran_ = true;
+  run_start_ = std::chrono::steady_clock::now();
+  for (auto& w : workers_) {
+    WorkerThread* wt = w.get();
+    wt->thread = std::thread([this, wt] { ThreadMain(*wt); });
+  }
+  bool completed;
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    completed = done_cv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), [this] {
+          return pending_queries_.load(std::memory_order_acquire) == 0;
+        });
+  }
+  stop_.store(true, std::memory_order_release);
+  // Close wakes any worker parked in WaitDrainInto immediately; late sends
+  // still enqueue (Close only affects waiting).
+  for (auto& w : workers_) w->inbox.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  if (!completed) {
+    return Status::Internal("ThreadCluster run timed out: " +
+                            std::to_string(pending_queries_.load()) +
+                            " queries still pending (lost weight?)");
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> ThreadCluster::Run(std::shared_ptr<const Plan> plan,
+                                       Timestamp read_ts) {
+  uint64_t id = Submit(std::move(plan), read_ts);
+  Status st = RunToCompletion();
+  if (!st.ok()) return st;
+  return queries_.at(id).result;
+}
+
+const QueryResult& ThreadCluster::result(uint64_t query_id) const {
+  return queries_.at(query_id).result;
+}
+
+uint64_t ThreadCluster::TotalTasksExecuted() const {
+  uint64_t n = 0;
+  for (const auto& w : workers_) n += w->tasks_executed;
+  return n;
+}
+
+obs::MetricsSnapshot ThreadCluster::MetricsSnapshot() const {
+  obs::MetricsRegistry reg;
+  reg.Init(config_.num_threads, /*num_nodes=*/1);
+  for (const auto& w : workers_) {
+    reg.worker(w->id) = w->metrics;
+    for (int k = 0; k < static_cast<int>(MessageKind::kNumKinds); ++k) {
+      reg.net().messages_by_kind[k] += w->messages_by_kind[k];
+    }
+    // Every cross-thread message is a shared-memory delivery in this runtime.
+    reg.net().local_messages += w->remote_sends;
+    for (uint32_t dst = 0; dst < config_.num_threads; ++dst) {
+      for (uint64_t i = 0; i < w->pair_messages[dst]; ++i) {
+        reg.OnPairMessage(w->id, dst);
+      }
+    }
+  }
+  for (const auto& [id, qs] : queries_) {
+    reg.OnQuerySubmitted();
+    if (qs.result.done) {
+      reg.OnQueryDone(qs.result.LatencyNanos(), qs.result.failed,
+                      qs.result.timed_out);
+    }
+  }
+  obs::MetricsSnapshot s = reg.Snapshot();
+  for (const MemoTable& m : memos_) {
+    const MemoTable::Stats& ms = m.stats();
+    s.memo_hits += ms.hits;
+    s.memo_misses += ms.misses;
+    s.memo_created += ms.created;
+    s.memo_cleared += ms.cleared;
+  }
+  s.tasks_executed = TotalTasksExecuted();
+  return s;
+}
+
+uint64_t ThreadCluster::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - run_start_)
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Worker thread body
+// ---------------------------------------------------------------------------
+
+void ThreadCluster::ThreadMain(WorkerThread& w) {
+  // Shared-nothing enforcement (debug builds): this thread owns its
+  // partitions' TELs for the whole run.
+  for (PartitionId p = w.id; p < graph_->num_partitions();
+       p += config_.num_threads) {
+    graph_->partition(p).ClaimOwnerThread();
+  }
+  for (uint64_t qid : coordinated_[w.id]) StartQuery(w, queries_.at(qid));
+
+  bool flushed_for_exit = false;
+  for (;;) {
+    DrainInbox(w, /*wait=*/false);
+    uint32_t executed = 0;
+    while (HasTask(w) && executed < config_.quantum_tasks) {
+      ExecuteTask(w, PopTask(w));
+      ++executed;
+    }
+    if (HasTask(w)) continue;  // quantum expired: re-drain, keep going
+    FlushAll(w);
+    if (!w.inbox.Empty()) continue;
+    if (stop_.load(std::memory_order_acquire)) {
+      // Exit drain: flush once, then keep consuming until every thread has
+      // flushed and this inbox is empty. After all queries completed no
+      // handler generates new messages, so this converges.
+      if (!flushed_for_exit) {
+        flushed_for_exit = true;
+        drained_threads_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (drained_threads_.load(std::memory_order_acquire) ==
+              config_.num_threads &&
+          w.inbox.Empty()) {
+        break;
+      }
+      DrainInbox(w, /*wait=*/true);
+      continue;
+    }
+    DrainInbox(w, /*wait=*/true);
+  }
+
+  for (PartitionId p = w.id; p < graph_->num_partitions();
+       p += config_.num_threads) {
+    graph_->partition(p).ReleaseOwnerThread();
+  }
+}
+
+size_t ThreadCluster::DrainInbox(WorkerThread& w, bool wait) {
+  std::vector<Message> batch = std::move(w.inbox_scratch);
+  batch.clear();
+  size_t n =
+      wait ? w.inbox.WaitDrainInto(&batch,
+                                   std::chrono::microseconds(config_.idle_wait_us))
+           : w.inbox.DrainInto(&batch);
+  for (Message& m : batch) HandleMessage(w, std::move(m));
+  batch.clear();
+  w.inbox_scratch = std::move(batch);
+  return n;
+}
+
+void ThreadCluster::HandleMessage(WorkerThread& w, Message&& msg) {
+  auto qit = queries_.find(msg.query_id);
+  if (qit == queries_.end()) return;
+  QueryState& qs = qit->second;
+  switch (msg.kind) {
+    case MessageKind::kTraverserBatch: {
+      ByteReader reader(msg.payload.data(), msg.payload.size());
+      Traverser t = w.trav_pool.Acquire();
+      Traverser::DeserializeInto(&reader, &t);
+      Task task{msg.query_id, static_cast<PartitionId>(msg.tag), std::move(t),
+                msg.trav_site};
+      PushTask(w, std::move(task));
+      break;
+    }
+    case MessageKind::kWeightReport:
+      HandleWeight(w, qs, msg.scope_id, msg.weight);
+      break;
+    case MessageKind::kFinalize:
+      RunFinalize(w, msg);
+      break;
+    case MessageKind::kCollectReply:
+      HandleCollectReply(w, qs, msg);
+      break;
+    case MessageKind::kResultRow: {
+      if (qs.result.done) break;  // a completed result is frozen
+      ByteReader reader(msg.payload.data(), msg.payload.size());
+      uint32_t nrows = msg.tag == 0 ? 1 : static_cast<uint32_t>(msg.tag);
+      Row row = DeserializeRow(&reader);
+      for (uint32_t i = 1; i < nrows; ++i) qs.result.rows.push_back(row);
+      qs.result.rows.push_back(std::move(row));
+      MaybeCancelOnLimit(w, qs);
+      break;
+    }
+    case MessageKind::kControl:
+      // Query-end memo fence: clear this thread's partitions.
+      for (PartitionId p = w.id; p < graph_->num_partitions();
+           p += config_.num_threads) {
+        memos_[p].ClearQuery(msg.query_id);
+      }
+      break;
+    default:
+      break;
+  }
+  w.payload_pool.Release(std::move(msg.payload));
+}
+
+void ThreadCluster::ExecuteTask(WorkerThread& w, Task&& task) {
+  auto qit = queries_.find(task.query);
+  if (qit == queries_.end()) return;
+  QueryState& qs = qit->second;
+  // Advisory early-drop of limit-cancelled queries. Relaxed is enough: a
+  // stale false just executes a task whose rows the frozen result ignores.
+  if (qs.done.load(std::memory_order_relaxed)) {
+    w.trav_pool.Release(std::move(task.trav));
+    return;
+  }
+  RtExecContext ctx(this, &w, &qs, task.partition, RtExecContext::Mode::kAsync);
+  qs.plan->step(task.trav.step).Execute(std::move(task.trav), ctx);
+  ++w.tasks_executed;
+}
+
+void ThreadCluster::RunFinalize(WorkerThread& w, const Message& msg) {
+  auto qit = queries_.find(msg.query_id);
+  if (qit == queries_.end() || qit->second.result.done) return;
+  QueryState& qs = qit->second;
+  // tag packs (partition << 32) | closer-step so one worker thread can own
+  // several partitions and finalize each separately.
+  PartitionId partition = static_cast<PartitionId>(msg.tag >> 32);
+  const Step& st = qs.plan->step(static_cast<uint16_t>(msg.tag & 0xffff));
+
+  RtExecContext ctx(this, &w, &qs, partition, RtExecContext::Mode::kFinalize);
+  st.OnFinalize(ctx);
+
+  if (!st.NeedsCollect()) {
+    // Continuation protocol: this partition's share of the next scope's unit
+    // weight is distributed over the emissions; no emissions finishes it.
+    uint32_t new_scope = st.scope() + 1;
+    std::vector<Traverser>& emitted = ctx.emitted();
+    if (emitted.empty()) {
+      RtExecContext report_ctx(this, &w, &qs, partition,
+                               RtExecContext::Mode::kAsync);
+      report_ctx.Finish(new_scope, msg.weight);
+    } else {
+      std::vector<Weight> shares =
+          SplitWeight(msg.weight, emitted.size(), &w.rng);
+      for (size_t i = 0; i < emitted.size(); ++i) {
+        Traverser t = std::move(emitted[i]);
+        t.weight = shares[i];
+        EmitTraverser(w, qs, partition, std::move(t));
+      }
+    }
+  }
+  FlushAll(w);
+}
+
+void ThreadCluster::PushTask(WorkerThread& w, Task&& task) {
+  uint32_t bucket = config_.shortest_first_scheduling ? task.trav.hop : 0;
+  if (bucket >= w.tasks.size()) w.tasks.resize(bucket + 1);
+  TaskBucket& b = w.tasks[bucket];
+  if (config_.traverser_bulking && task.site != 0) {
+    // Receive-side bulking, identical to the simulator: O(1) site-hash probe,
+    // confirmed field-by-field, absorbed task keeps the target's position.
+    uint64_t h = HashCombine(
+        task.site,
+        Mix64(task.query ^ (static_cast<uint64_t>(task.partition) << 1)));
+    uint64_t newpos = b.base + b.q.size();
+    auto [pos, inserted] = b.index.TryEmplace(h, newpos);
+    if (!inserted) {
+      if (*pos >= b.base && *pos < b.base + b.q.size()) {
+        Task& dst = b.q[*pos - b.base];
+        if (dst.query == task.query && dst.partition == task.partition &&
+            dst.trav.SameSite(task.trav) && dst.trav.MergeFrom(task.trav)) {
+          w.metrics.bulk_merges++;
+          w.metrics.traversers_bulked += task.trav.bulk;
+          w.trav_pool.Release(std::move(task.trav));
+          return;  // absorbed: nothing enqueued
+        }
+      }
+      *pos = newpos;  // dispatched or unmergeable: track the newcomer
+    }
+  }
+  b.q.push_back(std::move(task));
+  if (bucket < w.first_bucket) w.first_bucket = bucket;
+  ++w.num_tasks;
+}
+
+ThreadCluster::Task ThreadCluster::PopTask(WorkerThread& w) {
+  while (w.tasks[w.first_bucket].q.empty()) ++w.first_bucket;
+  TaskBucket& b = w.tasks[w.first_bucket];
+  Task task = std::move(b.q.front());
+  b.q.pop_front();
+  ++b.base;
+  if (b.q.empty() && !b.index.empty()) b.index.Clear();
+  --w.num_tasks;
+  return task;
+}
+
+// ---------------------------------------------------------------------------
+// Query lifecycle (runs on the query's coordinator thread only)
+// ---------------------------------------------------------------------------
+
+void ThreadCluster::StartQuery(WorkerThread& w, QueryState& qs) {
+  const Plan& plan = *qs.plan;
+  struct RootSpec {
+    uint16_t step;
+    PartitionId partition;
+    VertexId vertex;
+  };
+  std::vector<RootSpec> roots;
+  for (uint16_t r : plan.roots()) {
+    const Step& step = plan.step(r);
+    std::vector<VertexId> ids = step.RootVertices();
+    if (!ids.empty()) {
+      for (VertexId v : ids) {
+        roots.push_back(RootSpec{r, graph_->PartitionOf(v), v});
+      }
+    } else if (step.BroadcastRoot()) {
+      for (PartitionId p = 0; p < graph_->num_partitions(); ++p) {
+        roots.push_back(RootSpec{r, p, kInvalidVertex});
+      }
+    } else {
+      roots.push_back(RootSpec{r, qs.coordinator_partition, kInvalidVertex});
+    }
+  }
+  if (roots.empty()) {
+    CompleteQuery(w, qs);
+    return;
+  }
+  std::vector<Weight> shares = SplitWeight(kUnitWeight, roots.size(), &w.rng);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    Traverser t;
+    t.vertex = roots[i].vertex;
+    t.step = roots[i].step;
+    t.scope = plan.step(roots[i].step).scope();
+    t.weight = shares[i];
+    SendTraverser(w, qs.id, roots[i].partition, std::move(t));
+  }
+  FlushAll(w);
+}
+
+void ThreadCluster::HandleWeight(WorkerThread& w, QueryState& qs,
+                                 uint32_t scope, Weight wt) {
+  if (qs.result.done) return;
+  if (scope != qs.scope) {
+    GD_WARN("weight report for unexpected scope");
+    return;
+  }
+  qs.acc += wt;
+  if (qs.acc == kUnitWeight) ScopeComplete(w, qs);
+}
+
+void ThreadCluster::ScopeComplete(WorkerThread& w, QueryState& qs) {
+  const Plan& plan = *qs.plan;
+  uint16_t closer = plan.scope_closer(qs.scope);
+  if (closer == kNoStep) {
+    CompleteQuery(w, qs);
+    return;
+  }
+  const Step& st = plan.step(closer);
+  qs.scope += 1;
+  qs.acc = 0;
+
+  const uint32_t num_partitions = graph_->num_partitions();
+  std::vector<Weight> shares;
+  if (st.NeedsCollect()) {
+    qs.collecting = true;
+    qs.collect = CollectMergeState{};
+    qs.replies_expected = num_partitions;
+  } else {
+    // The next scope's unit weight is split per PARTITION (the simulator's
+    // per-worker split is the same thing there: one partition per worker).
+    shares = SplitWeight(kUnitWeight, num_partitions, &w.rng);
+  }
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    Message m;
+    m.kind = MessageKind::kFinalize;
+    m.src_worker = w.id;
+    m.dst_worker = OwnerOf(p);
+    m.query_id = qs.id;
+    m.scope_id = qs.scope;
+    m.tag = (static_cast<uint64_t>(p) << 32) | closer;
+    m.weight = st.NeedsCollect() ? 0 : shares[p];
+    if (m.dst_worker == w.id) {
+      RunFinalize(w, m);
+    } else {
+      Send(w, std::move(m));
+    }
+  }
+  FlushAll(w);
+}
+
+void ThreadCluster::HandleCollectReply(WorkerThread& w, QueryState& qs,
+                                       const Message& msg) {
+  if (qs.result.done || !qs.collecting) return;
+  const Step& st = qs.plan->step(static_cast<uint16_t>(msg.tag));
+  ByteReader reader(msg.payload.data(), msg.payload.size());
+  st.OnCollect(&reader, &qs.collect);
+  if (++qs.collect.replies < qs.replies_expected) return;
+
+  qs.collecting = false;
+  std::vector<Traverser> continuations;
+  st.OnCollectComplete(qs.collect, &qs.result.rows, &continuations);
+  if (continuations.empty()) {
+    CompleteQuery(w, qs);
+    return;
+  }
+  std::vector<Weight> shares =
+      SplitWeight(kUnitWeight, continuations.size(), &w.rng);
+  for (size_t i = 0; i < continuations.size(); ++i) {
+    Traverser t = std::move(continuations[i]);
+    t.weight = shares[i];
+    EmitTraverser(w, qs, qs.coordinator_partition, std::move(t));
+  }
+  FlushAll(w);
+}
+
+void ThreadCluster::MaybeCancelOnLimit(WorkerThread& w, QueryState& qs) {
+  size_t limit = qs.plan->result_limit();
+  if (limit == 0 || qs.result.done || qs.result.rows.size() < limit) return;
+  qs.result.rows.resize(limit);
+  CompleteQuery(w, qs);
+}
+
+void ThreadCluster::CompleteQuery(WorkerThread& w, QueryState& qs) {
+  if (qs.result.done) return;
+  qs.result.done = true;
+  qs.result.complete_time = NowNanos();
+  qs.done.store(true, std::memory_order_release);
+  // Memoranda lifetime: this thread clears its own partitions directly; the
+  // kControl fence below triggers every peer's clear (shared-nothing — no
+  // thread touches another thread's memo tables).
+  for (PartitionId p = w.id; p < graph_->num_partitions();
+       p += config_.num_threads) {
+    memos_[p].ClearQuery(qs.id);
+  }
+  for (uint32_t peer = 0; peer < config_.num_threads; ++peer) {
+    if (peer == w.id) continue;
+    Message m;
+    m.kind = MessageKind::kControl;
+    m.src_worker = w.id;
+    m.dst_worker = peer;
+    m.query_id = qs.id;
+    Send(w, std::move(m));
+  }
+  // Push the fences out before announcing completion, so the main thread's
+  // stop cannot observe pending==0 while controls sit in a send buffer.
+  FlushAll(w);
+  if (pending_queries_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard<std::mutex> lock(done_mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing / transport
+// ---------------------------------------------------------------------------
+
+void ThreadCluster::EmitTraverser(WorkerThread& w, QueryState& qs,
+                                  PartitionId current, Traverser&& t) {
+  const Step& target = qs.plan->step(t.step);
+  t.scope = target.scope();
+  PartitionId route = target.Route(t, graph_->partitioner());
+  PartitionId p = route == kLocalRoute ? current : route;
+  SendTraverser(w, qs.id, p, std::move(t));
+}
+
+void ThreadCluster::SendTraverser(WorkerThread& w, uint64_t query,
+                                  PartitionId partition, Traverser&& t) {
+  uint32_t dst = OwnerOf(partition);
+  if (dst == w.id) {
+    uint64_t site = config_.traverser_bulking ? t.SiteHash() : 0;
+    Task task{query, partition, std::move(t), site};
+    PushTask(w, std::move(task));
+    w.local_pushes++;
+    return;
+  }
+  ByteWriter out(w.payload_pool.Acquire(), t.WireSize() + 8);
+  t.Serialize(&out);
+  Message m;
+  m.kind = MessageKind::kTraverserBatch;
+  m.src_worker = w.id;
+  m.dst_worker = dst;
+  m.query_id = query;
+  m.tag = partition;
+  m.payload = out.Take();
+  if (config_.traverser_bulking) m.trav_site = t.SiteHash();
+  w.trav_pool.Release(std::move(t));
+  Send(w, std::move(m));
+}
+
+void ThreadCluster::Send(WorkerThread& w, Message&& msg) {
+  w.messages_by_kind[static_cast<int>(msg.kind)]++;
+  w.pair_messages[msg.dst_worker]++;
+  SendBuf& buf = w.out[msg.dst_worker];
+  if (config_.traverser_bulking && msg.kind == MessageKind::kTraverserBatch &&
+      msg.trav_site != 0) {
+    // Send-side bulking: merge into a buffered same-site carrier. The hash
+    // only gates a byte-exact payload comparison (Traverser::MergePayloads).
+    uint32_t newidx = static_cast<uint32_t>(buf.msgs.size());
+    auto [idx, inserted] = buf.merge_index.TryEmplace(msg.trav_site, newidx);
+    if (!inserted) {
+      Message& cand = buf.msgs[*idx];
+      if (cand.query_id == msg.query_id && cand.dst_worker == msg.dst_worker &&
+          cand.tag == msg.tag &&
+          Traverser::MergePayloads(cand.payload, msg.payload)) {
+        uint32_t absorbed_bulk;
+        std::memcpy(&absorbed_bulk, msg.payload.data() + Traverser::kBulkOffset,
+                    sizeof(absorbed_bulk));
+        w.metrics.bulk_merges++;
+        w.metrics.traversers_bulked += absorbed_bulk;
+        // The absorbed message never reaches an inbox; retract its counters.
+        w.messages_by_kind[static_cast<int>(msg.kind)]--;
+        w.pair_messages[msg.dst_worker]--;
+        w.payload_pool.Release(std::move(msg.payload));
+        return;
+      }
+      *idx = newidx;
+    }
+  }
+  buf.bytes += msg.WireSize();
+  buf.msgs.push_back(std::move(msg));
+  if (buf.bytes >= config_.flush_threshold_bytes) {
+    uint32_t dst = buf.msgs.back().dst_worker;
+    FlushBuffer(w, dst);
+    FlushWeights(w);
+  }
+}
+
+void ThreadCluster::FlushBuffer(WorkerThread& w, uint32_t dst) {
+  SendBuf& buf = w.out[dst];
+  if (buf.msgs.empty()) return;
+  std::vector<Message> batch;
+  batch.swap(buf.msgs);
+  buf.bytes = 0;
+  if (!buf.merge_index.empty()) buf.merge_index.Clear();
+  w.remote_sends += batch.size();
+  // One PushBatch per flush: the receiver sees the buffered order intact —
+  // in particular, a query's result rows always precede the weight report
+  // that accounts for them (the rows-before-weights invariant).
+  workers_[dst]->inbox.PushBatch(batch.begin(), batch.end());
+  batch.clear();
+  buf.msgs = std::move(batch);  // keep the capacity for the next fill
+}
+
+void ThreadCluster::FlushWeights(WorkerThread& w) {
+  if (w.pending_weights.empty()) return;
+  auto pending = std::move(w.pending_weights);
+  w.pending_weights.clear();
+  for (const auto& [key, weight] : pending) {
+    uint64_t query = WeightKeyQuery(key);
+    uint32_t scope = WeightKeyScope(key);
+    auto qit = queries_.find(query);
+    if (qit == queries_.end()) continue;
+    w.metrics.weight_reports++;
+    QueryState& qs = qit->second;
+    if (qs.coordinator == w.id) {
+      HandleWeight(w, qs, scope, weight);
+      continue;
+    }
+    Message m;
+    m.kind = MessageKind::kWeightReport;
+    m.src_worker = w.id;
+    m.dst_worker = qs.coordinator;
+    m.query_id = query;
+    m.scope_id = scope;
+    m.weight = weight;
+    Send(w, std::move(m));
+  }
+}
+
+void ThreadCluster::FlushAll(WorkerThread& w) {
+  // Weights first (coalesced cells become messages behind any buffered rows),
+  // then every buffer. Inline coordinator handling inside FlushWeights can
+  // stage new weights/messages, so loop until everything is quiescent.
+  for (;;) {
+    FlushWeights(w);
+    bool flushed_any = false;
+    for (uint32_t dst = 0; dst < config_.num_threads; ++dst) {
+      if (!w.out[dst].msgs.empty()) {
+        FlushBuffer(w, dst);
+        flushed_any = true;
+      }
+    }
+    if (w.pending_weights.empty() && !flushed_any) return;
+  }
+}
+
+}  // namespace rt
+}  // namespace graphdance

@@ -1,0 +1,254 @@
+#ifndef GRAPHDANCE_RT_THREAD_CLUSTER_H_
+#define GRAPHDANCE_RT_THREAD_CLUSTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/mpsc_queue.h"
+#include "common/pool.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "net/message.h"
+#include "obs/metrics.h"
+#include "pstm/memo.h"
+#include "pstm/plan.h"
+#include "pstm/traverser.h"
+#include "pstm/weight.h"
+#include "runtime/query.h"
+
+namespace graphdance {
+namespace rt {
+
+/// Configuration of a real-thread PSTM cluster. Deliberately a small subset
+/// of ClusterConfig: the knobs that exist here mean exactly what they mean
+/// in the simulator; everything virtual-time (cost model, fault injection,
+/// QoS) has no real-thread counterpart yet.
+struct ThreadClusterConfig {
+  /// Worker threads to spawn. Partition p is owned by thread p % num_threads
+  /// (shared-nothing: only the owner ever touches the partition's store,
+  /// memo table, or TEL).
+  uint32_t num_threads = 1;
+  /// Per-destination send-buffer flush threshold (paper's tier-1 combining).
+  size_t flush_threshold_bytes = 8192;
+  /// Tasks executed per scheduling quantum before re-draining the inbox.
+  uint32_t quantum_tasks = 128;
+  /// Send-side + queue-side traverser bulking (multiplicity merging).
+  bool traverser_bulking = true;
+  /// Shortest-trajectory-first task ordering (hop-bucketed queues).
+  bool shortest_first_scheduling = true;
+  /// Coalesce finished weights per (query, scope) before reporting.
+  bool weight_coalescing = true;
+  /// Seed for all per-thread RNGs (weight splitting).
+  uint64_t seed = 1;
+  /// How long an idle worker parks in WaitDrainInto before re-checking for
+  /// work and the stop flag.
+  uint32_t idle_wait_us = 200;
+};
+
+/// A real multi-threaded PSTM runtime: the same plans, steps, traversers,
+/// memo tables and weight-based termination detection as SimCluster, but
+/// executed by N OS threads on actual cores instead of a discrete-event
+/// simulation (DESIGN.md §14).
+///
+/// Shared-nothing architecture: each thread owns the partitions p with
+/// p % num_threads == thread id, plus those partitions' memo tables and
+/// scratch pools. Threads communicate exclusively through per-thread MPSC
+/// inboxes carrying the same Message structs as the simulated transport,
+/// with the same zero-copy traverser serde and send-side bulking.
+///
+/// Usage (single-shot):
+///   ThreadCluster cluster(cfg, graph);
+///   uint64_t q = cluster.Submit(plan);
+///   cluster.RunToCompletion();     // spawns, executes, joins
+///   const QueryResult& r = cluster.result(q);
+///
+/// All Submit() calls must precede RunToCompletion(); the cluster is not
+/// reusable after the run (mirrors the BSP driver's submission model).
+class ThreadCluster {
+ public:
+  ThreadCluster(ThreadClusterConfig config,
+                std::shared_ptr<PartitionedGraph> graph);
+  ~ThreadCluster();
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Registers a query for the next RunToCompletion(). `read_ts` is the
+  /// snapshot timestamp (defaults to "read everything").
+  uint64_t Submit(std::shared_ptr<const Plan> plan,
+                  Timestamp read_ts = kMaxTimestamp - 1);
+
+  /// Spawns the worker threads, runs every submitted query to completion,
+  /// and joins. Fails with kInternal if the run exceeds `timeout_ms` of wall
+  /// time without every query completing (termination detection lost weight
+  /// — should never happen).
+  Status RunToCompletion(uint64_t timeout_ms = 120'000);
+
+  /// Convenience: submit one query and run it to completion.
+  Result<QueryResult> Run(std::shared_ptr<const Plan> plan,
+                          Timestamp read_ts = kMaxTimestamp - 1);
+
+  const QueryResult& result(uint64_t query_id) const;
+
+  /// Folded per-thread counters in the same shape the simulator reports
+  /// (num_nodes = 1; one "worker" per thread). Query latencies are wall-time
+  /// nanoseconds since the run started, not virtual time.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
+  uint64_t TotalTasksExecuted() const;
+
+  uint32_t OwnerOf(PartitionId p) const { return p % config_.num_threads; }
+  const ThreadClusterConfig& config() const { return config_; }
+  const PartitionedGraph& graph() const { return *graph_; }
+
+ private:
+  friend class RtExecContext;
+
+  struct Task {
+    uint64_t query = 0;
+    PartitionId partition = 0;
+    Traverser trav;
+    // Site hash carried from the send side (0 = not a bulking candidate).
+    uint64_t site = 0;
+  };
+
+  /// Per-destination-thread send buffer (the simulator's tier-1 TLC buffer,
+  /// minus virtual-time accounting). Flushed as one PushBatch so the
+  /// receiver sees the buffered order exactly — the FIFO-per-producer
+  /// guarantee of MpscQueue is what keeps result rows ahead of the weight
+  /// report that accounts for them.
+  struct SendBuf {
+    std::vector<Message> msgs;
+    size_t bytes = 0;
+    // Traverser-bulking merge index: site hash -> index into msgs. A hash
+    // hit is confirmed byte-for-byte before merging; cleared on flush.
+    FlatMap<uint64_t, uint32_t> merge_index;
+  };
+
+  struct TaskBucket {
+    std::deque<Task> q;
+    uint64_t base = 0;  // absolute position of q.front()
+    FlatMap<uint64_t, uint64_t> index;  // site -> absolute queued position
+  };
+
+  /// One worker thread's whole world. Everything in here is touched only by
+  /// the owning thread between spawn and join; cross-thread traffic enters
+  /// through `inbox` only. Padded to a cache line so neighbouring workers'
+  /// hot counters never false-share.
+  struct alignas(64) WorkerThread {
+    uint32_t id = 0;
+    MpscQueue<Message> inbox;
+    std::vector<Message> inbox_scratch;
+    std::vector<TaskBucket> tasks;
+    uint32_t first_bucket = 0;
+    size_t num_tasks = 0;
+    std::vector<SendBuf> out;  // one per peer thread
+    // Coalesced finished weights: WeightKey(query, scope) -> weight.
+    std::unordered_map<uint64_t, Weight> pending_weights;
+    Rng rng{0};
+    StepScratch scratch;
+    // Per-thread free lists (the pools are single-threaded by contract).
+    BufferPool payload_pool;
+    ObjectPool<Traverser> trav_pool;
+    // --- per-thread metrics, folded into one snapshot after join ---
+    obs::WorkerMetrics metrics;
+    uint64_t tasks_executed = 0;
+    uint64_t messages_by_kind[static_cast<int>(MessageKind::kNumKinds)] = {0};
+    uint64_t local_pushes = 0;    // same-thread traverser handoffs
+    uint64_t remote_sends = 0;    // messages shipped through a peer inbox
+    std::vector<uint64_t> pair_messages;  // per destination thread
+    std::thread thread;
+  };
+
+  struct QueryState {
+    uint64_t id = 0;
+    std::shared_ptr<const Plan> plan;
+    uint32_t coordinator = 0;            // owning thread of the coordinator
+    PartitionId coordinator_partition = 0;
+    Timestamp read_ts = 0;
+    // --- coordinator-thread-only state below ---
+    uint32_t scope = 0;
+    Weight acc = 0;
+    bool collecting = false;
+    CollectMergeState collect;
+    uint32_t replies_expected = 0;
+    QueryResult result;
+    /// Published completion flag. Remote threads read it (relaxed) to skip
+    /// tasks of limit-cancelled queries early; correctness never depends on
+    /// timely visibility — the coordinator alone mutates `result`.
+    std::atomic<bool> done{false};
+  };
+
+  // --- worker thread body ---
+  void ThreadMain(WorkerThread& w);
+  /// Drains + handles every currently queued inbox message. Returns the
+  /// number handled.
+  size_t DrainInbox(WorkerThread& w, bool wait);
+  void HandleMessage(WorkerThread& w, Message&& msg);
+  void ExecuteTask(WorkerThread& w, Task&& task);
+  void RunFinalize(WorkerThread& w, const Message& msg);
+  void PushTask(WorkerThread& w, Task&& task);
+  bool HasTask(const WorkerThread& w) const { return w.num_tasks > 0; }
+  Task PopTask(WorkerThread& w);
+
+  // --- query lifecycle (coordinator-thread-only) ---
+  void StartQuery(WorkerThread& w, QueryState& qs);
+  void HandleWeight(WorkerThread& w, QueryState& qs, uint32_t scope, Weight wt);
+  void ScopeComplete(WorkerThread& w, QueryState& qs);
+  void HandleCollectReply(WorkerThread& w, QueryState& qs, const Message& msg);
+  void MaybeCancelOnLimit(WorkerThread& w, QueryState& qs);
+  void CompleteQuery(WorkerThread& w, QueryState& qs);
+
+  // --- transport ---
+  void EmitTraverser(WorkerThread& w, QueryState& qs, PartitionId current,
+                     Traverser&& t);
+  void SendTraverser(WorkerThread& w, uint64_t query, PartitionId partition,
+                     Traverser&& t);
+  /// Buffers one message toward its destination thread (send-side bulking,
+  /// threshold flush). Never bypasses the buffer: per-destination ordering
+  /// is the rows-before-weights correctness invariant.
+  void Send(WorkerThread& w, Message&& msg);
+  void FlushBuffer(WorkerThread& w, uint32_t dst);
+  void FlushWeights(WorkerThread& w);
+  void FlushAll(WorkerThread& w);
+
+  uint64_t NowNanos() const;
+
+  ThreadClusterConfig config_;
+  std::shared_ptr<PartitionedGraph> graph_;
+  std::vector<MemoTable> memos_;  // one per partition, owner-thread-only
+  std::vector<std::unique_ptr<WorkerThread>> workers_;
+  // Built entirely by Submit() before the threads spawn; structurally
+  // immutable during the run (threads mutate only their own entries' fields).
+  std::unordered_map<uint64_t, QueryState> queries_;
+  std::vector<std::vector<uint64_t>> coordinated_;  // per thread, submit order
+  uint64_t next_query_id_ = 1;
+  bool ran_ = false;
+
+  // Atomic coordinator ledger: outstanding queries. Decremented by the
+  // coordinator thread that completes each query; the main thread waits on
+  // the condition variable until it reaches zero, then raises stop_.
+  std::atomic<uint64_t> pending_queries_{0};
+  std::atomic<bool> stop_{false};
+  // Exit-drain barrier: threads that have flushed their send buffers after
+  // observing stop_. A thread exits only when every thread has flushed and
+  // its own inbox is empty, so no message is abandoned in a send buffer or
+  // an inbox (memo-clear controls included).
+  std::atomic<uint32_t> drained_threads_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::chrono::steady_clock::time_point run_start_;
+};
+
+}  // namespace rt
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_RT_THREAD_CLUSTER_H_

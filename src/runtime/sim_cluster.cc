@@ -92,7 +92,9 @@ class ExecContext final : public StepContext {
         qs_(qs),
         partition_(partition),
         mode_(mode),
-        clock_(clock) {}
+        clock_(clock) {
+    if (worker_ != nullptr) set_scratch(&worker_->scratch);
+  }
 
   const PartitionStore& store() const override {
     return cluster_->graph_->partition(partition_);
@@ -2225,19 +2227,29 @@ void SimCluster::SendFrame(uint32_t src_node, uint32_t dst_node,
 
 void SimCluster::DeliverFrame(std::vector<std::vector<Message>> packs,
                               SimTime at) {
+  // Push every message first, then wake each distinct destination once.
+  // Identical schedule to waking per message: no worker is `running` during
+  // frame delivery and all wakes share `at`, so ScheduleWake suppresses every
+  // repeat after a destination's first — batching just skips the no-op calls.
+  // The fault path keeps per-message delivery (drop/dup/delay decide wakes).
+  wake_scratch_.clear();
   for (std::vector<Message>& msgs : packs) {
     for (Message& m : msgs) {
       if (fault_active_) {
         DeliverToWorker(std::move(m), at);
         continue;
       }
-      Worker& dst = workers_[m.dst_worker];
-      dst.inbox.push_back(std::move(m));
-      ScheduleWake(dst, at);
+      const uint32_t dst_id = m.dst_worker;
+      workers_[dst_id].inbox.push_back(std::move(m));
+      if (std::find(wake_scratch_.begin(), wake_scratch_.end(), dst_id) ==
+          wake_scratch_.end()) {
+        wake_scratch_.push_back(dst_id);
+      }
     }
     frame_pool_.Release(std::move(msgs));  // hollow shells; capacity recycled
   }
   pack_pool_.Release(std::move(packs));
+  for (uint32_t dst : wake_scratch_) ScheduleWake(workers_[dst], at);
 }
 
 void SimCluster::Charge(Worker& w, CostKind kind, uint64_t count) {

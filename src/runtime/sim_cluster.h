@@ -34,18 +34,9 @@
 
 namespace graphdance {
 
-/// Key for per-worker coalesced-weight maps: (query id, scope id) packed into
-/// one word. Query ids are dense counters and scope ids are plan-step
-/// indices, so 32 bits each is ample; the previous 16-bit scope field made
-/// query 1 / scope 65541 collide with query 2 / scope 5.
-inline uint64_t WeightKey(uint64_t query, uint32_t scope) {
-  assert(query < (1ULL << 32) && "query id overflows WeightKey packing");
-  return (query << 32) | scope;
-}
-inline uint64_t WeightKeyQuery(uint64_t key) { return key >> 32; }
-inline uint32_t WeightKeyScope(uint64_t key) {
-  return static_cast<uint32_t>(key & 0xffffffffULL);
-}
+// WeightKey/WeightKeyQuery/WeightKeyScope moved to pstm/weight.h (included
+// via pstm/plan.h above): the coalesced-weight key is shared with the
+// real-thread runtime (src/rt/), which must not depend on this header.
 
 /// A simulated GraphDance cluster: the asynchronous PSTM runtime (plus the
 /// BSP / non-partitioned / dataflow baseline engines) executing real query
@@ -243,6 +234,9 @@ class SimCluster : public check::ClusterProbe {
     // Scratch vector for the inbox swap in IngestInbox: keeps one batch's
     // capacity alive across drains instead of reallocating per swap.
     std::vector<Message> inbox_scratch;
+    // Reusable step-execution buffers, handed to steps via the StepContext
+    // (e.g. ExpandStep's neighbor gather).
+    StepScratch scratch;
     // --- QoS task-byte ledger (maintained only when QoS is enabled) ---
     // Conservation: enqueued == dequeued + dropped + queued. `queued` is the
     // quantity the worker_task_budget_bytes budget bounds; `dropped` counts
@@ -564,6 +558,10 @@ class SimCluster : public check::ClusterProbe {
   VectorPool<Message> frame_pool_;     // frame + flush message vectors
   VectorPool<std::vector<Message>> pack_pool_;  // frame pack-of-packs shells
   ObjectPool<Traverser> trav_pool_;    // recycles vars/path heap storage
+  // Distinct destination workers of one DeliverFrame, first-seen order:
+  // frames wake each destination once instead of once per message. Frames
+  // fan out to a handful of workers, so a linear scan beats a hash set.
+  std::vector<uint32_t> wake_scratch_;
 };
 
 }  // namespace graphdance

@@ -1,0 +1,269 @@
+// Tests for the real-thread runtime (DESIGN.md §14): the MPSC inbox's
+// FIFO-per-producer contract under genuine multi-producer contention (the
+// rows-before-weights termination invariant rides on it), the ThreadCluster
+// differential gate — row multisets byte-identical to the single-worker
+// simulated reference across thread counts and weight-split seeds — and the
+// sim-engine matrix on the same workload, which transitively pins
+// ThreadCluster == SimCluster for every engine. The whole suite carries the
+// `rt` ctest label and is the set run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "check/oracle.h"
+#include "check/thread_oracle.h"
+#include "common/mpsc_queue.h"
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "rt/thread_cluster.h"
+
+namespace graphdance {
+namespace {
+
+using check::CanonicalRows;
+using check::ComputeReference;
+using check::DifferentialOptions;
+using check::MakeDefaultCheckWorkload;
+using check::RunDifferential;
+using check::RunThreadDifferential;
+using check::ThreadDifferentialOptions;
+using check::WorkloadInstance;
+
+// --- MpscQueue under real contention ----------------------------------------
+
+// Items carry (producer, sequence) so the consumer can verify exactly-once
+// delivery and FIFO order per producer while producers race.
+TEST(MpscQueueTest, MultiProducerStressFifoPerProducer) {
+  constexpr uint32_t kProducers = 4;
+  constexpr uint64_t kPerProducer = 20'000;
+  MpscQueue<uint64_t> q;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      // Mix singleton pushes and batches so both entry points race.
+      std::vector<uint64_t> batch;
+      for (uint64_t s = 0; s < kPerProducer; ++s) {
+        uint64_t item = (uint64_t(p) << 32) | s;
+        if (s % 7 == 0) {
+          // Flush buffered items first so this producer pushes in order.
+          q.PushBatch(batch.begin(), batch.end());
+          batch.clear();
+          q.Push(item);
+        } else {
+          batch.push_back(item);
+          if (batch.size() == 16) {
+            q.PushBatch(batch.begin(), batch.end());
+            batch.clear();
+          }
+        }
+      }
+      q.PushBatch(batch.begin(), batch.end());
+    });
+  }
+
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  uint64_t received = 0;
+  std::vector<uint64_t> drained;
+  while (received < kProducers * kPerProducer) {
+    drained.clear();
+    q.WaitDrainInto(&drained, std::chrono::microseconds(1000));
+    for (uint64_t item : drained) {
+      uint32_t p = static_cast<uint32_t>(item >> 32);
+      uint64_t s = item & 0xffffffffu;
+      ASSERT_LT(p, kProducers);
+      // FIFO per producer: sequences arrive strictly in push order.
+      ASSERT_EQ(s, next_seq[p]) << "producer " << p;
+      ++next_seq[p];
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.Empty());
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[p], kPerProducer);
+  }
+}
+
+// PushBatch publishes the whole batch contiguously: no interleaving point
+// exists inside one batch even with a concurrent producer hammering away.
+TEST(MpscQueueTest, PushBatchIsContiguous) {
+  MpscQueue<uint64_t> q;
+  std::atomic<bool> stop{false};
+  // Noise producer: odd-tagged singletons.
+  std::thread noise([&] {
+    uint64_t s = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      q.Push((1ULL << 32) | s++);
+    }
+  });
+
+  constexpr uint64_t kBatches = 2'000;
+  constexpr uint64_t kBatchLen = 8;
+  std::thread batcher([&] {
+    std::vector<uint64_t> batch(kBatchLen);
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      for (uint64_t i = 0; i < kBatchLen; ++i) batch[i] = b * kBatchLen + i;
+      q.PushBatch(batch.begin(), batch.end());
+    }
+  });
+
+  uint64_t batch_items = 0;
+  uint64_t expect = 0;
+  std::vector<uint64_t> drained;
+  while (batch_items < kBatches * kBatchLen) {
+    drained.clear();
+    q.WaitDrainInto(&drained, std::chrono::microseconds(1000));
+    for (uint64_t item : drained) {
+      if (item >> 32) continue;  // noise
+      ASSERT_EQ(item, expect);   // batch items in order, none lost
+      ++expect;
+      ++batch_items;
+    }
+  }
+  batcher.join();
+  stop.store(true, std::memory_order_relaxed);
+  noise.join();
+}
+
+// Close() wakes blocked consumers, makes subsequent waits non-blocking, and
+// still accepts pushes — the exit-drain protocol of ThreadCluster depends on
+// all three.
+TEST(MpscQueueTest, CloseWakesAndStillAcceptsPushes) {
+  MpscQueue<int> q;
+  std::vector<int> out;
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Close();
+  });
+  // Generous timeout: Close() must be what wakes us.
+  auto t0 = std::chrono::steady_clock::now();
+  size_t n = q.WaitDrainInto(&out, std::chrono::microseconds(5'000'000));
+  auto waited = std::chrono::steady_clock::now() - t0;
+  closer.join();
+  EXPECT_EQ(n, 0u);
+  EXPECT_LT(waited, std::chrono::seconds(2));
+  EXPECT_TRUE(q.closed());
+
+  q.Push(7);  // late message (e.g. a memo-clear control) is not dropped
+  out.clear();
+  EXPECT_EQ(q.WaitDrainInto(&out, std::chrono::microseconds(0)), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7);
+}
+
+// --- ThreadCluster differential gate ----------------------------------------
+
+// The acceptance matrix: {1,2,4,8} threads x 8 weight-split seeds, every plan
+// of the default check workload, rows canonically identical to the
+// single-worker simulated reference.
+TEST(ThreadClusterTest, DifferentialMatrixMatchesReference) {
+  ThreadDifferentialOptions opt;  // defaults: {1,2,4,8} x 8 seeds
+  auto report = RunThreadDifferential(MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().cells, opt.thread_counts.size() * opt.num_seeds);
+  EXPECT_EQ(report.value().mismatches, 0u) << report.value().Summary();
+  for (const auto& f : report.value().failures) ADD_FAILURE() << f;
+}
+
+// Thread counts that do not divide the partition count exercise the uneven
+// ownership map (one thread owns two partitions, finalize fan-out per
+// partition, not per thread).
+TEST(ThreadClusterTest, UnevenOwnershipMatchesReference) {
+  ThreadDifferentialOptions opt;
+  opt.num_partitions = 5;
+  opt.thread_counts = {2, 3, 7};
+  opt.num_seeds = 3;
+  auto report = RunThreadDifferential(MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().mismatches, 0u) << report.value().Summary();
+}
+
+// Bulking off + tiny flush threshold: maximum cross-thread message traffic,
+// no merge path. Rows must not care.
+TEST(ThreadClusterTest, NoBulkingTinyFlushMatchesReference) {
+  ThreadDifferentialOptions opt;
+  opt.thread_counts = {4};
+  opt.num_seeds = 4;
+  opt.traverser_bulking = false;
+  opt.flush_threshold_bytes = 1;
+  auto report = RunThreadDifferential(MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().mismatches, 0u) << report.value().Summary();
+}
+
+// The sim side of the same matrix: every engine x 8 tie-break seeds against
+// the identical reference. Green here plus green above means ThreadCluster
+// rows == SimCluster rows for {async, bsp, hybrid} x seeds x thread counts.
+TEST(ThreadClusterTest, SimEngineMatrixSharesReference) {
+  DifferentialOptions opt;  // defaults: async/bsp/hybrid x 8 seeds
+  auto report = RunDifferential(MakeDefaultCheckWorkload(), opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().mismatches, 0u) << report.value().Summary();
+  EXPECT_EQ(report.value().trips, 0u);
+}
+
+// --- ThreadCluster API and metrics ------------------------------------------
+
+TEST(ThreadClusterTest, RunConvenienceAndMetrics) {
+  WorkloadInstance wl = MakeDefaultCheckWorkload()(4);
+  ASSERT_TRUE(wl.graph != nullptr);
+  ASSERT_FALSE(wl.plans.empty());
+
+  rt::ThreadClusterConfig cfg;
+  cfg.num_threads = 4;
+  rt::ThreadCluster cluster(cfg, wl.graph);
+  std::vector<uint64_t> ids;
+  for (const auto& plan : wl.plans) ids.push_back(cluster.Submit(plan));
+  ASSERT_TRUE(cluster.RunToCompletion().ok());
+
+  for (uint64_t id : ids) {
+    const QueryResult& r = cluster.result(id);
+    EXPECT_TRUE(r.done);
+    EXPECT_FALSE(r.failed);
+    EXPECT_GT(r.complete_time, r.submit_time);
+  }
+  EXPECT_GT(cluster.TotalTasksExecuted(), 0u);
+
+  obs::MetricsSnapshot snap = cluster.MetricsSnapshot();
+  EXPECT_EQ(snap.queries_completed, ids.size());
+  EXPECT_EQ(snap.queries_failed, 0u);
+  EXPECT_GT(snap.tasks_executed, 0u);
+
+  // Single-shot contract: a second run must not be attempted, but a second
+  // single-plan cluster via Run() works.
+  rt::ThreadClusterConfig cfg1;
+  cfg1.num_threads = 2;
+  rt::ThreadCluster single(cfg1, wl.graph);
+  auto one = single.Run(wl.plans[0]);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_TRUE(one.value().done);
+  EXPECT_EQ(CanonicalRows(one.value().rows),
+            CanonicalRows(cluster.result(ids[0]).rows));
+}
+
+// Oversubscription: more threads than partitions leaves some threads with no
+// partitions at all; they must still start, idle, observe stop, and join.
+TEST(ThreadClusterTest, MoreThreadsThanPartitions) {
+  WorkloadInstance wl = MakeDefaultCheckWorkload()(2);
+  ASSERT_TRUE(wl.graph != nullptr);
+  rt::ThreadClusterConfig cfg;
+  cfg.num_threads = 6;
+  rt::ThreadCluster cluster(cfg, wl.graph);
+  auto r = cluster.Run(wl.plans[0]);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  auto ref = ComputeReference(MakeDefaultCheckWorkload());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(CanonicalRows(r.value().rows), CanonicalRows(ref.value()[0]));
+}
+
+}  // namespace
+}  // namespace graphdance

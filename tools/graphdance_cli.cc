@@ -27,6 +27,7 @@
 #include "ldbc/snb_generator.h"
 #include "ldbc/snb_queries.h"
 #include "query/gremlin.h"
+#include "rt/thread_cluster.h"
 #include "runtime/sim_cluster.h"
 
 using namespace graphdance;
@@ -38,6 +39,7 @@ struct Shell {
   std::shared_ptr<PartitionedGraph> graph;
   std::shared_ptr<SnbDataset> snb;
   ClusterConfig config;
+  uint32_t real_threads = 0;  // `threads N`: run plans on a ThreadCluster
   uint64_t next_param_seed = 1;
   bool show_metrics = false;      // --metrics: print MetricsSnapshot per run
   std::string trace_out;          // --trace-out: write Chrome trace JSON
@@ -66,6 +68,10 @@ struct Shell {
   void PrintRows(const QueryResult& result, size_t max_rows = 20) {
     std::printf("%zu row(s), %.1f us virtual latency\n", result.rows.size(),
                 result.LatencyMicros());
+    PrintRowsBody(result, max_rows);
+  }
+
+  void PrintRowsBody(const QueryResult& result, size_t max_rows = 20) {
     size_t shown = 0;
     for (const Row& row : result.rows) {
       if (++shown > max_rows) {
@@ -84,6 +90,26 @@ struct Shell {
     if (!plan.ok()) {
       std::printf("plan error: %s\n", plan.status().ToString().c_str());
       return false;
+    }
+    if (real_threads > 0) {
+      // Real-thread mode (DESIGN.md §14): same plan, same rows, actual cores.
+      rt::ThreadClusterConfig tcfg;
+      tcfg.num_threads = real_threads;
+      tcfg.traverser_bulking = config.traverser_bulking;
+      rt::ThreadCluster cluster(tcfg, graph);
+      auto res = cluster.Run(plan.value());
+      if (!res.ok()) {
+        std::printf("run error: %s\n", res.status().ToString().c_str());
+        return false;
+      }
+      std::printf("%zu row(s), %.3f ms wall on %u thread(s)\n",
+                  res.value().rows.size(),
+                  res.value().LatencyNanos() / 1e6, real_threads);
+      QueryResult shown = res.TakeValue();
+      PrintRowsBody(shown);
+      last_metrics = cluster.MetricsSnapshot().ToString();
+      if (show_metrics) std::printf("%s", last_metrics.c_str());
+      return true;
     }
     SimCluster cluster(config, graph);
     auto res = cluster.Run(plan.value());
@@ -243,6 +269,8 @@ struct Shell {
           "  spill <on|off>                 toggle the spill tier (cold memoranda\n"
           "                                 and deep task queues park on simulated\n"
           "                                 storage under memory pressure; needs qos)\n"
+          "  threads <N>                    run plans on N real worker threads\n"
+          "                                 (ThreadCluster; 0 = back to simulator)\n"
           "  cluster <nodes> <workers>      resize the simulated cluster (reload after)\n"
           "  stats                          dataset / cluster summary\n"
           "  metrics                        unified metrics of the last run\n"
@@ -365,6 +393,19 @@ struct Shell {
                           "qos budgets)");
       } else {
         std::printf("spill = off\n");
+      }
+      return;
+    }
+    if (cmd == "threads") {
+      uint32_t n = real_threads;
+      in >> n;
+      real_threads = n;
+      if (real_threads > 0) {
+        std::printf("threads = %u: plans run on a real-thread ThreadCluster "
+                    "(partition p owned by thread p %% %u)\n",
+                    real_threads, real_threads);
+      } else {
+        std::printf("threads = 0: plans run on the simulated cluster\n");
       }
       return;
     }

@@ -19,6 +19,14 @@
 #   spill   — spill-tier suite alone (ctest -L spill: off-switch byte
 #             identity, pressure state machine, spilled differential matrix)
 #             in the release tree, then the gated bench_spill pressure curve
+#   tsan    — -DSANITIZE=thread (ThreadSanitizer) build of the real-thread
+#             runtime, then the rt suite (ctest -L rt: MPSC inbox contention
+#             tests + the ThreadCluster differential matrix) under TSan
+#   threads — real-thread scalability smoke (bench_threads) in the release
+#             tree: rows must be byte-identical at every thread count (hard
+#             gate); the monotone/1.5x-speedup gates are enforced by the
+#             binary only on hosts with >= 4 hardware threads. Writes
+#             BENCH_threads.json.
 #   perf    — wall-clock smoke (bench_wallclock): runs the multi-workload
 #             throughput suite in the release tree and writes
 #             BENCH_wallclock.json. The binary gates determinism (it exits
@@ -26,8 +34,8 @@
 #             fingerprints disagree) but the tasks/s numbers themselves are
 #             machine-dependent and not asserted — track them across runs.
 #
-# Each stage uses its own build directory (build/, build-asan/, build-debug/)
-# so they never clobber one another's caches.
+# Each stage uses its own build directory (build/, build-asan/, build-debug/,
+# build-tsan/) so they never clobber one another's caches.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -81,6 +89,20 @@ if [[ "$STAGES" == "all" || "$STAGES" == "spill" ]]; then
   echo "==== [spill] bench_spill gates ===="
   cmake --build build --target bench_spill -j "$JOBS"
   ./build/bench/bench_spill
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "tsan" ]]; then
+  echo "==== [tsan] configure + build rt suite (build-tsan) ===="
+  cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+  cmake --build build-tsan --target rt_test -j "$JOBS"
+  echo "==== [tsan] ctest -L rt under ThreadSanitizer ===="
+  ctest --test-dir build-tsan -L rt --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$STAGES" == "all" || "$STAGES" == "threads" ]]; then
+  echo "==== [threads] bench_threads gates (release tree) ===="
+  cmake --build build --target bench_threads -j "$JOBS"
+  ./build/bench/bench_threads
 fi
 
 if [[ "$STAGES" == "all" || "$STAGES" == "perf" ]]; then
