@@ -34,6 +34,7 @@ std::unique_ptr<CheckHarness> CheckHarness::WithAllCheckers() {
   h->Register(MakeSeqWindowChecker());
   h->Register(MakeClockChecker());
   h->Register(MakeResourceLedgerChecker());
+  h->Register(MakeSnapshotIsolationChecker());
   return h;
 }
 
@@ -664,6 +665,30 @@ class ResourceLedgerChecker final : public InvariantChecker {
   uint64_t events_ = 0;
 };
 
+// ---- snapshot isolation -----------------------------------------------------
+
+class SnapshotIsolationChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "snapshot-isolation"; }
+
+  void OnEdgeObserved(uint64_t q, uint32_t /*attempt*/, Timestamp read_ts,
+                      Timestamp create_ts, Timestamp delete_ts,
+                      SimTime at) override {
+    if (create_ts > read_ts) {
+      ReportTrip("reader at ts " + std::to_string(read_ts) +
+                     " observed an edge created at ts " +
+                     std::to_string(create_ts) + " (from the future)",
+                 at, q, 0);
+    }
+    if (delete_ts <= read_ts) {
+      ReportTrip("reader at ts " + std::to_string(read_ts) +
+                     " observed an edge deleted at ts " +
+                     std::to_string(delete_ts) + " (already dead)",
+                 at, q, 0);
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<InvariantChecker> MakeWeightConservationChecker() {
@@ -683,6 +708,9 @@ std::unique_ptr<InvariantChecker> MakeClockChecker() {
 }
 std::unique_ptr<InvariantChecker> MakeResourceLedgerChecker() {
   return std::make_unique<ResourceLedgerChecker>();
+}
+std::unique_ptr<InvariantChecker> MakeSnapshotIsolationChecker() {
+  return std::make_unique<SnapshotIsolationChecker>();
 }
 
 }  // namespace graphdance::check

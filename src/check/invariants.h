@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/types.h"
 #include "pstm/weight.h"
 #include "sim/event_queue.h"
 
@@ -215,6 +216,13 @@ class InvariantChecker {
   virtual void OnAdmission(uint64_t /*query*/, AdmissionEvent /*ev*/,
                            SimTime /*at*/) {}
 
+  // --- storage: multi-version visibility (fires per scanned edge when a
+  // harness is attached; the raw stored stamps of every edge the TEL
+  // visibility scan returned to a reader at read_ts) ---
+  virtual void OnEdgeObserved(uint64_t /*query*/, uint32_t /*attempt*/,
+                              Timestamp /*read_ts*/, Timestamp /*create_ts*/,
+                              Timestamp /*delete_ts*/, SimTime /*at*/) {}
+
  protected:
   void ReportTrip(std::string what, SimTime at, uint64_t query = 0,
                   uint32_t scope = 0);
@@ -300,12 +308,30 @@ class CheckHarness {
   void OnAdmission(uint64_t query, AdmissionEvent ev, SimTime at) {
     for (auto& c : checkers_) c->OnAdmission(query, ev, at);
   }
+  void OnEdgeObserved(uint64_t q, uint32_t a, Timestamp read_ts,
+                      Timestamp create_ts, Timestamp delete_ts, SimTime at) {
+    for (auto& c : checkers_) {
+      c->OnEdgeObserved(q, a, read_ts, create_ts, delete_ts, at);
+    }
+  }
 
   // --- mutation hook (test-only; see class comment) ---
   void CorruptNthWeightMerge(uint64_t nth) { corrupt_nth_merge_ = nth; }
   void MaybeCorruptWeightCell(Weight* cell) {
     if (corrupt_nth_merge_ != 0 && ++merge_counter_ == corrupt_nth_merge_) {
       *cell += 1;
+    }
+  }
+
+  /// Mutation hook for the snapshot-isolation checker's own smoke test: the
+  /// nth observed edge has its create stamp pushed past the reader's
+  /// timestamp *between* the visibility scan and the observation, which a
+  /// live SI checker must catch (guards against a vacuously green checker).
+  void CorruptNthVisibility(uint64_t nth) { corrupt_nth_visibility_ = nth; }
+  void MaybeCorruptVisibility(Timestamp* create_ts, Timestamp read_ts) {
+    if (corrupt_nth_visibility_ != 0 &&
+        ++visibility_counter_ == corrupt_nth_visibility_) {
+      *create_ts = read_ts + 1;
     }
   }
 
@@ -330,6 +356,8 @@ class CheckHarness {
   std::map<std::string, uint64_t> by_checker_;
   uint64_t corrupt_nth_merge_ = 0;
   uint64_t merge_counter_ = 0;
+  uint64_t corrupt_nth_visibility_ = 0;
+  uint64_t visibility_counter_ = 0;
 };
 
 // --- built-in checkers -------------------------------------------------------
@@ -364,6 +392,13 @@ std::unique_ptr<InvariantChecker> MakeClockChecker();
 /// independent event mirror (submitted == admitted + shed + cancelled +
 /// queued), and the task/memo byte ledgers drain to zero at quiescence.
 std::unique_ptr<InvariantChecker> MakeResourceLedgerChecker();
+
+/// Snapshot isolation over the multi-version TEL: an edge handed to a reader
+/// at timestamp T must carry create_ts <= T and delete_ts > T. Not a
+/// tautology — the hook reports the *stored* stamps of whatever the
+/// visibility scan returned, so a compaction that rewrites stamps wrongly, a
+/// torn batch leaking pre-commit writes, or a scan bug all trip it.
+std::unique_ptr<InvariantChecker> MakeSnapshotIsolationChecker();
 
 }  // namespace graphdance::check
 

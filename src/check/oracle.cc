@@ -298,6 +298,7 @@ std::string FormatReplayToken(const ReplaySpec& spec) {
   // tokens keep round-tripping and new default tokens parse on old builds.
   if (spec.qos) out += ";qos=1";
   if (spec.spill) out += ";spill=1";
+  if (spec.stream) out += ";stream=1";
   return out;
 }
 
@@ -340,6 +341,10 @@ Result<ReplaySpec> ParseReplayToken(const std::string& token) {
       uint64_t v = 0;
       ok = ParseU64(val, &v);
       spec.spill = v != 0;
+    } else if (key == "stream") {
+      uint64_t v = 0;
+      ok = ParseU64(val, &v);
+      spec.stream = v != 0;
     } else if (key == "script") {
       for (const std::string& item : SplitOn(val, '|')) {
         FaultEvent ev;

@@ -50,6 +50,12 @@ struct ReplaySpec {
   /// StressSpillConfig in oracle.cc) — implies the QoS stress config.
   /// Encoded as `;spill=1` only when set, like `;qos=1`.
   bool spill = false;
+  /// Run the cell as a *streaming* cell: the stream oracle applies a
+  /// deterministic batch scenario while snapshot queries run concurrently,
+  /// and rows are compared against graphs materialized at each read ts
+  /// (stream::RunStreamCell). Encoded as `;stream=1` only when set, like
+  /// `;qos=1`, so old tokens round-trip unchanged.
+  bool stream = false;
 };
 
 std::string FormatReplayToken(const ReplaySpec& spec);

@@ -135,6 +135,39 @@ class PartitionStore {
                      [&](VertexId dst, const Value& prop) { fn(dst, prop); });
   }
 
+  /// Like ForEachNeighbor, but also reports each edge's raw version stamps:
+  /// `fn(dst, eprop, create_ts, delete_ts)`. Static edges exist at all
+  /// timestamps, so they report (0, kMaxTimestamp); TEL edges report their
+  /// stored stamps. Used by the snapshot-isolation checker to audit what the
+  /// visibility scan returned.
+  template <typename Fn>
+  void ForEachNeighborStamped(VertexId v, LabelId elabel, Direction dir,
+                              Timestamp ts, Fn&& fn) const {
+    if (dir == Direction::kBoth) {
+      ForEachNeighborStamped(v, elabel, Direction::kOut, ts, fn);
+      ForEachNeighborStamped(v, elabel, Direction::kIn, ts, fn);
+      return;
+    }
+    const uint32_t* local = local_index_.Find(v);
+    if (local != nullptr) {
+      const CsrAdjacency* adj = Adjacency(elabel, dir);
+      if (adj != nullptr) {
+        uint32_t begin = adj->offsets[*local];
+        uint32_t end = adj->offsets[*local + 1];
+        const bool has_props = !adj->props.empty();
+        for (uint32_t i = begin; i < end; ++i) {
+          fn(adj->targets[i], has_props ? adj->props[i] : kNullValue(),
+             Timestamp{0}, kMaxTimestamp);
+        }
+      }
+    }
+    tel_.ForEachEdgeStamped(v, elabel, dir, ts,
+                            [&](VertexId dst, const Value& prop,
+                                Timestamp create_ts, Timestamp delete_ts) {
+                              fn(dst, prop, create_ts, delete_ts);
+                            });
+  }
+
   /// Total degree (static + TEL) of `v` for (elabel, dir) at `ts`.
   uint64_t Degree(VertexId v, LabelId elabel, Direction dir, Timestamp ts) const {
     uint64_t n = 0;

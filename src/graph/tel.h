@@ -211,6 +211,68 @@ class TransactionalEdgeLog {
     }
   }
 
+  /// Like ForEachEdge, but also hands the raw stored version stamps to
+  /// `fn(dst, prop, create_ts, delete_ts)`. The snapshot-isolation checker
+  /// audits these against the reader's timestamp; everything else should use
+  /// the plain scan.
+  template <typename Fn>
+  void ForEachEdgeStamped(VertexId anchor, LabelId elabel, Direction dir,
+                          Timestamp ts, Fn&& fn) const {
+    if (index_.empty()) return;  // static-only partition: common fast path
+    const TelVertex* rec = Find(anchor);
+    if (rec == nullptr) return;
+    const TelVertex::AdjChain* chain = FindChain(*rec, AdjKey(elabel, dir));
+    if (chain == nullptr) return;
+    for (uint32_t b = chain->head; b != kNoBlock; b = blocks_[b].next) {
+      const Block& blk = blocks_[b];
+      const TelEdge* e = &arena_[blk.first];
+      for (uint32_t i = 0; i < blk.len; ++i) {
+        if (e[i].VisibleAt(ts)) {
+          fn(e[i].dst, e[i].prop, e[i].create_ts, e[i].delete_ts);
+        }
+      }
+    }
+  }
+
+  /// Snapshot pinning: a reader that will scan this TEL at `ts` across other
+  /// mutations (e.g. a streaming query racing the ingest pipeline) pins its
+  /// timestamp so Compact() cannot discard versions it still needs. Pins are
+  /// counted, so several readers may share a timestamp. Owner-thread rules
+  /// apply: pin/unpin are mutations of the log's bookkeeping.
+  void PinSnapshot(Timestamp ts) {
+    AssertOwnerThread();
+    for (auto& [pinned, count] : pins_) {
+      if (pinned == ts) {
+        ++count;
+        return;
+      }
+    }
+    pins_.push_back({ts, 1});
+  }
+
+  void UnpinSnapshot(Timestamp ts) {
+    AssertOwnerThread();
+    for (size_t i = 0; i < pins_.size(); ++i) {
+      if (pins_[i].first == ts) {
+        if (--pins_[i].second == 0) {
+          pins_[i] = pins_.back();
+          pins_.pop_back();
+        }
+        return;
+      }
+    }
+#ifndef NDEBUG
+    assert(false && "UnpinSnapshot without a matching PinSnapshot");
+#endif
+  }
+
+  /// Oldest pinned read timestamp, or kMaxTimestamp when nothing is pinned.
+  Timestamp MinPinnedTs() const {
+    Timestamp min_ts = kMaxTimestamp;
+    for (const auto& [pinned, count] : pins_) min_ts = std::min(min_ts, pinned);
+    return min_ts;
+  }
+
   /// Crash recovery (paper §IV-C): removes all versions with timestamps
   /// beyond the last-commit timestamp, as a restarted node would. Chains are
   /// rewritten in place (surviving edges slide down within their blocks);
@@ -272,12 +334,24 @@ class TransactionalEdgeLog {
   /// creation stamps to 0 so later compactions stay cheap. Safe when no
   /// active query holds a read timestamp below the watermark.
   ///
+  /// That quiescence contract is enforced through the pin registry: callers
+  /// that keep a snapshot live across mutations pin its timestamp
+  /// (PinSnapshot), and a compaction whose watermark would overtake a pinned
+  /// reader asserts in Debug builds and clamps the watermark to the oldest
+  /// pin in release builds — the reader keeps every version it can see,
+  /// compaction just reclaims less.
+  ///
   /// Epoch-based: the whole arena is rebuilt from the survivors — one
   /// exact-size block per chain, dead vertices and padding dropped — and
   /// `compaction_epoch()` advances. Nothing may hold pointers into the old
   /// arena across a compaction (FindVertex/scan results are transient).
   void Compact(Timestamp watermark) {
     AssertOwnerThread();
+#ifndef NDEBUG
+    assert(watermark <= MinPinnedTs() &&
+           "Compact watermark overtakes a pinned snapshot reader");
+#endif
+    watermark = std::min(watermark, MinPinnedTs());
     ++compaction_epoch_;
     std::vector<TelEdge> old_arena;
     std::vector<Block> old_blocks;
@@ -464,6 +538,7 @@ class TransactionalEdgeLog {
   std::vector<TelEdge> arena_;
   std::vector<Block> blocks_;
   uint64_t compaction_epoch_ = 0;
+  SmallVector<std::pair<Timestamp, uint32_t>, 4> pins_;  // (read ts, readers)
 #ifndef NDEBUG
   // Default-constructed id = unclaimed (no enforcement).
   std::thread::id owner_thread_;

@@ -105,6 +105,23 @@ void QosSnapshot::Merge(const QosSnapshot& other) {
   spill_last_resort += other.spill_last_resort;
 }
 
+void StreamSnapshot::Merge(const StreamSnapshot& other) {
+  batches_scheduled += other.batches_scheduled;
+  batches_applied += other.batches_applied;
+  ops_applied += other.ops_applied;
+  edges_added += other.edges_added;
+  edges_deleted += other.edges_deleted;
+  vertices_added += other.vertices_added;
+  props_set += other.props_set;
+  batch_retries += other.batch_retries;
+  standing_queries += other.standing_queries;
+  standing_runs += other.standing_runs;
+  standing_conflated += other.standing_conflated;
+  rows_emitted += other.rows_emitted;
+  rows_retracted += other.rows_retracted;
+  last_commit_ts = std::max(last_commit_ts, other.last_commit_ts);
+}
+
 const LogHistogram* MetricsSnapshot::Latency(const std::string& name) const {
   auto it = latency.find(name);
   return it == latency.end() ? nullptr : &it->second;
@@ -130,7 +147,9 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   checker_attached = checker_attached || other.checker_attached;
   qos_enabled = qos_enabled || other.qos_enabled;
   spill_enabled = spill_enabled || other.spill_enabled;
+  stream_enabled = stream_enabled || other.stream_enabled;
   qos.Merge(other.qos);
+  stream.Merge(other.stream);
   checker_trips += other.checker_trips;
   for (const auto& [name, n] : other.checker_trips_by) {
     checker_trips_by[name] += n;
@@ -246,6 +265,23 @@ std::string MetricsSnapshot::ToString() const {
     out += "spill_pressure: peak_bytes=" + U64(qos.spill_peak_bytes) +
            " spilling=" + U64(qos.spill_pressure_transitions) +
            " last_resort=" + U64(qos.spill_last_resort) + "\n";
+  }
+  if (stream_enabled) {
+    // Gated like the sections above: runs without a stream attached stay
+    // byte-identical to pre-streaming builds.
+    out += "stream: batches=" + U64(stream.batches_applied) + "/" +
+           U64(stream.batches_scheduled) + " ops=" + U64(stream.ops_applied) +
+           " edges_added=" + U64(stream.edges_added) +
+           " edges_deleted=" + U64(stream.edges_deleted) +
+           " vertices_added=" + U64(stream.vertices_added) +
+           " props_set=" + U64(stream.props_set) +
+           " retries=" + U64(stream.batch_retries) +
+           " lct=" + U64(stream.last_commit_ts) + "\n";
+    out += "stream_standing: queries=" + U64(stream.standing_queries) +
+           " runs=" + U64(stream.standing_runs) +
+           " conflated=" + U64(stream.standing_conflated) +
+           " emitted=" + U64(stream.rows_emitted) +
+           " retracted=" + U64(stream.rows_retracted) + "\n";
   }
   return out;
 }

@@ -149,6 +149,28 @@ struct QosSnapshot {
   void Merge(const QosSnapshot& other);
 };
 
+/// Streaming-ingest counters (DESIGN.md §15). Maintained by
+/// stream::StreamIngestor and attached to the cluster via
+/// SimCluster::AttachStreamStats(); all zero when no stream is attached.
+struct StreamSnapshot {
+  uint64_t batches_scheduled = 0;  // update batches handed to the ingestor
+  uint64_t batches_applied = 0;    // batches fully applied (committed)
+  uint64_t ops_applied = 0;        // individual ops written into TELs
+  uint64_t edges_added = 0;
+  uint64_t edges_deleted = 0;
+  uint64_t vertices_added = 0;
+  uint64_t props_set = 0;
+  uint64_t batch_retries = 0;      // partition groups re-tried past a crash
+  uint64_t standing_queries = 0;   // continuous queries registered
+  uint64_t standing_runs = 0;      // incremental re-evaluations launched
+  uint64_t standing_conflated = 0; // commits folded into a pending re-run
+  uint64_t rows_emitted = 0;       // standing-query delta rows (additions)
+  uint64_t rows_retracted = 0;     // standing-query delta rows (retractions)
+  uint64_t last_commit_ts = 0;     // LCT: highest fully-visible batch ts
+
+  void Merge(const StreamSnapshot& other);
+};
+
 /// One unified, deterministic view of every runtime metric. Subsumes
 /// NetStats and FaultStats (both kept as members so existing call sites stay
 /// thin views), plus per-step traverser counts, memo behavior, weight-report
@@ -194,6 +216,12 @@ struct MetricsSnapshot {
   /// Gates the spill ToString() section separately from qos_enabled, so
   /// qos-on / spill-off snapshots stay byte-identical to pre-spill builds.
   bool spill_enabled = false;
+
+  /// Streaming-ingest counters (stream/stream.h). stream_enabled gates the
+  /// ToString() section like the booleans above, so stream-off snapshots
+  /// stay byte-identical to pre-streaming builds.
+  bool stream_enabled = false;
+  StreamSnapshot stream;
 
   uint32_t num_nodes = 0;
   uint32_t num_workers = 0;

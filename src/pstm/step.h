@@ -87,6 +87,19 @@ class StepContext {
   /// event scheduling — so metrics never perturb the event schedule.
   virtual void CountTraverser(StepKind kind) { (void)kind; }
 
+  /// True when the engine wants every visibility-scan result audited (the
+  /// snapshot-isolation checker is attached). Steps then route their
+  /// adjacency scans through the stamped variant and call ObserveEdge per
+  /// returned edge. Same purity rule as CountTraverser: observation only.
+  virtual bool observe_edges() const { return false; }
+
+  /// Audit hook: the visibility scan returned an edge carrying these raw
+  /// version stamps to a reader at read_ts(). Default no-op.
+  virtual void ObserveEdge(Timestamp create_ts, Timestamp delete_ts) {
+    (void)create_ts;
+    (void)delete_ts;
+  }
+
   /// Hands a traverser to the engine for (possibly remote) continuation.
   /// The engine routes it via Step::Route of its target step.
   virtual void Emit(Traverser t) = 0;

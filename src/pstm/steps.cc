@@ -256,15 +256,28 @@ void ExpandStep::Execute(Traverser t, StepContext& ctx) const {
   nbrs.clear();
   const bool expand = loop_hops_ == 0 || t.hop < loop_hops_;
   if (expand) {
-    ctx.store().ForEachNeighbor(t.vertex, elabel_, dir_, ctx.read_ts(),
-                                [&](VertexId dst, const Value& eprop) {
-                                  if (edge_filter_op_.has_value() &&
-                                      !CompareValues(*edge_filter_op_, eprop,
-                                                     edge_filter_rhs_)) {
-                                    return;
-                                  }
-                                  nbrs.push_back(Nbr{dst, eprop});
-                                });
+    auto keep = [&](const Value& eprop) {
+      return !edge_filter_op_.has_value() ||
+             CompareValues(*edge_filter_op_, eprop, edge_filter_rhs_);
+    };
+    if (ctx.observe_edges()) {
+      // Audited scan: identical neighbor set and charges, but every edge the
+      // visibility scan returned is reported (with its raw version stamps)
+      // to the snapshot-isolation checker before filtering. Observation is
+      // pure, so the event schedule does not change.
+      ctx.store().ForEachNeighborStamped(
+          t.vertex, elabel_, dir_, ctx.read_ts(),
+          [&](VertexId dst, const Value& eprop, Timestamp create_ts,
+              Timestamp delete_ts) {
+            ctx.ObserveEdge(create_ts, delete_ts);
+            if (keep(eprop)) nbrs.push_back(Nbr{dst, eprop});
+          });
+    } else {
+      ctx.store().ForEachNeighbor(t.vertex, elabel_, dir_, ctx.read_ts(),
+                                  [&](VertexId dst, const Value& eprop) {
+                                    if (keep(eprop)) nbrs.push_back(Nbr{dst, eprop});
+                                  });
+    }
     ctx.Charge(CostKind::kPerEdge, nbrs.empty() ? 1 : nbrs.size());
   }
 

@@ -118,6 +118,18 @@ class ExecContext final : public StepContext {
         .steps_in[static_cast<uint32_t>(kind)]++;
   }
 
+  // Snapshot-isolation audit (pure observation, see step.h): with a harness
+  // attached, steps report the raw stamps of every edge their visibility
+  // scan returned. The mutation smoke hook corrupts the stamp here, BETWEEN
+  // the scan and the observation, mirroring MaybeCorruptWeightCell.
+  bool observe_edges() const override { return cluster_->check_ != nullptr; }
+  void ObserveEdge(Timestamp create_ts, Timestamp delete_ts) override {
+    if (cluster_->check_ == nullptr) return;
+    cluster_->check_->MaybeCorruptVisibility(&create_ts, qs_->read_ts);
+    cluster_->check_->OnEdgeObserved(qs_->id, qs_->attempt, qs_->read_ts,
+                                     create_ts, delete_ts, *clock_);
+  }
+
   void Emit(Traverser t) override {
     if (mode_ == Mode::kAsync) {
       if (track_weights_) emitted_weight_ += t.weight;
@@ -567,6 +579,10 @@ obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
     s.memo_created += ms.created;
     s.memo_cleared += ms.cleared;
   }
+  if (stream_stats_ != nullptr) {
+    s.stream_enabled = true;
+    s.stream = *stream_stats_;
+  }
   for (const Worker& w : workers_) s.tasks_executed += w.tasks_executed;
   return s;
 }
@@ -712,6 +728,53 @@ void SimCluster::ApplyAtPartition(PartitionId p, uint64_t cost_ns,
   Worker& w = workers_[WorkerOfPartition(p)];
   w.now = std::max(w.now, now()) + cost_ns;
   fn(graph_->partition(p));
+}
+
+void SimCluster::ScheduleAt(SimTime at, std::function<void(SimTime)> fn) {
+  events_.Schedule(std::max(at, now()), std::move(fn));
+}
+
+void SimCluster::SetCompletionCallback(
+    uint64_t id, std::function<void(const QueryResult&, SimTime)> fn) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  if (it->second.result.done) {
+    // Terminal already (e.g. shed at submit): fire like the async path would
+    // — through a zero-delay event, so the callback may Submit() freely.
+    QueryState& qs = it->second;
+    qs.on_complete = std::move(fn);
+    events_.Schedule(now(), [this, id](SimTime t) {
+      auto qit = queries_.find(id);
+      if (qit == queries_.end() || !qit->second.on_complete) return;
+      auto cb = std::move(qit->second.on_complete);
+      qit->second.on_complete = nullptr;
+      cb(qit->second.result, t);
+    });
+    return;
+  }
+  it->second.on_complete = std::move(fn);
+}
+
+/// Fires a query's terminal callback. Async path: via a zero-delay event,
+/// so a callback that Submit()s cannot rehash queries_ under a live
+/// QueryState reference. BSP path: synchronously (the driver is outside any
+/// event when the terminal block runs).
+void SimCluster::FireCompletionCallback(QueryState& qs, SimTime at) {
+  if (!qs.on_complete) return;
+  if (config_.engine == EngineKind::kBsp) {
+    auto cb = std::move(qs.on_complete);
+    qs.on_complete = nullptr;
+    cb(qs.result, at);
+    return;
+  }
+  uint64_t id = qs.id;
+  events_.Schedule(at, [this, id](SimTime t) {
+    auto it = queries_.find(id);
+    if (it == queries_.end() || !it->second.on_complete) return;
+    auto cb = std::move(it->second.on_complete);
+    it->second.on_complete = nullptr;
+    cb(it->second.result, t);
+  });
 }
 
 // ---- query lifecycle --------------------------------------------------------
@@ -927,6 +990,7 @@ void SimCluster::CompleteQuery(QueryState& qs, SimTime at) {
   metrics_.OnQueryDone(qs.result.LatencyNanos(), qs.result.failed,
                        qs.result.timed_out);
   if (check_ != nullptr) check_->OnQueryComplete(ProbeOf(qs), at);
+  FireCompletionCallback(qs, at);
   if (tracer_.enabled()) {
     uint32_t node = NodeOfWorker(qs.coordinator);
     const char* status = qs.result.failed     ? "failed"
@@ -1060,6 +1124,7 @@ void SimCluster::ShedQuery(QueryState& qs, SimTime at, const char* why) {
   metrics_.OnQueryDone(qs.result.LatencyNanos(), /*failed=*/true,
                        qs.result.timed_out);
   if (check_ != nullptr) check_->OnQueryComplete(ProbeOf(qs), at);
+  FireCompletionCallback(qs, at);
   if (tracer_.enabled()) {
     tracer_.Instant("shed", "qos", qs.result.complete_time,
                     NodeOfWorker(qs.coordinator), qs.coordinator, qs.id, 0,
@@ -2561,6 +2626,7 @@ void SimCluster::RunBspQuery(QueryState& qs, SimTime start) {
   if (check_ != nullptr) {
     check_->OnQueryComplete(ProbeOf(qs), qs.result.complete_time);
   }
+  FireCompletionCallback(qs, qs.result.complete_time);
 }
 
 }  // namespace graphdance

@@ -113,6 +113,30 @@ class SimCluster : public check::ClusterProbe {
   void ApplyAtPartition(PartitionId p, uint64_t cost_ns,
                         const std::function<void(PartitionStore&)>& fn);
 
+  /// Schedules `fn(fire_time)` on the event queue at virtual time `at`
+  /// (clamped to now()). Used by external drivers — e.g. the streaming
+  /// ingest pipeline — to interleave their own work with query execution
+  /// under the same deterministic schedule. Async-engine only: the BSP
+  /// driver runs its own synchronous loop and never drains these events
+  /// between supersteps.
+  void ScheduleAt(SimTime at, std::function<void(SimTime)> fn);
+
+  /// Registers a callback invoked when query `id` reaches a terminal state
+  /// (completed, failed, timed out, or shed). Async engine: invoked via a
+  /// zero-delay event so the callback may Submit() freely; BSP engine:
+  /// invoked synchronously at the end of the query's run. Must be set
+  /// before the run starts processing the query.
+  void SetCompletionCallback(uint64_t id,
+                             std::function<void(const QueryResult&, SimTime)> fn);
+
+  /// Points the metrics snapshot at a live streaming-ingest stats block
+  /// (stream/stream.h). While attached, MetricsSnapshot() copies it into
+  /// the `stream` section with stream_enabled = true. Pass nullptr to
+  /// detach. Pure observation: attaching never perturbs the schedule.
+  void AttachStreamStats(const obs::StreamSnapshot* stats) {
+    stream_stats_ = stats;
+  }
+
   /// Total traverser tasks executed across all workers (a proxy for the
   /// amount of graph data touched; used by the workload-characterization
   /// bench).
@@ -353,6 +377,8 @@ class SimCluster : public check::ClusterProbe {
     bool admitted = false;      // holds (or held) a running slot; a query
                                 // shed or cancelled from the backlog never
                                 // sets it. Only meaningful when QoS is on.
+    // Terminal-state callback (SetCompletionCallback); fired exactly once.
+    std::function<void(const QueryResult&, SimTime)> on_complete;
   };
 
   // --- query lifecycle ---
@@ -361,6 +387,9 @@ class SimCluster : public check::ClusterProbe {
   void ScopeComplete(QueryState& qs, Worker& at_worker);
   void HandleCollectReply(QueryState& qs, const Message& msg, Worker& at_worker);
   void CompleteQuery(QueryState& qs, SimTime at);
+  /// Fires a query's SetCompletionCallback exactly once (async: zero-delay
+  /// event; BSP: synchronous). Called from every terminal site.
+  void FireCompletionCallback(QueryState& qs, SimTime at);
   /// Cancels the query early once the terminal Emit limit is reached.
   void MaybeCancelOnLimit(QueryState& qs, SimTime at);
 
@@ -546,6 +575,9 @@ class SimCluster : public check::ClusterProbe {
   SpillRuntimeStats spill_stats_;
   // Invariant-checking harness (null = detached; every hook site checks).
   check::CheckHarness* check_ = nullptr;
+  // Live streaming-ingest stats block (null = no stream attached). Owned by
+  // the ingestor; read only by MetricsSnapshot().
+  const obs::StreamSnapshot* stream_stats_ = nullptr;
   /// Builds the QueryProbe view of one query (shared by CompleteQuery's
   /// completion hook and the ProbeQueries sweep).
   check::QueryProbe ProbeOf(const QueryState& qs) const;

@@ -1,0 +1,341 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "check/oracle.h"  // CanonicalRows
+#include "runtime/config.h"
+
+namespace graphdance {
+namespace stream {
+
+namespace {
+
+bool RowLess(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+bool RowEq(const Row& a, const Row& b) {
+  return !RowLess(a, b) && !RowLess(b, a);
+}
+
+/// Multiset difference of two canonically sorted row vectors:
+/// `added` = now - before, `retracted` = before - now.
+void DiffRows(const std::vector<Row>& before, const std::vector<Row>& now,
+              std::vector<Row>* added, std::vector<Row>* retracted) {
+  size_t i = 0, j = 0;
+  while (i < before.size() || j < now.size()) {
+    if (i == before.size()) {
+      added->push_back(now[j++]);
+    } else if (j == now.size()) {
+      retracted->push_back(before[i++]);
+    } else if (RowEq(before[i], now[j])) {
+      ++i;
+      ++j;
+    } else if (RowLess(before[i], now[j])) {
+      retracted->push_back(before[i++]);
+    } else {
+      added->push_back(now[j++]);
+    }
+  }
+}
+
+/// Applies one half-op to the TEL of the partition owning its anchor.
+void ApplyOpToTel(PartitionStore& store, const StreamOp& op, Timestamp ts,
+                  Direction half) {
+  switch (op.kind) {
+    case StreamOpKind::kAddVertex:
+      store.tel().AddVertex(op.src, op.label, ts);
+      break;
+    case StreamOpKind::kDeleteVertex:
+      store.tel().DeleteVertex(op.src, ts);
+      break;
+    case StreamOpKind::kAddEdge:
+      if (half == Direction::kOut) {
+        store.tel().AddEdge(op.src, op.label, Direction::kOut, op.dst, ts,
+                            op.value);
+      } else {
+        store.tel().AddEdge(op.dst, op.label, Direction::kIn, op.src, ts,
+                            op.value);
+      }
+      break;
+    case StreamOpKind::kDeleteEdge:
+      if (half == Direction::kOut) {
+        store.tel().DeleteEdge(op.src, op.label, Direction::kOut, op.dst, ts);
+      } else {
+        store.tel().DeleteEdge(op.dst, op.label, Direction::kIn, op.src, ts);
+      }
+      break;
+    case StreamOpKind::kSetProp:
+      store.tel().SetProperty(op.src, op.key, op.value, ts);
+      break;
+  }
+}
+
+}  // namespace
+
+void ApplyBatchToGraph(PartitionedGraph& graph, const UpdateBatch& batch) {
+  const Timestamp ts = batch.commit_ts;
+  for (const StreamOp& op : batch.ops) {
+    switch (op.kind) {
+      case StreamOpKind::kAddEdge:
+      case StreamOpKind::kDeleteEdge:
+        ApplyOpToTel(graph.partition(graph.PartitionOf(op.src)), op, ts,
+                     Direction::kOut);
+        ApplyOpToTel(graph.partition(graph.PartitionOf(op.dst)), op, ts,
+                     Direction::kIn);
+        break;
+      default:
+        ApplyOpToTel(graph.partition(graph.PartitionOf(op.src)), op, ts,
+                     Direction::kOut);
+        break;
+    }
+  }
+}
+
+StreamIngestor::StreamIngestor(SimCluster* cluster)
+    : StreamIngestor(cluster, Options()) {}
+
+StreamIngestor::StreamIngestor(SimCluster* cluster, Options opt)
+    : cluster_(cluster), graph_(&cluster->mutable_graph()), opt_(opt) {}
+
+void StreamIngestor::EnqueueBatch(UpdateBatch batch) {
+  assert(batches_.empty() || batch.commit_ts > batches_.back().commit_ts);
+  stats_.batches_scheduled++;
+  batches_.push_back(std::move(batch));
+}
+
+size_t StreamIngestor::AddStandingQuery(StandingQuerySpec spec) {
+  StandingQueryState st;
+  st.spec = std::move(spec);
+  standing_.push_back(std::move(st));
+  stats_.standing_queries++;
+  return standing_.size() - 1;
+}
+
+void StreamIngestor::Start() {
+  if (next_batch_ >= batches_.size()) return;
+  ScheduleBatch(next_batch_, batches_[next_batch_].not_before);
+}
+
+void StreamIngestor::ScheduleBatch(size_t index, SimTime at) {
+  cluster_->ScheduleAt(at,
+                       [this, index](SimTime t) { ApplyBatchEventDriven(index, t); });
+}
+
+void StreamIngestor::ApplyBatchEventDriven(size_t index, SimTime at) {
+  const UpdateBatch& b = batches_[index];
+  std::vector<std::vector<HalfOp>> groups = GroupByPartition(b);
+  // A crashed owner cannot accept writes; the whole batch (and its commit)
+  // waits for the restart, preserving all-or-nothing visibility. Readers at
+  // the current LCT are unaffected.
+  for (PartitionId p = 0; p < groups.size(); ++p) {
+    if (groups[p].empty()) continue;
+    if (cluster_->ProbeWorkerCrashed(cluster_->WorkerOfPartition(p))) {
+      stats_.batch_retries++;
+      ScheduleBatch(index, at + opt_.retry_backoff_ns);
+      return;
+    }
+  }
+  const Timestamp ts = b.commit_ts;
+  for (PartitionId p = 0; p < groups.size(); ++p) {
+    if (groups[p].empty()) continue;
+    const std::vector<HalfOp>& group = groups[p];
+    cluster_->ApplyAtPartition(
+        p, opt_.per_op_cost_ns * group.size(), [&group, ts](PartitionStore& s) {
+          for (const HalfOp& h : group) ApplyOpToTel(s, *h.op, ts, h.half);
+        });
+  }
+  CommitBatch(index, at, /*event_driven=*/true);
+}
+
+Timestamp StreamIngestor::ApplyNextBatchDirect() {
+  if (next_batch_ >= batches_.size()) return 0;
+  const size_t index = next_batch_;
+  ApplyBatchToGraph(*graph_, batches_[index]);
+  CommitBatch(index, cluster_->now(), /*event_driven=*/false);
+  return batches_[index].commit_ts;
+}
+
+void StreamIngestor::CommitBatch(size_t index, SimTime at, bool event_driven) {
+  const UpdateBatch& b = batches_[index];
+  lct_ = b.commit_ts;
+  next_batch_ = index + 1;
+  committed_count_++;
+  stats_.batches_applied++;
+  stats_.ops_applied += b.ops.size();
+  stats_.last_commit_ts = lct_;
+  for (const StreamOp& op : b.ops) CountOp(op);
+  commit_time_[b.commit_ts] = at;
+  cluster_->metrics().latency("stream-batch-lag").Record(at >= b.not_before
+                                                             ? at - b.not_before
+                                                             : 0);
+  MaybeCompact(at);
+  if (event_driven) {
+    for (size_t i = 0; i < standing_.size(); ++i) {
+      StandingQueryState& sq = standing_[i];
+      if (sq.in_flight) {
+        // Conflation: fold this commit into one pending re-run at the
+        // newest timestamp instead of queueing a run per commit.
+        sq.dirty = true;
+        sq.dirty_ts = lct_;
+        stats_.standing_conflated++;
+      } else {
+        LaunchStandingRun(i, lct_, at);
+      }
+    }
+  }
+  if (on_batch_committed_) on_batch_committed_(lct_, at);
+  if (event_driven && next_batch_ < batches_.size()) {
+    ScheduleBatch(next_batch_,
+                  std::max(at, batches_[next_batch_].not_before));
+  }
+}
+
+void StreamIngestor::LaunchStandingRuns(SimTime at) {
+  if (lct_ == 0) return;
+  for (size_t i = 0; i < standing_.size(); ++i) {
+    StandingQueryState& sq = standing_[i];
+    if (sq.in_flight || sq.last_run_ts == lct_) continue;
+    LaunchStandingRun(i, lct_, at);
+  }
+}
+
+void StreamIngestor::LaunchStandingRun(size_t i, Timestamp ts, SimTime at) {
+  StandingQueryState& sq = standing_[i];
+  sq.in_flight = true;
+  PinReader(ts);
+  stats_.standing_runs++;
+  uint64_t id = cluster_->Submit(sq.spec.plan, at, ts, /*deadline_ns=*/0,
+                                 sq.spec.client_class);
+  cluster_->SetCompletionCallback(
+      id, [this, i, ts](const QueryResult& r, SimTime t) {
+        OnStandingDone(i, ts, r, t);
+      });
+}
+
+void StreamIngestor::OnStandingDone(size_t i, Timestamp ts,
+                                    const QueryResult& r, SimTime at) {
+  StandingQueryState& sq = standing_[i];
+  sq.in_flight = false;
+  UnpinReader(ts);
+  const bool bsp = cluster_->config().engine == EngineKind::kBsp;
+  if (!r.done || r.failed || r.timed_out) {
+    // The evaluation died (e.g. retries exhausted under a fault plan).
+    // Re-run so the standing view converges; BSP cannot Submit mid-run —
+    // its phased driver re-launches between phases instead.
+    if (!bsp) {
+      LaunchStandingRun(i, sq.dirty ? sq.dirty_ts : ts, at);
+      sq.dirty = false;
+    }
+    return;
+  }
+  std::vector<Row> now = check::CanonicalRows(r.rows);
+  StandingDelta delta;
+  delta.ts = ts;
+  DiffRows(sq.rows, now, &delta.added, &delta.retracted);
+  stats_.rows_emitted += delta.added.size();
+  stats_.rows_retracted += delta.retracted.size();
+  sq.rows = std::move(now);
+  sq.last_run_ts = ts;
+  sq.deltas.push_back(std::move(delta));
+  auto it = commit_time_.find(ts);
+  if (it != commit_time_.end() && at >= it->second) {
+    cluster_->metrics().latency("stream-staleness").Record(at - it->second);
+  }
+  if (sq.dirty && !bsp) {
+    Timestamp next_ts = sq.dirty_ts;
+    sq.dirty = false;
+    if (next_ts > ts) LaunchStandingRun(i, next_ts, at);
+  }
+}
+
+void StreamIngestor::PinReader(Timestamp ts) {
+  for (uint32_t p = 0; p < graph_->num_partitions(); ++p) {
+    graph_->partition(p).tel().PinSnapshot(ts);
+  }
+}
+
+void StreamIngestor::UnpinReader(Timestamp ts) {
+  for (uint32_t p = 0; p < graph_->num_partitions(); ++p) {
+    graph_->partition(p).tel().UnpinSnapshot(ts);
+  }
+}
+
+void StreamIngestor::MaybeCompact(SimTime at) {
+  if (opt_.compact_every_batches == 0 ||
+      committed_count_ % opt_.compact_every_batches != 0) {
+    return;
+  }
+  for (uint32_t p = 0; p < graph_->num_partitions(); ++p) {
+    TransactionalEdgeLog& tel = graph_->partition(p).tel();
+    // The watermark never overtakes a pinned reader: versions a live
+    // snapshot still needs survive, compaction just reclaims less.
+    Timestamp watermark = std::min(lct_, tel.MinPinnedTs());
+    tel.Compact(watermark);
+  }
+  (void)at;
+}
+
+std::vector<Row> StreamIngestor::CumulativeRows(size_t i) const {
+  std::vector<Row> acc;
+  for (const StandingDelta& d : standing_[i].deltas) {
+    for (const Row& r : d.added) acc.push_back(r);
+    for (const Row& r : d.retracted) {
+      // Remove one occurrence (multiset retraction).
+      for (auto it = acc.begin(); it != acc.end(); ++it) {
+        if (RowEq(*it, r)) {
+          acc.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  return check::CanonicalRows(std::move(acc));
+}
+
+std::vector<std::vector<StreamIngestor::HalfOp>> StreamIngestor::GroupByPartition(
+    const UpdateBatch& b) const {
+  std::vector<std::vector<HalfOp>> groups(graph_->num_partitions());
+  for (const StreamOp& op : b.ops) {
+    switch (op.kind) {
+      case StreamOpKind::kAddEdge:
+      case StreamOpKind::kDeleteEdge:
+        groups[graph_->PartitionOf(op.src)].push_back({&op, Direction::kOut});
+        groups[graph_->PartitionOf(op.dst)].push_back({&op, Direction::kIn});
+        break;
+      default:
+        groups[graph_->PartitionOf(op.src)].push_back({&op, Direction::kOut});
+        break;
+    }
+  }
+  return groups;
+}
+
+void StreamIngestor::CountOp(const StreamOp& op) {
+  switch (op.kind) {
+    case StreamOpKind::kAddVertex:
+      stats_.vertices_added++;
+      break;
+    case StreamOpKind::kDeleteVertex:
+      break;
+    case StreamOpKind::kAddEdge:
+      stats_.edges_added++;
+      break;
+    case StreamOpKind::kDeleteEdge:
+      stats_.edges_deleted++;
+      break;
+    case StreamOpKind::kSetProp:
+      stats_.props_set++;
+      break;
+  }
+}
+
+}  // namespace stream
+}  // namespace graphdance

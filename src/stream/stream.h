@@ -1,0 +1,230 @@
+#ifndef GRAPHDANCE_STREAM_STREAM_H_
+#define GRAPHDANCE_STREAM_STREAM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "obs/metrics.h"
+#include "pstm/plan.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace stream {
+
+/// One mutation of the streaming ingest pipeline (DESIGN.md §15). Edge ops
+/// name both endpoints; the ingestor mirrors them into the two owning
+/// partitions (an Out half-edge under `src`, an In half-edge under `dst`),
+/// matching the TEL's half-edge contract.
+enum class StreamOpKind : uint8_t {
+  kAddVertex = 0,   // src = vertex id, label = vertex label
+  kDeleteVertex,    // src = vertex id
+  kAddEdge,         // src -> dst under `label`, optional `value` edge prop
+  kDeleteEdge,      // first visible src -> dst under `label`
+  kSetProp,         // src = vertex id, key/value = property version
+};
+
+struct StreamOp {
+  StreamOpKind kind = StreamOpKind::kAddEdge;
+  VertexId src = 0;
+  VertexId dst = 0;
+  LabelId label = 0;
+  PropKeyId key = 0;
+  Value value;
+};
+
+/// One atomic unit of ingest. Every op is written with `commit_ts` as its
+/// version stamp, and the ingestor's last-commit timestamp (LCT) advances to
+/// `commit_ts` only after ALL ops have been applied — so a reader whose
+/// snapshot timestamp is taken from the LCT can never observe a torn batch:
+/// either every op is visible (read_ts >= commit_ts, batch committed) or
+/// none is (uncommitted versions carry stamps above every legal read_ts).
+/// Batches must be enqueued in strictly increasing commit_ts order.
+struct UpdateBatch {
+  Timestamp commit_ts = 0;
+  /// Earliest virtual time the batch may start applying (event-driven mode).
+  SimTime not_before = 0;
+  std::vector<StreamOp> ops;
+};
+
+/// A standing (continuous) query: re-evaluated at every batch commit,
+/// STINGER-style, emitting the row *delta* against its previous evaluation.
+struct StandingQuerySpec {
+  std::shared_ptr<const Plan> plan;
+  /// QoS fairness class of the re-evaluation queries (qos/qos.h
+  /// class_weights) — the knob that arbitrates refresh traffic against
+  /// interactive readers when admission control is on. Ignored when QoS is
+  /// off.
+  uint32_t client_class = 0;
+};
+
+/// One incremental emission: rows added and rows retracted at `ts`,
+/// relative to the previous evaluation (multiset semantics, canonical
+/// order). Folding all deltas in order reproduces the current rows exactly.
+struct StandingDelta {
+  Timestamp ts = 0;
+  std::vector<Row> added;
+  std::vector<Row> retracted;
+};
+
+struct StandingQueryState {
+  StandingQuerySpec spec;
+  /// Canonical rows as of the last completed evaluation.
+  std::vector<Row> rows;
+  std::vector<StandingDelta> deltas;
+  Timestamp last_run_ts = 0;   // commit ts of the last completed evaluation
+  bool in_flight = false;      // an evaluation is currently running
+  /// Conflation: commits that land while an evaluation is in flight fold
+  /// into one pending re-run at the newest timestamp instead of queueing.
+  bool dirty = false;
+  Timestamp dirty_ts = 0;
+};
+
+/// Streaming ingest pipeline: applies timestamped update batches to a live
+/// cluster while queries run concurrently at snapshot timestamps, and keeps
+/// standing queries fresh (DESIGN.md §15).
+///
+/// Two drive modes share all bookkeeping:
+///
+///  * Event-driven (async engine): Start() schedules each batch on the
+///    cluster's event queue. Ops are grouped by owning partition and written
+///    through SimCluster::ApplyAtPartition, charging the owner worker
+///    virtual time per op — writers contend with readers for worker time
+///    under the same deterministic schedule. A crashed owner defers its
+///    group (retry with backoff) and the whole batch's commit with it.
+///
+///  * Phased (BSP engine, or rt::ThreadCluster between runs): the driver
+///    alternates ApplyNextBatchDirect() — synchronous TEL writes, legal
+///    because nothing else is running — with a wave of submissions and a
+///    RunToCompletion(). The BSP engine forbids mid-run Submit, and the
+///    thread runtime's shared-nothing ownership contract forbids off-thread
+///    TEL writes while workers are live; between runs both are quiescent.
+///
+/// Snapshot discipline: readers take their snapshot timestamp from
+/// last_commit_ts() (or from the OnBatchCommitted callback, which fires
+/// exactly when a timestamp becomes safe). The ingestor pins in-flight read
+/// timestamps in every partition TEL so version compaction can never
+/// reclaim versions a live reader still needs.
+class StreamIngestor {
+ public:
+  struct Options {
+    /// Virtual time charged to the owning worker per applied op.
+    uint64_t per_op_cost_ns = 200;
+    /// Delay before re-trying a batch whose owner worker is crashed.
+    uint64_t retry_backoff_ns = 100'000;
+    /// Run TEL version compaction every N committed batches (0 = never).
+    /// The watermark is the LCT clamped to the oldest pinned reader.
+    uint32_t compact_every_batches = 0;
+  };
+
+  explicit StreamIngestor(SimCluster* cluster);
+  StreamIngestor(SimCluster* cluster, Options opt);
+
+  /// Queues a batch for ingest. Must be called in increasing commit_ts
+  /// order, before Start() (event-driven) or the ApplyNextBatchDirect()
+  /// loop (phased).
+  void EnqueueBatch(UpdateBatch batch);
+
+  /// Registers a standing query; returns its index. Event-driven mode
+  /// launches evaluations automatically at every commit; phased mode
+  /// launches them in LaunchStandingRuns().
+  size_t AddStandingQuery(StandingQuerySpec spec);
+
+  /// Fired at every batch commit (the instant `ts` becomes a safe snapshot
+  /// timestamp). Event-driven mode: fired from the commit event; phased
+  /// mode: fired from ApplyNextBatchDirect. Callbacks may Submit().
+  void SetOnBatchCommitted(std::function<void(Timestamp ts, SimTime at)> fn) {
+    on_batch_committed_ = std::move(fn);
+  }
+
+  /// Event-driven mode: schedules the first pending batch on the cluster's
+  /// event queue. Async engine only (the BSP driver never drains foreign
+  /// events between supersteps — use the phased loop instead).
+  void Start();
+
+  /// Phased mode: applies the next pending batch synchronously to the
+  /// graph's TELs and commits it. Returns its commit_ts, or 0 when no
+  /// batches remain. Caller must guarantee quiescence (no run in progress).
+  Timestamp ApplyNextBatchDirect();
+
+  /// Phased mode: submits one evaluation per registered standing query at
+  /// the current LCT. Results are folded in by completion callbacks during
+  /// the caller's next RunToCompletion().
+  void LaunchStandingRuns(SimTime at);
+
+  /// Pins/unpins a snapshot timestamp in every partition TEL on behalf of
+  /// an external reader (e.g. a test-submitted snapshot query), so
+  /// compaction cannot overtake it. Standing-query evaluations pin
+  /// themselves. Pin before Submit, unpin when the result arrives.
+  void PinReader(Timestamp ts);
+  void UnpinReader(Timestamp ts);
+
+  /// Highest fully-applied commit timestamp: the newest snapshot any reader
+  /// may take. 0 until the first batch commits.
+  Timestamp last_commit_ts() const { return lct_; }
+
+  /// True once every enqueued batch has committed.
+  bool Drained() const { return next_batch_ == batches_.size(); }
+
+  size_t num_standing() const { return standing_.size(); }
+  const StandingQueryState& standing(size_t i) const { return standing_[i]; }
+
+  /// Folds a standing query's deltas from an empty multiset: the cumulative
+  /// emission. Identical to `standing(i).rows` by construction; the
+  /// freshness oracle checks that identity against the final snapshot.
+  std::vector<Row> CumulativeRows(size_t i) const;
+
+  /// Live counters, attachable to the cluster's MetricsSnapshot().
+  const obs::StreamSnapshot& stats() const { return stats_; }
+
+ private:
+  /// One half of an op as seen by a single partition: edge ops are mirrored
+  /// into an Out half (at the src owner) and an In half (at the dst owner);
+  /// vertex ops carry kOut and ignore it. Pointers index into `batches_`,
+  /// which is append-only before Start().
+  struct HalfOp {
+    const StreamOp* op;
+    Direction half;
+  };
+
+  /// Ops of one batch bucketed by owning partition (edge ops mirrored).
+  std::vector<std::vector<HalfOp>> GroupByPartition(const UpdateBatch& b) const;
+  void CountOp(const StreamOp& op);
+
+  // Event-driven machinery.
+  void ScheduleBatch(size_t index, SimTime at);
+  void ApplyBatchEventDriven(size_t index, SimTime at);
+  void CommitBatch(size_t index, SimTime at, bool event_driven);
+  void MaybeCompact(SimTime at);
+  void LaunchStandingRun(size_t i, Timestamp ts, SimTime at);
+  void OnStandingDone(size_t i, Timestamp ts, const QueryResult& r, SimTime at);
+
+  SimCluster* cluster_;
+  PartitionedGraph* graph_;
+  Options opt_;
+  std::vector<UpdateBatch> batches_;
+  size_t next_batch_ = 0;  // first not-yet-committed batch
+  Timestamp lct_ = 0;
+  uint64_t committed_count_ = 0;
+  std::vector<StandingQueryState> standing_;
+  std::function<void(Timestamp, SimTime)> on_batch_committed_;
+  /// Virtual time each commit fired (staleness = evaluation completion
+  /// time minus the commit instant of the timestamp it evaluated).
+  std::map<Timestamp, SimTime> commit_time_;
+  obs::StreamSnapshot stats_;
+};
+
+/// Applies every op of `batch` directly to `graph`'s TELs at
+/// `batch.commit_ts` (no cluster, no cost accounting). The materialization
+/// primitive the freshness oracle builds reference graphs with; also the
+/// backing for ApplyNextBatchDirect.
+void ApplyBatchToGraph(PartitionedGraph& graph, const UpdateBatch& batch);
+
+}  // namespace stream
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_STREAM_STREAM_H_

@@ -1,0 +1,430 @@
+#include "stream/stream_oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "check/invariants.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "query/gremlin.h"
+#include "runtime/config.h"
+#include "runtime/hybrid.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+namespace stream {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Cell cluster shape, mirroring the base oracle's CellConfig (oracle.cc).
+/// Streaming cells do not layer the QoS/spill stress configs: the stream
+/// oracle isolates ingest-vs-reader interleavings.
+ClusterConfig StreamCellConfig(const check::ReplaySpec& spec,
+                               const check::DifferentialOptions& opt,
+                               EngineKind engine) {
+  ClusterConfig cfg;
+  cfg.num_nodes = opt.num_nodes;
+  cfg.workers_per_node = opt.workers_per_node;
+  cfg.engine = engine;
+  cfg.traverser_bulking = opt.traverser_bulking;
+  cfg.progress_timeout_ns = 20'000'000;
+  cfg.fault = spec.fault;
+  cfg.explore.tiebreak_seed = spec.tiebreak_seed;
+  cfg.explore.jitter_ns = spec.jitter_ns;
+  return cfg;
+}
+
+/// Runs `plan_indices` of the scenario on one streaming cluster. Async
+/// engines drive the event-driven ingest path; BSP drives the phased path.
+Status RunStreamGroup(const StreamScenario& s, const StreamReference& ref,
+                      const std::vector<size_t>& plan_indices,
+                      EngineKind engine, const check::ReplaySpec& spec,
+                      const check::DifferentialOptions& opt,
+                      check::CellReport* report) {
+  if (plan_indices.empty()) return Status::OK();
+  uint32_t num_partitions = opt.num_nodes * opt.workers_per_node;
+  std::shared_ptr<PartitionedGraph> graph = s.base_graph(num_partitions);
+  if (graph == nullptr) return Status::Internal("scenario produced no graph");
+  std::vector<std::shared_ptr<const Plan>> plans = s.plans(graph);
+  ClusterConfig cfg = StreamCellConfig(spec, opt, engine);
+  SimCluster cluster(cfg, graph);
+  std::unique_ptr<check::CheckHarness> harness =
+      check::CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+
+  StreamIngestor::Options iopt;
+  iopt.compact_every_batches = 2;  // live compaction is part of the test
+  StreamIngestor ingestor(&cluster, iopt);
+  cluster.AttachStreamStats(&ingestor.stats());
+  for (const UpdateBatch& b : s.batches) ingestor.EnqueueBatch(b);
+  for (size_t idx : plan_indices) {
+    ingestor.AddStandingQuery(StandingQuerySpec{plans[idx], 0});
+  }
+
+  // ids[b][i] = snapshot query of plan_indices[i] at batch b's timestamp.
+  std::vector<std::vector<uint64_t>> ids(s.batches.size());
+  std::map<Timestamp, size_t> batch_of_ts;
+  for (size_t b = 0; b < s.batches.size(); ++b) {
+    batch_of_ts[s.batches[b].commit_ts] = b;
+  }
+  auto submit_snapshots = [&](Timestamp ts, SimTime at) {
+    size_t b = batch_of_ts.at(ts);
+    for (size_t idx : plan_indices) {
+      // Pin the snapshot so live compaction cannot overtake this reader.
+      ingestor.PinReader(ts);
+      uint64_t id = cluster.Submit(plans[idx], at, ts);
+      cluster.SetCompletionCallback(
+          id, [&ingestor, ts](const QueryResult&, SimTime) {
+            ingestor.UnpinReader(ts);
+          });
+      ids[b].push_back(id);
+    }
+  };
+
+  Status run_status = Status::OK();
+  if (engine == EngineKind::kBsp) {
+    // Phased: apply a batch, submit the wave, run it to completion, repeat.
+    for (;;) {
+      Timestamp ts = ingestor.ApplyNextBatchDirect();
+      if (ts == 0) break;
+      submit_snapshots(ts, cluster.now());
+      ingestor.LaunchStandingRuns(cluster.now());
+      run_status = cluster.RunToCompletion(opt.max_events);
+      if (!run_status.ok()) break;
+    }
+  } else {
+    // Event-driven: ingest and queries interleave on one event queue.
+    ingestor.SetOnBatchCommitted(submit_snapshots);
+    ingestor.Start();
+    run_status = cluster.RunToCompletion(opt.max_events);
+  }
+  if (!run_status.ok()) {
+    report->mismatches++;
+    if (report->detail.empty()) {
+      report->detail = "run: " + run_status.ToString();
+    }
+  }
+  report->trips += harness->trip_count();
+  if (harness->trip_count() > 0 && report->detail.empty()) {
+    report->detail = harness->trips().front().ToString();
+  }
+  if (!ingestor.Drained()) {
+    report->mismatches++;
+    if (report->detail.empty()) {
+      report->detail = "ingest stalled: lct=" + U64(ingestor.last_commit_ts());
+    }
+  }
+
+  // Snapshot identity: every query at ts T row-identical to the from-scratch
+  // run on the graph materialized at T.
+  for (size_t b = 0; b < ids.size(); ++b) {
+    for (size_t i = 0; i < ids[b].size(); ++i) {
+      report->queries++;
+      const QueryResult& r = cluster.result(ids[b][i]);
+      if (!r.done || r.failed || r.timed_out) {
+        report->explicit_failures++;
+        continue;
+      }
+      std::vector<Row> got = check::CanonicalRows(r.rows);
+      if (got != ref.rows[b][plan_indices[i]]) {
+        report->mismatches++;
+        if (report->detail.empty()) {
+          report->detail = "snapshot ts=" + U64(s.batches[b].commit_ts) +
+                           " plan " + U64(plan_indices[i]) + ": got " +
+                           U64(got.size()) + " rows, materialized reference " +
+                           U64(ref.rows[b][plan_indices[i]].size());
+        }
+      }
+    }
+  }
+
+  // Standing identity: cumulative emission == rows == final-snapshot rows.
+  const Timestamp final_ts = s.batches.back().commit_ts;
+  for (size_t i = 0; i < plan_indices.size(); ++i) {
+    report->queries++;
+    const StandingQueryState& sq = ingestor.standing(i);
+    if (sq.last_run_ts != final_ts) {
+      report->explicit_failures++;
+      continue;
+    }
+    const std::vector<Row>& want = ref.rows.back()[plan_indices[i]];
+    if (sq.rows != want) {
+      report->mismatches++;
+      if (report->detail.empty()) {
+        report->detail = "standing plan " + U64(plan_indices[i]) + ": " +
+                         U64(sq.rows.size()) + " rows vs final snapshot " +
+                         U64(want.size());
+      }
+    }
+    if (ingestor.CumulativeRows(i) != sq.rows) {
+      report->mismatches++;
+      if (report->detail.empty()) {
+        report->detail = "standing plan " + U64(plan_indices[i]) +
+                         ": cumulative delta emission diverged from its rows";
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StreamScenario MakeStreamScenario(uint64_t seed, size_t num_batches,
+                                  size_t ops_per_batch) {
+  StreamScenario s;
+  s.base_graph = [](uint32_t num_partitions) {
+    auto schema = std::make_shared<Schema>();
+    PowerLawGraphOptions gopt;
+    gopt.num_vertices = 1024;
+    gopt.num_edges = 8192;
+    gopt.seed = 11;
+    gopt.weight_range = 10'000;
+    auto g = GeneratePowerLawGraph(gopt, schema, num_partitions);
+    return g.ok() ? g.TakeValue() : nullptr;
+  };
+  s.plans = [](const std::shared_ptr<PartitionedGraph>& graph) {
+    std::vector<std::shared_ptr<const Plan>> plans;
+    if (graph == nullptr) return plans;
+    PropKeyId weight = graph->mutable_schema().PropKey("weight");
+    auto topk = [&](VertexId start, uint16_t k, size_t limit) {
+      auto plan =
+          Traversal(graph)
+              .V({start})
+              .RepeatOut("link", k, /*dedup=*/true)
+              .Project({Operand::VertexIdOp(), Operand::Property(weight)})
+              .OrderByLimit({{1, false}, {0, true}}, limit)
+              .Build();
+      if (plan.ok()) plans.push_back(plan.TakeValue());
+    };
+    auto count = [&](VertexId start, uint16_t k) {
+      auto plan = Traversal(graph)
+                      .V({start})
+                      .RepeatOut("link", k, /*dedup=*/true)
+                      .Count()
+                      .Build();
+      if (plan.ok()) plans.push_back(plan.TakeValue());
+    };
+    topk(1, 3, 10);
+    topk(17, 3, 5);
+    count(5, 2);
+    count(42, 3);
+    topk(99, 2, 10);
+    return plans;
+  };
+
+  // Deterministic batch schedule. Three order-sensitivity rules keep the
+  // grouped-by-partition ingest path and the sequential materialize path
+  // state-identical at every timestamp: (1) deletes only target edges
+  // streamed in *earlier* batches, (2) at most one property write per
+  // (vertex, key) per batch, (3) fresh vertex ids are never reused.
+  Rng rng(seed);
+  constexpr VertexId kBase = 1024;          // static vertex id space
+  constexpr VertexId kFreshBase = 2'000'000;
+  VertexId next_fresh = kFreshBase;
+  std::vector<std::pair<VertexId, VertexId>> live;     // deletable edge pool
+  const LabelId kNode = 0, kLink = 0;                  // generator label ids
+  const PropKeyId kWeight = 0;                         // "weight" key id
+  for (size_t b = 0; b < num_batches; ++b) {
+    UpdateBatch batch;
+    batch.commit_ts = static_cast<Timestamp>((b + 1) * 1000);
+    batch.not_before = static_cast<SimTime>((b + 1) * 500'000);
+    std::vector<std::pair<VertexId, VertexId>> added_this_batch;
+    std::vector<VertexId> props_this_batch;
+    for (size_t k = 0; k < ops_per_batch; ++k) {
+      uint64_t roll = rng.Below(100);
+      if (roll < 55) {
+        StreamOp op;
+        op.kind = StreamOpKind::kAddEdge;
+        op.src = rng.Below(kBase);
+        op.dst = rng.Below(kBase);
+        op.label = kLink;
+        batch.ops.push_back(op);
+        added_this_batch.push_back({op.src, op.dst});
+      } else if (roll < 70 && !live.empty()) {
+        size_t pick = static_cast<size_t>(rng.Below(live.size()));
+        StreamOp op;
+        op.kind = StreamOpKind::kDeleteEdge;
+        op.src = live[pick].first;
+        op.dst = live[pick].second;
+        op.label = kLink;
+        batch.ops.push_back(op);
+        live[pick] = live.back();
+        live.pop_back();
+      } else if (roll < 82) {
+        VertexId fresh = next_fresh++;
+        StreamOp av;
+        av.kind = StreamOpKind::kAddVertex;
+        av.src = fresh;
+        av.label = kNode;
+        batch.ops.push_back(av);
+        StreamOp sp;
+        sp.kind = StreamOpKind::kSetProp;
+        sp.src = fresh;
+        sp.key = kWeight;
+        sp.value = Value(static_cast<int64_t>(rng.Below(10'000)));
+        batch.ops.push_back(sp);
+        StreamOp link;
+        link.kind = StreamOpKind::kAddEdge;
+        link.src = rng.Below(kBase);
+        link.dst = fresh;
+        link.label = kLink;
+        batch.ops.push_back(link);
+        added_this_batch.push_back({link.src, link.dst});
+      } else {
+        VertexId v = rng.Below(kBase);
+        bool dup = false;
+        for (VertexId seen : props_this_batch) dup = dup || seen == v;
+        if (dup) continue;  // one write per (vertex, key) per batch
+        props_this_batch.push_back(v);
+        StreamOp op;
+        op.kind = StreamOpKind::kSetProp;
+        op.src = v;
+        op.key = kWeight;
+        op.value = Value(static_cast<int64_t>(rng.Below(10'000)));
+        batch.ops.push_back(op);
+      }
+    }
+    for (auto& e : added_this_batch) live.push_back(e);
+    s.batches.push_back(std::move(batch));
+  }
+  return s;
+}
+
+std::shared_ptr<PartitionedGraph> MaterializeAt(const StreamScenario& s,
+                                                uint32_t num_partitions,
+                                                Timestamp ts) {
+  std::shared_ptr<PartitionedGraph> g = s.base_graph(num_partitions);
+  if (g == nullptr) return nullptr;
+  for (const UpdateBatch& b : s.batches) {
+    if (b.commit_ts > ts) break;
+    ApplyBatchToGraph(*g, b);
+  }
+  return g;
+}
+
+Result<StreamReference> ComputeStreamReference(const StreamScenario& s) {
+  if (s.batches.empty()) {
+    return Status::Internal("stream scenario has no batches");
+  }
+  StreamReference ref;
+  for (const UpdateBatch& b : s.batches) {
+    std::shared_ptr<PartitionedGraph> g = MaterializeAt(s, 1, b.commit_ts);
+    if (g == nullptr) return Status::Internal("scenario produced no graph");
+    std::vector<std::shared_ptr<const Plan>> plans = s.plans(g);
+    if (plans.empty()) return Status::Internal("scenario produced no plans");
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.workers_per_node = 1;
+    cfg.engine = EngineKind::kAsync;
+    SimCluster cluster(cfg, g);
+    std::unique_ptr<check::CheckHarness> harness =
+        check::CheckHarness::WithAllCheckers();
+    cluster.AttachChecker(harness.get());
+    std::vector<uint64_t> ids;
+    for (const auto& p : plans) {
+      ids.push_back(cluster.Submit(p, /*at=*/0, b.commit_ts));
+    }
+    Status st = cluster.RunToCompletion();
+    if (!st.ok()) return st;
+    if (harness->trip_count() > 0) {
+      return Status::Internal("invariant trip in the materialized reference: " +
+                              harness->trips().front().ToString());
+    }
+    std::vector<std::vector<Row>> rows;
+    for (uint64_t id : ids) {
+      const QueryResult& r = cluster.result(id);
+      if (!r.done || r.failed || r.timed_out) {
+        return Status::Internal("materialized reference query " + U64(id) +
+                                " did not complete cleanly");
+      }
+      rows.push_back(check::CanonicalRows(r.rows));
+    }
+    ref.ts.push_back(b.commit_ts);
+    ref.rows.push_back(std::move(rows));
+  }
+  return ref;
+}
+
+Result<check::CellReport> RunStreamCell(const StreamScenario& s,
+                                        const StreamReference& reference,
+                                        const check::ReplaySpec& spec,
+                                        const check::DifferentialOptions& opt) {
+  if (reference.rows.size() != s.batches.size()) {
+    return Status::Internal("scenario/reference batch count mismatch");
+  }
+  check::CellReport report;
+  size_t num_plans = reference.rows.front().size();
+  std::vector<size_t> all(num_plans);
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Status st = Status::OK();
+  if (spec.mode == "async") {
+    st = RunStreamGroup(s, reference, all, EngineKind::kAsync, spec, opt,
+                        &report);
+  } else if (spec.mode == "bsp") {
+    st = RunStreamGroup(s, reference, all, EngineKind::kBsp, spec, opt,
+                        &report);
+  } else if (spec.mode == "hybrid") {
+    // Per-plan engine choice on a throwaway instance (the choice depends
+    // only on plan shape and graph stats, both partition-independent).
+    std::shared_ptr<PartitionedGraph> g =
+        s.base_graph(opt.num_nodes * opt.workers_per_node);
+    if (g == nullptr) return Status::Internal("scenario produced no graph");
+    std::vector<std::shared_ptr<const Plan>> plans = s.plans(g);
+    std::vector<size_t> async_group, bsp_group;
+    uint32_t workers = opt.num_nodes * opt.workers_per_node;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      HybridChoice choice =
+          ChooseEngine(*plans[i], g->stats(), workers,
+                       /*threshold_tasks=*/0.0, opt.traverser_bulking);
+      (choice.engine == EngineKind::kBsp ? bsp_group : async_group)
+          .push_back(i);
+    }
+    st = RunStreamGroup(s, reference, async_group, EngineKind::kAsync, spec,
+                        opt, &report);
+    if (st.ok()) {
+      st = RunStreamGroup(s, reference, bsp_group, EngineKind::kBsp, spec, opt,
+                          &report);
+    }
+  } else {
+    return Status::InvalidArgument("unknown stream oracle mode: " + spec.mode);
+  }
+  if (!st.ok()) return st;
+  return report;
+}
+
+Result<check::DifferentialReport> RunStreamDifferential(
+    const StreamScenario& s, const check::DifferentialOptions& opt) {
+  auto reference = ComputeStreamReference(s);
+  if (!reference.ok()) return reference.status();
+  check::DifferentialReport report;
+  for (const std::string& mode : opt.modes) {
+    for (uint64_t seed = 0; seed < opt.num_seeds; ++seed) {
+      check::ReplaySpec spec;
+      spec.mode = mode;
+      spec.tiebreak_seed = seed;
+      spec.jitter_ns = seed == 0 ? 0 : opt.jitter_ns;
+      if (opt.fault_active) spec.fault = opt.fault;
+      spec.stream = true;
+      auto cell = RunStreamCell(s, reference.value(), spec, opt);
+      if (!cell.ok()) return cell.status();
+      report.cells++;
+      report.queries += cell.value().queries;
+      report.trips += cell.value().trips;
+      report.mismatches += cell.value().mismatches;
+      report.explicit_failures += cell.value().explicit_failures;
+      if (!cell.value().ok()) {
+        report.failures.push_back(check::DifferentialFailure{
+            spec, check::FormatReplayToken(spec),
+            "stream mode=" + mode + " seed=" + U64(seed) + ": " +
+                cell.value().detail});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace stream
+}  // namespace graphdance

@@ -1,0 +1,86 @@
+#ifndef GRAPHDANCE_STREAM_STREAM_ORACLE_H_
+#define GRAPHDANCE_STREAM_STREAM_ORACLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "check/oracle.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pstm/plan.h"
+#include "stream/stream.h"
+
+namespace graphdance {
+namespace stream {
+
+/// One deterministic streaming workload: a base-graph factory, a plan
+/// builder, and a timestamped batch schedule. Graph and plans are factories
+/// (not instances) because every cell — and every materialized reference —
+/// needs its own private graph: streaming cells mutate it.
+struct StreamScenario {
+  std::function<std::shared_ptr<PartitionedGraph>(uint32_t num_partitions)>
+      base_graph;
+  std::function<std::vector<std::shared_ptr<const Plan>>(
+      const std::shared_ptr<PartitionedGraph>&)>
+      plans;
+  std::vector<UpdateBatch> batches;
+};
+
+/// The default streaming scenario: the oracle's power-law graph and query
+/// shapes plus `num_batches` update batches of `ops_per_batch` ops drawn
+/// deterministically from `seed` — a mix of edge adds, deletes of
+/// previously-streamed edges, fresh vertices and property writes, crafted so
+/// that applying ops grouped-by-partition (the ingest path) and sequentially
+/// (the materialize path) yields identical visible state at every timestamp.
+StreamScenario MakeStreamScenario(uint64_t seed, size_t num_batches = 6,
+                                  size_t ops_per_batch = 64);
+
+/// The scenario seed every `;stream=1` replay token refers to (tokens encode
+/// the schedule, not the workload — same convention as the base oracle).
+inline constexpr uint64_t kDefaultStreamScenarioSeed = 11;
+
+/// The scenario's graph materialized at `ts`: the base graph regenerated for
+/// `num_partitions` with every batch of commit_ts <= ts applied directly.
+std::shared_ptr<PartitionedGraph> MaterializeAt(const StreamScenario& s,
+                                                uint32_t num_partitions,
+                                                Timestamp ts);
+
+/// Canonical reference rows for every (batch, plan) pair: each batch's
+/// timestamp materialized from scratch and queried on a 1x1 async cluster at
+/// read_ts = commit_ts. `rows[b][p]` is plan p's answer at batch b's
+/// timestamp; a snapshot query in a live streaming cell must match it
+/// row-for-row, and a standing query's cumulative emission must equal
+/// `rows.back()[p]`.
+struct StreamReference {
+  std::vector<Timestamp> ts;                        // per batch
+  std::vector<std::vector<std::vector<Row>>> rows;  // [batch][plan]
+};
+
+Result<StreamReference> ComputeStreamReference(const StreamScenario& s);
+
+/// Runs one streaming cell: a live cluster under `spec` (engine mode,
+/// tie-break seed, fault plan) with the ingestor applying the scenario's
+/// batches while one snapshot query per plan runs at every commit timestamp
+/// and every plan is also registered standing. Async mode drives the
+/// event-driven ingest path (writes interleaved with reads on the event
+/// queue); BSP mode drives the phased path. All invariant checkers —
+/// including snapshot-isolation — are attached. Mismatches against
+/// `reference` (snapshot rows, standing cumulative rows) and checker trips
+/// land in the CellReport.
+Result<check::CellReport> RunStreamCell(const StreamScenario& s,
+                                        const StreamReference& reference,
+                                        const check::ReplaySpec& spec,
+                                        const check::DifferentialOptions& opt);
+
+/// The full freshness-differential matrix: every mode x tie-break seed (with
+/// `opt.fault` when fault_active), each cell diffed against the materialized
+/// references. This is the oracle that anchors streaming correctness:
+/// snapshot identity, standing cumulative identity, zero isolation trips.
+Result<check::DifferentialReport> RunStreamDifferential(
+    const StreamScenario& s, const check::DifferentialOptions& opt);
+
+}  // namespace stream
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_STREAM_STREAM_ORACLE_H_

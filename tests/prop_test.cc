@@ -15,6 +15,15 @@
 //  - AdmissionController ordering: per-class FIFO, deadline-expired pops
 //    are shed not admitted, ledger conservation at every step, and stride
 //    scheduling admits saturated classes in proportion to their weights.
+//  - TEL visibility: random interleaved create/delete timestamp histories
+//    pushed through the TransactionalEdgeLog, with visibility at every
+//    timestamp checked against a brute-force model — across arena
+//    compactions at random watermarks (compaction must be visibility-
+//    preserving at and above the watermark).
+//  - Snapshot-isolation checker smoke: CorruptNthVisibility plants a stale
+//    read (create stamp pushed past the reader's timestamp between scan and
+//    observation) that the SI checker must trip on — guards against a
+//    vacuously green checker.
 
 #include <algorithm>
 #include <cstdint>
@@ -24,10 +33,15 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.h"
 #include "common/random.h"
 #include "common/serde.h"
 #include "common/value.h"
+#include "graph/generators.h"
+#include "graph/tel.h"
 #include "gtest/gtest.h"
+#include "query/gremlin.h"
+#include "runtime/sim_cluster.h"
 #include "pstm/memo.h"
 #include "pstm/steps.h"
 #include "pstm/traverser.h"
@@ -782,6 +796,207 @@ TEST(AdmissionPropertyTest, StrideSchedulingHonorsClassWeights) {
   }
   EXPECT_NEAR(static_cast<double>(admits_by_class[0]), 600.0, 2.0);
   EXPECT_NEAR(static_cast<double>(admits_by_class[1]), 200.0, 2.0);
+}
+
+// --- TEL visibility vs brute force (streaming SI battery) -------------------
+
+// Brute-force model of one adjacency chain: edges in append order with raw
+// version stamps. Mirrors the TEL's contract exactly: VisibleAt(ts) ==
+// create <= ts < del, and DeleteEdge marks the *first* visible match in
+// append order.
+struct ModelEdge {
+  VertexId anchor;
+  VertexId other;
+  Timestamp create;
+  Timestamp del;
+};
+
+std::vector<VertexId> ModelVisible(const std::vector<ModelEdge>& model,
+                                   VertexId anchor, Timestamp ts) {
+  std::vector<VertexId> out;
+  for (const ModelEdge& e : model) {
+    if (e.anchor == anchor && e.create <= ts && ts < e.del) out.push_back(e.other);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> TelVisible(const TransactionalEdgeLog& tel,
+                                 VertexId anchor, Timestamp ts) {
+  std::vector<VertexId> out;
+  tel.ForEachEdgeStamped(anchor, /*elabel=*/0, Direction::kOut, ts,
+                         [&](VertexId dst, const Value&, Timestamp create_ts,
+                             Timestamp delete_ts) {
+                           // The stamps handed to the SI checker must
+                           // themselves certify visibility.
+                           EXPECT_LE(create_ts, ts);
+                           EXPECT_LT(ts, delete_ts);
+                           out.push_back(dst);
+                         });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TelVisibilityPropertyTest, RandomHistoriesMatchBruteForceAcrossCompaction) {
+  // Random interleaved create/delete histories at increasing timestamps,
+  // interleaved with compactions at random watermarks. After every round the
+  // full visibility relation — every anchor at every timestamp at or above
+  // the compaction floor — must match the model edge-for-edge (multiset).
+  constexpr VertexId kAnchors = 4;
+  constexpr VertexId kOthers = 24;
+  Rng rng(0x5eed7e10);
+  for (int round = 0; round < 8; ++round) {
+    TransactionalEdgeLog tel;
+    std::vector<ModelEdge> model;
+    Timestamp now = 0;
+    Timestamp floor = 0;  // compaction watermark high-water: check ts >= floor
+    for (int step = 0; step < 160; ++step) {
+      now += 1 + rng.Below(3);
+      const uint64_t roll = rng.Below(100);
+      const VertexId anchor = 1 + rng.Below(kAnchors);
+      const VertexId other = 1 + rng.Below(kOthers);
+      if (roll < 55) {
+        tel.AddEdge(anchor, 0, Direction::kOut, other, now);
+        model.push_back(ModelEdge{anchor, other, now, kMaxTimestamp});
+      } else if (roll < 85) {
+        // Delete must pick the first visible match in append order — apply
+        // the same rule to the model and require agreement on existence.
+        bool model_hit = false;
+        for (ModelEdge& e : model) {
+          if (e.anchor == anchor && e.other == other && e.create <= now &&
+              now < e.del) {
+            e.del = now;
+            model_hit = true;
+            break;
+          }
+        }
+        EXPECT_EQ(tel.DeleteEdge(anchor, 0, Direction::kOut, other, now),
+                  model_hit);
+      } else {
+        const Timestamp watermark = floor + rng.Below(now - floor + 1);
+        tel.Compact(watermark);
+        floor = std::max(floor, watermark);
+        // Compaction is physical only: the model is untouched, because
+        // visibility at ts >= watermark must be exactly preserved.
+      }
+      if (step % 20 == 19) {
+        for (VertexId a = 1; a <= kAnchors; ++a) {
+          for (Timestamp ts = floor; ts <= now; ++ts) {
+            ASSERT_EQ(TelVisible(tel, a, ts), ModelVisible(model, a, ts))
+                << "round=" << round << " step=" << step << " anchor=" << a
+                << " ts=" << ts << " floor=" << floor;
+          }
+        }
+      }
+    }
+    // Final sweep, then a full compaction at `now`: only edges live at `now`
+    // survive physically, and visibility at `now` is still intact.
+    tel.Compact(now);
+    for (VertexId a = 1; a <= kAnchors; ++a) {
+      ASSERT_EQ(TelVisible(tel, a, now), ModelVisible(model, a, now));
+    }
+    size_t live = 0;
+    for (const ModelEdge& e : model) {
+      if (e.create <= now && now < e.del) ++live;
+    }
+    EXPECT_EQ(tel.num_edge_versions(), live);
+  }
+}
+
+TEST(TelVisibilityPropertyTest, VertexHistoriesMatchBruteForce) {
+  Rng rng(0x5eedbeef);
+  TransactionalEdgeLog tel;
+  struct VState {
+    Timestamp create = kMaxTimestamp;
+    Timestamp del = kMaxTimestamp;
+  };
+  std::map<VertexId, VState> model;
+  Timestamp now = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += 1 + rng.Below(2);
+    const VertexId v = 1 + rng.Below(12);
+    if (rng.Chance(0.6)) {
+      tel.AddVertex(v, /*label=*/0, now);
+      model[v] = VState{now, kMaxTimestamp};  // AddVertex overwrites tombstones
+    } else {
+      const bool model_live =
+          model.count(v) != 0 && model[v].create <= now && now < model[v].del;
+      EXPECT_EQ(tel.DeleteVertex(v, now), model_live);
+      if (model_live) model[v].del = now;
+    }
+    if (step % 40 == 39) {
+      for (VertexId u = 1; u <= 12; ++u) {
+        for (Timestamp ts = 0; ts <= now; ts += 1 + ts / 8) {
+          const bool expect_live = model.count(u) != 0 &&
+                                   model[u].create <= ts && ts < model[u].del;
+          ASSERT_EQ(tel.HasVertex(u, ts), expect_live)
+              << "v=" << u << " ts=" << ts;
+        }
+      }
+    }
+  }
+}
+
+// --- snapshot-isolation checker smoke (mutation hook) -----------------------
+
+// A small live run with every checker attached. With `corrupt_nth` == 0 the
+// run must be silent; with a planted visibility corruption the SI checker
+// must trip (the stamped-scan observation path is live end to end).
+uint64_t RunWithVisibilityCorruption(uint64_t corrupt_nth,
+                                     std::string* summary = nullptr) {
+  auto schema = std::make_shared<Schema>();
+  PowerLawGraphOptions gopt;
+  gopt.num_vertices = 256;
+  gopt.num_edges = 1024;
+  gopt.seed = 11;
+  gopt.weight_range = 10'000;
+  auto graph = GeneratePowerLawGraph(gopt, schema, /*partitions=*/4);
+  EXPECT_TRUE(graph.ok());
+  auto plan = Traversal(graph.value())
+                  .V({1})
+                  .RepeatOut("link", /*k=*/3, /*dedup=*/true)
+                  .Count()
+                  .Build();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.progress_timeout_ns = 20'000'000;
+  SimCluster cluster(cfg, graph.value());
+  auto harness = check::CheckHarness::WithAllCheckers();
+  if (corrupt_nth != 0) harness->CorruptNthVisibility(corrupt_nth);
+  cluster.AttachChecker(harness.get());
+  cluster.Submit(plan.value(), 0);
+  EXPECT_TRUE(cluster.RunToCompletion().ok());
+  if (summary != nullptr) *summary = harness->Summary();
+  const auto& by_checker = harness->TripsByChecker();
+  auto it = by_checker.find("snapshot-isolation");
+  const uint64_t si_trips = it == by_checker.end() ? 0 : it->second;
+  // Only the planted SI corruption may trip, and only the SI checker.
+  EXPECT_EQ(harness->trip_count(), si_trips) << harness->Summary();
+  return si_trips;
+}
+
+TEST(SnapshotIsolationCheckerTest, CleanRunIsSilent) {
+  std::string summary;
+  EXPECT_EQ(RunWithVisibilityCorruption(0, &summary), 0u) << summary;
+}
+
+TEST(SnapshotIsolationCheckerTest, PlantedVisibilityCorruptionTrips) {
+  // The first observed edge gets its create stamp pushed past the reader's
+  // read_ts between the visibility scan and the observation — exactly the
+  // stale-read a torn streaming batch would produce. A silent checker here
+  // would make the whole streaming oracle vacuous.
+  EXPECT_GE(RunWithVisibilityCorruption(1), 1u);
+}
+
+TEST(SnapshotIsolationCheckerTest, CorruptionAnywhereInTheScanTrips) {
+  Rng rng(0x5eedc0de);
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t nth = 1 + rng.Below(64);  // well below the edges observed
+    EXPECT_GE(RunWithVisibilityCorruption(nth), 1u) << "nth=" << nth;
+  }
 }
 
 }  // namespace

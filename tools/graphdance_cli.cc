@@ -22,6 +22,7 @@
 #include "analytics/analytics.h"
 #include "check/oracle.h"
 #include "check/shrink.h"
+#include "stream/stream_oracle.h"
 #include "graph/generators.h"
 #include "ldbc/driver.h"
 #include "ldbc/snb_generator.h"
@@ -168,6 +169,7 @@ struct Shell {
     in >> sub;
     check::WorkloadFactory factory = check::MakeDefaultCheckWorkload();
     check::DifferentialOptions opt;
+    bool stream_matrix = false;
 
     if (sub == "qos") {
       // `check qos [seeds]`: the whole matrix under the standard QoS stress
@@ -182,6 +184,16 @@ struct Shell {
       opt.spill = true;
       sub.clear();
       in >> sub;
+    } else if (sub == "stream") {
+      // `check stream [seeds]`: the freshness differential — every engine x
+      // [seeds] schedules running the streaming scenario live, each cell's
+      // snapshot queries and standing cumulative emissions diffed against
+      // from-scratch materializations (failing tokens carry `;stream=1`).
+      // The acceptance gate runs 32 seeds, so that is the default here.
+      stream_matrix = true;
+      opt.num_seeds = 32;
+      sub.clear();
+      in >> sub;
     }
 
     if (sub == "replay" || sub == "shrink") {
@@ -190,6 +202,10 @@ struct Shell {
       auto spec = check::ParseReplayToken(token);
       if (!spec.ok()) {
         std::printf("bad token: %s\n", spec.status().ToString().c_str());
+        return;
+      }
+      if (spec.value().stream || stream_matrix) {
+        CheckStreamToken(sub, spec.value());
         return;
       }
       auto reference = check::ComputeReference(factory, opt.max_events);
@@ -232,11 +248,23 @@ struct Shell {
       char* end = nullptr;
       unsigned long long seeds = std::strtoull(sub.c_str(), &end, 10);
       if (end == nullptr || *end != '\0' || seeds == 0) {
-        std::printf("usage: check [qos|spill] [seeds] | check replay <token> | "
-                    "check shrink <token>\n");
+        std::printf("usage: check [qos|spill|stream] [seeds] | "
+                    "check replay <token> | check shrink <token>\n");
         return;
       }
       opt.num_seeds = seeds;
+    }
+    if (stream_matrix) {
+      stream::StreamScenario scenario =
+          stream::MakeStreamScenario(stream::kDefaultStreamScenarioSeed);
+      auto report = stream::RunStreamDifferential(scenario, opt);
+      if (!report.ok()) {
+        std::printf("check stream error: %s\n",
+                    report.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s\n", report.value().Summary().c_str());
+      return;
     }
     auto report = check::RunDifferential(factory, opt);
     if (!report.ok()) {
@@ -244,6 +272,50 @@ struct Shell {
       return;
     }
     std::printf("%s\n", report.value().Summary().c_str());
+  }
+
+  /// `check replay|shrink` for a `;stream=1` token: same verbs, but the cell
+  /// is a live streaming run diffed against materialized references.
+  void CheckStreamToken(const std::string& verb, check::ReplaySpec spec) {
+    spec.stream = true;  // `check stream replay <legacy-token>` upgrades too
+    stream::StreamScenario scenario =
+        stream::MakeStreamScenario(stream::kDefaultStreamScenarioSeed);
+    check::DifferentialOptions opt;
+    auto reference = stream::ComputeStreamReference(scenario);
+    if (!reference.ok()) {
+      std::printf("stream reference error: %s\n",
+                  reference.status().ToString().c_str());
+      return;
+    }
+    if (verb == "replay") {
+      auto cell = stream::RunStreamCell(scenario, reference.value(), spec, opt);
+      if (!cell.ok()) {
+        std::printf("replay error: %s\n", cell.status().ToString().c_str());
+        return;
+      }
+      const check::CellReport& r = cell.value();
+      std::printf("%s: queries=%lu trips=%lu mismatches=%lu "
+                  "explicit_failures=%lu\n",
+                  r.ok() ? "PASS" : "FAIL", (unsigned long)r.queries,
+                  (unsigned long)r.trips, (unsigned long)r.mismatches,
+                  (unsigned long)r.explicit_failures);
+      if (!r.detail.empty()) std::printf("  %s\n", r.detail.c_str());
+      return;
+    }
+    auto fails = [&](const check::ReplaySpec& s) {
+      check::ReplaySpec streamed = s;
+      streamed.stream = true;  // shrink the schedule, never the stream flag
+      auto cell = stream::RunStreamCell(scenario, reference.value(), streamed, opt);
+      return !cell.ok() || !cell.value().ok();
+    };
+    check::ShrinkResult r = check::Shrink(spec, fails);
+    if (!r.reproduced) {
+      std::printf("token does not fail — nothing to shrink "
+                  "(%d evaluation(s))\n", r.evaluations);
+      return;
+    }
+    std::printf("minimal repro after %d evaluation(s):\n  replay: %s\n",
+                r.evaluations, r.token.c_str());
   }
 
   void Dispatch(const std::string& line) {
@@ -284,7 +356,14 @@ struct Shell {
           "  check spill [seeds]            the same matrix under the spill stress\n"
           "                                 config (memo budget tight enough to\n"
           "                                 force evictions in every cell)\n"
+          "  check stream [seeds]           freshness differential: live\n"
+          "                                 streaming cells (batched mutations +\n"
+          "                                 snapshot + standing queries) vs\n"
+          "                                 from-scratch materializations at\n"
+          "                                 every commit ts (default 32 seeds)\n"
           "  check replay <token>           re-run one gdchk1 replay token\n"
+          "                                 (`;stream=1` tokens replay as\n"
+          "                                 streaming cells)\n"
           "  check shrink <token>           minimize a failing replay token\n"
           "  quit\n"
           "flags: --metrics (print metrics after every run), --trace-out FILE\n"

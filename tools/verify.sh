@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full tier-1 verification matrix. Run from the repository root:
 #
-#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos, spill)
+#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos, spill, stream)
 #   tools/verify.sh release    # just the release build + tests
 #
 # Stages:
@@ -19,9 +19,15 @@
 #   spill   — spill-tier suite alone (ctest -L spill: off-switch byte
 #             identity, pressure state machine, spilled differential matrix)
 #             in the release tree, then the gated bench_spill pressure curve
+#   stream  — streaming-ingest suite alone (ctest -L stream: snapshot
+#             identity vs materialized references across engines, standing
+#             cumulative-emission identity, off-switch byte identity,
+#             crash-mid-batch atomicity, compaction pin guard) in the
+#             release tree, then the gated bench_streaming freshness curve
 #   tsan    — -DSANITIZE=thread (ThreadSanitizer) build of the real-thread
 #             runtime, then the rt suite (ctest -L rt: MPSC inbox contention
-#             tests + the ThreadCluster differential matrix) under TSan
+#             tests + the ThreadCluster differential matrix) and the
+#             streaming suite (ctest -L stream) under TSan
 #   threads — real-thread scalability smoke (bench_threads) in the release
 #             tree: rows must be byte-identical at every thread count (hard
 #             gate); the monotone/1.5x-speedup gates are enforced by the
@@ -91,12 +97,20 @@ if [[ "$STAGES" == "all" || "$STAGES" == "spill" ]]; then
   ./build/bench/bench_spill
 fi
 
+if [[ "$STAGES" == "all" || "$STAGES" == "stream" ]]; then
+  echo "==== [stream] ctest -L stream (release tree) ===="
+  ctest --test-dir build -L stream --output-on-failure -j "$JOBS"
+  echo "==== [stream] bench_streaming gates ===="
+  cmake --build build --target bench_streaming -j "$JOBS"
+  ./build/bench/bench_streaming
+fi
+
 if [[ "$STAGES" == "all" || "$STAGES" == "tsan" ]]; then
-  echo "==== [tsan] configure + build rt suite (build-tsan) ===="
+  echo "==== [tsan] configure + build rt + stream suites (build-tsan) ===="
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
-  cmake --build build-tsan --target rt_test -j "$JOBS"
-  echo "==== [tsan] ctest -L rt under ThreadSanitizer ===="
-  ctest --test-dir build-tsan -L rt --output-on-failure -j "$JOBS"
+  cmake --build build-tsan --target rt_test stream_test -j "$JOBS"
+  echo "==== [tsan] ctest -L rt -L stream under ThreadSanitizer ===="
+  ctest --test-dir build-tsan -L 'rt|stream' --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$STAGES" == "all" || "$STAGES" == "threads" ]]; then
