@@ -299,6 +299,8 @@ std::string FormatReplayToken(const ReplaySpec& spec) {
   if (spec.qos) out += ";qos=1";
   if (spec.spill) out += ";spill=1";
   if (spec.stream) out += ";stream=1";
+  if (spec.txn) out += ";txn=1";
+  if (!spec.txn_phase.empty()) out += ";txnphase=" + spec.txn_phase;
   return out;
 }
 
@@ -318,7 +320,10 @@ Result<ReplaySpec> ParseReplayToken(const std::string& token) {
     bool ok = true;
     if (key == "mode") {
       spec.mode = val;
-      ok = val == "async" || val == "bsp" || val == "hybrid";
+      // "threads" (the real-thread ThreadCluster engine) exists only for
+      // transactional cells; non-txn uses reject it at the cell runner.
+      ok = val == "async" || val == "bsp" || val == "hybrid" ||
+           val == "threads";
     } else if (key == "seed") {
       ok = ParseU64(val, &spec.tiebreak_seed);
     } else if (key == "jitter") {
@@ -345,6 +350,13 @@ Result<ReplaySpec> ParseReplayToken(const std::string& token) {
       uint64_t v = 0;
       ok = ParseU64(val, &v);
       spec.stream = v != 0;
+    } else if (key == "txn") {
+      uint64_t v = 0;
+      ok = ParseU64(val, &v);
+      spec.txn = v != 0;
+    } else if (key == "txnphase") {
+      spec.txn_phase = val;
+      ok = val == "prepare" || val == "commit" || val == "apply";
     } else if (key == "script") {
       for (const std::string& item : SplitOn(val, '|')) {
         FaultEvent ev;

@@ -56,6 +56,19 @@ struct ReplaySpec {
   /// (stream::RunStreamCell). Encoded as `;stream=1` only when set, like
   /// `;qos=1`, so old tokens round-trip unchanged.
   bool stream = false;
+  /// Run the cell as a *transactional* cell: the txn oracle drives LDBC
+  /// update transactions through the distributed commit protocol while
+  /// IC/IS-style reads run at the advancing LCT, and committed schedules are
+  /// replayed against a single-worker serial executor (RunTxnCell in
+  /// check/txn_oracle.h). Encoded as `;txn=1` only when set. `mode` may
+  /// additionally be "threads" for txn cells (the real-thread ThreadCluster
+  /// engine with phased commits).
+  bool txn = false;
+  /// Crash-chaos phase for txn cells: "" (none), "prepare", "commit" or
+  /// "apply" — which protocol action the deterministic crash targets (the
+  /// exact nth action derives from tiebreak_seed). Encoded as `;txnphase=`
+  /// only when non-empty.
+  std::string txn_phase;
 };
 
 std::string FormatReplayToken(const ReplaySpec& spec);

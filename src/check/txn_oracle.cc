@@ -1,0 +1,598 @@
+#include "check/txn_oracle.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "check/invariants.h"
+#include "rt/thread_cluster.h"
+#include "runtime/config.h"
+#include "runtime/hybrid.h"
+#include "runtime/sim_cluster.h"
+#include "txn/dist_txn.h"
+
+namespace graphdance {
+namespace check {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// One read wave as observed by the cell: every plan of the group submitted
+/// at the same LCT, rows canonicalized. `valid[k]` is false when the query
+/// failed or timed out (legal mid-chaos; the wave comparison skips it).
+struct Wave {
+  Timestamp read_ts = 0;
+  std::vector<std::vector<Row>> rows;
+  std::vector<bool> valid;
+};
+
+/// Chaos knobs for one cell, derived deterministically from the spec: the
+/// phase comes from the token, the exact nth protocol action from the
+/// tie-break seed (so different seeds tear different transactions).
+DistTxnManager::Options CellTxnOptions(const ReplaySpec& spec,
+                                       const TxnDifferentialOptions& opt) {
+  DistTxnManager::Options o;
+  if (spec.txn_phase == "prepare") {
+    o.crash_phase = DistTxnManager::CrashPhase::kPrepare;
+  } else if (spec.txn_phase == "commit") {
+    o.crash_phase = DistTxnManager::CrashPhase::kCommit;
+  } else if (spec.txn_phase == "apply") {
+    o.crash_phase = DistTxnManager::CrashPhase::kApply;
+  }
+  o.crash_nth = 1 + spec.tiebreak_seed % 5;
+  o.corrupt_nth_apply = opt.corrupt_nth_apply;
+  return o;
+}
+
+/// Cell cluster shape, mirroring the stream oracle's StreamCellConfig.
+ClusterConfig TxnCellConfig(const ReplaySpec& spec,
+                            const TxnDifferentialOptions& opt,
+                            EngineKind engine) {
+  ClusterConfig cfg;
+  cfg.num_nodes = opt.base.num_nodes;
+  cfg.workers_per_node = opt.base.workers_per_node;
+  cfg.engine = engine;
+  cfg.traverser_bulking = opt.base.traverser_bulking;
+  cfg.progress_timeout_ns = 20'000'000;
+  cfg.fault = spec.fault;
+  if (!cfg.fault.Active() && !spec.txn_phase.empty()) {
+    // Chaos cells must run with the fault machinery armed (epoch fences,
+    // crashed-delivery drops, query retry) even when no message faults are
+    // scheduled. A scripted delay against an unreachable ordinal activates
+    // the path without perturbing any schedule — and is derived here, from
+    // the spec, so token replay reproduces it.
+    cfg.fault.DelayNth(~0ull, 1);
+  }
+  cfg.explore.tiebreak_seed = spec.tiebreak_seed;
+  cfg.explore.jitter_ns = spec.jitter_ns;
+  return cfg;
+}
+
+/// Divergence size between two canonical row multisets: positionally
+/// differing rows plus the length difference. Zero iff identical.
+uint64_t RowDivergence(const std::vector<Row>& got,
+                       const std::vector<Row>& want) {
+  size_t common = std::min(got.size(), want.size());
+  uint64_t d = 0;
+  for (size_t i = 0; i < common; ++i) {
+    if (got[i] != want[i]) d++;
+  }
+  return d + (std::max(got.size(), want.size()) - common);
+}
+
+/// Replays the cell's committed schedule against a serial single-partition
+/// executor and diffs every wave against the matching serial prefix. This is
+/// the serializability check proper: commit order is timestamp order, so the
+/// wave at LCT = T must equal the serial execution of exactly the commits
+/// with ts <= T — applied one at a time, on one partition, no concurrency.
+Status DiffWavesAgainstSerial(
+    const TxnScenario& s, const std::vector<size_t>& plan_idx,
+    const std::vector<std::pair<Timestamp, DistTxnManager::TxnId>>& commit_log,
+    const std::unordered_map<DistTxnManager::TxnId, size_t>& update_of_txn,
+    const std::vector<Wave>& waves, const TxnDifferentialOptions& opt,
+    uint64_t* comparisons, TxnCellReport* rep) {
+  std::shared_ptr<SnbDataset> serial = s.dataset(1);
+  if (serial == nullptr) {
+    return Status::Internal("txn scenario produced no serial dataset");
+  }
+  std::vector<std::shared_ptr<const Plan>> plans = s.plans(*serial);
+  DistTxnManager serial_mgr(serial->graph.get());
+  size_t applied = 0;
+  for (const Wave& w : waves) {
+    while (applied < commit_log.size() &&
+           commit_log[applied].first <= w.read_ts) {
+      size_t u = update_of_txn.at(commit_log[applied].second);
+      DistTxnManager::TxnId id = serial_mgr.Begin();
+      Status st = BufferSnbUpdate(&serial_mgr, id, *serial, s.updates[u]);
+      if (!st.ok()) return st;
+      Result<Timestamp> r = serial_mgr.CommitDirect(id);
+      if (!r.ok()) {
+        return Status::Internal("serial replay aborted (it must never): " +
+                                r.status().message());
+      }
+      applied++;
+    }
+    // The serial answer: a fresh single-worker cluster over the serially
+    // materialized graph, reading at its own (fully applied) LCT.
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.workers_per_node = 1;
+    cfg.engine = EngineKind::kAsync;
+    SimCluster cluster(cfg, serial->graph);
+    std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+    cluster.AttachChecker(harness.get());
+    std::vector<uint64_t> ids;
+    ids.reserve(plan_idx.size());
+    for (size_t idx : plan_idx) {
+      ids.push_back(cluster.Submit(plans[idx], /*at=*/0,
+                                   serial_mgr.ReadTimestamp()));
+    }
+    Status st = cluster.RunToCompletion(opt.base.max_events);
+    if (!st.ok()) return st;
+    if (harness->trip_count() > 0) {
+      return Status::Internal("invariant trip in the serial replay: " +
+                              harness->trips().front().ToString());
+    }
+    rep->waves++;
+    for (size_t k = 0; k < plan_idx.size(); ++k) {
+      rep->base.queries++;
+      if (!w.valid[k]) {
+        rep->base.explicit_failures++;
+        continue;
+      }
+      const QueryResult& r = cluster.result(ids[k]);
+      if (!r.done || r.failed || r.timed_out) {
+        return Status::Internal("serial replay query did not complete");
+      }
+      std::vector<Row> want = CanonicalRows(r.rows);
+      std::vector<Row> got = w.rows[k];  // canonicalized at collection
+      (*comparisons)++;
+      if (opt.corrupt_nth_visibility != 0 &&
+          *comparisons == opt.corrupt_nth_visibility) {
+        // Planted harness bug: mutate what the cell observed. A comparison
+        // that cannot catch this would be vacuous.
+        if (!got.empty()) {
+          got.pop_back();
+        } else {
+          got.push_back(Row{Value(static_cast<int64_t>(0xbad))});
+        }
+      }
+      if (got != want) {
+        rep->base.mismatches++;
+        rep->partial_visibility_rows += RowDivergence(got, want);
+        if (rep->base.detail.empty()) {
+          rep->base.detail = "wave lct=" + U64(w.read_ts) + " plan " +
+                             U64(plan_idx[k]) + ": got " + U64(got.size()) +
+                             " rows, serial prefix replay " +
+                             U64(want.size());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Event-driven group: the full two-round commit protocol over an async
+/// SimCluster, read waves submitted from commit callbacks, one final wave
+/// after quiescence (by then every decided transaction has fully applied).
+Status RunTxnGroupAsync(const TxnScenario& s,
+                        const std::vector<size_t>& plan_idx,
+                        const ReplaySpec& spec,
+                        const TxnDifferentialOptions& opt,
+                        uint64_t* comparisons, TxnCellReport* rep) {
+  if (plan_idx.empty()) return Status::OK();
+  uint32_t num_partitions = opt.base.num_nodes * opt.base.workers_per_node;
+  std::shared_ptr<SnbDataset> data = s.dataset(num_partitions);
+  if (data == nullptr) return Status::Internal("txn scenario has no dataset");
+  std::vector<std::shared_ptr<const Plan>> plans = s.plans(*data);
+  ClusterConfig cfg = TxnCellConfig(spec, opt, EngineKind::kAsync);
+  SimCluster cluster(cfg, data->graph);
+  std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+  cluster.AttachChecker(harness.get());
+  DistTxnManager mgr(&cluster, CellTxnOptions(spec, opt));
+
+  std::unordered_map<DistTxnManager::TxnId, size_t> update_of_txn;
+  struct PendingWave {
+    Timestamp read_ts = 0;
+    std::vector<uint64_t> ids;
+  };
+  std::vector<PendingWave> pending;
+  uint64_t commits_seen = 0;
+  Status buffer_error = Status::OK();
+
+  auto submit_wave = [&](SimTime at) {
+    PendingWave w;
+    w.read_ts = mgr.ReadTimestamp();
+    for (size_t idx : plan_idx) {
+      w.ids.push_back(cluster.Submit(plans[idx], at, w.read_ts));
+    }
+    pending.push_back(std::move(w));
+  };
+
+  // One transaction enters every 20us of virtual time: enough overlap that
+  // hot-anchor transactions genuinely race through prepare concurrently.
+  for (size_t i = 0; i < s.updates.size(); ++i) {
+    SimTime at = static_cast<SimTime>((i + 1) * 20'000);
+    cluster.ScheduleAt(at, [&, i](SimTime) {
+      DistTxnManager::TxnId id = mgr.Begin();
+      Status st = BufferSnbUpdate(&mgr, id, *data, s.updates[i]);
+      if (!st.ok()) {
+        if (buffer_error.ok()) buffer_error = st;
+        mgr.Abort(id);
+        return;
+      }
+      update_of_txn[id] = i;
+      mgr.CommitAsync(id, [&](Result<Timestamp> r, SimTime t2) {
+        if (!r.ok()) return;  // final conflict abort: legal under contention
+        commits_seen++;
+        if (commits_seen % opt.wave_every == 0) submit_wave(t2);
+      });
+    });
+  }
+  Status run = cluster.RunToCompletion(opt.base.max_events);
+  if (!buffer_error.ok()) return buffer_error;
+  if (!run.ok()) {
+    rep->base.mismatches++;
+    if (rep->base.detail.empty()) {
+      rep->base.detail = "run: " + run.ToString();
+    }
+  }
+  if (mgr.active() != 0) {
+    rep->base.mismatches++;
+    if (rep->base.detail.empty()) {
+      rep->base.detail = "quiescent with " + U64(mgr.active()) +
+                         " transactions stuck mid-protocol";
+    }
+  }
+  // Final wave: everything decided is applied, the LCT covers the full log.
+  size_t final_wave = pending.size();
+  submit_wave(cluster.now());
+  run = cluster.RunToCompletion(opt.base.max_events);
+  if (!run.ok()) {
+    rep->base.mismatches++;
+    if (rep->base.detail.empty()) {
+      rep->base.detail = "final wave run: " + run.ToString();
+    }
+  }
+  rep->base.trips += harness->trip_count();
+  if (harness->trip_count() > 0 && rep->base.detail.empty()) {
+    rep->base.detail = harness->trips().front().ToString();
+  }
+
+  // Collect the waves. LCT monotonicity rides along: waves were submitted in
+  // virtual-time order, so their read timestamps must never go backwards.
+  std::vector<Wave> waves;
+  Timestamp prev_ts = 0;
+  for (size_t wi = 0; wi < pending.size(); ++wi) {
+    const PendingWave& pw = pending[wi];
+    if (pw.read_ts < prev_ts) {
+      rep->base.mismatches++;
+      if (rep->base.detail.empty()) {
+        rep->base.detail = "LCT went backwards: wave at " + U64(pw.read_ts) +
+                           " after " + U64(prev_ts);
+      }
+    }
+    prev_ts = pw.read_ts;
+    Wave w;
+    w.read_ts = pw.read_ts;
+    for (uint64_t id : pw.ids) {
+      const QueryResult& r = cluster.result(id);
+      bool clean = r.done && !r.failed && !r.timed_out;
+      if (!clean && wi == final_wave) {
+        // The final wave runs after every crash has restarted; it failing
+        // would leave a chaos cell with nothing checked (vacuity).
+        rep->base.mismatches++;
+        if (rep->base.detail.empty()) {
+          rep->base.detail = "final wave query " + U64(id) +
+                             " did not complete cleanly";
+        }
+      }
+      w.valid.push_back(clean);
+      w.rows.push_back(clean ? CanonicalRows(r.rows) : std::vector<Row>{});
+    }
+    waves.push_back(std::move(w));
+  }
+
+  rep->committed += mgr.stats().committed;
+  rep->finally_aborted += mgr.stats().aborted;
+  rep->retried += mgr.stats().retried;
+  rep->crashes += mgr.stats().crashes_injected;
+  if (mgr.commit_log().size() != mgr.stats().committed) {
+    rep->base.mismatches++;
+    if (rep->base.detail.empty()) {
+      rep->base.detail = "decided " + U64(mgr.commit_log().size()) +
+                         " transactions but completed " +
+                         U64(mgr.stats().committed);
+    }
+  }
+  return DiffWavesAgainstSerial(s, plan_idx, mgr.commit_log(), update_of_txn,
+                                waves, opt, comparisons, rep);
+}
+
+/// Phased group: CommitDirect between read waves. BSP waves run on a fresh
+/// BSP SimCluster over the shared graph; "threads" waves run on a fresh
+/// rt::ThreadCluster — real cores reading a TEL that the phased protocol
+/// mutates strictly between cluster lifetimes. Chaos leaves transactions
+/// torn; the wave *before* recovery is the partial-visibility check, then
+/// RecoverDirect() redoes the missing partitions from the decision record.
+Status RunTxnGroupPhased(const TxnScenario& s,
+                         const std::vector<size_t>& plan_idx,
+                         bool threads_mode, const ReplaySpec& spec,
+                         const TxnDifferentialOptions& opt,
+                         uint64_t* comparisons, TxnCellReport* rep) {
+  if (plan_idx.empty()) return Status::OK();
+  uint32_t num_partitions = opt.base.num_nodes * opt.base.workers_per_node;
+  std::shared_ptr<SnbDataset> data = s.dataset(num_partitions);
+  if (data == nullptr) return Status::Internal("txn scenario has no dataset");
+  std::vector<std::shared_ptr<const Plan>> plans = s.plans(*data);
+  DistTxnManager mgr(data->graph.get(), CellTxnOptions(spec, opt));
+  std::unordered_map<DistTxnManager::TxnId, size_t> update_of_txn;
+  std::vector<Wave> waves;
+  uint32_t threads =
+      opt.thread_counts.empty()
+          ? 2
+          : opt.thread_counts[spec.tiebreak_seed % opt.thread_counts.size()];
+
+  auto run_wave = [&]() -> Status {
+    Wave w;
+    w.read_ts = mgr.ReadTimestamp();
+    if (!waves.empty() && w.read_ts < waves.back().read_ts) {
+      rep->base.mismatches++;
+      if (rep->base.detail.empty()) {
+        rep->base.detail = "LCT went backwards: wave at " + U64(w.read_ts) +
+                           " after " + U64(waves.back().read_ts);
+      }
+    }
+    if (threads_mode) {
+      rt::ThreadClusterConfig tcfg;
+      tcfg.num_threads = threads;
+      tcfg.seed = spec.tiebreak_seed + 1;
+      tcfg.traverser_bulking = opt.base.traverser_bulking;
+      rt::ThreadCluster cluster(tcfg, data->graph);
+      std::vector<uint64_t> ids;
+      ids.reserve(plan_idx.size());
+      for (size_t idx : plan_idx) {
+        ids.push_back(cluster.Submit(plans[idx], w.read_ts));
+      }
+      Status st = cluster.RunToCompletion();
+      if (!st.ok()) return st;
+      for (uint64_t id : ids) {
+        const QueryResult& r = cluster.result(id);
+        w.valid.push_back(r.done);
+        w.rows.push_back(r.done ? CanonicalRows(r.rows)
+                                : std::vector<Row>{});
+      }
+    } else {
+      ClusterConfig cfg = TxnCellConfig(spec, opt, EngineKind::kBsp);
+      SimCluster cluster(cfg, data->graph);
+      std::unique_ptr<CheckHarness> harness = CheckHarness::WithAllCheckers();
+      cluster.AttachChecker(harness.get());
+      std::vector<uint64_t> ids;
+      ids.reserve(plan_idx.size());
+      for (size_t idx : plan_idx) {
+        ids.push_back(cluster.Submit(plans[idx], /*at=*/0, w.read_ts));
+      }
+      Status st = cluster.RunToCompletion(opt.base.max_events);
+      if (!st.ok()) return st;
+      rep->base.trips += harness->trip_count();
+      if (harness->trip_count() > 0 && rep->base.detail.empty()) {
+        rep->base.detail = harness->trips().front().ToString();
+      }
+      for (uint64_t id : ids) {
+        const QueryResult& r = cluster.result(id);
+        bool clean = r.done && !r.failed && !r.timed_out;
+        w.valid.push_back(clean);
+        w.rows.push_back(clean ? CanonicalRows(r.rows)
+                               : std::vector<Row>{});
+      }
+    }
+    waves.push_back(std::move(w));
+    return Status::OK();
+  };
+
+  uint64_t commits = 0;
+  for (size_t i = 0; i < s.updates.size(); ++i) {
+    DistTxnManager::TxnId id = mgr.Begin();
+    Status st = BufferSnbUpdate(&mgr, id, *data, s.updates[i]);
+    if (!st.ok()) return st;
+    update_of_txn[id] = i;
+    Result<Timestamp> r = mgr.CommitDirect(id);
+    // Aborts are legal: while a chaos-torn transaction holds its write
+    // locks, later transactions on the same anchors conflict and retry out.
+    if (!r.ok()) continue;
+    commits++;
+    if (commits % opt.wave_every == 0) {
+      // The wave runs BEFORE recovery: a torn transaction must be entirely
+      // invisible at the (held-back) LCT.
+      Status ws = run_wave();
+      if (!ws.ok()) return ws;
+      if (mgr.HasTorn()) {
+        mgr.RecoverDirect();
+        rep->crashes++;
+      }
+    }
+  }
+  if (mgr.HasTorn()) {
+    mgr.RecoverDirect();
+    rep->crashes++;
+  }
+  Status ws = run_wave();
+  if (!ws.ok()) return ws;
+  // Final-wave queries must be clean: after recovery nothing may fail.
+  if (!waves.back().valid.empty() &&
+      !std::all_of(waves.back().valid.begin(), waves.back().valid.end(),
+                   [](bool v) { return v; })) {
+    rep->base.mismatches++;
+    if (rep->base.detail.empty()) {
+      rep->base.detail = "final phased wave did not complete cleanly";
+    }
+  }
+
+  rep->committed += mgr.stats().committed;
+  rep->finally_aborted += mgr.stats().aborted;
+  rep->retried += mgr.stats().retried;
+  rep->crashes += mgr.stats().crashes_injected;
+  if (mgr.commit_log().size() != mgr.stats().committed) {
+    rep->base.mismatches++;
+    if (rep->base.detail.empty()) {
+      rep->base.detail = "decided " + U64(mgr.commit_log().size()) +
+                         " transactions but completed " +
+                         U64(mgr.stats().committed);
+    }
+  }
+  return DiffWavesAgainstSerial(s, plan_idx, mgr.commit_log(), update_of_txn,
+                                waves, opt, comparisons, rep);
+}
+
+}  // namespace
+
+TxnScenario MakeTxnScenario(uint64_t seed, uint32_t num_updates,
+                            uint32_t hot_persons) {
+  SnbConfig cfg = SnbConfig::Tiny(60);
+  TxnScenario s;
+  s.dataset = [cfg](uint32_t num_partitions) -> std::shared_ptr<SnbDataset> {
+    auto r = GenerateSnb(cfg, num_partitions);
+    return r.ok() ? r.TakeValue() : nullptr;
+  };
+  s.plans = [](const SnbDataset& d) {
+    std::vector<std::shared_ptr<const Plan>> plans;
+    auto add = [&](Result<PlanPtr> r) {
+      if (r.ok()) plans.push_back(r.TakeValue());
+    };
+    SnbParams p;
+    // Reads rooted at the hot anchors — the entities the update stream
+    // mutates. Between them they observe every update kind: hasCreator
+    // in-edges (IS2/IC2 see new posts and comments), knows (IS3), replyOf
+    // (IS7 sees new comments), likes (IC7), plus creationDate properties of
+    // freshly inserted vertices.
+    p.person = d.PersonId(0);
+    add(BuildInteractiveShort(2, d, p));
+    add(BuildInteractiveShort(3, d, p));
+    p.person = d.PersonId(1);
+    p.max_date = d.config.max_date + 400;  // update dates stay below this
+    add(BuildInteractiveComplex(2, d, p));
+    p.person = d.PersonId(2);
+    add(BuildInteractiveComplex(7, d, p));
+    if (d.num_posts > 0) {
+      p.message = d.PostId(0);
+      add(BuildInteractiveShort(7, d, p));
+    }
+    p.person = d.PersonId(3);
+    add(BuildInteractiveShort(3, d, p));
+    return plans;
+  };
+  auto probe = GenerateSnb(cfg, 1);
+  if (probe.ok()) {
+    s.updates =
+        GenerateSnbUpdates(*probe.value(), seed, num_updates, hot_persons);
+  }
+  return s;
+}
+
+std::string TxnDifferentialReport::Summary() const {
+  std::ostringstream os;
+  os << "txn-differential: " << base.cells << " cells, " << base.queries
+     << " queries, " << waves << " waves, " << committed << " committed, "
+     << finally_aborted << " aborted, " << retried << " retries, " << crashes
+     << " crash wipes, " << base.trips << " trips, " << base.mismatches
+     << " mismatches, " << partial_visibility_rows
+     << " partial-visibility rows";
+  if (!base.failures.empty()) os << "; first: " << base.failures.front().what;
+  return os.str();
+}
+
+Result<TxnCellReport> RunTxnCell(const TxnScenario& s, const ReplaySpec& spec,
+                                 const TxnDifferentialOptions& opt) {
+  if (s.updates.empty()) {
+    return Status::Internal("txn scenario has no update stream");
+  }
+  // Probe instance: plan count and (for hybrid) per-plan engine choice. The
+  // choice depends only on plan shape and graph stats, both
+  // partition-independent.
+  std::shared_ptr<SnbDataset> probe = s.dataset(1);
+  if (probe == nullptr) return Status::Internal("txn scenario has no dataset");
+  std::vector<std::shared_ptr<const Plan>> probe_plans = s.plans(*probe);
+  if (probe_plans.empty()) {
+    return Status::Internal("txn scenario produced no plans");
+  }
+  std::vector<size_t> all(probe_plans.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+
+  TxnCellReport rep;
+  uint64_t comparisons = 0;
+  Status st = Status::OK();
+  if (spec.mode == "async") {
+    st = RunTxnGroupAsync(s, all, spec, opt, &comparisons, &rep);
+  } else if (spec.mode == "bsp") {
+    st = RunTxnGroupPhased(s, all, /*threads_mode=*/false, spec, opt,
+                           &comparisons, &rep);
+  } else if (spec.mode == "threads") {
+    st = RunTxnGroupPhased(s, all, /*threads_mode=*/true, spec, opt,
+                           &comparisons, &rep);
+  } else if (spec.mode == "hybrid") {
+    uint32_t workers = opt.base.num_nodes * opt.base.workers_per_node;
+    std::vector<size_t> async_group, bsp_group;
+    for (size_t i = 0; i < probe_plans.size(); ++i) {
+      HybridChoice choice =
+          ChooseEngine(*probe_plans[i], probe->graph->stats(), workers,
+                       /*threshold_tasks=*/0.0, opt.base.traverser_bulking);
+      (choice.engine == EngineKind::kBsp ? bsp_group : async_group)
+          .push_back(i);
+    }
+    st = RunTxnGroupAsync(s, async_group, spec, opt, &comparisons, &rep);
+    if (st.ok()) {
+      st = RunTxnGroupPhased(s, bsp_group, /*threads_mode=*/false, spec, opt,
+                             &comparisons, &rep);
+    }
+  } else {
+    return Status::InvalidArgument("unknown txn oracle mode: " + spec.mode);
+  }
+  if (!st.ok()) return st;
+  return rep;
+}
+
+Result<TxnDifferentialReport> RunTxnDifferential(
+    const TxnScenario& s, const TxnDifferentialOptions& opt) {
+  TxnDifferentialReport report;
+  for (const std::string& mode : opt.base.modes) {
+    for (const std::string& phase : opt.phases) {
+      for (uint64_t seed = 0; seed < opt.base.num_seeds; ++seed) {
+        ReplaySpec spec;
+        spec.mode = mode;
+        spec.tiebreak_seed = seed;
+        spec.jitter_ns = seed == 0 ? 0 : opt.base.jitter_ns;
+        if (opt.base.fault_active) spec.fault = opt.base.fault;
+        spec.txn = true;
+        spec.txn_phase = phase;
+        auto cell = RunTxnCell(s, spec, opt);
+        if (!cell.ok()) return cell.status();
+        const TxnCellReport& c = cell.value();
+        report.base.cells++;
+        report.base.queries += c.base.queries;
+        report.base.trips += c.base.trips;
+        report.base.mismatches += c.base.mismatches;
+        report.base.explicit_failures += c.base.explicit_failures;
+        report.committed += c.committed;
+        report.finally_aborted += c.finally_aborted;
+        report.retried += c.retried;
+        report.waves += c.waves;
+        report.partial_visibility_rows += c.partial_visibility_rows;
+        report.crashes += c.crashes;
+        if (!c.ok()) {
+          report.base.failures.push_back(DifferentialFailure{
+              spec, FormatReplayToken(spec),
+              "txn mode=" + mode +
+                  (phase.empty() ? std::string() : " phase=" + phase) +
+                  " seed=" + U64(seed) + ": " + c.base.detail});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace graphdance

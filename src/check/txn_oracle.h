@@ -1,0 +1,123 @@
+#ifndef GRAPHDANCE_CHECK_TXN_ORACLE_H_
+#define GRAPHDANCE_CHECK_TXN_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "ldbc/snb_updates.h"
+
+namespace graphdance {
+namespace check {
+
+/// The serializability / snapshot-isolation oracle for distributed write
+/// transactions (txn/dist_txn.h).
+///
+/// Each cell drives a stream of LDBC SNB interactive update transactions
+/// through the distributed commit protocol while IC/IS-style reads run at the
+/// advancing LCT ("read waves"). The cell's committed schedule — the commit
+/// log, in commit-timestamp order — is then replayed against a single-worker
+/// *serial* executor: a fresh one-partition copy of the dataset to which the
+/// committed transactions are applied one at a time, in exactly commit-ts
+/// order, with no concurrency anywhere. Every read wave at LCT = T must be
+/// row-identical to the serial executor after the prefix of commits with
+/// ts <= T. That is the whole correctness claim in one sentence: a read at
+/// the LCT observes some serial prefix of the commit order — never a torn
+/// transaction, whatever the chaos matrix did to the protocol mid-commit.
+///
+/// Like the stream oracle, the scenario carries *factories*, not instances:
+/// cells mutate their graphs, so every cell regenerates its own dataset (and
+/// the serial replay regenerates a one-partition copy).
+struct TxnScenario {
+  std::function<std::shared_ptr<SnbDataset>(uint32_t num_partitions)> dataset;
+  std::function<std::vector<std::shared_ptr<const Plan>>(const SnbDataset&)>
+      plans;
+  /// The update-transaction stream (deterministic; anchors drawn from a hot
+  /// window so transactions genuinely conflict).
+  std::vector<SnbUpdateTxn> updates;
+};
+
+inline constexpr uint64_t kDefaultTxnScenarioSeed = 13;
+
+/// Builds the default scenario: a Tiny SNB dataset, `num_updates` update
+/// transactions contending over `hot_persons` hot anchors, and a panel of
+/// IS2/IS3/IS7/IC2/IC7 read plans rooted at the hot entities (these are the
+/// reads whose answers the updates change).
+TxnScenario MakeTxnScenario(uint64_t seed, uint32_t num_updates = 48,
+                            uint32_t hot_persons = 8);
+
+/// Matrix shape. `base` carries the shared knobs (cluster size, modes,
+/// seeds, fault plan, event budget); txn cells add the chaos-phase axis and
+/// the wave cadence. Default modes include "threads" — the real-thread
+/// ThreadCluster engine reading between phased commits.
+struct TxnDifferentialOptions {
+  DifferentialOptions base;
+  /// Crash-chaos phases explored per (mode, seed): "" = fault-free, plus
+  /// crash-during-{prepare,commit,apply}. The crashed worker / torn point is
+  /// derived deterministically from the cell's tiebreak seed.
+  std::vector<std::string> phases = {"", "prepare", "commit", "apply"};
+  /// A read wave (every plan, at the current LCT) runs after every
+  /// `wave_every` commits, plus one final wave after quiescence.
+  uint32_t wave_every = 8;
+  /// Thread counts explored by "threads" cells (picked by tiebreak seed).
+  std::vector<uint32_t> thread_counts = {2, 4};
+  /// Non-vacuity mutations (0 = off): corrupt_nth_apply plants a torn write
+  /// inside the commit protocol (the oracle must catch it);
+  /// corrupt_nth_visibility mutates the nth wave comparison's observed rows
+  /// (the harness itself must catch it).
+  uint64_t corrupt_nth_apply = 0;
+  uint64_t corrupt_nth_visibility = 0;
+
+  TxnDifferentialOptions() {
+    base.modes = {"async", "bsp", "hybrid", "threads"};
+    base.num_seeds = 4;
+  }
+};
+
+/// One cell's outcome: the generic report plus the transaction-side tallies
+/// the bench gate cares about.
+struct TxnCellReport {
+  CellReport base;
+  uint64_t committed = 0;
+  uint64_t finally_aborted = 0;  // retries exhausted (legal under contention)
+  uint64_t retried = 0;          // conflict retry rounds
+  uint64_t waves = 0;            // read waves compared
+  /// Rows diverging from the serial prefix replay, summed over mismatched
+  /// waves (symmetric difference). Non-zero means a reader saw a torn or
+  /// otherwise non-serializable state — must be zero in every real run.
+  uint64_t partial_visibility_rows = 0;
+  uint64_t crashes = 0;  // chaos crashes / phased recoveries in this cell
+  bool ok() const { return base.ok(); }
+};
+
+struct TxnDifferentialReport {
+  DifferentialReport base;
+  uint64_t committed = 0;
+  uint64_t finally_aborted = 0;
+  uint64_t retried = 0;
+  uint64_t waves = 0;
+  uint64_t partial_visibility_rows = 0;
+  uint64_t crashes = 0;
+  bool ok() const { return base.ok(); }
+  std::string Summary() const;
+};
+
+/// Runs one txn cell: drive the updates through the protocol under
+/// spec.mode, interleave read waves, then replay the committed schedule
+/// serially and diff every wave. spec.txn_phase selects the chaos phase.
+Result<TxnCellReport> RunTxnCell(const TxnScenario& s, const ReplaySpec& spec,
+                                 const TxnDifferentialOptions& opt);
+
+/// The full matrix: modes x chaos phases x tie-break seeds.
+Result<TxnDifferentialReport> RunTxnDifferential(
+    const TxnScenario& s, const TxnDifferentialOptions& opt);
+
+}  // namespace check
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_CHECK_TXN_ORACLE_H_

@@ -1,0 +1,102 @@
+#include "ldbc/snb_updates.h"
+
+#include "common/random.h"
+
+namespace graphdance {
+
+std::vector<SnbUpdateTxn> GenerateSnbUpdates(const SnbDataset& data,
+                                             uint64_t seed, uint32_t count,
+                                             uint32_t hot_persons) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x7475726e);
+  uint64_t persons = data.config.num_persons;
+  if (hot_persons == 0 || hot_persons > persons) {
+    hot_persons = static_cast<uint32_t>(persons);
+  }
+  auto pick_person = [&]() -> uint64_t {
+    return rng.Chance(0.5) ? rng.Below(hot_persons) : rng.Below(persons);
+  };
+  std::vector<SnbUpdateTxn> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SnbUpdateTxn u;
+    u.person = data.PersonId(pick_person());
+    u.creation_date = static_cast<int64_t>(
+        data.config.max_date + 1 + rng.Below(365));
+    switch (rng.Below(5)) {
+      case 0:
+        u.kind = SnbUpdateKind::kAddLike;
+        u.message = rng.Chance(0.7) && data.num_posts > 0
+                        ? data.PostId(rng.Below(data.num_posts))
+                        : data.CommentId(rng.Below(
+                              std::max<uint64_t>(1, data.num_comments)));
+        break;
+      case 1: {
+        u.kind = SnbUpdateKind::kAddKnows;
+        uint64_t other = pick_person();
+        if (data.PersonId(other) == u.person) other = (other + 1) % persons;
+        u.person2 = data.PersonId(other);
+        break;
+      }
+      case 2:
+        u.kind = SnbUpdateKind::kAddPost;
+        u.forum = data.ForumId(rng.Below(std::max<uint64_t>(1, data.num_forums)));
+        // Fresh id keyed to the update index: identical whatever order the
+        // scheduler commits these in.
+        u.new_vertex = data.PostId(data.num_posts + i);
+        u.tag = data.TagId(rng.Below(std::max<uint64_t>(1, data.config.num_tags)));
+        break;
+      case 3:
+        u.kind = SnbUpdateKind::kAddComment;
+        u.message = data.PostId(rng.Below(std::max<uint64_t>(1, data.num_posts)));
+        u.new_vertex = data.CommentId(data.num_comments + i);
+        break;
+      default:
+        u.kind = SnbUpdateKind::kAddForumMember;
+        u.forum = data.ForumId(rng.Below(std::max<uint64_t>(1, data.num_forums)));
+        break;
+    }
+    out.push_back(u);
+  }
+  return out;
+}
+
+Status BufferSnbUpdate(DistTxnManager* mgr, DistTxnManager::TxnId txn,
+                       const SnbDataset& data, const SnbUpdateTxn& u) {
+  const SnbSchema& s = data.snb;
+  Value date(u.creation_date);
+  switch (u.kind) {
+    case SnbUpdateKind::kAddLike:
+      return mgr->AddEdge(txn, u.person, s.likes, u.message, date);
+    case SnbUpdateKind::kAddKnows: {
+      // The base generator stores knows both ways; updates do too.
+      Status st = mgr->AddEdge(txn, u.person, s.knows, u.person2, date);
+      if (!st.ok()) return st;
+      return mgr->AddEdge(txn, u.person2, s.knows, u.person, date);
+    }
+    case SnbUpdateKind::kAddPost: {
+      Status st = mgr->AddVertex(txn, u.new_vertex, s.post);
+      if (!st.ok()) return st;
+      st = mgr->SetProperty(txn, u.new_vertex, s.creation_date, date);
+      if (!st.ok()) return st;
+      st = mgr->AddEdge(txn, u.forum, s.container_of, u.new_vertex);
+      if (!st.ok()) return st;
+      st = mgr->AddEdge(txn, u.new_vertex, s.has_creator, u.person);
+      if (!st.ok()) return st;
+      return mgr->AddEdge(txn, u.new_vertex, s.has_tag, u.tag);
+    }
+    case SnbUpdateKind::kAddComment: {
+      Status st = mgr->AddVertex(txn, u.new_vertex, s.comment);
+      if (!st.ok()) return st;
+      st = mgr->SetProperty(txn, u.new_vertex, s.creation_date, date);
+      if (!st.ok()) return st;
+      st = mgr->AddEdge(txn, u.new_vertex, s.reply_of, u.message);
+      if (!st.ok()) return st;
+      return mgr->AddEdge(txn, u.new_vertex, s.has_creator, u.person);
+    }
+    case SnbUpdateKind::kAddForumMember:
+      return mgr->AddEdge(txn, u.forum, s.has_member, u.person, date);
+  }
+  return Status::OK();
+}
+
+}  // namespace graphdance

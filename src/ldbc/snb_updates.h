@@ -1,0 +1,56 @@
+#ifndef GRAPHDANCE_LDBC_SNB_UPDATES_H_
+#define GRAPHDANCE_LDBC_SNB_UPDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ldbc/snb_generator.h"
+#include "txn/dist_txn.h"
+
+namespace graphdance {
+
+/// LDBC SNB interactive *update* operations (the insert side of the
+/// interactive workload), generated deterministically against a base
+/// SnbDataset. Each operation is one multi-partition write transaction —
+/// e.g. INS6 (add post) touches the forum, the new post, the creator and a
+/// tag, which hash to different partitions — and they are what the
+/// serializability oracle interleaves with IC/IS reads.
+enum class SnbUpdateKind : uint8_t {
+  kAddLike = 0,      // INS2/3: person -likes-> message (creationDate)
+  kAddKnows,         // INS8:  person <-knows-> person, both directions
+  kAddPost,          // INS6:  new post + containerOf/hasCreator/hasTag
+  kAddComment,       // INS7:  new comment + replyOf/hasCreator
+  kAddForumMember,   // INS5:  forum -hasMember-> person (joinDate)
+};
+
+struct SnbUpdateTxn {
+  SnbUpdateKind kind = SnbUpdateKind::kAddLike;
+  VertexId person = kInvalidVertex;   // actor
+  VertexId person2 = kInvalidVertex;  // kAddKnows: the other endpoint
+  VertexId forum = kInvalidVertex;    // kAddPost / kAddForumMember
+  VertexId message = kInvalidVertex;  // kAddLike / kAddComment target
+  /// Pre-assigned fresh vertex id for kAddPost / kAddComment; derived from
+  /// the update's index so the id is the same whatever order commits land.
+  VertexId new_vertex = kInvalidVertex;
+  VertexId tag = kInvalidVertex;      // kAddPost hasTag target
+  int64_t creation_date = 0;
+};
+
+/// Generates `count` update operations. Anchors are drawn from a hot window
+/// of `hot_persons` persons (and their forums/messages) about half the time,
+/// so concurrent transactions genuinely contend for write locks; the rest
+/// spread uniformly. Fresh post/comment ids start past the base dataset's
+/// counts and step by the update index, keeping the stream replayable.
+std::vector<SnbUpdateTxn> GenerateSnbUpdates(const SnbDataset& data,
+                                             uint64_t seed, uint32_t count,
+                                             uint32_t hot_persons);
+
+/// Buffers one update operation's writes into an open transaction of `mgr`.
+/// Purely buffering (OCC): conflicts surface at commit time.
+Status BufferSnbUpdate(DistTxnManager* mgr, DistTxnManager::TxnId txn,
+                       const SnbDataset& data, const SnbUpdateTxn& u);
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_LDBC_SNB_UPDATES_H_

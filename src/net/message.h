@@ -19,6 +19,17 @@ enum class MessageKind : uint8_t {
   kNumKinds,
 };
 
+/// kControl messages whose `tag` is at or above this base carry the
+/// distributed-transaction commit protocol (txn/dist_txn.h) instead of query
+/// lifecycle control. Their query_id is synthetic (kTxnQueryIdBase + txn id),
+/// so the runtime routes them to the attached txn handler before the
+/// per-query lookup. Query control tags are small step/partition indices and
+/// never reach this range.
+inline constexpr uint64_t kTxnControlTagBase = 1ull << 20;
+/// Synthetic query-id namespace for transaction-protocol messages: high
+/// enough that real query ids (a small counter) can never collide.
+inline constexpr uint64_t kTxnQueryIdBase = 1ull << 62;
+
 inline const char* MessageKindName(MessageKind kind) {
   switch (kind) {
     case MessageKind::kTraverserBatch:

@@ -122,6 +122,25 @@ void StreamSnapshot::Merge(const StreamSnapshot& other) {
   last_commit_ts = std::max(last_commit_ts, other.last_commit_ts);
 }
 
+void TxnSnapshot::Merge(const TxnSnapshot& other) {
+  begun += other.begun;
+  committed += other.committed;
+  aborted += other.aborted;
+  retried += other.retried;
+  conflicts_locked += other.conflicts_locked;
+  locks_claimed += other.locks_claimed;
+  validation_failed += other.validation_failed;
+  prepares_sent += other.prepares_sent;
+  votes_yes += other.votes_yes;
+  votes_no += other.votes_no;
+  applies_sent += other.applies_sent;
+  applies_acked += other.applies_acked;
+  apply_retries += other.apply_retries;
+  crashes_injected += other.crashes_injected;
+  crash_wipes += other.crash_wipes;
+  last_commit_ts = std::max(last_commit_ts, other.last_commit_ts);
+}
+
 const LogHistogram* MetricsSnapshot::Latency(const std::string& name) const {
   auto it = latency.find(name);
   return it == latency.end() ? nullptr : &it->second;
@@ -148,8 +167,10 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   qos_enabled = qos_enabled || other.qos_enabled;
   spill_enabled = spill_enabled || other.spill_enabled;
   stream_enabled = stream_enabled || other.stream_enabled;
+  txn_enabled = txn_enabled || other.txn_enabled;
   qos.Merge(other.qos);
   stream.Merge(other.stream);
+  txn.Merge(other.txn);
   checker_trips += other.checker_trips;
   for (const auto& [name, n] : other.checker_trips_by) {
     checker_trips_by[name] += n;
@@ -282,6 +303,23 @@ std::string MetricsSnapshot::ToString() const {
            " conflated=" + U64(stream.standing_conflated) +
            " emitted=" + U64(stream.rows_emitted) +
            " retracted=" + U64(stream.rows_retracted) + "\n";
+  }
+  if (txn_enabled) {
+    // Gated like the sections above: runs without a transaction manager
+    // attached stay byte-identical to pre-transaction builds.
+    out += "txn: begun=" + U64(txn.begun) + " committed=" + U64(txn.committed) +
+           " aborted=" + U64(txn.aborted) + " retried=" + U64(txn.retried) +
+           " locked=" + U64(txn.conflicts_locked) +
+           " claimed=" + U64(txn.locks_claimed) +
+           " vfail=" + U64(txn.validation_failed) +
+           " lct=" + U64(txn.last_commit_ts) + "\n";
+    out += "txn_protocol: prepares=" + U64(txn.prepares_sent) +
+           " yes=" + U64(txn.votes_yes) + " no=" + U64(txn.votes_no) +
+           " applies=" + U64(txn.applies_sent) + "/" +
+           U64(txn.applies_acked) +
+           " apply_retries=" + U64(txn.apply_retries) +
+           " crashes=" + U64(txn.crashes_injected) +
+           " crash_wipes=" + U64(txn.crash_wipes) + "\n";
   }
   return out;
 }

@@ -171,6 +171,30 @@ struct StreamSnapshot {
   void Merge(const StreamSnapshot& other);
 };
 
+/// Distributed-transaction counters (DESIGN.md §16). Maintained by
+/// txn::DistTxnManager and attached to the cluster via
+/// SimCluster::AttachTxnStats(); all zero when no manager is attached.
+struct TxnSnapshot {
+  uint64_t begun = 0;               // transactions opened
+  uint64_t committed = 0;           // decided + fully applied (LCT advanced)
+  uint64_t aborted = 0;             // final aborts (retries exhausted / Abort)
+  uint64_t retried = 0;             // attempts restarted after a conflict
+  uint64_t conflicts_locked = 0;    // prepare rejected: anchor lock held
+  uint64_t locks_claimed = 0;       // write locks taken at prepare
+  uint64_t validation_failed = 0;   // prepare rejected: version > snapshot
+  uint64_t prepares_sent = 0;       // round-1 prepare messages
+  uint64_t votes_yes = 0;
+  uint64_t votes_no = 0;
+  uint64_t applies_sent = 0;        // round-2 commit-apply messages
+  uint64_t applies_acked = 0;
+  uint64_t apply_retries = 0;       // watchdog re-sends past a crash
+  uint64_t crashes_injected = 0;    // chaos crashes fired by the crash plan
+  uint64_t crash_wipes = 0;         // partition lock tables wiped by a crash
+  uint64_t last_commit_ts = 0;      // LCT: contiguous fully-applied prefix
+
+  void Merge(const TxnSnapshot& other);
+};
+
 /// One unified, deterministic view of every runtime metric. Subsumes
 /// NetStats and FaultStats (both kept as members so existing call sites stay
 /// thin views), plus per-step traverser counts, memo behavior, weight-report
@@ -222,6 +246,12 @@ struct MetricsSnapshot {
   /// stay byte-identical to pre-streaming builds.
   bool stream_enabled = false;
   StreamSnapshot stream;
+
+  /// Distributed-transaction counters (txn/dist_txn.h). txn_enabled gates the
+  /// ToString() section like the booleans above, so txn-off snapshots stay
+  /// byte-identical to pre-transaction builds.
+  bool txn_enabled = false;
+  TxnSnapshot txn;
 
   uint32_t num_nodes = 0;
   uint32_t num_workers = 0;

@@ -73,6 +73,18 @@ struct ThreadClusterConfig {
 ///
 /// All Submit() calls must precede RunToCompletion(); the cluster is not
 /// reusable after the run (mirrors the BSP driver's submission model).
+///
+/// Interaction with distributed write transactions (DESIGN.md §16): the
+/// cluster never mutates the graph, so transactional reads on real threads
+/// follow a phased-ownership contract — the commit protocol's apply phase
+/// (txn::DistTxnManager::CommitDirect / RecoverDirect) runs to quiescence
+/// first, then a fresh ThreadCluster is constructed over the shared graph
+/// and every query is submitted at a `read_ts` no later than the manager's
+/// LCT. Versions stamped above the LCT are exactly the not-yet-fully-applied
+/// (possibly torn) transactions, and the multi-version stores make them
+/// invisible at that snapshot, so worker threads racing each other can never
+/// observe a partial write set; the txn serializability oracle's "threads"
+/// cells (check/txn_oracle.cc) drive precisely this sequence.
 class ThreadCluster {
  public:
   ThreadCluster(ThreadClusterConfig config,

@@ -583,6 +583,10 @@ obs::MetricsSnapshot SimCluster::MetricsSnapshot() const {
     s.stream_enabled = true;
     s.stream = *stream_stats_;
   }
+  if (txn_stats_ != nullptr) {
+    s.txn_enabled = true;
+    s.txn = *txn_stats_;
+  }
   for (const Worker& w : workers_) s.tasks_executed += w.tasks_executed;
   return s;
 }
@@ -1537,6 +1541,10 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
     buf.held = false;
   }
   memos_[worker].Clear();
+  // The transaction manager's volatile per-partition state (lock table,
+  // prepared set) dies with the worker too; its durable state survives like
+  // the TEL does.
+  if (crash_observer_) crash_observer_(worker, at);
   // Schedule the restart before aborting attempts so that at an equal
   // timestamp the worker is back up when a rescheduled StartQuery fires.
   events_.Schedule(w.down_until,
@@ -1553,6 +1561,22 @@ void SimCluster::CrashWorkerNow(uint32_t worker, SimTime at, SimTime restart_aft
       AbortAttempt(queries_.at(id), at, "coordinator crash");
     }
   }
+}
+
+void SimCluster::TxnSend(uint32_t src_worker, Message&& msg) {
+  Worker& from = workers_[src_worker];
+  if (from.crashed) return;  // a dead coordinator sends nothing
+  from.now = std::max(from.now, now());
+  uint32_t dst_node = NodeOfWorker(msg.dst_worker);
+  Send(from, std::move(msg));
+  // The commit protocol runs from scheduled events, never from a worker task
+  // quantum, so nothing else would flush the tier buffer this message may
+  // now be sitting in.
+  if (dst_node != from.node) FlushBufferAt(from, dst_node, from.now);
+}
+
+void SimCluster::InjectCrash(uint32_t worker, SimTime restart_after) {
+  CrashWorkerNow(worker, now(), restart_after);
 }
 
 void SimCluster::RecomputeLinkDegrade() {
@@ -1682,6 +1706,14 @@ void SimCluster::IngestInbox(Worker& w) {
 }
 
 void SimCluster::HandleMessage(Worker& w, Message&& msg) {
+  if (msg.kind == MessageKind::kControl && msg.tag >= kTxnControlTagBase) {
+    // Transaction-protocol traffic: synthetic query ids that never appear in
+    // queries_, fenced by the manager itself (per-txn attempt numbers), so it
+    // must be routed before the lookup and the query attempt fence below.
+    if (txn_handler_) txn_handler_(w.id, msg);
+    payload_pool_.Release(std::move(msg.payload));
+    return;
+  }
   auto qit = queries_.find(msg.query_id);
   if (qit == queries_.end()) return;
   QueryState& qs = qit->second;
@@ -1959,8 +1991,12 @@ void SimCluster::Send(Worker& from, Message&& msg) {
   uint32_t dst_node = NodeOfWorker(msg.dst_worker);
   if (fault_active_) {
     // Stamp fencing metadata at the send boundary (once, for both tiers).
+    // Messages whose query_id is unknown (transaction protocol: synthetic
+    // ids) keep the attempt the caller stamped — the txn manager fences its
+    // own retry rounds. Real query entries are never erased from queries_,
+    // so "unknown" can only mean a synthetic id.
     auto qit = queries_.find(msg.query_id);
-    msg.attempt = qit == queries_.end() ? 0 : qit->second.attempt;
+    if (qit != queries_.end()) msg.attempt = qit->second.attempt;
     msg.src_epoch = from.epoch;
     msg.dst_epoch = workers_[msg.dst_worker].epoch;
   }

@@ -137,6 +137,48 @@ class SimCluster : public check::ClusterProbe {
     stream_stats_ = stats;
   }
 
+  /// Points the metrics snapshot at a live distributed-transaction stats
+  /// block (txn/dist_txn.h). While attached, MetricsSnapshot() copies it into
+  /// the `txn` section with txn_enabled = true. Pass nullptr to detach.
+  /// Pure observation: attaching never perturbs the schedule.
+  void AttachTxnStats(const obs::TxnSnapshot* stats) { txn_stats_ = stats; }
+
+  /// Registers the handler for transaction-protocol control messages
+  /// (kControl with tag >= kTxnControlTagBase). Routed at the top of
+  /// HandleMessage — before the per-query lookup and attempt fence — because
+  /// txn messages carry synthetic query ids that never appear in queries_
+  /// and the transaction manager does its own attempt fencing. Pass nullptr
+  /// to detach.
+  void SetTxnHandler(std::function<void(uint32_t worker, const Message&)> fn) {
+    txn_handler_ = std::move(fn);
+  }
+
+  /// Registers a callback invoked from CrashWorkerNow after the worker's
+  /// volatile state is wiped (but before restart is scheduled). The
+  /// transaction manager uses it to discard the crashed partition's volatile
+  /// lock table and prepared set — durable state (version table, applied
+  /// ledger) survives, mirroring the TEL. Pass nullptr to detach.
+  void SetCrashObserver(std::function<void(uint32_t worker, SimTime at)> fn) {
+    crash_observer_ = std::move(fn);
+  }
+
+  /// Sends a transaction-protocol message from `src_worker` through the
+  /// normal transport (epoch/seq stamping, fault injection, tier buffers)
+  /// and immediately flushes the destination's tier buffer: the coordinator
+  /// side of the commit protocol runs from scheduled events, not worker
+  /// task quanta, so nothing else would drain the buffer.
+  void TxnSend(uint32_t src_worker, Message&& msg);
+
+  /// Crashes `worker` at the current virtual time, restarting it
+  /// `restart_after` ns later. Same code path as a scripted kCrashWorker
+  /// fault event; exposed so the transaction chaos matrix can target the
+  /// exact protocol phase (nth prepare / decision / apply) instead of an
+  /// absolute timestamp.
+  void InjectCrash(uint32_t worker, SimTime restart_after);
+
+  /// Current incarnation number of `worker` (bumped on every restart).
+  uint32_t WorkerEpoch(uint32_t worker) const { return workers_[worker].epoch; }
+
   /// Total traverser tasks executed across all workers (a proxy for the
   /// amount of graph data touched; used by the workload-characterization
   /// bench).
@@ -578,6 +620,13 @@ class SimCluster : public check::ClusterProbe {
   // Live streaming-ingest stats block (null = no stream attached). Owned by
   // the ingestor; read only by MetricsSnapshot().
   const obs::StreamSnapshot* stream_stats_ = nullptr;
+  // Live distributed-transaction stats block (null = no manager attached).
+  // Owned by the DistTxnManager; read only by MetricsSnapshot().
+  const obs::TxnSnapshot* txn_stats_ = nullptr;
+  // Transaction-protocol message handler (null = no manager attached).
+  std::function<void(uint32_t, const Message&)> txn_handler_;
+  // Crash observer (null = detached); see SetCrashObserver.
+  std::function<void(uint32_t, SimTime)> crash_observer_;
   /// Builds the QueryProbe view of one query (shared by CompleteQuery's
   /// completion hook and the ProbeQueries sweep).
   check::QueryProbe ProbeOf(const QueryState& qs) const;

@@ -1,0 +1,813 @@
+#include "txn/dist_txn.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "graph/graph.h"
+
+namespace graphdance {
+
+namespace {
+// Virtual-time charges, matching the centralized manager: a lock-table probe
+// per anchor at prepare, a TEL append per sub-op at apply.
+constexpr uint64_t kLockNs = 150;
+constexpr uint64_t kApplyNs = 400;
+
+// kControl tags of the commit protocol (all >= kTxnControlTagBase so the
+// runtime routes them to the txn handler before the per-query machinery).
+constexpr uint64_t kTagPrepare = kTxnControlTagBase + 0;
+constexpr uint64_t kTagVote = kTxnControlTagBase + 1;
+constexpr uint64_t kTagApply = kTxnControlTagBase + 2;
+constexpr uint64_t kTagApplyAck = kTxnControlTagBase + 3;
+constexpr uint64_t kTagRelease = kTxnControlTagBase + 4;
+
+// kVote verdicts carried in Message::weight.
+constexpr uint64_t kVoteYes = 1;
+constexpr uint64_t kVoteLocked = 0;
+constexpr uint64_t kVoteStale = 2;
+}  // namespace
+
+DistTxnManager::DistTxnManager(SimCluster* cluster, Options opt)
+    : cluster_(cluster), graph_(&cluster->mutable_graph()), opt_(opt) {
+  parts_.resize(graph_->num_partitions());
+  apply_queue_.resize(graph_->num_partitions());
+  cluster_->SetTxnHandler([this](uint32_t worker, const Message& msg) {
+    HandleTxnMessage(worker, msg);
+  });
+  cluster_->SetCrashObserver(
+      [this](uint32_t worker, SimTime at) { OnWorkerCrash(worker, at); });
+  cluster_->AttachTxnStats(&stats_);
+}
+
+DistTxnManager::DistTxnManager(SimCluster* cluster)
+    : DistTxnManager(cluster, Options()) {}
+
+DistTxnManager::DistTxnManager(PartitionedGraph* graph, Options opt)
+    : cluster_(nullptr), graph_(graph), opt_(opt) {
+  parts_.resize(graph_->num_partitions());
+  apply_queue_.resize(graph_->num_partitions());
+}
+
+DistTxnManager::DistTxnManager(PartitionedGraph* graph)
+    : DistTxnManager(graph, Options()) {}
+
+DistTxnManager::~DistTxnManager() {
+  if (cluster_ != nullptr) {
+    cluster_->SetTxnHandler(nullptr);
+    cluster_->SetCrashObserver(nullptr);
+    cluster_->AttachTxnStats(nullptr);
+  }
+}
+
+PartitionId DistTxnManager::PartitionOfVertex(VertexId v) const {
+  return graph_->PartitionOf(v);
+}
+
+DistTxnManager::TxnId DistTxnManager::Begin() {
+  TxnId id = next_txn_++;
+  Txn& t = txns_[id];
+  t.id = id;
+  t.snapshot_ts = lct_;
+  t.coordinator =
+      cluster_ == nullptr
+          ? 0
+          : static_cast<uint32_t>(id % cluster_->config().total_workers());
+  stats_.begun++;
+  return t.id;
+}
+
+void DistTxnManager::BufferOp(Txn& t, SubOp op) {
+  t.logical.push_back(std::move(op));
+}
+
+Status DistTxnManager::AddVertex(TxnId id, VertexId v, LabelId label) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) {
+    return Status::NotFound("unknown or committing transaction");
+  }
+  SubOp op;
+  op.kind = SubOp::Kind::kAddVertex;
+  op.anchor = v;
+  op.label = label;
+  BufferOp(it->second, std::move(op));
+  return Status::OK();
+}
+
+Status DistTxnManager::AddEdge(TxnId id, VertexId src, LabelId elabel,
+                               VertexId dst, Value prop) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) {
+    return Status::NotFound("unknown or committing transaction");
+  }
+  // Both half-edges are buffered, each anchored at the vertex its owning
+  // partition stores; both anchors get validated and locked at prepare.
+  SubOp out;
+  out.kind = SubOp::Kind::kAddEdgeOut;
+  out.anchor = src;
+  out.other = dst;
+  out.label = elabel;
+  out.value = prop;
+  BufferOp(it->second, std::move(out));
+  SubOp in;
+  in.kind = SubOp::Kind::kAddEdgeIn;
+  in.anchor = dst;
+  in.other = src;
+  in.label = elabel;
+  in.value = std::move(prop);
+  BufferOp(it->second, std::move(in));
+  return Status::OK();
+}
+
+Status DistTxnManager::DeleteEdge(TxnId id, VertexId src, LabelId elabel,
+                                  VertexId dst) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) {
+    return Status::NotFound("unknown or committing transaction");
+  }
+  SubOp out;
+  out.kind = SubOp::Kind::kDelEdgeOut;
+  out.anchor = src;
+  out.other = dst;
+  out.label = elabel;
+  BufferOp(it->second, std::move(out));
+  SubOp in;
+  in.kind = SubOp::Kind::kDelEdgeIn;
+  in.anchor = dst;
+  in.other = src;
+  in.label = elabel;
+  BufferOp(it->second, std::move(in));
+  return Status::OK();
+}
+
+Status DistTxnManager::SetProperty(TxnId id, VertexId v, PropKeyId key,
+                                   Value value) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) {
+    return Status::NotFound("unknown or committing transaction");
+  }
+  SubOp op;
+  op.kind = SubOp::Kind::kSetProp;
+  op.anchor = v;
+  op.prop_key = key;
+  op.value = std::move(value);
+  BufferOp(it->second, std::move(op));
+  return Status::OK();
+}
+
+void DistTxnManager::Abort(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) return;
+  // Open transactions hold nothing (OCC: locks are claimed at prepare).
+  txns_.erase(it);
+  stats_.aborted++;
+}
+
+void DistTxnManager::SplitIntoParts(Txn& t) {
+  t.parts.clear();
+  for (const SubOp& op : t.logical) {
+    t.parts[PartitionOfVertex(op.anchor)].push_back(op);
+  }
+}
+
+// ---- participant-side state machines ---------------------------------------
+
+uint64_t DistTxnManager::ValidateAndLockAt(PartitionId p, TxnId id,
+                                           Timestamp snapshot_ts,
+                                           const std::vector<SubOp>& ops) {
+  PartitionTxnState& ps = parts_[p];
+  if (ps.applied.count(id) > 0) {
+    // A stale retry of a transaction this partition already committed; the
+    // coordinator's attempt fence discards the vote, but answer honestly.
+    return kVoteYes;
+  }
+  // Distinct anchors, first-seen order (ops of one txn at one partition).
+  std::vector<VertexId> anchors;
+  for (const SubOp& op : ops) {
+    if (std::find(anchors.begin(), anchors.end(), op.anchor) == anchors.end()) {
+      anchors.push_back(op.anchor);
+    }
+  }
+  for (VertexId a : anchors) {
+    auto lock = ps.locks.find(a);
+    if (lock != ps.locks.end() && lock->second != id) {
+      stats_.conflicts_locked++;
+      return kVoteLocked;
+    }
+    auto ver = ps.versions.find(a);
+    if (ver != ps.versions.end() && ver->second > snapshot_ts) {
+      // First-committer-wins: someone committed past our snapshot.
+      stats_.validation_failed++;
+      return kVoteStale;
+    }
+  }
+  for (VertexId a : anchors) {
+    auto [it, inserted] = ps.locks.try_emplace(a, id);
+    (void)it;
+    if (inserted) stats_.locks_claimed++;
+  }
+  return kVoteYes;
+}
+
+void DistTxnManager::ReleaseLocksAt(PartitionId p, TxnId id) {
+  PartitionTxnState& ps = parts_[p];
+  for (auto it = ps.locks.begin(); it != ps.locks.end();) {
+    if (it->second == id) {
+      it = ps.locks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ps.prepared.erase(id);
+}
+
+void DistTxnManager::ApplyAt(PartitionId p, TxnId id, Timestamp ts,
+                             const std::vector<SubOp>& ops) {
+  PartitionTxnState& ps = parts_[p];
+  if (ps.applied.count(id) == 0) {
+    auto write = [&](PartitionStore& store) {
+      TransactionalEdgeLog& tel = store.tel();
+      for (const SubOp& op : ops) {
+        switch (op.kind) {
+          case SubOp::Kind::kAddVertex:
+            tel.AddVertex(op.anchor, op.label, ts);
+            break;
+          case SubOp::Kind::kAddEdgeOut:
+            tel.AddEdge(op.anchor, op.label, Direction::kOut, op.other, ts,
+                        op.value);
+            break;
+          case SubOp::Kind::kAddEdgeIn:
+            tel.AddEdge(op.anchor, op.label, Direction::kIn, op.other, ts,
+                        op.value);
+            break;
+          case SubOp::Kind::kDelEdgeOut:
+            tel.DeleteEdge(op.anchor, op.label, Direction::kOut, op.other, ts);
+            break;
+          case SubOp::Kind::kDelEdgeIn:
+            tel.DeleteEdge(op.anchor, op.label, Direction::kIn, op.other, ts);
+            break;
+          case SubOp::Kind::kSetProp:
+            tel.SetProperty(op.anchor, op.prop_key, op.value, ts);
+            break;
+        }
+      }
+    };
+    if (cluster_ != nullptr) {
+      cluster_->ApplyAtPartition(p, kLockNs + kApplyNs * ops.size(), write);
+    } else {
+      write(graph_->partition(p));
+    }
+    for (const SubOp& op : ops) {
+      Timestamp& ver = ps.versions[op.anchor];
+      ver = std::max(ver, ts);
+    }
+    ps.applied.insert(id);  // the durable commit record
+  }
+  ReleaseLocksAt(p, id);
+}
+
+void DistTxnManager::AdvanceLct() {
+  lct_ = pending_commits_.empty() ? last_assigned_ts_
+                                  : *pending_commits_.begin() - 1;
+  stats_.last_commit_ts = lct_;
+}
+
+void DistTxnManager::OnWorkerCrash(uint32_t worker, SimTime /*at*/) {
+  // Partitions map 1:1 onto workers (WorkerOfPartition is the identity), so
+  // the crash takes exactly one partition's volatile transaction state.
+  if (worker >= parts_.size()) return;
+  PartitionTxnState& ps = parts_[worker];
+  if (!ps.locks.empty() || !ps.prepared.empty()) stats_.crash_wipes++;
+  ps.locks.clear();
+  ps.prepared.clear();
+}
+
+// ---- wire format ------------------------------------------------------------
+
+Message DistTxnManager::MakeMsg(uint64_t tag, uint32_t src, uint32_t dst,
+                                TxnId id, PartitionId p,
+                                uint32_t attempt) const {
+  Message m;
+  m.kind = MessageKind::kControl;
+  m.src_worker = src;
+  m.dst_worker = dst;
+  m.query_id = kTxnQueryIdBase + id;
+  m.scope_id = p;
+  m.tag = tag;
+  m.attempt = attempt;
+  return m;
+}
+
+// ---- event-driven protocol --------------------------------------------------
+
+void DistTxnManager::CommitAsync(
+    TxnId id, std::function<void(Result<Timestamp>, SimTime)> done) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) {
+    done(Status::NotFound("unknown or committing transaction"),
+         cluster_ == nullptr ? 0 : cluster_->now());
+    return;
+  }
+  Txn& t = it->second;
+  t.done = std::move(done);
+  SplitIntoParts(t);
+  SimTime now = cluster_->now();
+  if (t.parts.empty()) {
+    // Empty write set: committed trivially at the current LCT.
+    Timestamp ts = lct_;
+    auto cb = std::move(t.done);
+    txns_.erase(it);
+    stats_.committed++;
+    cb(ts, now);
+    return;
+  }
+  StartPrepareRound(t, now);
+}
+
+void DistTxnManager::StartPrepareRound(Txn& t, SimTime at) {
+  t.attempt++;
+  t.phase = Phase::kPreparing;
+  t.votes_pending.clear();
+  for (const auto& [p, ops] : t.parts) t.votes_pending.insert(p);
+  TxnId id = t.id;
+  uint32_t attempt = t.attempt;
+  for (const auto& [p, ops] : t.parts) {
+    Message m = MakeMsg(kTagPrepare, t.coordinator,
+                        cluster_->WorkerOfPartition(p), id, p, attempt);
+    ByteWriter w;
+    w.WriteU64(t.snapshot_ts);
+    w.WriteU32(static_cast<uint32_t>(ops.size()));
+    for (const SubOp& op : ops) {
+      w.WriteU8(static_cast<uint8_t>(op.kind));
+      w.WriteU64(op.anchor);
+      w.WriteU64(op.other);
+      w.WriteU32(op.label);
+      w.WriteU32(op.prop_key);
+      op.value.Serialize(&w);
+    }
+    m.payload = w.Take();
+    stats_.prepares_sent++;
+    prepare_events_++;
+    uint32_t dst = m.dst_worker;
+    cluster_->TxnSend(t.coordinator, std::move(m));
+    if (opt_.crash_phase == CrashPhase::kPrepare &&
+        prepare_events_ == opt_.crash_nth) {
+      // The owner dies with the prepare on the wire: the vote never comes,
+      // the round times out, and the retry must find a clean incarnation.
+      stats_.crashes_injected++;
+      cluster_->InjectCrash(dst, opt_.crash_restart_ns);
+    }
+  }
+  // Round-1 watchdog: missing votes (crashed participant, dropped message)
+  // abandon this attempt rather than wedging the transaction.
+  cluster_->ScheduleAt(at + opt_.prepare_timeout_ns,
+                       [this, id, attempt](SimTime t2) {
+                         auto it = txns_.find(id);
+                         if (it == txns_.end()) return;
+                         Txn& txn = it->second;
+                         if (txn.phase != Phase::kPreparing ||
+                             txn.attempt != attempt) {
+                           return;
+                         }
+                         AbandonRound(txn, t2, "prepare timeout");
+                       });
+}
+
+void DistTxnManager::AbandonRound(Txn& t, SimTime at, const char* why) {
+  // Release whatever the yes-voters claimed; participants that never saw the
+  // prepare treat the release as a no-op. Release delivery is best-effort —
+  // a lost release can only delay later transactions (their prepares see a
+  // stale lock and retry), never break serializability.
+  for (const auto& [p, ops] : t.parts) {
+    Message m = MakeMsg(kTagRelease, t.coordinator,
+                        cluster_->WorkerOfPartition(p), t.id, p, t.attempt);
+    cluster_->TxnSend(t.coordinator, std::move(m));
+  }
+  if (t.attempt >= opt_.max_attempts) {
+    FinalAbort(t, at, why);
+    return;
+  }
+  stats_.retried++;
+  t.phase = Phase::kBackoff;
+  TxnId id = t.id;
+  uint32_t attempt = t.attempt;
+  SimTime backoff = opt_.retry_backoff_ns
+                    << std::min<uint32_t>(t.attempt - 1, 10);
+  cluster_->ScheduleAt(at + backoff, [this, id, attempt](SimTime t2) {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) return;
+    Txn& txn = it->second;
+    if (txn.phase != Phase::kBackoff || txn.attempt != attempt) return;
+    StartPrepareRound(txn, t2);
+  });
+}
+
+void DistTxnManager::FinalAbort(Txn& t, SimTime at, const std::string& why) {
+  stats_.aborted++;
+  auto cb = std::move(t.done);
+  TxnId id = t.id;
+  txns_.erase(id);
+  if (cb) cb(Status::Aborted(why), at);
+}
+
+void DistTxnManager::Decide(Txn& t, SimTime at) {
+  t.phase = Phase::kApplying;
+  t.commit_ts = next_ts_++;
+  last_assigned_ts_ = t.commit_ts;
+  pending_commits_.insert(t.commit_ts);
+  commit_log_.emplace_back(t.commit_ts, t.id);
+  decision_events_++;
+  if (opt_.crash_phase == CrashPhase::kCommit &&
+      decision_events_ == opt_.crash_nth) {
+    // Crash the first participant at the moment of decision: its kApply is
+    // lost and the transaction stays torn — invisible — until the apply
+    // watchdog re-delivers to the restarted incarnation.
+    stats_.crashes_injected++;
+    cluster_->InjectCrash(cluster_->WorkerOfPartition(t.parts.begin()->first),
+                          opt_.crash_restart_ns);
+  }
+  for (const auto& [p, ops] : t.parts) {
+    apply_queue_[p].push_back(t.id);
+    if (apply_queue_[p].size() == 1) SendApply(p, at);
+  }
+}
+
+void DistTxnManager::SendApply(PartitionId p, SimTime at) {
+  TxnId id = apply_queue_[p].front();
+  Txn& t = txns_.at(id);
+  const std::vector<SubOp>& ops = t.parts.at(p);
+  Message m = MakeMsg(kTagApply, t.coordinator, cluster_->WorkerOfPartition(p),
+                      id, p, t.attempt);
+  m.weight = t.commit_ts;
+  apply_events_++;
+  size_t n = ops.size();
+  if (opt_.corrupt_nth_apply != 0 && apply_events_ == opt_.corrupt_nth_apply &&
+      n > 0) {
+    n--;  // planted bug: the last sub-op silently vanishes from the wire
+  }
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const SubOp& op = ops[i];
+    w.WriteU8(static_cast<uint8_t>(op.kind));
+    w.WriteU64(op.anchor);
+    w.WriteU64(op.other);
+    w.WriteU32(op.label);
+    w.WriteU32(op.prop_key);
+    op.value.Serialize(&w);
+  }
+  m.payload = w.Take();
+  stats_.applies_sent++;
+  uint32_t dst = m.dst_worker;
+  cluster_->TxnSend(t.coordinator, std::move(m));
+  if (opt_.crash_phase == CrashPhase::kApply &&
+      apply_events_ == opt_.crash_nth) {
+    stats_.crashes_injected++;
+    cluster_->InjectCrash(dst, opt_.crash_restart_ns);
+  }
+  ArmApplyWatchdog(p, id, /*resend=*/0, at);
+}
+
+void DistTxnManager::ArmApplyWatchdog(PartitionId p, TxnId id, uint32_t resend,
+                                      SimTime at) {
+  SimTime delay = opt_.apply_retry_ns << std::min<uint32_t>(resend, 6);
+  cluster_->ScheduleAt(at + delay, [this, p, id, resend](SimTime t2) {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) return;                 // fully committed already
+    if (it->second.acked_parts.count(p) > 0) return;
+    if (apply_queue_[p].empty() || apply_queue_[p].front() != id) return;
+    // Decided transactions must finish: re-send the self-contained apply
+    // (idempotent at the participant via the applied ledger) until acked.
+    stats_.apply_retries++;
+    TxnId front = id;
+    Txn& t = txns_.at(front);
+    const std::vector<SubOp>& ops = t.parts.at(p);
+    Message m = MakeMsg(kTagApply, t.coordinator,
+                        cluster_->WorkerOfPartition(p), front, p, t.attempt);
+    m.weight = t.commit_ts;
+    ByteWriter w;
+    w.WriteU32(static_cast<uint32_t>(ops.size()));
+    for (const SubOp& op : ops) {
+      w.WriteU8(static_cast<uint8_t>(op.kind));
+      w.WriteU64(op.anchor);
+      w.WriteU64(op.other);
+      w.WriteU32(op.label);
+      w.WriteU32(op.prop_key);
+      op.value.Serialize(&w);
+    }
+    m.payload = w.Take();
+    stats_.applies_sent++;
+    cluster_->TxnSend(t.coordinator, std::move(m));
+    ArmApplyWatchdog(p, front, resend + 1, t2);
+  });
+}
+
+void DistTxnManager::HandleTxnMessage(uint32_t worker, const Message& msg) {
+  switch (msg.tag) {
+    case kTagPrepare:
+      HandlePrepare(worker, msg);
+      break;
+    case kTagVote:
+      HandleVote(msg, cluster_->now());
+      break;
+    case kTagApply:
+      HandleApply(worker, msg);
+      break;
+    case kTagApplyAck:
+      HandleApplyAck(msg, cluster_->now());
+      break;
+    case kTagRelease:
+      HandleRelease(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void DistTxnManager::HandlePrepare(uint32_t worker, const Message& msg) {
+  TxnId id = msg.query_id - kTxnQueryIdBase;
+  PartitionId p = msg.scope_id;
+  ByteReader r(msg.payload);
+  Timestamp snapshot_ts = r.ReadU64();
+  uint32_t n = r.ReadU32();
+  std::vector<SubOp> ops;
+  ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SubOp op;
+    op.kind = static_cast<SubOp::Kind>(r.ReadU8());
+    op.anchor = r.ReadU64();
+    op.other = r.ReadU64();
+    op.label = static_cast<LabelId>(r.ReadU32());
+    op.prop_key = static_cast<PropKeyId>(r.ReadU32());
+    op.value = Value::Deserialize(&r);
+    ops.push_back(std::move(op));
+  }
+  // Charge the lock-table probes to this worker's clock.
+  if (cluster_ != nullptr) {
+    cluster_->ApplyAtPartition(p, kLockNs * (ops.size() + 1),
+                               [](PartitionStore&) {});
+  }
+  uint64_t verdict = ValidateAndLockAt(p, id, snapshot_ts, ops);
+  if (verdict == kVoteYes) parts_[p].prepared[id] = msg.attempt;
+  Message vote = MakeMsg(kTagVote, worker, msg.src_worker, id, p, msg.attempt);
+  vote.weight = verdict;
+  cluster_->TxnSend(worker, std::move(vote));
+}
+
+void DistTxnManager::HandleVote(const Message& msg, SimTime at) {
+  TxnId id = msg.query_id - kTxnQueryIdBase;
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  Txn& t = it->second;
+  // Attempt fence: votes from an abandoned round say nothing about this one.
+  if (t.phase != Phase::kPreparing || msg.attempt != t.attempt) return;
+  if (msg.weight == kVoteYes) {
+    stats_.votes_yes++;
+    t.votes_pending.erase(msg.scope_id);
+    if (t.votes_pending.empty()) Decide(t, at);
+    return;
+  }
+  stats_.votes_no++;
+  AbandonRound(t, at, msg.weight == kVoteLocked ? "write-write conflict"
+                                                : "snapshot validation failed");
+}
+
+void DistTxnManager::HandleApply(uint32_t worker, const Message& msg) {
+  TxnId id = msg.query_id - kTxnQueryIdBase;
+  PartitionId p = msg.scope_id;
+  Timestamp ts = msg.weight;
+  ByteReader r(msg.payload);
+  uint32_t n = r.ReadU32();
+  std::vector<SubOp> ops;
+  ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SubOp op;
+    op.kind = static_cast<SubOp::Kind>(r.ReadU8());
+    op.anchor = r.ReadU64();
+    op.other = r.ReadU64();
+    op.label = static_cast<LabelId>(r.ReadU32());
+    op.prop_key = static_cast<PropKeyId>(r.ReadU32());
+    op.value = Value::Deserialize(&r);
+    ops.push_back(std::move(op));
+  }
+  ApplyAt(p, id, ts, ops);
+  Message ack = MakeMsg(kTagApplyAck, worker, msg.src_worker, id, p,
+                        msg.attempt);
+  ack.weight = ts;
+  cluster_->TxnSend(worker, std::move(ack));
+}
+
+void DistTxnManager::HandleApplyAck(const Message& msg, SimTime at) {
+  TxnId id = msg.query_id - kTxnQueryIdBase;
+  PartitionId p = msg.scope_id;
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;  // duplicate ack after the commit finished
+  Txn& t = it->second;
+  if (t.phase != Phase::kApplying) return;
+  if (!t.acked_parts.insert(p).second) return;  // duplicate ack
+  stats_.applies_acked++;
+  if (!apply_queue_[p].empty() && apply_queue_[p].front() == id) {
+    apply_queue_[p].pop_front();
+    if (!apply_queue_[p].empty()) SendApply(p, at);
+  }
+  if (t.acked_parts.size() == t.parts.size()) {
+    pending_commits_.erase(t.commit_ts);
+    AdvanceLct();
+    FinishCommit(t, at);
+  }
+}
+
+void DistTxnManager::HandleRelease(const Message& msg) {
+  TxnId id = msg.query_id - kTxnQueryIdBase;
+  ReleaseLocksAt(msg.scope_id, id);
+}
+
+void DistTxnManager::FinishCommit(Txn& t, SimTime at) {
+  stats_.committed++;
+  Timestamp ts = t.commit_ts;
+  auto cb = std::move(t.done);
+  txns_.erase(t.id);
+  if (cb) cb(ts, at);
+}
+
+// ---- phased (direct) protocol ----------------------------------------------
+
+Result<Timestamp> DistTxnManager::CommitDirect(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end() || it->second.phase != Phase::kOpen) {
+    return Status::NotFound("unknown or committing transaction");
+  }
+  Txn& t = it->second;
+  SplitIntoParts(t);
+  if (t.parts.empty()) {
+    Timestamp ts = lct_;
+    txns_.erase(it);
+    stats_.committed++;
+    return ts;
+  }
+  while (true) {
+    t.attempt++;
+    Result<Timestamp> r = TryCommitDirectOnce(t);
+    if (r.ok()) return r;
+    if (t.attempt >= opt_.max_attempts) {
+      stats_.aborted++;
+      txns_.erase(id);
+      return Status::Aborted("retries exhausted: " + r.status().message());
+    }
+    stats_.retried++;
+  }
+}
+
+Result<Timestamp> DistTxnManager::TryCommitDirectOnce(Txn& t) {
+  // Round 1: validate + lock every touched partition, owner order.
+  for (const auto& [p, ops] : t.parts) {
+    stats_.prepares_sent++;
+    prepare_events_++;
+    if (opt_.crash_phase == CrashPhase::kPrepare &&
+        prepare_events_ == opt_.crash_nth) {
+      // The owner dies mid-prepare: its volatile claims evaporate and the
+      // round fails; the retry finds the clean restarted incarnation.
+      stats_.crashes_injected++;
+      if (!parts_[p].locks.empty() || !parts_[p].prepared.empty()) {
+        stats_.crash_wipes++;
+      }
+      parts_[p].locks.clear();
+      parts_[p].prepared.clear();
+      for (const auto& [q, qops] : t.parts) ReleaseLocksAt(q, t.id);
+      stats_.votes_no++;
+      return Status::Aborted("participant crashed during prepare");
+    }
+    uint64_t verdict = ValidateAndLockAt(p, t.id, t.snapshot_ts, ops);
+    if (verdict != kVoteYes) {
+      stats_.votes_no++;
+      for (const auto& [q, qops] : t.parts) ReleaseLocksAt(q, t.id);
+      return Status::Aborted(verdict == kVoteLocked
+                                 ? "write-write conflict"
+                                 : "snapshot validation failed");
+    }
+    stats_.votes_yes++;
+    parts_[p].prepared[t.id] = t.attempt;
+  }
+  // Decision: durable commit record at the next timestamp.
+  t.phase = Phase::kApplying;
+  t.commit_ts = next_ts_++;
+  last_assigned_ts_ = t.commit_ts;
+  pending_commits_.insert(t.commit_ts);
+  commit_log_.emplace_back(t.commit_ts, t.id);
+  decision_events_++;
+  if (opt_.crash_phase == CrashPhase::kCommit &&
+      decision_events_ == opt_.crash_nth) {
+    // Crash at the decision point: decided, nothing applied, LCT held back.
+    stats_.crashes_injected++;
+    PartitionId first = t.parts.begin()->first;
+    if (!parts_[first].locks.empty() || !parts_[first].prepared.empty()) {
+      stats_.crash_wipes++;
+    }
+    parts_[first].locks.clear();
+    parts_[first].prepared.clear();
+    torn_[t.commit_ts] = t.id;
+    return t.commit_ts;
+  }
+  // Round 2: apply in owner order; a chaos crash tears the transaction
+  // between partitions, leaving a strict prefix applied.
+  for (const auto& [p, ops] : t.parts) {
+    apply_events_++;
+    if (opt_.crash_phase == CrashPhase::kApply &&
+        apply_events_ == opt_.crash_nth) {
+      stats_.crashes_injected++;
+      if (!parts_[p].locks.empty() || !parts_[p].prepared.empty()) {
+        stats_.crash_wipes++;
+      }
+      parts_[p].locks.clear();
+      parts_[p].prepared.clear();
+      torn_[t.commit_ts] = t.id;
+      return t.commit_ts;
+    }
+    stats_.applies_sent++;
+    if (opt_.corrupt_nth_apply != 0 &&
+        apply_events_ == opt_.corrupt_nth_apply && !ops.empty()) {
+      std::vector<SubOp> torn_ops(ops.begin(), ops.end() - 1);
+      ApplyAt(p, t.id, t.commit_ts, torn_ops);
+    } else {
+      ApplyAt(p, t.id, t.commit_ts, ops);
+    }
+    stats_.applies_acked++;
+  }
+  Timestamp ts = t.commit_ts;
+  pending_commits_.erase(ts);
+  AdvanceLct();
+  stats_.committed++;
+  txns_.erase(t.id);
+  return ts;
+}
+
+void DistTxnManager::CompleteTorn(TxnId id) {
+  Txn& t = txns_.at(id);
+  for (const auto& [p, ops] : t.parts) {
+    if (parts_[p].applied.count(id) > 0) {
+      // Already applied pre-crash; just drop any stranded locks.
+      ReleaseLocksAt(p, id);
+      continue;
+    }
+    stats_.applies_sent++;
+    stats_.apply_retries++;
+    ApplyAt(p, id, t.commit_ts, ops);
+    stats_.applies_acked++;
+  }
+  pending_commits_.erase(t.commit_ts);
+  stats_.committed++;
+  txns_.erase(id);
+}
+
+void DistTxnManager::RecoverDirect() {
+  // Every owner restarts: volatile lock tables and prepared sets are gone.
+  for (PartitionTxnState& ps : parts_) {
+    if (!ps.locks.empty() || !ps.prepared.empty()) stats_.crash_wipes++;
+    ps.locks.clear();
+    ps.prepared.clear();
+  }
+  // Redo torn transactions from their durable decision records, commit-ts
+  // order; the applied ledger makes re-application idempotent. (The
+  // centralized manager recovers by undo — TruncateAfter(LCT) — because it
+  // has no decision record; here the decision is durable, so a decided
+  // transaction always completes.)
+  std::vector<TxnId> torn;
+  for (const auto& [ts, id] : torn_) torn.push_back(id);
+  torn_.clear();
+  for (TxnId id : torn) CompleteTorn(id);
+  AdvanceLct();
+  // Open (undecided) transactions died with the crash.
+  std::vector<TxnId> open;
+  for (const auto& [id, t] : txns_) {
+    if (t.phase == Phase::kOpen) open.push_back(id);
+  }
+  for (TxnId id : open) txns_.erase(id);
+}
+
+void DistTxnManager::SimulateCrashAndRecover() { RecoverDirect(); }
+
+// ---- test surface -----------------------------------------------------------
+
+size_t DistTxnManager::LocksHeld() const {
+  size_t n = 0;
+  for (const PartitionTxnState& ps : parts_) n += ps.locks.size();
+  return n;
+}
+
+size_t DistTxnManager::LocksHeldBy(TxnId id) const {
+  size_t n = 0;
+  for (const PartitionTxnState& ps : parts_) {
+    for (const auto& [v, holder] : ps.locks) {
+      if (holder == id) n++;
+    }
+  }
+  return n;
+}
+
+void DistTxnManager::ForEachLock(
+    const std::function<void(PartitionId, VertexId, TxnId)>& fn) const {
+  for (PartitionId p = 0; p < parts_.size(); ++p) {
+    for (const auto& [v, holder] : parts_[p].locks) fn(p, v, holder);
+  }
+}
+
+}  // namespace graphdance

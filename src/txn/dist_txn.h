@@ -1,0 +1,293 @@
+#ifndef GRAPHDANCE_TXN_DIST_TXN_H_
+#define GRAPHDANCE_TXN_DIST_TXN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "runtime/sim_cluster.h"
+
+namespace graphdance {
+
+/// Distributed multi-partition write transactions (DESIGN.md §16).
+///
+/// Optimistic, conflict-detected commit over the existing message layer,
+/// modeled on ClusterSTM's stm-distrib: a transaction buffers its writes
+/// lock-free, then commits in two rounds.
+///
+///   Round 1 (prepare/validate): the coordinator splits the write set into
+///   per-partition sub-ops and sends each owning worker a kPrepare carrying
+///   the snapshot timestamp and its slice of the write set. The participant
+///   validates every anchor vertex — the no-wait write lock must be free (or
+///   already ours) and the anchor's last committed version must not exceed
+///   the transaction's snapshot (first-committer-wins OCC) — then claims the
+///   locks and votes.
+///
+///   Round 2 (commit-apply): on unanimous yes the coordinator assigns the
+///   commit timestamp (next_ts_++), records the decision durably, and sends
+///   self-contained kApply messages stamped with it. Participants write the
+///   sub-ops into their TEL at that timestamp, advance the anchor version
+///   table, record the transaction in a durable applied ledger (idempotence
+///   under resends), release its locks and ack. Any vote of no releases the
+///   claimed locks and retries the whole transaction with exponential
+///   backoff under a fresh attempt number.
+///
+/// All-or-nothing under crashes: the LCT advances only through the
+/// contiguous fully-applied prefix of decided commit timestamps, so a
+/// partially applied transaction is invisible to every reader (its versions
+/// carry ts > LCT) until an apply watchdog re-delivers the missing kApply
+/// messages to the restarted worker and the acks complete the prefix. The
+/// protocol reuses the fault subsystem's fencing wholesale: worker epochs
+/// fence pre-crash protocol messages, per-pair seqs dedup duplicated ones,
+/// and per-transaction attempt numbers fence votes from abandoned rounds.
+/// A crash wipes a partition's volatile state (lock table, prepared set) via
+/// the cluster's crash observer; its durable state (anchor version table,
+/// applied ledger — the on-disk commit records) survives like the TEL does.
+///
+/// Two drive modes, mirroring the streaming ingestor:
+///   - event-driven (CommitAsync) over an async-engine SimCluster, and
+///   - phased (CommitDirect) for BSP and real-thread ThreadCluster runs,
+///     which cannot interleave protocol events with query supersteps; the
+///     same validation/locking/versioning runs synchronously, with the chaos
+///     hooks emulating the crash points (a torn transaction stays invisible
+///     until RecoverDirect() replays the missing partitions from the
+///     decision record).
+class DistTxnManager {
+ public:
+  using TxnId = uint64_t;
+
+  /// Protocol phase targeted by the crash-chaos hook.
+  enum class CrashPhase : uint8_t { kNone = 0, kPrepare, kCommit, kApply };
+
+  struct Options {
+    /// Attempts before a conflicting transaction aborts for good.
+    uint32_t max_attempts = 6;
+    /// Round-1 watchdog: a prepare round with missing votes after this long
+    /// is abandoned and retried (covers crashed participants / lost votes).
+    SimTime prepare_timeout_ns = 4'000'000;
+    /// Round-2 watchdog: an unacked kApply is re-sent after this long
+    /// (doubling per resend). Guarantees decided transactions finish.
+    SimTime apply_retry_ns = 1'500'000;
+    /// Base backoff before a conflict retry (doubles per attempt).
+    SimTime retry_backoff_ns = 300'000;
+
+    // --- chaos hooks (deterministic crash schedules for the oracle) ---
+    /// Crash the relevant worker at the nth action of this phase:
+    /// kPrepare — the destination of the nth kPrepare sent; kCommit — the
+    /// first participant at the nth all-yes decision; kApply — the
+    /// destination of the nth kApply sent.
+    CrashPhase crash_phase = CrashPhase::kNone;
+    uint64_t crash_nth = 1;  // 1-based
+    SimTime crash_restart_ns = 600'000;
+
+    /// Non-vacuity mutation: silently drop the last sub-op of the nth kApply
+    /// payload (0 = off). A correct oracle must catch the torn write.
+    uint64_t corrupt_nth_apply = 0;
+  };
+
+  /// Event-driven mode: the two-round protocol runs over `cluster`'s
+  /// message layer (async engine only — BSP never drains scheduled events
+  /// between supersteps). Attaches the txn message handler, crash observer
+  /// and stats block; the destructor detaches them.
+  DistTxnManager(SimCluster* cluster, Options opt);
+  explicit DistTxnManager(SimCluster* cluster);
+
+  /// Phased mode: validation/locking/versioning over a bare graph with no
+  /// transport (ThreadCluster drives, serial reference executors).
+  DistTxnManager(PartitionedGraph* graph, Options opt);
+  explicit DistTxnManager(PartitionedGraph* graph);
+
+  ~DistTxnManager();
+  DistTxnManager(const DistTxnManager&) = delete;
+  DistTxnManager& operator=(const DistTxnManager&) = delete;
+
+  /// Read timestamp for a read-only query: the broadcast LCT.
+  Timestamp ReadTimestamp() const { return lct_; }
+
+  /// Starts an update transaction; its snapshot is the current LCT.
+  TxnId Begin();
+
+  /// Buffered writes. Lock-free at this point (OCC): conflicts surface at
+  /// prepare time, not here.
+  Status AddVertex(TxnId txn, VertexId v, LabelId label);
+  Status AddEdge(TxnId txn, VertexId src, LabelId elabel, VertexId dst,
+                 Value prop = Value());
+  Status DeleteEdge(TxnId txn, VertexId src, LabelId elabel, VertexId dst);
+  Status SetProperty(TxnId txn, VertexId v, PropKeyId key, Value value);
+
+  /// Discards an open (not yet committing) transaction.
+  void Abort(TxnId txn);
+
+  /// Event-driven commit. `done` fires exactly once, when the transaction is
+  /// fully applied everywhere (its commit timestamp, with the LCT advanced
+  /// through it) or finally aborted after max_attempts conflicts.
+  void CommitAsync(TxnId txn,
+                   std::function<void(Result<Timestamp>, SimTime)> done);
+
+  /// Phased commit: synchronous validate + lock + apply with internal
+  /// conflict retries. With a chaos hook armed, the targeted transaction is
+  /// left torn — decided and partially applied but invisible (LCT held
+  /// back) — until RecoverDirect() completes it; the returned timestamp is
+  /// then its (not yet visible) commit timestamp.
+  Result<Timestamp> CommitDirect(TxnId txn);
+
+  /// True while a phased-mode transaction is decided but not fully applied.
+  bool HasTorn() const { return !torn_.empty(); }
+
+  /// Crash-recovery for phased mode: wipes every partition's volatile state,
+  /// then redoes torn transactions from their durable decision records
+  /// (skipping partitions whose applied ledger already has them) and
+  /// advances the LCT. Open transactions are discarded.
+  void RecoverDirect();
+
+  /// Full crash simulation (tests): volatile wipe + RecoverDirect semantics.
+  void SimulateCrashAndRecover();
+
+  /// Live counters; attach to a cluster via AttachTxnStats(&mgr.stats()).
+  const obs::TxnSnapshot& stats() const { return stats_; }
+
+  /// Committed schedule in commit-timestamp order (the serializability
+  /// oracle replays exactly this against a serial executor).
+  const std::vector<std::pair<Timestamp, TxnId>>& commit_log() const {
+    return commit_log_;
+  }
+
+  uint64_t committed() const { return stats_.committed; }
+  uint64_t aborted() const { return stats_.aborted; }
+  uint64_t active() const { return txns_.size(); }
+
+  // --- test surface (lock-table invariants, prop_test) ---
+  /// Total write locks held across all partitions.
+  size_t LocksHeld() const;
+  /// Locks held by one transaction across all partitions.
+  size_t LocksHeldBy(TxnId txn) const;
+  /// Enumerates (partition, vertex, holder) over every held lock.
+  void ForEachLock(
+      const std::function<void(PartitionId, VertexId, TxnId)>& fn) const;
+
+ private:
+  /// One half-op, anchored at a vertex its partition owns. AddEdge/DeleteEdge
+  /// split into an out-half at the source and an in-half at the destination,
+  /// so each partition writes only anchors it owns (same TEL mirror protocol
+  /// as the centralized manager).
+  struct SubOp {
+    enum class Kind : uint8_t {
+      kAddVertex = 0,
+      kAddEdgeOut,
+      kAddEdgeIn,
+      kDelEdgeOut,
+      kDelEdgeIn,
+      kSetProp,
+    };
+    Kind kind;
+    VertexId anchor = kInvalidVertex;
+    VertexId other = kInvalidVertex;
+    LabelId label = 0;
+    PropKeyId prop_key = 0;
+    Value value;
+  };
+
+  enum class Phase : uint8_t {
+    kOpen = 0,
+    kPreparing,
+    kBackoff,   // conflict seen; waiting out the retry backoff
+    kApplying,  // decided: commit_ts assigned, applies outstanding
+  };
+
+  struct Txn {
+    TxnId id = 0;
+    Timestamp snapshot_ts = 0;
+    Phase phase = Phase::kOpen;
+    uint32_t attempt = 0;
+    uint32_t coordinator = 0;  // worker the protocol messages route through
+    std::vector<SubOp> logical;              // buffered ops, program order
+    std::map<PartitionId, std::vector<SubOp>> parts;  // split at commit time
+    std::set<PartitionId> votes_pending;
+    std::set<PartitionId> acked_parts;
+    Timestamp commit_ts = 0;
+    std::function<void(Result<Timestamp>, SimTime)> done;
+  };
+
+  /// Per-partition transaction state at the owning worker.
+  struct PartitionTxnState {
+    // Volatile (dies with the worker; see OnWorkerCrash):
+    std::unordered_map<VertexId, TxnId> locks;    // no-wait write locks
+    std::unordered_map<TxnId, uint32_t> prepared; // txn -> prepared attempt
+    // Durable (survives a crash, like the TEL):
+    std::unordered_map<VertexId, Timestamp> versions;  // last committed write
+    std::unordered_set<TxnId> applied;  // commit records (apply idempotence)
+  };
+
+  // --- shared by both modes ---
+  PartitionId PartitionOfVertex(VertexId v) const;
+  void BufferOp(Txn& t, SubOp op);
+  void SplitIntoParts(Txn& t);
+  /// Anchor-validation + lock claim at one partition. Returns 1 (yes),
+  /// 0 (lock conflict) or 2 (version validation failure); claims all the
+  /// partition's anchors on yes.
+  uint64_t ValidateAndLockAt(PartitionId p, TxnId id, Timestamp snapshot_ts,
+                             const std::vector<SubOp>& ops);
+  void ReleaseLocksAt(PartitionId p, TxnId id);
+  /// Writes one partition's sub-ops into its TEL at `ts`, advances the
+  /// version table and the applied ledger, releases the locks. Idempotent.
+  void ApplyAt(PartitionId p, TxnId id, Timestamp ts,
+               const std::vector<SubOp>& ops);
+  void AdvanceLct();
+  void FinishCommit(Txn& t, SimTime at);
+  void FinalAbort(Txn& t, SimTime at, const std::string& why);
+
+  // --- event-driven protocol ---
+  void StartPrepareRound(Txn& t, SimTime at);
+  void AbandonRound(Txn& t, SimTime at, const char* why);
+  void Decide(Txn& t, SimTime at);
+  void SendApply(PartitionId p, SimTime at);
+  void ArmApplyWatchdog(PartitionId p, TxnId id, uint32_t resend, SimTime at);
+  void HandleTxnMessage(uint32_t worker, const Message& msg);
+  void HandlePrepare(uint32_t worker, const Message& msg);
+  void HandleVote(const Message& msg, SimTime at);
+  void HandleApply(uint32_t worker, const Message& msg);
+  void HandleApplyAck(const Message& msg, SimTime at);
+  void HandleRelease(const Message& msg);
+  void OnWorkerCrash(uint32_t worker, SimTime at);
+  Message MakeMsg(uint64_t tag, uint32_t src, uint32_t dst, TxnId id,
+                  PartitionId p, uint32_t attempt) const;
+
+  // --- phased protocol ---
+  Result<Timestamp> TryCommitDirectOnce(Txn& t);
+  void CompleteTorn(TxnId id);
+
+  SimCluster* cluster_ = nullptr;   // null in phased/bare-graph mode
+  PartitionedGraph* graph_ = nullptr;
+  Options opt_;
+  std::unordered_map<TxnId, Txn> txns_;
+  std::vector<PartitionTxnState> parts_;
+  /// Decided-but-not-fully-applied commit timestamps: the LCT stops just
+  /// short of the smallest entry (the all-or-nothing guarantee).
+  std::set<Timestamp> pending_commits_;
+  /// Per-partition apply pipeline: decided transactions apply at each
+  /// partition in commit-timestamp order, one outstanding kApply at a time.
+  std::vector<std::deque<TxnId>> apply_queue_;
+  /// Phased-mode torn transactions (decided, partially applied), ts order.
+  std::map<Timestamp, TxnId> torn_;
+  std::vector<std::pair<Timestamp, TxnId>> commit_log_;
+  TxnId next_txn_ = 1;
+  Timestamp next_ts_ = 1;
+  Timestamp last_assigned_ts_ = 0;
+  Timestamp lct_ = 0;
+  uint64_t prepare_events_ = 0;   // chaos/corrupt counters (protocol actions)
+  uint64_t decision_events_ = 0;
+  uint64_t apply_events_ = 0;
+  obs::TxnSnapshot stats_;
+};
+
+}  // namespace graphdance
+
+#endif  // GRAPHDANCE_TXN_DIST_TXN_H_

@@ -30,7 +30,10 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/invariants.h"
@@ -49,6 +52,7 @@
 #include "qos/admission.h"
 #include "qos/credit.h"
 #include "qos/qos.h"
+#include "txn/dist_txn.h"
 
 namespace graphdance {
 namespace {
@@ -997,6 +1001,285 @@ TEST(SnapshotIsolationCheckerTest, CorruptionAnywhereInTheScanTrips) {
     const uint64_t nth = 1 + rng.Below(64);  // well below the edges observed
     EXPECT_GE(RunWithVisibilityCorruption(nth), 1u) << "nth=" << nth;
   }
+}
+
+// --- distributed transactions vs the brute-force serial model ----------------
+//
+// Random interleaved transaction histories pushed through the distributed
+// commit protocol (txn/dist_txn.h), checked two ways:
+//  - Serializability: commit order is commit-timestamp order, so replaying
+//    exactly the committed transactions, one at a time and in ts order, on a
+//    same-seed twin graph must materialize the identical final state — every
+//    anchor's out/in-degree and latest property version.
+//  - Lock-table invariants at every step: locks are only ever held by
+//    decided-but-unfinished transactions (conflict aborts and commits both
+//    release), no (partition, vertex) is claimed twice, and recovery leaves
+//    the table empty.
+
+namespace {
+
+// Degree of `v` at `ts` counted through a query (the reader-visible state).
+int64_t TxnPropDegree(const std::shared_ptr<PartitionedGraph>& graph,
+                      VertexId v, Timestamp ts, bool out) {
+  Traversal t(graph);
+  t.V({v});
+  if (out) {
+    t.Out("link");
+  } else {
+    t.In("link");
+  }
+  t.Count();
+  auto plan = t.Build();
+  EXPECT_TRUE(plan.ok());
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 4;
+  SimCluster fresh(cfg, graph);
+  auto res = fresh.Run(plan.TakeValue(), ts);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.value().rows[0][0].as_int();
+}
+
+struct TxnPropOp {
+  enum class Kind { kAddEdge, kDelEdge, kSetProp };
+  Kind kind;
+  VertexId src = 0;
+  VertexId dst = 0;
+  int64_t value = 0;
+};
+
+Status BufferTxnPropOps(DistTxnManager* mgr, DistTxnManager::TxnId id,
+                        LabelId link, PropKeyId key,
+                        const std::vector<TxnPropOp>& ops) {
+  for (const TxnPropOp& op : ops) {
+    Status st;
+    switch (op.kind) {
+      case TxnPropOp::Kind::kAddEdge:
+        st = mgr->AddEdge(id, op.src, link, op.dst);
+        break;
+      case TxnPropOp::Kind::kDelEdge:
+        st = mgr->DeleteEdge(id, op.src, link, op.dst);
+        break;
+      case TxnPropOp::Kind::kSetProp:
+        st = mgr->SetProperty(id, op.src, key, Value(op.value));
+        break;
+    }
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TEST(TxnPropTest, RandomHistoriesMatchSerialModel) {
+  constexpr uint64_t kHot = 10;  // anchors drawn from a hot pool: real races
+  for (uint64_t round = 0; round < 3; ++round) {
+    auto schema = std::make_shared<Schema>();
+    auto schema2 = std::make_shared<Schema>();
+    auto g1r = GenerateUniformGraph(48, 192, 7 + round, schema, 4);
+    auto g2r = GenerateUniformGraph(48, 192, 7 + round, schema2, 4);
+    ASSERT_TRUE(g1r.ok() && g2r.ok());
+    auto g1 = g1r.TakeValue();
+    auto g2 = g2r.TakeValue();
+    LabelId link = schema->EdgeLabel("link");
+    ASSERT_EQ(link, schema2->EdgeLabel("link"));
+    PropKeyId key = schema->PropKey("score");
+    ASSERT_EQ(key, schema2->PropKey("score"));
+
+    DistTxnManager mgr(g1.get());
+    Rng rng(0x517eed00 + round);
+    std::map<DistTxnManager::TxnId, std::vector<TxnPropOp>> ops_of;
+
+    // Waves of overlapping transactions: all begin on the same snapshot,
+    // then commit in a random order — first committer wins, the rest abort.
+    for (int wave = 0; wave < 6; ++wave) {
+      std::vector<DistTxnManager::TxnId> batch;
+      for (int k = 0; k < 5; ++k) {
+        DistTxnManager::TxnId id = mgr.Begin();
+        std::vector<TxnPropOp> ops;
+        const uint64_t n = 1 + rng.Below(3);
+        for (uint64_t j = 0; j < n; ++j) {
+          TxnPropOp op;
+          op.src = 1 + rng.Below(kHot);
+          op.dst = 1 + rng.Below(kHot);
+          if (op.dst == op.src) op.dst = (op.dst % kHot) + 1;
+          switch (rng.Below(3)) {
+            case 0:
+              op.kind = TxnPropOp::Kind::kAddEdge;
+              break;
+            case 1:
+              op.kind = TxnPropOp::Kind::kDelEdge;
+              break;
+            default:
+              op.kind = TxnPropOp::Kind::kSetProp;
+              op.value = static_cast<int64_t>(rng.Below(1 << 20));
+              break;
+          }
+          ops.push_back(op);
+        }
+        ASSERT_TRUE(BufferTxnPropOps(&mgr, id, link, key, ops).ok());
+        ops_of[id] = std::move(ops);
+        batch.push_back(id);
+      }
+      // Random commit order within the wave.
+      for (size_t i = batch.size(); i > 1; --i) {
+        std::swap(batch[i - 1], batch[rng.Below(i)]);
+      }
+      for (DistTxnManager::TxnId id : batch) {
+        (void)mgr.CommitDirect(id);  // conflict aborts are part of the model
+      }
+    }
+    ASSERT_EQ(mgr.active(), 0u);
+    ASSERT_EQ(mgr.LocksHeld(), 0u);
+    ASSERT_EQ(mgr.commit_log().size(), mgr.committed());
+
+    // Serial model: the committed schedule replayed one transaction at a
+    // time, in commit-timestamp order, on the same-seed twin.
+    DistTxnManager serial(g2.get());
+    Timestamp prev_ts = 0;
+    for (const auto& [ts, id] : mgr.commit_log()) {
+      ASSERT_GT(ts, prev_ts);  // commit order IS timestamp order
+      prev_ts = ts;
+      DistTxnManager::TxnId sid = serial.Begin();
+      ASSERT_TRUE(
+          BufferTxnPropOps(&serial, sid, link, key, ops_of.at(id)).ok());
+      auto r = serial.CommitDirect(sid);
+      ASSERT_TRUE(r.ok()) << "serial replay must never abort: "
+                          << r.status().ToString();
+    }
+    ASSERT_EQ(serial.ReadTimestamp(), mgr.ReadTimestamp());
+
+    // Identical final state at the LCT: degrees both ways and the latest
+    // property version of every hot anchor.
+    for (VertexId v = 1; v <= kHot; ++v) {
+      EXPECT_EQ(TxnPropDegree(g1, v, mgr.ReadTimestamp(), true),
+                TxnPropDegree(g2, v, serial.ReadTimestamp(), true))
+          << "out-degree diverged at v=" << v << " round=" << round;
+      EXPECT_EQ(TxnPropDegree(g1, v, mgr.ReadTimestamp(), false),
+                TxnPropDegree(g2, v, serial.ReadTimestamp(), false))
+          << "in-degree diverged at v=" << v << " round=" << round;
+      const Value* p1 = g1->partition(g1->PartitionOf(v))
+                            .PropertyOf(v, key, mgr.ReadTimestamp());
+      const Value* p2 = g2->partition(g2->PartitionOf(v))
+                            .PropertyOf(v, key, serial.ReadTimestamp());
+      ASSERT_EQ(p1 != nullptr, p2 != nullptr) << "property presence diverged";
+      if (p1 != nullptr) {
+        EXPECT_EQ(*p1, *p2) << "property value diverged at v=" << v;
+      }
+    }
+  }
+}
+
+TEST(TxnPropTest, LockTableInvariantsUnderRandomHistories) {
+  auto schema = std::make_shared<Schema>();
+  auto gr = GenerateUniformGraph(48, 192, 11, schema, 4);
+  ASSERT_TRUE(gr.ok());
+  auto g = gr.TakeValue();
+  LabelId link = schema->EdgeLabel("link");
+  PropKeyId key = schema->PropKey("score");
+
+  DistTxnManager::Options o;
+  o.crash_phase = DistTxnManager::CrashPhase::kApply;
+  o.crash_nth = 2;  // tear the first transaction between its partitions
+  DistTxnManager mgr(g.get(), o);
+  Rng rng(0x10cab1e);
+
+  auto check_lock_table = [&]() {
+    // Every held lock belongs to a decided transaction (commit_log) that has
+    // not finished — open transactions hold nothing (OCC), aborted and
+    // completed ones released theirs — and no (partition, vertex) twice.
+    std::set<std::pair<PartitionId, VertexId>> seen;
+    std::set<DistTxnManager::TxnId> decided;
+    for (const auto& [ts, id] : mgr.commit_log()) decided.insert(id);
+    mgr.ForEachLock([&](PartitionId p, VertexId v, DistTxnManager::TxnId h) {
+      EXPECT_TRUE(seen.emplace(p, v).second)
+          << "vertex " << v << " claimed twice";
+      EXPECT_TRUE(decided.count(h) > 0)
+          << "lock held by undecided transaction " << h;
+    });
+    if (!mgr.HasTorn()) {
+      EXPECT_EQ(mgr.LocksHeld(), 0u);
+    }
+  };
+
+  // A three-partition transaction torn at its second apply: partition #1
+  // applied, #2 crashed (volatile table gone with the worker), #3 never
+  // reached — its claim on `c` is the stranded lock everything below
+  // collides with.
+  VertexId a = 1;
+  VertexId b = 0;
+  VertexId c = 0;
+  for (VertexId v = 2; v < 48 && c == 0; ++v) {
+    if (b == 0 && g->PartitionOf(v) != g->PartitionOf(a)) {
+      b = v;
+    } else if (b != 0 && g->PartitionOf(v) != g->PartitionOf(a) &&
+               g->PartitionOf(v) != g->PartitionOf(b)) {
+      c = v;
+    }
+  }
+  ASSERT_NE(c, 0u);
+  // Applies run in sorted partition order and the second one crashes, so the
+  // stranded claim sits at whichever of a/b/c lives on the highest partition.
+  VertexId stranded = a;
+  for (VertexId v : {b, c}) {
+    if (g->PartitionOf(v) > g->PartitionOf(stranded)) stranded = v;
+  }
+  DistTxnManager::TxnId torn = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(torn, a, link, b).ok());
+  ASSERT_TRUE(mgr.SetProperty(torn, c, key, Value(int64_t{1})).ok());
+  ASSERT_TRUE(mgr.CommitDirect(torn).ok());
+  ASSERT_TRUE(mgr.HasTorn());
+  ASSERT_GT(mgr.LocksHeldBy(torn), 0u);
+  check_lock_table();
+
+  // Deliberate collision with the stranded lock: no-wait, the writer aborts
+  // with every claim handed back — it never blocks, never steals.
+  DistTxnManager::TxnId blocked = mgr.Begin();
+  ASSERT_TRUE(mgr.SetProperty(blocked, stranded, key, Value(int64_t{2})).ok());
+  EXPECT_FALSE(mgr.CommitDirect(blocked).ok());
+  EXPECT_EQ(mgr.LocksHeldBy(blocked), 0u);
+  EXPECT_GT(mgr.stats().conflicts_locked, 0u);
+  check_lock_table();
+
+  // Random history on a hot anchor pool while the hole is open: conflict
+  // aborts (locked or stale) are legal; lock-table corruption is not.
+  for (int i = 0; i < 24; ++i) {
+    DistTxnManager::TxnId id = mgr.Begin();
+    std::vector<TxnPropOp> ops;
+    const uint64_t n = 1 + rng.Below(3);
+    for (uint64_t j = 0; j < n; ++j) {
+      TxnPropOp op;
+      op.kind = rng.Chance(0.5) ? TxnPropOp::Kind::kAddEdge
+                                : TxnPropOp::Kind::kSetProp;
+      op.src = 1 + rng.Below(8);
+      op.dst = 1 + rng.Below(8);
+      if (op.dst == op.src) op.dst = (op.dst % 8) + 1;
+      op.value = static_cast<int64_t>(rng.Below(1000));
+      ops.push_back(op);
+    }
+    ASSERT_TRUE(BufferTxnPropOps(&mgr, id, link, key, ops).ok());
+    if (rng.Chance(0.2)) {
+      mgr.Abort(id);
+      EXPECT_EQ(mgr.LocksHeldBy(id), 0u);  // release-on-abort
+    } else if (!mgr.CommitDirect(id).ok()) {
+      EXPECT_EQ(mgr.LocksHeldBy(id), 0u);  // release-on-conflict-abort
+    }
+    check_lock_table();
+  }
+  EXPECT_TRUE(mgr.HasTorn());
+  EXPECT_GT(mgr.LocksHeld(), 0u);
+
+  mgr.RecoverDirect();
+  EXPECT_FALSE(mgr.HasTorn());
+  EXPECT_EQ(mgr.LocksHeld(), 0u);  // release-on-recovery
+  EXPECT_EQ(mgr.active(), 0u);
+
+  // The table is genuinely clean: a fresh writer on the once-stranded anchor
+  // commits without conflict.
+  DistTxnManager::TxnId fresh = mgr.Begin();
+  ASSERT_TRUE(mgr.SetProperty(fresh, stranded, key, Value(int64_t{3})).ok());
+  EXPECT_TRUE(mgr.CommitDirect(fresh).ok());
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
 }
 
 }  // namespace

@@ -1,18 +1,42 @@
 // Tests for transactional processing (paper §IV-C): MV2PL write locking,
 // snapshot visibility via the LCT, read-only queries never blocking, and
-// crash recovery truncating uncommitted TEL versions.
+// crash recovery truncating uncommitted TEL versions — plus the distributed
+// multi-partition commit protocol (DESIGN.md §16): two-round OCC commit,
+// no-wait conflicts, crash-during-{prepare,commit,apply} all-or-nothing
+// visibility, LCT contiguity, lock release on recovery, the metrics
+// off-switch, the serializability oracle (including its planted-corruption
+// non-vacuity checks) and the `;txn=` replay-token codec.
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "check/oracle.h"
+#include "check/txn_oracle.h"
 #include "graph/generators.h"
+#include "ldbc/snb_generator.h"
+#include "ldbc/snb_queries.h"
+#include "ldbc/snb_updates.h"
 #include "query/gremlin.h"
 #include "runtime/sim_cluster.h"
+#include "txn/dist_txn.h"
 #include "txn/txn_manager.h"
 
 namespace graphdance {
 namespace {
+
+using check::FormatReplayToken;
+using check::MakeTxnScenario;
+using check::ParseReplayToken;
+using check::ReplaySpec;
+using check::RunTxnCell;
+using check::RunTxnDifferential;
+using check::TxnDifferentialOptions;
+using check::TxnScenario;
 
 struct Fixture {
   std::shared_ptr<Schema> schema;
@@ -268,6 +292,587 @@ TEST(TxnTest, UnknownTransactionRejected) {
   Fixture f;
   EXPECT_FALSE(f.txn->AddEdge(999, 1, f.link, 2).ok());
   EXPECT_FALSE(f.txn->Commit(999).ok());
+}
+
+TEST(TxnTest, CrashRecoveryReleasesLockTable) {
+  // Regression: MV2PL locks are volatile state and must not survive a crash.
+  // A writer that died mid-transaction may never block a post-recovery
+  // writer on the same anchor.
+  Fixture f;
+  auto t = f.txn->Begin();
+  ASSERT_TRUE(f.txn->SetProperty(t, 5, 0, Value(int64_t{1})).ok());
+
+  f.txn->SimulateCrashAndRecover();
+
+  auto t2 = f.txn->Begin();
+  EXPECT_TRUE(f.txn->SetProperty(t2, 5, 0, Value(int64_t{2})).ok());
+  EXPECT_TRUE(f.txn->Commit(t2).ok());
+  PartitionId p = f.graph->PartitionOf(5);
+  EXPECT_EQ(*f.graph->partition(p).PropertyOf(5, 0, f.txn->ReadTimestamp()),
+            Value(int64_t{2}));
+}
+
+// --- distributed multi-partition transactions (DESIGN.md §16) ----------------
+
+struct DistFixture {
+  std::shared_ptr<Schema> schema;
+  std::shared_ptr<PartitionedGraph> graph;
+  std::unique_ptr<SimCluster> cluster;
+  LabelId link;
+
+  explicit DistFixture(bool arm_faults = false) {
+    schema = std::make_shared<Schema>();
+    auto g = GenerateUniformGraph(64, 256, 9, schema, 4);
+    EXPECT_TRUE(g.ok());
+    graph = g.TakeValue();
+    link = schema->EdgeLabel("link");
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.workers_per_node = 4;
+    if (arm_faults) {
+      // Chaos tests inject crashes; the fault machinery (epoch fences,
+      // crashed-delivery drops) must be active for those to behave. The
+      // unreachable scripted delay arms it without touching any schedule.
+      cfg.fault.DelayNth(~0ull, 1);
+    }
+    cluster = std::make_unique<SimCluster>(cfg, graph);
+  }
+
+  // First vertex owned by a different partition than `a`.
+  VertexId CrossPartitionPeer(VertexId a) {
+    for (VertexId v = 1; v < 64; ++v) {
+      if (v != a && graph->PartitionOf(v) != graph->PartitionOf(a)) return v;
+    }
+    ADD_FAILURE() << "graph has a single partition";
+    return a;
+  }
+
+  // First vertex owned by neither a's nor b's partition.
+  VertexId ThirdPartitionVertex(VertexId a, VertexId b) {
+    for (VertexId v = 1; v < 64; ++v) {
+      if (graph->PartitionOf(v) != graph->PartitionOf(a) &&
+          graph->PartitionOf(v) != graph->PartitionOf(b)) {
+        return v;
+      }
+    }
+    ADD_FAILURE() << "graph has fewer than three partitions";
+    return a;
+  }
+
+  int64_t Degree(VertexId v, Timestamp ts, bool out) {
+    Traversal t(graph);
+    t.V({v});
+    if (out) {
+      t.Out("link");
+    } else {
+      t.In("link");
+    }
+    t.Count();
+    auto plan = t.Build();
+    EXPECT_TRUE(plan.ok());
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.workers_per_node = 4;
+    SimCluster fresh(cfg, graph);
+    auto res = fresh.Run(plan.TakeValue(), ts);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.value().rows[0][0].as_int();
+  }
+};
+
+TEST(DistTxnTest, CommitAtomicAcrossPartitions) {
+  DistFixture f;
+  DistTxnManager mgr(f.cluster.get());
+  VertexId a = 1;
+  VertexId b = f.CrossPartitionPeer(a);
+  int64_t out_before = f.Degree(a, mgr.ReadTimestamp(), true);
+  int64_t in_before = f.Degree(b, mgr.ReadTimestamp(), false);
+
+  auto t = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t, a, f.link, b).ok());
+  std::optional<Result<Timestamp>> done;
+  mgr.CommitAsync(t,
+                  [&](Result<Timestamp> r, SimTime) { done = std::move(r); });
+  ASSERT_TRUE(f.cluster->RunToCompletion().ok());
+
+  ASSERT_TRUE(done.has_value());
+  ASSERT_TRUE(done->ok()) << done->status().ToString();
+  EXPECT_GE(mgr.ReadTimestamp(), done->value());
+  // Both halves — the out-half at a's partition and the in-half at b's —
+  // became visible together at the advanced LCT.
+  EXPECT_EQ(f.Degree(a, mgr.ReadTimestamp(), true), out_before + 1);
+  EXPECT_EQ(f.Degree(b, mgr.ReadTimestamp(), false), in_before + 1);
+  EXPECT_EQ(mgr.committed(), 1u);
+  EXPECT_EQ(mgr.active(), 0u);
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+}
+
+TEST(DistTxnTest, ConcurrentConflictingCommitsFirstCommitterWins) {
+  DistFixture f;
+  DistTxnManager mgr(f.cluster.get());
+  PropKeyId key = f.schema->PropKey("status");
+  auto t1 = mgr.Begin();
+  auto t2 = mgr.Begin();
+  // Both buffer lock-free (OCC): the conflict surfaces at prepare, no-wait.
+  ASSERT_TRUE(mgr.SetProperty(t1, 5, key, Value(int64_t{1})).ok());
+  ASSERT_TRUE(mgr.SetProperty(t2, 5, key, Value(int64_t{2})).ok());
+
+  int commits = 0;
+  int aborts = 0;
+  auto done = [&](Result<Timestamp> r, SimTime) {
+    if (r.ok()) {
+      commits++;
+    } else {
+      aborts++;
+    }
+  };
+  f.cluster->ScheduleAt(1000, [&](SimTime) {
+    mgr.CommitAsync(t1, done);
+    mgr.CommitAsync(t2, done);
+  });
+  ASSERT_TRUE(f.cluster->RunToCompletion().ok());
+
+  // Exactly one wins; the loser's snapshot is stale from the winner's commit
+  // on, so its retries exhaust and it finally aborts — nobody ever blocks.
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(aborts, 1);
+  EXPECT_EQ(mgr.stats().committed, 1u);
+  EXPECT_EQ(mgr.stats().aborted, 1u);
+  EXPECT_GT(mgr.stats().retried, 0u);
+  EXPECT_GT(mgr.stats().conflicts_locked + mgr.stats().validation_failed, 0u);
+  EXPECT_EQ(mgr.active(), 0u);
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+}
+
+TEST(DistTxnTest, CrashDuringPrepareRetriesAndCommits) {
+  DistFixture f(/*arm_faults=*/true);
+  DistTxnManager::Options o;
+  o.crash_phase = DistTxnManager::CrashPhase::kPrepare;
+  o.crash_nth = 1;
+  DistTxnManager mgr(f.cluster.get(), o);
+  VertexId a = 1;
+  VertexId b = f.CrossPartitionPeer(a);
+  int64_t out_before = f.Degree(a, mgr.ReadTimestamp(), true);
+  int64_t in_before = f.Degree(b, mgr.ReadTimestamp(), false);
+
+  auto t = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t, a, f.link, b).ok());
+  std::optional<Result<Timestamp>> done;
+  mgr.CommitAsync(t,
+                  [&](Result<Timestamp> r, SimTime) { done = std::move(r); });
+  ASSERT_TRUE(f.cluster->RunToCompletion().ok());
+
+  // The first participant died with the prepare on the wire: the vote never
+  // came, the round timed out, and the retry found the clean restarted
+  // incarnation. No version advanced meanwhile, so the same snapshot wins.
+  ASSERT_TRUE(done.has_value());
+  ASSERT_TRUE(done->ok()) << done->status().ToString();
+  EXPECT_GE(mgr.stats().retried, 1u);
+  EXPECT_EQ(mgr.committed(), 1u);
+  EXPECT_EQ(f.Degree(a, mgr.ReadTimestamp(), true), out_before + 1);
+  EXPECT_EQ(f.Degree(b, mgr.ReadTimestamp(), false), in_before + 1);
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+}
+
+TEST(DistTxnTest, PhasedCrashDuringCommitTornThenRecovered) {
+  DistFixture f;
+  DistTxnManager::Options o;
+  o.crash_phase = DistTxnManager::CrashPhase::kCommit;
+  o.crash_nth = 1;
+  DistTxnManager mgr(f.graph.get(), o);
+  VertexId a = 1;
+  VertexId b = f.CrossPartitionPeer(a);
+  int64_t out_before = f.Degree(a, mgr.ReadTimestamp(), true);
+  int64_t in_before = f.Degree(b, mgr.ReadTimestamp(), false);
+
+  auto t = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t, a, f.link, b).ok());
+  auto r = mgr.CommitDirect(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Timestamp ts = r.value();
+
+  // Decided but nothing applied: the LCT is held back, so neither half is
+  // visible to any reader, and the surviving participant still holds claims.
+  EXPECT_TRUE(mgr.HasTorn());
+  EXPECT_LT(mgr.ReadTimestamp(), ts);
+  EXPECT_EQ(f.Degree(a, mgr.ReadTimestamp(), true), out_before);
+  EXPECT_EQ(f.Degree(b, mgr.ReadTimestamp(), false), in_before);
+  EXPECT_GT(mgr.LocksHeld(), 0u);
+
+  mgr.RecoverDirect();
+  EXPECT_FALSE(mgr.HasTorn());
+  EXPECT_GE(mgr.ReadTimestamp(), ts);
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+  EXPECT_EQ(mgr.committed(), 1u);
+  EXPECT_EQ(f.Degree(a, mgr.ReadTimestamp(), true), out_before + 1);
+  EXPECT_EQ(f.Degree(b, mgr.ReadTimestamp(), false), in_before + 1);
+}
+
+TEST(DistTxnTest, PhasedCrashDuringApplyAllOrNothing) {
+  DistFixture f;
+  DistTxnManager::Options o;
+  o.crash_phase = DistTxnManager::CrashPhase::kApply;
+  o.crash_nth = 2;  // first partition applied, second crashed, third pending
+  DistTxnManager mgr(f.graph.get(), o);
+  VertexId a = 1;
+  VertexId b = f.CrossPartitionPeer(a);
+  VertexId c = f.ThirdPartitionVertex(a, b);
+  PropKeyId key = f.schema->PropKey("status");
+  int64_t out_before = f.Degree(a, mgr.ReadTimestamp(), true);
+  int64_t in_before = f.Degree(b, mgr.ReadTimestamp(), false);
+
+  auto t = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t, a, f.link, b).ok());
+  ASSERT_TRUE(mgr.SetProperty(t, c, key, Value(int64_t{7})).ok());
+  auto r = mgr.CommitDirect(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Timestamp ts = r.value();
+
+  // A strict prefix of the partitions applied, but the applied part carries
+  // ts > LCT: all-or-nothing at every reader, never a partial write set.
+  EXPECT_TRUE(mgr.HasTorn());
+  EXPECT_LT(mgr.ReadTimestamp(), ts);
+  EXPECT_EQ(f.Degree(a, mgr.ReadTimestamp(), true), out_before);
+  EXPECT_EQ(f.Degree(b, mgr.ReadTimestamp(), false), in_before);
+  EXPECT_EQ(f.graph->partition(f.graph->PartitionOf(c))
+                .PropertyOf(c, key, mgr.ReadTimestamp()),
+            nullptr);
+  // The never-reached partition still parks the claim (the crashed one lost
+  // its volatile table with the worker).
+  EXPECT_GT(mgr.LocksHeld(), 0u);
+
+  mgr.RecoverDirect();
+  // Redo from the durable decision record completed the missing partitions.
+  EXPECT_FALSE(mgr.HasTorn());
+  EXPECT_GE(mgr.ReadTimestamp(), ts);
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+  EXPECT_EQ(f.Degree(a, mgr.ReadTimestamp(), true), out_before + 1);
+  EXPECT_EQ(f.Degree(b, mgr.ReadTimestamp(), false), in_before + 1);
+  const Value* pv = f.graph->partition(f.graph->PartitionOf(c))
+                        .PropertyOf(c, key, mgr.ReadTimestamp());
+  ASSERT_NE(pv, nullptr);
+  EXPECT_EQ(*pv, Value(int64_t{7}));
+}
+
+TEST(DistTxnTest, LctStopsAtTornPrefixThenCatchesUp) {
+  DistFixture f;
+  DistTxnManager::Options o;
+  o.crash_phase = DistTxnManager::CrashPhase::kCommit;
+  o.crash_nth = 1;  // only the first decision tears
+  DistTxnManager mgr(f.graph.get(), o);
+  VertexId a = 1;
+  VertexId b = f.CrossPartitionPeer(a);
+  // Disjoint anchor pair for the second transaction.
+  VertexId c = 0;
+  VertexId d = 0;
+  for (VertexId v = 2; v < 64 && d == 0; ++v) {
+    if (v == a || v == b) continue;
+    if (c == 0) {
+      c = v;
+    } else if (f.graph->PartitionOf(v) != f.graph->PartitionOf(c)) {
+      d = v;
+    }
+  }
+  ASSERT_NE(d, 0u);
+  int64_t c_before = f.Degree(c, 0, true);
+
+  auto t1 = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t1, a, f.link, b).ok());
+  auto r1 = mgr.CommitDirect(t1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(mgr.HasTorn());
+  EXPECT_EQ(mgr.ReadTimestamp(), 0u);
+
+  // A later, non-conflicting transaction decides and applies fully — but the
+  // LCT only covers the contiguous fully-applied prefix, so it too stays
+  // invisible behind the torn hole.
+  auto t2 = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t2, c, f.link, d).ok());
+  auto r2 = mgr.CommitDirect(t2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2.value(), r1.value());
+  EXPECT_EQ(mgr.ReadTimestamp(), 0u);
+  EXPECT_EQ(f.Degree(c, mgr.ReadTimestamp(), true), c_before);
+
+  mgr.RecoverDirect();
+  EXPECT_EQ(mgr.ReadTimestamp(), r2.value());
+  EXPECT_EQ(f.Degree(c, mgr.ReadTimestamp(), true), c_before + 1);
+  EXPECT_EQ(mgr.committed(), 2u);
+}
+
+TEST(DistTxnTest, RecoveryReleasesLocksAndDiscardsOpenTxns) {
+  DistFixture f;
+  DistTxnManager::Options o;
+  o.crash_phase = DistTxnManager::CrashPhase::kApply;
+  o.crash_nth = 2;
+  DistTxnManager mgr(f.graph.get(), o);
+  VertexId a = 1;
+  VertexId b = f.CrossPartitionPeer(a);
+  VertexId c = f.ThirdPartitionVertex(a, b);
+  PropKeyId key = f.schema->PropKey("status");
+
+  // Three partitions: #1 applies, #2 crashes (volatile table gone), #3 is
+  // never reached — its claim is the stranded lock recovery must release.
+  auto t1 = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t1, a, f.link, b).ok());
+  ASSERT_TRUE(mgr.SetProperty(t1, c, key, Value(int64_t{7})).ok());
+  auto r1 = mgr.CommitDirect(t1);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(mgr.HasTorn());
+  EXPECT_GT(mgr.LocksHeldBy(t1), 0u);
+
+  // An open transaction in flight when the crash hits simply dies with it.
+  auto t2 = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t2, a, f.link, b).ok());
+
+  mgr.SimulateCrashAndRecover();
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+  EXPECT_FALSE(mgr.HasTorn());
+  EXPECT_EQ(mgr.active(), 0u);
+
+  // The recovered lock table accepts fresh writers on the same anchors.
+  auto t3 = mgr.Begin();
+  ASSERT_TRUE(mgr.AddEdge(t3, a, f.link, b).ok());
+  EXPECT_TRUE(mgr.CommitDirect(t3).ok());
+  EXPECT_EQ(mgr.LocksHeld(), 0u);
+}
+
+// --- off means off: no txn section, no schedule perturbation -----------------
+
+TEST(DistTxnOffTest, NonTransactionalClusterCarriesNoTxnSection) {
+  DistFixture f;
+  auto plan = Traversal(f.graph).V({1}).Out("link").Count().Build();
+  ASSERT_TRUE(plan.ok());
+  f.cluster->Submit(plan.TakeValue(), 0);
+  ASSERT_TRUE(f.cluster->RunToCompletion().ok());
+
+  std::string metrics = f.cluster->MetricsSnapshot().ToString();
+  // Transactions off == the seed snapshot surface: golden snapshots from
+  // pre-txn builds keep matching byte-for-byte.
+  EXPECT_EQ(metrics.find("txn:"), std::string::npos);
+  EXPECT_EQ(metrics.find("txn_protocol:"), std::string::npos);
+}
+
+TEST(DistTxnOffTest, InertManagerIsScheduleAndTraceNeutral) {
+  // Constructing a manager and attaching its stats without ever opening a
+  // transaction is pure observation: the trace and every non-txn metric must
+  // be byte-identical to a run that never heard of distributed transactions.
+  auto run = [](bool attach_inert_manager) {
+    auto schema = std::make_shared<Schema>();
+    auto g = GenerateUniformGraph(64, 256, 9, schema, 4);
+    EXPECT_TRUE(g.ok());
+    auto graph = g.TakeValue();
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.workers_per_node = 4;
+    cfg.trace = true;
+    SimCluster cluster(cfg, graph);
+    std::unique_ptr<DistTxnManager> mgr;
+    if (attach_inert_manager) {
+      mgr = std::make_unique<DistTxnManager>(&cluster);
+    }
+    auto p1 = Traversal(graph).V({1}).Out("link").Count().Build();
+    auto p2 = Traversal(graph).V({5}).Out("link").Count().Build();
+    EXPECT_TRUE(p1.ok() && p2.ok());
+    cluster.Submit(p1.TakeValue(), 0);
+    cluster.Submit(p2.TakeValue(), 0);
+    EXPECT_TRUE(cluster.RunToCompletion().ok());
+    return std::make_pair(cluster.MetricsSnapshot().ToString(),
+                          cluster.tracer().ToJson());
+  };
+
+  auto [plain_metrics, plain_trace] = run(false);
+  auto [inert_metrics, inert_trace] = run(true);
+  EXPECT_EQ(plain_trace, inert_trace);
+  // The attached (all-zero) txn section is the only permitted delta.
+  EXPECT_EQ(plain_metrics.find("txn:"), std::string::npos);
+  EXPECT_NE(inert_metrics.find("txn:"), std::string::npos);
+  std::string inert_without_section =
+      inert_metrics.substr(0, inert_metrics.find("txn:"));
+  EXPECT_EQ(plain_metrics.substr(0, inert_without_section.size()),
+            inert_without_section);
+}
+
+// --- the serializability oracle ----------------------------------------------
+
+TEST(TxnOracleTest, CleanMatrixStaysGreen) {
+  TxnScenario s = MakeTxnScenario(check::kDefaultTxnScenarioSeed);
+  TxnDifferentialOptions opt;
+  opt.base.modes = {"async", "bsp"};
+  opt.base.num_seeds = 2;
+  opt.phases = {"", "commit"};
+  auto report = RunTxnDifferential(s, opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& r = report.value();
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_EQ(r.base.trips, 0u);
+  EXPECT_EQ(r.base.mismatches, 0u);
+  EXPECT_EQ(r.partial_visibility_rows, 0u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.waves, 0u);
+  // Non-vacuity: the chaos cells really tore transactions mid-commit.
+  EXPECT_GT(r.crashes, 0u);
+}
+
+TEST(TxnOracleTest, ThreadsAndHybridCellsStayGreen) {
+  TxnScenario s =
+      MakeTxnScenario(check::kDefaultTxnScenarioSeed, /*num_updates=*/24);
+  TxnDifferentialOptions opt;
+
+  // Real-thread reads between phased commits, with apply-phase chaos: a torn
+  // transaction must stay invisible to actual concurrent cores.
+  ReplaySpec spec;
+  spec.mode = "threads";
+  spec.txn = true;
+  spec.txn_phase = "apply";
+  spec.tiebreak_seed = 1;
+  auto threads_cell = RunTxnCell(s, spec, opt);
+  ASSERT_TRUE(threads_cell.ok()) << threads_cell.status().ToString();
+  EXPECT_TRUE(threads_cell.value().ok()) << threads_cell.value().base.detail;
+  EXPECT_GT(threads_cell.value().committed, 0u);
+  EXPECT_GT(threads_cell.value().crashes, 0u);
+
+  spec.mode = "hybrid";
+  spec.txn_phase = "";
+  auto hybrid_cell = RunTxnCell(s, spec, opt);
+  ASSERT_TRUE(hybrid_cell.ok()) << hybrid_cell.status().ToString();
+  EXPECT_TRUE(hybrid_cell.value().ok()) << hybrid_cell.value().base.detail;
+  EXPECT_GT(hybrid_cell.value().committed, 0u);
+}
+
+TEST(TxnOracleTest, CorruptVisibilityTripsTheComparison) {
+  // Planted harness bug: the first wave comparison's observed rows are
+  // mutated. A differential that stays green against this is vacuous.
+  TxnScenario s =
+      MakeTxnScenario(check::kDefaultTxnScenarioSeed, /*num_updates=*/16);
+  TxnDifferentialOptions opt;
+  opt.wave_every = 4;
+  opt.corrupt_nth_visibility = 1;
+  ReplaySpec spec;
+  spec.mode = "bsp";
+  spec.txn = true;
+  auto cell = RunTxnCell(s, spec, opt);
+  ASSERT_TRUE(cell.ok()) << cell.status().ToString();
+  EXPECT_FALSE(cell.value().ok());
+  EXPECT_GT(cell.value().base.mismatches, 0u);
+  EXPECT_GT(cell.value().partial_visibility_rows, 0u);
+}
+
+TEST(TxnOracleTest, CorruptApplyTripsTheOracle) {
+  // Planted protocol bug: the nth commit-apply payload silently loses its
+  // last sub-op — a genuinely torn write inside an "committed" transaction.
+  // Scenario built so the serial replay provably diverges: one knows-edge
+  // between two persons in different partitions, read back from both ends by
+  // IS3 (which traverses the out-halves). One of the two apply payloads ends
+  // in an out-half, so one of nth={1,2} must trip the oracle.
+  SnbConfig cfg = SnbConfig::Tiny(60);
+  auto d4r = GenerateSnb(cfg, 4);
+  ASSERT_TRUE(d4r.ok());
+  auto d4 = d4r.TakeValue();
+  uint64_t pa = 0;
+  uint64_t pb = 1;
+  while (pb < d4->config.num_persons &&
+         d4->graph->PartitionOf(d4->PersonId(pb)) ==
+             d4->graph->PartitionOf(d4->PersonId(pa))) {
+    pb++;
+  }
+  ASSERT_LT(pb, d4->config.num_persons);
+
+  TxnScenario s;
+  s.dataset = [cfg](uint32_t np) -> std::shared_ptr<SnbDataset> {
+    auto r = GenerateSnb(cfg, np);
+    return r.ok() ? r.TakeValue() : nullptr;
+  };
+  s.plans = [pa, pb](const SnbDataset& d) {
+    std::vector<std::shared_ptr<const Plan>> plans;
+    SnbParams p;
+    p.person = d.PersonId(pa);
+    auto r1 = BuildInteractiveShort(3, d, p);
+    if (r1.ok()) plans.push_back(r1.TakeValue());
+    p.person = d.PersonId(pb);
+    auto r2 = BuildInteractiveShort(3, d, p);
+    if (r2.ok()) plans.push_back(r2.TakeValue());
+    return plans;
+  };
+  SnbUpdateTxn u;
+  u.kind = SnbUpdateKind::kAddKnows;
+  u.person = d4->PersonId(pa);
+  u.person2 = d4->PersonId(pb);
+  u.creation_date = static_cast<int64_t>(cfg.max_date + 10);
+  s.updates = {u};
+
+  TxnDifferentialOptions opt;
+  opt.wave_every = 1;
+  ReplaySpec spec;
+  spec.mode = "bsp";
+  spec.txn = true;
+
+  // Control: the same scenario without the planted bug is green.
+  auto clean = RunTxnCell(s, spec, opt);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean.value().ok()) << clean.value().base.detail;
+
+  uint64_t mismatches = 0;
+  for (uint64_t nth = 1; nth <= 2; ++nth) {
+    opt.corrupt_nth_apply = nth;
+    auto cell = RunTxnCell(s, spec, opt);
+    ASSERT_TRUE(cell.ok()) << cell.status().ToString();
+    mismatches += cell.value().base.mismatches;
+  }
+  EXPECT_GT(mismatches, 0u);
+}
+
+// --- replay tokens -----------------------------------------------------------
+
+TEST(TxnReplayTest, TxnFlagAndPhaseRoundTripThroughToken) {
+  ReplaySpec spec;
+  spec.mode = "bsp";
+  spec.tiebreak_seed = 5;
+  spec.txn = true;
+  spec.txn_phase = "commit";
+  std::string token = FormatReplayToken(spec);
+  EXPECT_NE(token.find(";txn=1"), std::string::npos);
+  EXPECT_NE(token.find(";txnphase=commit"), std::string::npos);
+
+  auto parsed = ParseReplayToken(token);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().txn);
+  EXPECT_EQ(parsed.value().txn_phase, "commit");
+  EXPECT_EQ(parsed.value().mode, "bsp");
+  EXPECT_EQ(parsed.value().tiebreak_seed, 5u);
+  EXPECT_EQ(FormatReplayToken(parsed.value()), token);
+}
+
+TEST(TxnReplayTest, ThreadsModeTokenRoundTrips) {
+  // "threads" is a txn-only mode (real-thread reads between phased commits);
+  // the codec must carry it for chaos-cell replay.
+  ReplaySpec spec;
+  spec.mode = "threads";
+  spec.tiebreak_seed = 2;
+  spec.txn = true;
+  spec.txn_phase = "apply";
+  std::string token = FormatReplayToken(spec);
+  auto parsed = ParseReplayToken(token);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().mode, "threads");
+  EXPECT_TRUE(parsed.value().txn);
+  EXPECT_EQ(parsed.value().txn_phase, "apply");
+  EXPECT_EQ(FormatReplayToken(parsed.value()), token);
+}
+
+TEST(TxnReplayTest, LegacyTokensStayTxnFreeAndByteIdentical) {
+  // Pre-txn tokens carry no `;txn=` keys; they must parse with the flag off
+  // and re-format to the identical byte string (append-only codec).
+  ReplaySpec legacy;
+  legacy.mode = "async";
+  legacy.tiebreak_seed = 3;
+  std::string token = FormatReplayToken(legacy);
+  EXPECT_EQ(token.find("txn"), std::string::npos);
+  auto parsed = ParseReplayToken(token);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed.value().txn);
+  EXPECT_TRUE(parsed.value().txn_phase.empty());
+  EXPECT_EQ(FormatReplayToken(parsed.value()), token);
 }
 
 }  // namespace

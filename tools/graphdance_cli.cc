@@ -22,6 +22,7 @@
 #include "analytics/analytics.h"
 #include "check/oracle.h"
 #include "check/shrink.h"
+#include "check/txn_oracle.h"
 #include "stream/stream_oracle.h"
 #include "graph/generators.h"
 #include "ldbc/driver.h"
@@ -170,6 +171,7 @@ struct Shell {
     check::WorkloadFactory factory = check::MakeDefaultCheckWorkload();
     check::DifferentialOptions opt;
     bool stream_matrix = false;
+    bool txn_matrix = false;
 
     if (sub == "qos") {
       // `check qos [seeds]`: the whole matrix under the standard QoS stress
@@ -194,6 +196,18 @@ struct Shell {
       opt.num_seeds = 32;
       sub.clear();
       in >> sub;
+    } else if (sub == "txn") {
+      // `check txn [seeds]`: the serializability matrix — every engine
+      // (async, bsp, hybrid, real-thread) x [seeds] x chaos phase
+      // (fault-free, crash-during-{prepare,commit,apply}) driving LDBC
+      // update transactions through the distributed commit protocol, every
+      // read wave diffed against a single-worker serial replay of the
+      // committed schedule (failing tokens carry `;txn=1;txnphase=...`).
+      // The acceptance gate runs 32 seeds, so that is the default here.
+      txn_matrix = true;
+      opt.num_seeds = 32;
+      sub.clear();
+      in >> sub;
     }
 
     if (sub == "replay" || sub == "shrink") {
@@ -202,6 +216,10 @@ struct Shell {
       auto spec = check::ParseReplayToken(token);
       if (!spec.ok()) {
         std::printf("bad token: %s\n", spec.status().ToString().c_str());
+        return;
+      }
+      if (spec.value().txn || txn_matrix) {
+        CheckTxnToken(sub, spec.value());
         return;
       }
       if (spec.value().stream || stream_matrix) {
@@ -253,6 +271,20 @@ struct Shell {
         return;
       }
       opt.num_seeds = seeds;
+    }
+    if (txn_matrix) {
+      check::TxnScenario scenario =
+          check::MakeTxnScenario(check::kDefaultTxnScenarioSeed);
+      check::TxnDifferentialOptions topt;
+      topt.base.num_seeds = opt.num_seeds;
+      auto report = check::RunTxnDifferential(scenario, topt);
+      if (!report.ok()) {
+        std::printf("check txn error: %s\n",
+                    report.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s\n", report.value().Summary().c_str());
+      return;
     }
     if (stream_matrix) {
       stream::StreamScenario scenario =
@@ -318,6 +350,52 @@ struct Shell {
                 r.evaluations, r.token.c_str());
   }
 
+  /// `check replay|shrink` for a `;txn=1` token: the cell drives the update
+  /// transactions through the distributed commit protocol under the token's
+  /// mode + chaos phase, and every read wave is diffed against the serial
+  /// replay of the committed schedule.
+  void CheckTxnToken(const std::string& verb, check::ReplaySpec spec) {
+    spec.txn = true;  // `check txn replay <legacy-token>` upgrades too
+    check::TxnScenario scenario =
+        check::MakeTxnScenario(check::kDefaultTxnScenarioSeed);
+    check::TxnDifferentialOptions topt;
+    if (verb == "replay") {
+      auto cell = check::RunTxnCell(scenario, spec, topt);
+      if (!cell.ok()) {
+        std::printf("replay error: %s\n", cell.status().ToString().c_str());
+        return;
+      }
+      const check::TxnCellReport& r = cell.value();
+      std::printf("%s: queries=%lu trips=%lu mismatches=%lu "
+                  "explicit_failures=%lu committed=%lu aborted=%lu "
+                  "retried=%lu waves=%lu partial_rows=%lu crashes=%lu\n",
+                  r.ok() ? "PASS" : "FAIL", (unsigned long)r.base.queries,
+                  (unsigned long)r.base.trips,
+                  (unsigned long)r.base.mismatches,
+                  (unsigned long)r.base.explicit_failures,
+                  (unsigned long)r.committed, (unsigned long)r.finally_aborted,
+                  (unsigned long)r.retried, (unsigned long)r.waves,
+                  (unsigned long)r.partial_visibility_rows,
+                  (unsigned long)r.crashes);
+      if (!r.base.detail.empty()) std::printf("  %s\n", r.base.detail.c_str());
+      return;
+    }
+    auto fails = [&](const check::ReplaySpec& s) {
+      check::ReplaySpec txned = s;
+      txned.txn = true;  // shrink the schedule, never the txn flag/phase
+      auto cell = check::RunTxnCell(scenario, txned, topt);
+      return !cell.ok() || !cell.value().ok();
+    };
+    check::ShrinkResult r = check::Shrink(spec, fails);
+    if (!r.reproduced) {
+      std::printf("token does not fail — nothing to shrink "
+                  "(%d evaluation(s))\n", r.evaluations);
+      return;
+    }
+    std::printf("minimal repro after %d evaluation(s):\n  replay: %s\n",
+                r.evaluations, r.token.c_str());
+  }
+
   void Dispatch(const std::string& line) {
     std::istringstream in(line);
     std::string cmd;
@@ -361,9 +439,18 @@ struct Shell {
           "                                 snapshot + standing queries) vs\n"
           "                                 from-scratch materializations at\n"
           "                                 every commit ts (default 32 seeds)\n"
+          "  check txn [seeds]              serializability matrix: every\n"
+          "                                 engine (incl. real threads) x\n"
+          "                                 [seeds] x crash phase driving LDBC\n"
+          "                                 update transactions through the\n"
+          "                                 distributed commit protocol, read\n"
+          "                                 waves diffed against a serial\n"
+          "                                 replay of the committed schedule\n"
+          "                                 (default 32 seeds)\n"
           "  check replay <token>           re-run one gdchk1 replay token\n"
           "                                 (`;stream=1` tokens replay as\n"
-          "                                 streaming cells)\n"
+          "                                 streaming cells, `;txn=1` as\n"
+          "                                 transactional cells)\n"
           "  check shrink <token>           minimize a failing replay token\n"
           "  quit\n"
           "flags: --metrics (print metrics after every run), --trace-out FILE\n"

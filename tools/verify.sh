@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full tier-1 verification matrix. Run from the repository root:
 #
-#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos, spill, stream)
+#   tools/verify.sh            # everything (release, ASan/UBSan, Debug, obs, check, qos, spill, stream, txn)
 #   tools/verify.sh release    # just the release build + tests
 #
 # Stages:
@@ -24,10 +24,19 @@
 #             cumulative-emission identity, off-switch byte identity,
 #             crash-mid-batch atomicity, compaction pin guard) in the
 #             release tree, then the gated bench_streaming freshness curve
+#   txn     — distributed-transaction suite alone (ctest -L txn: cross-
+#             partition commit atomicity, no-wait conflict aborts, crash-
+#             during-{prepare,commit,apply} all-or-nothing visibility, the
+#             serializability oracle matrix with planted-corruption
+#             non-vacuity, lock-table property tests, replay-token round
+#             trips) in the release tree, then the gated bench_txn
+#             contention/chaos sweep (zero oracle trips, zero
+#             partial-visibility rows)
 #   tsan    — -DSANITIZE=thread (ThreadSanitizer) build of the real-thread
 #             runtime, then the rt suite (ctest -L rt: MPSC inbox contention
-#             tests + the ThreadCluster differential matrix) and the
-#             streaming suite (ctest -L stream) under TSan
+#             tests + the ThreadCluster differential matrix), the streaming
+#             suite (ctest -L stream) and the transaction suite (ctest -L
+#             txn: real-thread read waves between phased commits) under TSan
 #   threads — real-thread scalability smoke (bench_threads) in the release
 #             tree: rows must be byte-identical at every thread count (hard
 #             gate); the monotone/1.5x-speedup gates are enforced by the
@@ -105,12 +114,20 @@ if [[ "$STAGES" == "all" || "$STAGES" == "stream" ]]; then
   ./build/bench/bench_streaming
 fi
 
+if [[ "$STAGES" == "all" || "$STAGES" == "txn" ]]; then
+  echo "==== [txn] ctest -L txn (release tree) ===="
+  ctest --test-dir build -L txn --output-on-failure -j "$JOBS"
+  echo "==== [txn] bench_txn gates ===="
+  cmake --build build --target bench_txn -j "$JOBS"
+  ./build/bench/bench_txn
+fi
+
 if [[ "$STAGES" == "all" || "$STAGES" == "tsan" ]]; then
-  echo "==== [tsan] configure + build rt + stream suites (build-tsan) ===="
+  echo "==== [tsan] configure + build rt + stream + txn suites (build-tsan) ===="
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
-  cmake --build build-tsan --target rt_test stream_test -j "$JOBS"
-  echo "==== [tsan] ctest -L rt -L stream under ThreadSanitizer ===="
-  ctest --test-dir build-tsan -L 'rt|stream' --output-on-failure -j "$JOBS"
+  cmake --build build-tsan --target rt_test stream_test txn_test prop_test -j "$JOBS"
+  echo "==== [tsan] ctest -L rt -L stream -L txn under ThreadSanitizer ===="
+  ctest --test-dir build-tsan -L 'rt|stream|txn' --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$STAGES" == "all" || "$STAGES" == "threads" ]]; then
